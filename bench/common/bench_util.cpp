@@ -1,0 +1,74 @@
+#include "common/bench_util.hpp"
+
+#include <cstdio>
+
+namespace absync::bench
+{
+
+const std::vector<std::string> &
+figurePolicies()
+{
+    static const std::vector<std::string> kPolicies = {
+        "none", "var", "exp2", "exp4", "exp8",
+    };
+    return kPolicies;
+}
+
+const std::vector<std::uint32_t> &
+figureProcessorCounts()
+{
+    static const std::vector<std::uint32_t> kCounts = {
+        2, 4, 8, 16, 32, 64, 128, 256, 512,
+    };
+    return kCounts;
+}
+
+double
+barrierCell(std::uint32_t n, std::uint64_t arrival_window,
+            const core::BackoffConfig &backoff, Metric metric,
+            std::uint64_t runs, std::uint64_t seed)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = n;
+    cfg.arrivalWindow = arrival_window;
+    cfg.backoff = backoff;
+    const auto summary =
+        core::BarrierSimulator(cfg).runMany(runs, seed);
+    return metric == Metric::Accesses ? summary.accesses.mean()
+                                      : summary.wait.mean();
+}
+
+support::Table
+barrierSweepTable(std::uint64_t arrival_window, Metric metric,
+                  std::uint64_t runs, std::uint64_t seed)
+{
+    std::vector<std::string> header = {"N"};
+    for (const auto &p : figurePolicies())
+        header.push_back(p);
+    support::Table table(std::move(header));
+
+    for (std::uint32_t n : figureProcessorCounts()) {
+        std::vector<double> row;
+        for (const auto &policy : figurePolicies()) {
+            row.push_back(barrierCell(
+                n, arrival_window,
+                core::BackoffConfig::fromString(policy), metric, runs,
+                seed));
+        }
+        table.addRow(std::to_string(n), row);
+    }
+    return table;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================="
+                "=============\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================="
+                "=============\n");
+}
+
+} // namespace absync::bench

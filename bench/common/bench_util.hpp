@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches.
+ *
+ * Every bench binary prints (a) the experiment's configuration, (b) a
+ * table in the same rows/series shape as the paper's table or figure,
+ * and (c) the paper's own headline numbers for side-by-side reading.
+ */
+
+#ifndef ABSYNC_BENCH_COMMON_BENCH_UTIL_HPP
+#define ABSYNC_BENCH_COMMON_BENCH_UTIL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/backoff.hpp"
+#include "core/barrier_sim.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace absync::bench
+{
+
+/** Policy set used by Figures 5-10: none, variable, flag base 2/4/8. */
+const std::vector<std::string> &figurePolicies();
+
+/** Processor counts used by Figures 4-10: 2, 4, ..., 512. */
+const std::vector<std::uint32_t> &figureProcessorCounts();
+
+/** Which episode metric a barrier table reports. */
+enum class Metric
+{
+    Accesses, ///< network accesses per processor (Figures 4-7)
+    Wait,     ///< waiting time per processor in cycles (Figures 8-10)
+};
+
+/**
+ * Run the Figures 5-10 sweep for one arrival window.
+ *
+ * @param arrival_window the A parameter
+ * @param metric which metric to tabulate
+ * @param runs episodes per configuration (paper: 100)
+ * @param seed RNG seed
+ * @return table with one row per N and one column per policy
+ */
+support::Table barrierSweepTable(std::uint64_t arrival_window,
+                                 Metric metric, std::uint64_t runs,
+                                 std::uint64_t seed);
+
+/** Mean of the chosen metric for one (N, A, policy) cell. */
+double barrierCell(std::uint32_t n, std::uint64_t arrival_window,
+                   const core::BackoffConfig &backoff, Metric metric,
+                   std::uint64_t runs, std::uint64_t seed);
+
+/** Print the standard bench header. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+} // namespace absync::bench
+
+#endif // ABSYNC_BENCH_COMMON_BENCH_UTIL_HPP

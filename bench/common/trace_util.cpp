@@ -1,0 +1,60 @@
+#include "common/trace_util.hpp"
+
+#include <map>
+
+#include "trace/apps.hpp"
+
+namespace absync::bench
+{
+
+const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> kApps = {"fft", "simple",
+                                                   "weather"};
+    return kApps;
+}
+
+const std::vector<std::uint32_t> &
+pointerCounts()
+{
+    static const std::vector<std::uint32_t> kPointers = {2, 3, 4, 5,
+                                                         0};
+    return kPointers;
+}
+
+const trace::SpmdProgram &
+appProgram(const std::string &name, double scale)
+{
+    static std::map<std::pair<std::string, double>,
+                    trace::SpmdProgram>
+        cache;
+    auto key = std::make_pair(name, scale);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key, trace::SpmdProgram::parse(
+                                   trace::makeAppTrace(name, scale)))
+                 .first;
+    }
+    return it->second;
+}
+
+trace::ScheduleStats
+scheduleApp(const std::string &name, std::uint32_t procs, double scale)
+{
+    return trace::PostMortemScheduler(appProgram(name, scale), procs)
+        .run();
+}
+
+coherence::CoherenceStats
+simulateApp(const std::string &name, std::uint32_t procs, double scale,
+            const coherence::CoherenceConfig &cfg)
+{
+    coherence::CoherenceSimulator sim(cfg);
+    trace::PostMortemScheduler(appProgram(name, scale), procs)
+        .run([&](const trace::MpRef &r) { sim.access(r); });
+    return sim.stats();
+}
+
+} // namespace absync::bench

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared plumbing for the trace-driven benches (Tables 1-3,
+ * Figures 1 and 3): application trace generation plus scheduling and
+ * coherence simulation in one call.
+ */
+
+#ifndef ABSYNC_BENCH_COMMON_TRACE_UTIL_HPP
+#define ABSYNC_BENCH_COMMON_TRACE_UTIL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "coherence/coherence_sim.hpp"
+#include "trace/postmortem.hpp"
+#include "trace/spmd.hpp"
+
+namespace absync::bench
+{
+
+/** The three applications of the paper's evaluation. */
+const std::vector<std::string> &appNames();
+
+/** The directory pointer counts of Tables 1 and 2 (0 = full map). */
+const std::vector<std::uint32_t> &pointerCounts();
+
+/** Parse-and-cache an application's SPMD program. */
+const trace::SpmdProgram &appProgram(const std::string &name,
+                                     double scale);
+
+/** Schedule an app onto @p procs processors, returning the interval
+ *  statistics (no coherence simulation). */
+trace::ScheduleStats scheduleApp(const std::string &name,
+                                 std::uint32_t procs, double scale);
+
+/**
+ * Schedule an app and drive the coherence simulator with the
+ * resulting reference stream.
+ *
+ * @return the coherence statistics after the full trace
+ */
+coherence::CoherenceStats simulateApp(
+    const std::string &name, std::uint32_t procs, double scale,
+    const coherence::CoherenceConfig &cfg);
+
+} // namespace absync::bench
+
+#endif // ABSYNC_BENCH_COMMON_TRACE_UTIL_HPP

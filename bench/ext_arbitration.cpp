@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: memory-module arbitration policy (DESIGN.md Section 7).
+ *
+ * The paper's Section 3 model says only that one processor accesses
+ * the module per cycle; it does not specify *which*.  The choice
+ * matters: with uniformly-random arbitration the flag writer's win
+ * time is geometric (variance ~N^2) and run-to-run standard
+ * deviations blow far past the <7 % the paper reports (Section 5.2),
+ * while queued (FIFO) service matches both Model 1's magnitudes and
+ * the reported variance.  This bench quantifies that.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 100));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 31));
+
+    printHeader("Ablation: module arbitration policy",
+                "DESIGN.md Sec 7; paper Sections 3, 5.2 and Model 1");
+
+    for (std::uint64_t a : {0ull, 1000ull}) {
+        support::Table t({"arbitration", "accesses/proc",
+                          "run-to-run cv %", "wait/proc"});
+        for (auto arb : {sim::Arbitration::Fifo,
+                         sim::Arbitration::RoundRobin,
+                         sim::Arbitration::Random}) {
+            core::BarrierConfig cfg;
+            cfg.processors = 64;
+            cfg.arrivalWindow = a;
+            cfg.backoff = core::BackoffConfig::none();
+            cfg.arbitration = arb;
+            const auto s =
+                core::BarrierSimulator(cfg).runMany(runs, seed);
+            const char *name =
+                arb == sim::Arbitration::Fifo
+                    ? "fifo"
+                    : (arb == sim::Arbitration::RoundRobin
+                           ? "round-robin"
+                           : "random");
+            t.addRow({name, support::fmt(s.accesses.mean(), 1),
+                      support::fmt(s.accesses.cv() * 100.0, 1),
+                      support::fmt(s.wait.mean(), 1)});
+        }
+        std::printf("\nN = 64, A = %llu, no backoff:\n%s",
+                    static_cast<unsigned long long>(a),
+                    t.str().c_str());
+    }
+
+    std::printf("\nReading: FIFO lands exactly on Model 1 (5N/2 = "
+                "160 at A=0) with near-zero variance; random matches "
+                "the mean but its run-to-run deviation (~40%%) is far "
+                "beyond the <7%% the paper reports — evidence the "
+                "authors' simulator served contenders in order.  "
+                "Round-robin lets the flag writer jump the poller "
+                "queue within one rotation, landing on the 3N/2 "
+                "figure Section 6.2 quotes for variable backoff.\n");
+    return 0;
+}

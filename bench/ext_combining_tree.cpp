@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension: software combining-tree barrier with node-level backoff
+ * (paper Sections 1, 6.2 and reference [25]).
+ *
+ * When N is large relative to A the centralized barrier saturates
+ * its two memory modules; the paper points to software combining
+ * trees and notes that adaptive backoff still applies "on the
+ * intermediate nodes of the tree".  This bench compares:
+ *
+ *  - the flat two-variable barrier vs combining trees of fan-in
+ *    2/4/8/16, with and without backoff at the nodes;
+ *  - per-processor accesses, waiting time, and the traffic at the
+ *    busiest module — the hot-spot metric the tree exists to bound.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "core/tree_barrier_sim.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed", "n"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 50));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 25));
+    const auto n = static_cast<std::uint32_t>(opts.getInt("n", 256));
+
+    printHeader("Extension: combining-tree barrier with per-node "
+                "backoff",
+                "Agarwal & Cherian 1989, Sections 1 & 6.2; Yew, "
+                "Tseng & Lawrie [25]");
+
+    for (std::uint64_t a : {0ull, 1000ull}) {
+        for (const char *policy : {"none", "exp2"}) {
+            support::Table t({"barrier", "accesses/proc", "wait/proc",
+                              "busiest-module traffic"});
+            // Flat centralized barrier.
+            {
+                core::BarrierConfig cfg;
+                cfg.processors = n;
+                cfg.arrivalWindow = a;
+                cfg.backoff = core::BackoffConfig::fromString(policy);
+                const auto s =
+                    core::BarrierSimulator(cfg).runMany(runs, seed);
+                t.addRow({"flat (centralized)",
+                          support::fmt(s.accesses.mean(), 1),
+                          support::fmt(s.wait.mean(), 1),
+                          support::fmt(s.flagTraffic.mean(), 0)});
+            }
+            for (std::uint32_t d : {2u, 4u, 8u, 16u}) {
+                core::TreeBarrierConfig cfg;
+                cfg.processors = n;
+                cfg.fanIn = d;
+                cfg.arrivalWindow = a;
+                cfg.backoff = core::BackoffConfig::fromString(policy);
+                core::TreeBarrierSimulator sim(cfg);
+                const auto s = sim.runMany(runs, seed);
+                t.addRow({"tree d=" + std::to_string(d) + " (" +
+                              std::to_string(sim.nodeCount()) +
+                              " nodes, depth " +
+                              std::to_string(sim.depth()) + ")",
+                          support::fmt(s.accesses.mean(), 1),
+                          support::fmt(s.wait.mean(), 1),
+                          support::fmt(s.maxModuleTraffic.mean(), 0)});
+            }
+            std::printf("\nN = %u, A = %llu, backoff = %s:\n%s", n,
+                        static_cast<unsigned long long>(a), policy,
+                        t.str().c_str());
+        }
+    }
+
+    std::printf(
+        "\nReading: the tree bounds the busiest module's traffic by "
+        "~fan-in instead of ~N, and cuts total accesses at A = 0 "
+        "where the flat barrier melts down; node-level exponential "
+        "backoff still pays at large A, exactly as Section 6.2 "
+        "anticipates.  (With a limited-pointer directory, fan-in "
+        "below the pointer count also eliminates the invalidation "
+        "traffic of Section 2.)\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 8 extension: backoff in the network controller itself.
+ *
+ * The paper's base model retries a denied access every cycle ("the
+ * access is repeated until the flag is read") and counts each retry;
+ * Section 8 proposes letting the *network controller* back off when
+ * accesses keep colliding.  This bench adds exponential controller
+ * backoff (wait base^k after the k-th consecutive denial) under the
+ * barrier episode model, with and without the software-level flag
+ * backoff, and reports the access/wait tradeoff.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 100));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 61));
+
+    printHeader("Section 8 extension: network-controller backoff on "
+                "denied accesses",
+                "Agarwal & Cherian 1989, Sections 4.2 & 8");
+
+    for (std::uint32_t n : {64u, 256u}) {
+        for (std::uint64_t a : {0ull, 100ull}) {
+            support::Table t({"policy", "accesses/proc",
+                              "wait/proc"});
+            for (const char *policy : {"none", "exp2"}) {
+                for (bool ctrl : {false, true}) {
+                    auto bo = core::BackoffConfig::fromString(policy);
+                    bo.controllerBackoff = ctrl;
+                    const double acc = barrierCell(
+                        n, a, bo, Metric::Accesses, runs, seed);
+                    const double wait = barrierCell(
+                        n, a, bo, Metric::Wait, runs, seed);
+                    t.addRow({std::string(policy) +
+                                  (ctrl ? " + controller" : ""),
+                              support::fmt(acc, 1),
+                              support::fmt(wait, 1)});
+                }
+            }
+            std::printf("\nN = %u, A = %llu:\n%s", n,
+                        static_cast<unsigned long long>(a),
+                        t.str().c_str());
+        }
+    }
+
+    std::printf("\nReading: controller backoff removes the "
+                "denied-retry traffic that software flag backoff "
+                "cannot see (retries happen below the backoff "
+                "decision points) — a ~10-25x access cut.  At "
+                "moderate windows it even shortens waits (less "
+                "self-contention); at A = 0 it pays ~2x wait, the "
+                "usual tradeoff.  Note the releasing write must be "
+                "exempt from controller backoff or pollers starve "
+                "it outright.\n");
+    return 0;
+}

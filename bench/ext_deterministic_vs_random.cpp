@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: deterministic vs randomized flag backoff (Section 4.2).
+ *
+ * The paper rejects the Aloha/Ethernet-style randomized retry in
+ * favour of a deterministic schedule, arguing (1) it costs a few
+ * instructions rather than a retry-probability computation, and
+ * (2) once contenders are serialized, equal backoffs keep them
+ * serialized while random retries destroy the ordering and re-create
+ * contention.  This bench randomizes each wait over [1, 2W] and
+ * measures the damage.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 200));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 42));
+
+    printHeader("Ablation: deterministic vs randomized flag backoff",
+                "Agarwal & Cherian 1989, Section 4.2 argument");
+
+    for (std::uint64_t base : {2ull, 8ull}) {
+        support::Table t({"N", "A", "det accesses", "rand accesses",
+                          "det wait", "rand wait"});
+        for (std::uint32_t n : {16u, 64u, 256u}) {
+            for (std::uint64_t a : {100ull, 1000ull}) {
+                auto det = core::BackoffConfig::exponentialFlag(base);
+                auto rnd = det;
+                rnd.randomized = true;
+                const double det_acc = barrierCell(
+                    n, a, det, Metric::Accesses, runs, seed);
+                const double rnd_acc = barrierCell(
+                    n, a, rnd, Metric::Accesses, runs, seed);
+                const double det_wait =
+                    barrierCell(n, a, det, Metric::Wait, runs, seed);
+                const double rnd_wait =
+                    barrierCell(n, a, rnd, Metric::Wait, runs, seed);
+                t.addRow({std::to_string(n), std::to_string(a),
+                          support::fmt(det_acc, 1),
+                          support::fmt(rnd_acc, 1),
+                          support::fmt(det_wait, 0),
+                          support::fmt(rnd_wait, 0)});
+            }
+        }
+        std::printf("\nexponential base %llu:\n%s",
+                    static_cast<unsigned long long>(base),
+                    t.str().c_str());
+    }
+
+    std::printf("\nReading: both are far better than no backoff; the "
+                "deterministic schedule's advantage appears as lower "
+                "or equal access counts at the same wait — random "
+                "waits re-randomize the serialized re-poll order.\n");
+    return 0;
+}

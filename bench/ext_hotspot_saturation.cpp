@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Motivation experiment: hot-spot tree saturation in the network,
+ * and its relief by paced (backed-off) polling (paper Sections 1,
+ * 2.2; Pfister & Norton [19]).
+ *
+ * "Synchronization references, such as those due to a barrier, are
+ * often to the same location in memory and only a small percentage
+ * of all data accesses to the same 'hot' module can cause tree
+ * saturation in the interconnection network and a corresponding
+ * severe drop in the effective memory bandwidth."
+ *
+ * Setup: an Omega network carrying uniform background traffic plus a
+ * growing set of dedicated pollers hammering module 0 (spinning on a
+ * barrier flag).  We measure the *background* throughput and latency
+ * — the innocent bystanders — as the pollers saturate the tree of
+ * switch ports leading to the hot module, then show how pacing the
+ * pollers (the effect of flag backoff) restores the background
+ * bandwidth.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "sim/buffered_multistage.hpp"
+#include "sim/multistage.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+namespace
+{
+
+sim::MultistageStats
+runCase(std::uint32_t pollers, std::uint32_t interval,
+        std::uint64_t cycles, std::uint64_t seed)
+{
+    sim::MultistageConfig cfg;
+    cfg.processors = 64;
+    cfg.offeredLoad = 0.3;
+    cfg.hotPollers = pollers;
+    cfg.hotPollInterval = interval;
+    cfg.strategy = sim::NetBackoff::Immediate;
+    cfg.cycles = cycles;
+    cfg.seed = seed;
+    return sim::MultistageNetwork(cfg).run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"cycles", "seed"});
+    const auto cycles =
+        static_cast<std::uint64_t>(opts.getInt("cycles", 20000));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 19));
+
+    printHeader("Motivation: hot-spot tree saturation and its relief "
+                "by poll pacing",
+                "Agarwal & Cherian 1989, Sections 1/2.2; Pfister & "
+                "Norton hot spots");
+
+    const auto base = runCase(0, 0, cycles, seed);
+    std::printf("\nno pollers: background throughput %.4f "
+                "req/cycle/proc, latency %.1f\n",
+                base.bgThroughput, base.bgLatency);
+
+    std::printf("\nContinuously spinning pollers (no backoff):\n");
+    support::Table t1({"pollers", "bg throughput", "bg latency",
+                       "bg slowdown"});
+    for (std::uint32_t pollers : {2u, 4u, 8u, 16u, 32u}) {
+        const auto st = runCase(pollers, 0, cycles, seed);
+        t1.addRow({std::to_string(pollers),
+                   support::fmt(st.bgThroughput, 4),
+                   support::fmt(st.bgLatency, 1),
+                   support::fmt(st.bgLatency / base.bgLatency, 2) +
+                       "x"});
+    }
+    std::printf("%s", t1.str().c_str());
+
+    std::printf("\n16 pollers, paced by increasing poll intervals "
+                "(the effect of flag backoff):\n");
+    support::Table t2({"poll interval", "bg throughput",
+                       "bg latency", "bg slowdown"});
+    for (std::uint32_t interval : {0u, 8u, 32u, 128u, 512u}) {
+        const auto st = runCase(16, interval, cycles, seed);
+        t2.addRow({std::to_string(interval),
+                   support::fmt(st.bgThroughput, 4),
+                   support::fmt(st.bgLatency, 1),
+                   support::fmt(st.bgLatency / base.bgLatency, 2) +
+                       "x"});
+    }
+    std::printf("%s", t2.str().c_str());
+
+    // ---- Buffered (packet-switched) network: true tree saturation
+    //      and Scott-Sohi queue feedback (Sec 8 item 5). ----
+    std::printf("\n--- buffered network (finite switch queues; the "
+                "Pfister-Norton setting) ---\n");
+    const auto runBuffered = [&](std::uint32_t pollers,
+                                 std::uint32_t interval,
+                                 std::uint32_t fb_threshold) {
+        sim::BufferedNetConfig cfg;
+        cfg.processors = 64;
+        cfg.offeredLoad = 0.2;
+        cfg.hotPollers = pollers;
+        cfg.hotPollInterval = interval;
+        cfg.feedbackThreshold = fb_threshold;
+        cfg.cycles = cycles;
+        cfg.seed = seed;
+        return sim::BufferedMultistageNetwork(cfg).run();
+    };
+
+    const auto bbase = runBuffered(0, 0, 0);
+    std::printf("\nno pollers: bg latency %.1f, hot-tree queue "
+                "occupancy %.2f, network avg %.2f\n",
+                bbase.bgLatency, bbase.hotTreeOccupancy,
+                bbase.avgQueueOccupancy);
+
+    support::Table t3({"configuration", "bg latency", "bg slowdown",
+                       "hot-tree occ", "network occ"});
+    const auto addRow = [&](const char *label,
+                            const sim::BufferedNetStats &st) {
+        t3.addRow({label, support::fmt(st.bgLatency, 1),
+                   support::fmt(st.bgLatency / bbase.bgLatency, 2) +
+                       "x",
+                   support::fmt(st.hotTreeOccupancy, 2),
+                   support::fmt(st.avgQueueOccupancy, 2)});
+    };
+    addRow("16 spinning pollers", runBuffered(16, 0, 0));
+    addRow("32 spinning pollers", runBuffered(32, 0, 0));
+    addRow("16 pollers, paced 128", runBuffered(16, 128, 0));
+    addRow("16 pollers + queue feedback", runBuffered(16, 0, 2));
+    std::printf("%s", t3.str().c_str());
+
+    std::printf("\nReading: in the circuit-switched model spinning "
+                "pollers tie up partial circuits and cost the "
+                "background ~5-10%%; in the buffered network the "
+                "queues on the hot module's tree saturate (occupancy "
+                "near 1 vs ~0.1 network-wide) and background latency "
+                "multiplies — the \"severe congestion\" the paper's "
+                "Introduction warns about.  Both poll pacing "
+                "(adaptive backoff) and Scott-Sohi queue feedback "
+                "drain the tree.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Section 2: the naive one-variable barrier vs Tang & Yew's
+ * two-variable scheme.
+ *
+ * "A typical implementation of a barrier might use a shared variable
+ * ... it repeatedly tests the barrier until the above condition is
+ * true ... This implementation has the drawback that each processor
+ * attempting to increment the barrier variable must contend with all
+ * the others simply polling it.  A better implementation, e.g., Tang
+ * and Yew's, splits the barrier into two shared variables."
+ *
+ * This bench quantifies the claim — and a nuance the paper leaves
+ * implicit: the penalty depends on the module's arbitration.  Under
+ * random service the poller horde crowds out arriving incrementers
+ * (the paper's picture); under queued (FIFO) service arrivals take
+ * their place in line and the one-variable barrier is actually fine.
+ * Either way, adaptive backoff rescues the naive barrier too.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed", "n"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 100));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 2));
+    const auto n = static_cast<std::uint32_t>(opts.getInt("n", 64));
+
+    printHeader("Section 2: one-variable vs two-variable barrier",
+                "Agarwal & Cherian 1989, Section 2");
+
+    for (auto arb : {sim::Arbitration::Random,
+                     sim::Arbitration::Fifo}) {
+        support::Table t({"A", "one-var accesses", "two-var accesses",
+                          "one-var + exp2", "two-var + exp2"});
+        for (std::uint64_t a : {0ull, 100ull, 1000ull}) {
+            std::vector<double> row;
+            for (const char *policy : {"none", "exp2"}) {
+                for (bool single : {true, false}) {
+                    core::BarrierConfig cfg;
+                    cfg.processors = n;
+                    cfg.arrivalWindow = a;
+                    cfg.singleVariable = single;
+                    cfg.arbitration = arb;
+                    cfg.backoff =
+                        core::BackoffConfig::fromString(policy);
+                    const auto s = core::BarrierSimulator(cfg)
+                                       .runMany(runs, seed);
+                    row.push_back(s.accesses.mean());
+                }
+            }
+            t.addRow(std::to_string(a), row);
+        }
+        std::printf("\nN = %u, %s arbitration:\n%s", n,
+                    arb == sim::Arbitration::Random ? "random"
+                                                    : "fifo",
+                    t.str().c_str());
+    }
+
+    std::printf(
+        "\nReading: under random service the naive barrier costs ~2x "
+        "(incrementers fight the poller horde — the paper's Section 2 "
+        "drawback); queued service neutralizes it by construction.  "
+        "Exponential backoff cuts both schemes by an order of "
+        "magnitude regardless — thinning the polls helps whichever "
+        "barrier you have.\n");
+    return 0;
+}

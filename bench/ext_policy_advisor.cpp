@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Section 8 extension: profile-guided policy selection.
+ *
+ * Demonstrates core::advisePolicy choosing a backoff policy per
+ * synchronization site from its (N, A) profile: busy sites should
+ * get conservative policies, sparse-arrival sites aggressive
+ * exponential backoff, and very sparse sites with cheap wakeups the
+ * queue-on-threshold.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "common/trace_util.hpp"
+#include "core/policy_advisor.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "idle-weight"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 30));
+    const double idle_weight = opts.getDouble("idle-weight", 0.05);
+
+    printHeader("Section 8 extension: profile-guided policy "
+                "selection",
+                "Agarwal & Cherian 1989, Section 8 (compiler / "
+                "profiling discussion)");
+
+    core::AdvisorConfig acfg;
+    acfg.runs = runs;
+    acfg.idleWeight = idle_weight;
+
+    std::printf("\ncost = accesses + %.2f * excess wait\n\n",
+                idle_weight);
+    support::Table t({"site profile", "advised policy",
+                      "accesses/proc", "wait/proc", "runner-up"});
+    struct Site
+    {
+        const char *label;
+        core::SyncProfile profile;
+    };
+    const Site sites[] = {
+        {"N=64, A=0 (tight loop)", {64, 0, 0}},
+        {"N=64, A=100", {64, 100, 0}},
+        {"N=64, A=1000", {64, 1000, 0}},
+        {"N=16, A=4000 (sparse)", {16, 4000, 0}},
+        {"N=16, A=4000, wakeup=100", {16, 4000, 100}},
+        {"N=512, A=100 (hot)", {512, 100, 0}},
+    };
+    for (const auto &site : sites) {
+        const auto advice = core::advisePolicy(site.profile, acfg);
+        t.addRow({site.label, advice.best.policy.name(),
+                  support::fmt(advice.best.accesses, 1),
+                  support::fmt(advice.best.wait, 1),
+                  advice.ranking.size() > 1
+                      ? advice.ranking[1].policy.name()
+                      : "-"});
+    }
+    std::printf("%s", t.str().c_str());
+
+    // Per-site profiles: the paper's profiling idea at loop
+    // granularity.  SIMPLE's 25 synchronization sites have very
+    // different windows; the advisor should not give them all the
+    // same answer.
+    {
+        const auto sched = scheduleApp("simple", 64, 0.25);
+        std::vector<std::uint64_t> spans;
+        for (const auto &b : sched.barriers)
+            spans.push_back(b.spanA());
+        std::sort(spans.begin(), spans.end());
+        const auto pick = [&](double q) {
+            return spans[static_cast<std::size_t>(
+                q * static_cast<double>(spans.size() - 1))];
+        };
+        std::printf("\nPer-site windows within SIMPLE (25 sites): "
+                    "min / median / max A = %llu / %llu / %llu\n",
+                    static_cast<unsigned long long>(pick(0.0)),
+                    static_cast<unsigned long long>(pick(0.5)),
+                    static_cast<unsigned long long>(pick(1.0)));
+        support::Table ts({"site class", "A", "advised policy"});
+        for (double q : {0.0, 0.5, 1.0}) {
+            core::SyncProfile profile;
+            profile.processors = 64;
+            profile.arrivalWindow =
+                std::max<std::uint64_t>(1, pick(q));
+            const auto advice = core::advisePolicy(profile, acfg);
+            ts.addRow({q == 0.0 ? "fastest site"
+                                : (q == 0.5 ? "median site"
+                                            : "slowest site"),
+                       std::to_string(profile.arrivalWindow),
+                       advice.best.policy.name()});
+        }
+        std::printf("%s", ts.str().c_str());
+    }
+
+    // Second half: close the profiling loop the paper sketches —
+    // measure each application's real barrier windows from its trace
+    // and let the advisor pick a policy per program.
+    std::printf("\nProfiles measured from the application traces "
+                "(64 processors):\n");
+    support::Table t2({"application", "measured A", "advised policy",
+                       "accesses/proc"});
+    for (const auto &app : appNames()) {
+        const auto sched = scheduleApp(app, 64, 0.25);
+        core::SyncProfile profile;
+        profile.processors = 64;
+        profile.arrivalWindow = static_cast<std::uint64_t>(
+            std::max(1.0, sched.averageA()));
+        profile.blockWakeupCycles = 100;
+        const auto advice = core::advisePolicy(profile, acfg);
+        t2.addRow({app, support::fmt(sched.averageA(), 0),
+                   advice.best.policy.name(),
+                   support::fmt(advice.best.accesses, 1)});
+    }
+    std::printf("%s", t2.str().c_str());
+
+    std::printf("\nReading: the advisor lands on the paper's "
+                "hand-derived guidance — low-base exponential backoff "
+                "when arrivals are spread out (A >> N), aggressive "
+                "bases when the window is tight (where all policies "
+                "are within a few percent anyway), and "
+                "queue-on-threshold as soon as a wakeup path exists "
+                "and A is large.  Raise --idle-weight to see the "
+                "recommendations retreat toward variable-only.\n");
+    return 0;
+}

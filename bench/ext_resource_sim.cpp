@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 8 extension: resource waiting under the cycle model.
+ *
+ * The paper predicts adaptive backoff works even better for resource
+ * waiting than for barriers, because the wait is directly
+ * proportional to the queue length times the mean hold time — state
+ * the waiter can read.  This bench sweeps contention (processor
+ * count and hold time) and compares spinning, exponential, and
+ * waiter-proportional backoff on accesses per acquisition, queueing
+ * delay, and resource utilization.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "core/resource_sim.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed", "cycles"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 10));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 8));
+    const auto cycles =
+        static_cast<std::uint64_t>(opts.getInt("cycles", 100000));
+
+    printHeader("Section 8 extension: resource waiting (cycle "
+                "model)",
+                "Agarwal & Cherian 1989, Section 8");
+
+    for (std::uint32_t n : {2u, 4u, 8u, 32u}) {
+        support::Table t({"policy", "accesses/acq", "queue delay",
+                          "utilization", "avg waiters"});
+        for (auto policy : {core::ResourceWaitPolicy::Spin,
+                            core::ResourceWaitPolicy::Exponential,
+                            core::ResourceWaitPolicy::Proportional}) {
+            core::ResourceSimConfig cfg;
+            cfg.processors = n;
+            cfg.policy = policy;
+            cfg.cycles = cycles;
+            const auto st = core::ResourceSimulator(cfg).runMany(
+                runs, seed);
+            t.addRow({core::resourceWaitPolicyName(policy),
+                      support::fmt(st.accessesPerAcquisition, 1),
+                      support::fmt(st.avgQueueingDelay, 1),
+                      support::fmt(st.utilization, 3),
+                      support::fmt(st.avgWaiters, 2)});
+        }
+        std::printf("\nN = %u (hold 50 cycles, mean think 800):\n%s",
+                    n, t.str().c_str());
+    }
+
+    std::printf("\nReading: spinning costs accesses linear in the "
+                "queue length while waiter-proportional backoff "
+                "stays at a couple per acquisition, because the "
+                "waiter count times the hold time predicts its turn "
+                "— the paper's \"directly proportional\" argument.  "
+                "At moderate contention the utilization cost is "
+                "negligible; once the resource saturates the familiar "
+                "accesses-vs-idle-time tradeoff reappears.\n");
+    return 0;
+}

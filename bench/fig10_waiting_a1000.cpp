@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10: processor waiting time vs N at A = 1000 — the cost side
+ * of the backoff tradeoff.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 100));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 10));
+
+    printHeader("Figure 10: waiting time per processor, A = 1000",
+                "Agarwal & Cherian 1989, Figure 10 / Section 7");
+
+    const auto table =
+        barrierSweepTable(1000, Metric::Wait, runs, seed);
+    std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
+                                       : table.str().c_str());
+
+    const auto cell = [&](std::uint32_t n, const char *p) {
+        return barrierCell(n, 1000,
+                           core::BackoffConfig::fromString(p),
+                           Metric::Wait, runs, seed);
+    };
+    const double none64 = cell(64, "none");
+    const double exp2_64 = cell(64, "exp2");
+    const double exp8_64 = cell(64, "exp8");
+    std::printf("\nSpot checks against the paper (A = 1000, N = 64):\n");
+    std::printf("  no backoff: measured %.0f cycles (paper: 576)\n",
+                none64);
+    std::printf("  base-8: measured %.0f cycles (paper: 2048, an "
+                "increase of over 350%%); measured increase %.0f%%\n",
+                exp8_64, (exp8_64 / none64 - 1.0) * 100.0);
+    std::printf("  base-2: +%.0f%% wait (paper Sec 7: \"increasing "
+                "the time spent at the barrier by only 16%%\")\n",
+                (exp2_64 / none64 - 1.0) * 100.0);
+    std::printf("  paper: \"waiting times ... reach a maximum around "
+                "64 processors and then actually decline\": measured "
+                "exp8 N=64: %.0f, N=256: %.0f, N=512: %.0f\n",
+                exp8_64, cell(256, "exp8"), cell(512, "exp8"));
+    return 0;
+}

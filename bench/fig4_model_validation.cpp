@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 4: analytical model vs simulation, no backoff.
+ *
+ * The paper overlays Model 1 (5N/2), Model 2 (r/2 + 3N/2) and the
+ * simulated network accesses per processor for A = 0, 100, 1000 over
+ * N = 2..512, and observes that the max of the two models fits the
+ * simulation in all ranges.  The bench prints the same series and the
+ * worst relative error of max(Model1, Model2) against simulation.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+#include "core/models.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 100));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 4));
+
+    printHeader("Figure 4: model predictions vs simulation "
+                "(no backoff)",
+                "Agarwal & Cherian 1989, Figure 4 / Section 6.1");
+
+    double worst_err = 0.0;
+    for (std::uint64_t a : {0ull, 100ull, 1000ull}) {
+        std::printf("\nA = %llu:\n", static_cast<unsigned long long>(a));
+        support::Table t(
+            {"N", "Model 1", "Model 2", "max(models)", "simulated"});
+        for (std::uint32_t n : figureProcessorCounts()) {
+            const double m1 = core::model1Accesses(n);
+            const double m2 =
+                core::model2Accesses(static_cast<double>(a), n);
+            const double mm = std::max(m1, m2);
+            const double sim = barrierCell(
+                n, a, core::BackoffConfig::none(), Metric::Accesses,
+                runs, seed);
+            worst_err =
+                std::max(worst_err, std::abs(mm - sim) / sim);
+            t.addRow(std::to_string(n), {m1, m2, mm, sim});
+        }
+        std::printf("%s", t.str().c_str());
+    }
+
+    std::printf("\nmax |max(models) - sim| / sim over all cells: "
+                "%.1f%%\n",
+                worst_err * 100.0);
+    std::printf("Paper: \"the maximum of the predictions of the two "
+                "models yields a good fit with simulation in all "
+                "ranges\" (Sec 6.1).\n");
+    return 0;
+}

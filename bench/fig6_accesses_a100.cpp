@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 6: network accesses per processor vs N at A = 100.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 100));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 6));
+
+    printHeader("Figure 6: net accesses per processor, A = 100",
+                "Agarwal & Cherian 1989, Figure 6 / Section 6.2");
+
+    const auto table =
+        barrierSweepTable(100, Metric::Accesses, runs, seed);
+    std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
+                                       : table.str().c_str());
+
+    const auto cell = [&](std::uint32_t n, const char *p) {
+        return barrierCell(n, 100,
+                           core::BackoffConfig::fromString(p),
+                           Metric::Accesses, runs, seed);
+    };
+    std::printf("\nSpot checks against the paper (A = 100):\n");
+    std::printf("  N=16 base-4 savings: measured %.1f%% "
+                "(paper: \"savings of over 90%%\")\n",
+                (1.0 - cell(16, "exp4") / cell(16, "none")) * 100.0);
+    std::printf("  N=64 base-8 savings: measured %.1f%% "
+                "(paper: \"about 60%%\")\n",
+                (1.0 - cell(64, "exp8") / cell(64, "none")) * 100.0);
+    std::printf("  N=512 base-8 savings: measured %.1f%% "
+                "(paper: \"only about 30%%\")\n",
+                (1.0 - cell(512, "exp8") / cell(512, "none")) * 100.0);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 8: processor waiting time vs N at A = 0.
+ *
+ * At A = 0 all policies should wait about the same (the window for a
+ * large backoff never opens), with waiting proportional to the
+ * network access count.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 100));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 8));
+
+    printHeader("Figure 8: waiting time per processor, A = 0",
+                "Agarwal & Cherian 1989, Figure 8 / Section 7");
+
+    const auto table = barrierSweepTable(0, Metric::Wait, runs, seed);
+    std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
+                                       : table.str().c_str());
+
+    const auto cell = [&](const char *p) {
+        return barrierCell(64, 0, core::BackoffConfig::fromString(p),
+                           Metric::Wait, runs, seed);
+    };
+    std::printf("\nSpot check (N = 64): waits for all policies within "
+                "a small band\n  none=%.0f var=%.0f exp2=%.0f "
+                "exp8=%.0f cycles\n",
+                cell("none"), cell("var"), cell("exp2"), cell("exp8"));
+    std::printf("Paper: \"for A = 0 ... the waiting times for all the "
+                "four curves are similar\".\n");
+    return 0;
+}

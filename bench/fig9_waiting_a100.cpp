@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 9: processor waiting time vs N at A = 100.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 100));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 9));
+
+    printHeader("Figure 9: waiting time per processor, A = 100",
+                "Agarwal & Cherian 1989, Figure 9 / Section 7");
+
+    const auto table =
+        barrierSweepTable(100, Metric::Wait, runs, seed);
+    std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
+                                       : table.str().c_str());
+
+    std::printf("\nPaper: at A = 100 the waiting-time curves still "
+                "track the access curves closely (\"the strong "
+                "resemblance of the curves in Figures 6 and 9\").\n");
+    return 0;
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the real-thread runtime
+ * library: lock acquisition under contention and barrier phase
+ * crossing, for each backoff policy.
+ *
+ * These are wall-clock measurements on the host (not the paper's
+ * cycle model); they show the same qualitative story — under
+ * contention, backoff pays.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/barrier.hpp"
+#include "runtime/spin_backoff.hpp"
+#include "runtime/spinlock.hpp"
+#include "runtime/tang_yew_barrier.hpp"
+#include "runtime/tree_barrier.hpp"
+
+using namespace absync::runtime;
+
+namespace
+{
+
+/** Shared critical-section work so locks are actually contended. */
+template <typename Lock>
+void
+lockBench(benchmark::State &state, Lock &lock)
+{
+    std::uint64_t local = 0;
+    for (auto _ : state) {
+        lock.lock();
+        benchmark::DoNotOptimize(++local);
+        lock.unlock();
+    }
+}
+
+TasLock<NoBackoff> g_tas_none;
+TasLock<ExpBackoff> g_tas_exp{ExpBackoff(2, 8, 4096)};
+TtasLock<NoBackoff> g_ttas_none;
+TtasLock<ExpBackoff> g_ttas_exp;
+TicketLock g_ticket_prop(32);
+TicketLock g_ticket_spin(0);
+
+void
+BM_TasLock_NoBackoff(benchmark::State &state)
+{
+    lockBench(state, g_tas_none);
+}
+
+void
+BM_TasLock_ExpBackoff(benchmark::State &state)
+{
+    lockBench(state, g_tas_exp);
+}
+
+void
+BM_TtasLock_NoBackoff(benchmark::State &state)
+{
+    lockBench(state, g_ttas_none);
+}
+
+void
+BM_TtasLock_ExpBackoff(benchmark::State &state)
+{
+    lockBench(state, g_ttas_exp);
+}
+
+void
+BM_TicketLock_Proportional(benchmark::State &state)
+{
+    lockBench(state, g_ticket_prop);
+}
+
+void
+BM_TicketLock_PlainSpin(benchmark::State &state)
+{
+    lockBench(state, g_ticket_spin);
+}
+
+/**
+ * Multi-threaded barrier-bench scaffolding.  google-benchmark starts
+ * the worker threads without any setup rendezvous, so the shared
+ * barrier must be published through an atomic and torn down only
+ * after every thread has checked out — otherwise a late thread can
+ * read a null pointer or poll freed memory.
+ */
+template <typename B, typename Make, typename Arrive>
+void
+barrierBenchImpl(benchmark::State &state, Make &&make,
+                 Arrive &&arrive)
+{
+    static std::atomic<B *> shared{nullptr};
+    static std::atomic<int> checked_out{0};
+
+    if (state.thread_index() == 0)
+        shared.store(make(), std::memory_order_release);
+    B *barrier;
+    while (!(barrier = shared.load(std::memory_order_acquire)))
+        cpuRelax();
+
+    for (auto _ : state)
+        arrive(*barrier, state.thread_index());
+
+    if (checked_out.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state.threads()) {
+        // Last one out reports and tears down.
+        state.counters["polls/phase"] = static_cast<double>(
+            barrier->totalPolls() /
+            std::max<std::uint64_t>(1, state.iterations()));
+        shared.store(nullptr, std::memory_order_relaxed);
+        checked_out.store(0, std::memory_order_relaxed);
+        delete barrier;
+    } else {
+        // Wait until the reporter resets the gate so the next run
+        // of this benchmark starts clean.
+        while (shared.load(std::memory_order_acquire))
+            cpuRelax();
+    }
+}
+
+/** Barrier phase crossing with all participating threads. */
+void
+barrierBench(benchmark::State &state, BarrierPolicy policy)
+{
+    barrierBenchImpl<SpinBarrier>(
+        state,
+        [&] {
+            BarrierConfig cfg;
+            cfg.policy = policy;
+            cfg.blockThreshold = 1 << 10;
+            return new SpinBarrier(
+                static_cast<std::uint32_t>(state.threads()), cfg);
+        },
+        [](SpinBarrier &b, int) { b.arriveAndWait(); });
+}
+
+void
+BM_Barrier_None(benchmark::State &state)
+{
+    barrierBench(state, BarrierPolicy::None);
+}
+
+void
+BM_Barrier_Variable(benchmark::State &state)
+{
+    barrierBench(state, BarrierPolicy::Variable);
+}
+
+void
+BM_Barrier_Exponential(benchmark::State &state)
+{
+    barrierBench(state, BarrierPolicy::Exponential);
+}
+
+void
+BM_Barrier_Blocking(benchmark::State &state)
+{
+    barrierBench(state, BarrierPolicy::Blocking);
+}
+
+/** Tang & Yew two-variable barrier (the paper's construction). */
+void
+BM_TangYewBarrier_Exponential(benchmark::State &state)
+{
+    barrierBenchImpl<TangYewBarrier>(
+        state,
+        [&] {
+            BarrierConfig cfg;
+            cfg.policy = BarrierPolicy::Exponential;
+            return new TangYewBarrier(
+                static_cast<std::uint32_t>(state.threads()), cfg);
+        },
+        [](TangYewBarrier &b, int) { b.arriveAndWait(); });
+}
+
+/** Combining-tree barrier, fan-in 2. */
+void
+BM_TreeBarrier_Exponential(benchmark::State &state)
+{
+    barrierBenchImpl<TreeBarrier>(
+        state,
+        [&] {
+            BarrierConfig cfg;
+            cfg.policy = BarrierPolicy::Exponential;
+            return new TreeBarrier(
+                static_cast<std::uint32_t>(state.threads()), 2, cfg);
+        },
+        [](TreeBarrier &b, int tid) {
+            b.arriveAndWait(static_cast<std::uint32_t>(tid));
+        });
+}
+
+// Modest fixed iteration counts: on an oversubscribed host (fewer
+// cores than threads) each spinning barrier phase costs scheduling
+// quanta, and the point — poll counts per phase — is visible at any
+// size.
+constexpr int kLockIters = 50000;
+constexpr int kBarrierIters = 1000;
+
+} // namespace
+
+BENCHMARK(BM_TasLock_NoBackoff)->Threads(4)->Iterations(kLockIters);
+BENCHMARK(BM_TasLock_ExpBackoff)->Threads(4)->Iterations(kLockIters);
+BENCHMARK(BM_TtasLock_NoBackoff)->Threads(4)->Iterations(kLockIters);
+BENCHMARK(BM_TtasLock_ExpBackoff)->Threads(4)->Iterations(kLockIters);
+BENCHMARK(BM_TicketLock_Proportional)
+    ->Threads(4)
+    ->Iterations(kLockIters);
+BENCHMARK(BM_TicketLock_PlainSpin)->Threads(4)->Iterations(kLockIters);
+
+BENCHMARK(BM_Barrier_None)->Threads(4)->Iterations(kBarrierIters);
+BENCHMARK(BM_Barrier_Variable)->Threads(4)->Iterations(kBarrierIters);
+BENCHMARK(BM_Barrier_Exponential)
+    ->Threads(4)
+    ->Iterations(kBarrierIters);
+BENCHMARK(BM_Barrier_Blocking)->Threads(4)->Iterations(kBarrierIters);
+BENCHMARK(BM_TangYewBarrier_Exponential)
+    ->Threads(4)
+    ->Iterations(kBarrierIters);
+BENCHMARK(BM_TreeBarrier_Exponential)
+    ->Threads(4)
+    ->Iterations(kBarrierIters);
+
+BENCHMARK_MAIN();

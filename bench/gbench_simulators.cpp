@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the *simulators themselves*:
+ * episodes (or cycles) simulated per second.  A reproduction you
+ * cannot iterate on quickly is a reproduction nobody sweeps; these
+ * numbers tell users what parameter grids are affordable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coherence/coherence_sim.hpp"
+#include "core/barrier_sim.hpp"
+#include "core/tree_barrier_sim.hpp"
+#include "sim/buffered_multistage.hpp"
+#include "sim/multistage.hpp"
+#include "trace/apps.hpp"
+#include "trace/postmortem.hpp"
+#include "trace/spmd.hpp"
+
+using namespace absync;
+
+namespace
+{
+
+void
+BM_BarrierEpisode(benchmark::State &state)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = static_cast<std::uint32_t>(state.range(0));
+    cfg.arrivalWindow = 1000;
+    core::BarrierSimulator sim(cfg);
+    support::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.runOnce(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_TreeBarrierEpisode(benchmark::State &state)
+{
+    core::TreeBarrierConfig cfg;
+    cfg.processors = static_cast<std::uint32_t>(state.range(0));
+    cfg.fanIn = 4;
+    cfg.arrivalWindow = 1000;
+    core::TreeBarrierSimulator sim(cfg);
+    support::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.runOnce(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_OmegaNetwork(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::MultistageConfig cfg;
+        cfg.processors = 64;
+        cfg.offeredLoad = 0.5;
+        cfg.cycles = static_cast<std::uint64_t>(state.range(0));
+        benchmark::DoNotOptimize(sim::MultistageNetwork(cfg).run());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_BufferedNetwork(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::BufferedNetConfig cfg;
+        cfg.processors = 64;
+        cfg.offeredLoad = 0.3;
+        cfg.cycles = static_cast<std::uint64_t>(state.range(0));
+        benchmark::DoNotOptimize(
+            sim::BufferedMultistageNetwork(cfg).run());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_ScheduleAndCoherence(benchmark::State &state)
+{
+    const auto prog =
+        trace::SpmdProgram::parse(trace::makeAppTrace("simple", 0.05));
+    for (auto _ : state) {
+        coherence::CoherenceConfig ccfg;
+        ccfg.processors = 64;
+        ccfg.pointerLimit = 4;
+        coherence::CoherenceSimulator sim(ccfg);
+        std::uint64_t refs = 0;
+        trace::PostMortemScheduler(prog, 64)
+            .run([&](const trace::MpRef &r) {
+                sim.access(r);
+                ++refs;
+            });
+        benchmark::DoNotOptimize(refs);
+        state.counters["refs"] = static_cast<double>(refs);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_BarrierEpisode)->Arg(64)->Arg(512);
+BENCHMARK(BM_TreeBarrierEpisode)->Arg(64)->Arg(512);
+BENCHMARK(BM_OmegaNetwork)->Arg(5000);
+BENCHMARK(BM_BufferedNetwork)->Arg(5000);
+BENCHMARK(BM_ScheduleAndCoherence);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Explore the circuit-switched Omega network and the Section 8
+ * collision-backoff strategies from the command line:
+ *
+ *   omega_explorer --procs 64 --load 0.5 --strategy exp
+ *   omega_explorer --procs 256 --load 0.3 --hotspot 0.4 \
+ *                  --strategy feedback --coeff 8
+ */
+
+#include <cstdio>
+
+#include "sim/multistage.hpp"
+#include "support/options.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace absync;
+    support::Options opts(argc, argv,
+                          {"procs", "load", "hotspot", "strategy",
+                           "coeff", "cycles", "service", "seed",
+                           "help"});
+    if (opts.getBool("help")) {
+        std::printf(
+            "usage: omega_explorer [--procs P(power of 2)] "
+            "[--load L] [--hotspot H] "
+            "[--strategy immediate|depth|inverse|rtt|exp|feedback] "
+            "[--coeff C] [--service S] [--cycles N] [--seed S]\n");
+        return 0;
+    }
+
+    sim::MultistageConfig cfg;
+    cfg.processors =
+        static_cast<std::uint32_t>(opts.getInt("procs", 64));
+    cfg.offeredLoad = opts.getDouble("load", 0.5);
+    cfg.hotspotFraction = opts.getDouble("hotspot", 0.0);
+    cfg.strategy =
+        sim::netBackoffFromString(opts.get("strategy", "exp"));
+    cfg.coeff = static_cast<std::uint32_t>(opts.getInt("coeff", 4));
+    cfg.serviceCycles =
+        static_cast<std::uint32_t>(opts.getInt("service", 4));
+    cfg.cycles =
+        static_cast<std::uint64_t>(opts.getInt("cycles", 20000));
+    cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+
+    sim::MultistageNetwork net(cfg);
+    const auto st = net.run();
+
+    std::printf("Omega network: %u processors, offered load %.2f, "
+                "hotspot %.0f%%, strategy %s (coeff %u)\n\n",
+                cfg.processors, cfg.offeredLoad,
+                cfg.hotspotFraction * 100.0,
+                sim::netBackoffName(cfg.strategy).c_str(), cfg.coeff);
+    std::printf("  completed requests:  %llu over %llu cycles\n",
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(cfg.cycles));
+    std::printf("  throughput:          %.4f req/cycle/processor\n",
+                st.throughput);
+    std::printf("  average latency:     %.1f cycles\n",
+                st.avgLatency);
+    std::printf("  setup attempts:      %llu (%.2f per request)\n",
+                static_cast<unsigned long long>(st.attempts),
+                st.attemptsPerRequest);
+    std::printf("  collisions:          %llu (mean depth %.2f of "
+                "%u stages)\n",
+                static_cast<unsigned long long>(st.collisions),
+                st.avgCollisionDepth,
+                static_cast<std::uint32_t>(
+                    __builtin_ctz(cfg.processors)));
+    return 0;
+}

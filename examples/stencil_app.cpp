@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A SIMPLE-style iterative 2-D stencil on real threads, phase-
+ * synchronized with the adaptive barrier — the paper's motivating
+ * workload shape, runnable on your multicore.
+ *
+ * Each sweep is a self-scheduled parallel loop over rows (uneven row
+ * costs emulate the load imbalance of the paper's SIMPLE), closed by
+ * a barrier whose waiting policy you choose.  The app reports wall
+ * time and the number of shared barrier polls per policy, so you can
+ * see the backoff tradeoff on actual hardware:
+ *
+ *   stencil_app                 # compare all policies
+ *   stencil_app --policy exp    # run one policy
+ *   stencil_app --threads 8 --dim 512 --sweeps 40
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/self_schedule.hpp"
+#include "support/options.hpp"
+
+namespace
+{
+
+using namespace absync;
+
+struct RunResult
+{
+    double seconds;
+    std::uint64_t polls;
+    std::uint64_t blocks;
+    double checksum;
+};
+
+runtime::BarrierPolicy
+policyFromString(const std::string &name)
+{
+    if (name == "none")
+        return runtime::BarrierPolicy::None;
+    if (name == "var")
+        return runtime::BarrierPolicy::Variable;
+    if (name == "lin")
+        return runtime::BarrierPolicy::Linear;
+    if (name == "exp")
+        return runtime::BarrierPolicy::Exponential;
+    if (name == "block")
+        return runtime::BarrierPolicy::Blocking;
+    std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+RunResult
+runStencil(runtime::BarrierPolicy policy, runtime::BarrierKind kind,
+           unsigned threads, std::uint32_t dim, unsigned sweeps)
+{
+    std::vector<double> grid(static_cast<std::size_t>(dim) * dim,
+                             1.0);
+    std::vector<double> next(grid.size(), 0.0);
+
+    runtime::BarrierConfig cfg;
+    cfg.policy = policy;
+    runtime::TeamRunner team(threads, cfg, kind);
+
+    const auto start = std::chrono::steady_clock::now();
+    team.run([&](runtime::TeamContext &ctx) {
+        for (unsigned s = 0; s < sweeps; ++s) {
+            ctx.parallelFor(dim, [&](std::uint32_t i) {
+                // Boundary rows carry extra work: the SIMPLE-style
+                // imbalance that stretches the barrier window.
+                const unsigned reps = (i % 16 == 0) ? 3 : 1;
+                for (unsigned r = 0; r < reps; ++r) {
+                    for (std::uint32_t j = 0; j < dim; ++j) {
+                        const auto at = [&](std::uint32_t a,
+                                            std::uint32_t b) {
+                            return grid[static_cast<std::size_t>(
+                                            a % dim) *
+                                            dim +
+                                        (b % dim)];
+                        };
+                        next[static_cast<std::size_t>(i) * dim + j] =
+                            0.25 * (at(i + 1, j) + at(i + dim - 1, j) +
+                                    at(i, j + 1) + at(i, j + dim - 1));
+                    }
+                }
+            });
+            // Swap phases under a serial section (one thread flips,
+            // everyone waits — mirrors the paper's serial sections).
+            ctx.serial([&] { grid.swap(next); });
+        }
+    });
+    const auto end = std::chrono::steady_clock::now();
+
+    double checksum = 0;
+    for (double v : grid)
+        checksum += v;
+    return {std::chrono::duration<double>(end - start).count(),
+            team.barrier().polls(), team.barrier().blocks(),
+            checksum};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace absync;
+    support::Options opts(
+        argc, argv,
+        {"threads", "dim", "sweeps", "policy", "barrier", "help"});
+    if (opts.getBool("help")) {
+        std::printf("usage: stencil_app [--threads T] [--dim D] "
+                    "[--sweeps S] [--policy none|var|lin|exp|block] "
+                    "[--barrier flat|tangyew|tree|adaptive]\n");
+        return 0;
+    }
+    const auto kind = runtime::barrierKindFromString(
+        opts.get("barrier", "flat"));
+    const auto threads =
+        static_cast<unsigned>(opts.getInt("threads", 4));
+    const auto dim =
+        static_cast<std::uint32_t>(opts.getInt("dim", 256));
+    const auto sweeps =
+        static_cast<unsigned>(opts.getInt("sweeps", 20));
+
+    std::printf("2-D Jacobi stencil, %ux%u grid, %u sweeps, %u "
+                "threads, uneven row costs\n\n",
+                dim, dim, sweeps, threads);
+
+    std::vector<std::string> policies;
+    if (opts.has("policy"))
+        policies = {opts.get("policy")};
+    else
+        policies = {"none", "var", "lin", "exp", "block"};
+
+    std::printf("  %-7s %10s %14s %10s %14s\n", "policy", "seconds",
+                "barrier polls", "blocks", "checksum");
+    for (const auto &p : policies) {
+        const auto r = runStencil(policyFromString(p), kind, threads,
+                                  dim, sweeps);
+        std::printf("  %-7s %10.3f %14llu %10llu %14.1f\n", p.c_str(),
+                    r.seconds,
+                    static_cast<unsigned long long>(r.polls),
+                    static_cast<unsigned long long>(r.blocks),
+                    r.checksum);
+    }
+    std::printf("\nReading: with uneven rows the backoff policies "
+                "poll the shared sense word orders of magnitude "
+                "less for comparable wall time; 'block' parks "
+                "stragglers in the kernel.\n");
+    return 0;
+}

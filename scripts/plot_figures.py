@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the benches' CSV output.
+
+Usage:
+    build/bench/fig5_accesses_a0    --csv > fig5.csv
+    build/bench/fig7_accesses_a1000 --csv > fig7.csv
+    python3 scripts/plot_figures.py fig5.csv fig7.csv
+
+Each CSV has an 'N' column and one column per backoff policy (the
+same series the paper's Figures 4-10 plot).  Requires matplotlib; if
+it is unavailable the script says so and exits cleanly.
+"""
+
+import csv
+import sys
+
+
+def main(paths):
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; install it to render plots:")
+        print("  pip install matplotlib")
+        return 1
+
+    for path in paths:
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        if not rows or "N" not in rows[0]:
+            print(f"{path}: not a figure CSV (no 'N' column), skipped")
+            continue
+        xs = [int(r["N"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for series in rows[0]:
+            if series == "N":
+                continue
+            ax.plot(xs, [float(r[series]) for r in rows],
+                    marker="o", label=series)
+        ax.set_xscale("log", base=2)
+        ax.set_yscale("log")
+        ax.set_xlabel("processors N")
+        ax.set_ylabel("per-processor metric")
+        ax.set_title(path)
+        ax.legend()
+        ax.grid(True, which="both", alpha=0.3)
+        out = path.rsplit(".", 1)[0] + ".png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Run every reproduction bench and collect the outputs under
+# results/ — one text file per table/figure.
+#
+# Usage: scripts/run_benches.sh [build-dir] [results-dir]
+set -u
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "== $name"
+    "$b" > "$OUT/$name.txt" 2>&1 || echo "   (exited nonzero)"
+done
+echo "outputs in $OUT/"

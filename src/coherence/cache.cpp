@@ -1,0 +1,71 @@
+#include "coherence/cache.hpp"
+
+#include <cassert>
+
+namespace absync::coherence
+{
+
+namespace
+{
+
+std::uint32_t
+log2u(std::uint64_t x)
+{
+    std::uint32_t k = 0;
+    while ((1ULL << k) < x)
+        ++k;
+    return k;
+}
+
+} // namespace
+
+DirectMappedCache::DirectMappedCache(std::uint64_t cache_bytes,
+                                     std::uint32_t block_bytes)
+    : block_shift_(log2u(block_bytes))
+{
+    assert((cache_bytes & (cache_bytes - 1)) == 0 &&
+           "cache size must be a power of two");
+    assert((block_bytes & (block_bytes - 1)) == 0 &&
+           "block size must be a power of two");
+    assert(cache_bytes >= block_bytes);
+    const std::size_t n_lines =
+        static_cast<std::size_t>(cache_bytes / block_bytes);
+    index_mask_ = n_lines - 1;
+    tags_.assign(n_lines, 0);
+    valid_.assign(n_lines, false);
+}
+
+bool
+DirectMappedCache::contains(BlockAddr block) const
+{
+    const std::size_t idx = indexOf(block);
+    return valid_[idx] && tags_[idx] == block;
+}
+
+std::optional<BlockAddr>
+DirectMappedCache::insert(BlockAddr block)
+{
+    const std::size_t idx = indexOf(block);
+    std::optional<BlockAddr> evicted;
+    if (valid_[idx] && tags_[idx] != block)
+        evicted = tags_[idx];
+    tags_[idx] = block;
+    valid_[idx] = true;
+    return evicted;
+}
+
+void
+DirectMappedCache::invalidate(BlockAddr block)
+{
+    const std::size_t idx = indexOf(block);
+    if (valid_[idx] && tags_[idx] == block)
+        valid_[idx] = false;
+}
+
+void
+DirectMappedCache::clear()
+{
+    valid_.assign(valid_.size(), false);
+}
+
+} // namespace absync::coherence

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Direct-mapped cache tag store (paper Section 2 / Appendix A:
+ * 256 KB direct-mapped caches with 16-byte blocks).
+ *
+ * Only tags matter for coherence-traffic simulation, so the cache
+ * stores no data.  Addresses are byte addresses; the cache operates on
+ * block addresses internally.
+ */
+
+#ifndef ABSYNC_COHERENCE_CACHE_HPP
+#define ABSYNC_COHERENCE_CACHE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace absync::coherence
+{
+
+/** Block address: byte address with the offset bits stripped. */
+using BlockAddr = std::uint64_t;
+
+/**
+ * Direct-mapped tag array.
+ */
+class DirectMappedCache
+{
+  public:
+    /**
+     * @param cache_bytes total capacity (power of two)
+     * @param block_bytes block size (power of two)
+     */
+    DirectMappedCache(std::uint64_t cache_bytes,
+                      std::uint32_t block_bytes);
+
+    /** Number of block frames. */
+    std::size_t lines() const { return tags_.size(); }
+
+    /** log2(block size): shift to turn a byte address into a block
+     *  address. */
+    std::uint32_t blockShift() const { return block_shift_; }
+
+    /** Convert a byte address to its block address. */
+    BlockAddr
+    blockOf(std::uint64_t byte_addr) const
+    {
+        return byte_addr >> block_shift_;
+    }
+
+    /** True if @p block is currently cached. */
+    bool contains(BlockAddr block) const;
+
+    /**
+     * Install @p block, evicting any conflicting resident block.
+     *
+     * @return the evicted block address, if one was displaced
+     */
+    std::optional<BlockAddr> insert(BlockAddr block);
+
+    /** Remove @p block if resident (external invalidation). */
+    void invalidate(BlockAddr block);
+
+    /** Drop all contents. */
+    void clear();
+
+  private:
+    std::size_t
+    indexOf(BlockAddr block) const
+    {
+        return static_cast<std::size_t>(block) & index_mask_;
+    }
+
+    std::uint32_t block_shift_;
+    std::size_t index_mask_;
+    std::vector<BlockAddr> tags_;
+    std::vector<bool> valid_;
+};
+
+} // namespace absync::coherence
+
+#endif // ABSYNC_COHERENCE_CACHE_HPP

@@ -1,0 +1,188 @@
+#include "coherence/coherence_sim.hpp"
+
+#include <cassert>
+
+namespace absync::coherence
+{
+
+double
+CoherenceStats::syncInvalidatingFraction() const
+{
+    return syncRefs ? static_cast<double>(syncRefsInvalidating) /
+                          static_cast<double>(syncRefs)
+                    : 0.0;
+}
+
+double
+CoherenceStats::nonSyncInvalidatingFraction() const
+{
+    return nonSyncRefs ? static_cast<double>(nonSyncRefsInvalidating) /
+                             static_cast<double>(nonSyncRefs)
+                       : 0.0;
+}
+
+double
+CoherenceStats::syncTrafficFraction() const
+{
+    const std::uint64_t total = totalTransactions();
+    return total ? static_cast<double>(syncTransactions) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+CoherenceSimulator::CoherenceSimulator(const CoherenceConfig &cfg)
+    : cfg_(cfg),
+      dir_(cfg.pointerLimit, cfg.broadcastOverflow
+                                 ? DirOverflow::Broadcast
+                                 : DirOverflow::NoBroadcast)
+{
+    caches_.reserve(cfg.processors);
+    for (std::uint32_t p = 0; p < cfg.processors; ++p)
+        caches_.emplace_back(cfg.cacheBytes, cfg.blockBytes);
+}
+
+std::uint32_t
+CoherenceSimulator::gainOwnership(ProcId p, BlockAddr block,
+                                  std::uint64_t &tx)
+{
+    DirEntry &e = dir_.entry(block);
+    std::uint32_t invals = 0;
+    if (e.broadcastBit) {
+        // Dir_iB overflow: untracked copies may exist anywhere; the
+        // write broadcasts an invalidation to every other cache.
+        for (ProcId s = 0; s < cfg_.processors; ++s) {
+            if (s == p)
+                continue;
+            caches_[s].invalidate(block);
+            ++invals;
+            tx += 1;
+        }
+        e.broadcastBit = false;
+        e.sharers.clear();
+        e.sharers.push_back(p);
+        e.dirty = true;
+        return invals;
+    }
+    for (ProcId s : dir_.makeOwner(block, p)) {
+        caches_[s].invalidate(block);
+        ++invals;
+        tx += 1;
+    }
+    return invals;
+}
+
+void
+CoherenceSimulator::evict(ProcId p, BlockAddr victim, std::uint64_t &tx)
+{
+    // The victim leaves p's cache; if p owned it dirty, write back.
+    const DirEntry *e = dir_.find(victim);
+    if (e && e->dirty && e->isSharedBy(p))
+        tx += 2; // dirty writeback: address + data
+    dir_.removeSharer(victim, p);
+}
+
+std::uint32_t
+CoherenceSimulator::cachedAccess(ProcId p, BlockAddr block, bool write,
+                                 std::uint64_t &tx)
+{
+    DirectMappedCache &cache = caches_[p];
+    const bool hit = cache.contains(block);
+    std::uint32_t invals = 0;
+
+    if (!hit) {
+        ++stats_.misses;
+        tx += 2; // request + data
+        DirEntry &e = dir_.entry(block);
+        if (e.dirty) {
+            // Fetch the modified copy from its owner.
+            tx += 2;
+            dir_.cleanse(block);
+        }
+        if (write) {
+            // Write miss: gain exclusive ownership.
+            invals += gainOwnership(p, block, tx);
+            // Figure 1 histogram: cold writes (no copies anywhere)
+            // are not "writes to previously clean blocks"; a write
+            // miss that displaced sharers is.  Misses matter: the
+            // barrier-flag set is a write miss that invalidates every
+            // waiter — the histogram's deep tail.
+            if (invals > 0)
+                stats_.writeCleanInvalHist.add(invals);
+        } else {
+            const int displaced = dir_.addSharer(block, p);
+            if (displaced >= 0) {
+                // Pointer capacity exceeded: invalidate a copy.
+                caches_[static_cast<ProcId>(displaced)].invalidate(
+                    block);
+                ++invals;
+                tx += 1;
+            }
+        }
+        if (auto victim = cache.insert(block))
+            evict(p, *victim, tx);
+        return invals;
+    }
+
+    // Hit.
+    if (!write)
+        return 0;
+    DirEntry &e = dir_.entry(block);
+    if (e.dirty && e.isSharedBy(p))
+        return 0; // already exclusive owner
+    // Write hit to a previously clean block: invalidate the other
+    // sharers.  The Figure 1 histogram counts all such events,
+    // synchronization writes included (they produce the deep tail).
+    invals += gainOwnership(p, block, tx);
+    stats_.writeCleanInvalHist.add(invals);
+    return invals;
+}
+
+void
+CoherenceSimulator::access(const trace::MpRef &ref)
+{
+    stats_.lastCycle = ref.cycle;
+    const ProcId p = ref.proc;
+    assert(p < cfg_.processors);
+    const BlockAddr block = caches_[p].blockOf(ref.addr);
+
+    const bool bypass =
+        (ref.sync && cfg_.uncachedSync) ||
+        (cfg_.uncachedShared && !trace::region::isPrivate(ref.addr));
+
+    if (bypass) {
+        // Uncached reference: request + response, no coherence work.
+        if (ref.sync) {
+            ++stats_.syncRefs;
+            stats_.syncTransactions += 2;
+        } else {
+            ++stats_.nonSyncRefs;
+            stats_.nonSyncTransactions += 2;
+        }
+        return;
+    }
+
+    if (ref.sync && !ref.write && caches_[p].contains(block)) {
+        // Cached-sync mode: a re-poll of a valid flag copy spins in
+        // the local cache and never reaches the network; it is not a
+        // counted reference (see file comment).
+        ++stats_.localSpins;
+        return;
+    }
+
+    std::uint64_t tx = 0;
+    const std::uint32_t invals =
+        cachedAccess(p, block, ref.write, tx);
+    stats_.invalMessages += invals;
+
+    if (ref.sync) {
+        ++stats_.syncRefs;
+        stats_.syncTransactions += tx;
+        stats_.syncRefsInvalidating += invals ? 1 : 0;
+    } else {
+        ++stats_.nonSyncRefs;
+        stats_.nonSyncTransactions += tx;
+        stats_.nonSyncRefsInvalidating += invals ? 1 : 0;
+    }
+}
+
+} // namespace absync::coherence

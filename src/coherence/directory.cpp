@@ -1,0 +1,65 @@
+#include "coherence/directory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace absync::coherence
+{
+
+int
+Directory::addSharer(BlockAddr block, ProcId p)
+{
+    DirEntry &e = entries_[block];
+    assert(!e.isSharedBy(p) && "sharer added twice");
+    if (atCapacity(e)) {
+        if (overflow_ == DirOverflow::Broadcast) {
+            // Dir_iB: stop tracking; remember that untracked copies
+            // exist so the next exclusive request broadcasts.
+            e.broadcastBit = true;
+            return -1;
+        }
+        const int displaced = e.sharers.front();
+        e.sharers.erase(e.sharers.begin());
+        e.sharers.push_back(p);
+        return displaced;
+    }
+    e.sharers.push_back(p);
+    return -1;
+}
+
+void
+Directory::removeSharer(BlockAddr block, ProcId p)
+{
+    auto it = entries_.find(block);
+    if (it == entries_.end())
+        return;
+    auto &v = it->second.sharers;
+    v.erase(std::remove(v.begin(), v.end(), p), v.end());
+    if (v.empty())
+        it->second.dirty = false;
+}
+
+std::vector<ProcId>
+Directory::makeOwner(BlockAddr block, ProcId p)
+{
+    DirEntry &e = entries_[block];
+    std::vector<ProcId> invalidated;
+    for (ProcId s : e.sharers) {
+        if (s != p)
+            invalidated.push_back(s);
+    }
+    e.sharers.clear();
+    e.sharers.push_back(p);
+    e.dirty = true;
+    return invalidated;
+}
+
+void
+Directory::cleanse(BlockAddr block)
+{
+    auto it = entries_.find(block);
+    if (it != entries_.end())
+        it->second.dirty = false;
+}
+
+} // namespace absync::coherence

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Limited-pointer cache directory: the Dir_iNB scheme of Agarwal,
+ * Simoni, Hennessy & Horowitz evaluated in paper Section 2.1.
+ *
+ * Every memory block has a directory entry holding up to i sharer
+ * pointers and a dirty bit.  With i < N ("DiriNB"), admitting an
+ * (i+1)-th sharer forces the invalidation of an existing copy; with
+ * i = N the scheme is the full-map DirNNB.  There is no broadcast:
+ * the final write to a widely-shared variable costs one invalidation
+ * message per pointed-to cache.
+ */
+
+#ifndef ABSYNC_COHERENCE_DIRECTORY_HPP
+#define ABSYNC_COHERENCE_DIRECTORY_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/cache.hpp"
+
+namespace absync::coherence
+{
+
+/** Processor identifier within the coherence simulator. */
+using ProcId = std::uint16_t;
+
+/** Directory entry: sharer pointers in insertion order + dirty bit. */
+struct DirEntry
+{
+    /** Caches holding the block, oldest first. */
+    std::vector<ProcId> sharers;
+    /** True when exactly one sharer holds the block modified. */
+    bool dirty = false;
+    /** Dir_iB: pointers overflowed; untracked copies may exist and
+     *  the next exclusive request must broadcast. */
+    bool broadcastBit = false;
+
+    bool
+    isSharedBy(ProcId p) const
+    {
+        for (ProcId s : sharers) {
+            if (s == p)
+                return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * Overflow behaviour when an entry's pointers are exhausted
+ * (Agarwal-Simoni-Hennessy-Horowitz taxonomy).
+ */
+enum class DirOverflow
+{
+    /** Dir_iNB: displace an existing copy (no broadcast). */
+    NoBroadcast,
+    /**
+     * Dir_iB: set a broadcast bit; subsequent sharers are untracked
+     * and the next write must broadcast an invalidation to every
+     * cache.  Cheap on reads, expensive on the eventual write —
+     * exactly the tradeoff the paper's footnoted Dir_iB scheme
+     * embodies.
+     */
+    Broadcast,
+};
+
+/**
+ * Directory state for all memory blocks, with an i-pointer capacity.
+ */
+class Directory
+{
+  public:
+    /**
+     * @param pointer_limit maximum sharers per entry; 0 means
+     *        unlimited (full-map DirNNB)
+     * @param overflow what to do when the pointers run out
+     */
+    explicit Directory(std::uint32_t pointer_limit = 0,
+                       DirOverflow overflow =
+                           DirOverflow::NoBroadcast)
+        : limit_(pointer_limit), overflow_(overflow)
+    {
+    }
+
+    /** Pointer capacity (0 = unlimited). */
+    std::uint32_t pointerLimit() const { return limit_; }
+
+    /** Entry for @p block (created empty on first touch). */
+    DirEntry &
+    entry(BlockAddr block)
+    {
+        return entries_[block];
+    }
+
+    /** Entry lookup without creation; nullptr when never touched. */
+    const DirEntry *
+    find(BlockAddr block) const
+    {
+        auto it = entries_.find(block);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** True when admitting one more sharer would exceed capacity. */
+    bool
+    atCapacity(const DirEntry &e) const
+    {
+        return limit_ != 0 && e.sharers.size() >= limit_;
+    }
+
+    /**
+     * Add @p p as a sharer of @p block.  When the entry is full:
+     * under NoBroadcast the oldest sharer is removed and returned so
+     * the caller can invalidate its copy; under Broadcast the entry's
+     * broadcast bit is set, @p p goes untracked, and -1 is returned.
+     *
+     * @return the displaced sharer, or -1 if none
+     */
+    int addSharer(BlockAddr block, ProcId p);
+
+    /** Overflow policy in effect. */
+    DirOverflow overflow() const { return overflow_; }
+
+    /** Remove @p p from @p block's sharer set (cache eviction). */
+    void removeSharer(BlockAddr block, ProcId p);
+
+    /**
+     * Make @p p the exclusive dirty owner.  All *other* sharers are
+     * removed and returned for invalidation.
+     */
+    std::vector<ProcId> makeOwner(BlockAddr block, ProcId p);
+
+    /** Clear the dirty bit (owner demoted to plain sharer). */
+    void cleanse(BlockAddr block);
+
+    /** Number of blocks with live directory state. */
+    std::size_t liveEntries() const { return entries_.size(); }
+
+  private:
+    std::uint32_t limit_;
+    DirOverflow overflow_;
+    std::unordered_map<BlockAddr, DirEntry> entries_;
+};
+
+} // namespace absync::coherence
+
+#endif // ABSYNC_COHERENCE_DIRECTORY_HPP

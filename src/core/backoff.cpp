@@ -1,0 +1,153 @@
+#include "core/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace absync::core
+{
+
+std::uint64_t
+BackoffConfig::variableDelay(std::uint32_t n, std::uint32_t arrived) const
+{
+    if (!onVariable || arrived >= n)
+        return 0;
+    const double base = varScale * static_cast<double>(n - arrived);
+    return static_cast<std::uint64_t>(std::llround(base)) + varOffset;
+}
+
+std::uint64_t
+BackoffConfig::flagDelay(std::uint64_t unsuccessful_polls) const
+{
+    switch (onFlag) {
+      case FlagBackoff::None:
+        return 0;
+      case FlagBackoff::Constant:
+        return flagBase;
+      case FlagBackoff::Linear:
+        return flagBase * unsuccessful_polls;
+      case FlagBackoff::Exponential: {
+        if (flagBase <= 1) {
+            // Degenerate base: behave like a one-cycle linear wait.
+            return unsuccessful_polls;
+        }
+        const std::uint64_t t =
+            std::min<std::uint64_t>(unsuccessful_polls, maxExponent);
+        // flagBase^t with overflow clamp.
+        std::uint64_t v = 1;
+        for (std::uint64_t i = 0; i < t; ++i) {
+            if (v > (1ULL << 62) / flagBase)
+                return 1ULL << 62;
+            v *= flagBase;
+        }
+        return v;
+      }
+    }
+    return 0;
+}
+
+std::uint64_t
+BackoffConfig::controllerWindow(std::uint64_t consecutive_denials) const
+{
+    if (!controllerBackoff || consecutive_denials == 0)
+        return 0;
+    if (controllerBase <= 1)
+        return consecutive_denials;
+    const std::uint64_t t = std::min<std::uint64_t>(
+        consecutive_denials, controllerMaxExponent);
+    std::uint64_t v = 1;
+    for (std::uint64_t i = 0; i < t; ++i) {
+        if (v > (1ULL << 62) / controllerBase)
+            return 1ULL << 62;
+        v *= controllerBase;
+    }
+    return v;
+}
+
+std::string
+BackoffConfig::name() const
+{
+    std::string s = onVariable ? "var" : "none";
+    switch (onFlag) {
+      case FlagBackoff::None:
+        break;
+      case FlagBackoff::Constant:
+        s += "+flag(const,c=" + std::to_string(flagBase) + ")";
+        break;
+      case FlagBackoff::Linear:
+        s += "+flag(lin,c=" + std::to_string(flagBase) + ")";
+        break;
+      case FlagBackoff::Exponential:
+        s += "+flag(exp,b=" + std::to_string(flagBase) + ")";
+        break;
+    }
+    if (blockThreshold)
+        s += "+block@" + std::to_string(blockThreshold);
+    return s;
+}
+
+BackoffConfig
+BackoffConfig::none()
+{
+    return {};
+}
+
+BackoffConfig
+BackoffConfig::variableOnly()
+{
+    BackoffConfig c;
+    c.onVariable = true;
+    return c;
+}
+
+BackoffConfig
+BackoffConfig::exponentialFlag(std::uint64_t b)
+{
+    BackoffConfig c;
+    c.onVariable = true;
+    c.onFlag = FlagBackoff::Exponential;
+    c.flagBase = b;
+    return c;
+}
+
+BackoffConfig
+BackoffConfig::linearFlag(std::uint64_t coeff)
+{
+    BackoffConfig c;
+    c.onVariable = true;
+    c.onFlag = FlagBackoff::Linear;
+    c.flagBase = coeff;
+    return c;
+}
+
+BackoffConfig
+BackoffConfig::constantFlag(std::uint64_t c)
+{
+    BackoffConfig cfg;
+    cfg.onVariable = true;
+    cfg.onFlag = FlagBackoff::Constant;
+    cfg.flagBase = c;
+    return cfg;
+}
+
+BackoffConfig
+BackoffConfig::fromString(const std::string &name)
+{
+    if (name == "none")
+        return none();
+    if (name == "var")
+        return variableOnly();
+    if (name.rfind("const", 0) == 0 && name.size() > 5)
+        return constantFlag(std::strtoull(name.c_str() + 5,
+                                          nullptr, 10));
+    if (name.rfind("exp", 0) == 0 && name.size() > 3)
+        return exponentialFlag(std::strtoull(name.c_str() + 3,
+                                             nullptr, 10));
+    if (name.rfind("lin", 0) == 0 && name.size() > 3)
+        return linearFlag(std::strtoull(name.c_str() + 3, nullptr, 10));
+    std::fprintf(stderr, "unknown backoff preset '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+} // namespace absync::core

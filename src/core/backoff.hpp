@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Adaptive backoff policies for barrier synchronization (paper
+ * Section 4).
+ *
+ * The paper's central idea: a spinning processor should use available
+ * synchronization *state* to decide how long to wait before its next
+ * network access, instead of polling every cycle.  Two sources of
+ * state are exploited:
+ *
+ *  - **Backoff on the barrier variable** (Section 4.1).  The counter's
+ *    value i reveals how many of the N participants have arrived, so an
+ *    arriving processor can delay its first poll of the barrier flag by
+ *    at least (N - i) cycles — nothing can happen sooner, because the
+ *    remaining arrivals each need at least one cycle at the variable.
+ *    A scaled variant waits (N-i)*C or (N-i)+C to account for non-unit
+ *    access cost.
+ *
+ *  - **Backoff on the barrier flag** (Section 4.2).  After t
+ *    unsuccessful polls of the flag, wait linearly (C*t) or
+ *    exponentially (b^t) before the next poll.  The paper argues for a
+ *    *deterministic* schedule: all waiters back off by equal amounts,
+ *    so the serialization established by the first round of contention
+ *    is preserved and re-polls stay conflict-free.
+ *
+ *  - **Queue-on-threshold** (Section 7).  When the computed backoff
+ *    crosses a preset threshold it is cheaper to block the process on a
+ *    condition variable; the enqueue/wakeup overhead is charged
+ *    explicitly.
+ */
+
+#ifndef ABSYNC_CORE_BACKOFF_HPP
+#define ABSYNC_CORE_BACKOFF_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace absync::core
+{
+
+/** Flag-polling backoff family (paper Section 4.2). */
+enum class FlagBackoff
+{
+    None,        ///< poll every cycle (busy wait)
+    Constant,    ///< wait C after every unsuccessful poll (a real
+                 ///< spin loop's natural period; non-adaptive)
+    Linear,      ///< wait C * t after t unsuccessful polls
+    Exponential, ///< wait b^t after t unsuccessful polls
+};
+
+/**
+ * Complete backoff configuration for one barrier episode.
+ *
+ * Default-constructed: no backoff at all (the paper's baseline).
+ */
+struct BackoffConfig
+{
+    /** Enable backoff on the barrier variable (Section 4.1). */
+    bool onVariable = false;
+
+    /**
+     * Multiplier on the (N - i) variable wait; 1.0 is the paper's
+     * plain scheme, larger values are the "(N-i)*C" variant swept in
+     * the scaled-backoff ablation.
+     */
+    double varScale = 1.0;
+
+    /** Additive constant: the "(N-i)+C" variant. */
+    std::uint64_t varOffset = 0;
+
+    /** Flag-polling policy (Section 4.2). */
+    FlagBackoff onFlag = FlagBackoff::None;
+
+    /** Exponential base b, or linear coefficient C. */
+    std::uint64_t flagBase = 2;
+
+    /**
+     * Clamp on the exponent so b^t cannot overflow; at 2^32 cycles the
+     * process would have been blocked long ago in any real system.
+     */
+    std::uint32_t maxExponent = 32;
+
+    /**
+     * Randomize flag backoff (ablation of Section 4.2's argument):
+     * when true, each wait is drawn uniformly from [1, 2W] instead of
+     * being exactly W.  The paper chooses *deterministic* backoff
+     * precisely because equal waits preserve the serialization
+     * established by the first round of contention; this knob lets
+     * the ablation bench quantify that choice.
+     */
+    bool randomized = false;
+
+    /**
+     * Queue-on-threshold (Section 7): when the computed flag backoff
+     * exceeds this many cycles, block instead of spinning.  0 disables
+     * blocking.
+     */
+    std::uint64_t blockThreshold = 0;
+
+    /** Cycles between the flag being set and a blocked process
+     *  resuming (wakeup latency of the condition variable). */
+    std::uint64_t blockWakeupCycles = 0;
+
+    /**
+     * Network-controller backoff (Section 8 / end of Section 4.2):
+     * normally a denied access "is repeated until the flag is read",
+     * but the paper proposes letting the controller itself back off
+     * under congestion.  When enabled, after the k-th *consecutive*
+     * denial the controller waits a uniformly random number of cycles
+     * in [1, controllerBase^k] before re-issuing.  Unlike the
+     * software flag backoff — where determinism preserves the
+     * serialization created by *successful* reads — denial streaks
+     * are shared by every loser of the same cycle, so deterministic
+     * waits here would re-collide in lockstep (the Ethernet lesson;
+     * Section 8 item (4) points at exactly this algorithm).
+     */
+    bool controllerBackoff = false;
+
+    /** Exponential base of the controller's denial backoff. */
+    std::uint64_t controllerBase = 2;
+
+    /** Clamp on the controller's denial exponent. */
+    std::uint32_t controllerMaxExponent = 10;
+
+    /** Upper end of the controller's wait window after @p
+     *  consecutive_denials denials (0 when disabled); the simulator
+     *  draws uniformly from [1, window]. */
+    std::uint64_t controllerWindow(
+        std::uint64_t consecutive_denials) const;
+
+    /** Network accesses charged for the enqueue + wakeup pair. */
+    std::uint64_t blockAccessCost = 2;
+
+    /**
+     * Wait before the first flag poll after incrementing the variable.
+     *
+     * @param n total participants N
+     * @param arrived counter value i after this processor's increment
+     *                (1-based, includes this processor)
+     * @return idle cycles before the first poll
+     */
+    std::uint64_t variableDelay(std::uint32_t n,
+                                std::uint32_t arrived) const;
+
+    /**
+     * Wait between the t-th unsuccessful flag poll and the next one.
+     *
+     * @param unsuccessful_polls t, the number of completed polls that
+     *                           found the flag unset (>= 1)
+     * @return idle cycles before the next poll (0 = poll next cycle)
+     */
+    std::uint64_t flagDelay(std::uint64_t unsuccessful_polls) const;
+
+    /** True if @p delay crosses the blocking threshold. */
+    bool
+    shouldBlock(std::uint64_t delay) const
+    {
+        return blockThreshold != 0 && delay > blockThreshold;
+    }
+
+    /** Short human-readable description, e.g. "var+flag(exp,b=2)". */
+    std::string name() const;
+
+    // ---- Named presets used throughout the benches ----
+
+    /** No backoff at all (paper baseline). */
+    static BackoffConfig none();
+
+    /** Backoff on the barrier variable only. */
+    static BackoffConfig variableOnly();
+
+    /** Variable backoff + exponential flag backoff with base @p b. */
+    static BackoffConfig exponentialFlag(std::uint64_t b);
+
+    /** Variable backoff + linear flag backoff with coefficient c. */
+    static BackoffConfig linearFlag(std::uint64_t c);
+
+    /** Variable backoff + fixed poll period of c idle cycles. */
+    static BackoffConfig constantFlag(std::uint64_t c);
+
+    /**
+     * Parse a preset name: "none", "var", "lin<C>", "exp<B>" or
+     * "const<C>" (e.g. "exp2", "exp8", "lin4", "const4").  Fatal on
+     * unknown names.
+     */
+    static BackoffConfig fromString(const std::string &name);
+};
+
+} // namespace absync::core
+
+#endif // ABSYNC_CORE_BACKOFF_HPP

@@ -1,0 +1,329 @@
+#include "core/barrier_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace absync::core
+{
+
+double
+EpisodeResult::avgAccesses() const
+{
+    if (procs.empty())
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (const auto &p : procs)
+        sum += p.accesses;
+    return static_cast<double>(sum) / static_cast<double>(procs.size());
+}
+
+double
+EpisodeResult::avgWait() const
+{
+    if (procs.empty())
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (const auto &p : procs)
+        sum += p.waitCycles;
+    return static_cast<double>(sum) / static_cast<double>(procs.size());
+}
+
+BarrierSimulator::BarrierSimulator(const BarrierConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg.processors >= 1);
+}
+
+namespace
+{
+
+/** Per-processor execution state within one episode. */
+enum class PState
+{
+    WaitArrive, ///< has not reached the barrier yet
+    ReqVar,     ///< attempting fetch&add on the barrier variable
+    VarBackoff, ///< waiting out the (N-i) variable backoff
+    ReqFlag,    ///< attempting to read the barrier flag
+    FlagBackoff,///< waiting out a flag backoff interval
+    ReqSetFlag, ///< last arriver, attempting to write the flag
+    CtrlWait,   ///< network controller pausing after denials (Sec 8)
+    Blocked,    ///< queued on a condition variable
+    Done,       ///< past the barrier
+};
+
+struct Proc
+{
+    PState state = PState::WaitArrive;
+    PState resume = PState::ReqVar; ///< state to re-enter after
+                                    ///< a controller pause
+    std::uint64_t arrival = 0;
+    std::uint64_t wake = 0; ///< first cycle to act when backing off
+    std::uint64_t denials = 0; ///< consecutive denied accesses
+};
+
+} // namespace
+
+EpisodeResult
+BarrierSimulator::runOnce(support::Rng &rng) const
+{
+    const std::uint32_t n = cfg_.processors;
+    const BackoffConfig &bo = cfg_.backoff;
+
+    EpisodeResult res;
+    res.procs.assign(n, {});
+
+    std::vector<Proc> procs(n);
+    for (auto &p : procs) {
+        p.arrival = cfg_.arrivalWindow == 0
+                        ? 0
+                        : rng.uniformInt(0, cfg_.arrivalWindow);
+    }
+    res.firstArrival = procs[0].arrival;
+    res.lastArrival = procs[0].arrival;
+    for (const auto &p : procs) {
+        res.firstArrival = std::min(res.firstArrival, p.arrival);
+        res.lastArrival = std::max(res.lastArrival, p.arrival);
+    }
+
+    sim::MemoryModule var_mod(cfg_.arbitration);
+    sim::MemoryModule flag_mod(cfg_.arbitration);
+
+    std::uint32_t counter = 0; // barrier variable value
+    bool flag_set = false;
+    std::uint32_t done = 0;
+    std::vector<sim::RequesterId> blocked_ids;
+
+    std::uint64_t cycle = res.firstArrival;
+    // Generous safety net: no legitimate episode can outlive this.
+    const std::uint64_t horizon =
+        res.lastArrival + (1ULL << 62) / std::max<std::uint32_t>(n, 1);
+
+    std::vector<sim::RequesterId> var_reqs;
+    std::vector<sim::RequesterId> flag_reqs;
+
+    while (done < n && cycle < horizon) {
+        // Phase 1: wake transitions and request submission.
+        var_reqs.clear();
+        flag_reqs.clear();
+        for (std::uint32_t id = 0; id < n; ++id) {
+            Proc &p = procs[id];
+            switch (p.state) {
+              case PState::WaitArrive:
+                if (p.arrival <= cycle)
+                    p.state = PState::ReqVar;
+                break;
+              case PState::VarBackoff:
+              case PState::FlagBackoff:
+                if (p.wake <= cycle)
+                    p.state = PState::ReqFlag;
+                break;
+              case PState::CtrlWait:
+                if (p.wake <= cycle)
+                    p.state = p.resume;
+                break;
+              default:
+                break;
+            }
+            if (p.state == PState::ReqVar) {
+                var_mod.request(id);
+                var_reqs.push_back(id);
+                ++res.procs[id].accesses;
+            } else if (p.state == PState::ReqFlag ||
+                       p.state == PState::ReqSetFlag) {
+                // One-variable barrier: the counter is also the
+                // thing being polled, so waiters contend with the
+                // arriving incrementers on the same module.
+                if (cfg_.singleVariable) {
+                    var_mod.request(id);
+                    var_reqs.push_back(id);
+                } else {
+                    flag_mod.request(id);
+                    flag_reqs.push_back(id);
+                }
+                ++res.procs[id].accesses;
+            }
+        }
+
+        // Phase 2: each module grants one access.
+        const sim::RequesterId var_win = var_mod.arbitrate(rng);
+        const sim::RequesterId flag_win = flag_mod.arbitrate(rng);
+
+        // Phase 3: outcome of the variable fetch&add (or, for the
+        // one-variable barrier, a counter poll by a waiter).
+        if (var_win != sim::NO_GRANT &&
+            procs[var_win].state == PState::ReqFlag) {
+            // One-variable mode: a granted counter read.
+            Proc &p = procs[var_win];
+            if (counter == n) {
+                p.state = PState::Done;
+                ++done;
+                res.procs[var_win].waitCycles = cycle - p.arrival;
+            } else {
+                auto &out = res.procs[var_win];
+                ++out.unsetPolls;
+                std::uint64_t d = bo.flagDelay(out.unsetPolls);
+                if (bo.randomized && d > 0)
+                    d = rng.uniformInt(1, 2 * d);
+                if (bo.shouldBlock(d)) {
+                    p.state = PState::Blocked;
+                    blocked_ids.push_back(var_win);
+                    out.blocked = true;
+                    out.accesses += bo.blockAccessCost;
+                } else if (d > 0) {
+                    p.state = PState::FlagBackoff;
+                    p.wake = cycle + 1 + d;
+                }
+            }
+        } else if (var_win != sim::NO_GRANT) {
+            Proc &p = procs[var_win];
+            ++counter;
+            if (counter == n) {
+                if (cfg_.singleVariable) {
+                    // The counter itself reads N: the last arriver
+                    // simply proceeds; waiters observe N on their
+                    // next granted poll.
+                    p.state = PState::Done;
+                    ++done;
+                    res.procs[var_win].waitCycles =
+                        cycle - p.arrival;
+                    res.flagSetTime = cycle;
+                    for (sim::RequesterId b : blocked_ids) {
+                        Proc &q = procs[b];
+                        q.state = PState::Done;
+                        ++done;
+                        const std::uint64_t exit =
+                            cycle + bo.blockWakeupCycles;
+                        res.procs[b].waitCycles = exit - q.arrival;
+                        res.lastExitTime =
+                            std::max(res.lastExitTime, exit);
+                    }
+                    blocked_ids.clear();
+                } else {
+                    // Last arriver: set the flag next cycle.
+                    p.state = PState::ReqSetFlag;
+                }
+            } else {
+                const std::uint64_t d = bo.variableDelay(n, counter);
+                if (d == 0) {
+                    p.state = PState::ReqFlag;
+                } else {
+                    p.state = PState::VarBackoff;
+                    p.wake = cycle + 1 + d;
+                }
+            }
+        }
+
+        // Phase 4: outcome of the flag access (read or write).
+        if (flag_win != sim::NO_GRANT) {
+            Proc &p = procs[flag_win];
+            if (p.state == PState::ReqSetFlag) {
+                flag_set = true;
+                res.flagSetTime = cycle;
+                p.state = PState::Done;
+                ++done;
+                res.procs[flag_win].waitCycles = cycle - p.arrival;
+                // Release any blocked processors.
+                for (sim::RequesterId b : blocked_ids) {
+                    Proc &q = procs[b];
+                    q.state = PState::Done;
+                    ++done;
+                    const std::uint64_t exit =
+                        cycle + bo.blockWakeupCycles;
+                    res.procs[b].waitCycles = exit - q.arrival;
+                    res.lastExitTime = std::max(res.lastExitTime, exit);
+                }
+                blocked_ids.clear();
+            } else if (flag_set) {
+                p.state = PState::Done;
+                ++done;
+                res.procs[flag_win].waitCycles = cycle - p.arrival;
+            } else {
+                // Successful read, flag not set: backoff decision.
+                auto &out = res.procs[flag_win];
+                ++out.unsetPolls;
+                std::uint64_t d = bo.flagDelay(out.unsetPolls);
+                if (bo.randomized && d > 0)
+                    d = rng.uniformInt(1, 2 * d);
+                if (bo.shouldBlock(d)) {
+                    p.state = PState::Blocked;
+                    blocked_ids.push_back(flag_win);
+                    out.blocked = true;
+                    out.accesses += bo.blockAccessCost;
+                } else if (d == 0) {
+                    // Poll again next cycle; stay in ReqFlag.
+                } else {
+                    p.state = PState::FlagBackoff;
+                    p.wake = cycle + 1 + d;
+                }
+            }
+        }
+
+        // Phase 5: denied requesters may invoke the network
+        // controller's own backoff (Section 8) instead of retrying
+        // every cycle.  Winners reset their denial streak.
+        if (var_win != sim::NO_GRANT)
+            procs[var_win].denials = 0;
+        if (flag_win != sim::NO_GRANT)
+            procs[flag_win].denials = 0;
+        if (bo.controllerBackoff) {
+            const auto deny = [&](sim::RequesterId id,
+                                  sim::RequesterId winner) {
+                if (id == winner)
+                    return;
+                Proc &p = procs[id];
+                ++p.denials;
+                const std::uint64_t w =
+                    bo.controllerWindow(p.denials);
+                // The releasing write is exempt: it is the critical
+                // path of every waiter, and retreating from the
+                // module forfeits its queue seniority each time —
+                // with pollers re-arming every cycle that starves
+                // the release outright (observed as livelock).
+                if (w > 0 && (p.state == PState::ReqVar ||
+                              p.state == PState::ReqFlag)) {
+                    // Randomized: equal-streak losers must not
+                    // return in lockstep (see backoff.hpp).
+                    p.resume = p.state;
+                    p.state = PState::CtrlWait;
+                    p.wake = cycle + 1 + rng.uniformInt(1, w);
+                }
+            };
+            for (sim::RequesterId id : var_reqs)
+                deny(id, var_win);
+            for (sim::RequesterId id : flag_reqs)
+                deny(id, flag_win);
+        }
+
+        res.lastExitTime = std::max(res.lastExitTime, cycle);
+        ++cycle;
+    }
+
+    assert(done == n && "barrier episode failed to converge");
+    res.varModuleTraffic =
+        var_mod.totalGrants() + var_mod.totalDenials();
+    res.flagModuleTraffic =
+        flag_mod.totalGrants() + flag_mod.totalDenials();
+    return res;
+}
+
+EpisodeSummary
+BarrierSimulator::runMany(std::uint64_t runs, std::uint64_t seed) const
+{
+    EpisodeSummary s;
+    support::Rng master(seed);
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        support::Rng run_rng = master.split();
+        const EpisodeResult res = runOnce(run_rng);
+        s.accesses.add(res.avgAccesses());
+        s.wait.add(res.avgWait());
+        s.span.add(static_cast<double>(res.lastArrival -
+                                       res.firstArrival));
+        s.setTime.add(static_cast<double>(res.flagSetTime));
+        s.flagTraffic.add(static_cast<double>(res.flagModuleTraffic));
+        for (const auto &p : res.procs)
+            s.blockedProcs += p.blocked ? 1 : 0;
+    }
+    s.runs = runs;
+    return s;
+}
+
+} // namespace absync::core

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cycle-level simulator of one barrier episode (paper Sections 3 & 5).
+ *
+ * The simulated barrier is Tang & Yew's two-variable scheme: an
+ * incrementing *barrier variable* and a *barrier flag*, placed in
+ * different memory modules.  Each of N processors arrives at a time
+ * drawn uniformly from [0, A], fetch-and-adds the variable (retrying
+ * each cycle under contention), then polls the flag until the last
+ * arriver sets it.  Every access attempt — granted or denied — is one
+ * network access, and the module grants one access per cycle.
+ *
+ * The two reported metrics match Section 5:
+ *  1. network accesses per processor, from arrival at the variable to
+ *     reading the set flag; and
+ *  2. waiting time in cycles over the same span.
+ *
+ * Backoff behaviour is injected through core::BackoffConfig; backoff
+ * decisions happen only after a successful variable update or a
+ * successful flag read that returned "unset" (Section 4.2) — denied
+ * accesses are always retried on the next cycle.
+ */
+
+#ifndef ABSYNC_CORE_BARRIER_SIM_HPP
+#define ABSYNC_CORE_BARRIER_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/backoff.hpp"
+#include "sim/memory_module.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace absync::core
+{
+
+/** Parameters of one barrier experiment. */
+struct BarrierConfig
+{
+    /** Number of synchronizing processors, N. */
+    std::uint32_t processors = 64;
+
+    /**
+     * Arrival window A: each processor's arrival time is uniform in
+     * [0, A].  A = 0 means simultaneous arrival.
+     */
+    std::uint64_t arrivalWindow = 0;
+
+    /** Backoff policy under test. */
+    BackoffConfig backoff;
+
+    /**
+     * Simulate the naive one-variable barrier of Section 2 instead
+     * of Tang & Yew's two-variable scheme: every processor
+     * increments *and polls* the same shared counter, so arriving
+     * incrementers contend with all the processors polling for the
+     * proceed condition — "this implementation has the drawback that
+     * each processor attempting to increment the barrier variable
+     * must contend with all the others simply polling it".  Flag
+     * backoff policies pace the counter re-polls.
+     */
+    bool singleVariable = false;
+
+    /**
+     * Module arbitration policy.  FIFO is the default: it reproduces
+     * both Model 1's magnitudes (the flag writer still needs ~N tries
+     * behind N-1 pollers) and the paper's reported run-to-run standard
+     * deviation of < ~7 % (Section 5.2), which uniformly-random
+     * arbitration cannot (the writer's win time becomes geometric
+     * with variance ~N^2).  It also realizes Section 4.2's
+     * serialization argument: once contenders are serialized, equal
+     * deterministic backoffs keep them serialized.  Random and
+     * round-robin are kept for the arbitration ablation bench.
+     */
+    sim::Arbitration arbitration = sim::Arbitration::Fifo;
+};
+
+/** Outcome for a single processor within one episode. */
+struct ProcOutcome
+{
+    /** Network accesses: variable attempts + flag attempts. */
+    std::uint64_t accesses = 0;
+    /** Cycles from arrival until past the barrier. */
+    std::uint64_t waitCycles = 0;
+    /** Successful (granted) flag polls that found the flag unset. */
+    std::uint64_t unsetPolls = 0;
+    /** True if the processor blocked (queue-on-threshold). */
+    bool blocked = false;
+};
+
+/** Outcome of one simulated episode. */
+struct EpisodeResult
+{
+    /** Per-processor outcomes, indexed by processor id. */
+    std::vector<ProcOutcome> procs;
+    /** Cycle at which the flag write was granted. */
+    std::uint64_t flagSetTime = 0;
+    /** Cycle at which the last processor left the barrier. */
+    std::uint64_t lastExitTime = 0;
+    /** First arrival time (min over processors). */
+    std::uint64_t firstArrival = 0;
+    /** Last arrival time (max over processors). */
+    std::uint64_t lastArrival = 0;
+    /** Requests (grants + denials) that hit the variable's module. */
+    std::uint64_t varModuleTraffic = 0;
+    /** Requests that hit the flag's module — the hot spot. */
+    std::uint64_t flagModuleTraffic = 0;
+
+    /** Mean network accesses per processor. */
+    double avgAccesses() const;
+    /** Mean waiting time per processor. */
+    double avgWait() const;
+};
+
+/** Averages over repeated episodes (paper: 100 runs, stddev < ~7 %). */
+struct EpisodeSummary
+{
+    support::RunningStats accesses; ///< distribution of per-run means
+    support::RunningStats wait;     ///< distribution of per-run means
+    support::RunningStats span;     ///< first-to-last arrival span r
+    support::RunningStats setTime;  ///< flag-set time per run
+    support::RunningStats flagTraffic; ///< hot-module requests/run
+    std::uint64_t runs = 0;
+    std::uint64_t blockedProcs = 0; ///< total blocked across runs
+};
+
+/**
+ * Simulator for barrier episodes under the Section 3 network model.
+ */
+class BarrierSimulator
+{
+  public:
+    explicit BarrierSimulator(const BarrierConfig &cfg);
+
+    /** Simulate one episode; randomness (arrivals, arbitration) from
+     *  @p rng. */
+    EpisodeResult runOnce(support::Rng &rng) const;
+
+    /**
+     * Simulate @p runs episodes with per-run derived seeds and return
+     * the summary (paper methodology, Section 5.2).
+     */
+    EpisodeSummary runMany(std::uint64_t runs, std::uint64_t seed) const;
+
+    /** The configuration this simulator was built with. */
+    const BarrierConfig &config() const { return cfg_; }
+
+  private:
+    BarrierConfig cfg_;
+};
+
+} // namespace absync::core
+
+#endif // ABSYNC_CORE_BARRIER_SIM_HPP

@@ -1,0 +1,86 @@
+#include "core/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace absync::core
+{
+
+double
+expectedSpan(double arrival_window, std::uint32_t n)
+{
+    if (n <= 1)
+        return 0.0;
+    return arrival_window * (static_cast<double>(n) - 1.0) /
+           (static_cast<double>(n) + 1.0);
+}
+
+double
+model1Accesses(std::uint32_t n)
+{
+    return 2.5 * static_cast<double>(n);
+}
+
+double
+model2Accesses(double arrival_window, std::uint32_t n)
+{
+    const double r = expectedSpan(arrival_window, n);
+    return r / 2.0 + 1.5 * static_cast<double>(n);
+}
+
+double
+modelAccesses(double arrival_window, std::uint32_t n)
+{
+    return std::max(model1Accesses(n),
+                    model2Accesses(arrival_window, n));
+}
+
+double
+model1VariableBackoffAccesses(std::uint32_t n)
+{
+    return 2.0 * static_cast<double>(n);
+}
+
+double
+model2ExponentialAccesses(double arrival_window, std::uint32_t n,
+                          double base)
+{
+    const double r = expectedSpan(arrival_window, n);
+    const double poll_term =
+        r > 2.0 ? std::log(r / 2.0) / std::log(base) : r / 2.0;
+    return poll_term + 1.5 * static_cast<double>(n);
+}
+
+double
+hardwareAccessesPerProc(HardwareScheme scheme)
+{
+    switch (scheme) {
+      case HardwareScheme::InvalidatingBus:
+        return 3.0;
+      case HardwareScheme::UpdatingBus:
+        return 2.0;
+      case HardwareScheme::Directory:
+        return 4.0;
+      case HardwareScheme::HoshinoGate:
+        return 1.0;
+    }
+    return 0.0;
+}
+
+std::string
+hardwareSchemeName(HardwareScheme scheme)
+{
+    switch (scheme) {
+      case HardwareScheme::InvalidatingBus:
+        return "invalidating bus";
+      case HardwareScheme::UpdatingBus:
+        return "updating bus";
+      case HardwareScheme::Directory:
+        return "limited directory";
+      case HardwareScheme::HoshinoGate:
+        return "Hoshino sync gate";
+    }
+    return "?";
+}
+
+} // namespace absync::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Closed-form barrier-cost models (paper Section 5.1).
+ *
+ * Model 1 covers simultaneous arrival (A << N): each processor makes
+ * on average N/2 accesses to get the variable, polls the flag N/2
+ * times before the last arriver is through the variable, N more while
+ * the last arriver fights the pollers to write the flag, and N/2 to
+ * drain after the flag is set — 5N/2 in total.
+ *
+ * Model 2 covers sparse arrival (A >> N): with uniform arrivals in
+ * [0, A] the expected first-to-last span is r = A(N-1)/(N+1); an
+ * average processor polls for r/2 cycles waiting for the last arrival
+ * and then pays the same 3N/2 endgame — r/2 + 3N/2 in total.
+ *
+ * Section 5.1 also gives per-processor access counts for hardware
+ * synchronization support, which the benches use as comparison lines:
+ * invalidating bus ~3, updating bus ~2, limited directory ~4, and the
+ * PAX/Hoshino global synchronization gate ~1.
+ */
+
+#ifndef ABSYNC_CORE_MODELS_HPP
+#define ABSYNC_CORE_MODELS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace absync::core
+{
+
+/** Expected first-to-last arrival span r = A(N-1)/(N+1) (Eq. 1). */
+double expectedSpan(double arrival_window, std::uint32_t n);
+
+/** Model 1: accesses per processor when all arrive at once (5N/2). */
+double model1Accesses(std::uint32_t n);
+
+/** Model 2: accesses per processor for A >> N (r/2 + 3N/2). */
+double model2Accesses(double arrival_window, std::uint32_t n);
+
+/**
+ * Combined prediction: max(Model 1, Model 2).  Section 6.1 observes
+ * that the maximum of the two fits the simulation in all ranges.
+ */
+double modelAccesses(double arrival_window, std::uint32_t n);
+
+/** Model 1 with backoff on the barrier variable: 2N (saves N/2). */
+double model1VariableBackoffAccesses(std::uint32_t n);
+
+/**
+ * Model 2 with exponential flag backoff of base b: the r/2 polling
+ * term collapses to ~log_b(r/2), leaving log_b(r/2) + 3N/2.
+ */
+double model2ExponentialAccesses(double arrival_window, std::uint32_t n,
+                                 double base);
+
+/** Hardware synchronization support compared in Section 5.1. */
+enum class HardwareScheme
+{
+    InvalidatingBus, ///< snoopy bus with broadcast invalidates (~3/proc)
+    UpdatingBus,     ///< snoopy bus with broadcast updates (~2/proc)
+    Directory,       ///< full-map directory, no broadcast (~4/proc)
+    HoshinoGate,     ///< PAX global synchronization logic (~1/proc)
+};
+
+/** Accesses per processor per barrier under @p scheme (Section 5.1). */
+double hardwareAccessesPerProc(HardwareScheme scheme);
+
+/** Human-readable name of a hardware scheme. */
+std::string hardwareSchemeName(HardwareScheme scheme);
+
+} // namespace absync::core
+
+#endif // ABSYNC_CORE_MODELS_HPP

@@ -1,0 +1,62 @@
+#include "core/policy_advisor.hpp"
+
+#include <algorithm>
+
+#include "core/barrier_sim.hpp"
+
+namespace absync::core
+{
+
+Advice
+advisePolicy(const SyncProfile &profile, const AdvisorConfig &cfg)
+{
+    std::vector<BackoffConfig> candidates = {
+        BackoffConfig::none(),
+        BackoffConfig::variableOnly(),
+        BackoffConfig::exponentialFlag(2),
+        BackoffConfig::exponentialFlag(4),
+        BackoffConfig::exponentialFlag(8),
+    };
+    if (profile.blockWakeupCycles > 0) {
+        // Queue-on-threshold candidates at a few thresholds.
+        for (std::uint64_t thr : {64ull, 256ull, 1024ull}) {
+            auto c = BackoffConfig::exponentialFlag(2);
+            c.blockThreshold = thr;
+            c.blockWakeupCycles = profile.blockWakeupCycles;
+            candidates.push_back(c);
+        }
+    }
+
+    // The no-backoff wait is the utilization baseline: waiting less
+    // than that is impossible, so only the excess is charged.
+    BarrierConfig base;
+    base.processors = profile.processors;
+    base.arrivalWindow = profile.arrivalWindow;
+    const auto base_summary =
+        BarrierSimulator(base).runMany(cfg.runs, cfg.seed);
+    const double base_wait = base_summary.wait.mean();
+
+    Advice advice;
+    for (const auto &policy : candidates) {
+        BarrierConfig bc = base;
+        bc.backoff = policy;
+        const auto s = BarrierSimulator(bc).runMany(cfg.runs,
+                                                    cfg.seed);
+        PolicyScore score;
+        score.policy = policy;
+        score.accesses = s.accesses.mean();
+        score.wait = s.wait.mean();
+        score.cost = score.accesses +
+                     cfg.idleWeight *
+                         std::max(0.0, score.wait - base_wait);
+        advice.ranking.push_back(score);
+    }
+    std::sort(advice.ranking.begin(), advice.ranking.end(),
+              [](const PolicyScore &a, const PolicyScore &b) {
+                  return a.cost < b.cost;
+              });
+    advice.best = advice.ranking.front();
+    return advice;
+}
+
+} // namespace absync::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Profile-guided backoff policy selection (paper Section 8, last
+ * paragraph).
+ *
+ * "The programmer can write the algorithms into the synchronization
+ * macros ... The compiler can determine appropriate code sequences
+ * for the barrier synchronizations based on expected behavior ...
+ * One can get more venturesome by using profiling to determine the
+ * temporal behavior of the application and the number of processors
+ * participating in the synchronization and pass this information on
+ * to the compiler for further optimization.  One case where such
+ * information might be useful is in determining when to (or whether
+ * to) queue a process."
+ *
+ * PolicyAdvisor is that optimizer: given a profile (N, the observed
+ * arrival window A, and optionally a wakeup cost for blocking) and a
+ * cost weight trading network accesses against processor idle
+ * cycles, it evaluates the candidate policies on the barrier episode
+ * simulator and returns the cheapest, including whether to arm the
+ * queue-on-threshold.
+ */
+
+#ifndef ABSYNC_CORE_POLICY_ADVISOR_HPP
+#define ABSYNC_CORE_POLICY_ADVISOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/backoff.hpp"
+
+namespace absync::core
+{
+
+/** Profile of one synchronization site, as profiling would collect. */
+struct SyncProfile
+{
+    /** Participating processors. */
+    std::uint32_t processors = 64;
+    /** Observed arrival window A (cycles). */
+    std::uint64_t arrivalWindow = 0;
+    /** Cycles to wake a blocked process (0: blocking unavailable). */
+    std::uint64_t blockWakeupCycles = 0;
+};
+
+/** Selection knobs. */
+struct AdvisorConfig
+{
+    /**
+     * Cost = accesses + idleWeight * extra wait beyond the no-backoff
+     * wait.  idleWeight 0 optimizes traffic alone (the paper's
+     * hot-spot-relief stance); large values protect utilization.
+     */
+    double idleWeight = 0.05;
+    /** Episodes simulated per candidate. */
+    std::uint64_t runs = 30;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** One evaluated candidate. */
+struct PolicyScore
+{
+    BackoffConfig policy;
+    double accesses = 0.0;
+    double wait = 0.0;
+    double cost = 0.0;
+};
+
+/** Advice for a synchronization site. */
+struct Advice
+{
+    /** Cheapest policy under the cost model. */
+    PolicyScore best;
+    /** All candidates, sorted by ascending cost. */
+    std::vector<PolicyScore> ranking;
+};
+
+/**
+ * Evaluate the standard candidate set (none, var, exp 2/4/8, and —
+ * when the profile allows blocking — exp2 with queue-on-threshold)
+ * against @p profile and return the ranking.
+ */
+Advice advisePolicy(const SyncProfile &profile,
+                    const AdvisorConfig &cfg = {});
+
+} // namespace absync::core
+
+#endif // ABSYNC_CORE_POLICY_ADVISOR_HPP

@@ -1,0 +1,222 @@
+#include "core/resource_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace absync::core
+{
+
+ResourceWaitPolicy
+resourceWaitPolicyFromString(const std::string &name)
+{
+    if (name == "spin")
+        return ResourceWaitPolicy::Spin;
+    if (name == "exp" || name == "exponential")
+        return ResourceWaitPolicy::Exponential;
+    if (name == "prop" || name == "proportional")
+        return ResourceWaitPolicy::Proportional;
+    std::fprintf(stderr, "unknown resource wait policy '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+std::string
+resourceWaitPolicyName(ResourceWaitPolicy p)
+{
+    switch (p) {
+      case ResourceWaitPolicy::Spin:
+        return "spin";
+      case ResourceWaitPolicy::Exponential:
+        return "exponential";
+      case ResourceWaitPolicy::Proportional:
+        return "waiter-proportional";
+    }
+    return "?";
+}
+
+ResourceSimulator::ResourceSimulator(const ResourceSimConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+namespace
+{
+
+enum class RS : std::uint8_t
+{
+    Thinking,
+    Polling,  ///< attempting to read/acquire the state word
+    Backoff,  ///< waiting out a backoff interval
+    Holding,  ///< owns the resource
+};
+
+struct RProc
+{
+    RS state = RS::Thinking;
+    std::uint64_t wake = 0;       ///< next cycle to act
+    std::uint64_t firstTry = 0;   ///< first attempt of this episode
+    std::uint64_t busyPolls = 0;  ///< busy polls this episode
+};
+
+/** Exponentially distributed integer think time with mean @p mean. */
+std::uint64_t
+expThink(support::Rng &rng, double mean)
+{
+    const double u = std::max(rng.nextDouble(), 1e-12);
+    return static_cast<std::uint64_t>(-mean * std::log(u));
+}
+
+} // namespace
+
+ResourceSimStats
+ResourceSimulator::run(support::Rng &rng) const
+{
+    const std::uint32_t n = cfg_.processors;
+    ResourceSimStats st;
+    support::RunningStats delay;
+    support::RunningStats waiters_at_acq;
+
+    std::vector<RProc> procs(n);
+    for (auto &p : procs)
+        p.wake = expThink(rng, cfg_.meanThink);
+
+    sim::MemoryModule mod(cfg_.arbitration);
+    bool held = false;
+    std::uint64_t held_cycles = 0;
+    std::uint64_t release_at = 0;
+    std::uint32_t holder = 0;
+    std::uint32_t waiters = 0; // procs between first try and acquire
+
+    for (std::uint64_t cycle = 0; cycle < cfg_.cycles; ++cycle) {
+        // Release first so a same-cycle poll can succeed.
+        if (held && release_at <= cycle) {
+            held = false;
+            RProc &h = procs[holder];
+            h.state = RS::Thinking;
+            h.wake = cycle + expThink(rng, cfg_.meanThink);
+        }
+
+        // Submissions.
+        for (std::uint32_t p = 0; p < n; ++p) {
+            RProc &pr = procs[p];
+            switch (pr.state) {
+              case RS::Thinking:
+                if (pr.wake <= cycle) {
+                    pr.state = RS::Polling;
+                    pr.firstTry = cycle;
+                    pr.busyPolls = 0;
+                    ++waiters;
+                }
+                break;
+              case RS::Backoff:
+                if (pr.wake <= cycle)
+                    pr.state = RS::Polling;
+                break;
+              default:
+                break;
+            }
+            if (pr.state == RS::Polling) {
+                mod.request(p);
+                ++st.accesses;
+            }
+        }
+
+        // One access served per cycle.
+        const auto win = mod.arbitrate(rng);
+        if (win != sim::NO_GRANT) {
+            RProc &pr = procs[win];
+            if (!held) {
+                // Successful test&set.
+                held = true;
+                holder = win;
+                release_at = cycle + cfg_.holdCycles;
+                pr.state = RS::Holding;
+                --waiters;
+                ++st.acquisitions;
+                delay.add(static_cast<double>(cycle - pr.firstTry));
+                waiters_at_acq.add(static_cast<double>(waiters));
+            } else {
+                // Busy: backoff decision (only after a completed
+                // read, per the paper's rule).
+                ++pr.busyPolls;
+                std::uint64_t d = 0;
+                switch (cfg_.policy) {
+                  case ResourceWaitPolicy::Spin:
+                    d = 0;
+                    break;
+                  case ResourceWaitPolicy::Exponential: {
+                    const std::uint64_t t =
+                        std::min<std::uint64_t>(pr.busyPolls,
+                                                cfg_.expCap);
+                    d = 1;
+                    for (std::uint64_t i = 0; i < t; ++i) {
+                        if (d > (1ULL << 40))
+                            break;
+                        d *= cfg_.expBase;
+                    }
+                    break;
+                  }
+                  case ResourceWaitPolicy::Proportional: {
+                    // The paper's queue-length state: (waiters ahead
+                    // of us) full hold times plus the holder's
+                    // expected residual half hold.  `waiters`
+                    // includes ourselves, so subtract one.
+                    const std::uint64_t ahead =
+                        waiters > 0 ? waiters - 1 : 0;
+                    d = ahead * cfg_.holdEstimate +
+                        cfg_.holdEstimate / 2;
+                    d = std::max<std::uint64_t>(d, 1);
+                    break;
+                  }
+                }
+                if (d == 0) {
+                    // Poll again next cycle.
+                } else {
+                    pr.state = RS::Backoff;
+                    pr.wake = cycle + 1 + d;
+                }
+            }
+        }
+
+        if (held)
+            ++held_cycles;
+    }
+
+    st.accessesPerAcquisition =
+        st.acquisitions ? static_cast<double>(st.accesses) /
+                              static_cast<double>(st.acquisitions)
+                        : 0.0;
+    st.avgQueueingDelay = delay.mean();
+    st.utilization = static_cast<double>(held_cycles) /
+                     static_cast<double>(cfg_.cycles);
+    st.avgWaiters = waiters_at_acq.mean();
+    return st;
+}
+
+ResourceSimStats
+ResourceSimulator::runMany(std::uint64_t runs, std::uint64_t seed) const
+{
+    ResourceSimStats agg;
+    support::RunningStats apa, delay, util, waiters;
+    support::Rng master(seed);
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        support::Rng rng = master.split();
+        const auto st = run(rng);
+        agg.acquisitions += st.acquisitions;
+        agg.accesses += st.accesses;
+        apa.add(st.accessesPerAcquisition);
+        delay.add(st.avgQueueingDelay);
+        util.add(st.utilization);
+        waiters.add(st.avgWaiters);
+    }
+    agg.accessesPerAcquisition = apa.mean();
+    agg.avgQueueingDelay = delay.mean();
+    agg.utilization = util.mean();
+    agg.avgWaiters = waiters.mean();
+    return agg;
+}
+
+} // namespace absync::core

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cycle-level simulator of processors waiting on a shared resource
+ * (paper Section 8, first extension).
+ *
+ * "Processors waiting to access a resource can backoff testing the
+ * resource by an amount proportional to the number of processors
+ * waiting.  Adaptive techniques will likely perform much better in
+ * this situation than with barrier synchronizations because the
+ * amount of time a processor has to wait at a resource is directly
+ * proportional to the number of processors waiting (with the constant
+ * of the proportion being the average amount of time the resource is
+ * held by each processor)."
+ *
+ * Model: one resource (lock) whose state word lives in a memory
+ * module under the Section 3 contention rules (one access per cycle,
+ * denied accesses retried and charged).  N processors loop:
+ * think (exponentially distributed), acquire (test&test&set style:
+ * successful read of "free" follows with an acquire that may race),
+ * hold for a service time, release.  A shared waiter counter —
+ * maintained by the synchronization software — provides the state the
+ * proportional policy adapts to.
+ *
+ * Metrics: network accesses per acquisition, time from first attempt
+ * to acquisition (queueing delay), and resource utilization.
+ */
+
+#ifndef ABSYNC_CORE_RESOURCE_SIM_HPP
+#define ABSYNC_CORE_RESOURCE_SIM_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/memory_module.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace absync::core
+{
+
+/** Waiting policy at the simulated resource. */
+enum class ResourceWaitPolicy
+{
+    Spin,         ///< re-poll the state word every cycle
+    Exponential,  ///< wait b^t after the t-th busy poll
+    Proportional, ///< wait (waiters ahead) * holdEstimate cycles
+};
+
+/** Parse "spin" | "exp" | "prop"; fatal on typo. */
+ResourceWaitPolicy resourceWaitPolicyFromString(
+    const std::string &name);
+
+/** Human-readable policy name. */
+std::string resourceWaitPolicyName(ResourceWaitPolicy p);
+
+/** Configuration of one resource-contention experiment. */
+struct ResourceSimConfig
+{
+    /** Competing processors. */
+    std::uint32_t processors = 16;
+    /** Mean think time between a release and the next attempt. */
+    double meanThink = 800.0;
+    /** Cycles the resource is held per acquisition. */
+    std::uint32_t holdCycles = 50;
+    /** Waiting policy under test. */
+    ResourceWaitPolicy policy = ResourceWaitPolicy::Proportional;
+    /** Exponential base (Exponential policy). */
+    std::uint64_t expBase = 2;
+    /** Cap on the exponent so a waiter cannot sleep past the whole
+     *  experiment (Exponential policy). */
+    std::uint32_t expCap = 12;
+    /** Estimated hold time used by the Proportional policy; the
+     *  paper's "constant of the proportion". */
+    std::uint64_t holdEstimate = 50;
+    /** Simulated cycles. */
+    std::uint64_t cycles = 200000;
+    /** Module arbitration. */
+    sim::Arbitration arbitration = sim::Arbitration::Fifo;
+};
+
+/** Results of one resource-contention experiment. */
+struct ResourceSimStats
+{
+    /** Completed acquisitions. */
+    std::uint64_t acquisitions = 0;
+    /** Network accesses (every poll attempt, granted or denied). */
+    std::uint64_t accesses = 0;
+    /** Mean accesses per acquisition. */
+    double accessesPerAcquisition = 0.0;
+    /** Mean cycles from first attempt to acquisition. */
+    double avgQueueingDelay = 0.0;
+    /** Fraction of cycles the resource was held. */
+    double utilization = 0.0;
+    /** Mean waiters observed at acquisition time. */
+    double avgWaiters = 0.0;
+};
+
+/**
+ * Simulator for the Section 8 resource-waiting extension.
+ */
+class ResourceSimulator
+{
+  public:
+    explicit ResourceSimulator(const ResourceSimConfig &cfg);
+
+    /** Run one experiment of cfg.cycles cycles. */
+    ResourceSimStats run(support::Rng &rng) const;
+
+    /** Average of @p runs experiments with derived seeds. */
+    ResourceSimStats runMany(std::uint64_t runs,
+                             std::uint64_t seed) const;
+
+  private:
+    ResourceSimConfig cfg_;
+};
+
+} // namespace absync::core
+
+#endif // ABSYNC_CORE_RESOURCE_SIM_HPP

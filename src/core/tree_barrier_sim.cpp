@@ -1,0 +1,251 @@
+#include "core/tree_barrier_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace absync::core
+{
+
+double
+TreeEpisodeResult::avgAccesses() const
+{
+    if (accesses.empty())
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (auto a : accesses)
+        sum += a;
+    return static_cast<double>(sum) /
+           static_cast<double>(accesses.size());
+}
+
+double
+TreeEpisodeResult::avgWait() const
+{
+    if (waits.empty())
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (auto w : waits)
+        sum += w;
+    return static_cast<double>(sum) / static_cast<double>(waits.size());
+}
+
+TreeBarrierSimulator::TreeBarrierSimulator(const TreeBarrierConfig &cfg)
+    : cfg_(cfg)
+{
+    assert(cfg.processors >= 1 && cfg.fanIn >= 2);
+    const std::uint32_t d = cfg.fanIn;
+
+    // Build the level structure bottom-up.
+    std::uint32_t cur = (cfg.processors + d - 1) / d;
+    std::uint32_t below = cfg.processors;
+    node_count_ = 0;
+    while (true) {
+        level_base_.push_back(node_count_);
+        level_nodes_.push_back(cur);
+        for (std::uint32_t j = 0; j < cur; ++j) {
+            node_expected_.push_back(
+                std::min<std::uint32_t>(d, below - j * d));
+        }
+        node_count_ += cur;
+        if (cur == 1)
+            break;
+        below = cur;
+        cur = (cur + d - 1) / d;
+    }
+    depth_ = static_cast<std::uint32_t>(level_nodes_.size());
+
+    // Parent pointers (root's parent = node_count_ sentinel).
+    parent_.assign(node_count_, node_count_);
+    for (std::uint32_t l = 0; l + 1 < depth_; ++l) {
+        for (std::uint32_t j = 0; j < level_nodes_[l]; ++j) {
+            parent_[level_base_[l] + j] =
+                level_base_[l + 1] + j / d;
+        }
+    }
+}
+
+namespace
+{
+
+enum class TS : std::uint8_t
+{
+    WaitArrive,
+    ReqVar,     ///< fetch&add the current node's variable
+    VarBackoff, ///< waiting out the node's variable backoff
+    PollFlag,   ///< polling the current node's flag
+    FlagBackoff,
+    Descend,    ///< setting flags of won nodes, top-down
+    Done,
+};
+
+struct TProc
+{
+    TS state = TS::WaitArrive;
+    std::uint64_t arrival = 0;
+    std::uint64_t wake = 0;
+    std::uint32_t node = 0;      ///< node being worked on
+    std::uint64_t pollCount = 0; ///< unset polls at the current node
+    std::vector<std::uint32_t> won; ///< nodes won, leaf upward
+};
+
+} // namespace
+
+TreeEpisodeResult
+TreeBarrierSimulator::runOnce(support::Rng &rng) const
+{
+    const std::uint32_t n = cfg_.processors;
+    const std::uint32_t d = cfg_.fanIn;
+    const BackoffConfig &bo = cfg_.backoff;
+    const std::uint32_t root = node_count_ - 1;
+
+    TreeEpisodeResult res;
+    res.accesses.assign(n, 0);
+    res.waits.assign(n, 0);
+
+    std::vector<TProc> procs(n);
+    for (std::uint32_t p = 0; p < n; ++p) {
+        procs[p].arrival = cfg_.arrivalWindow == 0
+                               ? 0
+                               : rng.uniformInt(0, cfg_.arrivalWindow);
+        procs[p].node = p / d; // leaf assignment
+    }
+
+    std::vector<sim::MemoryModule> var_mods(
+        node_count_, sim::MemoryModule(cfg_.arbitration));
+    std::vector<sim::MemoryModule> flag_mods(
+        node_count_, sim::MemoryModule(cfg_.arbitration));
+    std::vector<std::uint32_t> counts(node_count_, 0);
+    std::vector<bool> flags(node_count_, false);
+
+    std::uint32_t done = 0;
+    std::uint64_t cycle = 0;
+
+    while (done < n) {
+        // Phase 1: wake-ups and request submission.
+        for (std::uint32_t p = 0; p < n; ++p) {
+            TProc &pr = procs[p];
+            switch (pr.state) {
+              case TS::WaitArrive:
+                if (pr.arrival <= cycle)
+                    pr.state = TS::ReqVar;
+                break;
+              case TS::VarBackoff:
+              case TS::FlagBackoff:
+                if (pr.wake <= cycle)
+                    pr.state = TS::PollFlag;
+                break;
+              default:
+                break;
+            }
+            if (pr.state == TS::ReqVar) {
+                var_mods[pr.node].request(p);
+                ++res.accesses[p];
+            } else if (pr.state == TS::PollFlag ||
+                       pr.state == TS::Descend) {
+                flag_mods[pr.node].request(p);
+                ++res.accesses[p];
+            }
+        }
+
+        // Phase 2: one grant per module.
+        for (std::uint32_t m = 0; m < node_count_; ++m) {
+            // Variable grant: fetch&add outcome.
+            const auto vw = var_mods[m].arbitrate(rng);
+            if (vw != sim::NO_GRANT) {
+                TProc &pr = procs[vw];
+                const std::uint32_t i = ++counts[m];
+                if (i == node_expected_[m]) {
+                    // Last arriver: ascend, or win the barrier.
+                    pr.won.push_back(m);
+                    if (m == root) {
+                        pr.state = TS::Descend;
+                        pr.node = pr.won.back();
+                    } else {
+                        pr.node = parent_[m];
+                        pr.state = TS::ReqVar;
+                    }
+                } else {
+                    pr.pollCount = 0;
+                    const std::uint64_t delay =
+                        bo.variableDelay(node_expected_[m], i);
+                    if (delay == 0) {
+                        pr.state = TS::PollFlag;
+                    } else {
+                        pr.state = TS::VarBackoff;
+                        pr.wake = cycle + 1 + delay;
+                    }
+                }
+            }
+
+            // Flag grant: poll read or descend write.
+            const auto fw = flag_mods[m].arbitrate(rng);
+            if (fw != sim::NO_GRANT) {
+                TProc &pr = procs[fw];
+                if (pr.state == TS::Descend) {
+                    flags[m] = true;
+                    if (m == root)
+                        res.rootSetTime = cycle;
+                    pr.won.pop_back();
+                    if (pr.won.empty()) {
+                        pr.state = TS::Done;
+                        ++done;
+                        res.waits[fw] = cycle - pr.arrival;
+                    } else {
+                        pr.node = pr.won.back();
+                    }
+                } else if (flags[m]) {
+                    // Released: descend our own winning path, if any.
+                    if (pr.won.empty()) {
+                        pr.state = TS::Done;
+                        ++done;
+                        res.waits[fw] = cycle - pr.arrival;
+                    } else {
+                        pr.state = TS::Descend;
+                        pr.node = pr.won.back();
+                    }
+                } else {
+                    ++pr.pollCount;
+                    std::uint64_t delay = bo.flagDelay(pr.pollCount);
+                    if (bo.randomized && delay > 0)
+                        delay = rng.uniformInt(1, 2 * delay);
+                    if (delay == 0) {
+                        // Poll again next cycle.
+                    } else {
+                        pr.state = TS::FlagBackoff;
+                        pr.wake = cycle + 1 + delay;
+                    }
+                }
+            }
+        }
+        ++cycle;
+    }
+
+    for (std::uint32_t m = 0; m < node_count_; ++m) {
+        res.maxModuleTraffic = std::max(
+            {res.maxModuleTraffic,
+             var_mods[m].totalGrants() + var_mods[m].totalDenials(),
+             flag_mods[m].totalGrants() +
+                 flag_mods[m].totalDenials()});
+    }
+    return res;
+}
+
+TreeEpisodeSummary
+TreeBarrierSimulator::runMany(std::uint64_t runs,
+                              std::uint64_t seed) const
+{
+    TreeEpisodeSummary s;
+    support::Rng master(seed);
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        support::Rng run_rng = master.split();
+        const auto res = runOnce(run_rng);
+        s.accesses.add(res.avgAccesses());
+        s.wait.add(res.avgWait());
+        s.maxModuleTraffic.add(
+            static_cast<double>(res.maxModuleTraffic));
+    }
+    s.runs = runs;
+    return s;
+}
+
+} // namespace absync::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cycle-level simulator of a software combining-tree barrier with
+ * adaptive backoff on the tree nodes (paper Sections 1 and 6.2).
+ *
+ * The paper notes that once N approaches the arrival window,
+ * centralized barriers saturate and "barrier synchronization is
+ * probably inappropriate anyway without some form of distributed
+ * software combining [Yew, Tseng & Lawrie]", adding that "our backoff
+ * methods can still be used on the intermediate nodes of the
+ * combining tree".  This module provides that system: a fan-in-d
+ * combining tree where every node has its own barrier variable and
+ * flag in its *own* memory modules, so contention at any single
+ * module is bounded by d instead of N.
+ *
+ * Protocol (standard combining tree):
+ *  - a processor arrives at its leaf node and fetch&adds the node's
+ *    variable;
+ *  - the last arriver at a node ascends and repeats at the parent;
+ *    everyone else polls the node's flag, applying the configured
+ *    flag backoff;
+ *  - the processor that completes the root descends its winning
+ *    path, setting each node's flag to release that subtree.
+ *
+ * Metrics mirror the flat simulator, plus the maximum per-module
+ * access count — the hot-spot concentration the tree exists to bound.
+ */
+
+#ifndef ABSYNC_CORE_TREE_BARRIER_SIM_HPP
+#define ABSYNC_CORE_TREE_BARRIER_SIM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/backoff.hpp"
+#include "sim/memory_module.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace absync::core
+{
+
+/** Parameters of one combining-tree barrier experiment. */
+struct TreeBarrierConfig
+{
+    /** Number of synchronizing processors. */
+    std::uint32_t processors = 256;
+    /** Fan-in of each tree node (>= 2). */
+    std::uint32_t fanIn = 4;
+    /** Arrival window A (uniform arrivals in [0, A]). */
+    std::uint64_t arrivalWindow = 0;
+    /** Backoff applied at every node (variable delay uses the node's
+     *  fan-in as its "N"). */
+    BackoffConfig backoff;
+    /** Module arbitration policy. */
+    sim::Arbitration arbitration = sim::Arbitration::Fifo;
+};
+
+/** Outcome of one simulated tree-barrier episode. */
+struct TreeEpisodeResult
+{
+    /** Network accesses per processor. */
+    std::vector<std::uint64_t> accesses;
+    /** Wait cycles per processor (arrival to release). */
+    std::vector<std::uint64_t> waits;
+    /** Grants observed at the busiest module (hot-spot metric). */
+    std::uint64_t maxModuleTraffic = 0;
+    /** Cycle the root flag was set. */
+    std::uint64_t rootSetTime = 0;
+
+    double avgAccesses() const;
+    double avgWait() const;
+};
+
+/** Averages over repeated episodes. */
+struct TreeEpisodeSummary
+{
+    support::RunningStats accesses;
+    support::RunningStats wait;
+    support::RunningStats maxModuleTraffic;
+    std::uint64_t runs = 0;
+};
+
+/**
+ * Simulator for combining-tree barrier episodes.
+ */
+class TreeBarrierSimulator
+{
+  public:
+    explicit TreeBarrierSimulator(const TreeBarrierConfig &cfg);
+
+    /** Simulate one episode. */
+    TreeEpisodeResult runOnce(support::Rng &rng) const;
+
+    /** Simulate @p runs episodes with derived per-run seeds. */
+    TreeEpisodeSummary runMany(std::uint64_t runs,
+                               std::uint64_t seed) const;
+
+    /** Number of tree nodes for the configuration. */
+    std::uint32_t nodeCount() const { return node_count_; }
+
+    /** Tree depth (levels of internal nodes). */
+    std::uint32_t depth() const { return depth_; }
+
+  private:
+    TreeBarrierConfig cfg_;
+    std::uint32_t node_count_;
+    std::uint32_t depth_;
+    /** First node index of each level; level 0 = leaves. */
+    std::vector<std::uint32_t> level_base_;
+    /** Nodes per level. */
+    std::vector<std::uint32_t> level_nodes_;
+    /** Expected arrivals per node (fan-in, adjusted at the edges). */
+    std::vector<std::uint32_t> node_expected_;
+    /** Parent node index (node_count_ for the root's parent). */
+    std::vector<std::uint32_t> parent_;
+};
+
+} // namespace absync::core
+
+#endif // ABSYNC_CORE_TREE_BARRIER_SIM_HPP

@@ -1,0 +1,104 @@
+#include "runtime/adaptive_barrier.hpp"
+
+#include <algorithm>
+
+namespace absync::runtime
+{
+
+AdaptiveBarrier::AdaptiveBarrier(std::uint32_t parties,
+                                 AdaptiveBarrierConfig cfg)
+    : parties_(parties), cfg_(cfg), learned_(cfg.initialGuess)
+{
+}
+
+void
+AdaptiveBarrier::arriveAndWait()
+{
+    const std::uint32_t old_sense =
+        sense_.load(std::memory_order_acquire);
+    const std::uint32_t pos =
+        count_.fetch_add(1, std::memory_order_acq_rel);
+
+    if (pos + 1 == parties_) {
+        // Learn from the phase that is now completing: fold the mean
+        // spin into the EWMA and derive the next first-poll wait.
+        const std::uint64_t spun =
+            spin_accum_.exchange(0, std::memory_order_relaxed);
+        const std::uint32_t waiters =
+            waiter_count_.exchange(0, std::memory_order_relaxed);
+        if (waiters > 0)
+            noteWindowSample(spun / waiters);
+        count_.store(0, std::memory_order_relaxed);
+        sense_.store(old_sense + 1, std::memory_order_release);
+        sense_.notify_all();
+        return;
+    }
+    waitForSense(old_sense);
+}
+
+void
+AdaptiveBarrier::noteWindowSample(std::uint64_t mean_spin)
+{
+    const std::uint64_t target =
+        std::clamp(mean_spin / cfg_.firstWaitDenom, cfg_.minWait,
+                   cfg_.maxWait);
+    const std::uint64_t old =
+        learned_.load(std::memory_order_relaxed);
+    // Integer EWMA towards the target, biased one unit so rounding
+    // cannot stall convergence.
+    std::uint64_t next;
+    if (target >= old) {
+        next = old + (target - old) / cfg_.weightDenom +
+               (target > old ? 1 : 0);
+    } else {
+        next = old - (old - target) / cfg_.weightDenom - 1;
+    }
+    learned_.store(std::clamp(next, cfg_.minWait, cfg_.maxWait),
+                   std::memory_order_relaxed);
+}
+
+void
+AdaptiveBarrier::waitForSense(std::uint32_t old_sense)
+{
+    std::uint64_t local_polls = 0;
+    std::uint64_t local_spun = 0;
+    std::uint64_t wait = learned_.load(std::memory_order_relaxed);
+
+    for (;;) {
+        ++local_polls;
+        if (sense_.load(std::memory_order_acquire) != old_sense)
+            break;
+        if (wait > cfg_.blockThreshold) {
+            blocks_.fetch_add(1, std::memory_order_relaxed);
+            while (sense_.load(std::memory_order_acquire) ==
+                   old_sense) {
+                sense_.wait(old_sense, std::memory_order_acquire);
+            }
+            ++local_polls;
+            break;
+        }
+        // Spin in bounded chunks so the window measurement stops
+        // when the release lands mid-wait (limits overshoot in both
+        // the waiting and the estimate).
+        std::uint64_t remaining = wait;
+        while (remaining > 0) {
+            const std::uint64_t chunk =
+                std::min<std::uint64_t>(remaining, 4096);
+            spinFor(chunk);
+            local_spun += chunk;
+            remaining -= chunk;
+            if (sense_.load(std::memory_order_acquire) !=
+                old_sense) {
+                ++local_polls;
+                goto done;
+            }
+        }
+        wait = std::min(wait * 2, cfg_.maxWait * 4);
+    }
+  done:
+    spin_accum_.fetch_add(local_spun, std::memory_order_relaxed);
+    waiter_count_.fetch_add(1, std::memory_order_relaxed);
+    polls_.fetch_add(local_polls, std::memory_order_relaxed);
+}
+
+} // namespace absync::runtime

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Self-tuning spin barrier: Section 8's profiling idea, online.
+ *
+ * "One can get more venturesome by using profiling to determine the
+ * temporal behavior of the application and the number of processors
+ * participating in the synchronization and pass this information on
+ * to the compiler for further optimization."
+ *
+ * AdaptiveBarrier removes the compiler from the loop: it *is* the
+ * profiler.  Each phase, waiters record how long they actually spun;
+ * the releasing thread feeds the mean into an EWMA and sets the next
+ * phase's first-poll wait to a fraction of it.  Applications whose
+ * barrier windows drift (WEATHER's imbalanced loops, phase changes)
+ * get a policy that follows the drift instead of a compile-time
+ * constant: short windows keep the barrier responsive, long windows
+ * converge towards a few polls per phase.
+ *
+ * After the learned first wait, polling escalates exponentially
+ * (base 2), and past blockThreshold it futex-blocks — the same
+ * policy envelope as SpinBarrier, with the entry point learned.
+ */
+
+#ifndef ABSYNC_RUNTIME_ADAPTIVE_BARRIER_HPP
+#define ABSYNC_RUNTIME_ADAPTIVE_BARRIER_HPP
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/spin_backoff.hpp"
+
+namespace absync::runtime
+{
+
+/** Tuning parameters of AdaptiveBarrier. */
+struct AdaptiveBarrierConfig
+{
+    /** Initial guess for the first-poll wait (pause-iterations). */
+    std::uint64_t initialGuess = 32;
+    /** Lower / upper clamps on the learned first wait. */
+    std::uint64_t minWait = 4;
+    std::uint64_t maxWait = 1 << 18;
+    /** EWMA weight of the newest phase (1/weightDenom). */
+    std::uint32_t weightDenom = 4;
+    /** Fraction of the learned mean used as the first wait
+     *  (denominator: firstWait = ewma / firstWaitDenom). */
+    std::uint32_t firstWaitDenom = 4;
+    /** Futex-block once a single wait would exceed this. */
+    std::uint64_t blockThreshold = 1 << 20;
+};
+
+/**
+ * Sense-reversing barrier whose backoff schedule is learned from the
+ * phases it has already crossed.
+ */
+class AdaptiveBarrier
+{
+  public:
+    explicit AdaptiveBarrier(std::uint32_t parties,
+                             AdaptiveBarrierConfig cfg = {});
+
+    AdaptiveBarrier(const AdaptiveBarrier &) = delete;
+    AdaptiveBarrier &operator=(const AdaptiveBarrier &) = delete;
+
+    /** Arrive and wait for all parties. */
+    void arriveAndWait();
+
+    /** Number of participating threads. */
+    std::uint32_t parties() const { return parties_; }
+
+    /** The learned first-poll wait for the next phase. */
+    std::uint64_t
+    learnedWait() const
+    {
+        return learned_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Fold one observed phase window (mean spin iterations per
+     * waiter) into the estimator.  The release path calls this
+     * internally; it is public so tests and external profilers can
+     * drive the estimator directly.
+     */
+    void noteWindowSample(std::uint64_t mean_spin);
+
+    /** Total sense polls across all threads and phases. */
+    std::uint64_t
+    totalPolls() const
+    {
+        return polls_.load(std::memory_order_relaxed);
+    }
+
+    /** Total futex blocks. */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return blocks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void waitForSense(std::uint32_t old_sense);
+
+    const std::uint32_t parties_;
+    const AdaptiveBarrierConfig cfg_;
+    std::atomic<std::uint32_t> count_{0};
+    std::atomic<std::uint32_t> sense_{0};
+    /** Learned first-poll wait (EWMA-driven). */
+    std::atomic<std::uint64_t> learned_;
+    /** Spin iterations accumulated by this phase's waiters. */
+    std::atomic<std::uint64_t> spin_accum_{0};
+    std::atomic<std::uint32_t> waiter_count_{0};
+    std::atomic<std::uint64_t> polls_{0};
+    std::atomic<std::uint64_t> blocks_{0};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_ADAPTIVE_BARRIER_HPP

@@ -1,0 +1,90 @@
+#include "runtime/barrier.hpp"
+
+namespace absync::runtime
+{
+
+SpinBarrier::SpinBarrier(std::uint32_t parties, BarrierConfig cfg)
+    : parties_(parties), cfg_(cfg)
+{
+}
+
+void
+SpinBarrier::arriveAndWait()
+{
+    // Capture the current phase sense; the phase completes when the
+    // last arriver advances it.
+    const std::uint32_t old_sense =
+        sense_.load(std::memory_order_acquire);
+    const std::uint32_t pos =
+        count_.fetch_add(1, std::memory_order_acq_rel);
+
+    if (pos + 1 == parties_) {
+        count_.store(0, std::memory_order_relaxed);
+        sense_.store(old_sense + 1, std::memory_order_release);
+        if (cfg_.policy == BarrierPolicy::Blocking)
+            sense_.notify_all();
+        return;
+    }
+    waitForSense(pos, old_sense);
+}
+
+void
+SpinBarrier::waitForSense(std::uint32_t pos, std::uint32_t old_sense)
+{
+    // Backoff on the barrier variable: the F&A told us how many
+    // arrivals are still missing; nothing can happen before they each
+    // spend at least one operation arriving.
+    const std::uint32_t missing = parties_ - (pos + 1);
+    if (cfg_.policy != BarrierPolicy::None)
+        spinFor(static_cast<std::uint64_t>(missing) *
+                cfg_.perMissingArrival);
+
+    std::uint64_t local_polls = 0;
+    std::uint64_t wait = cfg_.initial;
+
+    for (;;) {
+        ++local_polls;
+        if (sense_.load(std::memory_order_acquire) != old_sense)
+            break;
+
+        switch (cfg_.policy) {
+          case BarrierPolicy::None:
+          case BarrierPolicy::Variable:
+            cpuRelax();
+            break;
+
+          case BarrierPolicy::Linear:
+            spinFor(wait);
+            wait = wait + cfg_.base > cfg_.maxWait ? cfg_.maxWait
+                                                   : wait + cfg_.base;
+            break;
+
+          case BarrierPolicy::Exponential:
+            spinFor(wait);
+            wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
+                                                   : wait * cfg_.base;
+            break;
+
+          case BarrierPolicy::Blocking:
+            if (wait > cfg_.blockThreshold) {
+                // Queue-on-threshold (Section 7): stop spinning and
+                // let the OS wake us with the flag update.
+                blocks_.fetch_add(1, std::memory_order_relaxed);
+                while (sense_.load(std::memory_order_acquire) ==
+                       old_sense) {
+                    sense_.wait(old_sense, std::memory_order_acquire);
+                }
+                polls_.fetch_add(local_polls + 1,
+                                 std::memory_order_relaxed);
+                return;
+            }
+            spinFor(wait);
+            wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
+                                                   : wait * cfg_.base;
+            break;
+        }
+    }
+    polls_.fetch_add(local_polls, std::memory_order_relaxed);
+}
+
+} // namespace absync::runtime

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Centralized spin barrier with the paper's adaptive backoff
+ * policies, for real threads.
+ *
+ * The barrier is sense-reversing (the modern equivalent of Tang &
+ * Yew's counter + flag pair: the counter is the barrier variable, the
+ * sense word is the barrier flag), with four waiting policies:
+ *
+ *  - **None**: poll the sense word every iteration (busy wait);
+ *  - **Variable**: before the first poll, wait proportionally to the
+ *    number of processors still missing — backoff on the barrier
+ *    variable (Section 4.1);
+ *  - **Exponential / Linear**: pace re-polls by the failed-poll count
+ *    — backoff on the barrier flag (Section 4.2); both imply the
+ *    Variable pre-wait, as in the paper's evaluation;
+ *  - **Blocking**: once the computed backoff crosses a threshold,
+ *    queue on the sense word with std::atomic::wait (futex) — the
+ *    queue-on-threshold scheme of Section 7.
+ *
+ * Polls of the sense word are counted so benches can report the real
+ * shared-memory traffic each policy generates.
+ */
+
+#ifndef ABSYNC_RUNTIME_BARRIER_HPP
+#define ABSYNC_RUNTIME_BARRIER_HPP
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/spin_backoff.hpp"
+
+namespace absync::runtime
+{
+
+/** Waiting policy of a SpinBarrier. */
+enum class BarrierPolicy
+{
+    None,        ///< continuous polling
+    Variable,    ///< pre-wait proportional to missing arrivals
+    Linear,      ///< variable pre-wait + linear poll pacing
+    Exponential, ///< variable pre-wait + exponential poll pacing
+    Blocking,    ///< exponential, then futex-wait past a threshold
+};
+
+/** Tuning knobs for SpinBarrier. */
+struct BarrierConfig
+{
+    BarrierPolicy policy = BarrierPolicy::Exponential;
+    /** Exponential base / linear step, in pause-iterations. */
+    std::uint64_t base = 2;
+    /** First flag-poll wait, in pause-iterations. */
+    std::uint64_t initial = 8;
+    /** Clamp on any single spin wait. */
+    std::uint64_t maxWait = 1 << 16;
+    /** Pause-iterations per missing arrival (Variable pre-wait). */
+    std::uint64_t perMissingArrival = 16;
+    /** Blocking: futex-wait once the next wait would exceed this. */
+    std::uint64_t blockThreshold = 1 << 12;
+};
+
+/**
+ * Reusable centralized sense-reversing barrier for a fixed number of
+ * participating threads.
+ */
+class SpinBarrier
+{
+  public:
+    /**
+     * @param parties number of threads that must arrive (>= 1)
+     * @param cfg waiting policy configuration
+     */
+    explicit SpinBarrier(std::uint32_t parties,
+                         BarrierConfig cfg = {});
+
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    /**
+     * Arrive and wait until all parties have arrived.  Safe to call
+     * repeatedly (the barrier is reusable across phases).
+     */
+    void arriveAndWait();
+
+    /** Number of participating threads. */
+    std::uint32_t parties() const { return parties_; }
+
+    /** Total sense-word polls across all threads and phases. */
+    std::uint64_t
+    totalPolls() const
+    {
+        return polls_.load(std::memory_order_relaxed);
+    }
+
+    /** Total futex waits (Blocking policy only). */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return blocks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void waitForSense(std::uint32_t observed_count,
+                      std::uint32_t my_sense);
+
+    const std::uint32_t parties_;
+    const BarrierConfig cfg_;
+    /** Arrival counter: the barrier variable. */
+    std::atomic<std::uint32_t> count_{0};
+    /** Phase sense: the barrier flag. */
+    std::atomic<std::uint32_t> sense_{0};
+    std::atomic<std::uint64_t> polls_{0};
+    std::atomic<std::uint64_t> blocks_{0};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_BARRIER_HPP

@@ -1,0 +1,154 @@
+#include "runtime/barrier_interface.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace absync::runtime
+{
+
+namespace
+{
+
+class FlatAdapter final : public AnyBarrier
+{
+  public:
+    FlatAdapter(std::uint32_t parties, const BarrierConfig &cfg)
+        : barrier_(parties, cfg)
+    {
+    }
+
+    void arrive(std::uint32_t) override
+    {
+        barrier_.arriveAndWait();
+    }
+
+    std::uint64_t polls() const override
+    {
+        return barrier_.totalPolls();
+    }
+
+    std::uint64_t blocks() const override
+    {
+        return barrier_.totalBlocks();
+    }
+
+  private:
+    SpinBarrier barrier_;
+};
+
+class TangYewAdapter final : public AnyBarrier
+{
+  public:
+    TangYewAdapter(std::uint32_t parties, const BarrierConfig &cfg)
+        : barrier_(parties, cfg)
+    {
+    }
+
+    void arrive(std::uint32_t) override
+    {
+        barrier_.arriveAndWait();
+    }
+
+    std::uint64_t polls() const override
+    {
+        return barrier_.totalPolls();
+    }
+
+    std::uint64_t blocks() const override
+    {
+        return barrier_.totalBlocks();
+    }
+
+  private:
+    TangYewBarrier barrier_;
+};
+
+class TreeAdapter final : public AnyBarrier
+{
+  public:
+    TreeAdapter(std::uint32_t parties, const BarrierConfig &cfg)
+        : barrier_(parties, 2, cfg)
+    {
+    }
+
+    void arrive(std::uint32_t tid) override
+    {
+        barrier_.arriveAndWait(tid);
+    }
+
+    std::uint64_t polls() const override
+    {
+        return barrier_.totalPolls();
+    }
+
+    std::uint64_t blocks() const override
+    {
+        return barrier_.totalBlocks();
+    }
+
+  private:
+    TreeBarrier barrier_;
+};
+
+class AdaptiveAdapter final : public AnyBarrier
+{
+  public:
+    explicit AdaptiveAdapter(std::uint32_t parties)
+        : barrier_(parties)
+    {
+    }
+
+    void arrive(std::uint32_t) override
+    {
+        barrier_.arriveAndWait();
+    }
+
+    std::uint64_t polls() const override
+    {
+        return barrier_.totalPolls();
+    }
+
+    std::uint64_t blocks() const override
+    {
+        return barrier_.totalBlocks();
+    }
+
+  private:
+    AdaptiveBarrier barrier_;
+};
+
+} // namespace
+
+BarrierKind
+barrierKindFromString(const std::string &name)
+{
+    if (name == "flat" || name == "spin")
+        return BarrierKind::Flat;
+    if (name == "tangyew" || name == "tang-yew")
+        return BarrierKind::TangYew;
+    if (name == "tree")
+        return BarrierKind::Tree;
+    if (name == "adaptive")
+        return BarrierKind::Adaptive;
+    std::fprintf(stderr, "unknown barrier kind '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+std::unique_ptr<AnyBarrier>
+makeBarrier(BarrierKind kind, std::uint32_t parties,
+            const BarrierConfig &cfg)
+{
+    switch (kind) {
+      case BarrierKind::Flat:
+        return std::make_unique<FlatAdapter>(parties, cfg);
+      case BarrierKind::TangYew:
+        return std::make_unique<TangYewAdapter>(parties, cfg);
+      case BarrierKind::Tree:
+        return std::make_unique<TreeAdapter>(parties, cfg);
+      case BarrierKind::Adaptive:
+        return std::make_unique<AdaptiveAdapter>(parties);
+    }
+    return nullptr;
+}
+
+} // namespace absync::runtime

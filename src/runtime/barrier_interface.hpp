@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Type-erased barrier interface and factory.
+ *
+ * The runtime library has four barrier implementations — the
+ * sense-reversing SpinBarrier, the paper-faithful TangYewBarrier,
+ * the combining TreeBarrier, and the self-tuning AdaptiveBarrier.
+ * Application-level code (TeamRunner, the examples) should be able
+ * to swap them by configuration, so this header provides a minimal
+ * virtual interface plus adapters and a factory.
+ */
+
+#ifndef ABSYNC_RUNTIME_BARRIER_INTERFACE_HPP
+#define ABSYNC_RUNTIME_BARRIER_INTERFACE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/adaptive_barrier.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/tang_yew_barrier.hpp"
+#include "runtime/tree_barrier.hpp"
+
+namespace absync::runtime
+{
+
+/** Abstract reusable barrier. */
+class AnyBarrier
+{
+  public:
+    virtual ~AnyBarrier() = default;
+
+    /** Arrive as the given dense thread id and wait for the phase. */
+    virtual void arrive(std::uint32_t thread_id) = 0;
+
+    /** Total shared polls across all threads and phases. */
+    virtual std::uint64_t polls() const = 0;
+
+    /** Total futex blocks (0 for non-blocking policies). */
+    virtual std::uint64_t blocks() const = 0;
+};
+
+/** Which implementation a factory call should produce. */
+enum class BarrierKind
+{
+    Flat,     ///< SpinBarrier (sense-reversing)
+    TangYew,  ///< two-variable counter + flag
+    Tree,     ///< combining tree, fan-in 2
+    Adaptive, ///< self-tuning first-wait estimator
+};
+
+/** Parse "flat" | "tangyew" | "tree" | "adaptive"; fatal on typo. */
+BarrierKind barrierKindFromString(const std::string &name);
+
+/**
+ * Construct a barrier of the requested kind.
+ *
+ * @param kind implementation selector
+ * @param parties participating threads
+ * @param cfg waiting policy (ignored by Adaptive, which tunes
+ *            itself)
+ */
+std::unique_ptr<AnyBarrier> makeBarrier(BarrierKind kind,
+                                        std::uint32_t parties,
+                                        const BarrierConfig &cfg = {});
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_BARRIER_INTERFACE_HPP

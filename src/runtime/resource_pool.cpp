@@ -1,0 +1,72 @@
+#include "runtime/resource_pool.hpp"
+
+#include "runtime/spin_backoff.hpp"
+
+namespace absync::runtime
+{
+
+BackoffResource::BackoffResource(std::uint32_t slots,
+                                 ResourcePolicy policy,
+                                 std::uint64_t hold_estimate)
+    : slots_(slots), policy_(policy), hold_estimate_(hold_estimate)
+{
+}
+
+bool
+BackoffResource::tryAcquire()
+{
+    std::uint32_t cur = in_use_.load(std::memory_order_relaxed);
+    while (cur < slots_) {
+        if (in_use_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BackoffResource::acquire()
+{
+    std::uint64_t local_polls = 1;
+    if (tryAcquire()) {
+        polls_.fetch_add(local_polls, std::memory_order_relaxed);
+        return;
+    }
+
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    ExpBackoff exp(2, 8, 1 << 15);
+    for (;;) {
+        switch (policy_) {
+          case ResourcePolicy::Spin:
+            cpuRelax();
+            break;
+          case ResourcePolicy::Proportional: {
+            // Backoff on synchronization state: the number of waiters
+            // (ourselves included) times the expected hold time tells
+            // us roughly when a slot can free up.
+            const std::uint64_t ahead =
+                waiters_.load(std::memory_order_relaxed);
+            spinFor((ahead ? ahead : 1) * hold_estimate_);
+            break;
+          }
+          case ResourcePolicy::Exponential:
+            exp();
+            break;
+        }
+        ++local_polls;
+        if (tryAcquire())
+            break;
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    polls_.fetch_add(local_polls, std::memory_order_relaxed);
+}
+
+void
+BackoffResource::release()
+{
+    in_use_.fetch_sub(1, std::memory_order_release);
+}
+
+} // namespace absync::runtime

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared resource with waiter-proportional backoff (paper Section 8).
+ *
+ * Section 8 observes that backoff works even better for resource
+ * waiting than for barriers: the expected wait at a resource is
+ * directly proportional to the number of processors queued ahead
+ * (times the mean hold time), so a waiter can back off by exactly
+ * that amount instead of polling.
+ *
+ * BackoffResource implements an M-slot resource (M = 1 gives a lock)
+ * whose waiters read the waiter count — synchronization state — and
+ * sleep proportionally to it before re-polling.
+ */
+
+#ifndef ABSYNC_RUNTIME_RESOURCE_POOL_HPP
+#define ABSYNC_RUNTIME_RESOURCE_POOL_HPP
+
+#include <atomic>
+#include <cstdint>
+
+namespace absync::runtime
+{
+
+/** Waiting policy for BackoffResource. */
+enum class ResourcePolicy
+{
+    Spin,         ///< re-poll continuously
+    Proportional, ///< wait ∝ waiters ahead (the paper's proposal)
+    Exponential,  ///< wait grows exponentially in failed polls
+};
+
+/**
+ * Counting resource with @p slots concurrent holders.
+ *
+ * acquire() blocks (spinning per the policy) until a slot is free;
+ * release() frees a slot.  Poll counts are tracked so benches can
+ * compare the shared-memory traffic of the policies.
+ */
+class BackoffResource
+{
+  public:
+    /**
+     * @param slots concurrent capacity (>= 1)
+     * @param policy waiting policy
+     * @param hold_estimate pause-iterations per waiter ahead
+     *        (Proportional: the "average hold time" constant)
+     */
+    explicit BackoffResource(std::uint32_t slots,
+                             ResourcePolicy policy =
+                                 ResourcePolicy::Proportional,
+                             std::uint64_t hold_estimate = 64);
+
+    /** Acquire one slot, waiting per the configured policy. */
+    void acquire();
+
+    /** Try to acquire without waiting. */
+    bool tryAcquire();
+
+    /** Release a previously acquired slot. */
+    void release();
+
+    /** Currently held slots. */
+    std::uint32_t
+    inUse() const
+    {
+        return in_use_.load(std::memory_order_relaxed);
+    }
+
+    /** Threads currently inside acquire(). */
+    std::uint32_t
+    waiters() const
+    {
+        return waiters_.load(std::memory_order_relaxed);
+    }
+
+    /** Total acquisition attempts (CAS tries) across all threads. */
+    std::uint64_t
+    totalPolls() const
+    {
+        return polls_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const std::uint32_t slots_;
+    const ResourcePolicy policy_;
+    const std::uint64_t hold_estimate_;
+    std::atomic<std::uint32_t> in_use_{0};
+    std::atomic<std::uint32_t> waiters_{0};
+    std::atomic<std::uint64_t> polls_{0};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_RESOURCE_POOL_HPP

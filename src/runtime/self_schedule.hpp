@@ -1,0 +1,178 @@
+/**
+ * @file
+ * EPEX-style self-scheduled parallel loops over real threads.
+ *
+ * The paper's applications use processor self-scheduling: iterations
+ * are claimed with fetch&add on a shared index, and a barrier closes
+ * each loop.  parallelFor reproduces that execution model with
+ * std::thread so examples and benches can run the paper's workload
+ * shapes on real hardware using the adaptive barrier.
+ */
+
+#ifndef ABSYNC_RUNTIME_SELF_SCHEDULE_HPP
+#define ABSYNC_RUNTIME_SELF_SCHEDULE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/barrier_interface.hpp"
+
+namespace absync::runtime
+{
+
+/**
+ * Team of worker threads executing self-scheduled parallel loops
+ * separated by adaptive barriers — the SPMD model of the paper's
+ * EPEX applications.
+ *
+ * Usage:
+ * @code
+ *   TeamRunner team(8, cfg);
+ *   team.run([&](TeamContext &ctx) {
+ *       ctx.parallelFor(128, [&](uint32_t i) { work(i); });
+ *       ctx.serial([&] { reduce(); });
+ *       ctx.parallelFor(64, [&](uint32_t i) { more(i); });
+ *   });
+ * @endcode
+ */
+class TeamContext
+{
+  public:
+    TeamContext(std::uint32_t thread_id, std::uint32_t threads,
+                AnyBarrier &barrier,
+                std::atomic<std::uint64_t> &task_counter)
+        : thread_id_(thread_id), threads_(threads), barrier_(barrier),
+          task_counter_(task_counter)
+    {
+    }
+
+    /** This thread's id within the team. */
+    std::uint32_t threadId() const { return thread_id_; }
+
+    /** Team size. */
+    std::uint32_t threads() const { return threads_; }
+
+    /**
+     * Self-scheduled parallel loop: iterations claimed by F&A, then a
+     * barrier.  Must be called by every team thread (SPMD).
+     *
+     * @param iterations loop trip count
+     * @param body callable invoked once per claimed iteration
+     */
+    template <typename Body>
+    void
+    parallelFor(std::uint64_t iterations, Body &&body)
+    {
+        // One shared counter per loop: the epoch base distinguishes
+        // loops without re-zeroing (F&A is never reset, as in EPEX).
+        const std::uint64_t base = loopBase(iterations);
+        for (;;) {
+            const std::uint64_t t =
+                task_counter_.fetch_add(1, std::memory_order_relaxed);
+            if (t < base || t >= base + iterations)
+                break;
+            body(static_cast<std::uint32_t>(t - base));
+        }
+        barrier_.arrive(thread_id_);
+    }
+
+    /**
+     * Serial section: exactly one thread (the first to claim it) runs
+     * the body; all threads synchronize afterwards.
+     */
+    template <typename Body>
+    void
+    serial(Body &&body)
+    {
+        const std::uint64_t base = loopBase(1);
+        const std::uint64_t t =
+            task_counter_.fetch_add(1, std::memory_order_relaxed);
+        if (t == base)
+            body();
+        barrier_.arrive(thread_id_);
+    }
+
+    /** Plain barrier between phases. */
+    void
+    barrier()
+    {
+        barrier_.arrive(thread_id_);
+    }
+
+  private:
+    /**
+     * Rendezvous to agree on the F&A base for the next construct:
+     * a barrier guarantees all threads observe the same pre-loop
+     * counter value, which the leader rounds up as the base.
+     */
+    std::uint64_t
+    loopBase(std::uint64_t iterations)
+    {
+        barrier_.arrive(thread_id_);
+        const std::uint64_t base =
+            task_counter_.load(std::memory_order_relaxed);
+        barrier_.arrive(thread_id_);
+        (void)iterations;
+        return base;
+    }
+
+    std::uint32_t thread_id_;
+    std::uint32_t threads_;
+    AnyBarrier &barrier_;
+    std::atomic<std::uint64_t> &task_counter_;
+};
+
+/**
+ * Owns the thread team and the shared synchronization state.
+ */
+class TeamRunner
+{
+  public:
+    /**
+     * @param threads team size (>= 1)
+     * @param cfg barrier configuration used for every barrier
+     * @param kind which barrier implementation backs the team
+     */
+    explicit TeamRunner(std::uint32_t threads, BarrierConfig cfg = {},
+                        BarrierKind kind = BarrierKind::Flat)
+        : threads_(threads),
+          barrier_(makeBarrier(kind, threads, cfg))
+    {
+    }
+
+    /**
+     * Run @p program on every team thread (SPMD) and join.
+     *
+     * @param program callable taking a TeamContext&
+     */
+    void
+    run(const std::function<void(TeamContext &)> &program)
+    {
+        std::vector<std::thread> pool;
+        pool.reserve(threads_);
+        for (std::uint32_t t = 0; t < threads_; ++t) {
+            pool.emplace_back([&, t] {
+                TeamContext ctx(t, threads_, *barrier_, counter_);
+                program(ctx);
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+    }
+
+    /** The team barrier (exposes poll statistics). */
+    AnyBarrier &barrier() { return *barrier_; }
+
+  private:
+    std::uint32_t threads_;
+    std::unique_ptr<AnyBarrier> barrier_;
+    std::atomic<std::uint64_t> counter_{0};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_SELF_SCHEDULE_HPP

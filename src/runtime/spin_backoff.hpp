@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Processor-level spin-backoff primitives for the real-thread runtime.
+ *
+ * These are the paper's policies translated from "network cycles" to
+ * real hardware: waiting is a processor loop that does not touch
+ * shared memory (Section 4.1), implemented with pause/yield hints so
+ * the spinning core does not starve its SMT sibling.
+ */
+
+#ifndef ABSYNC_RUNTIME_SPIN_BACKOFF_HPP
+#define ABSYNC_RUNTIME_SPIN_BACKOFF_HPP
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace absync::runtime
+{
+
+/** One polite busy-wait iteration (PAUSE on x86, yield on ARM). */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spin for @p iterations pause-iterations without touching memory. */
+inline void
+spinFor(std::uint64_t iterations)
+{
+    for (std::uint64_t i = 0; i < iterations; ++i)
+        cpuRelax();
+}
+
+/**
+ * No backoff: one pause per failed poll (the busy-wait baseline).
+ */
+class NoBackoff
+{
+  public:
+    /** Wait after one unsuccessful poll. */
+    void
+    operator()()
+    {
+        cpuRelax();
+    }
+
+    /** Forget history (call after a successful acquisition). */
+    void reset() {}
+};
+
+/**
+ * Deterministic exponential backoff: the t-th failed poll waits
+ * base^t pause-iterations, clamped to a maximum.
+ *
+ * The paper argues for a deterministic schedule (Section 4.2): equal
+ * backoffs preserve the serialization created by the first round of
+ * contention, where randomized retries would destroy it.
+ */
+class ExpBackoff
+{
+  public:
+    /**
+     * @param base growth factor per failed poll (2, 4, 8 in the paper)
+     * @param initial first wait in pause-iterations
+     * @param max clamp on the wait
+     */
+    explicit ExpBackoff(std::uint64_t base = 2,
+                        std::uint64_t initial = 4,
+                        std::uint64_t max = 16384)
+        : base_(base), initial_(initial), max_(max), current_(initial)
+    {
+    }
+
+    void
+    operator()()
+    {
+        spinFor(current_);
+        if (current_ <= max_ / base_)
+            current_ *= base_;
+        else
+            current_ = max_;
+    }
+
+    void
+    reset()
+    {
+        current_ = initial_;
+    }
+
+    /** Current wait length (exposed for tests). */
+    std::uint64_t current() const { return current_; }
+
+  private:
+    std::uint64_t base_;
+    std::uint64_t initial_;
+    std::uint64_t max_;
+    std::uint64_t current_;
+};
+
+/**
+ * Linear backoff: the t-th failed poll waits t * step
+ * pause-iterations.
+ */
+class LinearBackoff
+{
+  public:
+    explicit LinearBackoff(std::uint64_t step = 16,
+                           std::uint64_t max = 16384)
+        : step_(step), max_(max)
+    {
+    }
+
+    void
+    operator()()
+    {
+        current_ = current_ + step_ > max_ ? max_ : current_ + step_;
+        spinFor(current_);
+    }
+
+    void
+    reset()
+    {
+        current_ = 0;
+    }
+
+  private:
+    std::uint64_t step_;
+    std::uint64_t max_;
+    std::uint64_t current_ = 0;
+};
+
+/**
+ * Proportional backoff: wait an amount supplied per call, scaled by a
+ * constant — the runtime analogue of "backoff on the barrier
+ * variable" (wait N-i network cycles) and of resource waiting (wait
+ * proportional to queue length, Section 8).
+ */
+class ProportionalBackoff
+{
+  public:
+    explicit ProportionalBackoff(std::uint64_t scale = 8)
+        : scale_(scale)
+    {
+    }
+
+    /** Wait proportional to @p amount (e.g. waiters ahead of us). */
+    void
+    wait(std::uint64_t amount)
+    {
+        spinFor(amount * scale_);
+    }
+
+  private:
+    std::uint64_t scale_;
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_SPIN_BACKOFF_HPP

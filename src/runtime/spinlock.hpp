@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Spinlocks with pluggable backoff (runtime application of the
+ * paper's techniques to lock acquisition).
+ *
+ * Three classic designs are provided, each meeting the C++ Lockable
+ * requirements so they compose with std::lock_guard / std::scoped_lock:
+ *
+ *  - TasLock: test-and-set; every attempt is a bus/network
+ *    transaction — the paper's "no backoff" worst case;
+ *  - TtasLock: test-and-test-and-set; reads spin locally in the cache
+ *    and the backoff policy paces re-reads after failed attempts;
+ *  - TicketLock: F&A ticket + proportional backoff on the distance to
+ *    our turn — the direct analogue of "backoff on the barrier
+ *    variable" (wait time proportional to the waiters ahead of us,
+ *    Section 8's resource-waiting argument).
+ */
+
+#ifndef ABSYNC_RUNTIME_SPINLOCK_HPP
+#define ABSYNC_RUNTIME_SPINLOCK_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/spin_backoff.hpp"
+
+namespace absync::runtime
+{
+
+/**
+ * Test-and-set lock.  @tparam Backoff paces retries after failed
+ * atomic exchanges.
+ */
+template <typename Backoff = NoBackoff>
+class TasLock
+{
+  public:
+    explicit TasLock(Backoff backoff = Backoff{})
+        : backoff_(backoff)
+    {
+    }
+
+    void
+    lock()
+    {
+        Backoff b = backoff_;
+        while (flag_.exchange(true, std::memory_order_acquire))
+            b();
+    }
+
+    bool
+    try_lock()
+    {
+        return !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        flag_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+    Backoff backoff_;
+};
+
+/**
+ * Test-and-test-and-set lock: spin on a plain load (cache-local),
+ * attempt the exchange only when the lock looks free, and back off
+ * after each failed attempt.
+ */
+template <typename Backoff = ExpBackoff>
+class TtasLock
+{
+  public:
+    explicit TtasLock(Backoff backoff = Backoff{})
+        : backoff_(backoff)
+    {
+    }
+
+    void
+    lock()
+    {
+        Backoff b = backoff_;
+        for (;;) {
+            while (flag_.load(std::memory_order_relaxed))
+                cpuRelax();
+            if (!flag_.exchange(true, std::memory_order_acquire))
+                return;
+            b(); // failed the race: back off before re-reading
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        flag_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+    Backoff backoff_;
+};
+
+/**
+ * Ticket lock with proportional backoff: the fetch&add ticket reveals
+ * how many waiters are ahead (synchronization *state*), so each
+ * waiter sleeps proportionally to its distance instead of hammering
+ * the grant counter.
+ */
+class TicketLock
+{
+  public:
+    /**
+     * @param spins_per_waiter pause-iterations per waiter ahead of us
+     *        (0 = plain spinning)
+     */
+    explicit TicketLock(std::uint64_t spins_per_waiter = 32)
+        : scale_(spins_per_waiter)
+    {
+    }
+
+    void
+    lock()
+    {
+        const std::uint32_t my =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        std::uint32_t checks = 0;
+        for (;;) {
+            const std::uint32_t cur =
+                serving_.load(std::memory_order_acquire);
+            if (cur == my)
+                return;
+            // FIFO locks convoy badly when the thread whose turn it
+            // is has been preempted: every handoff then costs a
+            // scheduling quantum while the spinners burn the core.
+            // Once the wait is clearly not short, yield so the OS
+            // can run the ticket holder.
+            if (++checks >= 8) {
+                std::this_thread::yield();
+                continue;
+            }
+            // Backoff on synchronization state: distance to our turn.
+            const std::uint32_t ahead = my - cur;
+            if (scale_)
+                spinFor(static_cast<std::uint64_t>(ahead) * scale_);
+            else
+                cpuRelax();
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        std::uint32_t cur = serving_.load(std::memory_order_relaxed);
+        std::uint32_t expected = cur;
+        // Succeed only if no one is waiting and we can take a ticket.
+        return next_.compare_exchange_strong(
+            expected, cur + 1, std::memory_order_acquire,
+            std::memory_order_relaxed);
+    }
+
+    void
+    unlock()
+    {
+        serving_.fetch_add(1, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<std::uint32_t> next_{0};
+    std::atomic<std::uint32_t> serving_{0};
+    std::uint64_t scale_;
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_SPINLOCK_HPP

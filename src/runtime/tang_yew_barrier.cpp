@@ -1,0 +1,88 @@
+#include "runtime/tang_yew_barrier.hpp"
+
+namespace absync::runtime
+{
+
+TangYewBarrier::TangYewBarrier(std::uint32_t parties,
+                               BarrierConfig cfg)
+    : parties_(parties), cfg_(cfg)
+{
+}
+
+void
+TangYewBarrier::arriveAndWait()
+{
+    // A thread can only be here after observing the previous phase's
+    // release, so the phase counter is current for it.
+    const std::uint32_t phase = phase_.load(std::memory_order_acquire);
+    Cell &cell = cells_[phase & 1];
+    Cell &next = cells_[(phase + 1) & 1];
+
+    const std::uint32_t i =
+        cell.counter.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (i == parties_) {
+        // Last arriver: prepare the next phase's cells, publish the
+        // phase number, then set the flag (the paper's final write).
+        next.counter.store(0, std::memory_order_relaxed);
+        next.flag.store(0, std::memory_order_relaxed);
+        phase_.store(phase + 1, std::memory_order_relaxed);
+        cell.flag.store(1, std::memory_order_release);
+        if (cfg_.policy == BarrierPolicy::Blocking)
+            cell.flag.notify_all();
+        return;
+    }
+    waitOnFlag(cell, parties_ - i);
+}
+
+void
+TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing)
+{
+    // Backoff on the barrier variable: i processors have arrived, so
+    // at least (N - i) increments must still happen.
+    if (cfg_.policy != BarrierPolicy::None)
+        spinFor(static_cast<std::uint64_t>(missing) *
+                cfg_.perMissingArrival);
+
+    std::uint64_t local_polls = 0;
+    std::uint64_t wait = cfg_.initial;
+    for (;;) {
+        ++local_polls;
+        if (cell.flag.load(std::memory_order_acquire) != 0)
+            break;
+        switch (cfg_.policy) {
+          case BarrierPolicy::None:
+          case BarrierPolicy::Variable:
+            cpuRelax();
+            break;
+          case BarrierPolicy::Linear:
+            spinFor(wait);
+            wait = wait + cfg_.base > cfg_.maxWait ? cfg_.maxWait
+                                                   : wait + cfg_.base;
+            break;
+          case BarrierPolicy::Exponential:
+            spinFor(wait);
+            wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
+                                                   : wait * cfg_.base;
+            break;
+          case BarrierPolicy::Blocking:
+            if (wait > cfg_.blockThreshold) {
+                blocks_.fetch_add(1, std::memory_order_relaxed);
+                while (cell.flag.load(std::memory_order_acquire) ==
+                       0) {
+                    cell.flag.wait(0, std::memory_order_acquire);
+                }
+                ++local_polls;
+                polls_.fetch_add(local_polls,
+                                 std::memory_order_relaxed);
+                return;
+            }
+            spinFor(wait);
+            wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
+                                                   : wait * cfg_.base;
+            break;
+        }
+    }
+    polls_.fetch_add(local_polls, std::memory_order_relaxed);
+}
+
+} // namespace absync::runtime

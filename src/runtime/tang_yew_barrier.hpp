@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tang & Yew's two-variable barrier, the exact construction the
+ * paper simulates, for real threads.
+ *
+ * "A better implementation, e.g., Tang and Yew's, splits the barrier
+ * into two shared variables: an incrementing variable (henceforth
+ * called the barrier variable) initially set to zero, and a barrier
+ * flag variable also initially reset.  An arriving processor
+ * increments the barrier variable.  If the variable's value is less
+ * than N, the processor polls the barrier flag which is set by the
+ * last processor to reach the barrier."
+ *
+ * Reuse across phases works episodically: phases alternate between
+ * two (counter, flag) cells, and the last arriver of phase k resets
+ * phase k+1's cell pair before releasing phase k — so a fast thread
+ * can never observe a stale flag.  A thread learns its phase from a
+ * shared phase counter, which is safe because a thread can only
+ * arrive at phase p after observing phase p-1's release (the counter
+ * is published before the flag).  The waiting policy is the same
+ * BarrierConfig as the sense-reversing SpinBarrier, including the
+ * paper's backoff-on-the-barrier-variable: the fetch&add result i
+ * tells the waiter N-i arrivals are still outstanding.
+ *
+ * SpinBarrier (sense reversal) is the recommended modern barrier;
+ * this class exists for fidelity and for A/B comparison in benches.
+ */
+
+#ifndef ABSYNC_RUNTIME_TANG_YEW_BARRIER_HPP
+#define ABSYNC_RUNTIME_TANG_YEW_BARRIER_HPP
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/barrier.hpp"
+
+namespace absync::runtime
+{
+
+/**
+ * Reusable two-variable (counter + flag) barrier.
+ */
+class TangYewBarrier
+{
+  public:
+    /**
+     * @param parties number of threads that must arrive (>= 1)
+     * @param cfg waiting-policy configuration
+     */
+    explicit TangYewBarrier(std::uint32_t parties,
+                            BarrierConfig cfg = {});
+
+    TangYewBarrier(const TangYewBarrier &) = delete;
+    TangYewBarrier &operator=(const TangYewBarrier &) = delete;
+
+    /** Arrive and wait until all parties have arrived. */
+    void arriveAndWait();
+
+    /** Number of participating threads. */
+    std::uint32_t parties() const { return parties_; }
+
+    /** Total flag polls across all threads and phases. */
+    std::uint64_t
+    totalPolls() const
+    {
+        return polls_.load(std::memory_order_relaxed);
+    }
+
+    /** Total futex blocks (Blocking policy only). */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return blocks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** One phase's cell pair, padded apart: the paper places the
+     *  variable and flag in different memory modules. */
+    struct alignas(64) Cell
+    {
+        std::atomic<std::uint32_t> counter{0};
+        alignas(64) std::atomic<std::uint32_t> flag{0};
+    };
+
+    void waitOnFlag(Cell &cell, std::uint32_t missing);
+
+    const std::uint32_t parties_;
+    const BarrierConfig cfg_;
+    Cell cells_[2];
+    /** Completed phases; entry point for the current phase's cell. */
+    std::atomic<std::uint32_t> phase_{0};
+    std::atomic<std::uint64_t> polls_{0};
+    std::atomic<std::uint64_t> blocks_{0};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_TANG_YEW_BARRIER_HPP

@@ -1,0 +1,145 @@
+#include "runtime/tree_barrier.hpp"
+
+#include <cassert>
+
+namespace absync::runtime
+{
+
+TreeBarrier::TreeBarrier(std::uint32_t parties, std::uint32_t fan_in,
+                         BarrierConfig cfg)
+    : parties_(parties), fan_in_(fan_in), cfg_(cfg)
+{
+    assert(parties >= 1 && fan_in >= 2);
+
+    // Build levels bottom-up, mirroring core::TreeBarrierSimulator.
+    std::vector<std::uint32_t> level_base;
+    std::uint32_t below = parties_;
+    std::uint32_t cur = (parties_ + fan_in_ - 1) / fan_in_;
+    std::uint32_t total = 0;
+    std::vector<std::uint32_t> level_counts;
+    while (true) {
+        level_base.push_back(total);
+        level_counts.push_back(cur);
+        total += cur;
+        if (cur == 1)
+            break;
+        below = cur;
+        cur = (cur + fan_in_ - 1) / fan_in_;
+    }
+    nodes_ = std::vector<Node>(total);
+    root_ = total - 1;
+
+    // Expected arrivals and parent links.
+    below = parties_;
+    for (std::size_t l = 0; l < level_counts.size(); ++l) {
+        for (std::uint32_t j = 0; j < level_counts[l]; ++j) {
+            Node &n = nodes_[level_base[l] + j];
+            n.expected = std::min(fan_in_, below - j * fan_in_);
+            n.parent = (l + 1 < level_counts.size())
+                           ? level_base[l + 1] + j / fan_in_
+                           : level_base[l] + j; // root: self
+        }
+        below = level_counts[l];
+    }
+}
+
+void
+TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
+                        std::uint32_t missing)
+{
+    if (cfg_.policy != BarrierPolicy::None)
+        spinFor(static_cast<std::uint64_t>(missing) *
+                cfg_.perMissingArrival);
+
+    std::uint64_t local_polls = 0;
+    std::uint64_t wait = cfg_.initial;
+    for (;;) {
+        ++local_polls;
+        if (node.sense.load(std::memory_order_acquire) != old_sense)
+            break;
+        switch (cfg_.policy) {
+          case BarrierPolicy::None:
+          case BarrierPolicy::Variable:
+            cpuRelax();
+            break;
+          case BarrierPolicy::Linear:
+            spinFor(wait);
+            wait = wait + cfg_.base > cfg_.maxWait ? cfg_.maxWait
+                                                   : wait + cfg_.base;
+            break;
+          case BarrierPolicy::Exponential:
+            spinFor(wait);
+            wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
+                                                   : wait * cfg_.base;
+            break;
+          case BarrierPolicy::Blocking:
+            if (wait > cfg_.blockThreshold) {
+                blocks_.fetch_add(1, std::memory_order_relaxed);
+                while (node.sense.load(std::memory_order_acquire) ==
+                       old_sense) {
+                    node.sense.wait(old_sense,
+                                    std::memory_order_acquire);
+                }
+                ++local_polls;
+                goto out;
+            }
+            spinFor(wait);
+            wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
+                                                   : wait * cfg_.base;
+            break;
+        }
+    }
+  out:
+    polls_.fetch_add(local_polls, std::memory_order_relaxed);
+}
+
+void
+TreeBarrier::arriveAndWait(std::uint32_t thread_id)
+{
+    assert(thread_id < parties_);
+
+    // Ascend: win nodes while we are the last arriver.
+    std::uint32_t won[32];
+    std::uint32_t n_won = 0;
+    std::uint32_t node_idx = thread_id / fan_in_;
+    std::uint32_t poll_node = node_idx;
+    std::uint32_t poll_sense = 0;
+    std::uint32_t poll_missing = 0;
+    bool is_winner = true;
+
+    for (;;) {
+        Node &node = nodes_[node_idx];
+        const std::uint32_t old_sense =
+            node.sense.load(std::memory_order_acquire);
+        const std::uint32_t pos =
+            node.count.fetch_add(1, std::memory_order_acq_rel);
+        if (pos + 1 != node.expected) {
+            // Not last: wait here for the release.
+            poll_node = node_idx;
+            poll_sense = old_sense;
+            poll_missing = node.expected - (pos + 1);
+            is_winner = false;
+            break;
+        }
+        won[n_won++] = node_idx;
+        if (node_idx == root_)
+            break;
+        node_idx = node.parent;
+    }
+
+    if (!is_winner) {
+        waitAtNode(nodes_[poll_node], poll_sense, poll_missing);
+    }
+
+    // Release: the winner of each node resets it and bumps its
+    // sense, top-down, so each subtree wakes as soon as possible.
+    for (std::uint32_t i = n_won; i-- > 0;) {
+        Node &node = nodes_[won[i]];
+        node.count.store(0, std::memory_order_relaxed);
+        node.sense.fetch_add(1, std::memory_order_release);
+        if (cfg_.policy == BarrierPolicy::Blocking)
+            node.sense.notify_all();
+    }
+}
+
+} // namespace absync::runtime

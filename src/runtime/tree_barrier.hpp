@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Combining-tree barrier for real threads with per-node adaptive
+ * backoff (the runtime counterpart of core::TreeBarrierSimulator).
+ *
+ * Threads are grouped fan-in at a time onto leaf nodes; the last
+ * arriver at each node ascends, so at most fan-in threads ever
+ * contend on one cache line, and the release descends the winner
+ * paths.  Each node's wait applies the configured BarrierConfig
+ * policy, including queue-on-threshold blocking via
+ * std::atomic::wait.
+ */
+
+#ifndef ABSYNC_RUNTIME_TREE_BARRIER_HPP
+#define ABSYNC_RUNTIME_TREE_BARRIER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+
+namespace absync::runtime
+{
+
+/**
+ * Reusable combining-tree barrier for a fixed set of threads.
+ *
+ * Unlike SpinBarrier, arriveAndWait takes the caller's dense thread
+ * id (0..parties-1) so the thread can be routed to its leaf node.
+ */
+class TreeBarrier
+{
+  public:
+    /**
+     * @param parties number of participating threads (>= 1)
+     * @param fan_in node width (>= 2)
+     * @param cfg waiting policy applied at every node
+     */
+    TreeBarrier(std::uint32_t parties, std::uint32_t fan_in,
+                BarrierConfig cfg = {});
+
+    TreeBarrier(const TreeBarrier &) = delete;
+    TreeBarrier &operator=(const TreeBarrier &) = delete;
+
+    /** Arrive as thread @p thread_id and wait for the phase. */
+    void arriveAndWait(std::uint32_t thread_id);
+
+    /** Number of participating threads. */
+    std::uint32_t parties() const { return parties_; }
+
+    /** Number of tree nodes. */
+    std::uint32_t
+    nodeCount() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    /** Total sense polls across all threads, nodes, and phases. */
+    std::uint64_t
+    totalPolls() const
+    {
+        return polls_.load(std::memory_order_relaxed);
+    }
+
+    /** Total futex blocks (Blocking policy only). */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return blocks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** One tree node, padded to its own cache line pair. */
+    struct alignas(64) Node
+    {
+        std::atomic<std::uint32_t> count{0};
+        std::atomic<std::uint32_t> sense{0};
+        std::uint32_t expected = 0;
+        std::uint32_t parent = 0; ///< node index; self for the root
+    };
+
+    /** Wait at @p node until its sense leaves @p old_sense. */
+    void waitAtNode(Node &node, std::uint32_t old_sense,
+                    std::uint32_t missing);
+
+    const std::uint32_t parties_;
+    const std::uint32_t fan_in_;
+    const BarrierConfig cfg_;
+    std::uint32_t root_;
+    std::vector<Node> nodes_;
+    std::atomic<std::uint64_t> polls_{0};
+    std::atomic<std::uint64_t> blocks_{0};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_TREE_BARRIER_HPP

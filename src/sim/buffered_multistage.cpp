@@ -1,0 +1,219 @@
+#include "sim/buffered_multistage.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace absync::sim
+{
+
+namespace
+{
+
+std::uint32_t
+log2u(std::uint32_t x)
+{
+    std::uint32_t k = 0;
+    while ((1u << k) < x)
+        ++k;
+    return k;
+}
+
+} // namespace
+
+BufferedMultistageNetwork::BufferedMultistageNetwork(
+    const BufferedNetConfig &cfg)
+    : cfg_(cfg), stages_(log2u(cfg.processors)), rng_(cfg.seed),
+      queues_(static_cast<std::size_t>(stages_) * cfg.processors)
+{
+    assert((cfg.processors & (cfg.processors - 1)) == 0 &&
+           "processors must be a power of two");
+}
+
+std::uint32_t
+BufferedMultistageNetwork::nextPort(std::uint32_t stage,
+                                    std::uint32_t from,
+                                    std::uint32_t dest) const
+{
+    const std::uint32_t mask = cfg_.processors - 1;
+    const std::uint32_t bit = (dest >> (stages_ - 1 - stage)) & 1u;
+    return ((from << 1) | bit) & mask;
+}
+
+BufferedNetStats
+BufferedMultistageNetwork::run()
+{
+    const std::uint32_t n = cfg_.processors;
+    BufferedNetStats st;
+    support::RunningStats bg_latency;
+    support::RunningStats occupancy;
+    support::RunningStats hot_occ;
+
+    enum class PS : std::uint8_t { Idle, WantInject };
+    struct Proc
+    {
+        PS state = PS::Idle;
+        std::uint32_t dest = 0;
+        std::uint64_t wake = 0;
+        std::uint64_t issueTime = 0;
+    };
+    std::vector<Proc> procs(n);
+    const auto isPoller = [&](std::uint32_t p) {
+        return p < cfg_.hotPollers;
+    };
+
+    // Round-robin priority toggles, one per switch output port.
+    std::vector<std::uint8_t> rr(queues_.size(), 0);
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<std::uint64_t> module_busy_until(n, 0);
+
+    for (std::uint64_t now = 0; now < cfg_.cycles; ++now) {
+        // 1. Memory modules consume packets at their service rate.
+        for (std::uint32_t m = 0; m < n; ++m) {
+            if (module_busy_until[m] > now)
+                continue;
+            auto &q = queues_[qIndex(stages_ - 1, m)];
+            if (q.empty())
+                continue;
+            const Packet pkt = q.front();
+            q.pop_front();
+            module_busy_until[m] = now + cfg_.moduleServiceCycles;
+            ++st.delivered;
+            if (pkt.background) {
+                ++st.bgDelivered;
+                bg_latency.add(
+                    static_cast<double>(now - pkt.issueTime));
+            }
+        }
+
+        // 2. Advance packets one stage, highest target stage first.
+        for (std::uint32_t t = stages_ - 1; t >= 1; --t) {
+            for (std::uint32_t x = 0; x < n; ++x) {
+                auto &dst = queues_[qIndex(t, x)];
+                if (dst.size() >= cfg_.queueCapacity)
+                    continue;
+                const std::uint32_t f0 = x >> 1;
+                const std::uint32_t f1 = (x >> 1) + n / 2;
+                std::uint32_t feeders[2] = {f0, f1};
+                if (rr[qIndex(t, x)])
+                    std::swap(feeders[0], feeders[1]);
+                for (std::uint32_t fi = 0; fi < 2; ++fi) {
+                    auto &src = queues_[qIndex(t - 1, feeders[fi])];
+                    if (src.empty())
+                        continue;
+                    if (nextPort(t, feeders[fi],
+                                 src.front().dest) != x) {
+                        continue;
+                    }
+                    dst.push_back(src.front());
+                    src.pop_front();
+                    rr[qIndex(t, x)] ^= 1;
+                    break;
+                }
+            }
+        }
+
+        // 3. Injections into stage 0 (one per port per cycle).
+        std::vector<std::uint8_t> port_used(n, 0);
+        for (std::uint32_t i = n; i > 1; --i) {
+            const std::size_t j = rng_.index(i);
+            std::swap(order[i - 1], order[j]);
+        }
+        for (std::uint32_t idx : order) {
+            Proc &pr = procs[idx];
+
+            // Generate new work.
+            if (pr.state == PS::Idle) {
+                if (isPoller(idx)) {
+                    if (pr.wake > now)
+                        continue;
+                    pr.dest = 0;
+                } else if (rng_.bernoulli(cfg_.offeredLoad)) {
+                    pr.dest = rng_.bernoulli(cfg_.hotspotFraction)
+                                  ? 0
+                                  : static_cast<std::uint32_t>(
+                                        rng_.index(n));
+                } else {
+                    continue;
+                }
+                pr.state = PS::WantInject;
+                pr.issueTime = now;
+                pr.wake = now;
+            }
+
+            if (pr.state != PS::WantInject || pr.wake > now)
+                continue;
+
+            // Scott-Sohi feedback: consult the destination module's
+            // queue before injecting.
+            if (cfg_.feedbackThreshold > 0) {
+                const auto qlen =
+                    queues_[qIndex(stages_ - 1, pr.dest)].size();
+                if (qlen > cfg_.feedbackThreshold) {
+                    const std::uint64_t wait =
+                        qlen * cfg_.feedbackScale;
+                    pr.wake = now + wait;
+                    st.feedbackWaitCycles += wait;
+                    continue;
+                }
+            }
+
+            const std::uint32_t port = nextPort(0, idx, pr.dest);
+            auto &q0 = queues_[qIndex(0, port)];
+            if (port_used[port] || q0.size() >= cfg_.queueCapacity) {
+                ++st.injectionFailures;
+                continue; // retry next cycle
+            }
+            port_used[port] = 1;
+            ++st.injected;
+            q0.push_back(Packet{pr.dest, pr.issueTime,
+                                !isPoller(idx)});
+            // Fire-and-forget: the processor may issue its next
+            // request after a pipeline turnaround of the network
+            // depth (it cannot have two packets racing in flight).
+            pr.state = PS::Idle;
+            pr.wake = now + stages_ +
+                      (isPoller(idx) ? cfg_.hotPollInterval : 0);
+        }
+
+        // 4. Occupancy sampling.
+        std::uint64_t total = 0;
+        std::uint64_t hot = 0;
+        std::uint64_t hot_slots = 0;
+        for (std::uint32_t s = 0; s < stages_; ++s) {
+            const std::uint32_t hot_mask = (1u << (s + 1)) - 1;
+            for (std::uint32_t x = 0; x < n; ++x) {
+                const auto sz = queues_[qIndex(s, x)].size();
+                total += sz;
+                if ((x & hot_mask) == 0) {
+                    hot += sz;
+                    hot_slots += cfg_.queueCapacity;
+                }
+            }
+        }
+        occupancy.add(static_cast<double>(total) /
+                      static_cast<double>(queues_.size() *
+                                          cfg_.queueCapacity));
+        hot_occ.add(hot_slots ? static_cast<double>(hot) /
+                                    static_cast<double>(hot_slots)
+                              : 0.0);
+    }
+
+    for (const auto &q : queues_)
+        st.inFlightAtEnd += q.size();
+
+    const std::uint32_t bg_procs = n - cfg_.hotPollers;
+    st.bgLatency = bg_latency.mean();
+    st.bgThroughput =
+        bg_procs ? static_cast<double>(st.bgDelivered) /
+                       static_cast<double>(cfg_.cycles) /
+                       static_cast<double>(bg_procs)
+                 : 0.0;
+    st.avgQueueOccupancy = occupancy.mean();
+    st.hotTreeOccupancy = hot_occ.mean();
+    return st;
+}
+
+} // namespace absync::sim

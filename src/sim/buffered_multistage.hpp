@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Buffered (packet-switched) multistage Omega network with hot-spot
+ * tree saturation and Scott-Sohi queue feedback (paper Sections 1,
+ * 2.2 and 8 item (5); Pfister & Norton; Scott & Sohi).
+ *
+ * The circuit-switched simulator (multistage.hpp) models the paper's
+ * Section 8 collision strategies.  *Tree saturation*, however — the
+ * phenomenon the paper's Introduction invokes to motivate reducing
+ * synchronization traffic — is a buffered-network effect: the queues
+ * at the switches feeding a hot memory module fill, back-pressure
+ * propagates to earlier stages, and soon packets destined to *cold*
+ * modules are stuck behind the clog.  This module models exactly
+ * that:
+ *
+ *  - log2(N) stages of 2x2 switches, one FIFO queue per switch
+ *    output port, finite capacity;
+ *  - one packet advances per output port per cycle (round-robin
+ *    between the two feeder ports); the destination module consumes
+ *    one packet per cycle;
+ *  - processors inject into the stage-0 queue of their shuffled
+ *    source port; a full queue rejects the injection and the
+ *    processor retries.
+ *
+ * Feedback (Scott & Sohi): the memory module's queue length is made
+ * visible to processors; a processor whose destination's queue
+ * exceeds a threshold voluntarily waits proportionally to the queue
+ * length before injecting — item (5) of the paper's Section 8 list.
+ */
+
+#ifndef ABSYNC_SIM_BUFFERED_MULTISTAGE_HPP
+#define ABSYNC_SIM_BUFFERED_MULTISTAGE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace absync::sim
+{
+
+/** Configuration of one buffered-network experiment. */
+struct BufferedNetConfig
+{
+    /** Processors = memory modules; power of two. */
+    std::uint32_t processors = 64;
+    /** FIFO capacity of each switch output port. */
+    std::uint32_t queueCapacity = 4;
+    /** Cycles a memory module takes to serve one request; > 1 makes
+     *  the module the bottleneck, so its queue — the one Scott &
+     *  Sohi's feedback reads — actually backs up. */
+    std::uint32_t moduleServiceCycles = 2;
+    /** Probability an idle background processor injects per cycle. */
+    double offeredLoad = 0.3;
+    /** Fraction of background requests aimed at module 0. */
+    double hotspotFraction = 0.0;
+    /** Processors 0..hotPollers-1 continuously target module 0. */
+    std::uint32_t hotPollers = 0;
+    /** Idle cycles between a poller's completed requests. */
+    std::uint32_t hotPollInterval = 0;
+    /** Scott-Sohi feedback: wait queueLength * feedbackScale cycles
+     *  before injecting when the destination module's queue exceeds
+     *  feedbackThreshold.  0 threshold disables feedback. */
+    std::uint32_t feedbackThreshold = 0;
+    /** Cycles waited per queued packet when feedback triggers. */
+    std::uint32_t feedbackScale = 8;
+    /** Simulated cycles. */
+    std::uint64_t cycles = 20000;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Results of one buffered-network experiment. */
+struct BufferedNetStats
+{
+    /** Delivered packets (all classes). */
+    std::uint64_t delivered = 0;
+    /** Background (non-poller) deliveries. */
+    std::uint64_t bgDelivered = 0;
+    /** Mean end-to-end latency of background packets. */
+    double bgLatency = 0.0;
+    /** Background deliveries per cycle per background processor. */
+    double bgThroughput = 0.0;
+    /** Packets successfully injected into stage 0. */
+    std::uint64_t injected = 0;
+    /** Injection attempts rejected because stage-0 was full. */
+    std::uint64_t injectionFailures = 0;
+    /** Packets still queued in the network when the run ended. */
+    std::uint64_t inFlightAtEnd = 0;
+    /** Mean occupancy of all switch queues (0..1). */
+    double avgQueueOccupancy = 0.0;
+    /** Mean occupancy of the queues on the tree toward module 0. */
+    double hotTreeOccupancy = 0.0;
+    /** Cycles processors spent in feedback-imposed waits. */
+    std::uint64_t feedbackWaitCycles = 0;
+};
+
+/**
+ * Cycle-driven simulator of the buffered Omega network.
+ */
+class BufferedMultistageNetwork
+{
+  public:
+    explicit BufferedMultistageNetwork(const BufferedNetConfig &cfg);
+
+    /** Run the configured number of cycles. */
+    BufferedNetStats run();
+
+  private:
+    struct Packet
+    {
+        std::uint32_t dest;
+        std::uint64_t issueTime;
+        bool background;
+    };
+
+    /** Queue index for (stage, port). */
+    std::size_t
+    qIndex(std::uint32_t stage, std::uint32_t port) const
+    {
+        return static_cast<std::size_t>(stage) * cfg_.processors +
+               port;
+    }
+
+    /** Next-hop port at @p stage for a packet to @p dest entering
+     *  from @p port of the previous stage (or the source for stage
+     *  0). */
+    std::uint32_t nextPort(std::uint32_t stage, std::uint32_t from,
+                           std::uint32_t dest) const;
+
+    BufferedNetConfig cfg_;
+    std::uint32_t stages_;
+    support::Rng rng_;
+    std::vector<std::deque<Packet>> queues_;
+};
+
+} // namespace absync::sim
+
+#endif // ABSYNC_SIM_BUFFERED_MULTISTAGE_HPP

@@ -1,0 +1,128 @@
+#include "sim/memory_module.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace absync::sim
+{
+
+Arbitration
+arbitrationFromString(const std::string &name)
+{
+    if (name == "random")
+        return Arbitration::Random;
+    if (name == "rr" || name == "roundrobin" || name == "round-robin")
+        return Arbitration::RoundRobin;
+    if (name == "fifo")
+        return Arbitration::Fifo;
+    std::fprintf(stderr, "unknown arbitration policy '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+RequesterId
+MemoryModule::arbitrate(support::Rng &rng)
+{
+    if (requesters_.empty()) {
+        if (arb_ == Arbitration::Fifo)
+            ++fifo_clock_;
+        return NO_GRANT;
+    }
+
+    RequesterId winner = NO_GRANT;
+    switch (arb_) {
+      case Arbitration::Random:
+        winner = arbitrateRandom(rng);
+        break;
+      case Arbitration::RoundRobin:
+        winner = arbitrateRoundRobin();
+        break;
+      case Arbitration::Fifo:
+        winner = arbitrateFifo();
+        break;
+    }
+
+    total_grants_ += 1;
+    total_denials_ += requesters_.size() - 1;
+    requesters_.clear();
+    return winner;
+}
+
+RequesterId
+MemoryModule::arbitrateRandom(support::Rng &rng)
+{
+    return requesters_[rng.index(requesters_.size())];
+}
+
+RequesterId
+MemoryModule::arbitrateRoundRobin()
+{
+    // Grant the requester with the smallest (id - rr_next_) mod 2^32,
+    // i.e. the first id at or after the priority pointer.
+    RequesterId best = requesters_.front();
+    std::uint32_t best_key = best - rr_next_;
+    for (RequesterId id : requesters_) {
+        const std::uint32_t key = id - rr_next_;
+        if (key < best_key) {
+            best_key = key;
+            best = id;
+        }
+    }
+    rr_next_ = best + 1;
+    return best;
+}
+
+RequesterId
+MemoryModule::arbitrateFifo()
+{
+    const RequesterId max_id =
+        *std::max_element(requesters_.begin(), requesters_.end());
+    if (fifo_since_.size() <= max_id) {
+        fifo_since_.resize(max_id + 1, 0);
+        fifo_waiting_.resize(max_id + 1, false);
+    }
+
+    // Stamp new waiters; anyone who was waiting last cycle but is not
+    // requesting now has backed off and loses their position lazily
+    // (their stamp is refreshed when they return).
+    for (RequesterId id : requesters_) {
+        if (!fifo_waiting_[id]) {
+            fifo_waiting_[id] = true;
+            fifo_since_[id] = fifo_clock_;
+        }
+    }
+
+    RequesterId best = requesters_.front();
+    for (RequesterId id : requesters_) {
+        if (fifo_since_[id] < fifo_since_[best] ||
+            (fifo_since_[id] == fifo_since_[best] && id < best)) {
+            best = id;
+        }
+    }
+
+    // The winner leaves the queue; non-requesting waiters are cleared
+    // so a backed-off processor re-enters at the tail.
+    std::fill(fifo_waiting_.begin(), fifo_waiting_.end(), false);
+    for (RequesterId id : requesters_) {
+        if (id != best)
+            fifo_waiting_[id] = true;
+    }
+    ++fifo_clock_;
+    return best;
+}
+
+void
+MemoryModule::reset()
+{
+    requesters_.clear();
+    rr_next_ = 0;
+    fifo_clock_ = 0;
+    fifo_since_.clear();
+    fifo_waiting_.clear();
+    total_grants_ = 0;
+    total_denials_ = 0;
+}
+
+} // namespace absync::sim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Single-location memory-module contention model (paper Section 3).
+ *
+ * The paper's network model is deliberately simple: any processor can
+ * reach any memory module in one network cycle, network contention is
+ * not modeled, but *module* contention is — in a given cycle only one
+ * processor may access the barrier variable or the barrier flag.  A
+ * denied processor retries on the next cycle, and every attempt
+ * (successful or not) counts as a network access.
+ *
+ * MemoryModule implements exactly that: per cycle it collects the set
+ * of requesters and grants exactly one.  Random arbitration reproduces
+ * Model 1's "the last writer needs ~N tries against N-1 pollers"
+ * behaviour; round-robin and FIFO are provided for the arbitration
+ * ablation (DESIGN.md Section 7).
+ */
+
+#ifndef ABSYNC_SIM_MEMORY_MODULE_HPP
+#define ABSYNC_SIM_MEMORY_MODULE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace absync::sim
+{
+
+/** Identifier for a requesting processor. */
+using RequesterId = std::uint32_t;
+
+/** Sentinel returned when a cycle had no requesters. */
+constexpr RequesterId NO_GRANT = static_cast<RequesterId>(-1);
+
+/** How a module picks one winner among a cycle's requesters. */
+enum class Arbitration
+{
+    /** Uniformly random among current requesters (paper default). */
+    Random,
+    /** Rotating priority starting after the last winner. */
+    RoundRobin,
+    /**
+     * Longest continuously-waiting requester wins.  A requester that
+     * stops requesting (e.g. backs off) loses its queue position.
+     */
+    Fifo,
+};
+
+/** Parse an arbitration name ("random", "rr", "fifo"); fatal on typo. */
+Arbitration arbitrationFromString(const std::string &name);
+
+/**
+ * One memory module serving at most one access per network cycle.
+ *
+ * Protocol per cycle:
+ *   1. every processor that wants the module this cycle calls
+ *      request(id);
+ *   2. arbitrate() picks and returns the winner (or NO_GRANT) and
+ *      resets the request set for the next cycle.
+ */
+class MemoryModule
+{
+  public:
+    explicit MemoryModule(Arbitration arb = Arbitration::Random)
+        : arb_(arb)
+    {
+    }
+
+    /** Register @p id as a requester for the current cycle. */
+    void
+    request(RequesterId id)
+    {
+        requesters_.push_back(id);
+    }
+
+    /** Number of requesters registered so far this cycle. */
+    std::size_t pending() const { return requesters_.size(); }
+
+    /**
+     * Pick this cycle's winner and clear the request set.
+     *
+     * @param rng randomness source (used only for Random arbitration)
+     * @return the granted requester, or NO_GRANT if none requested
+     */
+    RequesterId arbitrate(support::Rng &rng);
+
+    /** Total grants issued over the module's lifetime. */
+    std::uint64_t totalGrants() const { return total_grants_; }
+
+    /** Total denied (contended-away) requests over the lifetime. */
+    std::uint64_t totalDenials() const { return total_denials_; }
+
+    /** Reset per-episode statistics and arbitration state. */
+    void reset();
+
+  private:
+    RequesterId arbitrateRandom(support::Rng &rng);
+    RequesterId arbitrateRoundRobin();
+    RequesterId arbitrateFifo();
+
+    Arbitration arb_;
+    std::vector<RequesterId> requesters_;
+
+    // Round-robin state: priority pointer.
+    RequesterId rr_next_ = 0;
+
+    // FIFO state: arrival stamp per requester id (grows on demand).
+    std::uint64_t fifo_clock_ = 0;
+    std::vector<std::uint64_t> fifo_since_;
+    std::vector<bool> fifo_waiting_;
+
+    std::uint64_t total_grants_ = 0;
+    std::uint64_t total_denials_ = 0;
+};
+
+} // namespace absync::sim
+
+#endif // ABSYNC_SIM_MEMORY_MODULE_HPP

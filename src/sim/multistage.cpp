@@ -1,0 +1,260 @@
+#include "sim/multistage.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+namespace absync::sim
+{
+
+NetBackoff
+netBackoffFromString(const std::string &name)
+{
+    if (name == "immediate")
+        return NetBackoff::Immediate;
+    if (name == "depth")
+        return NetBackoff::DepthProportional;
+    if (name == "inverse-depth" || name == "inverse")
+        return NetBackoff::InverseDepth;
+    if (name == "rtt" || name == "constant")
+        return NetBackoff::ConstantRtt;
+    if (name == "exponential" || name == "exp")
+        return NetBackoff::Exponential;
+    if (name == "queue" || name == "feedback")
+        return NetBackoff::QueueFeedback;
+    std::fprintf(stderr, "unknown network backoff '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+std::string
+netBackoffName(NetBackoff s)
+{
+    switch (s) {
+      case NetBackoff::Immediate:
+        return "immediate";
+      case NetBackoff::DepthProportional:
+        return "depth-proportional";
+      case NetBackoff::InverseDepth:
+        return "inverse-depth";
+      case NetBackoff::ConstantRtt:
+        return "constant-rtt";
+      case NetBackoff::Exponential:
+        return "exponential";
+      case NetBackoff::QueueFeedback:
+        return "queue-feedback";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint32_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+std::uint32_t
+log2u(std::uint32_t x)
+{
+    std::uint32_t k = 0;
+    while ((1u << k) < x)
+        ++k;
+    return k;
+}
+
+} // namespace
+
+MultistageNetwork::MultistageNetwork(const MultistageConfig &cfg)
+    : cfg_(cfg), stages_(log2u(cfg.processors)), rng_(cfg.seed),
+      procs_(cfg.processors),
+      portBusyUntil_(static_cast<std::size_t>(stages_) * cfg.processors,
+                     0),
+      destBacklog_(cfg.processors, 0)
+{
+    if (!isPowerOfTwo(cfg.processors)) {
+        std::fprintf(stderr,
+                     "multistage: processors must be a power of two\n");
+        std::exit(2);
+    }
+}
+
+void
+MultistageNetwork::computeRoute(std::uint32_t src, std::uint32_t dst,
+                                std::vector<std::uint32_t> &route) const
+{
+    route.resize(stages_);
+    const std::uint32_t mask = cfg_.processors - 1;
+    std::uint32_t addr = src;
+    for (std::uint32_t j = 0; j < stages_; ++j) {
+        // Perfect shuffle, then the switch drives the low bit to the
+        // j-th most significant destination bit.
+        addr = ((addr << 1) | ((dst >> (stages_ - 1 - j)) & 1u)) & mask;
+        route[j] = addr;
+    }
+    assert(route.back() == dst);
+}
+
+std::uint64_t
+MultistageNetwork::backoffDelay(const Proc &p, std::uint32_t depth)
+{
+    switch (cfg_.strategy) {
+      case NetBackoff::Immediate:
+        return 1;
+      case NetBackoff::DepthProportional:
+        return 1 + static_cast<std::uint64_t>(cfg_.coeff) * depth;
+      case NetBackoff::InverseDepth:
+        return 1 + static_cast<std::uint64_t>(cfg_.coeff) *
+                       (stages_ - depth + 1);
+      case NetBackoff::ConstantRtt:
+        return 1 + cfg_.coeff;
+      case NetBackoff::Exponential: {
+        const std::uint32_t e = std::min(p.fails, cfg_.expCap);
+        const std::uint64_t span = 1ULL << e;
+        return 1 + rng_.uniformInt(0, span - 1);
+      }
+      case NetBackoff::QueueFeedback:
+        return 1 + static_cast<std::uint64_t>(cfg_.coeff) *
+                       destBacklog_[p.dest];
+    }
+    return 1;
+}
+
+MultistageStats
+MultistageNetwork::run()
+{
+    MultistageStats st;
+    support::RunningStats latency;
+    support::RunningStats bg_latency;
+    support::RunningStats coll_depth;
+    const auto isPoller = [&](std::uint32_t p) {
+        return p < cfg_.hotPollers;
+    };
+
+    std::vector<std::uint32_t> order(cfg_.processors);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::uint32_t> route;
+
+    for (std::uint64_t now = 0; now < cfg_.cycles; ++now) {
+        // 1. Idle processors may issue new requests.  Pollers target
+        //    module 0 on a fixed cadence; background processors offer
+        //    Bernoulli uniform (or hot-spot-mixed) traffic.
+        for (std::uint32_t p = 0; p < cfg_.processors; ++p) {
+            Proc &pr = procs_[p];
+            if (pr.state != ProcState::Idle)
+                continue;
+            if (isPoller(p)) {
+                if (pr.wakeTime > now)
+                    continue;
+                pr.dest = 0;
+            } else if (rng_.bernoulli(cfg_.offeredLoad)) {
+                pr.dest = rng_.bernoulli(cfg_.hotspotFraction)
+                              ? 0
+                              : static_cast<std::uint32_t>(
+                                    rng_.index(cfg_.processors));
+            } else {
+                continue;
+            }
+            pr.state = ProcState::Attempt;
+            pr.issueTime = now;
+            pr.wakeTime = now;
+            pr.fails = 0;
+            ++destBacklog_[pr.dest];
+        }
+
+        // 2. Completed transfers release their circuits.
+        for (std::uint32_t p = 0; p < cfg_.processors; ++p) {
+            Proc &pr = procs_[p];
+            if (pr.state == ProcState::Holding && pr.wakeTime <= now) {
+                pr.state = ProcState::Idle;
+                ++st.completed;
+                latency.add(static_cast<double>(now - pr.issueTime));
+                if (isPoller(p)) {
+                    // Next poll after the configured pause.
+                    pr.wakeTime = now + cfg_.hotPollInterval;
+                } else {
+                    ++st.bgCompleted;
+                    bg_latency.add(
+                        static_cast<double>(now - pr.issueTime));
+                }
+            }
+            if (pr.state == ProcState::Backoff && pr.wakeTime <= now)
+                pr.state = ProcState::Attempt;
+        }
+
+        // 3. Attempting processors claim paths in random order; an
+        //    earlier claimant this cycle or an established circuit
+        //    blocks a later one.
+        for (std::uint32_t i = cfg_.processors; i > 1; --i) {
+            const std::size_t j = rng_.index(i);
+            std::swap(order[i - 1], order[j]);
+        }
+        for (std::uint32_t idx : order) {
+            Proc &pr = procs_[idx];
+            if (pr.state != ProcState::Attempt || pr.wakeTime > now)
+                continue;
+            ++st.attempts;
+            computeRoute(idx, pr.dest, route);
+            std::uint32_t blocked_at = 0;
+            bool ok = true;
+            for (std::uint32_t j = 0; j < stages_; ++j) {
+                if (portBusyUntil_[portIndex(j, route[j])] > now) {
+                    ok = false;
+                    blocked_at = j + 1;
+                    break;
+                }
+            }
+            if (ok) {
+                // Hold the full path for setup + service.
+                const std::uint64_t until = now + cfg_.serviceCycles;
+                for (std::uint32_t j = 0; j < stages_; ++j)
+                    portBusyUntil_[portIndex(j, route[j])] = until;
+                pr.state = ProcState::Holding;
+                pr.wakeTime = until;
+                --destBacklog_[pr.dest];
+            } else {
+                // The unsuccessful attempt tied up its partial
+                // circuit for this cycle ("the deeper a message
+                // travels, the greater the network resource that it
+                // ties up in its unsuccessful attempt" — Sec 8), so
+                // the prefix ports block other attempts this cycle.
+                // This is what lets a hot module's pollers saturate
+                // the tree of switches leading to it.
+                const std::uint64_t until = now + 1;
+                for (std::uint32_t j = 0; j + 1 < blocked_at; ++j) {
+                    auto &busy = portBusyUntil_[portIndex(j,
+                                                          route[j])];
+                    busy = std::max(busy, until);
+                }
+                ++st.collisions;
+                ++pr.fails;
+                coll_depth.add(blocked_at);
+                pr.state = ProcState::Backoff;
+                pr.wakeTime = now + backoffDelay(pr, blocked_at);
+            }
+        }
+    }
+
+    st.avgLatency = latency.mean();
+    st.throughput = static_cast<double>(st.completed) /
+                    static_cast<double>(cfg_.cycles) /
+                    static_cast<double>(cfg_.processors);
+    st.attemptsPerRequest =
+        st.completed ? static_cast<double>(st.attempts) /
+                           static_cast<double>(st.completed)
+                     : 0.0;
+    st.avgCollisionDepth = coll_depth.mean();
+    const std::uint32_t bg_procs = cfg_.processors - cfg_.hotPollers;
+    st.bgThroughput =
+        bg_procs ? static_cast<double>(st.bgCompleted) /
+                       static_cast<double>(cfg_.cycles) /
+                       static_cast<double>(bg_procs)
+                 : 0.0;
+    st.bgLatency = bg_latency.mean();
+    return st;
+}
+
+} // namespace absync::sim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Circuit-switched multistage (Omega) interconnection network with
+ * pluggable collision-backoff strategies (paper Section 8).
+ *
+ * Section 8 of the paper sketches five ways a processor whose network
+ * access collided could back off before resubmitting:
+ *   (1) proportionally to the depth the message reached (deep
+ *       collisions tied up more of the network);
+ *   (2) inversely proportional to the depth (a deep collision suggests
+ *       a lightly-loaded network, so retry sooner);
+ *   (3) a constant, on the order of the round-trip time;
+ *   (4) exponentially in the number of previous failed tries; and
+ *   (5) using queue-length feedback from the memory modules
+ *       (Scott & Sohi style).
+ *
+ * This module provides the substrate to compare them: an N-processor,
+ * N-module Omega network built from 2x2 switches.  A request claims
+ * one switch output port per stage; two circuits that need the same
+ * port collide, the loser learns the depth at which it lost, and the
+ * chosen strategy decides the retry delay.  Established circuits hold
+ * their ports for a configurable service time, and — following the
+ * paper's own rationale for strategy (1) — a *failed* attempt ties up
+ * the partial circuit it built for the duration of the attempt, which
+ * is how persistent retries toward one hot module saturate the tree
+ * of switches leading to it (Pfister & Norton).
+ */
+
+#ifndef ABSYNC_SIM_MULTISTAGE_HPP
+#define ABSYNC_SIM_MULTISTAGE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace absync::sim
+{
+
+/** Retry-delay policy applied after a circuit-setup collision. */
+enum class NetBackoff
+{
+    Immediate,          ///< retry on the very next cycle (baseline)
+    DepthProportional,  ///< wait = coeff * collision_depth
+    InverseDepth,       ///< wait = coeff * (stages - collision_depth)
+    ConstantRtt,        ///< wait = coeff (≈ network round-trip time)
+    Exponential,        ///< wait ~ U[1, 2^min(fails, cap)]
+    QueueFeedback,      ///< wait = coeff * outstanding load on the
+                        ///< destination module (Scott-Sohi style)
+};
+
+/** Parse a strategy name; fatal on typo. */
+NetBackoff netBackoffFromString(const std::string &name);
+
+/** Human-readable strategy name. */
+std::string netBackoffName(NetBackoff s);
+
+/** Configuration of one multistage-network experiment. */
+struct MultistageConfig
+{
+    /** Number of processors; must be a power of two (= #modules). */
+    std::uint32_t processors = 64;
+    /** Cycles a granted circuit holds its path (data transfer time). */
+    std::uint32_t serviceCycles = 4;
+    /** Probability an idle processor issues a new request per cycle. */
+    double offeredLoad = 0.3;
+    /** Fraction of requests directed at module 0 (hot spot). */
+    double hotspotFraction = 0.0;
+    /**
+     * Processors 0..hotPollers-1 are dedicated pollers of module 0
+     * (spinning synchronization traffic, as at a barrier flag); the
+     * rest offer uniform background load.  0 disables the role split.
+     */
+    std::uint32_t hotPollers = 0;
+
+    /**
+     * Idle cycles a poller waits between completed polls: 0 models
+     * continuous spinning; larger values model a paced (backed-off)
+     * poll loop.  Only used when hotPollers > 0.
+     */
+    std::uint32_t hotPollInterval = 0;
+
+    /** Collision-backoff strategy under test. */
+    NetBackoff strategy = NetBackoff::Immediate;
+    /** Strategy coefficient (meaning depends on strategy). */
+    std::uint32_t coeff = 4;
+    /** Cap on the exponent for NetBackoff::Exponential. */
+    std::uint32_t expCap = 10;
+    /** Simulated cycles. */
+    std::uint64_t cycles = 20000;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate results of one multistage-network experiment. */
+struct MultistageStats
+{
+    /** Requests whose data transfer completed. */
+    std::uint64_t completed = 0;
+    /** Circuit-setup attempts (every attempt is a network access). */
+    std::uint64_t attempts = 0;
+    /** Attempts that collided somewhere in the network. */
+    std::uint64_t collisions = 0;
+    /** Mean request latency, issue to completion, in cycles. */
+    double avgLatency = 0.0;
+    /** Completed requests per cycle per processor. */
+    double throughput = 0.0;
+    /** Setup attempts per completed request (>= 1). */
+    double attemptsPerRequest = 0.0;
+    /** Mean collision depth (1-based stage), over colliding attempts. */
+    double avgCollisionDepth = 0.0;
+    /** Background (non-poller) completions — the victims of a hot
+     *  spot. */
+    std::uint64_t bgCompleted = 0;
+    /** Background completions per cycle per background processor. */
+    double bgThroughput = 0.0;
+    /** Mean background request latency. */
+    double bgLatency = 0.0;
+};
+
+/**
+ * Cycle-driven simulator of the Omega network described above.
+ *
+ * Usage: construct with a config, call run(), read the stats.
+ */
+class MultistageNetwork
+{
+  public:
+    explicit MultistageNetwork(const MultistageConfig &cfg);
+
+    /** Run the configured number of cycles and return the results. */
+    MultistageStats run();
+
+  private:
+    enum class ProcState { Idle, Attempt, Backoff, Holding };
+
+    struct Proc
+    {
+        ProcState state = ProcState::Idle;
+        std::uint32_t dest = 0;
+        std::uint64_t issueTime = 0;
+        std::uint64_t wakeTime = 0;   // next cycle to act (backoff/hold)
+        std::uint32_t fails = 0;      // consecutive collisions
+    };
+
+    /** Port resource id for (stage, port-address). */
+    std::size_t
+    portIndex(std::uint32_t stage, std::uint32_t addr) const
+    {
+        return static_cast<std::size_t>(stage) * cfg_.processors + addr;
+    }
+
+    /**
+     * Omega route of (src, dst): the switch output-port address after
+     * each stage.  After stage j the address is the low bits of a
+     * left-rotated source with the top j+1 bits of dst shifted in.
+     */
+    void computeRoute(std::uint32_t src, std::uint32_t dst,
+                      std::vector<std::uint32_t> &route) const;
+
+    /** Retry delay for a processor that collided at @p depth. */
+    std::uint64_t backoffDelay(const Proc &p, std::uint32_t depth);
+
+    MultistageConfig cfg_;
+    std::uint32_t stages_;
+    support::Rng rng_;
+    std::vector<Proc> procs_;
+    /** Cycle until which each port is held (exclusive); 0 = free. */
+    std::vector<std::uint64_t> portBusyUntil_;
+    /** Requests in flight (attempting or backing off) per module. */
+    std::vector<std::uint32_t> destBacklog_;
+};
+
+} // namespace absync::sim
+
+#endif // ABSYNC_SIM_MULTISTAGE_HPP

@@ -1,0 +1,48 @@
+#include "sim/patel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace absync::sim
+{
+
+double
+patelOutputRate(const PatelNetwork &net, double m0)
+{
+    double m = std::clamp(m0, 0.0, 1.0);
+    const double a = static_cast<double>(net.inputs);
+    const double b = static_cast<double>(net.outputs);
+    for (std::uint32_t s = 0; s < net.stages; ++s)
+        m = 1.0 - std::pow(1.0 - m / b, a);
+    return m;
+}
+
+double
+patelAcceptance(const PatelNetwork &net, double m0)
+{
+    if (m0 <= 0.0)
+        return 1.0;
+    return patelOutputRate(net, m0) / std::min(m0, 1.0);
+}
+
+double
+omegaBandwidth(std::uint32_t processors, double m0)
+{
+    PatelNetwork net;
+    net.inputs = 2;
+    net.outputs = 2;
+    std::uint32_t stages = 0;
+    while ((1u << stages) < processors)
+        ++stages;
+    net.stages = stages;
+    return patelOutputRate(net, m0);
+}
+
+double
+patelAttemptsPerRequest(const PatelNetwork &net, double m0)
+{
+    const double acc = patelAcceptance(net, m0);
+    return acc > 0.0 ? 1.0 / acc : 0.0;
+}
+
+} // namespace absync::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Patel's analytical model of multistage interconnection networks
+ * (paper Section 3).
+ *
+ * "The network traffic rates computed using our barrier scheme might
+ * also be input into a more complex model of a multistage
+ * interconnection network such as that proposed by Patel [17] if
+ * network contention results are desired."
+ *
+ * Patel's classic recurrence for an unbuffered delta network of
+ * a x b crossbar switches: if m_i is the probability a request is
+ * present on an input link of stage i, the probability on an output
+ * link is
+ *
+ *     m_{i+1} = 1 - (1 - m_i / b)^a
+ *
+ * The bandwidth of an n-stage network offered per-processor request
+ * rate m_0 is m_n, and the acceptance probability is m_n / m_0.
+ * This module implements the recurrence and the derived quantities,
+ * so barrier traffic rates from the episode simulator can be turned
+ * into network-contention estimates, as the paper suggests.  (Patel's
+ * model assumes uniform traffic — it cannot capture hot spots, which
+ * the paper also notes; the Omega simulator covers that case.)
+ */
+
+#ifndef ABSYNC_SIM_PATEL_MODEL_HPP
+#define ABSYNC_SIM_PATEL_MODEL_HPP
+
+#include <cstdint>
+
+namespace absync::sim
+{
+
+/** Parameters of a delta network of a x b switches. */
+struct PatelNetwork
+{
+    /** Inputs per switch (a). */
+    std::uint32_t inputs = 2;
+    /** Outputs per switch (b). */
+    std::uint32_t outputs = 2;
+    /** Stages (n); an N-processor Omega network has log2(N). */
+    std::uint32_t stages = 6;
+};
+
+/**
+ * Output-link request probability after all stages, given an input
+ * request probability (rate) @p m0 in [0, 1].
+ */
+double patelOutputRate(const PatelNetwork &net, double m0);
+
+/**
+ * Probability an offered request is accepted (delivered) by the
+ * network: output rate scaled by offered rate; 1.0 when m0 == 0.
+ */
+double patelAcceptance(const PatelNetwork &net, double m0);
+
+/**
+ * Expected effective bandwidth per processor (accepted requests per
+ * cycle) for an N-processor square Omega network (2x2 switches,
+ * log2 N stages) at offered per-processor rate @p m0.
+ */
+double omegaBandwidth(std::uint32_t processors, double m0);
+
+/**
+ * Mean attempts per delivered request under retry-until-accepted,
+ * 1 / acceptance — the analytic counterpart of the simulator's
+ * attemptsPerRequest.
+ */
+double patelAttemptsPerRequest(const PatelNetwork &net, double m0);
+
+} // namespace absync::sim
+
+#endif // ABSYNC_SIM_PATEL_MODEL_HPP

@@ -1,0 +1,74 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace absync::support
+{
+
+std::string
+IntHistogram::asciiChart(std::size_t max_width, std::uint64_t up_to) const
+{
+    std::ostringstream os;
+    const std::uint64_t hi = up_to ? up_to : maxValue();
+    std::uint64_t peak = 1;
+    for (const auto &[v, c] : counts_)
+        peak = std::max(peak, c);
+
+    for (std::uint64_t v = 0; v <= hi; ++v) {
+        const std::uint64_t c = count(v);
+        const auto width = static_cast<std::size_t>(
+            static_cast<double>(c) / static_cast<double>(peak) *
+            static_cast<double>(max_width));
+        os << "  " << v << "\t|" << std::string(width, '#') << " " << c
+           << "  (" << std::fixed << std::setprecision(2)
+           << fraction(v) * 100.0 << "%)\n";
+    }
+    return os.str();
+}
+
+BinnedHistogram::BinnedHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    assert(hi > lo && bins >= 1);
+}
+
+void
+BinnedHistogram::add(double x, std::uint64_t weight)
+{
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<long>(std::floor(t * static_cast<double>(
+                                                    counts_.size())));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    counts_[static_cast<std::size_t>(idx)] += weight;
+    total_ += weight;
+}
+
+double
+BinnedHistogram::binCenter(std::size_t i) const
+{
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+std::string
+BinnedHistogram::asciiChart(std::size_t max_width) const
+{
+    std::ostringstream os;
+    std::uint64_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto width = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(max_width));
+        os << "  " << binCenter(i) << "\t|" << std::string(width, '#')
+           << " " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace absync::support

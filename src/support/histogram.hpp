@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Integer-bucket and fixed-width histograms.
+ *
+ * Used for the invalidation-size histogram of Figure 1 and the
+ * arrival-time distribution of Figure 3.
+ */
+
+#ifndef ABSYNC_SUPPORT_HISTOGRAM_HPP
+#define ABSYNC_SUPPORT_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace absync::support
+{
+
+/**
+ * Sparse histogram over non-negative integer values.
+ *
+ * Buckets are created on demand; suitable when the domain is small
+ * but unknown in advance (e.g. "number of caches invalidated").
+ */
+class IntHistogram
+{
+  public:
+    /** Record one occurrence of @p value with weight @p weight. */
+    void
+    add(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        counts_[value] += weight;
+        total_ += weight;
+    }
+
+    /** Count recorded at exactly @p value. */
+    std::uint64_t
+    count(std::uint64_t value) const
+    {
+        auto it = counts_.find(value);
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    /** Sum of all bucket counts. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of mass at exactly @p value; 0 when empty. */
+    double
+    fraction(std::uint64_t value) const
+    {
+        return total_ ? static_cast<double>(count(value)) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    /** Fraction of mass at values <= @p value. */
+    double
+    cumulativeFraction(std::uint64_t value) const
+    {
+        if (!total_)
+            return 0.0;
+        std::uint64_t acc = 0;
+        for (const auto &[v, c] : counts_) {
+            if (v > value)
+                break;
+            acc += c;
+        }
+        return static_cast<double>(acc) / static_cast<double>(total_);
+    }
+
+    /** Largest value with non-zero count; 0 when empty. */
+    std::uint64_t
+    maxValue() const
+    {
+        return counts_.empty() ? 0 : counts_.rbegin()->first;
+    }
+
+    /** All (value, count) pairs in ascending value order. */
+    const std::map<std::uint64_t, std::uint64_t> &
+    buckets() const
+    {
+        return counts_;
+    }
+
+    /** Reset to empty. */
+    void
+    clear()
+    {
+        counts_.clear();
+        total_ = 0;
+    }
+
+    /**
+     * Render as a horizontal ASCII bar chart.
+     *
+     * @param max_width widest bar in characters
+     * @param up_to render buckets 0..up_to even if empty
+     *              (0 means up to maxValue())
+     */
+    std::string asciiChart(std::size_t max_width = 50,
+                           std::uint64_t up_to = 0) const;
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Dense fixed-bin histogram over a continuous [lo, hi) range.
+ *
+ * Out-of-range samples are clamped into the first / last bin so that
+ * no mass is silently dropped.
+ */
+class BinnedHistogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the domain
+     * @param hi exclusive upper bound of the domain (must be > lo)
+     * @param bins number of equal-width bins (must be >= 1)
+     */
+    BinnedHistogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double x, std::uint64_t weight = 1);
+
+    /** Count in bin @p i. */
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total recorded weight. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of mass in bin @p i. */
+    double
+    binFraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(counts_.at(i)) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    /** Render as a vertical-bucket ASCII chart, one line per bin. */
+    std::string asciiChart(std::size_t max_width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_HISTOGRAM_HPP

@@ -1,0 +1,123 @@
+#include "support/options.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace absync::support
+{
+
+namespace
+{
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "option error: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+Options::Options(int argc, char **argv,
+                 const std::vector<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value = "1";
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        if (!known.empty() &&
+            std::find(known.begin(), known.end(), name) == known.end()) {
+            usageError("unknown option --" + name);
+        }
+        values_[name] = value;
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Options::get(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Options::getInt(const std::string &name, std::int64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    try {
+        return std::stoll(it->second);
+    } catch (...) {
+        usageError("--" + name + " expects an integer, got '" +
+                   it->second + "'");
+    }
+}
+
+double
+Options::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    try {
+        return std::stod(it->second);
+    } catch (...) {
+        usageError("--" + name + " expects a number, got '" +
+                   it->second + "'");
+    }
+}
+
+bool
+Options::getBool(const std::string &name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    return v == "1" || v == "true" || v == "yes";
+}
+
+std::vector<std::int64_t>
+Options::getIntList(const std::string &name,
+                    const std::vector<std::int64_t> &def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    std::vector<std::int64_t> out;
+    std::stringstream ss(it->second);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        if (tok.empty())
+            continue;
+        try {
+            out.push_back(std::stoll(tok));
+        } catch (...) {
+            usageError("--" + name + " expects integers, got '" + tok +
+                       "'");
+        }
+    }
+    return out;
+}
+
+} // namespace absync::support

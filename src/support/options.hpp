@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal command-line option parsing for the bench and example
+ * binaries.
+ *
+ * Supports "--name value" and "--name=value" forms plus boolean flags.
+ * Unknown options are fatal so that typos in sweep scripts cannot
+ * silently run the wrong experiment.
+ */
+
+#ifndef ABSYNC_SUPPORT_OPTIONS_HPP
+#define ABSYNC_SUPPORT_OPTIONS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace absync::support
+{
+
+/**
+ * Parsed command-line options with typed accessors and defaults.
+ */
+class Options
+{
+  public:
+    /**
+     * Parse argv.  Exits with a message on malformed input.
+     *
+     * @param argc argument count from main
+     * @param argv argument vector from main
+     * @param known the set of recognized option names (without "--");
+     *              empty means accept anything
+     */
+    Options(int argc, char **argv,
+            const std::vector<std::string> &known = {});
+
+    /** True when --name was supplied (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p def when absent. */
+    std::string get(const std::string &name,
+                    const std::string &def = "") const;
+
+    /** Integer value of --name, or @p def when absent. */
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+
+    /** Double value of --name, or @p def when absent. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean flag: present without value, or value in {1,true,yes}. */
+    bool getBool(const std::string &name, bool def = false) const;
+
+    /** Comma-separated integer list value, or @p def when absent. */
+    std::vector<std::int64_t> getIntList(
+        const std::string &name,
+        const std::vector<std::int64_t> &def) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_OPTIONS_HPP

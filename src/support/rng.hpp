@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * All simulators in this repository draw randomness exclusively through
+ * Rng so that every experiment is reproducible from a seed.  The
+ * generator is xoshiro256** (Blackman & Vigna), which is small, fast,
+ * and has no observable statistical defects at the scales we use.
+ */
+
+#ifndef ABSYNC_SUPPORT_RNG_HPP
+#define ABSYNC_SUPPORT_RNG_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace absync::support
+{
+
+/**
+ * Deterministic xoshiro256** random number generator.
+ *
+ * Satisfies the C++ UniformRandomBitGenerator concept so it can also be
+ * handed to standard-library distributions when needed, but most users
+ * call the convenience helpers (nextDouble, uniformInt, ...).
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion; guarantees a non-zero state for any
+        // seed, which xoshiro requires.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type
+    min()
+    {
+        return 0;
+    }
+
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Next raw 64-bit output. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        // 53 high bits -> double mantissa.
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Uniform integer in the inclusive range [lo, hi].
+     *
+     * Uses Lemire's multiply-shift rejection method; unbiased.
+     */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        const std::uint64_t span = hi - lo + 1;
+        if (span == 0) {
+            // Full 64-bit range requested.
+            return operator()();
+        }
+        // Rejection sampling to remove modulo bias.
+        std::uint64_t x = operator()();
+        __uint128_t m = static_cast<__uint128_t>(x) * span;
+        auto l = static_cast<std::uint64_t>(m);
+        if (l < span) {
+            const std::uint64_t t = (0 - span) % span;
+            while (l < t) {
+                x = operator()();
+                m = static_cast<__uint128_t>(x) * span;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return lo + static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform index in [0, n) for container indexing; n must be > 0. */
+    std::size_t
+    index(std::size_t n)
+    {
+        return static_cast<std::size_t>(uniformInt(0, n - 1));
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /** Fork an independent child stream (useful for per-run seeds). */
+    Rng
+    split()
+    {
+        return Rng(operator()());
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_RNG_HPP

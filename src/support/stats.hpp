@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by every simulator and bench.
+ */
+
+#ifndef ABSYNC_SUPPORT_STATS_HPP
+#define ABSYNC_SUPPORT_STATS_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace absync::support
+{
+
+/**
+ * Single-pass mean / variance / min / max accumulator (Welford).
+ *
+ * Numerically stable; O(1) memory.  Used for the "average of 100 runs"
+ * reporting that the paper's Section 5.2 prescribes, including the
+ * standard-deviation check (< ~7 % of the mean).
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void
+    merge(const RunningStats &other)
+    {
+        if (other.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        const double delta = other.mean_ - mean_;
+        const auto na = static_cast<double>(n_);
+        const auto nb = static_cast<double>(other.n_);
+        const double nt = na + nb;
+        m2_ += other.m2_ + delta * delta * na * nb / nt;
+        mean_ = (na * mean_ + nb * other.mean_) / nt;
+        n_ += other.n_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    /** Sample (n-1) variance; 0 with fewer than two samples. */
+    double
+    sampleVariance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Coefficient of variation (stddev / mean); 0 when mean is 0. */
+    double
+    cv() const
+    {
+        return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0;
+    }
+
+    /** Smallest observation; +inf when empty. */
+    double minimum() const { return min_; }
+
+    /** Largest observation; -inf when empty. */
+    double maximum() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /**
+     * Half-width of an approximate 95 % confidence interval on the
+     * mean (normal approximation, 1.96 standard errors); 0 with
+     * fewer than two samples.
+     */
+    double
+    ci95() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        return 1.96 * std::sqrt(sampleVariance() /
+                                static_cast<double>(n_));
+    }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_STATS_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ASCII table formatting for the bench binaries.
+ *
+ * Every bench prints its reproduction in the same row/column shape as
+ * the paper's table or figure, so the output is directly comparable.
+ */
+
+#ifndef ABSYNC_SUPPORT_TABLE_HPP
+#define ABSYNC_SUPPORT_TABLE_HPP
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace absync::support
+{
+
+/**
+ * Simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"N", "no backoff", "base 2"});
+ *   t.addRow({"64", "160.2", "12.4"});
+ *   std::cout << t.str();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with a header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format each cell from a double with a precision. */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int precision = 1);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the table with a separator under the header. */
+    std::string str() const;
+
+    /** Render as CSV (RFC-4180 quoting) for downstream plotting. */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string fmt(double v, int precision = 1);
+
+/** Format a percentage (0..1 input) like "95.2%". */
+std::string fmtPercent(double v, int precision = 1);
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_TABLE_HPP

@@ -1,0 +1,345 @@
+#include "trace/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace absync::trace
+{
+
+namespace
+{
+
+using K = MarkedRecord::Kind;
+
+/** Element size of shared array cells (one double). */
+constexpr std::uint64_t ELT = 8;
+
+/**
+ * Builder helper: accumulates records and implements the scale knob
+ * by emitting only every k-th "work unit" of an iteration body.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(const std::string &name, double scale)
+    {
+        trace_.name = name;
+        stride_ = scale >= 1.0
+                      ? 1
+                      : std::max<std::uint32_t>(
+                            1, static_cast<std::uint32_t>(
+                                   std::llround(1.0 / scale)));
+    }
+
+    /** Begin a new work unit; returns true if it should be emitted. */
+    bool
+    unit()
+    {
+        return (unit_counter_++ % stride_) == 0;
+    }
+
+    void
+    read(std::uint64_t a)
+    {
+        trace_.records.push_back(MarkedRecord::read(a));
+    }
+
+    void
+    write(std::uint64_t a)
+    {
+        trace_.records.push_back(MarkedRecord::write(a));
+    }
+
+    void
+    marker(K k, std::uint32_t aux = 0)
+    {
+        trace_.records.push_back(MarkedRecord::marker(k, aux));
+    }
+
+    void
+    beginParallel(std::uint32_t tasks)
+    {
+        marker(K::ParallelBegin, tasks);
+    }
+
+    void
+    task()
+    {
+        marker(K::TaskBegin);
+        // Subsampling restarts per task so scaled-down loops stay as
+        // uniform (or as skewed) as their full-scale originals.
+        unit_counter_ = 0;
+    }
+
+    void
+    endParallel()
+    {
+        marker(K::ParallelEnd);
+    }
+
+    MarkedTrace
+    take()
+    {
+        return std::move(trace_);
+    }
+
+  private:
+    MarkedTrace trace_;
+    std::uint32_t stride_ = 1;
+    std::uint64_t unit_counter_ = 0;
+};
+
+/** Private scratch address for a loop-local temporary. */
+std::uint64_t
+priv(std::uint64_t slot)
+{
+    return region::PRIVATE + slot * ELT;
+}
+
+/** Shared matrix cell (row-major) within array @p array_no. */
+std::uint64_t
+shared2d(std::uint32_t array_no, std::uint32_t dim, std::uint32_t i,
+         std::uint32_t j)
+{
+    return region::SHARED +
+           static_cast<std::uint64_t>(array_no) * 0x40'0000ULL +
+           (static_cast<std::uint64_t>(i) * dim + j) * ELT;
+}
+
+/**
+ * Shared complex cell: 16 bytes (re + im), exactly one cache block
+ * per element, as in the paper's FFT.  Keeps the row and column
+ * passes free of false sharing between adjacent column tasks.
+ */
+std::uint64_t
+sharedComplex(std::uint32_t array_no, std::uint32_t dim,
+              std::uint32_t i, std::uint32_t j)
+{
+    return region::SHARED +
+           static_cast<std::uint64_t>(array_no) * 0x40'0000ULL +
+           (static_cast<std::uint64_t>(i) * dim + j) * 16;
+}
+
+} // namespace
+
+MarkedTrace
+makeFftTrace(const FftConfig &cfg)
+{
+    TraceBuilder b("fft", cfg.scale);
+    const std::uint32_t n = cfg.dim;
+    const std::uint32_t stages =
+        static_cast<std::uint32_t>(std::llround(std::log2(n)));
+
+    // Replicate setup: every processor initializes private twiddle
+    // tables (mirrors EPEX replicate sections before the main loops).
+    b.marker(K::ReplicateBegin);
+    for (std::uint32_t k = 0; k < n / 2; ++k) {
+        if (!b.unit())
+            continue;
+        b.read(shared2d(2, n, 0, k)); // twiddle ROM (read-only shared)
+        b.write(priv(k));
+    }
+    b.marker(K::ReplicateEnd);
+
+    // Two passes of TF2: by rows, then by columns (transposed access).
+    // Arrays 0/1 hold real/imaginary parts.
+    for (int pass = 0; pass < 2; ++pass) {
+        b.beginParallel(n);
+        for (std::uint32_t t = 0; t < n; ++t) {
+            b.task();
+            for (std::uint32_t s = 0; s < stages; ++s) {
+                for (std::uint32_t k = 0; k < n / 2; ++k) {
+                    if (!b.unit())
+                        continue;
+                    // Butterfly on elements (k, k + half) of row /
+                    // column t; uniform work -> perfect balance.
+                    const std::uint32_t half = n >> (s + 1);
+                    const std::uint32_t a = (k / half) * half * 2 +
+                                            (k % half);
+                    const std::uint32_t c = a + half;
+                    const auto idx = [&](std::uint32_t e) {
+                        return pass == 0 ? sharedComplex(0, n, t, e)
+                                         : sharedComplex(0, n, e, t);
+                    };
+                    b.read(idx(a));
+                    b.read(idx(c));
+                    // Twiddle factor from the processor's private
+                    // table (built in the replicate setup section).
+                    b.read(priv(k % (n / 2)));
+                    b.read(priv(0));
+                    b.write(idx(a));
+                    b.write(idx(c));
+                }
+            }
+        }
+        b.endParallel();
+    }
+    return b.take();
+}
+
+MarkedTrace
+makeSimpleTrace(const SimpleConfig &cfg)
+{
+    TraceBuilder b("simple", cfg.scale);
+    const std::uint32_t n = cfg.dim;
+
+    // Twenty parallel loops with assorted widths; several are not a
+    // multiple of any reasonable processor count, and iteration
+    // lengths vary by up to 2x (Appendix A: "parallel loop iteration
+    // lengths in SIMPLE vary occasionally").
+    const std::uint32_t widths[20] = {
+        n,      n,      n - 1,  n - 2,  n / 2,
+        n,      100,    n,      96,     n,
+        n,      n - 1,  n / 4,  n,      n,
+        110,    n,      n,      90,     n,
+    };
+    // Serial sections appear after loops 3, 7, 11, 15, 19 (5 total).
+    const bool serial_after[20] = {
+        false, false, false, true,  false, false, false, true,
+        false, false, false, true,  false, false, false, true,
+        false, false, false, true,
+    };
+
+    for (std::uint32_t l = 0; l < 20; ++l) {
+        const std::uint32_t width = widths[l];
+        b.beginParallel(width);
+        for (std::uint32_t t = 0; t < width; ++t) {
+            b.task();
+            // Iteration length varies: rows near mesh boundaries do
+            // extra boundary work.
+            const std::uint32_t reps = 1 + ((t % 16 == 0) ? 1 : 0);
+            for (std::uint32_t rep = 0; rep < reps; ++rep) {
+                for (std::uint32_t j = 0; j < n; ++j) {
+                    if (!b.unit())
+                        continue;
+                    const std::uint32_t i = t % n;
+                    const std::uint32_t arr = l % 3;
+                    // Five-point stencil: read own and neighbour
+                    // cells, update own cell (1-3 remote sharers).
+                    b.read(shared2d(arr, n, i, j));
+                    b.read(shared2d(arr, n, (i + 1) % n, j));
+                    b.read(shared2d(arr, n, (i + n - 1) % n, j));
+                    b.read(shared2d(arr, n, i, (j + 1) % n));
+                    b.read(priv(j % 64));
+                    b.write(shared2d((arr + 1) % 3, n, i, j));
+                    b.write(priv(j % 64));
+                }
+            }
+        }
+        b.endParallel();
+
+        if (serial_after[l]) {
+            // Small serial section: global reduction / EOS update by
+            // one processor while the rest wait.
+            b.marker(K::SerialBegin);
+            for (std::uint32_t j = 0; j < n * 4; ++j) {
+                if (!b.unit())
+                    continue;
+                b.read(shared2d(l % 3, n, j % n, (j / n) % n));
+                b.write(shared2d(3, n, 0, j % n));
+            }
+            b.marker(K::SerialEnd);
+        }
+    }
+    return b.take();
+}
+
+MarkedTrace
+makeWeatherTrace(const WeatherConfig &cfg)
+{
+    TraceBuilder b("weather", cfg.scale);
+    const std::uint32_t lon = cfg.lon;
+    const std::uint32_t lat = cfg.lat;
+    const std::uint32_t lev = cfg.levels;
+
+    // COMP1: horizontal and vertical advection differences.  Six
+    // parallel loops alternating row (lon-way) and column (lat-way)
+    // parallelism; each iteration sweeps a full line through all
+    // vertical levels and several state variables, so iterations are
+    // long and the non-multiple-of-64 widths leave processors idle.
+    for (std::uint32_t l = 0; l < 6; ++l) {
+        const bool by_row = (l % 2 == 0);
+        const std::uint32_t width = by_row ? lon : lat;
+        const std::uint32_t line = by_row ? lat : lon;
+        b.beginParallel(width);
+        for (std::uint32_t t = 0; t < width; ++t) {
+            b.task();
+            // Equatorial lines carry more moisture physics: task
+            // lengths vary ~2x, stretching the barrier window A.
+            const std::uint32_t reps =
+                1 + ((t > width / 4 && t < 3 * width / 4 &&
+                      t % 2 == 0)
+                         ? 1
+                         : 0);
+            for (std::uint32_t rep = 0; rep < reps; ++rep) {
+                for (std::uint32_t p = 0; p < line; ++p) {
+                    // The model stores each sweep's lines
+                    // contiguously (the row and column passes use
+                    // transposed copies, as the GLAS code does), so
+                    // the fourth-order +/-1, +/-2 neighbour reads
+                    // stay inside this task's strip; one cross-line
+                    // coupling read shares data with the adjacent
+                    // task.  The column of 9 levels is fetched once
+                    // into private workspace and the per-level
+                    // physics then runs out of that workspace —
+                    // within-task reuse is what keeps WEATHER's
+                    // data-side miss rate low while its barriers
+                    // dominate the network traffic (Table 2).
+                    const std::uint32_t q1 = (p + 1) % line;
+                    const std::uint32_t q2 = (p + 2) % line;
+                    const std::uint32_t dir_off = by_row ? 0 : 8;
+                    const auto at = [&](std::uint32_t tt,
+                                        std::uint32_t pp) {
+                        return shared2d(4 + dir_off, line, tt, pp);
+                    };
+                    if (b.unit()) {
+                        b.read(at(t, p));
+                        b.read(at(t, q1));
+                        b.read(at(t, q2));
+                        // Cross-line coupling term.
+                        b.read(at((t + 1) % width, p));
+                        b.write(at(t, p) + 0x18'0000ULL);
+                    }
+                    for (std::uint32_t z = 1; z < lev; ++z) {
+                        if (!b.unit())
+                            continue;
+                        // Per-level physics out of private workspace.
+                        b.read(priv(z));
+                        b.read(priv(z + 16));
+                        b.read(priv(z + 32));
+                        b.read(priv((z + p) % 64));
+                        b.write(priv(z));
+                    }
+                }
+            }
+        }
+        b.endParallel();
+    }
+    return b.take();
+}
+
+MarkedTrace
+makeAppTrace(const std::string &name, double scale)
+{
+    if (name == "fft") {
+        FftConfig c;
+        c.scale = scale;
+        return makeFftTrace(c);
+    }
+    if (name == "simple") {
+        SimpleConfig c;
+        c.scale = scale;
+        return makeSimpleTrace(c);
+    }
+    if (name == "weather") {
+        WeatherConfig c;
+        c.scale = scale;
+        return makeWeatherTrace(c);
+    }
+    std::fprintf(stderr, "unknown application '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+} // namespace absync::trace

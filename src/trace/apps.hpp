@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic SPMD application generators (paper Appendix A
+ * substitutes).
+ *
+ * The paper's traces came from IBM S/370 executions of three
+ * EPEX/Fortran programs traced by PSIMUL.  Those traces are not
+ * available, so we generate marked uniprocessor traces with the
+ * structural properties Appendix A documents:
+ *
+ *  - **FFT**: radix-2 FFT on a 128x128 complex matrix, two passes
+ *    (rows then columns).  Few, wide (128-way), perfectly uniform
+ *    parallel loops; excellent load balance; very little
+ *    synchronization (0.2 % of data references in the paper).
+ *
+ *  - **SIMPLE**: 2-D Lagrangian hydrodynamics on a 128x128 mesh.
+ *    Twenty parallel loops, many without full 128-way parallelism,
+ *    plus five small serial sections; iteration lengths vary, so load
+ *    balance is mediocre (5.3 % sync references).
+ *
+ *  - **WEATHER**: the GLAS fourth-order atmosphere model on a 108x72
+ *    grid with 9 vertical levels.  Parallelism comes from rows /
+ *    columns whose counts are not multiples of 64, so many processors
+ *    idle at barriers (7.9 % sync references; worst balance).
+ *
+ * Each generator is deterministic given its config and emits shared /
+ * private addresses with realistic sharing patterns (stencil
+ * neighbourhoods, transpose access), which is what the coherence
+ * results of Section 2 are sensitive to.
+ */
+
+#ifndef ABSYNC_TRACE_APPS_HPP
+#define ABSYNC_TRACE_APPS_HPP
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace absync::trace
+{
+
+/** Scale knob shared by all generators: work per loop iteration is
+ *  multiplied by `scale` (use < 1 for fast unit tests). */
+struct AppScale
+{
+    double scale = 1.0;
+};
+
+/** FFT generator configuration. */
+struct FftConfig : AppScale
+{
+    /** Matrix dimension (rows == columns == FFT length). */
+    std::uint32_t dim = 128;
+};
+
+/** SIMPLE generator configuration. */
+struct SimpleConfig : AppScale
+{
+    /** Mesh dimension. */
+    std::uint32_t dim = 128;
+};
+
+/** WEATHER generator configuration. */
+struct WeatherConfig : AppScale
+{
+    /** Longitude points (paper: 108). */
+    std::uint32_t lon = 108;
+    /** Latitude points (paper: 72). */
+    std::uint32_t lat = 72;
+    /** Vertical levels (paper: 9). */
+    std::uint32_t levels = 9;
+};
+
+/** Generate the FFT marked uniprocessor trace. */
+MarkedTrace makeFftTrace(const FftConfig &cfg = {});
+
+/** Generate the SIMPLE marked uniprocessor trace. */
+MarkedTrace makeSimpleTrace(const SimpleConfig &cfg = {});
+
+/** Generate the WEATHER marked uniprocessor trace. */
+MarkedTrace makeWeatherTrace(const WeatherConfig &cfg = {});
+
+/** Generate one of the three applications by name
+ *  ("fft" | "simple" | "weather"); fatal on unknown name.  All three
+ *  use the same scale factor. */
+MarkedTrace makeAppTrace(const std::string &name, double scale = 1.0);
+
+} // namespace absync::trace
+
+#endif // ABSYNC_TRACE_APPS_HPP

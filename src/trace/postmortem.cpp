@@ -1,0 +1,381 @@
+#include "trace/postmortem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace absync::trace
+{
+
+double
+ScheduleStats::averageA() const
+{
+    if (barriers.empty())
+        return 0.0;
+    double sum = 0;
+    for (const auto &b : barriers)
+        sum += static_cast<double>(b.spanA());
+    return sum / static_cast<double>(barriers.size());
+}
+
+double
+ScheduleStats::averageE() const
+{
+    if (barriers.size() < 2)
+        return 0.0;
+    double sum = 0;
+    for (std::size_t i = 1; i < barriers.size(); ++i) {
+        const std::uint64_t prev_done = barriers[i - 1].setTime;
+        const std::uint64_t next_first = barriers[i].firstArrival;
+        sum += next_first > prev_done
+                   ? static_cast<double>(next_first - prev_done)
+                   : 0.0;
+    }
+    return sum / static_cast<double>(barriers.size() - 1);
+}
+
+double
+ScheduleStats::syncFraction() const
+{
+    const auto total = dataRefs + syncRefs;
+    return total ? static_cast<double>(syncRefs) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+support::BinnedHistogram
+ScheduleStats::arrivalDistribution(std::size_t bins) const
+{
+    support::BinnedHistogram h(0.0, 1.0, bins);
+    for (const auto &b : barriers) {
+        if (b.lastArrival <= b.firstArrival)
+            continue;
+        const double span =
+            static_cast<double>(b.lastArrival - b.firstArrival);
+        for (std::uint64_t t : b.arrivals) {
+            h.add(static_cast<double>(t - b.firstArrival) / span);
+        }
+    }
+    return h;
+}
+
+PostMortemScheduler::PostMortemScheduler(const SpmdProgram &prog,
+                                         std::uint32_t nprocs,
+                                         ScheduleConfig cfg)
+    : prog_(prog), nprocs_(nprocs), cfg_(cfg)
+{
+    assert(nprocs >= 1);
+}
+
+namespace
+{
+
+/** Per-processor execution state. */
+enum class PS : std::uint8_t
+{
+    StartSection, ///< decide what to do in the current section
+    GrabTask,     ///< F&A the task counter of a parallel section
+    ExecTask,     ///< replaying a task body
+    BarrierFaa,   ///< F&A the barrier variable
+    PollFlag,     ///< polling the barrier flag
+    SpinGap,      ///< spin-loop references between flag polls
+    SetFlag,      ///< last arriver / serial owner writing the flag
+    Finished,     ///< past the last section
+};
+
+struct Proc
+{
+    PS state = PS::StartSection;
+    std::uint32_t section = 0;
+    std::uint32_t task = 0;    ///< task being executed
+    std::size_t refIdx = 0;    ///< position within the task body
+    std::uint32_t gapLeft = 0; ///< spin-loop refs before next poll
+    std::uint64_t pollCount = 0; ///< unsuccessful polls this barrier
+};
+
+/** Runtime synchronization cells for the current section. */
+struct SectionSync
+{
+    std::uint64_t taskCtrAddr = 0;
+    std::uint64_t barVarAddr = 0;
+    std::uint64_t barFlagAddr = 0;
+    std::uint32_t tasksTaken = 0;
+    std::uint32_t arrived = 0;
+    bool flagSet = false;
+    BarrierInterval interval;
+    bool anyArrived = false;
+};
+
+} // namespace
+
+ScheduleStats
+PostMortemScheduler::run(const Sink &sink) const
+{
+    ScheduleStats stats;
+    std::vector<Proc> procs(nprocs_);
+    // Per-section sync state, created lazily as sections start.  All
+    // processors traverse sections in order, so a vector indexed by
+    // section id works; entries stay live until every processor has
+    // passed the section.
+    std::vector<SectionSync> sync(prog_.sections.size());
+    for (std::size_t s = 0; s < prog_.sections.size(); ++s) {
+        // Distinct 16-byte blocks per variable: sync variables are
+        // not falsely shared with each other or with data.
+        const std::uint64_t base =
+            region::SYNC + static_cast<std::uint64_t>(s) * 48;
+        sync[s].taskCtrAddr = base;
+        sync[s].barVarAddr = base + 16;
+        sync[s].barFlagAddr = base + 32;
+    }
+
+    // Spin-loop "code/counter" reference target: private, so it hits
+    // the local cache and generates no coherence traffic.
+    constexpr std::uint64_t SPIN_CODE_ADDR =
+        region::PRIVATE + 0x8'0000ULL;
+
+    // Same-cycle F&A serialization: address -> cycle of last grant.
+    std::unordered_map<std::uint64_t, std::uint64_t> rmw_grant;
+    const auto tryRmw = [&](std::uint64_t addr, std::uint64_t cycle) {
+        if (!cfg_.serializeRmw)
+            return true;
+        auto [it, inserted] = rmw_grant.try_emplace(addr, cycle);
+        if (inserted || it->second != cycle) {
+            it->second = cycle;
+            return true;
+        }
+        return false; // someone else won this cycle; retry next cycle
+    };
+
+    const auto emit = [&](std::uint64_t cycle, std::uint32_t p,
+                          std::uint64_t addr, bool write, bool is_sync,
+                          bool rmw) {
+        if (is_sync)
+            ++stats.syncRefs;
+        else
+            ++stats.dataRefs;
+        if (sink) {
+            sink(MpRef{cycle, addr, static_cast<std::uint16_t>(p),
+                       write, is_sync, rmw});
+        }
+    };
+
+    // Per-processor private sub-range: 1 MiB per processor keeps
+    // every remapped address inside the private region (so region
+    // classification still holds downstream) while separating the
+    // processors' copies.
+    constexpr std::uint64_t PRIVATE_STRIDE = 0x10'0000ULL;
+
+    /** Remap a private address into processor p's private range. */
+    const auto remap = [&](std::uint64_t addr, std::uint32_t p) {
+        if (region::isPrivate(addr)) {
+            return addr + static_cast<std::uint64_t>(p % 255) *
+                              PRIVATE_STRIDE;
+        }
+        return addr;
+    };
+
+    std::uint32_t finished = 0;
+    std::uint64_t cycle = 0;
+
+    while (finished < nprocs_) {
+        for (std::uint32_t p = 0; p < nprocs_; ++p) {
+            Proc &pr = procs[p];
+
+          again:
+            switch (pr.state) {
+              case PS::Finished:
+                break;
+
+              case PS::StartSection: {
+                if (pr.section >= prog_.sections.size()) {
+                    pr.state = PS::Finished;
+                    ++finished;
+                    break;
+                }
+                const auto &sec = prog_.sections[pr.section];
+                switch (sec.kind) {
+                  case SpmdSection::Kind::Parallel:
+                    pr.state = PS::GrabTask;
+                    break;
+                  case SpmdSection::Kind::Serial:
+                    // The F&A on the entry counter picks the owner.
+                    pr.state = PS::GrabTask;
+                    break;
+                  case SpmdSection::Kind::Replicate:
+                    pr.state = PS::ExecTask;
+                    pr.task = 0;
+                    pr.refIdx = 0;
+                    break;
+                }
+                goto again; // no cycle consumed by the decision
+              }
+
+              case PS::GrabTask: {
+                auto &ss = sync[pr.section];
+                const auto &sec = prog_.sections[pr.section];
+                if (!tryRmw(ss.taskCtrAddr, cycle)) {
+                    // Denied: stall and repeat next cycle.  Retries
+                    // optionally appear in the trace (the Section 3
+                    // network model charges them; the trace
+                    // methodology of Appendix A does not).
+                    if (cfg_.countRmwRetries) {
+                        emit(cycle, p, ss.taskCtrAddr, true, true,
+                             true);
+                    }
+                    break;
+                }
+                emit(cycle, p, ss.taskCtrAddr, true, true, true);
+                const std::uint32_t t = ss.tasksTaken++;
+                if (sec.kind == SpmdSection::Kind::Serial) {
+                    if (t == 0) {
+                        pr.state = PS::ExecTask;
+                        pr.task = 0;
+                        pr.refIdx = 0;
+                    } else {
+                        pr.state = PS::BarrierFaa;
+                    }
+                } else if (t < sec.tasks.size()) {
+                    pr.state = PS::ExecTask;
+                    pr.task = t;
+                    pr.refIdx = 0;
+                } else {
+                    pr.state = PS::BarrierFaa;
+                }
+                break;
+              }
+
+              case PS::ExecTask: {
+                const auto &sec = prog_.sections[pr.section];
+                const auto &body = sec.tasks[pr.task];
+                if (pr.refIdx >= body.size()) {
+                    // Empty or exhausted body: advance without a ref.
+                    if (sec.kind == SpmdSection::Kind::Parallel) {
+                        pr.state = PS::GrabTask;
+                    } else if (sec.kind == SpmdSection::Kind::Serial) {
+                        pr.state = PS::SetFlag;
+                    } else {
+                        ++pr.section;
+                        pr.state = PS::StartSection;
+                    }
+                    goto again;
+                }
+                const TaskRef &ref = body[pr.refIdx++];
+                emit(cycle, p, remap(ref.addr, p), ref.write, false,
+                     false);
+                break;
+              }
+
+              case PS::BarrierFaa: {
+                auto &ss = sync[pr.section];
+                const auto &sec = prog_.sections[pr.section];
+                if (!tryRmw(ss.barVarAddr, cycle)) {
+                    if (cfg_.countRmwRetries) {
+                        emit(cycle, p, ss.barVarAddr, true, true,
+                             true);
+                    }
+                    break; // denied: stall and repeat next cycle
+                }
+                emit(cycle, p, ss.barVarAddr, true, true, true);
+                ss.interval.arrivals.push_back(cycle);
+                if (!ss.anyArrived) {
+                    ss.anyArrived = true;
+                    ss.interval.firstArrival = cycle;
+                }
+                ss.interval.lastArrival =
+                    std::max(ss.interval.lastArrival, cycle);
+                ++ss.arrived;
+                // At a parallel barrier the *last* arriver sets the
+                // flag.  In a serial section the owner sets it after
+                // finishing the body, so waiters always poll.
+                if (sec.kind != SpmdSection::Kind::Serial &&
+                    ss.arrived == nprocs_) {
+                    pr.state = PS::SetFlag;
+                } else {
+                    pr.state = PS::PollFlag;
+                    pr.pollCount = 0;
+                    // Application-level backoff on the barrier
+                    // variable: delay the first poll by the
+                    // (N-i)-scaled wait.
+                    const std::uint64_t d =
+                        cfg_.pollBackoff.variableDelay(nprocs_,
+                                                       ss.arrived);
+                    if (d > 0) {
+                        pr.state = PS::SpinGap;
+                        pr.gapLeft = static_cast<std::uint32_t>(
+                            std::min<std::uint64_t>(d,
+                                                    cfg_.maxPollGap));
+                    }
+                }
+                break;
+              }
+
+              case PS::SetFlag: {
+                auto &ss = sync[pr.section];
+                ss.interval.isWait =
+                    prog_.sections[pr.section].kind ==
+                    SpmdSection::Kind::Serial;
+                emit(cycle, p, ss.barFlagAddr, true, true, false);
+                ss.flagSet = true;
+                ss.interval.setTime = cycle;
+                if (!ss.anyArrived) {
+                    // Serial section where no waiter has arrived yet:
+                    // the owner is effectively first and last.
+                    ss.anyArrived = true;
+                    ss.interval.firstArrival = cycle;
+                    ss.interval.lastArrival = cycle;
+                }
+                stats.barriers.push_back(ss.interval);
+                ++pr.section;
+                pr.state = PS::StartSection;
+                break;
+              }
+
+              case PS::PollFlag: {
+                auto &ss = sync[pr.section];
+                emit(cycle, p, ss.barFlagAddr, false, true, false);
+                if (ss.flagSet) {
+                    ++pr.section;
+                    pr.state = PS::StartSection;
+                } else {
+                    ++pr.pollCount;
+                    // The next poll comes after the spin-loop body
+                    // plus any application-level flag backoff.
+                    std::uint64_t gap = cfg_.spinGapRefs;
+                    gap = std::max(gap, cfg_.pollBackoff.flagDelay(
+                                            pr.pollCount));
+                    gap = std::min<std::uint64_t>(gap,
+                                                  cfg_.maxPollGap);
+                    if (gap > 0) {
+                        pr.state = PS::SpinGap;
+                        pr.gapLeft =
+                            static_cast<std::uint32_t>(gap);
+                    }
+                }
+                break;
+              }
+
+              case PS::SpinGap: {
+                // Spin-loop body: private references between polls.
+                emit(cycle, p, remap(SPIN_CODE_ADDR, p), false, false,
+                     false);
+                if (--pr.gapLeft == 0)
+                    pr.state = PS::PollFlag;
+                break;
+              }
+            }
+        }
+        ++cycle;
+    }
+
+    stats.cycles = cycle;
+
+    // Barrier records were pushed at set time; keep them ordered by
+    // set time so averageE pairs consecutive barriers correctly.
+    std::sort(stats.barriers.begin(), stats.barriers.end(),
+              [](const BarrierInterval &a, const BarrierInterval &b) {
+                  return a.setTime < b.setTime;
+              });
+    return stats;
+}
+
+} // namespace absync::trace

@@ -1,0 +1,28 @@
+#include "trace/record.hpp"
+
+namespace absync::trace
+{
+
+std::size_t
+MarkedTrace::referenceCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : records)
+        n += r.isReference() ? 1 : 0;
+    return n;
+}
+
+std::size_t
+MarkedTrace::sectionCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : records) {
+        if (r.kind == MarkedRecord::Kind::ParallelBegin ||
+            r.kind == MarkedRecord::Kind::SerialBegin) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace absync::trace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Trace record formats for the post-mortem scheduling methodology
+ * (paper Appendix A).
+ *
+ * The paper generated multiprocessor traces by (1) tracing a
+ * *uniprocessor* execution of an SPMD (EPEX/Fortran) application with
+ * PSIMUL, marking synchronization constructs into the trace, and then
+ * (2) "post-mortem scheduling" that marked trace onto P simulated
+ * processors, simulating the F&A self-scheduling and barrier spins.
+ *
+ * We reproduce the same two-stage pipeline with synthetic sources:
+ *  - a MarkedTrace is the flat uniprocessor trace: memory references
+ *    interleaved with section/iteration markers;
+ *  - the post-mortem scheduler (postmortem.hpp) replays it onto P
+ *    processors and emits the multiprocessor reference stream.
+ */
+
+#ifndef ABSYNC_TRACE_RECORD_HPP
+#define ABSYNC_TRACE_RECORD_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace absync::trace
+{
+
+/** Memory regions encoded in uniprocessor trace addresses. */
+namespace region
+{
+/** Shared data (matrices, grids): same address on every processor. */
+constexpr std::uint64_t SHARED = 0x1000'0000ULL;
+/** Private data: remapped per processor at scheduling time. */
+constexpr std::uint64_t PRIVATE = 0x2000'0000ULL;
+/** Region size used to classify an address. */
+constexpr std::uint64_t REGION_SIZE = 0x1000'0000ULL;
+/** Synchronization variables (allocated by the scheduler). */
+constexpr std::uint64_t SYNC = 0x7000'0000ULL;
+
+/** True if @p addr lies in the private region. */
+inline bool
+isPrivate(std::uint64_t addr)
+{
+    return addr >= PRIVATE && addr < PRIVATE + REGION_SIZE;
+}
+
+/** True if @p addr lies in the sync-variable region. */
+inline bool
+isSync(std::uint64_t addr)
+{
+    return addr >= SYNC && addr < SYNC + REGION_SIZE;
+}
+} // namespace region
+
+/** One entry of the marked uniprocessor trace. */
+struct MarkedRecord
+{
+    /** Entry kinds: plain references plus synchronization markers. */
+    enum class Kind : std::uint8_t
+    {
+        Read,          ///< data read; addr is valid
+        Write,         ///< data write; addr is valid
+        ParallelBegin, ///< start of a parallel section; aux = #tasks
+        TaskBegin,     ///< start of one self-scheduled task (iteration)
+        ParallelEnd,   ///< end of parallel section: implies a barrier
+        SerialBegin,   ///< start of a serial section (one executor)
+        SerialEnd,     ///< end of serial section: implies a wait
+        ReplicateBegin,///< section executed by every processor
+        ReplicateEnd,  ///< end of replicate section (no barrier)
+    };
+
+    Kind kind;
+    /** ParallelBegin: task count; otherwise unused. */
+    std::uint32_t aux = 0;
+    /** Read/Write: referenced address; otherwise unused. */
+    std::uint64_t addr = 0;
+
+    /** Convenience constructors. */
+    static MarkedRecord
+    read(std::uint64_t a)
+    {
+        return {Kind::Read, 0, a};
+    }
+
+    static MarkedRecord
+    write(std::uint64_t a)
+    {
+        return {Kind::Write, 0, a};
+    }
+
+    static MarkedRecord
+    marker(Kind k, std::uint32_t aux = 0)
+    {
+        return {k, aux, 0};
+    }
+
+    bool
+    isReference() const
+    {
+        return kind == Kind::Read || kind == Kind::Write;
+    }
+};
+
+/** A named marked uniprocessor trace. */
+struct MarkedTrace
+{
+    std::string name;
+    std::vector<MarkedRecord> records;
+
+    /** Number of plain data references in the trace. */
+    std::size_t referenceCount() const;
+
+    /** Number of parallel/serial sections (each ends in a barrier or
+     *  wait). */
+    std::size_t sectionCount() const;
+};
+
+/**
+ * One reference of the *multiprocessor* trace produced by the
+ * post-mortem scheduler.
+ */
+struct MpRef
+{
+    /** Issue cycle (round-robin: one reference per processor/cycle). */
+    std::uint64_t cycle;
+    /** Referenced address (private already remapped per processor). */
+    std::uint64_t addr;
+    /** Issuing processor. */
+    std::uint16_t proc;
+    /** True for writes and atomic read-modify-writes. */
+    bool write;
+    /** True for synchronization references (F&A, flag polls/sets). */
+    bool sync;
+    /** True for atomic fetch&add operations. */
+    bool rmw;
+};
+
+} // namespace absync::trace
+
+#endif // ABSYNC_TRACE_RECORD_HPP

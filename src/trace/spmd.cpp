@@ -1,0 +1,145 @@
+#include "trace/spmd.hpp"
+
+namespace absync::trace
+{
+
+std::size_t
+SpmdSection::referenceCount() const
+{
+    std::size_t n = 0;
+    for (const auto &t : tasks)
+        n += t.size();
+    return n;
+}
+
+std::size_t
+SpmdProgram::referenceCount() const
+{
+    std::size_t n = 0;
+    for (const auto &s : sections)
+        n += s.referenceCount();
+    return n;
+}
+
+std::size_t
+SpmdProgram::barrierCount() const
+{
+    std::size_t n = 0;
+    for (const auto &s : sections) {
+        if (s.kind == SpmdSection::Kind::Parallel ||
+            s.kind == SpmdSection::Kind::Serial) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+SpmdProgram
+SpmdProgram::parse(const MarkedTrace &trace)
+{
+    using K = MarkedRecord::Kind;
+
+    SpmdProgram prog;
+    prog.name = trace.name;
+
+    enum class Where
+    {
+        TopLevel,
+        InParallel,       // between ParallelBegin and first TaskBegin
+        InTask,
+        InSerial,
+        InReplicate,
+    };
+    Where where = Where::TopLevel;
+    SpmdSection current;
+    std::uint32_t declared_tasks = 0;
+
+    auto fail = [&](const std::string &msg, std::size_t i) {
+        throw TraceFormatError(trace.name + ": " + msg + " at record " +
+                               std::to_string(i));
+    };
+
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        const MarkedRecord &r = trace.records[i];
+        switch (r.kind) {
+          case K::Read:
+          case K::Write:
+            if (where == Where::TopLevel)
+                fail("reference outside any section", i);
+            if (where == Where::InParallel)
+                fail("reference before first TaskBegin", i);
+            current.tasks.back().push_back(
+                {r.kind == K::Write, r.addr});
+            break;
+
+          case K::ParallelBegin:
+            if (where != Where::TopLevel)
+                fail("nested ParallelBegin", i);
+            if (r.aux == 0)
+                fail("parallel section with zero tasks", i);
+            current = {};
+            current.kind = SpmdSection::Kind::Parallel;
+            declared_tasks = r.aux;
+            where = Where::InParallel;
+            break;
+
+          case K::TaskBegin:
+            if (where != Where::InParallel && where != Where::InTask)
+                fail("TaskBegin outside parallel section", i);
+            current.tasks.emplace_back();
+            where = Where::InTask;
+            break;
+
+          case K::ParallelEnd:
+            if (where != Where::InTask && where != Where::InParallel)
+                fail("ParallelEnd without ParallelBegin", i);
+            if (current.tasks.size() != declared_tasks) {
+                fail("parallel section declared " +
+                         std::to_string(declared_tasks) +
+                         " tasks but contains " +
+                         std::to_string(current.tasks.size()),
+                     i);
+            }
+            prog.sections.push_back(std::move(current));
+            where = Where::TopLevel;
+            break;
+
+          case K::SerialBegin:
+            if (where != Where::TopLevel)
+                fail("nested SerialBegin", i);
+            current = {};
+            current.kind = SpmdSection::Kind::Serial;
+            current.tasks.emplace_back();
+            where = Where::InSerial;
+            break;
+
+          case K::SerialEnd:
+            if (where != Where::InSerial)
+                fail("SerialEnd without SerialBegin", i);
+            prog.sections.push_back(std::move(current));
+            where = Where::TopLevel;
+            break;
+
+          case K::ReplicateBegin:
+            if (where != Where::TopLevel)
+                fail("nested ReplicateBegin", i);
+            current = {};
+            current.kind = SpmdSection::Kind::Replicate;
+            current.tasks.emplace_back();
+            where = Where::InReplicate;
+            break;
+
+          case K::ReplicateEnd:
+            if (where != Where::InReplicate)
+                fail("ReplicateEnd without ReplicateBegin", i);
+            prog.sections.push_back(std::move(current));
+            where = Where::TopLevel;
+            break;
+        }
+    }
+    if (where != Where::TopLevel)
+        fail("unterminated section", trace.records.size());
+    return prog;
+}
+
+} // namespace absync::trace

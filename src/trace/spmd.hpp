@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Structured SPMD program representation parsed from a marked
+ * uniprocessor trace (paper Appendix A).
+ *
+ * EPEX/Fortran programs under the Single-Program-Multiple-Data model
+ * consist of *serial* sections (one processor executes, the rest wait),
+ * *parallel* sections (self-scheduled loop iterations), and *replicate*
+ * sections (every processor executes the same code).  The post-mortem
+ * scheduler works on this structured form; SpmdProgram::parse recovers
+ * it from the flat marker stream and validates well-formedness.
+ */
+
+#ifndef ABSYNC_TRACE_SPMD_HPP
+#define ABSYNC_TRACE_SPMD_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace absync::trace
+{
+
+/** Error thrown when a marked trace is structurally invalid. */
+class TraceFormatError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One reference of a task body (the refs-only payload). */
+struct TaskRef
+{
+    bool write;
+    std::uint64_t addr;
+};
+
+/** One section of an SPMD program. */
+struct SpmdSection
+{
+    enum class Kind
+    {
+        Parallel,  ///< tasks self-scheduled via F&A; barrier at end
+        Serial,    ///< tasks.size() == 1; others wait at the end
+        Replicate, ///< tasks.size() == 1; executed by all, no barrier
+    };
+
+    Kind kind;
+
+    /**
+     * Task bodies.  Parallel: one per loop iteration.  Serial /
+     * Replicate: exactly one.
+     */
+    std::vector<std::vector<TaskRef>> tasks;
+
+    /** Total data references across all tasks. */
+    std::size_t referenceCount() const;
+};
+
+/** A parsed SPMD program ready for post-mortem scheduling. */
+struct SpmdProgram
+{
+    std::string name;
+    std::vector<SpmdSection> sections;
+
+    /** Total data references across all sections. */
+    std::size_t referenceCount() const;
+
+    /** Sections that end in a barrier or wait. */
+    std::size_t barrierCount() const;
+
+    /**
+     * Parse and validate a marked uniprocessor trace.
+     *
+     * @throws TraceFormatError on unbalanced markers, references
+     *         outside any section, task-count mismatches, or nesting.
+     */
+    static SpmdProgram parse(const MarkedTrace &trace);
+};
+
+} // namespace absync::trace
+
+#endif // ABSYNC_TRACE_SPMD_HPP

@@ -1,0 +1,224 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+
+namespace absync::trace
+{
+
+namespace
+{
+
+constexpr char AMT_MAGIC[4] = {'A', 'M', 'T', '1'};
+constexpr char MPT_MAGIC[4] = {'M', 'P', 'T', '1'};
+
+/** On-disk layout of one marked record (packed, little-endian). */
+struct DiskMarked
+{
+    std::uint8_t kind;
+    std::uint8_t pad[3];
+    std::uint32_t aux;
+    std::uint64_t addr;
+};
+static_assert(sizeof(DiskMarked) == 16);
+
+/** On-disk layout of one multiprocessor reference. */
+struct DiskMpRef
+{
+    std::uint64_t cycle;
+    std::uint64_t addr;
+    std::uint16_t proc;
+    std::uint8_t flags; // bit0 write, bit1 sync, bit2 rmw
+    std::uint8_t pad[5];
+};
+static_assert(sizeof(DiskMpRef) == 24);
+
+[[noreturn]] void
+ioFail(const std::string &path, const std::string &what)
+{
+    throw TraceIoError(path + ": " + what);
+}
+
+void
+writeAll(std::FILE *f, const void *data, std::size_t bytes,
+         const std::string &path)
+{
+    if (std::fwrite(data, 1, bytes, f) != bytes)
+        ioFail(path, "short write");
+}
+
+void
+readAll(std::FILE *f, void *data, std::size_t bytes,
+        const std::string &path)
+{
+    if (std::fread(data, 1, bytes, f) != bytes)
+        ioFail(path, "short read / truncated file");
+}
+
+} // namespace
+
+void
+saveMarkedTrace(const MarkedTrace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        ioFail(path, "cannot open for writing");
+
+    writeAll(f, AMT_MAGIC, 4, path);
+    const auto name_len =
+        static_cast<std::uint32_t>(trace.name.size());
+    writeAll(f, &name_len, sizeof(name_len), path);
+    writeAll(f, trace.name.data(), name_len, path);
+    const std::uint64_t n = trace.records.size();
+    writeAll(f, &n, sizeof(n), path);
+
+    for (const auto &r : trace.records) {
+        DiskMarked d{};
+        d.kind = static_cast<std::uint8_t>(r.kind);
+        d.aux = r.aux;
+        d.addr = r.addr;
+        writeAll(f, &d, sizeof(d), path);
+    }
+    if (std::fclose(f) != 0)
+        ioFail(path, "close failed");
+}
+
+MarkedTrace
+loadMarkedTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        ioFail(path, "cannot open for reading");
+
+    MarkedTrace trace;
+    try {
+        char magic[4];
+        readAll(f, magic, 4, path);
+        if (std::memcmp(magic, AMT_MAGIC, 4) != 0)
+            ioFail(path, "not a marked-trace file (bad magic)");
+
+        std::uint32_t name_len = 0;
+        readAll(f, &name_len, sizeof(name_len), path);
+        if (name_len > 4096)
+            ioFail(path, "implausible name length");
+        trace.name.resize(name_len);
+        readAll(f, trace.name.data(), name_len, path);
+
+        std::uint64_t n = 0;
+        readAll(f, &n, sizeof(n), path);
+        trace.records.reserve(n);
+        constexpr auto kMaxKind =
+            static_cast<std::uint8_t>(
+                MarkedRecord::Kind::ReplicateEnd);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            DiskMarked d{};
+            readAll(f, &d, sizeof(d), path);
+            if (d.kind > kMaxKind)
+                ioFail(path, "corrupt record kind");
+            trace.records.push_back(
+                {static_cast<MarkedRecord::Kind>(d.kind), d.aux,
+                 d.addr});
+        }
+    } catch (...) {
+        std::fclose(f);
+        throw;
+    }
+    std::fclose(f);
+    return trace;
+}
+
+MpTraceWriter::MpTraceWriter(const std::string &path,
+                             std::uint32_t processors)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path)
+{
+    if (!file_)
+        ioFail(path, "cannot open for writing");
+    writeAll(file_, MPT_MAGIC, 4, path_);
+    writeAll(file_, &processors, sizeof(processors), path_);
+    // Count placeholder, finalized in close().
+    const std::uint64_t zero = 0;
+    writeAll(file_, &zero, sizeof(zero), path_);
+}
+
+void
+MpTraceWriter::append(const MpRef &ref)
+{
+    DiskMpRef d{};
+    d.cycle = ref.cycle;
+    d.addr = ref.addr;
+    d.proc = ref.proc;
+    d.flags = static_cast<std::uint8_t>((ref.write ? 1 : 0) |
+                                        (ref.sync ? 2 : 0) |
+                                        (ref.rmw ? 4 : 0));
+    writeAll(file_, &d, sizeof(d), path_);
+    ++count_;
+}
+
+void
+MpTraceWriter::close()
+{
+    if (!file_)
+        return;
+    // Patch the reference count into the header.
+    if (std::fseek(file_, 8, SEEK_SET) != 0)
+        ioFail(path_, "seek failed");
+    writeAll(file_, &count_, sizeof(count_), path_);
+    if (std::fclose(file_) != 0) {
+        file_ = nullptr;
+        ioFail(path_, "close failed");
+    }
+    file_ = nullptr;
+}
+
+MpTraceWriter::~MpTraceWriter()
+{
+    try {
+        close();
+    } catch (...) {
+        // Destructors must not throw; the file may be incomplete.
+    }
+}
+
+MpTraceReader::MpTraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_)
+        ioFail(path, "cannot open for reading");
+    try {
+        char magic[4];
+        readAll(file_, magic, 4, path);
+        if (std::memcmp(magic, MPT_MAGIC, 4) != 0)
+            ioFail(path, "not a multiprocessor-trace file");
+        readAll(file_, &processors_, sizeof(processors_), path);
+        readAll(file_, &count_, sizeof(count_), path);
+    } catch (...) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw;
+    }
+}
+
+MpTraceReader::~MpTraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+MpTraceReader::next(MpRef &out)
+{
+    if (read_ >= count_)
+        return false;
+    DiskMpRef d{};
+    if (std::fread(&d, 1, sizeof(d), file_) != sizeof(d))
+        return false;
+    out.cycle = d.cycle;
+    out.addr = d.addr;
+    out.proc = d.proc;
+    out.write = (d.flags & 1) != 0;
+    out.sync = (d.flags & 2) != 0;
+    out.rmw = (d.flags & 4) != 0;
+    ++read_;
+    return true;
+}
+
+} // namespace absync::trace

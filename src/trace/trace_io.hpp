@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Binary serialization of trace artifacts.
+ *
+ * The paper's methodology is file-based: PSIMUL writes a marked
+ * uniprocessor trace, the post-mortem scheduler reads it and writes a
+ * multiprocessor trace, and the cache simulators consume that.  This
+ * module provides the same decoupling for our pipeline, so traces
+ * can be generated once and replayed into many simulator
+ * configurations (or shipped to other tools).
+ *
+ * Formats (little-endian, versioned):
+ *  - marked trace (.amt): magic "AMT1", name, record array;
+ *  - multiprocessor trace (.mpt): magic "MPT1", processor count,
+ *    reference array.
+ */
+
+#ifndef ABSYNC_TRACE_TRACE_IO_HPP
+#define ABSYNC_TRACE_TRACE_IO_HPP
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace absync::trace
+{
+
+/** Error thrown on malformed or unreadable trace files. */
+class TraceIoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Write a marked uniprocessor trace to @p path (overwrites). */
+void saveMarkedTrace(const MarkedTrace &trace,
+                     const std::string &path);
+
+/** Read a marked uniprocessor trace from @p path.
+ *  @throws TraceIoError on format or I/O problems. */
+MarkedTrace loadMarkedTrace(const std::string &path);
+
+/**
+ * Streaming writer for multiprocessor traces.  Feed it to the
+ * post-mortem scheduler as the sink:
+ * @code
+ *   MpTraceWriter w("fft64.mpt", 64);
+ *   scheduler.run([&](const MpRef &r) { w.append(r); });
+ *   w.close();
+ * @endcode
+ */
+class MpTraceWriter
+{
+  public:
+    /** Open @p path for writing; @p processors recorded in the
+     *  header. */
+    MpTraceWriter(const std::string &path, std::uint32_t processors);
+
+    /** Flush, finalize the header, and close.  Called by the
+     *  destructor if needed. */
+    void close();
+
+    ~MpTraceWriter();
+
+    MpTraceWriter(const MpTraceWriter &) = delete;
+    MpTraceWriter &operator=(const MpTraceWriter &) = delete;
+
+    /** Append one reference (must be called in cycle order). */
+    void append(const MpRef &ref);
+
+    /** References written so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    std::string path_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Streaming reader for multiprocessor traces.
+ */
+class MpTraceReader
+{
+  public:
+    /** Open @p path; validates the header.
+     *  @throws TraceIoError on format or I/O problems. */
+    explicit MpTraceReader(const std::string &path);
+
+    ~MpTraceReader();
+
+    MpTraceReader(const MpTraceReader &) = delete;
+    MpTraceReader &operator=(const MpTraceReader &) = delete;
+
+    /** Processor count recorded in the header. */
+    std::uint32_t processors() const { return processors_; }
+
+    /** Total references in the file. */
+    std::uint64_t count() const { return count_; }
+
+    /** Read the next reference; false at end of file. */
+    bool next(MpRef &out);
+
+  private:
+    std::FILE *file_;
+    std::uint32_t processors_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+} // namespace absync::trace
+
+#endif // ABSYNC_TRACE_TRACE_IO_HPP

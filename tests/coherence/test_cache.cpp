@@ -1,0 +1,85 @@
+/** @file Unit tests for the direct-mapped cache tag store. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/cache.hpp"
+
+using absync::coherence::DirectMappedCache;
+
+TEST(Cache, Geometry)
+{
+    DirectMappedCache c(256 * 1024, 16);
+    EXPECT_EQ(c.lines(), 16384u);
+    EXPECT_EQ(c.blockShift(), 4u);
+    EXPECT_EQ(c.blockOf(0x12345), 0x1234u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    DirectMappedCache c(1024, 16);
+    const auto b = c.blockOf(0x4000);
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_FALSE(c.insert(b).has_value());
+    EXPECT_TRUE(c.contains(b));
+}
+
+TEST(Cache, ConflictEviction)
+{
+    DirectMappedCache c(1024, 16); // 64 lines
+    const auto b1 = c.blockOf(0x0000);
+    const auto b2 = c.blockOf(0x0000 + 1024); // same index
+    c.insert(b1);
+    const auto evicted = c.insert(b2);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, b1);
+    EXPECT_FALSE(c.contains(b1));
+    EXPECT_TRUE(c.contains(b2));
+}
+
+TEST(Cache, ReinsertSameBlockNoEviction)
+{
+    DirectMappedCache c(1024, 16);
+    const auto b = c.blockOf(0x40);
+    c.insert(b);
+    EXPECT_FALSE(c.insert(b).has_value());
+}
+
+TEST(Cache, DistinctIndicesCoexist)
+{
+    DirectMappedCache c(1024, 16);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_FALSE(c.insert(i).has_value());
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_TRUE(c.contains(i));
+}
+
+TEST(Cache, Invalidate)
+{
+    DirectMappedCache c(1024, 16);
+    const auto b = c.blockOf(0x80);
+    c.insert(b);
+    c.invalidate(b);
+    EXPECT_FALSE(c.contains(b));
+    // Invalidating a non-resident block is a no-op.
+    c.invalidate(c.blockOf(0x9000));
+}
+
+TEST(Cache, InvalidateWrongTagIsNoOp)
+{
+    DirectMappedCache c(1024, 16);
+    const auto b1 = c.blockOf(0x0000);
+    const auto b2 = c.blockOf(0x0000 + 1024); // same index, other tag
+    c.insert(b1);
+    c.invalidate(b2);
+    EXPECT_TRUE(c.contains(b1));
+}
+
+TEST(Cache, Clear)
+{
+    DirectMappedCache c(1024, 16);
+    c.insert(1);
+    c.insert(2);
+    c.clear();
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_FALSE(c.contains(2));
+}

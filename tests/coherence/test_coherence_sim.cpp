@@ -1,0 +1,272 @@
+/** @file Unit and invariant tests for the coherence simulator. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coherence/coherence_sim.hpp"
+
+using namespace absync::coherence;
+using absync::trace::MpRef;
+namespace region = absync::trace::region;
+
+namespace
+{
+
+MpRef
+ref(std::uint16_t proc, std::uint64_t addr, bool write,
+    bool sync = false)
+{
+    return MpRef{0, addr, proc, write, sync, write && sync};
+}
+
+CoherenceConfig
+smallConfig(std::uint32_t procs = 4, std::uint32_t pointers = 0)
+{
+    CoherenceConfig cfg;
+    cfg.processors = procs;
+    cfg.pointerLimit = pointers;
+    cfg.cacheBytes = 4096;
+    cfg.blockBytes = 16;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CoherenceSim, ColdMissCostsTwoTransactions)
+{
+    CoherenceSimulator sim(smallConfig());
+    sim.access(ref(0, region::SHARED, false));
+    EXPECT_EQ(sim.stats().nonSyncTransactions, 2u);
+    EXPECT_EQ(sim.stats().misses, 1u);
+    // Second read hits: no new traffic.
+    sim.access(ref(0, region::SHARED, false));
+    EXPECT_EQ(sim.stats().nonSyncTransactions, 2u);
+    EXPECT_EQ(sim.stats().misses, 1u);
+}
+
+TEST(CoherenceSim, WriteHitToCleanInvalidatesSharers)
+{
+    CoherenceSimulator sim(smallConfig());
+    // Three readers, then one of them writes.
+    sim.access(ref(0, region::SHARED, false));
+    sim.access(ref(1, region::SHARED, false));
+    sim.access(ref(2, region::SHARED, false));
+    const auto before = sim.stats().invalMessages;
+    sim.access(ref(0, region::SHARED, true));
+    EXPECT_EQ(sim.stats().invalMessages - before, 2u);
+    EXPECT_EQ(sim.stats().writeCleanInvalHist.count(2), 1u);
+    // The invalidated copies really are gone: their next read misses.
+    const auto misses = sim.stats().misses;
+    sim.access(ref(1, region::SHARED, false));
+    EXPECT_EQ(sim.stats().misses, misses + 1);
+}
+
+TEST(CoherenceSim, RepeatWriteByOwnerIsFree)
+{
+    CoherenceSimulator sim(smallConfig());
+    sim.access(ref(0, region::SHARED, true));
+    const auto tx = sim.stats().nonSyncTransactions;
+    sim.access(ref(0, region::SHARED, true));
+    sim.access(ref(0, region::SHARED, false));
+    EXPECT_EQ(sim.stats().nonSyncTransactions, tx);
+}
+
+TEST(CoherenceSim, ReadOfDirtyBlockFetchesFromOwner)
+{
+    CoherenceSimulator sim(smallConfig());
+    sim.access(ref(0, region::SHARED, true)); // dirty in 0
+    const auto tx = sim.stats().nonSyncTransactions;
+    sim.access(ref(1, region::SHARED, false));
+    // Miss (2) + dirty fetch/writeback (2).
+    EXPECT_EQ(sim.stats().nonSyncTransactions - tx, 4u);
+}
+
+TEST(CoherenceSim, PointerLimitForcesInvalidationOnRead)
+{
+    CoherenceSimulator sim(smallConfig(4, 2));
+    sim.access(ref(0, region::SHARED, false));
+    sim.access(ref(1, region::SHARED, false));
+    const auto inv = sim.stats().invalMessages;
+    sim.access(ref(2, region::SHARED, false)); // third sharer
+    EXPECT_EQ(sim.stats().invalMessages - inv, 1u)
+        << "DiriNB displaces a copy to admit the third sharer";
+}
+
+TEST(CoherenceSim, FullMapReadsNeverInvalidate)
+{
+    CoherenceSimulator sim(smallConfig(4, 0));
+    for (std::uint16_t p = 0; p < 4; ++p)
+        sim.access(ref(p, region::SHARED, false));
+    EXPECT_EQ(sim.stats().invalMessages, 0u);
+}
+
+TEST(CoherenceSim, UncachedSyncCostsTwoEach)
+{
+    auto cfg = smallConfig();
+    cfg.uncachedSync = true;
+    CoherenceSimulator sim(cfg);
+    for (int i = 0; i < 5; ++i)
+        sim.access(ref(0, region::SYNC, false, true));
+    EXPECT_EQ(sim.stats().syncTransactions, 10u);
+    EXPECT_EQ(sim.stats().syncRefs, 5u);
+    EXPECT_EQ(sim.stats().invalMessages, 0u);
+}
+
+TEST(CoherenceSim, CachedSyncLocalSpinsNotCounted)
+{
+    CoherenceSimulator sim(smallConfig());
+    // First poll misses and installs the flag; re-polls are local.
+    sim.access(ref(0, region::SYNC, false, true));
+    EXPECT_EQ(sim.stats().syncRefs, 1u);
+    for (int i = 0; i < 10; ++i)
+        sim.access(ref(0, region::SYNC, false, true));
+    EXPECT_EQ(sim.stats().syncRefs, 1u);
+    EXPECT_EQ(sim.stats().localSpins, 10u);
+    // A flag write invalidates the spinner, whose next poll counts.
+    sim.access(ref(1, region::SYNC, true, true));
+    sim.access(ref(0, region::SYNC, false, true));
+    EXPECT_EQ(sim.stats().syncRefs, 3u);
+}
+
+TEST(CoherenceSim, UncachedSharedBypassesEverything)
+{
+    auto cfg = smallConfig();
+    cfg.uncachedShared = true;
+    CoherenceSimulator sim(cfg);
+    sim.access(ref(0, region::SHARED, false));
+    sim.access(ref(0, region::SHARED, false));
+    EXPECT_EQ(sim.stats().nonSyncTransactions, 4u)
+        << "every shared reference goes to memory";
+    // Private still caches.
+    sim.access(ref(0, region::PRIVATE, false));
+    sim.access(ref(0, region::PRIVATE, false));
+    EXPECT_EQ(sim.stats().nonSyncTransactions, 6u)
+        << "private misses once, then hits";
+}
+
+TEST(CoherenceSim, ConflictEvictionUpdatesDirectory)
+{
+    // Two shared blocks with the same cache index: loading the second
+    // evicts the first; a later write to the first by another
+    // processor must find no stale sharers to invalidate.
+    auto cfg = smallConfig();
+    CoherenceSimulator sim(cfg);
+    const std::uint64_t a1 = region::SHARED;
+    const std::uint64_t a2 = region::SHARED + cfg.cacheBytes;
+    sim.access(ref(0, a1, false));
+    sim.access(ref(0, a2, false)); // evicts a1 from proc 0
+    const auto inv = sim.stats().invalMessages;
+    sim.access(ref(1, a1, true));
+    EXPECT_EQ(sim.stats().invalMessages, inv)
+        << "evicted copy must not be re-invalidated";
+}
+
+TEST(CoherenceSim, DirtyEvictionWritesBack)
+{
+    auto cfg = smallConfig();
+    CoherenceSimulator sim(cfg);
+    const std::uint64_t a1 = region::SHARED;
+    const std::uint64_t a2 = region::SHARED + cfg.cacheBytes;
+    sim.access(ref(0, a1, true)); // dirty
+    const auto tx = sim.stats().nonSyncTransactions;
+    sim.access(ref(0, a2, false)); // conflict-evicts dirty a1
+    // Miss (2) + writeback (2).
+    EXPECT_EQ(sim.stats().nonSyncTransactions - tx, 4u);
+}
+
+TEST(CoherenceSim, InvalidatingFractionCounters)
+{
+    CoherenceSimulator sim(smallConfig());
+    sim.access(ref(0, region::SHARED, false));
+    sim.access(ref(1, region::SHARED, false));
+    sim.access(ref(1, region::SHARED + 64, false));
+    sim.access(ref(0, region::SHARED, true)); // invalidates proc 1
+    const auto &st = sim.stats();
+    EXPECT_EQ(st.nonSyncRefs, 4u);
+    EXPECT_EQ(st.nonSyncRefsInvalidating, 1u);
+    EXPECT_DOUBLE_EQ(st.nonSyncInvalidatingFraction(), 0.25);
+}
+
+TEST(CoherenceSim, WriteMissInvalidatesAllSharers)
+{
+    CoherenceSimulator sim(smallConfig());
+    sim.access(ref(0, region::SHARED, false));
+    sim.access(ref(1, region::SHARED, false));
+    sim.access(ref(2, region::SHARED, false));
+    const auto inv = sim.stats().invalMessages;
+    sim.access(ref(3, region::SHARED, true));
+    EXPECT_EQ(sim.stats().invalMessages - inv, 3u);
+}
+
+/** Invariant sweep across pointer limits: dirty blocks have exactly
+ *  one sharer; sharer count never exceeds the limit. */
+class PointerSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PointerSweep, SharerCountBounded)
+{
+    const std::uint32_t limit = GetParam();
+    auto cfg = smallConfig(8, limit);
+    CoherenceSimulator sim(cfg);
+    // A pseudo-random mix of reads and writes by 8 processors over a
+    // handful of blocks.
+    std::uint32_t x = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 1664525 + 1013904223;
+        const std::uint16_t p = (x >> 8) % 8;
+        const std::uint64_t addr =
+            region::SHARED + ((x >> 16) % 16) * 16;
+        const bool write = (x >> 28) % 4 == 0;
+        sim.access(ref(p, addr, write));
+    }
+    SUCCEED(); // internal asserts in Directory would have fired
+    if (limit != 0) {
+        EXPECT_GT(sim.stats().invalMessages, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, PointerSweep,
+                         ::testing::Values(0u, 2u, 3u, 4u, 5u));
+
+TEST(CoherenceSim, DirIBReadsNeverInvalidate)
+{
+    auto cfg = smallConfig(6, 2);
+    cfg.broadcastOverflow = true;
+    CoherenceSimulator sim(cfg);
+    for (std::uint16_t p = 0; p < 6; ++p)
+        sim.access(ref(p, region::SHARED, false));
+    EXPECT_EQ(sim.stats().invalMessages, 0u)
+        << "Dir_iB absorbs read overflow without invalidations";
+}
+
+TEST(CoherenceSim, DirIBWriteBroadcasts)
+{
+    auto cfg = smallConfig(6, 2);
+    cfg.broadcastOverflow = true;
+    CoherenceSimulator sim(cfg);
+    for (std::uint16_t p = 0; p < 6; ++p)
+        sim.access(ref(p, region::SHARED, false));
+    const auto inv = sim.stats().invalMessages;
+    sim.access(ref(0, region::SHARED, true));
+    EXPECT_EQ(sim.stats().invalMessages - inv, 5u)
+        << "the deferred write invalidates every other cache";
+    // Untracked copies really are gone.
+    const auto misses = sim.stats().misses;
+    sim.access(ref(5, region::SHARED, false));
+    EXPECT_EQ(sim.stats().misses, misses + 1);
+}
+
+TEST(CoherenceSim, DirIBBitClearsAfterBroadcast)
+{
+    auto cfg = smallConfig(4, 2);
+    cfg.broadcastOverflow = true;
+    CoherenceSimulator sim(cfg);
+    for (std::uint16_t p = 0; p < 4; ++p)
+        sim.access(ref(p, region::SHARED, false));
+    sim.access(ref(0, region::SHARED, true)); // broadcast
+    const auto inv = sim.stats().invalMessages;
+    sim.access(ref(0, region::SHARED, true)); // dirty hit: free
+    EXPECT_EQ(sim.stats().invalMessages, inv);
+}

@@ -1,0 +1,120 @@
+/** @file Unit tests for the limited-pointer directory. */
+
+#include <gtest/gtest.h>
+
+#include "coherence/directory.hpp"
+
+using absync::coherence::Directory;
+using absync::coherence::DirOverflow;
+
+TEST(Directory, FullMapUnlimited)
+{
+    Directory d(0);
+    for (std::uint16_t p = 0; p < 100; ++p)
+        EXPECT_EQ(d.addSharer(1, p), -1);
+    EXPECT_EQ(d.entry(1).sharers.size(), 100u);
+}
+
+TEST(Directory, PointerLimitDisplacesOldest)
+{
+    Directory d(2);
+    EXPECT_EQ(d.addSharer(1, 10), -1);
+    EXPECT_EQ(d.addSharer(1, 11), -1);
+    EXPECT_EQ(d.addSharer(1, 12), 10) << "oldest sharer displaced";
+    const auto &e = d.entry(1);
+    EXPECT_EQ(e.sharers.size(), 2u);
+    EXPECT_TRUE(e.isSharedBy(11));
+    EXPECT_TRUE(e.isSharedBy(12));
+    EXPECT_FALSE(e.isSharedBy(10));
+}
+
+TEST(Directory, RemoveSharer)
+{
+    Directory d(4);
+    d.addSharer(5, 1);
+    d.addSharer(5, 2);
+    d.removeSharer(5, 1);
+    EXPECT_FALSE(d.entry(5).isSharedBy(1));
+    EXPECT_TRUE(d.entry(5).isSharedBy(2));
+    // Removing a non-sharer or untouched block is harmless.
+    d.removeSharer(5, 9);
+    d.removeSharer(77, 1);
+}
+
+TEST(Directory, MakeOwnerInvalidatesOthers)
+{
+    Directory d(4);
+    d.addSharer(3, 1);
+    d.addSharer(3, 2);
+    d.addSharer(3, 7);
+    const auto inv = d.makeOwner(3, 2);
+    ASSERT_EQ(inv.size(), 2u);
+    EXPECT_TRUE((inv[0] == 1 && inv[1] == 7) ||
+                (inv[0] == 7 && inv[1] == 1));
+    const auto &e = d.entry(3);
+    EXPECT_TRUE(e.dirty);
+    ASSERT_EQ(e.sharers.size(), 1u);
+    EXPECT_EQ(e.sharers[0], 2);
+}
+
+TEST(Directory, MakeOwnerByNonSharer)
+{
+    Directory d(4);
+    d.addSharer(3, 1);
+    const auto inv = d.makeOwner(3, 9);
+    ASSERT_EQ(inv.size(), 1u);
+    EXPECT_EQ(inv[0], 1);
+    EXPECT_TRUE(d.entry(3).isSharedBy(9));
+}
+
+TEST(Directory, Cleanse)
+{
+    Directory d(4);
+    d.makeOwner(2, 5);
+    EXPECT_TRUE(d.entry(2).dirty);
+    d.cleanse(2);
+    EXPECT_FALSE(d.entry(2).dirty);
+    EXPECT_TRUE(d.entry(2).isSharedBy(5)) << "owner stays a sharer";
+}
+
+TEST(Directory, DirtyClearedWhenLastSharerLeaves)
+{
+    Directory d(4);
+    d.makeOwner(2, 5);
+    d.removeSharer(2, 5);
+    EXPECT_FALSE(d.entry(2).dirty);
+    EXPECT_TRUE(d.entry(2).sharers.empty());
+}
+
+TEST(Directory, FindDoesNotCreate)
+{
+    Directory d(4);
+    EXPECT_EQ(d.find(42), nullptr);
+    EXPECT_EQ(d.liveEntries(), 0u);
+    d.addSharer(42, 1);
+    EXPECT_NE(d.find(42), nullptr);
+    EXPECT_EQ(d.liveEntries(), 1u);
+}
+
+TEST(Directory, BroadcastOverflowSetsBit)
+{
+    Directory d(2, DirOverflow::Broadcast);
+    EXPECT_EQ(d.addSharer(1, 10), -1);
+    EXPECT_EQ(d.addSharer(1, 11), -1);
+    EXPECT_FALSE(d.entry(1).broadcastBit);
+    EXPECT_EQ(d.addSharer(1, 12), -1)
+        << "Dir_iB never displaces a copy";
+    EXPECT_TRUE(d.entry(1).broadcastBit);
+    EXPECT_EQ(d.entry(1).sharers.size(), 2u)
+        << "the overflowing sharer goes untracked";
+}
+
+TEST(Directory, NoBroadcastIsDefault)
+{
+    Directory d(2);
+    EXPECT_EQ(d.overflow(), DirOverflow::NoBroadcast);
+    d.addSharer(1, 10);
+    d.addSharer(1, 11);
+    EXPECT_EQ(d.addSharer(1, 12), 10);
+    EXPECT_FALSE(d.entry(1).broadcastBit);
+}

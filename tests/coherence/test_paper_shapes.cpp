@@ -1,0 +1,137 @@
+/** @file Integration tests locking in the paper's coherence-side
+ *        shapes (Tables 1-2, Figure 1) end to end: generator ->
+ *        scheduler -> coherence simulator.  These are the claims
+ *        EXPERIMENTS.md reports; if a refactor breaks a shape, this
+ *        suite fails rather than the benches silently drifting. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "coherence/coherence_sim.hpp"
+#include "trace/apps.hpp"
+#include "trace/postmortem.hpp"
+#include "trace/spmd.hpp"
+
+using namespace absync;
+
+namespace
+{
+
+/** Cache of parsed programs: generation dominates test time. */
+const trace::SpmdProgram &
+program(const std::string &app)
+{
+    static std::map<std::string, trace::SpmdProgram> cache;
+    auto it = cache.find(app);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(app, trace::SpmdProgram::parse(
+                                   trace::makeAppTrace(app, 0.1)))
+                 .first;
+    }
+    return it->second;
+}
+
+coherence::CoherenceStats
+simulate(const std::string &app, std::uint32_t pointers,
+         bool uncached_sync)
+{
+    coherence::CoherenceConfig cfg;
+    cfg.processors = 64;
+    cfg.pointerLimit = pointers;
+    cfg.uncachedSync = uncached_sync;
+    coherence::CoherenceSimulator sim(cfg);
+    trace::PostMortemScheduler(program(app), 64)
+        .run([&](const trace::MpRef &r) { sim.access(r); });
+    return sim.stats();
+}
+
+} // namespace
+
+TEST(PaperShapes, Table1SyncRefsAlmostAlwaysInvalidate)
+{
+    // Paper Table 1: ~99 % of sync references invalidate under
+    // limited pointers, far above non-sync.
+    for (const char *app : {"fft", "simple", "weather"}) {
+        const auto st = simulate(app, 3, false);
+        EXPECT_GT(st.syncInvalidatingFraction(), 0.95) << app;
+        EXPECT_GT(st.syncInvalidatingFraction(),
+                  5.0 * st.nonSyncInvalidatingFraction())
+            << app;
+    }
+}
+
+TEST(PaperShapes, Table1FullMapEasesSyncInvalidations)
+{
+    for (const char *app : {"simple", "weather"}) {
+        const auto limited = simulate(app, 3, false);
+        const auto full = simulate(app, 0, false);
+        EXPECT_LT(full.syncInvalidatingFraction(),
+                  limited.syncInvalidatingFraction())
+            << app;
+    }
+}
+
+TEST(PaperShapes, Table1NonSyncEasesWithMorePointers)
+{
+    for (const char *app : {"fft", "simple", "weather"}) {
+        const auto p2 = simulate(app, 2, false);
+        const auto p5 = simulate(app, 5, false);
+        EXPECT_LE(p5.nonSyncInvalidatingFraction(),
+                  p2.nonSyncInvalidatingFraction() + 0.01)
+            << app;
+    }
+}
+
+TEST(PaperShapes, Table2TrafficOrdering)
+{
+    // Paper Table 2: WEATHER >> SIMPLE >> FFT uncached sync traffic.
+    const double fft = simulate("fft", 4, true).syncTrafficFraction();
+    const double simple =
+        simulate("simple", 4, true).syncTrafficFraction();
+    const double weather =
+        simulate("weather", 4, true).syncTrafficFraction();
+    EXPECT_GT(weather, simple);
+    EXPECT_GT(simple, fft);
+    EXPECT_GT(weather, 0.30) << "paper: 55-60 %";
+    EXPECT_LT(fft, 0.10) << "paper: 1.3-1.5 %";
+}
+
+TEST(PaperShapes, Figure1MassBelowThreeInvalidations)
+{
+    // Paper Fig 1: >95 % of invalidating writes touch <= 3 caches,
+    // with a deep tail caused by synchronization.
+    const auto st = simulate("simple", 0, false);
+    const auto &h = st.writeCleanInvalHist;
+    ASSERT_GT(h.total(), 0u);
+    EXPECT_GT(h.cumulativeFraction(3), 0.95);
+    EXPECT_GT(h.maxValue(), 12u)
+        << "the barrier release must produce a deep event";
+}
+
+TEST(PaperShapes, CachedSyncFractionIsSmall)
+{
+    // With caching, counted sync refs are a small share (the
+    // paper's 0.2-7.9 % range).
+    for (const char *app : {"fft", "simple", "weather"}) {
+        const auto st = simulate(app, 4, false);
+        const double frac =
+            static_cast<double>(st.syncRefs) /
+            static_cast<double>(st.syncRefs + st.nonSyncRefs);
+        EXPECT_LT(frac, 0.12) << app;
+    }
+}
+
+TEST(PaperShapes, LocalSpinningNeedsEnoughPointers)
+{
+    // Under a limited directory the pollers' copies displace each
+    // other, so nearly every poll misses (no cache-local spinning) —
+    // the Section 2.1 pathology.  A full map lets waiters spin in
+    // their caches.
+    const auto limited = simulate("simple", 4, false);
+    const auto full = simulate("simple", 0, false);
+    EXPECT_LT(limited.localSpins, limited.syncRefs);
+    EXPECT_GT(full.localSpins, full.syncRefs);
+}

@@ -1,0 +1,138 @@
+/** @file Unit tests for the backoff policy configuration. */
+
+#include <gtest/gtest.h>
+
+#include "core/backoff.hpp"
+
+using absync::core::BackoffConfig;
+using absync::core::FlagBackoff;
+
+TEST(Backoff, DefaultIsNoBackoff)
+{
+    BackoffConfig c;
+    EXPECT_FALSE(c.onVariable);
+    EXPECT_EQ(c.onFlag, FlagBackoff::None);
+    EXPECT_EQ(c.variableDelay(64, 1), 0u);
+    EXPECT_EQ(c.flagDelay(5), 0u);
+}
+
+TEST(Backoff, VariableDelayIsNMinusI)
+{
+    auto c = BackoffConfig::variableOnly();
+    EXPECT_EQ(c.variableDelay(64, 1), 63u);
+    EXPECT_EQ(c.variableDelay(64, 32), 32u);
+    EXPECT_EQ(c.variableDelay(64, 63), 1u);
+    EXPECT_EQ(c.variableDelay(64, 64), 0u) << "last arriver waits 0";
+}
+
+TEST(Backoff, VariableDelayScaled)
+{
+    auto c = BackoffConfig::variableOnly();
+    c.varScale = 2.0;
+    EXPECT_EQ(c.variableDelay(10, 6), 8u); // 2*(10-6)
+    c.varScale = 1.0;
+    c.varOffset = 5;
+    EXPECT_EQ(c.variableDelay(10, 6), 9u); // (10-6)+5
+}
+
+TEST(Backoff, LinearFlagDelay)
+{
+    auto c = BackoffConfig::linearFlag(3);
+    EXPECT_EQ(c.flagDelay(1), 3u);
+    EXPECT_EQ(c.flagDelay(2), 6u);
+    EXPECT_EQ(c.flagDelay(10), 30u);
+}
+
+TEST(Backoff, ExponentialFlagDelay)
+{
+    auto c = BackoffConfig::exponentialFlag(2);
+    EXPECT_EQ(c.flagDelay(1), 2u);
+    EXPECT_EQ(c.flagDelay(2), 4u);
+    EXPECT_EQ(c.flagDelay(3), 8u);
+    EXPECT_EQ(c.flagDelay(10), 1024u);
+
+    auto c8 = BackoffConfig::exponentialFlag(8);
+    EXPECT_EQ(c8.flagDelay(1), 8u);
+    EXPECT_EQ(c8.flagDelay(2), 64u);
+    EXPECT_EQ(c8.flagDelay(3), 512u);
+}
+
+TEST(Backoff, ExponentialClampsAtMaxExponent)
+{
+    auto c = BackoffConfig::exponentialFlag(2);
+    c.maxExponent = 4;
+    EXPECT_EQ(c.flagDelay(4), 16u);
+    EXPECT_EQ(c.flagDelay(100), 16u);
+}
+
+TEST(Backoff, ExponentialNoOverflow)
+{
+    auto c = BackoffConfig::exponentialFlag(8);
+    c.maxExponent = 64;
+    // Must clamp instead of overflowing.
+    EXPECT_LE(c.flagDelay(63), 1ULL << 62);
+    EXPECT_GT(c.flagDelay(63), 0u);
+}
+
+TEST(Backoff, DegenerateBaseOneIsLinearish)
+{
+    auto c = BackoffConfig::exponentialFlag(1);
+    EXPECT_EQ(c.flagDelay(5), 5u);
+}
+
+TEST(Backoff, BlockThreshold)
+{
+    auto c = BackoffConfig::exponentialFlag(2);
+    c.blockThreshold = 100;
+    EXPECT_FALSE(c.shouldBlock(100));
+    EXPECT_TRUE(c.shouldBlock(101));
+    c.blockThreshold = 0;
+    EXPECT_FALSE(c.shouldBlock(1ULL << 40));
+}
+
+TEST(Backoff, PresetsFromString)
+{
+    EXPECT_FALSE(BackoffConfig::fromString("none").onVariable);
+    EXPECT_TRUE(BackoffConfig::fromString("var").onVariable);
+
+    auto e4 = BackoffConfig::fromString("exp4");
+    EXPECT_EQ(e4.onFlag, FlagBackoff::Exponential);
+    EXPECT_EQ(e4.flagBase, 4u);
+    EXPECT_TRUE(e4.onVariable) << "paper: flag backoff implies "
+                                  "variable backoff";
+
+    auto l2 = BackoffConfig::fromString("lin2");
+    EXPECT_EQ(l2.onFlag, FlagBackoff::Linear);
+    EXPECT_EQ(l2.flagBase, 2u);
+}
+
+TEST(Backoff, NamesAreDescriptive)
+{
+    EXPECT_EQ(BackoffConfig::none().name(), "none");
+    EXPECT_EQ(BackoffConfig::variableOnly().name(), "var");
+    EXPECT_EQ(BackoffConfig::exponentialFlag(8).name(),
+              "var+flag(exp,b=8)");
+    auto c = BackoffConfig::exponentialFlag(2);
+    c.blockThreshold = 64;
+    EXPECT_NE(c.name().find("block@64"), std::string::npos);
+}
+
+TEST(Backoff, ControllerWindowGrowth)
+{
+    BackoffConfig c;
+    EXPECT_EQ(c.controllerWindow(5), 0u) << "disabled by default";
+    c.controllerBackoff = true;
+    EXPECT_EQ(c.controllerWindow(0), 0u);
+    EXPECT_EQ(c.controllerWindow(1), 2u);
+    EXPECT_EQ(c.controllerWindow(3), 8u);
+    c.controllerMaxExponent = 4;
+    EXPECT_EQ(c.controllerWindow(100), 16u) << "clamped";
+}
+
+TEST(Backoff, ControllerWindowDegenerateBase)
+{
+    BackoffConfig c;
+    c.controllerBackoff = true;
+    c.controllerBase = 1;
+    EXPECT_EQ(c.controllerWindow(7), 7u);
+}

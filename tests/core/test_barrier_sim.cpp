@@ -1,0 +1,393 @@
+/** @file Unit, integration, and property tests for the barrier
+ *        episode simulator against the paper's models and claims. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/backoff.hpp"
+#include "core/barrier_sim.hpp"
+#include "core/models.hpp"
+
+using namespace absync::core;
+using absync::support::Rng;
+
+namespace
+{
+
+BarrierConfig
+makeConfig(std::uint32_t n, std::uint64_t a, const BackoffConfig &bo)
+{
+    BarrierConfig cfg;
+    cfg.processors = n;
+    cfg.arrivalWindow = a;
+    cfg.backoff = bo;
+    return cfg;
+}
+
+} // namespace
+
+TEST(BarrierSim, SingleProcessorTrivial)
+{
+    BarrierSimulator sim(makeConfig(1, 0, BackoffConfig::none()));
+    Rng rng(1);
+    const auto res = sim.runOnce(rng);
+    ASSERT_EQ(res.procs.size(), 1u);
+    // One variable access plus one flag write.
+    EXPECT_EQ(res.procs[0].accesses, 2u);
+    EXPECT_FALSE(res.procs[0].blocked);
+}
+
+TEST(BarrierSim, AllProcessorsComplete)
+{
+    BarrierSimulator sim(makeConfig(32, 100, BackoffConfig::none()));
+    Rng rng(2);
+    const auto res = sim.runOnce(rng);
+    for (const auto &p : res.procs) {
+        EXPECT_GE(p.accesses, 2u) << "at least one F&A and one poll";
+    }
+}
+
+TEST(BarrierSim, FlagSetAfterLastArrival)
+{
+    BarrierSimulator sim(makeConfig(16, 1000, BackoffConfig::none()));
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        const auto res = sim.runOnce(rng);
+        EXPECT_GE(res.flagSetTime, res.lastArrival);
+        EXPECT_GE(res.lastExitTime, res.flagSetTime);
+    }
+}
+
+TEST(BarrierSim, DeterministicForSeed)
+{
+    BarrierConfig cfg =
+        makeConfig(64, 500, BackoffConfig::exponentialFlag(2));
+    BarrierSimulator sim(cfg);
+    const auto a = sim.runMany(10, 42);
+    const auto b = sim.runMany(10, 42);
+    EXPECT_DOUBLE_EQ(a.accesses.mean(), b.accesses.mean());
+    EXPECT_DOUBLE_EQ(a.wait.mean(), b.wait.mean());
+}
+
+TEST(BarrierSim, Model1MatchesSimultaneousArrival)
+{
+    // Paper Fig. 4 / Sec 6.2: A = 0, no backoff ~ 5N/2 accesses.
+    for (std::uint32_t n : {16u, 64u, 128u}) {
+        BarrierSimulator sim(makeConfig(n, 0, BackoffConfig::none()));
+        const auto s = sim.runMany(50, 7);
+        EXPECT_NEAR(s.accesses.mean(), model1Accesses(n),
+                    0.15 * model1Accesses(n))
+            << "N=" << n;
+    }
+}
+
+TEST(BarrierSim, Model2MatchesSparseArrival)
+{
+    // Paper Fig. 4: A = 1000 >> N, no backoff ~ r/2 + 3N/2.
+    for (std::uint32_t n : {4u, 16u, 64u}) {
+        BarrierSimulator sim(
+            makeConfig(n, 1000, BackoffConfig::none()));
+        const auto s = sim.runMany(100, 11);
+        const double predicted = model2Accesses(1000.0, n);
+        EXPECT_NEAR(s.accesses.mean(), predicted, 0.15 * predicted)
+            << "N=" << n;
+    }
+}
+
+TEST(BarrierSim, ExpectedSpanMatchesEq1)
+{
+    BarrierSimulator sim(makeConfig(16, 1000, BackoffConfig::none()));
+    const auto s = sim.runMany(200, 13);
+    EXPECT_NEAR(s.span.mean(), expectedSpan(1000.0, 16),
+                0.05 * expectedSpan(1000.0, 16));
+}
+
+TEST(BarrierSim, VariableBackoffSavesAtSimultaneousArrival)
+{
+    // Sec 6.2: N=64, A=0: ~160 accesses without, ~132 with variable
+    // backoff (a 15-20 % cut).
+    const auto none =
+        BarrierSimulator(makeConfig(64, 0, BackoffConfig::none()))
+            .runMany(100, 17);
+    const auto var = BarrierSimulator(
+                         makeConfig(64, 0, BackoffConfig::variableOnly()))
+                         .runMany(100, 17);
+    EXPECT_NEAR(none.accesses.mean(), 160.0, 25.0);
+    EXPECT_LT(var.accesses.mean(), none.accesses.mean());
+    const double cut =
+        1.0 - var.accesses.mean() / none.accesses.mean();
+    EXPECT_GT(cut, 0.10);
+    EXPECT_LT(cut, 0.35);
+}
+
+TEST(BarrierSim, ExponentialBackoffDramaticAtLargeA)
+{
+    // Sec 6.2: A=1000, N=16, binary backoff: >95 % fewer accesses.
+    const auto none =
+        BarrierSimulator(makeConfig(16, 1000, BackoffConfig::none()))
+            .runMany(100, 19);
+    const auto exp2 =
+        BarrierSimulator(
+            makeConfig(16, 1000, BackoffConfig::exponentialFlag(2)))
+            .runMany(100, 19);
+    const double cut =
+        1.0 - exp2.accesses.mean() / none.accesses.mean();
+    EXPECT_GT(cut, 0.90);
+}
+
+TEST(BarrierSim, ExponentialBackoffNoEffectAtAZero)
+{
+    // Sec 6.2: at A=0 everyone arrives together, so flag backoff adds
+    // nothing beyond the variable backoff.
+    const auto var = BarrierSimulator(
+                         makeConfig(64, 0, BackoffConfig::variableOnly()))
+                         .runMany(100, 23);
+    const auto exp8 =
+        BarrierSimulator(
+            makeConfig(64, 0, BackoffConfig::exponentialFlag(8)))
+            .runMany(100, 23);
+    EXPECT_NEAR(exp8.accesses.mean(), var.accesses.mean(),
+                0.15 * var.accesses.mean());
+}
+
+TEST(BarrierSim, BackoffTradesWaitForAccesses)
+{
+    // Sec 7: A=1000, N=64: base-8 backoff increases waiting time
+    // several-fold while slashing accesses.
+    const auto none =
+        BarrierSimulator(makeConfig(64, 1000, BackoffConfig::none()))
+            .runMany(100, 29);
+    const auto exp8 =
+        BarrierSimulator(
+            makeConfig(64, 1000, BackoffConfig::exponentialFlag(8)))
+            .runMany(100, 29);
+    EXPECT_LT(exp8.accesses.mean(), 0.3 * none.accesses.mean());
+    EXPECT_GT(exp8.wait.mean(), none.wait.mean());
+}
+
+TEST(BarrierSim, RunToRunVarianceSmallAsInPaper)
+{
+    // Sec 5.2: "the standard deviation was less than about 7% over
+    // the hundred runs."  With A = 0 the FIFO model is essentially
+    // deterministic; with A > 0 the sample span of N uniform arrivals
+    // adds irreducible variance that shrinks as N grows (it is ~15 %
+    // at N=16, A=1000 from arrival randomness alone).
+    for (std::uint32_t n : {16u, 64u}) {
+        for (std::uint64_t a : {0ull, 100ull, 1000ull}) {
+            BarrierSimulator sim(
+                makeConfig(n, a, BackoffConfig::none()));
+            const auto s = sim.runMany(100, 31);
+            const double limit = a == 0 ? 0.02 : 0.18;
+            EXPECT_LT(s.accesses.cv(), limit)
+                << "N=" << n << " A=" << a;
+        }
+    }
+    // At the paper's 64-processor scale the 7 % claim holds directly.
+    for (std::uint64_t a : {0ull, 100ull, 1000ull}) {
+        BarrierSimulator sim(
+            makeConfig(64, a, BackoffConfig::none()));
+        const auto s = sim.runMany(100, 33);
+        EXPECT_LT(s.accesses.cv(), 0.07) << "A=" << a;
+    }
+}
+
+TEST(BarrierSim, BlockingPolicyBlocksAndCompletes)
+{
+    auto bo = BackoffConfig::exponentialFlag(2);
+    bo.blockThreshold = 64;
+    bo.blockWakeupCycles = 50;
+    BarrierSimulator sim(makeConfig(16, 2000, bo));
+    Rng rng(37);
+    const auto res = sim.runOnce(rng);
+    int blocked = 0;
+    for (const auto &p : res.procs)
+        blocked += p.blocked ? 1 : 0;
+    EXPECT_GT(blocked, 0) << "large A should trip the threshold";
+    // Blocked processors wake blockWakeupCycles after the flag set.
+    for (std::uint32_t i = 0; i < res.procs.size(); ++i) {
+        if (res.procs[i].blocked) {
+            EXPECT_GE(res.lastExitTime,
+                      res.flagSetTime + bo.blockWakeupCycles);
+        }
+    }
+}
+
+TEST(BarrierSim, BlockingStopsSpinAccesses)
+{
+    auto spin = BackoffConfig::none();
+    auto block = BackoffConfig::exponentialFlag(2);
+    block.blockThreshold = 32;
+    const auto s_spin =
+        BarrierSimulator(makeConfig(16, 4000, spin)).runMany(50, 41);
+    const auto s_block =
+        BarrierSimulator(makeConfig(16, 4000, block)).runMany(50, 41);
+    EXPECT_LT(s_block.accesses.mean(), 0.2 * s_spin.accesses.mean());
+    EXPECT_GT(s_block.blockedProcs, 0u);
+}
+
+/**
+ * Property sweep: across the whole (N, A, policy) grid the paper's
+ * headline claim must hold — backoff never *increases* network
+ * accesses (beyond noise), and all episodes terminate.
+ */
+class BarrierSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint64_t,
+                                                 const char *>>
+{
+};
+
+TEST_P(BarrierSweep, BackoffNeverIncreasesAccesses)
+{
+    const auto [n, a, preset] = GetParam();
+    const auto none =
+        BarrierSimulator(makeConfig(n, a, BackoffConfig::none()))
+            .runMany(40, 43);
+    const auto bo = BarrierSimulator(
+                        makeConfig(n, a, BackoffConfig::fromString(
+                                             preset)))
+                        .runMany(40, 43);
+    EXPECT_LE(bo.accesses.mean(), none.accesses.mean() * 1.08)
+        << "N=" << n << " A=" << a << " policy=" << preset;
+}
+
+TEST_P(BarrierSweep, WaitNeverBelowSpanLowerBound)
+{
+    // No processor can leave before the last arrival increments the
+    // variable, so the mean wait must be at least the mean residual
+    // span (last arrival minus mean arrival ~ r/2) for any policy.
+    const auto [n, a, preset] = GetParam();
+    if (n < 4)
+        return;
+    const auto s = BarrierSimulator(
+                       makeConfig(n, a, BackoffConfig::fromString(
+                                            preset)))
+                       .runMany(40, 47);
+    EXPECT_GE(s.wait.mean(), s.span.mean() / 2.0 * 0.9);
+}
+
+namespace
+{
+
+std::string
+sweepName(const ::testing::TestParamInfo<BarrierSweep::ParamType> &info)
+{
+    return "N" + std::to_string(std::get<0>(info.param)) + "_A" +
+           std::to_string(std::get<1>(info.param)) + "_" +
+           std::string(std::get<2>(info.param));
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BarrierSweep,
+    ::testing::Combine(::testing::Values(2u, 8u, 32u, 128u),
+                       ::testing::Values(0ull, 100ull, 1000ull),
+                       ::testing::Values("var", "exp2", "exp4", "exp8",
+                                         "lin4")),
+    sweepName);
+
+TEST(BarrierSim, ControllerBackoffCutsAccesses)
+{
+    // Section 8: pacing denied retries in the network controller
+    // removes contention traffic software backoff cannot reach.
+    auto plain = BackoffConfig::none();
+    auto ctrl = BackoffConfig::none();
+    ctrl.controllerBackoff = true;
+    const auto s_plain =
+        BarrierSimulator(makeConfig(64, 0, plain)).runMany(30, 53);
+    const auto s_ctrl =
+        BarrierSimulator(makeConfig(64, 0, ctrl)).runMany(30, 53);
+    EXPECT_LT(s_ctrl.accesses.mean(), s_plain.accesses.mean() / 3);
+}
+
+TEST(BarrierSim, ControllerBackoffTerminatesAcrossGrid)
+{
+    // Regression: an earlier version starved the releasing write
+    // (livelock).  Every configuration must converge.
+    for (std::uint32_t n : {2u, 16u, 128u}) {
+        for (std::uint64_t a : {0ull, 1000ull}) {
+            auto bo = BackoffConfig::exponentialFlag(2);
+            bo.controllerBackoff = true;
+            const auto s = BarrierSimulator(makeConfig(n, a, bo))
+                               .runMany(5, 59);
+            EXPECT_GT(s.accesses.mean(), 0.0)
+                << "N=" << n << " A=" << a;
+        }
+    }
+}
+
+TEST(BarrierSim, ControllerBackoffComposesWithFlagBackoff)
+{
+    auto exp2 = BackoffConfig::exponentialFlag(2);
+    auto both = exp2;
+    both.controllerBackoff = true;
+    const auto s_exp =
+        BarrierSimulator(makeConfig(64, 100, exp2)).runMany(30, 61);
+    const auto s_both =
+        BarrierSimulator(makeConfig(64, 100, both)).runMany(30, 61);
+    EXPECT_LT(s_both.accesses.mean(), s_exp.accesses.mean());
+}
+
+TEST(BarrierSim, OneVariableBarrierCompletes)
+{
+    // Section 2's naive single-counter barrier: increments and polls
+    // share one module.
+    auto cfg = makeConfig(32, 100, BackoffConfig::none());
+    cfg.singleVariable = true;
+    BarrierSimulator sim(cfg);
+    Rng rng(67);
+    const auto res = sim.runOnce(rng);
+    for (const auto &p : res.procs)
+        EXPECT_GE(p.accesses, 1u);
+}
+
+TEST(BarrierSim, OneVariableSingleProcessor)
+{
+    auto cfg = makeConfig(1, 0, BackoffConfig::none());
+    cfg.singleVariable = true;
+    BarrierSimulator sim(cfg);
+    Rng rng(68);
+    const auto res = sim.runOnce(rng);
+    EXPECT_EQ(res.procs[0].accesses, 1u) << "one F&A, no flag write";
+}
+
+TEST(BarrierSim, OneVariableCostsMoreUnderRandomArbitration)
+{
+    // The Section 2 argument — incrementers contending with pollers
+    // on one module make the naive barrier worse — presumes unfair
+    // arbitration: a random-service module lets the poller horde
+    // crowd out arrivals.  (Queued service actually neutralizes the
+    // problem; see bench/ext_one_variable_barrier.)
+    auto one = makeConfig(64, 0, BackoffConfig::none());
+    one.singleVariable = true;
+    one.arbitration = absync::sim::Arbitration::Random;
+    auto two = makeConfig(64, 0, BackoffConfig::none());
+    two.arbitration = absync::sim::Arbitration::Random;
+    const auto s_one = BarrierSimulator(one).runMany(30, 71);
+    const auto s_two = BarrierSimulator(two).runMany(30, 71);
+    EXPECT_GT(s_one.accesses.mean(), 1.5 * s_two.accesses.mean());
+}
+
+TEST(BarrierSim, OneVariableBackoffStillHelps)
+{
+    auto plain = makeConfig(32, 1000, BackoffConfig::none());
+    plain.singleVariable = true;
+    auto backed = makeConfig(32, 1000,
+                             BackoffConfig::exponentialFlag(2));
+    backed.singleVariable = true;
+    const auto s_plain = BarrierSimulator(plain).runMany(30, 73);
+    const auto s_backed = BarrierSimulator(backed).runMany(30, 73);
+    EXPECT_LT(s_backed.accesses.mean(),
+              s_plain.accesses.mean() / 5);
+}
+
+TEST(BarrierSim, OneVariableBlockingWorks)
+{
+    auto cfg = makeConfig(16, 3000, BackoffConfig::exponentialFlag(2));
+    cfg.singleVariable = true;
+    cfg.backoff.blockThreshold = 64;
+    const auto s = BarrierSimulator(cfg).runMany(20, 79);
+    EXPECT_GT(s.blockedProcs, 0u);
+}

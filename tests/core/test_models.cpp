@@ -1,0 +1,90 @@
+/** @file Unit tests for the Section 5.1 analytical models. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/models.hpp"
+
+using namespace absync::core;
+
+TEST(Models, ExpectedSpanFormula)
+{
+    // r = A (N-1)/(N+1), Eq. (1).
+    EXPECT_DOUBLE_EQ(expectedSpan(1000.0, 3), 1000.0 * 2.0 / 4.0);
+    EXPECT_DOUBLE_EQ(expectedSpan(100.0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(expectedSpan(0.0, 64), 0.0);
+}
+
+TEST(Models, ExpectedSpanApproachesAForLargeN)
+{
+    EXPECT_NEAR(expectedSpan(1000.0, 1000), 1000.0, 2.1);
+    EXPECT_LT(expectedSpan(1000.0, 1000), 1000.0);
+}
+
+TEST(Models, Model1IsFiveHalvesN)
+{
+    EXPECT_DOUBLE_EQ(model1Accesses(64), 160.0);
+    EXPECT_DOUBLE_EQ(model1Accesses(2), 5.0);
+}
+
+TEST(Models, Model2Formula)
+{
+    const double r = expectedSpan(1000.0, 16);
+    EXPECT_DOUBLE_EQ(model2Accesses(1000.0, 16), r / 2.0 + 24.0);
+}
+
+TEST(Models, CombinedIsMaxOfBoth)
+{
+    // Small A, large N -> Model 1 dominates.
+    EXPECT_DOUBLE_EQ(modelAccesses(0.0, 128), model1Accesses(128));
+    // Large A, small N -> Model 2 dominates.
+    EXPECT_DOUBLE_EQ(modelAccesses(10000.0, 4),
+                     model2Accesses(10000.0, 4));
+}
+
+TEST(Models, VariableBackoffSavesHalfN)
+{
+    EXPECT_DOUBLE_EQ(model1VariableBackoffAccesses(64), 128.0);
+    EXPECT_DOUBLE_EQ(model1Accesses(64) -
+                         model1VariableBackoffAccesses(64),
+                     32.0);
+}
+
+TEST(Models, Model1SavingIsTwentyPercent)
+{
+    // The paper's "potential reduction ... is 20%" for N > A.
+    const double save = 1.0 - model1VariableBackoffAccesses(256) /
+                                  model1Accesses(256);
+    EXPECT_NEAR(save, 0.20, 1e-12);
+}
+
+TEST(Models, ExponentialCollapsesPollTerm)
+{
+    const double plain = model2Accesses(1000.0, 16);
+    const double exp2 = model2ExponentialAccesses(1000.0, 16, 2.0);
+    EXPECT_LT(exp2, plain);
+    // The poll term should be ~log2(r/2).
+    const double r = expectedSpan(1000.0, 16);
+    EXPECT_NEAR(exp2 - 1.5 * 16, std::log2(r / 2.0), 1e-9);
+}
+
+TEST(Models, HardwareSchemeCosts)
+{
+    EXPECT_DOUBLE_EQ(
+        hardwareAccessesPerProc(HardwareScheme::InvalidatingBus), 3.0);
+    EXPECT_DOUBLE_EQ(
+        hardwareAccessesPerProc(HardwareScheme::UpdatingBus), 2.0);
+    EXPECT_DOUBLE_EQ(hardwareAccessesPerProc(HardwareScheme::Directory),
+                     4.0);
+    EXPECT_DOUBLE_EQ(
+        hardwareAccessesPerProc(HardwareScheme::HoshinoGate), 1.0);
+}
+
+TEST(Models, HardwareSchemeNames)
+{
+    EXPECT_EQ(hardwareSchemeName(HardwareScheme::HoshinoGate),
+              "Hoshino sync gate");
+    EXPECT_FALSE(
+        hardwareSchemeName(HardwareScheme::Directory).empty());
+}

@@ -1,0 +1,85 @@
+/** @file Tests for the profile-guided policy advisor. */
+
+#include <gtest/gtest.h>
+
+#include "core/policy_advisor.hpp"
+
+using namespace absync::core;
+
+namespace
+{
+
+AdvisorConfig
+fastCfg(double idle_weight = 0.05)
+{
+    AdvisorConfig cfg;
+    cfg.runs = 15;
+    cfg.idleWeight = idle_weight;
+    return cfg;
+}
+
+} // namespace
+
+TEST(PolicyAdvisor, RankingIsSortedAndComplete)
+{
+    const auto advice = advisePolicy({64, 1000, 0}, fastCfg());
+    ASSERT_GE(advice.ranking.size(), 5u);
+    for (std::size_t i = 1; i < advice.ranking.size(); ++i)
+        EXPECT_GE(advice.ranking[i].cost, advice.ranking[i - 1].cost);
+    EXPECT_DOUBLE_EQ(advice.best.cost, advice.ranking.front().cost);
+}
+
+TEST(PolicyAdvisor, SparseArrivalsGetExponential)
+{
+    const auto advice = advisePolicy({64, 1000, 0}, fastCfg());
+    EXPECT_EQ(advice.best.policy.onFlag, FlagBackoff::Exponential);
+    EXPECT_EQ(advice.best.policy.blockThreshold, 0u);
+}
+
+TEST(PolicyAdvisor, BlockingOfferedOnlyWithWakeupPath)
+{
+    const auto no_block = advisePolicy({16, 4000, 0}, fastCfg());
+    for (const auto &s : no_block.ranking)
+        EXPECT_EQ(s.policy.blockThreshold, 0u);
+
+    const auto with_block = advisePolicy({16, 4000, 100}, fastCfg());
+    bool any_blocking = false;
+    for (const auto &s : with_block.ranking)
+        any_blocking |= s.policy.blockThreshold != 0;
+    EXPECT_TRUE(any_blocking);
+}
+
+TEST(PolicyAdvisor, BlockingWinsWhenArrivalsVerySparse)
+{
+    const auto advice = advisePolicy({16, 8000, 100}, fastCfg());
+    EXPECT_NE(advice.best.policy.blockThreshold, 0u)
+        << "very sparse arrivals with a cheap wakeup should block";
+}
+
+TEST(PolicyAdvisor, HighIdleWeightAvoidsAggressiveOvershoot)
+{
+    // With idle time priced heavily, the advisor must not pick a
+    // policy that multiplies waiting time.
+    const auto cheap = advisePolicy({64, 1000, 0}, fastCfg(0.0));
+    const auto costly = advisePolicy({64, 1000, 0}, fastCfg(50.0));
+    EXPECT_LE(costly.best.wait, cheap.best.wait * 1.05);
+    // And the traffic-only advisor accepts more waiting in exchange
+    // for fewer accesses.
+    EXPECT_LE(cheap.best.accesses, costly.best.accesses * 1.05);
+}
+
+TEST(PolicyAdvisor, NoBackoffNeverStrictlyBestAtLargeA)
+{
+    const auto advice = advisePolicy({64, 1000, 0}, fastCfg());
+    const auto &best = advice.best.policy;
+    EXPECT_TRUE(best.onVariable || best.onFlag != FlagBackoff::None)
+        << "some form of backoff must win when A >> N";
+}
+
+TEST(PolicyAdvisor, DeterministicGivenSeed)
+{
+    const auto a = advisePolicy({32, 500, 0}, fastCfg());
+    const auto b = advisePolicy({32, 500, 0}, fastCfg());
+    EXPECT_EQ(a.best.policy.name(), b.best.policy.name());
+    EXPECT_DOUBLE_EQ(a.best.cost, b.best.cost);
+}

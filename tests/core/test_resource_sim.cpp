@@ -1,0 +1,131 @@
+/** @file Unit and property tests for the resource-wait simulator. */
+
+#include <gtest/gtest.h>
+
+#include "core/resource_sim.hpp"
+
+using namespace absync::core;
+using absync::support::Rng;
+
+namespace
+{
+
+ResourceSimConfig
+makeCfg(std::uint32_t n, ResourceWaitPolicy policy,
+        std::uint64_t cycles = 50000)
+{
+    ResourceSimConfig cfg;
+    cfg.processors = n;
+    cfg.policy = policy;
+    cfg.cycles = cycles;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ResourceSim, SingleProcessorNoContention)
+{
+    ResourceSimulator sim(makeCfg(1, ResourceWaitPolicy::Spin));
+    Rng rng(1);
+    const auto st = sim.run(rng);
+    EXPECT_GT(st.acquisitions, 10u);
+    // Alone, every acquisition is a single successful access.
+    EXPECT_NEAR(st.accessesPerAcquisition, 1.0, 0.01);
+    EXPECT_NEAR(st.avgQueueingDelay, 0.0, 0.01);
+}
+
+TEST(ResourceSim, UtilizationMatchesOfferedLoad)
+{
+    // One processor: utilization ~ hold / (hold + think + 1).
+    ResourceSimConfig cfg = makeCfg(1, ResourceWaitPolicy::Spin);
+    cfg.holdCycles = 100;
+    cfg.meanThink = 100.0;
+    ResourceSimulator sim(cfg);
+    Rng rng(2);
+    const auto st = sim.run(rng);
+    EXPECT_NEAR(st.utilization, 0.5, 0.05);
+}
+
+TEST(ResourceSim, DeterministicForSeed)
+{
+    ResourceSimulator sim(
+        makeCfg(8, ResourceWaitPolicy::Proportional));
+    const auto a = sim.runMany(3, 77);
+    const auto b = sim.runMany(3, 77);
+    EXPECT_EQ(a.acquisitions, b.acquisitions);
+    EXPECT_DOUBLE_EQ(a.accessesPerAcquisition,
+                     b.accessesPerAcquisition);
+}
+
+TEST(ResourceSim, SpinAccessesGrowWithContention)
+{
+    Rng unused(0);
+    const auto lo =
+        ResourceSimulator(makeCfg(2, ResourceWaitPolicy::Spin))
+            .runMany(3, 5);
+    const auto hi =
+        ResourceSimulator(makeCfg(32, ResourceWaitPolicy::Spin))
+            .runMany(3, 5);
+    EXPECT_GT(hi.accessesPerAcquisition,
+              4.0 * lo.accessesPerAcquisition);
+}
+
+TEST(ResourceSim, ProportionalStaysNearConstantAccesses)
+{
+    // The Section 8 claim: the waiter count predicts the wait, so
+    // accesses per acquisition stay O(1) across contention levels.
+    const auto lo =
+        ResourceSimulator(
+            makeCfg(2, ResourceWaitPolicy::Proportional))
+            .runMany(3, 7);
+    const auto hi =
+        ResourceSimulator(
+            makeCfg(32, ResourceWaitPolicy::Proportional))
+            .runMany(3, 7);
+    EXPECT_LT(lo.accessesPerAcquisition, 4.0);
+    EXPECT_LT(hi.accessesPerAcquisition, 6.0);
+}
+
+TEST(ResourceSim, BackoffBeatsSpinOnAccessesUnderContention)
+{
+    for (auto policy : {ResourceWaitPolicy::Exponential,
+                        ResourceWaitPolicy::Proportional}) {
+        const auto spin =
+            ResourceSimulator(makeCfg(16, ResourceWaitPolicy::Spin))
+                .runMany(3, 9);
+        const auto bo =
+            ResourceSimulator(makeCfg(16, policy)).runMany(3, 9);
+        EXPECT_LT(bo.accessesPerAcquisition,
+                  spin.accessesPerAcquisition / 5.0)
+            << resourceWaitPolicyName(policy);
+    }
+}
+
+TEST(ResourceSim, ThroughputComparableAtModerateContention)
+{
+    // Backoff must not tank utilization when the resource is not
+    // saturated.
+    const auto spin =
+        ResourceSimulator(makeCfg(8, ResourceWaitPolicy::Spin))
+            .runMany(3, 11);
+    const auto prop =
+        ResourceSimulator(
+            makeCfg(8, ResourceWaitPolicy::Proportional))
+            .runMany(3, 11);
+    EXPECT_GT(prop.utilization, spin.utilization * 0.9);
+}
+
+TEST(ResourceSim, PolicyNamesRoundTrip)
+{
+    EXPECT_EQ(resourceWaitPolicyFromString("spin"),
+              ResourceWaitPolicy::Spin);
+    EXPECT_EQ(resourceWaitPolicyFromString("exp"),
+              ResourceWaitPolicy::Exponential);
+    EXPECT_EQ(resourceWaitPolicyFromString("prop"),
+              ResourceWaitPolicy::Proportional);
+    for (auto p : {ResourceWaitPolicy::Spin,
+                   ResourceWaitPolicy::Exponential,
+                   ResourceWaitPolicy::Proportional}) {
+        EXPECT_FALSE(resourceWaitPolicyName(p).empty());
+    }
+}

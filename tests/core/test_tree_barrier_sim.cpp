@@ -1,0 +1,164 @@
+/** @file Unit, integration, and property tests for the combining-tree
+ *        barrier simulator. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/barrier_sim.hpp"
+#include "core/tree_barrier_sim.hpp"
+
+using namespace absync::core;
+using absync::support::Rng;
+
+namespace
+{
+
+TreeBarrierConfig
+treeConfig(std::uint32_t n, std::uint32_t d, std::uint64_t a,
+           const BackoffConfig &bo = BackoffConfig::none())
+{
+    TreeBarrierConfig cfg;
+    cfg.processors = n;
+    cfg.fanIn = d;
+    cfg.arrivalWindow = a;
+    cfg.backoff = bo;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TreeBarrier, SingleProcessor)
+{
+    TreeBarrierSimulator sim(treeConfig(1, 2, 0));
+    EXPECT_EQ(sim.nodeCount(), 1u);
+    EXPECT_EQ(sim.depth(), 1u);
+    Rng rng(1);
+    const auto res = sim.runOnce(rng);
+    EXPECT_EQ(res.accesses[0], 2u) << "one F&A, one flag set";
+}
+
+TEST(TreeBarrier, TreeGeometry)
+{
+    // 256 procs, fan-in 4: 64 + 16 + 4 + 1 = 85 nodes, depth 4.
+    TreeBarrierSimulator sim(treeConfig(256, 4, 0));
+    EXPECT_EQ(sim.nodeCount(), 85u);
+    EXPECT_EQ(sim.depth(), 4u);
+
+    // Non-power: 100 procs, fan-in 8: 13 + 2 + 1 nodes, depth 3.
+    TreeBarrierSimulator odd(treeConfig(100, 8, 0));
+    EXPECT_EQ(odd.nodeCount(), 16u);
+    EXPECT_EQ(odd.depth(), 3u);
+}
+
+TEST(TreeBarrier, AllProcessorsReleased)
+{
+    TreeBarrierSimulator sim(treeConfig(64, 4, 500));
+    Rng rng(2);
+    for (int i = 0; i < 10; ++i) {
+        const auto res = sim.runOnce(rng);
+        ASSERT_EQ(res.accesses.size(), 64u);
+        for (auto a : res.accesses)
+            EXPECT_GE(a, 2u);
+    }
+}
+
+TEST(TreeBarrier, DeterministicForSeed)
+{
+    TreeBarrierSimulator sim(
+        treeConfig(64, 4, 500, BackoffConfig::exponentialFlag(2)));
+    const auto a = sim.runMany(10, 9);
+    const auto b = sim.runMany(10, 9);
+    EXPECT_DOUBLE_EQ(a.accesses.mean(), b.accesses.mean());
+    EXPECT_DOUBLE_EQ(a.wait.mean(), b.wait.mean());
+}
+
+TEST(TreeBarrier, BoundsHotModuleTraffic)
+{
+    // The whole point: at A = 0 the flat barrier's flag module sees
+    // ~N^2-ish requests while each tree module sees O(fan-in * N/d).
+    const std::uint32_t n = 256;
+    BarrierConfig flat;
+    flat.processors = n;
+    const auto flat_s = BarrierSimulator(flat).runMany(20, 3);
+
+    TreeBarrierSimulator tree(treeConfig(n, 4, 0));
+    const auto tree_s = tree.runMany(20, 3);
+
+    EXPECT_LT(tree_s.maxModuleTraffic.mean() * 10,
+              flat_s.flagTraffic.mean());
+}
+
+TEST(TreeBarrier, FewerAccessesThanFlatAtSimultaneousArrival)
+{
+    const std::uint32_t n = 256;
+    BarrierConfig flat;
+    flat.processors = n;
+    const auto flat_s = BarrierSimulator(flat).runMany(20, 5);
+
+    TreeBarrierSimulator tree(treeConfig(n, 4, 0));
+    const auto tree_s = tree.runMany(20, 5);
+    EXPECT_LT(tree_s.accesses.mean(), flat_s.accesses.mean() / 4);
+}
+
+TEST(TreeBarrier, NodeBackoffStillHelpsAtLargeA)
+{
+    // Section 6.2: "our backoff methods can still be used on the
+    // intermediate nodes of the combining tree."
+    const auto none =
+        TreeBarrierSimulator(treeConfig(64, 4, 2000)).runMany(30, 7);
+    const auto exp2 = TreeBarrierSimulator(
+                          treeConfig(64, 4, 2000,
+                                     BackoffConfig::exponentialFlag(2)))
+                          .runMany(30, 7);
+    EXPECT_LT(exp2.accesses.mean(), none.accesses.mean() / 3);
+}
+
+TEST(TreeBarrier, RootSetAfterLastArrivalPossible)
+{
+    TreeBarrierSimulator sim(treeConfig(32, 2, 300));
+    Rng rng(11);
+    const auto res = sim.runOnce(rng);
+    // The root cannot be set before every processor has arrived and
+    // the longest chain of F&As has completed.
+    EXPECT_GE(res.rootSetTime, 0u);
+    for (auto w : res.waits)
+        EXPECT_GT(w, 0u);
+}
+
+/** Property sweep over (N, fan-in, A): everything terminates, all
+ *  released, and per-module traffic stays bounded by a fan-in-scaled
+ *  budget. */
+class TreeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>>
+{
+};
+
+TEST_P(TreeSweep, TerminatesAndBoundsModuleTraffic)
+{
+    const auto [n, d, a] = GetParam();
+    TreeBarrierSimulator sim(treeConfig(n, d, a));
+    Rng rng(13);
+    const auto res = sim.runOnce(rng);
+    ASSERT_EQ(res.accesses.size(), n);
+    // Each node serves <= d arrivals; with continuous polling the
+    // busiest module's traffic is bounded by d * (episode span).
+    // A loose but meaningful budget: d * (A + accesses-bound).
+    EXPECT_GT(res.maxModuleTraffic, 0u);
+    if (a == 0) {
+        EXPECT_LT(res.maxModuleTraffic,
+                  16ull * d * d + 4ull * d * n / d + 64);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TreeSweep,
+    ::testing::Combine(::testing::Values(3u, 16u, 64u, 257u),
+                       ::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(0ull, 100ull, 1000ull)),
+    [](const ::testing::TestParamInfo<TreeSweep::ParamType> &info) {
+        return "N" + std::to_string(std::get<0>(info.param)) + "_d" +
+               std::to_string(std::get<1>(info.param)) + "_A" +
+               std::to_string(std::get<2>(info.param));
+    });

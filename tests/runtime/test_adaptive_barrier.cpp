@@ -1,0 +1,161 @@
+/** @file Correctness and adaptation tests for the self-tuning
+ *        barrier. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/adaptive_barrier.hpp"
+#include "runtime/barrier.hpp"
+
+using namespace absync::runtime;
+
+namespace
+{
+
+void
+phaseTest(unsigned threads, unsigned phases,
+          AdaptiveBarrierConfig cfg = {})
+{
+    AdaptiveBarrier barrier(threads, cfg);
+    std::vector<std::atomic<unsigned>> counts(phases);
+    std::atomic<unsigned> failures{0};
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (unsigned ph = 0; ph < phases; ++ph) {
+                counts[ph].fetch_add(1, std::memory_order_relaxed);
+                barrier.arriveAndWait();
+                if (counts[ph].load(std::memory_order_relaxed) !=
+                    threads) {
+                    failures.fetch_add(1,
+                                       std::memory_order_relaxed);
+                }
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(failures.load(), 0u);
+}
+
+} // namespace
+
+TEST(AdaptiveBarrier, CorrectAcrossPhases)
+{
+    phaseTest(4, 60);
+}
+
+TEST(AdaptiveBarrier, SingleThread)
+{
+    AdaptiveBarrier b(1);
+    for (int i = 0; i < 100; ++i)
+        b.arriveAndWait();
+    EXPECT_EQ(b.totalPolls(), 0u);
+}
+
+TEST(AdaptiveBarrier, ManyThreads)
+{
+    phaseTest(10, 20);
+}
+
+TEST(AdaptiveBarrier, LearnsLongWindows)
+{
+    // With a persistent straggler, the learned first wait must grow
+    // well past the initial guess.
+    AdaptiveBarrierConfig cfg;
+    cfg.initialGuess = 8;
+    AdaptiveBarrier b(2, cfg);
+    const auto initial = b.learnedWait();
+    std::thread straggler([&] {
+        for (int i = 0; i < 15; ++i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(3));
+            b.arriveAndWait();
+        }
+    });
+    for (int i = 0; i < 15; ++i)
+        b.arriveAndWait();
+    straggler.join();
+    EXPECT_GT(b.learnedWait(), 4 * initial)
+        << "the EWMA should chase the straggler's window";
+}
+
+TEST(AdaptiveBarrier, EstimatorDecaysOnSmallSamples)
+{
+    // Deterministic unit test of the learning rule: small observed
+    // windows must pull an inflated estimate down.
+    AdaptiveBarrierConfig cfg;
+    cfg.initialGuess = 1 << 16;
+    AdaptiveBarrier b(2, cfg);
+    for (int i = 0; i < 64; ++i)
+        b.noteWindowSample(64);
+    EXPECT_LE(b.learnedWait(), 64u);
+}
+
+TEST(AdaptiveBarrier, EstimatorGrowsOnLargeSamples)
+{
+    AdaptiveBarrierConfig cfg;
+    cfg.initialGuess = 8;
+    AdaptiveBarrier b(2, cfg);
+    for (int i = 0; i < 64; ++i)
+        b.noteWindowSample(1 << 16);
+    EXPECT_GE(b.learnedWait(), (1u << 16) / 8);
+    EXPECT_LE(b.learnedWait(), cfg.maxWait);
+}
+
+TEST(AdaptiveBarrier, EstimatorRespectsClamps)
+{
+    AdaptiveBarrierConfig cfg;
+    cfg.minWait = 16;
+    cfg.maxWait = 1024;
+    AdaptiveBarrier b(2, cfg);
+    for (int i = 0; i < 100; ++i)
+        b.noteWindowSample(0);
+    EXPECT_EQ(b.learnedWait(), 16u);
+    for (int i = 0; i < 100; ++i)
+        b.noteWindowSample(1ULL << 40);
+    EXPECT_EQ(b.learnedWait(), 1024u);
+}
+
+TEST(AdaptiveBarrier, PollsFarBelowBusyWaitWithStragglers)
+{
+    // The point of adapting: orders of magnitude fewer shared polls
+    // than busy waiting while a straggler is milliseconds late.
+    const auto adaptive_polls = [] {
+        AdaptiveBarrier b(2);
+        std::thread straggler([&] {
+            for (int i = 0; i < 8; ++i) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+                b.arriveAndWait();
+            }
+        });
+        for (int i = 0; i < 8; ++i)
+            b.arriveAndWait();
+        straggler.join();
+        return b.totalPolls();
+    }();
+    const auto busy_polls = [] {
+        BarrierConfig cfg;
+        cfg.policy = BarrierPolicy::None;
+        SpinBarrier b(2, cfg);
+        std::thread straggler([&] {
+            for (int i = 0; i < 8; ++i) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+                b.arriveAndWait();
+            }
+        });
+        for (int i = 0; i < 8; ++i)
+            b.arriveAndWait();
+        straggler.join();
+        return b.totalPolls();
+    }();
+    EXPECT_LT(adaptive_polls * 10, busy_polls);
+}

@@ -1,0 +1,77 @@
+/** @file Tests for the type-erased barrier factory and adapters. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier_interface.hpp"
+
+using namespace absync::runtime;
+
+namespace
+{
+
+void
+phases(AnyBarrier &b, unsigned threads, unsigned n_phases)
+{
+    std::vector<std::atomic<unsigned>> counts(n_phases);
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (unsigned ph = 0; ph < n_phases; ++ph) {
+                counts[ph].fetch_add(1, std::memory_order_relaxed);
+                b.arrive(t);
+                if (counts[ph].load(std::memory_order_relaxed) !=
+                    threads) {
+                    failures.fetch_add(1,
+                                       std::memory_order_relaxed);
+                }
+                b.arrive(t);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(failures.load(), 0u);
+}
+
+} // namespace
+
+TEST(BarrierInterface, EveryKindIsABarrier)
+{
+    for (auto kind :
+         {BarrierKind::Flat, BarrierKind::TangYew, BarrierKind::Tree,
+          BarrierKind::Adaptive}) {
+        BarrierConfig cfg;
+        cfg.policy = BarrierPolicy::Exponential;
+        auto b = makeBarrier(kind, 4, cfg);
+        ASSERT_NE(b, nullptr);
+        phases(*b, 4, 20);
+        EXPECT_GE(b->polls(), 0u);
+    }
+}
+
+TEST(BarrierInterface, KindParsing)
+{
+    EXPECT_EQ(barrierKindFromString("flat"), BarrierKind::Flat);
+    EXPECT_EQ(barrierKindFromString("tangyew"),
+              BarrierKind::TangYew);
+    EXPECT_EQ(barrierKindFromString("tree"), BarrierKind::Tree);
+    EXPECT_EQ(barrierKindFromString("adaptive"),
+              BarrierKind::Adaptive);
+}
+
+TEST(BarrierInterface, SingleThreadEveryKind)
+{
+    for (auto kind :
+         {BarrierKind::Flat, BarrierKind::TangYew, BarrierKind::Tree,
+          BarrierKind::Adaptive}) {
+        auto b = makeBarrier(kind, 1);
+        for (int i = 0; i < 50; ++i)
+            b->arrive(0);
+    }
+    SUCCEED();
+}

@@ -1,0 +1,123 @@
+/** @file Tests for the waiter-proportional backoff resource. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/resource_pool.hpp"
+#include "runtime/spin_backoff.hpp"
+
+using namespace absync::runtime;
+
+namespace
+{
+
+/** All threads acquire/release @p iters times; asserts the slot cap
+ *  is never exceeded. */
+void
+stress(BackoffResource &res, std::uint32_t slots, unsigned threads,
+       unsigned iters)
+{
+    std::atomic<int> inside{0};
+    std::atomic<unsigned> violations{0};
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (unsigned i = 0; i < iters; ++i) {
+                res.acquire();
+                const int now =
+                    inside.fetch_add(1, std::memory_order_acq_rel) +
+                    1;
+                if (now > static_cast<int>(slots))
+                    violations.fetch_add(1);
+                inside.fetch_sub(1, std::memory_order_acq_rel);
+                res.release();
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(violations.load(), 0u);
+    EXPECT_EQ(res.inUse(), 0u);
+    EXPECT_EQ(res.waiters(), 0u);
+}
+
+} // namespace
+
+TEST(Resource, SingleSlotIsALock)
+{
+    BackoffResource res(1, ResourcePolicy::Proportional);
+    stress(res, 1, 4, 5000);
+}
+
+TEST(Resource, MultiSlotCapRespected)
+{
+    BackoffResource res(3, ResourcePolicy::Proportional);
+    stress(res, 3, 8, 3000);
+}
+
+TEST(Resource, SpinPolicyWorks)
+{
+    BackoffResource res(2, ResourcePolicy::Spin);
+    stress(res, 2, 4, 3000);
+}
+
+TEST(Resource, ExponentialPolicyWorks)
+{
+    BackoffResource res(2, ResourcePolicy::Exponential);
+    stress(res, 2, 4, 3000);
+}
+
+TEST(Resource, TryAcquireSemantics)
+{
+    BackoffResource res(2);
+    EXPECT_TRUE(res.tryAcquire());
+    EXPECT_TRUE(res.tryAcquire());
+    EXPECT_FALSE(res.tryAcquire());
+    res.release();
+    EXPECT_TRUE(res.tryAcquire());
+    res.release();
+    res.release();
+    EXPECT_EQ(res.inUse(), 0u);
+}
+
+TEST(Resource, PollsAreCounted)
+{
+    BackoffResource res(1);
+    res.acquire();
+    res.release();
+    EXPECT_GE(res.totalPolls(), 1u);
+}
+
+TEST(Resource, ProportionalPollsLessThanSpin)
+{
+    // With heavy contention, waiter-proportional backoff must poll
+    // the shared counter far less than raw spinning (Section 8).
+    const auto measure = [](ResourcePolicy policy) {
+        BackoffResource res(1, policy, 256);
+        std::vector<std::thread> pool;
+        for (unsigned t = 0; t < 8; ++t) {
+            pool.emplace_back([&] {
+                for (int i = 0; i < 300; ++i) {
+                    res.acquire();
+                    // Hold the resource a while.
+                    absync::runtime::spinFor(500);
+                    res.release();
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+        return res.totalPolls();
+    };
+    const auto spin_polls = measure(ResourcePolicy::Spin);
+    const auto prop_polls = measure(ResourcePolicy::Proportional);
+    // <= rather than <: on an oversubscribed or heavily loaded host
+    // the OS can serialize the threads so completely that both
+    // policies see zero contention (1 poll per acquire each).  The
+    // strict separation under controlled contention is asserted
+    // deterministically in tests/core/test_resource_sim.cpp.
+    EXPECT_LE(prop_polls, spin_polls);
+}

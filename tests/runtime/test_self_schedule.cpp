@@ -1,0 +1,150 @@
+/** @file Tests for EPEX-style self-scheduled parallel loops. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/self_schedule.hpp"
+
+using namespace absync::runtime;
+
+TEST(SelfSchedule, EveryIterationExecutedOnce)
+{
+    constexpr std::uint32_t kIters = 200;
+    std::vector<std::atomic<int>> hit(kIters);
+    TeamRunner team(4);
+    team.run([&](TeamContext &ctx) {
+        ctx.parallelFor(kIters, [&](std::uint32_t i) {
+            hit[i].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    for (std::uint32_t i = 0; i < kIters; ++i)
+        EXPECT_EQ(hit[i].load(), 1) << "iteration " << i;
+}
+
+TEST(SelfSchedule, ConsecutiveLoopsIndependent)
+{
+    std::atomic<std::uint64_t> sum{0};
+    TeamRunner team(4);
+    team.run([&](TeamContext &ctx) {
+        ctx.parallelFor(100, [&](std::uint32_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        ctx.parallelFor(50, [&](std::uint32_t i) {
+            sum.fetch_add(1000 + i, std::memory_order_relaxed);
+        });
+    });
+    const std::uint64_t expect = 99 * 100 / 2 +
+                                 50 * 1000 + 49 * 50 / 2;
+    EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(SelfSchedule, SerialRunsExactlyOnce)
+{
+    std::atomic<int> runs{0};
+    TeamRunner team(8);
+    team.run([&](TeamContext &ctx) {
+        for (int k = 0; k < 10; ++k)
+            ctx.serial([&] { runs.fetch_add(1); });
+    });
+    EXPECT_EQ(runs.load(), 10);
+}
+
+TEST(SelfSchedule, BarrierOrdersPhases)
+{
+    // After parallelFor returns on any thread, all iterations of that
+    // loop are complete.
+    constexpr std::uint32_t kIters = 64;
+    std::vector<std::atomic<int>> a(kIters);
+    std::atomic<int> violations{0};
+    TeamRunner team(4);
+    team.run([&](TeamContext &ctx) {
+        ctx.parallelFor(kIters, [&](std::uint32_t i) {
+            a[i].store(1, std::memory_order_release);
+        });
+        for (std::uint32_t i = 0; i < kIters; ++i) {
+            if (a[i].load(std::memory_order_acquire) != 1)
+                violations.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(SelfSchedule, SingleThreadTeam)
+{
+    std::atomic<int> n{0};
+    TeamRunner team(1);
+    team.run([&](TeamContext &ctx) {
+        ctx.parallelFor(10, [&](std::uint32_t) { n.fetch_add(1); });
+        ctx.serial([&] { n.fetch_add(100); });
+    });
+    EXPECT_EQ(n.load(), 110);
+}
+
+TEST(SelfSchedule, WorksWithEveryBarrierPolicy)
+{
+    for (BarrierPolicy p :
+         {BarrierPolicy::None, BarrierPolicy::Variable,
+          BarrierPolicy::Linear, BarrierPolicy::Exponential,
+          BarrierPolicy::Blocking}) {
+        BarrierConfig cfg;
+        cfg.policy = p;
+        cfg.blockThreshold = 64;
+        std::atomic<int> n{0};
+        TeamRunner team(4, cfg);
+        team.run([&](TeamContext &ctx) {
+            ctx.parallelFor(40, [&](std::uint32_t) {
+                n.fetch_add(1, std::memory_order_relaxed);
+            });
+        });
+        EXPECT_EQ(n.load(), 40) << "policy " << static_cast<int>(p);
+    }
+}
+
+TEST(SelfSchedule, UnevenWorkStillCompletes)
+{
+    // WEATHER-style imbalance: iteration cost varies 100x.
+    std::atomic<std::uint64_t> done{0};
+    TeamRunner team(4);
+    team.run([&](TeamContext &ctx) {
+        ctx.parallelFor(32, [&](std::uint32_t i) {
+            spinFor(i % 4 == 0 ? 20000 : 200);
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(done.load(), 32u);
+}
+
+TEST(SelfSchedule, ThreadIdsAreDistinct)
+{
+    std::vector<std::atomic<int>> seen(6);
+    TeamRunner team(6);
+    team.run([&](TeamContext &ctx) {
+        seen[ctx.threadId()].fetch_add(1);
+        EXPECT_EQ(ctx.threads(), 6u);
+    });
+    for (auto &s : seen)
+        EXPECT_EQ(s.load(), 1);
+}
+
+TEST(SelfSchedule, WorksWithEveryBarrierKind)
+{
+    for (auto kind :
+         {BarrierKind::Flat, BarrierKind::TangYew, BarrierKind::Tree,
+          BarrierKind::Adaptive}) {
+        BarrierConfig cfg;
+        cfg.policy = BarrierPolicy::Exponential;
+        std::atomic<std::uint64_t> sum{0};
+        TeamRunner team(4, cfg, kind);
+        team.run([&](TeamContext &ctx) {
+            ctx.parallelFor(100, [&](std::uint32_t i) {
+                sum.fetch_add(i, std::memory_order_relaxed);
+            });
+            ctx.serial([&] { sum.fetch_add(1); });
+        });
+        EXPECT_EQ(sum.load(), 99u * 100 / 2 + 1)
+            << static_cast<int>(kind);
+    }
+}

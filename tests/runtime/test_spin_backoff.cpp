@@ -1,0 +1,65 @@
+/** @file Unit tests for spin-backoff primitives. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/spin_backoff.hpp"
+
+using namespace absync::runtime;
+
+TEST(SpinBackoff, ExpGrowsByBase)
+{
+    ExpBackoff b(2, 4, 1024);
+    EXPECT_EQ(b.current(), 4u);
+    b();
+    EXPECT_EQ(b.current(), 8u);
+    b();
+    EXPECT_EQ(b.current(), 16u);
+}
+
+TEST(SpinBackoff, ExpClampsAtMax)
+{
+    ExpBackoff b(8, 8, 100);
+    for (int i = 0; i < 10; ++i)
+        b();
+    EXPECT_EQ(b.current(), 100u);
+}
+
+TEST(SpinBackoff, ExpResetRestoresInitial)
+{
+    ExpBackoff b(2, 4, 1024);
+    b();
+    b();
+    b.reset();
+    EXPECT_EQ(b.current(), 4u);
+}
+
+TEST(SpinBackoff, NoBackoffIsCallable)
+{
+    NoBackoff b;
+    for (int i = 0; i < 100; ++i)
+        b(); // must not hang or crash
+    b.reset();
+}
+
+TEST(SpinBackoff, LinearIsCallable)
+{
+    LinearBackoff b(4, 64);
+    for (int i = 0; i < 100; ++i)
+        b(); // saturates at max and keeps working
+    b.reset();
+}
+
+TEST(SpinBackoff, ProportionalScales)
+{
+    ProportionalBackoff b(2);
+    b.wait(0); // must return immediately
+    b.wait(10);
+    SUCCEED();
+}
+
+TEST(SpinBackoff, SpinForZeroReturns)
+{
+    spinFor(0);
+    spinFor(10);
+    SUCCEED();
+}

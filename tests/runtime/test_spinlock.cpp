@@ -1,0 +1,121 @@
+/** @file Correctness tests for the spinlocks under real contention. */
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/spinlock.hpp"
+
+using namespace absync::runtime;
+
+namespace
+{
+
+/** Hammer @p lock from @p threads threads incrementing a counter. */
+template <typename Lock>
+std::uint64_t
+hammer(Lock &lock, unsigned threads, std::uint64_t iters)
+{
+    std::uint64_t counter = 0;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (std::uint64_t i = 0; i < iters; ++i) {
+                std::lock_guard<Lock> g(lock);
+                ++counter; // data race iff the lock is broken
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    return counter;
+}
+
+constexpr unsigned kThreads = 4;
+constexpr std::uint64_t kIters = 20000;
+
+} // namespace
+
+TEST(SpinLock, TasMutualExclusion)
+{
+    TasLock<NoBackoff> lock;
+    EXPECT_EQ(hammer(lock, kThreads, kIters), kThreads * kIters);
+}
+
+TEST(SpinLock, TasWithExpBackoff)
+{
+    TasLock<ExpBackoff> lock{ExpBackoff(2, 4, 256)};
+    EXPECT_EQ(hammer(lock, kThreads, kIters), kThreads * kIters);
+}
+
+TEST(SpinLock, TtasMutualExclusion)
+{
+    TtasLock<ExpBackoff> lock;
+    EXPECT_EQ(hammer(lock, kThreads, kIters), kThreads * kIters);
+}
+
+TEST(SpinLock, TtasWithLinearBackoff)
+{
+    TtasLock<LinearBackoff> lock{LinearBackoff(8, 512)};
+    EXPECT_EQ(hammer(lock, kThreads, kIters), kThreads * kIters);
+}
+
+TEST(SpinLock, TicketMutualExclusion)
+{
+    TicketLock lock;
+    EXPECT_EQ(hammer(lock, kThreads, kIters), kThreads * kIters);
+}
+
+TEST(SpinLock, TicketPlainSpin)
+{
+    TicketLock lock(0);
+    EXPECT_EQ(hammer(lock, kThreads, kIters), kThreads * kIters);
+}
+
+TEST(SpinLock, TicketIsFifoFair)
+{
+    // Single-threaded sanity: consecutive lock/unlock pairs succeed
+    // and try_lock succeeds only when free.
+    TicketLock lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+TEST(SpinLock, TryLockSemantics)
+{
+    TtasLock<> lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+
+    TasLock<> tas;
+    EXPECT_TRUE(tas.try_lock());
+    EXPECT_FALSE(tas.try_lock());
+    tas.unlock();
+}
+
+TEST(SpinLock, LocksProtectNonTrivialCriticalSection)
+{
+    // Longer critical sections widen the race window.
+    TtasLock<ExpBackoff> lock;
+    std::vector<int> v;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&] {
+            for (int i = 0; i < 2000; ++i) {
+                std::lock_guard<TtasLock<ExpBackoff>> g(lock);
+                v.push_back(i); // vector is not thread safe
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(v.size(), kThreads * 2000u);
+}

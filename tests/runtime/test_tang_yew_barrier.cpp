@@ -1,0 +1,127 @@
+/** @file Correctness tests for the Tang & Yew two-variable barrier. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/tang_yew_barrier.hpp"
+
+using namespace absync::runtime;
+
+namespace
+{
+
+void
+phaseTest(BarrierConfig cfg, unsigned threads, unsigned phases)
+{
+    TangYewBarrier barrier(threads, cfg);
+    std::vector<std::atomic<unsigned>> counts(phases);
+    std::atomic<unsigned> failures{0};
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (unsigned ph = 0; ph < phases; ++ph) {
+                counts[ph].fetch_add(1, std::memory_order_relaxed);
+                barrier.arriveAndWait();
+                if (counts[ph].load(std::memory_order_relaxed) !=
+                    threads) {
+                    failures.fetch_add(1,
+                                       std::memory_order_relaxed);
+                }
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(failures.load(), 0u);
+}
+
+BarrierConfig
+cfgFor(BarrierPolicy p)
+{
+    BarrierConfig cfg;
+    cfg.policy = p;
+    cfg.blockThreshold = 128;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TangYewBarrier, SingleThread)
+{
+    TangYewBarrier b(1);
+    for (int i = 0; i < 200; ++i)
+        b.arriveAndWait();
+    EXPECT_EQ(b.totalPolls(), 0u);
+}
+
+TEST(TangYewBarrier, EveryPolicyManyPhases)
+{
+    for (BarrierPolicy p :
+         {BarrierPolicy::None, BarrierPolicy::Variable,
+          BarrierPolicy::Linear, BarrierPolicy::Exponential,
+          BarrierPolicy::Blocking}) {
+        phaseTest(cfgFor(p), 4, 30);
+    }
+}
+
+TEST(TangYewBarrier, ManyThreads)
+{
+    phaseTest(cfgFor(BarrierPolicy::Exponential), 12, 15);
+}
+
+TEST(TangYewBarrier, LongPhaseSequence)
+{
+    // Cell pairs alternate every phase: run enough phases to cycle
+    // them hundreds of times.
+    phaseTest(cfgFor(BarrierPolicy::Exponential), 3, 400);
+}
+
+TEST(TangYewBarrier, BlockingBlocks)
+{
+    BarrierConfig cfg = cfgFor(BarrierPolicy::Blocking);
+    cfg.blockThreshold = 16;
+    TangYewBarrier b(2, cfg);
+    std::thread late([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        b.arriveAndWait();
+    });
+    b.arriveAndWait();
+    late.join();
+    EXPECT_GE(b.totalBlocks(), 1u);
+}
+
+TEST(TangYewBarrier, PollsCounted)
+{
+    TangYewBarrier b(2, cfgFor(BarrierPolicy::None));
+    std::thread other([&] {
+        for (int i = 0; i < 20; ++i)
+            b.arriveAndWait();
+    });
+    for (int i = 0; i < 20; ++i)
+        b.arriveAndWait();
+    other.join();
+    EXPECT_GT(b.totalPolls(), 0u);
+}
+
+TEST(TangYewBarrier, TwoIndependentBarriers)
+{
+    // Regression guard: phase state is per-object.
+    TangYewBarrier a(2), b(2);
+    std::thread other([&] {
+        for (int i = 0; i < 50; ++i) {
+            a.arriveAndWait();
+            b.arriveAndWait();
+        }
+    });
+    for (int i = 0; i < 50; ++i) {
+        a.arriveAndWait();
+        b.arriveAndWait();
+    }
+    other.join();
+    SUCCEED();
+}

@@ -1,0 +1,135 @@
+/** @file Correctness and stress tests for the combining-tree
+ *        barrier on real threads. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/tree_barrier.hpp"
+
+using namespace absync::runtime;
+
+namespace
+{
+
+/** The fundamental barrier property across phases, as in the flat
+ *  barrier tests, but with explicit thread ids. */
+void
+phaseTest(BarrierConfig cfg, std::uint32_t fan_in, unsigned threads,
+          unsigned phases)
+{
+    TreeBarrier barrier(threads, fan_in, cfg);
+    std::vector<std::atomic<unsigned>> counts(phases);
+    std::atomic<unsigned> failures{0};
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (unsigned ph = 0; ph < phases; ++ph) {
+                counts[ph].fetch_add(1, std::memory_order_relaxed);
+                barrier.arriveAndWait(t);
+                if (counts[ph].load(std::memory_order_relaxed) !=
+                    threads) {
+                    failures.fetch_add(1,
+                                       std::memory_order_relaxed);
+                }
+                barrier.arriveAndWait(t);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(failures.load(), 0u);
+}
+
+BarrierConfig
+cfgFor(BarrierPolicy p)
+{
+    BarrierConfig cfg;
+    cfg.policy = p;
+    cfg.blockThreshold = 256;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TreeBarrier, NodeCounts)
+{
+    TreeBarrier b8(8, 2);
+    EXPECT_EQ(b8.nodeCount(), 7u); // 4 + 2 + 1
+    TreeBarrier b9(9, 2);
+    EXPECT_EQ(b9.nodeCount(), 11u); // 5 + 3 + 2 + 1
+    TreeBarrier b16(16, 4);
+    EXPECT_EQ(b16.nodeCount(), 5u); // 4 + 1
+    TreeBarrier b1(1, 2);
+    EXPECT_EQ(b1.nodeCount(), 1u);
+}
+
+TEST(TreeBarrier, SingleThread)
+{
+    TreeBarrier b(1, 2);
+    for (int i = 0; i < 100; ++i)
+        b.arriveAndWait(0);
+    EXPECT_EQ(b.totalPolls(), 0u);
+}
+
+TEST(TreeBarrier, TwoThreadsManyPhases)
+{
+    phaseTest(cfgFor(BarrierPolicy::Exponential), 2, 2, 200);
+}
+
+TEST(TreeBarrier, EveryPolicy)
+{
+    for (BarrierPolicy p :
+         {BarrierPolicy::None, BarrierPolicy::Variable,
+          BarrierPolicy::Linear, BarrierPolicy::Exponential,
+          BarrierPolicy::Blocking}) {
+        phaseTest(cfgFor(p), 2, 4, 25);
+    }
+}
+
+TEST(TreeBarrier, WideFanIn)
+{
+    phaseTest(cfgFor(BarrierPolicy::Exponential), 8, 6, 50);
+}
+
+TEST(TreeBarrier, NonPowerThreadCounts)
+{
+    for (unsigned threads : {3u, 5u, 7u, 9u})
+        phaseTest(cfgFor(BarrierPolicy::Exponential), 2, threads, 25);
+}
+
+TEST(TreeBarrier, DeepTree)
+{
+    // 9 threads, fan-in 2: four levels of nodes.
+    phaseTest(cfgFor(BarrierPolicy::Linear), 2, 9, 40);
+}
+
+TEST(TreeBarrier, BlockingBlocks)
+{
+    BarrierConfig cfg = cfgFor(BarrierPolicy::Blocking);
+    cfg.blockThreshold = 16;
+    TreeBarrier b(2, 2, cfg);
+    std::thread late([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        b.arriveAndWait(1);
+    });
+    b.arriveAndWait(0);
+    late.join();
+    EXPECT_GE(b.totalBlocks(), 1u);
+}
+
+TEST(TreeBarrier, PollsCounted)
+{
+    TreeBarrier b(2, 2, cfgFor(BarrierPolicy::None));
+    std::thread other([&] {
+        for (int i = 0; i < 20; ++i)
+            b.arriveAndWait(1);
+    });
+    for (int i = 0; i < 20; ++i)
+        b.arriveAndWait(0);
+    other.join();
+    EXPECT_GT(b.totalPolls(), 0u);
+}

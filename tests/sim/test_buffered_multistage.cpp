@@ -1,0 +1,133 @@
+/** @file Tests for the buffered Omega network and its tree
+ *        saturation / feedback behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "sim/buffered_multistage.hpp"
+
+using namespace absync::sim;
+
+namespace
+{
+
+BufferedNetConfig
+baseConfig()
+{
+    BufferedNetConfig cfg;
+    cfg.processors = 64;
+    cfg.offeredLoad = 0.2;
+    cfg.cycles = 15000;
+    cfg.seed = 7;
+    return cfg;
+}
+
+} // namespace
+
+TEST(BufferedNet, DeliversUnderLightLoad)
+{
+    auto cfg = baseConfig();
+    cfg.offeredLoad = 0.05;
+    const auto st = BufferedMultistageNetwork(cfg).run();
+    EXPECT_GT(st.delivered, 1000u);
+    // Light uniform load: latency near the pipeline depth (6).
+    EXPECT_LT(st.bgLatency, 20.0);
+    EXPECT_LT(st.avgQueueOccupancy, 0.2);
+}
+
+TEST(BufferedNet, DeterministicForSeed)
+{
+    const auto a = BufferedMultistageNetwork(baseConfig()).run();
+    const auto b = BufferedMultistageNetwork(baseConfig()).run();
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_DOUBLE_EQ(a.bgLatency, b.bgLatency);
+}
+
+TEST(BufferedNet, ThroughputBoundedByModuleService)
+{
+    auto cfg = baseConfig();
+    cfg.offeredLoad = 1.0;
+    const auto st = BufferedMultistageNetwork(cfg).run();
+    // Each module serves at most one packet per cycle.
+    EXPECT_LE(st.delivered,
+              cfg.cycles * cfg.processors + cfg.processors);
+}
+
+TEST(BufferedNet, HotSpotSaturatesTheTree)
+{
+    // The Pfister-Norton effect: pollers on module 0 fill the queues
+    // on module 0's tree far beyond the network average, and the
+    // *background* latency suffers.
+    auto clean = baseConfig();
+    const auto base = BufferedMultistageNetwork(clean).run();
+
+    auto hot = baseConfig();
+    hot.hotPollers = 16;
+    const auto sat = BufferedMultistageNetwork(hot).run();
+
+    EXPECT_GT(sat.hotTreeOccupancy, 3.0 * sat.avgQueueOccupancy)
+        << "hot tree queues must be disproportionately full";
+    EXPECT_GT(sat.hotTreeOccupancy, 0.5);
+    EXPECT_GT(sat.bgLatency, 1.5 * base.bgLatency)
+        << "background traffic must suffer from the hot spot";
+}
+
+TEST(BufferedNet, FeedbackRelievesSaturation)
+{
+    // Scott-Sohi: letting processors see the module queue length and
+    // back off proportionally drains the tree.
+    auto hot = baseConfig();
+    hot.hotPollers = 16;
+    const auto sat = BufferedMultistageNetwork(hot).run();
+
+    auto fb = hot;
+    fb.feedbackThreshold = 2;
+    const auto relieved = BufferedMultistageNetwork(fb).run();
+
+    EXPECT_LT(relieved.hotTreeOccupancy, sat.hotTreeOccupancy);
+    EXPECT_LT(relieved.bgLatency, sat.bgLatency);
+    EXPECT_GT(relieved.feedbackWaitCycles, 0u);
+}
+
+TEST(BufferedNet, PollPacingAlsoRelieves)
+{
+    auto hot = baseConfig();
+    hot.hotPollers = 16;
+    const auto sat = BufferedMultistageNetwork(hot).run();
+
+    auto paced = hot;
+    paced.hotPollInterval = 128;
+    const auto relieved = BufferedMultistageNetwork(paced).run();
+    EXPECT_LT(relieved.bgLatency, sat.bgLatency);
+}
+
+TEST(BufferedNet, InjectionFailuresAppearUnderOverload)
+{
+    auto cfg = baseConfig();
+    cfg.offeredLoad = 1.0;
+    cfg.hotspotFraction = 0.5;
+    const auto st = BufferedMultistageNetwork(cfg).run();
+    EXPECT_GT(st.injectionFailures, 0u);
+}
+
+TEST(BufferedNet, SmallNetworkWorks)
+{
+    auto cfg = baseConfig();
+    cfg.processors = 4;
+    cfg.cycles = 5000;
+    const auto st = BufferedMultistageNetwork(cfg).run();
+    EXPECT_GT(st.delivered, 100u);
+}
+
+TEST(BufferedNet, PacketConservation)
+{
+    // Every injected packet is either delivered or still queued when
+    // the run ends — nothing is dropped or duplicated.
+    for (double load : {0.05, 0.3, 1.0}) {
+        auto cfg = baseConfig();
+        cfg.offeredLoad = load;
+        cfg.hotPollers = 8;
+        const auto st = BufferedMultistageNetwork(cfg).run();
+        EXPECT_EQ(st.injected, st.delivered + st.inFlightAtEnd)
+            << "load " << load;
+    }
+}

@@ -1,0 +1,174 @@
+/** @file Unit tests for the Omega-network simulator. */
+
+#include <gtest/gtest.h>
+
+#include "sim/multistage.hpp"
+
+using absync::sim::MultistageConfig;
+using absync::sim::MultistageNetwork;
+using absync::sim::MultistageStats;
+using absync::sim::NetBackoff;
+using absync::sim::netBackoffFromString;
+using absync::sim::netBackoffName;
+
+namespace
+{
+
+MultistageStats
+runWith(NetBackoff s, double load, double hotspot = 0.0,
+        std::uint32_t procs = 64, std::uint64_t cycles = 20000)
+{
+    MultistageConfig cfg;
+    cfg.processors = procs;
+    cfg.strategy = s;
+    cfg.offeredLoad = load;
+    cfg.hotspotFraction = hotspot;
+    cfg.cycles = cycles;
+    cfg.seed = 12345;
+    return MultistageNetwork(cfg).run();
+}
+
+} // namespace
+
+TEST(Multistage, LightLoadDeliversRequests)
+{
+    const auto st = runWith(NetBackoff::Immediate, 0.02);
+    EXPECT_GT(st.completed, 1000u);
+    EXPECT_GE(st.attemptsPerRequest, 1.0);
+    // At light uniform load almost everything should go through
+    // with few attempts.
+    EXPECT_LT(st.attemptsPerRequest, 2.0);
+}
+
+TEST(Multistage, ThroughputBoundedByServiceTime)
+{
+    // Each module serves one circuit per serviceCycles, so per-proc
+    // throughput can never exceed 1/serviceCycles.
+    const auto st = runWith(NetBackoff::Immediate, 1.0);
+    EXPECT_LE(st.throughput, 1.0 / 4.0 + 0.01);
+}
+
+TEST(Multistage, CollisionsRiseWithLoad)
+{
+    const auto lo = runWith(NetBackoff::Immediate, 0.02);
+    const auto hi = runWith(NetBackoff::Immediate, 0.8);
+    const double lo_rate = static_cast<double>(lo.collisions) /
+                           static_cast<double>(lo.attempts);
+    const double hi_rate = static_cast<double>(hi.collisions) /
+                           static_cast<double>(hi.attempts);
+    EXPECT_GT(hi_rate, lo_rate);
+}
+
+TEST(Multistage, BackoffCutsAttemptsUnderCongestion)
+{
+    // At high load, exponential backoff must reduce setup attempts per
+    // completed request versus immediate retry (the paper's premise).
+    const auto imm = runWith(NetBackoff::Immediate, 0.8);
+    const auto exp = runWith(NetBackoff::Exponential, 0.8);
+    EXPECT_LT(exp.attemptsPerRequest, imm.attemptsPerRequest);
+}
+
+TEST(Multistage, HotspotDegradesThroughput)
+{
+    const auto uni = runWith(NetBackoff::Immediate, 0.3, 0.0);
+    const auto hot = runWith(NetBackoff::Immediate, 0.3, 0.5);
+    EXPECT_LT(hot.throughput, uni.throughput);
+}
+
+TEST(Multistage, QueueFeedbackHelpsHotspotAttempts)
+{
+    const auto imm = runWith(NetBackoff::Immediate, 0.5, 0.5);
+    const auto fb = runWith(NetBackoff::QueueFeedback, 0.5, 0.5);
+    EXPECT_LT(fb.attemptsPerRequest, imm.attemptsPerRequest);
+}
+
+TEST(Multistage, CollisionDepthWithinStageCount)
+{
+    const auto st = runWith(NetBackoff::Immediate, 0.8);
+    EXPECT_GE(st.avgCollisionDepth, 1.0);
+    EXPECT_LE(st.avgCollisionDepth, 6.0); // log2(64) stages
+}
+
+TEST(Multistage, DeterministicForSeed)
+{
+    MultistageConfig cfg;
+    cfg.cycles = 5000;
+    cfg.seed = 99;
+    const auto a = MultistageNetwork(cfg).run();
+    const auto b = MultistageNetwork(cfg).run();
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.collisions, b.collisions);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+}
+
+TEST(Multistage, SmallNetworkWorks)
+{
+    const auto st = runWith(NetBackoff::Immediate, 0.3, 0.0, 4, 5000);
+    EXPECT_GT(st.completed, 100u);
+}
+
+TEST(Multistage, StrategyNamesRoundTrip)
+{
+    for (NetBackoff s :
+         {NetBackoff::Immediate, NetBackoff::DepthProportional,
+          NetBackoff::InverseDepth, NetBackoff::ConstantRtt,
+          NetBackoff::Exponential, NetBackoff::QueueFeedback}) {
+        EXPECT_FALSE(netBackoffName(s).empty());
+    }
+    EXPECT_EQ(netBackoffFromString("immediate"), NetBackoff::Immediate);
+    EXPECT_EQ(netBackoffFromString("depth"),
+              NetBackoff::DepthProportional);
+    EXPECT_EQ(netBackoffFromString("inverse-depth"),
+              NetBackoff::InverseDepth);
+    EXPECT_EQ(netBackoffFromString("rtt"), NetBackoff::ConstantRtt);
+    EXPECT_EQ(netBackoffFromString("exp"), NetBackoff::Exponential);
+    EXPECT_EQ(netBackoffFromString("feedback"),
+              NetBackoff::QueueFeedback);
+}
+
+TEST(Multistage, PollersDegradeBackgroundLatency)
+{
+    // Spinning pollers tie up partial circuits toward module 0 and
+    // slow the background traffic (tree saturation, Sec 2.2).
+    MultistageConfig base;
+    base.processors = 64;
+    base.offeredLoad = 0.3;
+    base.cycles = 15000;
+    base.seed = 21;
+    const auto clean = MultistageNetwork(base).run();
+
+    MultistageConfig hot = base;
+    hot.hotPollers = 32;
+    const auto polluted = MultistageNetwork(hot).run();
+    EXPECT_GT(polluted.bgLatency, clean.bgLatency);
+}
+
+TEST(Multistage, PollPacingRestoresBackground)
+{
+    MultistageConfig cfg;
+    cfg.processors = 64;
+    cfg.offeredLoad = 0.3;
+    cfg.cycles = 15000;
+    cfg.seed = 23;
+    cfg.hotPollers = 16;
+    cfg.hotPollInterval = 0;
+    const auto spinning = MultistageNetwork(cfg).run();
+    cfg.hotPollInterval = 256;
+    const auto paced = MultistageNetwork(cfg).run();
+    EXPECT_LT(paced.bgLatency, spinning.bgLatency);
+    EXPECT_GE(paced.bgThroughput, spinning.bgThroughput);
+}
+
+TEST(Multistage, BackgroundStatsDisjointFromPollers)
+{
+    MultistageConfig cfg;
+    cfg.processors = 16;
+    cfg.offeredLoad = 0.1;
+    cfg.cycles = 8000;
+    cfg.seed = 29;
+    cfg.hotPollers = 4;
+    const auto st = MultistageNetwork(cfg).run();
+    EXPECT_LT(st.bgCompleted, st.completed);
+    EXPECT_GT(st.bgCompleted, 0u);
+}

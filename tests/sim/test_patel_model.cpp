@@ -1,0 +1,92 @@
+/** @file Unit tests for Patel's analytical MIN model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/multistage.hpp"
+#include "sim/patel_model.hpp"
+
+using namespace absync::sim;
+
+TEST(PatelModel, ZeroOfferedZeroDelivered)
+{
+    PatelNetwork net;
+    EXPECT_DOUBLE_EQ(patelOutputRate(net, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(patelAcceptance(net, 0.0), 1.0);
+}
+
+TEST(PatelModel, SingleStageClosedForm)
+{
+    // One 2x2 stage: m1 = 1 - (1 - m0/2)^2.
+    PatelNetwork net;
+    net.stages = 1;
+    const double m0 = 0.5;
+    EXPECT_NEAR(patelOutputRate(net, m0),
+                1.0 - (1.0 - m0 / 2.0) * (1.0 - m0 / 2.0), 1e-12);
+}
+
+TEST(PatelModel, MonotoneInOfferedRate)
+{
+    PatelNetwork net;
+    net.stages = 6;
+    double prev = 0.0;
+    for (double m0 = 0.1; m0 <= 1.0; m0 += 0.1) {
+        const double out = patelOutputRate(net, m0);
+        EXPECT_GT(out, prev);
+        prev = out;
+    }
+}
+
+TEST(PatelModel, AcceptanceDegradesWithStagesAndLoad)
+{
+    PatelNetwork shallow;
+    shallow.stages = 2;
+    PatelNetwork deep;
+    deep.stages = 10;
+    EXPECT_GT(patelAcceptance(shallow, 0.5),
+              patelAcceptance(deep, 0.5));
+    EXPECT_GT(patelAcceptance(deep, 0.1), patelAcceptance(deep, 0.9));
+}
+
+TEST(PatelModel, BandwidthBoundedByOffered)
+{
+    for (double m0 : {0.1, 0.5, 1.0}) {
+        const double bw = omegaBandwidth(64, m0);
+        EXPECT_LE(bw, m0 + 1e-12);
+        EXPECT_GT(bw, 0.0);
+    }
+}
+
+TEST(PatelModel, AttemptsPerRequestAtLeastOne)
+{
+    PatelNetwork net;
+    net.stages = 6;
+    EXPECT_GE(patelAttemptsPerRequest(net, 0.3), 1.0);
+    EXPECT_GT(patelAttemptsPerRequest(net, 0.9),
+              patelAttemptsPerRequest(net, 0.1));
+}
+
+TEST(PatelModel, RoughlyTracksOmegaSimulatorAtUniformLoad)
+{
+    // The analytic model and the cycle simulator disagree in detail
+    // (the simulator has persistent retries and service times), but
+    // at light uniform load both should accept nearly everything,
+    // and both should degrade together as load rises.
+    const auto simAcceptance = [](double load) {
+        MultistageConfig cfg;
+        cfg.processors = 64;
+        cfg.offeredLoad = load;
+        cfg.serviceCycles = 1;
+        cfg.cycles = 20000;
+        cfg.seed = 31;
+        const auto st = MultistageNetwork(cfg).run();
+        return 1.0 / st.attemptsPerRequest;
+    };
+    const double sim_light = simAcceptance(0.05);
+    const double model_light = patelAcceptance({2, 2, 6}, 0.05);
+    EXPECT_NEAR(sim_light, model_light, 0.1);
+
+    const double sim_heavy = simAcceptance(0.9);
+    const double model_heavy = patelAcceptance({2, 2, 6}, 0.9);
+    EXPECT_LT(model_heavy, 0.75);
+    EXPECT_LT(sim_heavy, 0.75);
+}

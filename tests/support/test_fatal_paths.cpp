@@ -1,0 +1,82 @@
+/** @file Death tests for the fatal parse-from-string paths: typos in
+ *        sweep scripts must fail loudly, not run the wrong
+ *        experiment. */
+
+#include <gtest/gtest.h>
+
+#include "core/backoff.hpp"
+#include "core/resource_sim.hpp"
+#include "sim/memory_module.hpp"
+#include "sim/multistage.hpp"
+
+namespace
+{
+
+void
+badBackoffPreset()
+{
+    auto c = absync::core::BackoffConfig::fromString("warpdrive");
+    (void)c;
+}
+
+void
+badArbitration()
+{
+    auto a = absync::sim::arbitrationFromString("psychic");
+    (void)a;
+}
+
+void
+badNetBackoff()
+{
+    auto s = absync::sim::netBackoffFromString("sideways");
+    (void)s;
+}
+
+void
+badResourcePolicy()
+{
+    auto p = absync::core::resourceWaitPolicyFromString("nap");
+    (void)p;
+}
+
+} // namespace
+
+TEST(FatalPaths, UnknownBackoffPreset)
+{
+    EXPECT_EXIT(badBackoffPreset(), ::testing::ExitedWithCode(2),
+                "unknown backoff preset");
+}
+
+TEST(FatalPaths, UnknownArbitration)
+{
+    EXPECT_EXIT(badArbitration(), ::testing::ExitedWithCode(2),
+                "unknown arbitration");
+}
+
+TEST(FatalPaths, UnknownNetBackoff)
+{
+    EXPECT_EXIT(badNetBackoff(), ::testing::ExitedWithCode(2),
+                "unknown network backoff");
+}
+
+TEST(FatalPaths, UnknownResourcePolicy)
+{
+    EXPECT_EXIT(badResourcePolicy(), ::testing::ExitedWithCode(2),
+                "unknown resource wait policy");
+}
+
+TEST(FatalPaths, KnownNamesStillParse)
+{
+    // Guard against over-eager matching: every documented name must
+    // continue to parse.
+    for (const char *name :
+         {"none", "var", "exp2", "exp8", "lin4", "const4"}) {
+        EXPECT_NO_FATAL_FAILURE(
+            absync::core::BackoffConfig::fromString(name));
+    }
+    for (const char *name : {"random", "rr", "fifo"}) {
+        EXPECT_NO_FATAL_FAILURE(
+            absync::sim::arbitrationFromString(name));
+    }
+}

@@ -1,0 +1,111 @@
+/** @file Unit tests for support histograms. */
+
+#include <gtest/gtest.h>
+
+#include "support/histogram.hpp"
+
+using absync::support::BinnedHistogram;
+using absync::support::IntHistogram;
+
+TEST(IntHistogram, EmptyBehaviour)
+{
+    IntHistogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(3), 0u);
+    EXPECT_EQ(h.fraction(3), 0.0);
+    EXPECT_EQ(h.cumulativeFraction(10), 0.0);
+    EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(IntHistogram, CountsAndFractions)
+{
+    IntHistogram h;
+    h.add(1);
+    h.add(1);
+    h.add(2);
+    h.add(5);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(3), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+    EXPECT_EQ(h.maxValue(), 5u);
+}
+
+TEST(IntHistogram, WeightedAdd)
+{
+    IntHistogram h;
+    h.add(4, 10);
+    h.add(4, 5);
+    EXPECT_EQ(h.count(4), 15u);
+    EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(IntHistogram, CumulativeFraction)
+{
+    IntHistogram h;
+    for (std::uint64_t v = 1; v <= 4; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(4), 1.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(100), 1.0);
+}
+
+TEST(IntHistogram, ClearResets)
+{
+    IntHistogram h;
+    h.add(1);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(IntHistogram, AsciiChartMentionsCounts)
+{
+    IntHistogram h;
+    h.add(0, 3);
+    h.add(2, 1);
+    const std::string chart = h.asciiChart(10);
+    EXPECT_NE(chart.find('#'), std::string::npos);
+    EXPECT_NE(chart.find('3'), std::string::npos);
+}
+
+TEST(BinnedHistogram, BinAssignment)
+{
+    BinnedHistogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(9.5);  // bin 4
+    h.add(5.0);  // bin 2
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(BinnedHistogram, OutOfRangeClamped)
+{
+    BinnedHistogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(1e9);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(BinnedHistogram, BinCenters)
+{
+    BinnedHistogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(BinnedHistogram, Fractions)
+{
+    BinnedHistogram h(0.0, 4.0, 4);
+    h.add(0.5, 3);
+    h.add(3.5, 1);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.binFraction(3), 0.25);
+    EXPECT_DOUBLE_EQ(h.binFraction(1), 0.0);
+}

@@ -1,0 +1,132 @@
+/** @file Unit tests for the CLI option parser. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/options.hpp"
+
+using absync::support::Options;
+
+namespace
+{
+
+Options
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    std::vector<char *> argv;
+    for (auto *a : args)
+        argv.push_back(const_cast<char *>(a));
+    return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Options, SpaceSeparatedValue)
+{
+    auto o = parse({"--n", "64"});
+    EXPECT_TRUE(o.has("n"));
+    EXPECT_EQ(o.getInt("n", 0), 64);
+}
+
+TEST(Options, EqualsValue)
+{
+    auto o = parse({"--window=1000"});
+    EXPECT_EQ(o.getInt("window", 0), 1000);
+}
+
+TEST(Options, DefaultsWhenAbsent)
+{
+    auto o = parse({});
+    EXPECT_FALSE(o.has("n"));
+    EXPECT_EQ(o.getInt("n", 42), 42);
+    EXPECT_EQ(o.get("name", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(o.getDouble("x", 1.5), 1.5);
+}
+
+TEST(Options, BooleanFlag)
+{
+    auto o = parse({"--verbose"});
+    EXPECT_TRUE(o.getBool("verbose"));
+    EXPECT_FALSE(o.getBool("quiet"));
+}
+
+TEST(Options, BooleanExplicitValues)
+{
+    auto o = parse({"--a=true", "--b=false", "--c=1", "--d=0"});
+    EXPECT_TRUE(o.getBool("a"));
+    EXPECT_FALSE(o.getBool("b"));
+    EXPECT_TRUE(o.getBool("c"));
+    EXPECT_FALSE(o.getBool("d"));
+}
+
+TEST(Options, DoubleValue)
+{
+    auto o = parse({"--load", "0.35"});
+    EXPECT_DOUBLE_EQ(o.getDouble("load", 0), 0.35);
+}
+
+TEST(Options, IntList)
+{
+    auto o = parse({"--sizes=2,4,8,16"});
+    const auto v = o.getIntList("sizes", {});
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 2);
+    EXPECT_EQ(v[3], 16);
+}
+
+TEST(Options, IntListDefault)
+{
+    auto o = parse({});
+    const auto v = o.getIntList("sizes", {1, 2});
+    ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(Options, Positional)
+{
+    auto o = parse({"file1", "--n", "3", "file2"});
+    ASSERT_EQ(o.positional().size(), 2u);
+    EXPECT_EQ(o.positional()[0], "file1");
+    EXPECT_EQ(o.positional()[1], "file2");
+}
+
+TEST(Options, NegativeNumberAsValue)
+{
+    auto o = parse({"--delta=-5"});
+    EXPECT_EQ(o.getInt("delta", 0), -5);
+}
+
+namespace
+{
+
+void
+buildWithUnknownOption()
+{
+    const char *argv[] = {"prog", "--oops", "1"};
+    absync::support::Options o(3, const_cast<char **>(argv),
+                               {"fine"});
+    (void)o;
+}
+
+void
+readMalformedInt()
+{
+    const char *argv[] = {"prog", "--n", "abc"};
+    absync::support::Options o(3, const_cast<char **>(argv));
+    (void)o.getInt("n", 0);
+}
+
+} // namespace
+
+TEST(Options, UnknownOptionIsFatalWhenRestricted)
+{
+    EXPECT_EXIT(buildWithUnknownOption(),
+                ::testing::ExitedWithCode(2), "unknown option");
+}
+
+TEST(Options, MalformedIntIsFatal)
+{
+    EXPECT_EXIT(readMalformedInt(), ::testing::ExitedWithCode(2),
+                "expects an integer");
+}

@@ -1,0 +1,143 @@
+/** @file Unit tests for support::Rng. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+using absync::support::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b()) ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(a());
+    a.reseed(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = r.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng r(5);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.uniformInt(7, 7), 7u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.uniformInt(0, 9));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform)
+{
+    Rng r(13);
+    std::vector<int> counts(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.uniformInt(0, 7)];
+    for (int c : counts) {
+        EXPECT_NEAR(c, n / 8, n / 8 / 10); // within 10 %
+    }
+}
+
+TEST(Rng, IndexInBounds)
+{
+    Rng r(17);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.index(13), 13u);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng r(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitGivesIndependentStream)
+{
+    Rng a(31);
+    Rng child = a.split();
+    // The child stream should not simply replay the parent.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == child()) ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Rng::min() == 0);
+    static_assert(Rng::max() == ~0ULL);
+    Rng r(1);
+    std::vector<int> v{1, 2, 3, 4, 5};
+    std::shuffle(v.begin(), v.end(), r); // must compile and run
+    EXPECT_EQ(v.size(), 5u);
+}

@@ -1,0 +1,125 @@
+/** @file Unit tests for support::RunningStats. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+using absync::support::Rng;
+using absync::support::RunningStats;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.minimum(), 5.0);
+    EXPECT_DOUBLE_EQ(s.maximum(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic textbook example
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.minimum(), 2.0);
+    EXPECT_DOUBLE_EQ(s.maximum(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne)
+{
+    RunningStats s;
+    for (double x : {1.0, 2.0, 3.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 1.0);
+}
+
+TEST(RunningStats, CvIsRelativeStddev)
+{
+    RunningStats s;
+    for (double x : {10.0, 10.0, 10.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+    s.add(14.0);
+    EXPECT_GT(s.cv(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats all, a, b;
+    Rng rng(77);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble() * 100.0;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.minimum(), all.minimum());
+    EXPECT_DOUBLE_EQ(a.maximum(), all.maximum());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    const double mean = a.mean();
+    a.merge(b); // no-op
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    b.merge(a); // copy
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(RunningStats, LargeStreamStable)
+{
+    // Numerical stability: large offset plus small noise.
+    RunningStats s;
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i)
+        s.add(1e9 + rng.nextDouble());
+    EXPECT_NEAR(s.mean(), 1e9 + 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RunningStats, Ci95Behaviour)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+    // Constant samples: zero-width interval.
+    for (int i = 0; i < 50; ++i)
+        s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+    // Spread samples: interval shrinks as n grows.
+    RunningStats a, b;
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        a.add(rng.nextDouble());
+    for (int i = 0; i < 10000; ++i)
+        b.add(rng.nextDouble());
+    EXPECT_GT(a.ci95(), b.ci95());
+    EXPECT_NEAR(b.mean(), 0.5, b.ci95() * 3);
+}

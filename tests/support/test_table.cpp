@@ -1,0 +1,75 @@
+/** @file Unit tests for the ASCII table formatter. */
+
+#include <gtest/gtest.h>
+
+#include "support/table.hpp"
+
+using absync::support::fmt;
+using absync::support::fmtPercent;
+using absync::support::Table;
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"N", "value"});
+    t.addRow({"64", "160.0"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("N"), std::string::npos);
+    EXPECT_NE(s.find("value"), std::string::npos);
+    EXPECT_NE(s.find("64"), std::string::npos);
+    EXPECT_NE(s.find("160.0"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper)
+{
+    Table t({"label", "a", "b"});
+    t.addRow("x", {1.234, 5.678}, 2);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("1.23"), std::string::npos);
+    EXPECT_NE(s.find("5.68"), std::string::npos);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"a", "b"});
+    t.addRow({"short", "x"});
+    t.addRow({"muchlongervalue", "y"});
+    const std::string s = t.str();
+    // 'x' and 'y' columns must start at the same offset on their lines.
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        auto nl = s.find('\n', pos);
+        lines.push_back(s.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_EQ(lines[2].find('x'), lines[3].find('y'));
+}
+
+TEST(TableFmt, FixedPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TableFmt, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.952, 1), "95.2%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"name", "value"});
+    t.addRow({"plain", "1.5"});
+    t.addRow({"with,comma", "2"});
+    t.addRow({"with\"quote", "3"});
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("plain,1.5\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\",2\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\",3\n"), std::string::npos);
+}

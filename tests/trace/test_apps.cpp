@@ -1,0 +1,193 @@
+/** @file Tests of the synthetic application generators against the
+ *        structural properties Appendix A documents. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/apps.hpp"
+#include "trace/spmd.hpp"
+
+using namespace absync::trace;
+
+namespace
+{
+
+SpmdProgram
+parseApp(const std::string &name, double scale = 0.1)
+{
+    return SpmdProgram::parse(makeAppTrace(name, scale));
+}
+
+} // namespace
+
+TEST(Apps, AllThreeParseCleanly)
+{
+    for (const char *name : {"fft", "simple", "weather"})
+        EXPECT_NO_THROW(parseApp(name)) << name;
+}
+
+TEST(Apps, DeterministicGeneration)
+{
+    const auto a = makeFftTrace({});
+    const auto b = makeFftTrace({});
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); i += 997) {
+        EXPECT_EQ(a.records[i].kind, b.records[i].kind);
+        EXPECT_EQ(a.records[i].addr, b.records[i].addr);
+    }
+}
+
+TEST(Apps, FftHas128WayUniformLoops)
+{
+    const auto prog = parseApp("fft");
+    // Replicate setup + two parallel passes.
+    std::size_t parallel = 0;
+    for (const auto &s : prog.sections) {
+        if (s.kind != SpmdSection::Kind::Parallel)
+            continue;
+        ++parallel;
+        EXPECT_EQ(s.tasks.size(), 128u);
+        // Uniform: every task has the same length.
+        for (const auto &t : s.tasks)
+            EXPECT_EQ(t.size(), s.tasks[0].size());
+    }
+    EXPECT_EQ(parallel, 2u) << "two TF2 passes";
+}
+
+TEST(Apps, FftPassesShareDataTransposed)
+{
+    // The row pass writes what the column pass reads: the two
+    // parallel sections must touch overlapping shared addresses.
+    // Full scale: subsampling thins the overlap by construction.
+    const auto prog = parseApp("fft", 1.0);
+    std::set<std::uint64_t> pass_written[2];
+    std::size_t pi = 0;
+    for (const auto &s : prog.sections) {
+        if (s.kind != SpmdSection::Kind::Parallel)
+            continue;
+        for (const auto &t : s.tasks) {
+            for (const auto &r : t) {
+                if (r.write && !region::isPrivate(r.addr))
+                    pass_written[pi].insert(r.addr);
+            }
+        }
+        ++pi;
+    }
+    std::size_t overlap = 0;
+    for (std::uint64_t a : pass_written[0])
+        overlap += pass_written[1].count(a);
+    EXPECT_GT(overlap, pass_written[0].size() / 2);
+}
+
+TEST(Apps, SimpleHasTwentyLoopsAndFiveSerials)
+{
+    const auto prog = parseApp("simple");
+    std::size_t parallel = 0, serial = 0;
+    for (const auto &s : prog.sections) {
+        parallel += s.kind == SpmdSection::Kind::Parallel;
+        serial += s.kind == SpmdSection::Kind::Serial;
+    }
+    EXPECT_EQ(parallel, 20u);
+    EXPECT_EQ(serial, 5u);
+}
+
+TEST(Apps, SimpleLoopWidthsNotAllFull)
+{
+    const auto prog = parseApp("simple");
+    std::size_t non_full = 0;
+    for (const auto &s : prog.sections) {
+        if (s.kind == SpmdSection::Kind::Parallel &&
+            s.tasks.size() != 128) {
+            ++non_full;
+        }
+    }
+    EXPECT_GE(non_full, 5u)
+        << "many SIMPLE loops lack full 128-way parallelism";
+}
+
+TEST(Apps, SimpleIterationLengthsVary)
+{
+    const auto prog = parseApp("simple");
+    bool varied = false;
+    for (const auto &s : prog.sections) {
+        if (s.kind != SpmdSection::Kind::Parallel)
+            continue;
+        for (const auto &t : s.tasks) {
+            if (t.size() != s.tasks[0].size())
+                varied = true;
+        }
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(Apps, WeatherWidthsAre108And72)
+{
+    const auto prog = parseApp("weather");
+    std::set<std::size_t> widths;
+    for (const auto &s : prog.sections) {
+        if (s.kind == SpmdSection::Kind::Parallel)
+            widths.insert(s.tasks.size());
+    }
+    EXPECT_TRUE(widths.count(108));
+    EXPECT_TRUE(widths.count(72));
+}
+
+TEST(Apps, WeatherIterationsAreLong)
+{
+    // WEATHER iterations sweep a full line through 9 levels, so they
+    // dwarf SIMPLE's per-row stencils at the same scale.
+    const auto w = parseApp("weather", 1.0);
+    const auto s = parseApp("simple", 1.0);
+    std::size_t w_len = 0, s_len = 0;
+    for (const auto &sec : w.sections) {
+        if (sec.kind == SpmdSection::Kind::Parallel) {
+            w_len = sec.tasks[0].size();
+            break;
+        }
+    }
+    for (const auto &sec : s.sections) {
+        if (sec.kind == SpmdSection::Kind::Parallel) {
+            s_len = sec.tasks[0].size();
+            break;
+        }
+    }
+    EXPECT_GT(w_len, s_len);
+}
+
+TEST(Apps, ScaleReducesWork)
+{
+    const auto full = makeAppTrace("simple", 1.0);
+    const auto tenth = makeAppTrace("simple", 0.1);
+    EXPECT_LT(tenth.referenceCount(), full.referenceCount() / 5);
+    EXPECT_GT(tenth.referenceCount(), 0u);
+    // Structure is preserved: same section count.
+    EXPECT_EQ(SpmdProgram::parse(tenth).sections.size(),
+              SpmdProgram::parse(full).sections.size());
+}
+
+TEST(Apps, AddressesStayInDeclaredRegions)
+{
+    for (const char *name : {"fft", "simple", "weather"}) {
+        const auto t = makeAppTrace(name, 0.05);
+        for (const auto &r : t.records) {
+            if (!r.isReference())
+                continue;
+            const bool shared = r.addr >= region::SHARED &&
+                                r.addr < region::SHARED +
+                                             region::REGION_SIZE;
+            EXPECT_TRUE(shared || region::isPrivate(r.addr))
+                << name << " addr " << std::hex << r.addr;
+        }
+    }
+}
+
+TEST(Apps, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            auto t = makeAppTrace("nosuch", 1.0);
+            (void)t;
+        },
+        "unknown application");
+}

@@ -1,0 +1,115 @@
+/** @file Fuzz-style property tests: the SPMD parser must either
+ *        parse or throw TraceFormatError on arbitrary marker soup —
+ *        never crash, never accept garbage silently. */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "trace/spmd.hpp"
+
+using namespace absync::trace;
+using absync::support::Rng;
+
+namespace
+{
+
+MarkedTrace
+randomSoup(Rng &rng, std::size_t len)
+{
+    MarkedTrace t;
+    t.name = "soup";
+    for (std::size_t i = 0; i < len; ++i) {
+        const auto kind = static_cast<MarkedRecord::Kind>(
+            rng.index(9));
+        MarkedRecord r;
+        r.kind = kind;
+        r.aux = static_cast<std::uint32_t>(rng.index(5));
+        r.addr = region::SHARED + rng.index(1024) * 8;
+        t.records.push_back(r);
+    }
+    return t;
+}
+
+} // namespace
+
+TEST(ParserFuzz, NeverCrashesOnMarkerSoup)
+{
+    Rng rng(20260707);
+    int parsed = 0, rejected = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        const auto t = randomSoup(rng, 1 + rng.index(30));
+        try {
+            const auto prog = SpmdProgram::parse(t);
+            ++parsed;
+            // Anything accepted must be internally consistent.
+            for (const auto &s : prog.sections) {
+                if (s.kind != SpmdSection::Kind::Parallel)
+                    EXPECT_EQ(s.tasks.size(), 1u);
+                else
+                    EXPECT_GE(s.tasks.size(), 1u);
+            }
+        } catch (const TraceFormatError &) {
+            ++rejected;
+        }
+    }
+    // Random soup is overwhelmingly invalid, but both paths must be
+    // exercised.
+    EXPECT_GT(rejected, 100);
+    EXPECT_EQ(parsed + rejected, 2000);
+}
+
+TEST(ParserFuzz, ValidProgramsAlwaysRoundTrip)
+{
+    // Generate *valid* random programs and check parse acceptance.
+    Rng rng(42);
+    using K = MarkedRecord::Kind;
+    for (int trial = 0; trial < 300; ++trial) {
+        MarkedTrace t;
+        t.name = "valid";
+        const int sections = static_cast<int>(rng.index(5));
+        std::size_t expected_refs = 0;
+        for (int s = 0; s < sections; ++s) {
+            switch (rng.index(3)) {
+              case 0: {
+                const auto tasks =
+                    1 + static_cast<std::uint32_t>(rng.index(6));
+                t.records.push_back(
+                    MarkedRecord::marker(K::ParallelBegin, tasks));
+                for (std::uint32_t k = 0; k < tasks; ++k) {
+                    t.records.push_back(
+                        MarkedRecord::marker(K::TaskBegin));
+                    const auto refs = rng.index(8);
+                    for (std::uint64_t r = 0; r < refs; ++r) {
+                        t.records.push_back(MarkedRecord::read(
+                            region::SHARED + r * 8));
+                        ++expected_refs;
+                    }
+                }
+                t.records.push_back(
+                    MarkedRecord::marker(K::ParallelEnd));
+                break;
+              }
+              case 1:
+                t.records.push_back(
+                    MarkedRecord::marker(K::SerialBegin));
+                t.records.push_back(
+                    MarkedRecord::write(region::SHARED));
+                ++expected_refs;
+                t.records.push_back(
+                    MarkedRecord::marker(K::SerialEnd));
+                break;
+              default:
+                t.records.push_back(
+                    MarkedRecord::marker(K::ReplicateBegin));
+                t.records.push_back(
+                    MarkedRecord::read(region::PRIVATE));
+                ++expected_refs;
+                t.records.push_back(
+                    MarkedRecord::marker(K::ReplicateEnd));
+                break;
+            }
+        }
+        const auto prog = SpmdProgram::parse(t);
+        EXPECT_EQ(prog.referenceCount(), expected_refs);
+    }
+}

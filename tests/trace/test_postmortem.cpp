@@ -1,0 +1,379 @@
+/** @file Unit and integration tests for the post-mortem scheduler. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "trace/apps.hpp"
+#include "trace/postmortem.hpp"
+#include "trace/spmd.hpp"
+
+using namespace absync::trace;
+using K = MarkedRecord::Kind;
+
+namespace
+{
+
+SpmdProgram
+oneLoop(std::uint32_t tasks, std::uint32_t refs_per_task)
+{
+    MarkedTrace t;
+    t.name = "loop";
+    t.records.push_back(MarkedRecord::marker(K::ParallelBegin, tasks));
+    for (std::uint32_t i = 0; i < tasks; ++i) {
+        t.records.push_back(MarkedRecord::marker(K::TaskBegin));
+        for (std::uint32_t r = 0; r < refs_per_task; ++r) {
+            t.records.push_back(MarkedRecord::read(
+                region::SHARED + (i * refs_per_task + r) * 8));
+        }
+    }
+    t.records.push_back(MarkedRecord::marker(K::ParallelEnd));
+    return SpmdProgram::parse(t);
+}
+
+} // namespace
+
+TEST(PostMortem, AllWorkExecutedExactlyOnce)
+{
+    const auto prog = oneLoop(10, 5);
+    PostMortemScheduler sched(prog, 4);
+    std::map<std::uint64_t, int> seen;
+    const auto stats = sched.run([&](const MpRef &r) {
+        if (!r.sync && !region::isPrivate(r.addr))
+            ++seen[r.addr];
+    });
+    EXPECT_EQ(seen.size(), 50u);
+    for (const auto &[addr, n] : seen)
+        EXPECT_EQ(n, 1) << std::hex << addr;
+    EXPECT_EQ(stats.barriers.size(), 1u);
+}
+
+TEST(PostMortem, RoundRobinOneRefPerProcPerCycle)
+{
+    const auto prog = oneLoop(8, 20);
+    PostMortemScheduler sched(prog, 4);
+    std::map<std::pair<std::uint64_t, std::uint16_t>, int> per_cycle;
+    sched.run([&](const MpRef &r) {
+        ++per_cycle[{r.cycle, r.proc}];
+    });
+    for (const auto &[key, n] : per_cycle)
+        EXPECT_EQ(n, 1) << "cycle " << key.first << " proc "
+                        << key.second;
+}
+
+TEST(PostMortem, CyclesAreMonotonic)
+{
+    const auto prog = oneLoop(8, 20);
+    PostMortemScheduler sched(prog, 4);
+    std::uint64_t last = 0;
+    sched.run([&](const MpRef &r) {
+        EXPECT_GE(r.cycle, last);
+        last = r.cycle;
+    });
+}
+
+TEST(PostMortem, SingleProcessorRunsEverything)
+{
+    const auto prog = oneLoop(6, 10);
+    PostMortemScheduler sched(prog, 1);
+    const auto stats = sched.run();
+    EXPECT_EQ(stats.dataRefs, 60u);
+    // Task grabs: 6 + 1 failing, barrier F&A, flag set.
+    EXPECT_GE(stats.syncRefs, 8u);
+}
+
+TEST(PostMortem, MoreProcsFewerCycles)
+{
+    const auto prog = oneLoop(32, 50);
+    const auto s1 = PostMortemScheduler(prog, 1).run();
+    const auto s8 = PostMortemScheduler(prog, 8).run();
+    EXPECT_LT(s8.cycles, s1.cycles / 4);
+}
+
+TEST(PostMortem, PrivateAddressesRemappedPerProc)
+{
+    MarkedTrace t;
+    t.name = "priv";
+    t.records.push_back(MarkedRecord::marker(K::ReplicateBegin));
+    t.records.push_back(MarkedRecord::read(region::PRIVATE + 8));
+    t.records.push_back(MarkedRecord::marker(K::ReplicateEnd));
+    const auto prog = SpmdProgram::parse(t);
+
+    PostMortemScheduler sched(prog, 4);
+    std::set<std::uint64_t> addrs;
+    sched.run([&](const MpRef &r) {
+        if (!r.sync)
+            addrs.insert(r.addr);
+    });
+    EXPECT_EQ(addrs.size(), 4u) << "each processor has its own copy";
+}
+
+TEST(PostMortem, ReplicateExecutedByAll)
+{
+    MarkedTrace t;
+    t.name = "rep";
+    t.records.push_back(MarkedRecord::marker(K::ReplicateBegin));
+    for (int i = 0; i < 5; ++i)
+        t.records.push_back(MarkedRecord::read(region::SHARED + i * 8));
+    t.records.push_back(MarkedRecord::marker(K::ReplicateEnd));
+    const auto prog = SpmdProgram::parse(t);
+
+    const auto stats = PostMortemScheduler(prog, 8).run();
+    EXPECT_EQ(stats.dataRefs, 40u) << "5 refs x 8 processors";
+    EXPECT_EQ(stats.syncRefs, 0u) << "no barrier after replicate";
+}
+
+TEST(PostMortem, SerialExecutedByExactlyOne)
+{
+    MarkedTrace t;
+    t.name = "ser";
+    t.records.push_back(MarkedRecord::marker(K::SerialBegin));
+    for (int i = 0; i < 10; ++i)
+        t.records.push_back(
+            MarkedRecord::write(region::SHARED + i * 8));
+    t.records.push_back(MarkedRecord::marker(K::SerialEnd));
+    const auto prog = SpmdProgram::parse(t);
+
+    std::map<std::uint64_t, int> writes;
+    const auto stats =
+        PostMortemScheduler(prog, 8).run([&](const MpRef &r) {
+            if (!r.sync && r.write)
+                ++writes[r.addr];
+        });
+    EXPECT_EQ(writes.size(), 10u);
+    for (const auto &[a, n] : writes)
+        EXPECT_EQ(n, 1);
+    EXPECT_EQ(stats.barriers.size(), 1u) << "the wait is recorded";
+}
+
+TEST(PostMortem, BarrierIntervalOrdering)
+{
+    const auto prog =
+        SpmdProgram::parse(makeAppTrace("simple", 0.05));
+    const auto stats = PostMortemScheduler(prog, 8).run();
+    ASSERT_GT(stats.barriers.size(), 1u);
+    for (std::size_t i = 0; i < stats.barriers.size(); ++i) {
+        const auto &b = stats.barriers[i];
+        EXPECT_LE(b.firstArrival, b.lastArrival);
+        EXPECT_LE(b.lastArrival, b.setTime);
+        if (i) {
+            EXPECT_GE(b.setTime, stats.barriers[i - 1].setTime);
+        }
+    }
+}
+
+TEST(PostMortem, SpinGapPacesFlagPolls)
+{
+    // With spinGapRefs = G, a waiting processor's flag polls are G+1
+    // cycles apart; with 0 it polls every cycle.
+    const auto prog = oneLoop(1, 400); // 1 task: others wait long
+    std::uint64_t polls_gap0 = 0, polls_gap4 = 0;
+
+    ScheduleConfig cfg0;
+    cfg0.spinGapRefs = 0;
+    PostMortemScheduler(prog, 4, cfg0).run([&](const MpRef &r) {
+        polls_gap0 += (r.sync && !r.write) ? 1 : 0;
+    });
+
+    ScheduleConfig cfg4;
+    cfg4.spinGapRefs = 4;
+    PostMortemScheduler(prog, 4, cfg4).run([&](const MpRef &r) {
+        polls_gap4 += (r.sync && !r.write) ? 1 : 0;
+    });
+
+    EXPECT_GT(polls_gap0, polls_gap4 * 3);
+}
+
+TEST(PostMortem, RmwSerializationOrdersGrabs)
+{
+    // With serialization on, two same-cycle F&As cannot happen: sync
+    // RMWs to one address never share a cycle.
+    const auto prog = oneLoop(16, 3);
+    ScheduleConfig cfg;
+    cfg.serializeRmw = true;
+    std::map<std::uint64_t, std::set<std::uint64_t>> rmw_cycles;
+    PostMortemScheduler(prog, 8, cfg).run([&](const MpRef &r) {
+        if (r.rmw) {
+            auto [it, fresh] = rmw_cycles[r.addr].insert(r.cycle);
+            EXPECT_TRUE(fresh) << "two RMWs to " << std::hex << r.addr
+                               << " in cycle " << std::dec << r.cycle;
+        }
+    });
+}
+
+TEST(PostMortem, AverageAandEConsistency)
+{
+    const auto prog =
+        SpmdProgram::parse(makeAppTrace("weather", 0.1));
+    const auto stats = PostMortemScheduler(prog, 16).run();
+    EXPECT_GT(stats.averageA(), 0.0);
+    EXPECT_GT(stats.averageE(), 0.0);
+    EXPECT_LT(stats.averageA() + stats.averageE(),
+              static_cast<double>(stats.cycles));
+}
+
+TEST(PostMortem, ArrivalDistributionMassConserved)
+{
+    const auto prog =
+        SpmdProgram::parse(makeAppTrace("simple", 0.05));
+    const auto stats = PostMortemScheduler(prog, 16).run();
+    const auto hist = stats.arrivalDistribution(10);
+    std::uint64_t expected = 0;
+    for (const auto &b : stats.barriers) {
+        if (b.lastArrival > b.firstArrival)
+            expected += b.arrivals.size();
+    }
+    EXPECT_EQ(hist.total(), expected);
+}
+
+TEST(PostMortem, SinklessRunMatchesSinkRun)
+{
+    const auto prog = oneLoop(12, 7);
+    const auto a = PostMortemScheduler(prog, 4).run();
+    std::uint64_t count = 0;
+    const auto b = PostMortemScheduler(prog, 4).run(
+        [&](const MpRef &) { ++count; });
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dataRefs + a.syncRefs, count);
+}
+
+/** Property sweep over processor counts: invariants hold for any P. */
+class SchedulerSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SchedulerSweep, WorkConservedAcrossProcCounts)
+{
+    const std::uint32_t nprocs = GetParam();
+    const auto prog = oneLoop(13, 9); // awkward non-multiple counts
+    std::uint64_t shared_reads = 0;
+    PostMortemScheduler(prog, nprocs).run([&](const MpRef &r) {
+        if (!r.sync && !region::isPrivate(r.addr))
+            ++shared_reads;
+    });
+    EXPECT_EQ(shared_reads, 13u * 9u);
+}
+
+TEST_P(SchedulerSweep, EveryBarrierHasAllArrivals)
+{
+    const std::uint32_t nprocs = GetParam();
+    const auto prog =
+        SpmdProgram::parse(makeAppTrace("simple", 0.02));
+    const auto stats = PostMortemScheduler(prog, nprocs).run();
+    for (const auto &b : stats.barriers) {
+        if (b.isWait) {
+            // Serial waits record only pre-release arrivals.
+            EXPECT_LE(b.arrivals.size(), nprocs);
+        } else {
+            // Parallel barriers collect every processor.
+            EXPECT_EQ(b.arrivals.size(), nprocs);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SchedulerSweep,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u, 64u));
+
+TEST(PostMortem, AppLevelBackoffCutsSyncRefs)
+{
+    // Application barriers with exponential backoff poll far less.
+    const auto prog = oneLoop(1, 600); // one worker, others wait
+    ScheduleConfig plain;
+    ScheduleConfig backed;
+    backed.pollBackoff =
+        absync::core::BackoffConfig::exponentialFlag(2);
+
+    const auto s_plain = PostMortemScheduler(prog, 8, plain).run();
+    const auto s_backed = PostMortemScheduler(prog, 8, backed).run();
+    EXPECT_LT(s_backed.syncRefs, s_plain.syncRefs / 3);
+    // Work is unchanged; makespan may grow from overshoot, bounded.
+    EXPECT_LT(s_backed.cycles, s_plain.cycles * 4);
+}
+
+TEST(PostMortem, AppLevelVariableBackoffDelaysFirstPoll)
+{
+    const auto prog = oneLoop(1, 600);
+    ScheduleConfig var;
+    var.pollBackoff = absync::core::BackoffConfig::variableOnly();
+    const auto s_plain = PostMortemScheduler(prog, 8).run();
+    const auto s_var = PostMortemScheduler(prog, 8, var).run();
+    EXPECT_LE(s_var.syncRefs, s_plain.syncRefs);
+}
+
+TEST(PostMortem, MaxPollGapBoundsOvershoot)
+{
+    const auto prog = oneLoop(1, 50000);
+    ScheduleConfig cfg;
+    cfg.pollBackoff = absync::core::BackoffConfig::exponentialFlag(8);
+    cfg.maxPollGap = 64;
+    const auto st = PostMortemScheduler(prog, 4, cfg).run();
+    // With the gap capped at 64, waiters poll at least every 65
+    // cycles, so sync refs are bounded below accordingly.
+    EXPECT_GT(st.syncRefs, st.cycles / 70);
+}
+
+TEST(PostMortem, RandomProgramsConserveWork)
+{
+    // Property: for pseudo-random SPMD programs, every shared
+    // reference of every task is replayed exactly once, at any
+    // processor count.
+    absync::support::Rng rng(2026);
+    for (int trial = 0; trial < 8; ++trial) {
+        MarkedTrace t;
+        t.name = "rand";
+        std::uint64_t expected = 0;
+        const int sections = 1 + static_cast<int>(rng.index(4));
+        for (int s = 0; s < sections; ++s) {
+            const auto kind = rng.index(3);
+            if (kind == 0) {
+                const auto tasks =
+                    1 + static_cast<std::uint32_t>(rng.index(12));
+                t.records.push_back(MarkedRecord::marker(
+                    K::ParallelBegin, tasks));
+                for (std::uint32_t k = 0; k < tasks; ++k) {
+                    t.records.push_back(
+                        MarkedRecord::marker(K::TaskBegin));
+                    const auto refs = rng.index(20);
+                    for (std::uint64_t r = 0; r < refs; ++r) {
+                        t.records.push_back(MarkedRecord::write(
+                            region::SHARED + (expected++) * 8));
+                    }
+                }
+                t.records.push_back(
+                    MarkedRecord::marker(K::ParallelEnd));
+            } else if (kind == 1) {
+                t.records.push_back(
+                    MarkedRecord::marker(K::SerialBegin));
+                const auto refs = rng.index(30);
+                for (std::uint64_t r = 0; r < refs; ++r) {
+                    t.records.push_back(MarkedRecord::write(
+                        region::SHARED + (expected++) * 8));
+                }
+                t.records.push_back(
+                    MarkedRecord::marker(K::SerialEnd));
+            } else {
+                t.records.push_back(
+                    MarkedRecord::marker(K::ReplicateBegin));
+                t.records.push_back(
+                    MarkedRecord::read(region::PRIVATE + 8));
+                t.records.push_back(
+                    MarkedRecord::marker(K::ReplicateEnd));
+            }
+        }
+        const auto prog = SpmdProgram::parse(t);
+        const auto procs =
+            1 + static_cast<std::uint32_t>(rng.index(16));
+        std::uint64_t seen = 0;
+        PostMortemScheduler(prog, procs).run([&](const MpRef &r) {
+            if (!r.sync && r.write &&
+                !region::isPrivate(r.addr)) {
+                ++seen;
+            }
+        });
+        EXPECT_EQ(seen, expected)
+            << "trial " << trial << " procs " << procs;
+    }
+}

@@ -1,0 +1,54 @@
+/** @file Unit tests for trace record types and region helpers. */
+
+#include <gtest/gtest.h>
+
+#include "trace/record.hpp"
+
+using namespace absync::trace;
+
+TEST(Region, Classification)
+{
+    EXPECT_TRUE(region::isPrivate(region::PRIVATE));
+    EXPECT_TRUE(region::isPrivate(region::PRIVATE + 100));
+    EXPECT_FALSE(region::isPrivate(region::SHARED));
+    EXPECT_FALSE(region::isPrivate(region::SYNC));
+    EXPECT_TRUE(region::isSync(region::SYNC));
+    EXPECT_TRUE(region::isSync(region::SYNC + 4096));
+    EXPECT_FALSE(region::isSync(region::SHARED));
+}
+
+TEST(MarkedRecord, Constructors)
+{
+    const auto r = MarkedRecord::read(0x100);
+    EXPECT_EQ(r.kind, MarkedRecord::Kind::Read);
+    EXPECT_EQ(r.addr, 0x100u);
+    EXPECT_TRUE(r.isReference());
+
+    const auto w = MarkedRecord::write(0x200);
+    EXPECT_EQ(w.kind, MarkedRecord::Kind::Write);
+    EXPECT_TRUE(w.isReference());
+
+    const auto m =
+        MarkedRecord::marker(MarkedRecord::Kind::ParallelBegin, 7);
+    EXPECT_EQ(m.aux, 7u);
+    EXPECT_FALSE(m.isReference());
+}
+
+TEST(MarkedTrace, Counts)
+{
+    using K = MarkedRecord::Kind;
+    MarkedTrace t;
+    t.name = "t";
+    t.records = {
+        MarkedRecord::marker(K::ParallelBegin, 1),
+        MarkedRecord::marker(K::TaskBegin),
+        MarkedRecord::read(1),
+        MarkedRecord::write(2),
+        MarkedRecord::marker(K::ParallelEnd),
+        MarkedRecord::marker(K::SerialBegin),
+        MarkedRecord::read(3),
+        MarkedRecord::marker(K::SerialEnd),
+    };
+    EXPECT_EQ(t.referenceCount(), 3u);
+    EXPECT_EQ(t.sectionCount(), 2u);
+}

@@ -1,0 +1,116 @@
+/** @file Integration tests: the synthetic applications must show the
+ *        qualitative interval shapes of the paper's Table 3 and
+ *        Figure 3, which the whole evaluation builds on. */
+
+#include <gtest/gtest.h>
+
+#include "trace/apps.hpp"
+#include "trace/postmortem.hpp"
+#include "trace/spmd.hpp"
+
+using namespace absync::trace;
+
+namespace
+{
+
+ScheduleStats
+runApp(const std::string &name, std::uint32_t procs,
+       double scale = 0.25)
+{
+    const auto prog = SpmdProgram::parse(makeAppTrace(name, scale));
+    return PostMortemScheduler(prog, procs).run();
+}
+
+} // namespace
+
+TEST(Shapes, FftAIsSmallAndEIsHuge)
+{
+    // Table 3: FFT A=237/E=228073 at 16 procs — E/A is enormous.
+    const auto s = runApp("fft", 16);
+    EXPECT_GT(s.averageE() / s.averageA(), 50.0);
+}
+
+TEST(Shapes, FftAGrowsWithProcessorCount)
+{
+    // Table 3: FFT A grows 237 -> 285 from 16 to 64 processors,
+    // driven by serialization at the loop-index F&A.
+    const auto s16 = runApp("fft", 16);
+    const auto s64 = runApp("fft", 64);
+    EXPECT_GT(s64.averageA(), s16.averageA() * 1.5);
+}
+
+TEST(Shapes, SimpleAIsRoughlyConstantInProcs)
+{
+    // Table 3: SIMPLE A is 7021 at 16 and 7067 at 64 — imbalance,
+    // not serialization, sets the window.
+    const auto s16 = runApp("simple", 16);
+    const auto s64 = runApp("simple", 64);
+    EXPECT_LT(s64.averageA() / s16.averageA(), 2.0);
+    EXPECT_GT(s64.averageA() / s16.averageA(), 0.5);
+}
+
+TEST(Shapes, SimpleAComparableToEAt64)
+{
+    // Table 3: SIMPLE at 64 procs has E=6195 vs A=7067 (same size).
+    const auto s = runApp("simple", 64);
+    const double ratio = s.averageA() / s.averageE();
+    EXPECT_GT(ratio, 0.3);
+    EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Shapes, WeatherAIsConstantInProcs)
+{
+    // Table 3: WEATHER A barely moves (82754 -> 82787): the window is
+    // set by load imbalance (tail iterations), not processor count.
+    // Our synthetic tail shifts composition a little with P, so allow
+    // a 2x band — the contrast is with FFT, whose A scales with N.
+    const auto s16 = runApp("weather", 16);
+    const auto s64 = runApp("weather", 64);
+    const double ratio = s64.averageA() / s16.averageA();
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Shapes, WeatherEShrinksTowardsAAt64)
+{
+    // Table 3: WEATHER E falls from 495298 (16p) to 82716 (64p),
+    // ending up the same size as A.
+    const auto s16 = runApp("weather", 16);
+    const auto s64 = runApp("weather", 64);
+    EXPECT_LT(s64.averageE(), s16.averageE() / 2.0);
+    const double ratio = s64.averageA() / s64.averageE();
+    EXPECT_GT(ratio, 0.3);
+    EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Shapes, SyncFractionOrderingMatchesPaper)
+{
+    // Paper: 0.2 % (FFT) < 5.3 % (SIMPLE) ~ 7.9 % (WEATHER).  The
+    // essential claim: FFT synchronizes an order of magnitude less.
+    const auto fft = runApp("fft", 64);
+    const auto simple = runApp("simple", 64);
+    const auto weather = runApp("weather", 64);
+    EXPECT_LT(fft.syncFraction() * 5, simple.syncFraction());
+    EXPECT_LT(fft.syncFraction() * 5, weather.syncFraction());
+    EXPECT_LT(fft.syncFraction(), 0.02);
+    EXPECT_GT(simple.syncFraction(), 0.03);
+    EXPECT_GT(weather.syncFraction(), 0.03);
+}
+
+TEST(Shapes, FftArrivalsMoreUniformThanSimple)
+{
+    // Figure 3: FFT arrivals are roughly uniform within A; SIMPLE's
+    // are skewed towards the beginning and end of the window.  We
+    // compare the mass in the middle half of the window.
+    const auto fft = runApp("fft", 16);
+    const auto simple = runApp("simple", 16);
+    const auto h_fft = fft.arrivalDistribution(4);
+    const auto h_simple = simple.arrivalDistribution(4);
+    const double mid_fft =
+        h_fft.binFraction(1) + h_fft.binFraction(2);
+    const double mid_simple =
+        h_simple.binFraction(1) + h_simple.binFraction(2);
+    EXPECT_LT(mid_simple, 0.4)
+        << "SIMPLE mass concentrates at the window edges";
+    EXPECT_GT(mid_fft, mid_simple);
+}

@@ -1,0 +1,132 @@
+/** @file Unit tests for SPMD program parsing and validation. */
+
+#include <gtest/gtest.h>
+
+#include "trace/spmd.hpp"
+
+using namespace absync::trace;
+using K = MarkedRecord::Kind;
+
+namespace
+{
+
+MarkedTrace
+make(std::vector<MarkedRecord> recs)
+{
+    MarkedTrace t;
+    t.name = "test";
+    t.records = std::move(recs);
+    return t;
+}
+
+} // namespace
+
+TEST(Spmd, ParsesParallelSection)
+{
+    const auto prog = SpmdProgram::parse(make({
+        MarkedRecord::marker(K::ParallelBegin, 2),
+        MarkedRecord::marker(K::TaskBegin),
+        MarkedRecord::read(1),
+        MarkedRecord::write(2),
+        MarkedRecord::marker(K::TaskBegin),
+        MarkedRecord::read(3),
+        MarkedRecord::marker(K::ParallelEnd),
+    }));
+    ASSERT_EQ(prog.sections.size(), 1u);
+    const auto &s = prog.sections[0];
+    EXPECT_EQ(s.kind, SpmdSection::Kind::Parallel);
+    ASSERT_EQ(s.tasks.size(), 2u);
+    EXPECT_EQ(s.tasks[0].size(), 2u);
+    EXPECT_EQ(s.tasks[1].size(), 1u);
+    EXPECT_FALSE(s.tasks[0][0].write);
+    EXPECT_TRUE(s.tasks[0][1].write);
+    EXPECT_EQ(prog.referenceCount(), 3u);
+    EXPECT_EQ(prog.barrierCount(), 1u);
+}
+
+TEST(Spmd, ParsesSerialAndReplicate)
+{
+    const auto prog = SpmdProgram::parse(make({
+        MarkedRecord::marker(K::SerialBegin),
+        MarkedRecord::write(9),
+        MarkedRecord::marker(K::SerialEnd),
+        MarkedRecord::marker(K::ReplicateBegin),
+        MarkedRecord::read(4),
+        MarkedRecord::marker(K::ReplicateEnd),
+    }));
+    ASSERT_EQ(prog.sections.size(), 2u);
+    EXPECT_EQ(prog.sections[0].kind, SpmdSection::Kind::Serial);
+    EXPECT_EQ(prog.sections[1].kind, SpmdSection::Kind::Replicate);
+    EXPECT_EQ(prog.barrierCount(), 1u) << "replicate has no barrier";
+}
+
+TEST(Spmd, RejectsReferenceOutsideSection)
+{
+    EXPECT_THROW(SpmdProgram::parse(make({MarkedRecord::read(1)})),
+                 TraceFormatError);
+}
+
+TEST(Spmd, RejectsReferenceBeforeTaskBegin)
+{
+    EXPECT_THROW(SpmdProgram::parse(make({
+                     MarkedRecord::marker(K::ParallelBegin, 1),
+                     MarkedRecord::read(1),
+                 })),
+                 TraceFormatError);
+}
+
+TEST(Spmd, RejectsTaskCountMismatch)
+{
+    EXPECT_THROW(SpmdProgram::parse(make({
+                     MarkedRecord::marker(K::ParallelBegin, 3),
+                     MarkedRecord::marker(K::TaskBegin),
+                     MarkedRecord::read(1),
+                     MarkedRecord::marker(K::ParallelEnd),
+                 })),
+                 TraceFormatError);
+}
+
+TEST(Spmd, RejectsNesting)
+{
+    EXPECT_THROW(SpmdProgram::parse(make({
+                     MarkedRecord::marker(K::ParallelBegin, 1),
+                     MarkedRecord::marker(K::TaskBegin),
+                     MarkedRecord::marker(K::SerialBegin),
+                 })),
+                 TraceFormatError);
+}
+
+TEST(Spmd, RejectsUnterminatedSection)
+{
+    EXPECT_THROW(SpmdProgram::parse(make({
+                     MarkedRecord::marker(K::SerialBegin),
+                     MarkedRecord::read(1),
+                 })),
+                 TraceFormatError);
+}
+
+TEST(Spmd, RejectsZeroTaskParallel)
+{
+    EXPECT_THROW(SpmdProgram::parse(make({
+                     MarkedRecord::marker(K::ParallelBegin, 0),
+                     MarkedRecord::marker(K::ParallelEnd),
+                 })),
+                 TraceFormatError);
+}
+
+TEST(Spmd, RejectsStrayEnd)
+{
+    EXPECT_THROW(
+        SpmdProgram::parse(make({MarkedRecord::marker(K::ParallelEnd)})),
+        TraceFormatError);
+    EXPECT_THROW(
+        SpmdProgram::parse(make({MarkedRecord::marker(K::SerialEnd)})),
+        TraceFormatError);
+}
+
+TEST(Spmd, EmptyTraceIsEmptyProgram)
+{
+    const auto prog = SpmdProgram::parse(make({}));
+    EXPECT_TRUE(prog.sections.empty());
+    EXPECT_EQ(prog.referenceCount(), 0u);
+}

@@ -1,0 +1,162 @@
+/** @file Round-trip and error tests for trace serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/apps.hpp"
+#include "trace/postmortem.hpp"
+#include "trace/spmd.hpp"
+#include "trace/trace_io.hpp"
+
+using namespace absync::trace;
+
+namespace
+{
+
+/** Temporary file path helper; removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : path_(std::string(::testing::TempDir()) + name)
+    {
+    }
+
+    ~TempFile() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(TraceIo, MarkedTraceRoundTrip)
+{
+    TempFile tmp("roundtrip.amt");
+    const auto orig = makeAppTrace("simple", 0.02);
+    saveMarkedTrace(orig, tmp.path());
+    const auto loaded = loadMarkedTrace(tmp.path());
+
+    EXPECT_EQ(loaded.name, orig.name);
+    ASSERT_EQ(loaded.records.size(), orig.records.size());
+    for (std::size_t i = 0; i < orig.records.size(); i += 101) {
+        EXPECT_EQ(loaded.records[i].kind, orig.records[i].kind);
+        EXPECT_EQ(loaded.records[i].aux, orig.records[i].aux);
+        EXPECT_EQ(loaded.records[i].addr, orig.records[i].addr);
+    }
+    // The loaded trace must still parse into the same program.
+    const auto prog = SpmdProgram::parse(loaded);
+    EXPECT_EQ(prog.sections.size(),
+              SpmdProgram::parse(orig).sections.size());
+}
+
+TEST(TraceIo, EmptyMarkedTraceRoundTrip)
+{
+    TempFile tmp("empty.amt");
+    MarkedTrace t;
+    t.name = "empty";
+    saveMarkedTrace(t, tmp.path());
+    const auto loaded = loadMarkedTrace(tmp.path());
+    EXPECT_EQ(loaded.name, "empty");
+    EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST(TraceIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW(loadMarkedTrace("/nonexistent/dir/x.amt"),
+                 TraceIoError);
+}
+
+TEST(TraceIo, LoadGarbageThrows)
+{
+    TempFile tmp("garbage.amt");
+    std::FILE *f = std::fopen(tmp.path().c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_THROW(loadMarkedTrace(tmp.path()), TraceIoError);
+}
+
+TEST(TraceIo, LoadTruncatedThrows)
+{
+    TempFile full("full.amt");
+    const auto orig = makeAppTrace("fft", 0.02);
+    saveMarkedTrace(orig, full.path());
+
+    // Copy only the first half of the bytes.
+    TempFile cut("cut.amt");
+    std::FILE *in = std::fopen(full.path().c_str(), "rb");
+    std::FILE *out = std::fopen(cut.path().c_str(), "wb");
+    std::fseek(in, 0, SEEK_END);
+    const long half = std::ftell(in) / 2;
+    std::fseek(in, 0, SEEK_SET);
+    for (long i = 0; i < half; ++i)
+        std::fputc(std::fgetc(in), out);
+    std::fclose(in);
+    std::fclose(out);
+
+    EXPECT_THROW(loadMarkedTrace(cut.path()), TraceIoError);
+}
+
+TEST(TraceIo, MpTraceRoundTripThroughScheduler)
+{
+    TempFile tmp("sched.mpt");
+    const auto prog =
+        SpmdProgram::parse(makeAppTrace("fft", 0.02));
+
+    std::vector<MpRef> direct;
+    {
+        MpTraceWriter w(tmp.path(), 8);
+        PostMortemScheduler(prog, 8).run([&](const MpRef &r) {
+            w.append(r);
+            direct.push_back(r);
+        });
+        w.close();
+    }
+
+    MpTraceReader r(tmp.path());
+    EXPECT_EQ(r.processors(), 8u);
+    EXPECT_EQ(r.count(), direct.size());
+
+    MpRef ref;
+    std::size_t i = 0;
+    while (r.next(ref)) {
+        ASSERT_LT(i, direct.size());
+        EXPECT_EQ(ref.cycle, direct[i].cycle);
+        EXPECT_EQ(ref.addr, direct[i].addr);
+        EXPECT_EQ(ref.proc, direct[i].proc);
+        EXPECT_EQ(ref.write, direct[i].write);
+        EXPECT_EQ(ref.sync, direct[i].sync);
+        EXPECT_EQ(ref.rmw, direct[i].rmw);
+        ++i;
+    }
+    EXPECT_EQ(i, direct.size());
+}
+
+TEST(TraceIo, MpWriterDestructorFinalizes)
+{
+    TempFile tmp("dtor.mpt");
+    {
+        MpTraceWriter w(tmp.path(), 4);
+        w.append(MpRef{0, 0x100, 1, true, false, false});
+        // No explicit close(): the destructor must finalize the
+        // header.
+    }
+    MpTraceReader r(tmp.path());
+    EXPECT_EQ(r.count(), 1u);
+    MpRef ref;
+    ASSERT_TRUE(r.next(ref));
+    EXPECT_EQ(ref.addr, 0x100u);
+    EXPECT_TRUE(ref.write);
+    EXPECT_FALSE(r.next(ref));
+}
+
+TEST(TraceIo, MpReaderRejectsWrongMagic)
+{
+    TempFile tmp("wrong.amt");
+    saveMarkedTrace(makeAppTrace("fft", 0.02), tmp.path());
+    EXPECT_THROW(MpTraceReader r(tmp.path()), TraceIoError);
+}
