@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absync_bench_common.dir/common/bench_util.cpp.o"
+  "CMakeFiles/absync_bench_common.dir/common/bench_util.cpp.o.d"
+  "CMakeFiles/absync_bench_common.dir/common/trace_util.cpp.o"
+  "CMakeFiles/absync_bench_common.dir/common/trace_util.cpp.o.d"
+  "libabsync_bench_common.a"
+  "libabsync_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absync_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabsync_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_app_backoff.dir/ext_app_backoff.cpp.o"
+  "CMakeFiles/ext_app_backoff.dir/ext_app_backoff.cpp.o.d"
+  "ext_app_backoff"
+  "ext_app_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_app_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_arbitration.dir/ext_arbitration.cpp.o"
+  "CMakeFiles/ext_arbitration.dir/ext_arbitration.cpp.o.d"
+  "ext_arbitration"
+  "ext_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_combining_tree.dir/ext_combining_tree.cpp.o"
+  "CMakeFiles/ext_combining_tree.dir/ext_combining_tree.cpp.o.d"
+  "ext_combining_tree"
+  "ext_combining_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_combining_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_controller_backoff.dir/ext_controller_backoff.cpp.o"
+  "CMakeFiles/ext_controller_backoff.dir/ext_controller_backoff.cpp.o.d"
+  "ext_controller_backoff"
+  "ext_controller_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_controller_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_controller_backoff.
+# This may be replaced when dependencies are built.

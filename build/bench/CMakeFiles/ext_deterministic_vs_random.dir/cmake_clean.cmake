@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_deterministic_vs_random.dir/ext_deterministic_vs_random.cpp.o"
+  "CMakeFiles/ext_deterministic_vs_random.dir/ext_deterministic_vs_random.cpp.o.d"
+  "ext_deterministic_vs_random"
+  "ext_deterministic_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_deterministic_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

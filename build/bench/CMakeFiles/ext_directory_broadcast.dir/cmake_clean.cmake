@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_directory_broadcast.dir/ext_directory_broadcast.cpp.o"
+  "CMakeFiles/ext_directory_broadcast.dir/ext_directory_broadcast.cpp.o.d"
+  "ext_directory_broadcast"
+  "ext_directory_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_directory_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_directory_broadcast.
+# This may be replaced when dependencies are built.

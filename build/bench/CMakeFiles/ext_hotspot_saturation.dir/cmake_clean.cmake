@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hotspot_saturation.dir/ext_hotspot_saturation.cpp.o"
+  "CMakeFiles/ext_hotspot_saturation.dir/ext_hotspot_saturation.cpp.o.d"
+  "ext_hotspot_saturation"
+  "ext_hotspot_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hotspot_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

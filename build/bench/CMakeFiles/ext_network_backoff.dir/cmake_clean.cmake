@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_network_backoff.dir/ext_network_backoff.cpp.o"
+  "CMakeFiles/ext_network_backoff.dir/ext_network_backoff.cpp.o.d"
+  "ext_network_backoff"
+  "ext_network_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

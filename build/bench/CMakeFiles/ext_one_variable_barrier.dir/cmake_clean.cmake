@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_one_variable_barrier.dir/ext_one_variable_barrier.cpp.o"
+  "CMakeFiles/ext_one_variable_barrier.dir/ext_one_variable_barrier.cpp.o.d"
+  "ext_one_variable_barrier"
+  "ext_one_variable_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_one_variable_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_policy_advisor.dir/ext_policy_advisor.cpp.o"
+  "CMakeFiles/ext_policy_advisor.dir/ext_policy_advisor.cpp.o.d"
+  "ext_policy_advisor"
+  "ext_policy_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_policy_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_queue_threshold.dir/ext_queue_threshold.cpp.o"
+  "CMakeFiles/ext_queue_threshold.dir/ext_queue_threshold.cpp.o.d"
+  "ext_queue_threshold"
+  "ext_queue_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_queue_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

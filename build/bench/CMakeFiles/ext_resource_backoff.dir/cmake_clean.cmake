@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_resource_backoff.dir/ext_resource_backoff.cpp.o"
+  "CMakeFiles/ext_resource_backoff.dir/ext_resource_backoff.cpp.o.d"
+  "ext_resource_backoff"
+  "ext_resource_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_resource_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

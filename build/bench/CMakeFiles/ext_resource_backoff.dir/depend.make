@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_resource_backoff.
+# This may be replaced when dependencies are built.

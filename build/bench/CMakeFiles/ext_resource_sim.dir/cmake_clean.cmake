@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_resource_sim.dir/ext_resource_sim.cpp.o"
+  "CMakeFiles/ext_resource_sim.dir/ext_resource_sim.cpp.o.d"
+  "ext_resource_sim"
+  "ext_resource_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_resource_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

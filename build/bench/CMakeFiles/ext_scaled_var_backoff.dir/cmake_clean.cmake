@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scaled_var_backoff.dir/ext_scaled_var_backoff.cpp.o"
+  "CMakeFiles/ext_scaled_var_backoff.dir/ext_scaled_var_backoff.cpp.o.d"
+  "ext_scaled_var_backoff"
+  "ext_scaled_var_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scaled_var_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

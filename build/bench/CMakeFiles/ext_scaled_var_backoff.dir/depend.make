@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_scaled_var_backoff.
+# This may be replaced when dependencies are built.

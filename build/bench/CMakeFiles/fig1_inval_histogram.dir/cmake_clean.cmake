@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_inval_histogram.dir/fig1_inval_histogram.cpp.o"
+  "CMakeFiles/fig1_inval_histogram.dir/fig1_inval_histogram.cpp.o.d"
+  "fig1_inval_histogram"
+  "fig1_inval_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_inval_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

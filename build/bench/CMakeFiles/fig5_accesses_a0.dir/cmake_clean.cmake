@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_accesses_a0.dir/fig5_accesses_a0.cpp.o"
+  "CMakeFiles/fig5_accesses_a0.dir/fig5_accesses_a0.cpp.o.d"
+  "fig5_accesses_a0"
+  "fig5_accesses_a0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_accesses_a0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_accesses_a100.dir/fig6_accesses_a100.cpp.o"
+  "CMakeFiles/fig6_accesses_a100.dir/fig6_accesses_a100.cpp.o.d"
+  "fig6_accesses_a100"
+  "fig6_accesses_a100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_accesses_a100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

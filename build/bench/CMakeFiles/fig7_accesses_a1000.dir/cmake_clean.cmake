@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_accesses_a1000.dir/fig7_accesses_a1000.cpp.o"
+  "CMakeFiles/fig7_accesses_a1000.dir/fig7_accesses_a1000.cpp.o.d"
+  "fig7_accesses_a1000"
+  "fig7_accesses_a1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accesses_a1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_accesses_a1000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_waiting_a0.cpp" "bench/CMakeFiles/fig8_waiting_a0.dir/fig8_waiting_a0.cpp.o" "gcc" "bench/CMakeFiles/fig8_waiting_a0.dir/fig8_waiting_a0.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/absync_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/absync_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/absync_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/absync_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/absync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

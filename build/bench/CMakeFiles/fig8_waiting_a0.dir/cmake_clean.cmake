@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_waiting_a0.dir/fig8_waiting_a0.cpp.o"
+  "CMakeFiles/fig8_waiting_a0.dir/fig8_waiting_a0.cpp.o.d"
+  "fig8_waiting_a0"
+  "fig8_waiting_a0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_waiting_a0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

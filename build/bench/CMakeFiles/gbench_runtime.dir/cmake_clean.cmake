@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_runtime.dir/gbench_runtime.cpp.o"
+  "CMakeFiles/gbench_runtime.dir/gbench_runtime.cpp.o.d"
+  "gbench_runtime"
+  "gbench_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_simulators.dir/gbench_simulators.cpp.o"
+  "CMakeFiles/gbench_simulators.dir/gbench_simulators.cpp.o.d"
+  "gbench_simulators"
+  "gbench_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

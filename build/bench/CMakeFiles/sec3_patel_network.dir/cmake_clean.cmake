@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_patel_network.dir/sec3_patel_network.cpp.o"
+  "CMakeFiles/sec3_patel_network.dir/sec3_patel_network.cpp.o.d"
+  "sec3_patel_network"
+  "sec3_patel_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_patel_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

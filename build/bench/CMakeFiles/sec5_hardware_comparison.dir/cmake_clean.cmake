@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_hardware_comparison.dir/sec5_hardware_comparison.cpp.o"
+  "CMakeFiles/sec5_hardware_comparison.dir/sec5_hardware_comparison.cpp.o.d"
+  "sec5_hardware_comparison"
+  "sec5_hardware_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_hardware_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

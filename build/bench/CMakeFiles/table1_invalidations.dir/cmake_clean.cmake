@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_invalidations.dir/table1_invalidations.cpp.o"
+  "CMakeFiles/table1_invalidations.dir/table1_invalidations.cpp.o.d"
+  "table1_invalidations"
+  "table1_invalidations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_invalidations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

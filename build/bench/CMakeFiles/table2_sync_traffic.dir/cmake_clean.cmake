@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sync_traffic.dir/table2_sync_traffic.cpp.o"
+  "CMakeFiles/table2_sync_traffic.dir/table2_sync_traffic.cpp.o.d"
+  "table2_sync_traffic"
+  "table2_sync_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sync_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_intervals.dir/table3_intervals.cpp.o"
+  "CMakeFiles/table3_intervals.dir/table3_intervals.cpp.o.d"
+  "table3_intervals"
+  "table3_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

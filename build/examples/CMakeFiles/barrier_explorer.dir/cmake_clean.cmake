@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_explorer.dir/barrier_explorer.cpp.o"
+  "CMakeFiles/barrier_explorer.dir/barrier_explorer.cpp.o.d"
+  "barrier_explorer"
+  "barrier_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

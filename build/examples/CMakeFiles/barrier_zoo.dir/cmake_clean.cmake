@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_zoo.dir/barrier_zoo.cpp.o"
+  "CMakeFiles/barrier_zoo.dir/barrier_zoo.cpp.o.d"
+  "barrier_zoo"
+  "barrier_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_explorer.dir/omega_explorer.cpp.o"
+  "CMakeFiles/omega_explorer.dir/omega_explorer.cpp.o.d"
+  "omega_explorer"
+  "omega_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

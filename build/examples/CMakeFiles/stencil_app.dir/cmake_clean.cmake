@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_app.dir/stencil_app.cpp.o"
+  "CMakeFiles/stencil_app.dir/stencil_app.cpp.o.d"
+  "stencil_app"
+  "stencil_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absync_coherence.dir/cache.cpp.o"
+  "CMakeFiles/absync_coherence.dir/cache.cpp.o.d"
+  "CMakeFiles/absync_coherence.dir/coherence_sim.cpp.o"
+  "CMakeFiles/absync_coherence.dir/coherence_sim.cpp.o.d"
+  "CMakeFiles/absync_coherence.dir/directory.cpp.o"
+  "CMakeFiles/absync_coherence.dir/directory.cpp.o.d"
+  "libabsync_coherence.a"
+  "libabsync_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absync_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backoff.cpp" "src/core/CMakeFiles/absync_core.dir/backoff.cpp.o" "gcc" "src/core/CMakeFiles/absync_core.dir/backoff.cpp.o.d"
+  "/root/repo/src/core/barrier_sim.cpp" "src/core/CMakeFiles/absync_core.dir/barrier_sim.cpp.o" "gcc" "src/core/CMakeFiles/absync_core.dir/barrier_sim.cpp.o.d"
+  "/root/repo/src/core/models.cpp" "src/core/CMakeFiles/absync_core.dir/models.cpp.o" "gcc" "src/core/CMakeFiles/absync_core.dir/models.cpp.o.d"
+  "/root/repo/src/core/policy_advisor.cpp" "src/core/CMakeFiles/absync_core.dir/policy_advisor.cpp.o" "gcc" "src/core/CMakeFiles/absync_core.dir/policy_advisor.cpp.o.d"
+  "/root/repo/src/core/resource_sim.cpp" "src/core/CMakeFiles/absync_core.dir/resource_sim.cpp.o" "gcc" "src/core/CMakeFiles/absync_core.dir/resource_sim.cpp.o.d"
+  "/root/repo/src/core/tree_barrier_sim.cpp" "src/core/CMakeFiles/absync_core.dir/tree_barrier_sim.cpp.o" "gcc" "src/core/CMakeFiles/absync_core.dir/tree_barrier_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

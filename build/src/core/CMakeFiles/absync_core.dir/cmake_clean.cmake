@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absync_core.dir/backoff.cpp.o"
+  "CMakeFiles/absync_core.dir/backoff.cpp.o.d"
+  "CMakeFiles/absync_core.dir/barrier_sim.cpp.o"
+  "CMakeFiles/absync_core.dir/barrier_sim.cpp.o.d"
+  "CMakeFiles/absync_core.dir/models.cpp.o"
+  "CMakeFiles/absync_core.dir/models.cpp.o.d"
+  "CMakeFiles/absync_core.dir/policy_advisor.cpp.o"
+  "CMakeFiles/absync_core.dir/policy_advisor.cpp.o.d"
+  "CMakeFiles/absync_core.dir/resource_sim.cpp.o"
+  "CMakeFiles/absync_core.dir/resource_sim.cpp.o.d"
+  "CMakeFiles/absync_core.dir/tree_barrier_sim.cpp.o"
+  "CMakeFiles/absync_core.dir/tree_barrier_sim.cpp.o.d"
+  "libabsync_core.a"
+  "libabsync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabsync_core.a"
+)

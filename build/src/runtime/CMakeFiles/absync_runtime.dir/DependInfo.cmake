@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/adaptive_barrier.cpp" "src/runtime/CMakeFiles/absync_runtime.dir/adaptive_barrier.cpp.o" "gcc" "src/runtime/CMakeFiles/absync_runtime.dir/adaptive_barrier.cpp.o.d"
+  "/root/repo/src/runtime/barrier.cpp" "src/runtime/CMakeFiles/absync_runtime.dir/barrier.cpp.o" "gcc" "src/runtime/CMakeFiles/absync_runtime.dir/barrier.cpp.o.d"
+  "/root/repo/src/runtime/barrier_interface.cpp" "src/runtime/CMakeFiles/absync_runtime.dir/barrier_interface.cpp.o" "gcc" "src/runtime/CMakeFiles/absync_runtime.dir/barrier_interface.cpp.o.d"
+  "/root/repo/src/runtime/resource_pool.cpp" "src/runtime/CMakeFiles/absync_runtime.dir/resource_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/absync_runtime.dir/resource_pool.cpp.o.d"
+  "/root/repo/src/runtime/tang_yew_barrier.cpp" "src/runtime/CMakeFiles/absync_runtime.dir/tang_yew_barrier.cpp.o" "gcc" "src/runtime/CMakeFiles/absync_runtime.dir/tang_yew_barrier.cpp.o.d"
+  "/root/repo/src/runtime/tree_barrier.cpp" "src/runtime/CMakeFiles/absync_runtime.dir/tree_barrier.cpp.o" "gcc" "src/runtime/CMakeFiles/absync_runtime.dir/tree_barrier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absync_runtime.dir/adaptive_barrier.cpp.o"
+  "CMakeFiles/absync_runtime.dir/adaptive_barrier.cpp.o.d"
+  "CMakeFiles/absync_runtime.dir/barrier.cpp.o"
+  "CMakeFiles/absync_runtime.dir/barrier.cpp.o.d"
+  "CMakeFiles/absync_runtime.dir/barrier_interface.cpp.o"
+  "CMakeFiles/absync_runtime.dir/barrier_interface.cpp.o.d"
+  "CMakeFiles/absync_runtime.dir/resource_pool.cpp.o"
+  "CMakeFiles/absync_runtime.dir/resource_pool.cpp.o.d"
+  "CMakeFiles/absync_runtime.dir/tang_yew_barrier.cpp.o"
+  "CMakeFiles/absync_runtime.dir/tang_yew_barrier.cpp.o.d"
+  "CMakeFiles/absync_runtime.dir/tree_barrier.cpp.o"
+  "CMakeFiles/absync_runtime.dir/tree_barrier.cpp.o.d"
+  "libabsync_runtime.a"
+  "libabsync_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absync_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

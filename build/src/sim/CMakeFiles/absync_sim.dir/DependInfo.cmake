@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/buffered_multistage.cpp" "src/sim/CMakeFiles/absync_sim.dir/buffered_multistage.cpp.o" "gcc" "src/sim/CMakeFiles/absync_sim.dir/buffered_multistage.cpp.o.d"
+  "/root/repo/src/sim/memory_module.cpp" "src/sim/CMakeFiles/absync_sim.dir/memory_module.cpp.o" "gcc" "src/sim/CMakeFiles/absync_sim.dir/memory_module.cpp.o.d"
+  "/root/repo/src/sim/multistage.cpp" "src/sim/CMakeFiles/absync_sim.dir/multistage.cpp.o" "gcc" "src/sim/CMakeFiles/absync_sim.dir/multistage.cpp.o.d"
+  "/root/repo/src/sim/patel_model.cpp" "src/sim/CMakeFiles/absync_sim.dir/patel_model.cpp.o" "gcc" "src/sim/CMakeFiles/absync_sim.dir/patel_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

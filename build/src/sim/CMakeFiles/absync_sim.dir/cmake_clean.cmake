@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absync_sim.dir/buffered_multistage.cpp.o"
+  "CMakeFiles/absync_sim.dir/buffered_multistage.cpp.o.d"
+  "CMakeFiles/absync_sim.dir/memory_module.cpp.o"
+  "CMakeFiles/absync_sim.dir/memory_module.cpp.o.d"
+  "CMakeFiles/absync_sim.dir/multistage.cpp.o"
+  "CMakeFiles/absync_sim.dir/multistage.cpp.o.d"
+  "CMakeFiles/absync_sim.dir/patel_model.cpp.o"
+  "CMakeFiles/absync_sim.dir/patel_model.cpp.o.d"
+  "libabsync_sim.a"
+  "libabsync_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absync_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabsync_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absync_support.dir/histogram.cpp.o"
+  "CMakeFiles/absync_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/absync_support.dir/options.cpp.o"
+  "CMakeFiles/absync_support.dir/options.cpp.o.d"
+  "CMakeFiles/absync_support.dir/table.cpp.o"
+  "CMakeFiles/absync_support.dir/table.cpp.o.d"
+  "libabsync_support.a"
+  "libabsync_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absync_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

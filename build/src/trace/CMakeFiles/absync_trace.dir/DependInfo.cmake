@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/apps.cpp" "src/trace/CMakeFiles/absync_trace.dir/apps.cpp.o" "gcc" "src/trace/CMakeFiles/absync_trace.dir/apps.cpp.o.d"
+  "/root/repo/src/trace/postmortem.cpp" "src/trace/CMakeFiles/absync_trace.dir/postmortem.cpp.o" "gcc" "src/trace/CMakeFiles/absync_trace.dir/postmortem.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/absync_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/absync_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/spmd.cpp" "src/trace/CMakeFiles/absync_trace.dir/spmd.cpp.o" "gcc" "src/trace/CMakeFiles/absync_trace.dir/spmd.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/absync_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/absync_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/absync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absync_trace.dir/apps.cpp.o"
+  "CMakeFiles/absync_trace.dir/apps.cpp.o.d"
+  "CMakeFiles/absync_trace.dir/postmortem.cpp.o"
+  "CMakeFiles/absync_trace.dir/postmortem.cpp.o.d"
+  "CMakeFiles/absync_trace.dir/record.cpp.o"
+  "CMakeFiles/absync_trace.dir/record.cpp.o.d"
+  "CMakeFiles/absync_trace.dir/spmd.cpp.o"
+  "CMakeFiles/absync_trace.dir/spmd.cpp.o.d"
+  "CMakeFiles/absync_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/absync_trace.dir/trace_io.cpp.o.d"
+  "libabsync_trace.a"
+  "libabsync_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absync_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coherence/test_cache.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_cache.cpp.o.d"
+  "/root/repo/tests/coherence/test_coherence_sim.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_coherence_sim.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_coherence_sim.cpp.o.d"
+  "/root/repo/tests/coherence/test_directory.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_directory.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_directory.cpp.o.d"
+  "/root/repo/tests/coherence/test_paper_shapes.cpp" "tests/CMakeFiles/test_coherence.dir/coherence/test_paper_shapes.cpp.o" "gcc" "tests/CMakeFiles/test_coherence.dir/coherence/test_paper_shapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/absync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/absync_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/absync_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

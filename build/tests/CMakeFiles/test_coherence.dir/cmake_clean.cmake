@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence.dir/coherence/test_cache.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_cache.cpp.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_coherence_sim.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_coherence_sim.cpp.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_directory.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_directory.cpp.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_paper_shapes.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_paper_shapes.cpp.o.d"
+  "test_coherence"
+  "test_coherence.pdb"
+  "test_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_backoff.cpp" "tests/CMakeFiles/test_core.dir/core/test_backoff.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_backoff.cpp.o.d"
+  "/root/repo/tests/core/test_barrier_sim.cpp" "tests/CMakeFiles/test_core.dir/core/test_barrier_sim.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_barrier_sim.cpp.o.d"
+  "/root/repo/tests/core/test_models.cpp" "tests/CMakeFiles/test_core.dir/core/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_models.cpp.o.d"
+  "/root/repo/tests/core/test_policy_advisor.cpp" "tests/CMakeFiles/test_core.dir/core/test_policy_advisor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_policy_advisor.cpp.o.d"
+  "/root/repo/tests/core/test_resource_sim.cpp" "tests/CMakeFiles/test_core.dir/core/test_resource_sim.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_resource_sim.cpp.o.d"
+  "/root/repo/tests/core/test_tree_barrier_sim.cpp" "tests/CMakeFiles/test_core.dir/core/test_tree_barrier_sim.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_tree_barrier_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/absync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

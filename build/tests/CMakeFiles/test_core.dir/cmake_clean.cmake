@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_backoff.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_backoff.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_barrier_sim.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_barrier_sim.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_models.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_models.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy_advisor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_policy_advisor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_resource_sim.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_resource_sim.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tree_barrier_sim.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tree_barrier_sim.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

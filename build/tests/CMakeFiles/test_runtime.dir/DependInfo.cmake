@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_adaptive_barrier.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_adaptive_barrier.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_adaptive_barrier.cpp.o.d"
+  "/root/repo/tests/runtime/test_barrier.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_barrier.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_barrier.cpp.o.d"
+  "/root/repo/tests/runtime/test_barrier_interface.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_barrier_interface.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_barrier_interface.cpp.o.d"
+  "/root/repo/tests/runtime/test_resource_pool.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_resource_pool.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_resource_pool.cpp.o.d"
+  "/root/repo/tests/runtime/test_self_schedule.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_self_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_self_schedule.cpp.o.d"
+  "/root/repo/tests/runtime/test_spin_backoff.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_spin_backoff.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_spin_backoff.cpp.o.d"
+  "/root/repo/tests/runtime/test_spinlock.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_spinlock.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_spinlock.cpp.o.d"
+  "/root/repo/tests/runtime/test_tang_yew_barrier.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_tang_yew_barrier.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_tang_yew_barrier.cpp.o.d"
+  "/root/repo/tests/runtime/test_tree_barrier.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_tree_barrier.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_tree_barrier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/absync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/absync_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_adaptive_barrier.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_adaptive_barrier.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_barrier.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_barrier.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_barrier_interface.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_barrier_interface.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_resource_pool.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_resource_pool.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_self_schedule.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_self_schedule.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_spin_backoff.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_spin_backoff.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_spinlock.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_spinlock.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_tang_yew_barrier.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_tang_yew_barrier.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_tree_barrier.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_tree_barrier.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_buffered_multistage.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_buffered_multistage.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_buffered_multistage.cpp.o.d"
+  "/root/repo/tests/sim/test_memory_module.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_memory_module.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_memory_module.cpp.o.d"
+  "/root/repo/tests/sim/test_multistage.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_multistage.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_multistage.cpp.o.d"
+  "/root/repo/tests/sim/test_patel_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_patel_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_patel_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/absync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

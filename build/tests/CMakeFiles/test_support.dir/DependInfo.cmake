@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_fatal_paths.cpp" "tests/CMakeFiles/test_support.dir/support/test_fatal_paths.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_fatal_paths.cpp.o.d"
+  "/root/repo/tests/support/test_histogram.cpp" "tests/CMakeFiles/test_support.dir/support/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_histogram.cpp.o.d"
+  "/root/repo/tests/support/test_options.cpp" "tests/CMakeFiles/test_support.dir/support/test_options.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_options.cpp.o.d"
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "/root/repo/tests/support/test_stats.cpp" "tests/CMakeFiles/test_support.dir/support/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_stats.cpp.o.d"
+  "/root/repo/tests/support/test_table.cpp" "tests/CMakeFiles/test_support.dir/support/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/absync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_apps.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_apps.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_apps.cpp.o.d"
+  "/root/repo/tests/trace/test_parser_fuzz.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_parser_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_parser_fuzz.cpp.o.d"
+  "/root/repo/tests/trace/test_postmortem.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_postmortem.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_postmortem.cpp.o.d"
+  "/root/repo/tests/trace/test_record.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_record.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_record.cpp.o.d"
+  "/root/repo/tests/trace/test_shapes.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_shapes.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_shapes.cpp.o.d"
+  "/root/repo/tests/trace/test_spmd.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_spmd.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_spmd.cpp.o.d"
+  "/root/repo/tests/trace/test_trace_io.cpp" "tests/CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/absync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/absync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/absync_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/absync_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

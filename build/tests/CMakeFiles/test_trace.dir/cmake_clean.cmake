@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_apps.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_apps.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_parser_fuzz.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_parser_fuzz.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_postmortem.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_postmortem.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_record.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_record.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_shapes.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_shapes.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_spmd.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_spmd.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
