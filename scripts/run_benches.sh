@@ -2,15 +2,28 @@
 # Run every reproduction bench and collect the outputs under
 # results/ — one text file per table/figure.
 #
+# A failing bench is a hard error: its partial output is renamed
+# *.FAILED.txt and the script exits nonzero, so a broken bench can
+# never silently truncate the published results.
+#
 # Usage: scripts/run_benches.sh [build-dir] [results-dir]
-set -u
+set -euo pipefail
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
+failed=0
 for b in "$BUILD"/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
     echo "== $name"
-    "$b" > "$OUT/$name.txt" 2>&1 || echo "   (exited nonzero)"
+    if ! "$b" > "$OUT/$name.txt" 2>&1; then
+        mv "$OUT/$name.txt" "$OUT/$name.FAILED.txt"
+        echo "   FAILED (partial output in $OUT/$name.FAILED.txt)" >&2
+        failed=$((failed + 1))
+    fi
 done
+if [ "$failed" -gt 0 ]; then
+    echo "$failed bench(es) failed" >&2
+    exit 1
+fi
 echo "outputs in $OUT/"

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/fault.hpp"
 
 namespace absync::core
 {
@@ -63,33 +67,69 @@ struct Proc
 } // namespace
 
 EpisodeResult
-BarrierSimulator::runOnce(support::Rng &rng) const
+BarrierSimulator::runOnce(support::Rng &rng,
+                          std::uint64_t episode) const
 {
     const std::uint32_t n = cfg_.processors;
     const BackoffConfig &bo = cfg_.backoff;
+    const support::FaultPlan *fp = cfg_.faults;
+    // Hard check, not assert: a crashed processor never sets the
+    // flag, so unbounded waiting would spin the episode loop forever
+    // — including in release builds, where asserts compile out.
+    if (fp != nullptr && fp->config().crashProb > 0.0 &&
+        cfg_.timeoutCycles == 0) {
+        std::fprintf(stderr,
+                     "BarrierSimulator: crash faults require bounded "
+                     "waiting (set timeoutCycles > 0)\n");
+        std::abort();
+    }
 
     EpisodeResult res;
     res.procs.assign(n, {});
 
+    std::uint32_t done = 0;
     std::vector<Proc> procs(n);
-    for (auto &p : procs) {
+    for (std::uint32_t id = 0; id < n; ++id) {
+        Proc &p = procs[id];
         p.arrival = cfg_.arrivalWindow == 0
                         ? 0
                         : rng.uniformInt(0, cfg_.arrivalWindow);
+        if (fp != nullptr) {
+            // Stragglers arrive late; crashed processors never do.
+            p.arrival += fp->stragglerDelay(id, episode);
+            if (fp->crashed(id, episode)) {
+                p.state = PState::Done;
+                res.procs[id].crashed = true;
+                ++done;
+            }
+        }
     }
-    res.firstArrival = procs[0].arrival;
-    res.lastArrival = procs[0].arrival;
-    for (const auto &p : procs) {
-        res.firstArrival = std::min(res.firstArrival, p.arrival);
-        res.lastArrival = std::max(res.lastArrival, p.arrival);
+    // Arrival span over the processors that actually show up.
+    bool any_arrival = false;
+    for (std::uint32_t id = 0; id < n; ++id) {
+        if (procs[id].state == PState::Done)
+            continue;
+        if (!any_arrival) {
+            res.firstArrival = procs[id].arrival;
+            res.lastArrival = procs[id].arrival;
+            any_arrival = true;
+        } else {
+            res.firstArrival =
+                std::min(res.firstArrival, procs[id].arrival);
+            res.lastArrival =
+                std::max(res.lastArrival, procs[id].arrival);
+        }
     }
 
     sim::MemoryModule var_mod(cfg_.arbitration);
     sim::MemoryModule flag_mod(cfg_.arbitration);
+    if (fp != nullptr) {
+        var_mod.setFaults(fp, 0);
+        flag_mod.setFaults(fp, 1);
+    }
 
     std::uint32_t counter = 0; // barrier variable value
     bool flag_set = false;
-    std::uint32_t done = 0;
     std::vector<sim::RequesterId> blocked_ids;
 
     std::uint64_t cycle = res.firstArrival;
@@ -122,6 +162,19 @@ BarrierSimulator::runOnce(support::Rng &rng) const
                 break;
               default:
                 break;
+            }
+            // Bounded waiting: give up after timeoutCycles.  The
+            // flag writer is exempt — it is every waiter's critical
+            // path and is guaranteed an eventual grant.
+            if (cfg_.timeoutCycles > 0 &&
+                p.state != PState::WaitArrive &&
+                p.state != PState::ReqSetFlag &&
+                p.state != PState::Done &&
+                cycle - p.arrival >= cfg_.timeoutCycles) {
+                p.state = PState::Done;
+                ++done;
+                res.procs[id].timedOut = true;
+                res.procs[id].waitCycles = cycle - p.arrival;
             }
             if (p.state == PState::ReqVar) {
                 var_mod.request(id);
@@ -163,6 +216,9 @@ BarrierSimulator::runOnce(support::Rng &rng) const
                 std::uint64_t d = bo.flagDelay(out.unsetPolls);
                 if (bo.randomized && d > 0)
                     d = rng.uniformInt(1, 2 * d);
+                if (fp != nullptr && d > 1 &&
+                    fp->spuriousWake(var_win, out.unsetPolls))
+                    d = 1; // woken early: re-poll almost immediately
                 if (bo.shouldBlock(d)) {
                     p.state = PState::Blocked;
                     blocked_ids.push_back(var_win);
@@ -188,6 +244,8 @@ BarrierSimulator::runOnce(support::Rng &rng) const
                     res.flagSetTime = cycle;
                     for (sim::RequesterId b : blocked_ids) {
                         Proc &q = procs[b];
+                        if (q.state == PState::Done)
+                            continue; // already timed out
                         q.state = PState::Done;
                         ++done;
                         const std::uint64_t exit =
@@ -224,6 +282,8 @@ BarrierSimulator::runOnce(support::Rng &rng) const
                 // Release any blocked processors.
                 for (sim::RequesterId b : blocked_ids) {
                     Proc &q = procs[b];
+                    if (q.state == PState::Done)
+                        continue; // already timed out
                     q.state = PState::Done;
                     ++done;
                     const std::uint64_t exit =
@@ -243,6 +303,9 @@ BarrierSimulator::runOnce(support::Rng &rng) const
                 std::uint64_t d = bo.flagDelay(out.unsetPolls);
                 if (bo.randomized && d > 0)
                     d = rng.uniformInt(1, 2 * d);
+                if (fp != nullptr && d > 1 &&
+                    fp->spuriousWake(flag_win, out.unsetPolls))
+                    d = 1; // woken early: re-poll almost immediately
                 if (bo.shouldBlock(d)) {
                     p.state = PState::Blocked;
                     blocked_ids.push_back(flag_win);
@@ -312,15 +375,18 @@ BarrierSimulator::runMany(std::uint64_t runs, std::uint64_t seed) const
     support::Rng master(seed);
     for (std::uint64_t r = 0; r < runs; ++r) {
         support::Rng run_rng = master.split();
-        const EpisodeResult res = runOnce(run_rng);
+        const EpisodeResult res = runOnce(run_rng, r);
         s.accesses.add(res.avgAccesses());
         s.wait.add(res.avgWait());
         s.span.add(static_cast<double>(res.lastArrival -
                                        res.firstArrival));
         s.setTime.add(static_cast<double>(res.flagSetTime));
         s.flagTraffic.add(static_cast<double>(res.flagModuleTraffic));
-        for (const auto &p : res.procs)
+        for (const auto &p : res.procs) {
             s.blockedProcs += p.blocked ? 1 : 0;
+            s.timedOutProcs += p.timedOut ? 1 : 0;
+            s.crashedProcs += p.crashed ? 1 : 0;
+        }
     }
     s.runs = runs;
     return s;

@@ -32,6 +32,11 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
+namespace absync::support
+{
+class FaultPlan;
+}
+
 namespace absync::core
 {
 
@@ -74,6 +79,25 @@ struct BarrierConfig
      * round-robin are kept for the arbitration ablation bench.
      */
     sim::Arbitration arbitration = sim::Arbitration::Fifo;
+
+    /**
+     * Optional fault schedule (not owned).  Stragglers shift arrival
+     * times, crashed processors never arrive, spurious wakeups cut
+     * flag-backoff intervals short, and module stalls deny whole
+     * cycles.  The episode index passed to runOnce() selects the
+     * schedule row, so repeated episodes draw distinct but
+     * reproducible fault sets.
+     */
+    const support::FaultPlan *faults = nullptr;
+
+    /**
+     * Bounded waiting: a processor that has waited this many cycles
+     * since its arrival abandons the episode (ProcOutcome::timedOut),
+     * mirroring the runtime's arriveAndWaitFor.  0 = wait forever.
+     * Required (> 0) whenever the fault plan can crash processors,
+     * otherwise survivors would spin to the horizon.
+     */
+    std::uint64_t timeoutCycles = 0;
 };
 
 /** Outcome for a single processor within one episode. */
@@ -87,6 +111,10 @@ struct ProcOutcome
     std::uint64_t unsetPolls = 0;
     /** True if the processor blocked (queue-on-threshold). */
     bool blocked = false;
+    /** True if the processor abandoned the wait (timeoutCycles). */
+    bool timedOut = false;
+    /** True if the fault plan crashed the processor (never arrived). */
+    bool crashed = false;
 };
 
 /** Outcome of one simulated episode. */
@@ -122,7 +150,9 @@ struct EpisodeSummary
     support::RunningStats setTime;  ///< flag-set time per run
     support::RunningStats flagTraffic; ///< hot-module requests/run
     std::uint64_t runs = 0;
-    std::uint64_t blockedProcs = 0; ///< total blocked across runs
+    std::uint64_t blockedProcs = 0;  ///< total blocked across runs
+    std::uint64_t timedOutProcs = 0; ///< total timed out across runs
+    std::uint64_t crashedProcs = 0;  ///< total crashed across runs
 };
 
 /**
@@ -133,9 +163,13 @@ class BarrierSimulator
   public:
     explicit BarrierSimulator(const BarrierConfig &cfg);
 
-    /** Simulate one episode; randomness (arrivals, arbitration) from
-     *  @p rng. */
-    EpisodeResult runOnce(support::Rng &rng) const;
+    /**
+     * Simulate one episode; randomness (arrivals, arbitration) from
+     * @p rng.  @p episode indexes the fault plan's schedule (ignored
+     * when no plan is attached); runMany passes the run number.
+     */
+    EpisodeResult runOnce(support::Rng &rng,
+                          std::uint64_t episode = 0) const;
 
     /**
      * Simulate @p runs episodes with per-run derived seeds and return

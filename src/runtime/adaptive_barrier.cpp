@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/fault.hpp"
+
 namespace absync::runtime
 {
 
@@ -14,12 +16,26 @@ AdaptiveBarrier::AdaptiveBarrier(std::uint32_t parties,
 void
 AdaptiveBarrier::arriveAndWait()
 {
-    const std::uint32_t old_sense =
-        sense_.load(std::memory_order_acquire);
-    const std::uint32_t pos =
-        count_.fetch_add(1, std::memory_order_acq_rel);
+    arriveInternal(false, Deadline{});
+}
 
-    if (pos + 1 == parties_) {
+WaitResult
+AdaptiveBarrier::arriveAndWaitFor(Deadline deadline)
+{
+    return arriveInternal(true, deadline);
+}
+
+WaitResult
+AdaptiveBarrier::arriveInternal(bool timed, Deadline deadline)
+{
+    if (cfg_.fault) {
+        const std::uint64_t stall = cfg_.fault->onArrive();
+        if (stall > 0)
+            spinFor(stall);
+    }
+
+    const PhaseState::Arrival a = state_.arrive(parties_);
+    if (a.last) {
         // Learn from the phase that is now completing: fold the mean
         // spin into the EWMA and derive the next first-poll wait.
         const std::uint64_t spun =
@@ -28,12 +44,12 @@ AdaptiveBarrier::arriveAndWait()
             waiter_count_.exchange(0, std::memory_order_relaxed);
         if (waiters > 0)
             noteWindowSample(spun / waiters);
-        count_.store(0, std::memory_order_relaxed);
-        sense_.store(old_sense + 1, std::memory_order_release);
+        state_.advance(a.epoch);
+        sense_.store(a.epoch + 1, std::memory_order_release);
         sense_.notify_all();
-        return;
+        return WaitResult::Ok;
     }
-    waitForSense(old_sense);
+    return waitForSense(a.epoch, timed, deadline);
 }
 
 void
@@ -57,48 +73,102 @@ AdaptiveBarrier::noteWindowSample(std::uint64_t mean_spin)
                    std::memory_order_relaxed);
 }
 
-void
-AdaptiveBarrier::waitForSense(std::uint32_t old_sense)
+WaitResult
+AdaptiveBarrier::resolveTimeout(std::uint32_t my_epoch)
+{
+    switch (state_.tryWithdraw(my_epoch, parties_)) {
+      case PhaseState::Withdraw::Withdrawn:
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return WaitResult::Timeout;
+      case PhaseState::Withdraw::Completed:
+        return WaitResult::Ok;
+      case PhaseState::Withdraw::Completing:
+        // All parties arrived; the closing thread is about to store
+        // the sense.  Wait it out and report success.
+        while (sense_.load(std::memory_order_acquire) == my_epoch)
+            cpuRelax();
+        return WaitResult::Ok;
+    }
+    return WaitResult::Ok; // unreachable
+}
+
+WaitResult
+AdaptiveBarrier::waitForSense(std::uint32_t my_epoch, bool timed,
+                              Deadline deadline)
 {
     std::uint64_t local_polls = 0;
     std::uint64_t local_spun = 0;
     std::uint64_t wait = learned_.load(std::memory_order_relaxed);
+    WaitResult result = WaitResult::Ok;
+    bool sample = true;
 
     for (;;) {
         ++local_polls;
-        if (sense_.load(std::memory_order_acquire) != old_sense)
+        if (sense_.load(std::memory_order_acquire) != my_epoch)
             break;
+        if (timed && deadlineExpired(deadline)) {
+            // A deadline-cut window is not a barrier-window
+            // observation; feeding it to the estimator would teach
+            // the barrier to expect straggler-length phases.  Drop
+            // the sample whichever way the timeout resolves.
+            sample = false;
+            result = resolveTimeout(my_epoch);
+            goto done;
+        }
         if (wait > cfg_.blockThreshold) {
-            blocks_.fetch_add(1, std::memory_order_relaxed);
-            while (sense_.load(std::memory_order_acquire) ==
-                   old_sense) {
-                sense_.wait(old_sense, std::memory_order_acquire);
+            if (!timed) {
+                blocks_.fetch_add(1, std::memory_order_relaxed);
+                while (sense_.load(std::memory_order_acquire) ==
+                       my_epoch) {
+                    sense_.wait(my_epoch, std::memory_order_acquire);
+                }
+                ++local_polls;
+                break;
             }
-            ++local_polls;
-            break;
+            // Timed: the futex cannot honor a deadline; hold the
+            // schedule at the threshold and keep re-polling.
+            wait = cfg_.blockThreshold;
         }
         // Spin in bounded chunks so the window measurement stops
         // when the release lands mid-wait (limits overshoot in both
         // the waiting and the estimate).
-        std::uint64_t remaining = wait;
-        while (remaining > 0) {
-            const std::uint64_t chunk =
-                std::min<std::uint64_t>(remaining, 4096);
-            spinFor(chunk);
-            local_spun += chunk;
-            remaining -= chunk;
-            if (sense_.load(std::memory_order_acquire) !=
-                old_sense) {
-                ++local_polls;
-                goto done;
+        {
+            std::uint64_t remaining = wait;
+            bool spurious = false;
+            while (remaining > 0) {
+                const std::uint64_t chunk =
+                    std::min<std::uint64_t>(remaining, 4096);
+                if (cfg_.fault && cfg_.fault->onWake()) {
+                    spurious = true; // cut the interval short
+                    break;
+                }
+                if (timed) {
+                    if (!spinForUntil(chunk, deadline)) {
+                        local_spun += chunk;
+                        break; // deadline hit mid-chunk; re-poll
+                    }
+                } else {
+                    spinFor(chunk);
+                }
+                local_spun += chunk;
+                remaining -= chunk;
+                if (sense_.load(std::memory_order_acquire) !=
+                    my_epoch) {
+                    ++local_polls;
+                    goto done;
+                }
             }
+            if (!spurious)
+                wait = std::min(wait * 2, cfg_.maxWait * 4);
         }
-        wait = std::min(wait * 2, cfg_.maxWait * 4);
     }
   done:
-    spin_accum_.fetch_add(local_spun, std::memory_order_relaxed);
-    waiter_count_.fetch_add(1, std::memory_order_relaxed);
+    if (sample) {
+        spin_accum_.fetch_add(local_spun, std::memory_order_relaxed);
+        waiter_count_.fetch_add(1, std::memory_order_relaxed);
+    }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    return result;
 }
 
 } // namespace absync::runtime

@@ -19,6 +19,13 @@
  * After the learned first wait, polling escalates exponentially
  * (base 2), and past blockThreshold it futex-blocks — the same
  * policy envelope as SpinBarrier, with the entry point learned.
+ *
+ * arriveAndWaitFor bounds the wait by a deadline: on Timeout the
+ * caller's arrival is withdrawn (epoch-tagged, see phase_state.hpp)
+ * and the timed-out window is *not* fed to the estimator — a
+ * straggler-induced timeout must not teach the barrier to expect
+ * hour-long windows.  Timed waits never futex-block (no timed
+ * atomic wait exists); they clamp the schedule to blockThreshold.
  */
 
 #ifndef ABSYNC_RUNTIME_ADAPTIVE_BARRIER_HPP
@@ -27,7 +34,14 @@
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/phase_state.hpp"
 #include "runtime/spin_backoff.hpp"
+#include "runtime/wait_result.hpp"
+
+namespace absync::support
+{
+class FaultInjector;
+}
 
 namespace absync::runtime
 {
@@ -47,6 +61,8 @@ struct AdaptiveBarrierConfig
     std::uint32_t firstWaitDenom = 4;
     /** Futex-block once a single wait would exceed this. */
     std::uint64_t blockThreshold = 1 << 20;
+    /** Test-only fault hook (see BarrierConfig::fault).  Not owned. */
+    support::FaultInjector *fault = nullptr;
 };
 
 /**
@@ -64,6 +80,13 @@ class AdaptiveBarrier
 
     /** Arrive and wait for all parties. */
     void arriveAndWait();
+
+    /**
+     * Arrive and wait until all parties arrive or @p deadline passes.
+     * On Timeout the arrival is withdrawn (rejoin with a fresh call)
+     * and the estimator is left untouched.
+     */
+    WaitResult arriveAndWaitFor(Deadline deadline);
 
     /** Number of participating threads. */
     std::uint32_t parties() const { return parties_; }
@@ -97,12 +120,25 @@ class AdaptiveBarrier
         return blocks_.load(std::memory_order_relaxed);
     }
 
+    /** Total timed waits that ended in Timeout. */
+    std::uint64_t
+    totalTimeouts() const
+    {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+
   private:
-    void waitForSense(std::uint32_t old_sense);
+    WaitResult arriveInternal(bool timed, Deadline deadline);
+    WaitResult waitForSense(std::uint32_t my_epoch, bool timed,
+                            Deadline deadline);
+    /** Timed wait gave up: withdraw, or ride out a racing release. */
+    WaitResult resolveTimeout(std::uint32_t my_epoch);
 
     const std::uint32_t parties_;
     const AdaptiveBarrierConfig cfg_;
-    std::atomic<std::uint32_t> count_{0};
+    /** Epoch-tagged arrival counter. */
+    PhaseState state_;
+    /** Completed-phase count: the sense word. */
     std::atomic<std::uint32_t> sense_{0};
     /** Learned first-poll wait (EWMA-driven). */
     std::atomic<std::uint64_t> learned_;
@@ -111,6 +147,7 @@ class AdaptiveBarrier
     std::atomic<std::uint32_t> waiter_count_{0};
     std::atomic<std::uint64_t> polls_{0};
     std::atomic<std::uint64_t> blocks_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
 };
 
 } // namespace absync::runtime

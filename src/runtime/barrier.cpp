@@ -1,5 +1,7 @@
 #include "runtime/barrier.hpp"
 
+#include "support/fault.hpp"
+
 namespace absync::runtime
 {
 
@@ -11,41 +13,94 @@ SpinBarrier::SpinBarrier(std::uint32_t parties, BarrierConfig cfg)
 void
 SpinBarrier::arriveAndWait()
 {
-    // Capture the current phase sense; the phase completes when the
-    // last arriver advances it.
-    const std::uint32_t old_sense =
-        sense_.load(std::memory_order_acquire);
-    const std::uint32_t pos =
-        count_.fetch_add(1, std::memory_order_acq_rel);
-
-    if (pos + 1 == parties_) {
-        count_.store(0, std::memory_order_relaxed);
-        sense_.store(old_sense + 1, std::memory_order_release);
-        if (cfg_.policy == BarrierPolicy::Blocking)
-            sense_.notify_all();
-        return;
-    }
-    waitForSense(pos, old_sense);
+    arriveInternal(false, Deadline{});
 }
 
-void
-SpinBarrier::waitForSense(std::uint32_t pos, std::uint32_t old_sense)
+WaitResult
+SpinBarrier::arriveAndWaitFor(Deadline deadline)
+{
+    return arriveInternal(true, deadline);
+}
+
+WaitResult
+SpinBarrier::arriveInternal(bool timed, Deadline deadline)
+{
+    if (cfg_.fault) {
+        const std::uint64_t stall = cfg_.fault->onArrive();
+        if (stall > 0)
+            spinFor(stall);
+    }
+
+    const PhaseState::Arrival a = state_.arrive(parties_);
+    if (a.last) {
+        // Recycle the arrival word before publishing the release so
+        // released threads re-arriving immediately see a fresh count.
+        state_.advance(a.epoch);
+        sense_.store(a.epoch + 1, std::memory_order_release);
+        if (cfg_.policy == BarrierPolicy::Blocking)
+            sense_.notify_all();
+        return WaitResult::Ok;
+    }
+    return waitForSense(a.epoch, a.pos, timed, deadline);
+}
+
+WaitResult
+SpinBarrier::resolveTimeout(std::uint32_t my_epoch)
+{
+    switch (state_.tryWithdraw(my_epoch, parties_)) {
+      case PhaseState::Withdraw::Withdrawn:
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return WaitResult::Timeout;
+      case PhaseState::Withdraw::Completed:
+        return WaitResult::Ok;
+      case PhaseState::Withdraw::Completing:
+        // All parties arrived; the closing thread is about to store
+        // the sense.  Wait it out so the phase is fully over before
+        // we report success.
+        while (sense_.load(std::memory_order_acquire) == my_epoch)
+            cpuRelax();
+        return WaitResult::Ok;
+    }
+    return WaitResult::Ok; // unreachable
+}
+
+WaitResult
+SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
+                          bool timed, Deadline deadline)
 {
     // Backoff on the barrier variable: the F&A told us how many
     // arrivals are still missing; nothing can happen before they each
     // spend at least one operation arriving.
     const std::uint32_t missing = parties_ - (pos + 1);
+
+    // Pace one backoff interval; a fault hook may cut it short
+    // (spurious wakeup), and a deadline clamps it into bounded
+    // chunks.  Returns with the interval over or the deadline hit;
+    // the main loop re-polls either way.
+    const auto pause = [&](std::uint64_t iterations) {
+        if (cfg_.fault && cfg_.fault->onWake())
+            return;
+        if (timed)
+            spinForUntil(iterations, deadline);
+        else
+            spinFor(iterations);
+    };
+
     if (cfg_.policy != BarrierPolicy::None)
-        spinFor(static_cast<std::uint64_t>(missing) *
-                cfg_.perMissingArrival);
+        pause(static_cast<std::uint64_t>(missing) *
+              cfg_.perMissingArrival);
 
     std::uint64_t local_polls = 0;
     std::uint64_t wait = cfg_.initial;
 
     for (;;) {
         ++local_polls;
-        if (sense_.load(std::memory_order_acquire) != old_sense)
+        if (sense_.load(std::memory_order_acquire) != my_epoch)
             break;
+        if (timed && deadlineExpired(deadline)) {
+            polls_.fetch_add(local_polls, std::memory_order_relaxed);
+            return resolveTimeout(my_epoch);
+        }
 
         switch (cfg_.policy) {
           case BarrierPolicy::None:
@@ -54,37 +109,45 @@ SpinBarrier::waitForSense(std::uint32_t pos, std::uint32_t old_sense)
             break;
 
           case BarrierPolicy::Linear:
-            spinFor(wait);
+            pause(wait);
             wait = wait + cfg_.base > cfg_.maxWait ? cfg_.maxWait
                                                    : wait + cfg_.base;
             break;
 
           case BarrierPolicy::Exponential:
-            spinFor(wait);
+            pause(wait);
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
 
           case BarrierPolicy::Blocking:
             if (wait > cfg_.blockThreshold) {
-                // Queue-on-threshold (Section 7): stop spinning and
-                // let the OS wake us with the flag update.
-                blocks_.fetch_add(1, std::memory_order_relaxed);
-                while (sense_.load(std::memory_order_acquire) ==
-                       old_sense) {
-                    sense_.wait(old_sense, std::memory_order_acquire);
+                if (!timed) {
+                    // Queue-on-threshold (Section 7): stop spinning
+                    // and let the OS wake us with the flag update.
+                    blocks_.fetch_add(1, std::memory_order_relaxed);
+                    while (sense_.load(std::memory_order_acquire) ==
+                           my_epoch) {
+                        sense_.wait(my_epoch,
+                                    std::memory_order_acquire);
+                    }
+                    polls_.fetch_add(local_polls + 1,
+                                     std::memory_order_relaxed);
+                    return WaitResult::Ok;
                 }
-                polls_.fetch_add(local_polls + 1,
-                                 std::memory_order_relaxed);
-                return;
+                // Timed: the futex cannot honor a deadline, so hold
+                // the schedule at the threshold and keep re-polling.
+                pause(cfg_.blockThreshold);
+                break;
             }
-            spinFor(wait);
+            pause(wait);
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
         }
     }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    return WaitResult::Ok;
 }
 
 } // namespace absync::runtime

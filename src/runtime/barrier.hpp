@@ -18,6 +18,19 @@
  *    queue on the sense word with std::atomic::wait (futex) — the
  *    queue-on-threshold scheme of Section 7.
  *
+ * Every wait is boundable: arriveAndWaitFor() takes an absolute
+ * deadline and returns WaitResult::Timeout instead of hanging when a
+ * party fails to show.  A timed-out thread *withdraws* its arrival —
+ * the phase is then short one party until the full set (including
+ * the timed-out thread, should it rejoin) arrives again.  Withdrawal
+ * is safe against the phase completing concurrently because arrivals
+ * are epoch-tagged (see phase_state.hpp).  In timed waits the backoff
+ * schedule is clamped to the deadline: intervals are spun in bounded
+ * chunks with clock checks between them, and the futex block of the
+ * Blocking policy is replaced by threshold-clamped spinning (C++20
+ * atomic waits cannot time out), so no pending wait overshoots the
+ * deadline.
+ *
  * Polls of the sense word are counted so benches can report the real
  * shared-memory traffic each policy generates.
  */
@@ -28,7 +41,14 @@
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/phase_state.hpp"
 #include "runtime/spin_backoff.hpp"
+#include "runtime/wait_result.hpp"
+
+namespace absync::support
+{
+class FaultInjector;
+}
 
 namespace absync::runtime
 {
@@ -57,6 +77,14 @@ struct BarrierConfig
     std::uint64_t perMissingArrival = 16;
     /** Blocking: futex-wait once the next wait would exceed this. */
     std::uint64_t blockThreshold = 1 << 12;
+    /**
+     * Test-only fault hook: when set, arrivals consult the injector
+     * for straggler stalls and wait loops for spurious wakeups, so
+     * robustness tests and benches can perturb the barrier with a
+     * seeded, reproducible fault load.  Production callers leave
+     * this null (the hot path pays one branch).  Not owned.
+     */
+    support::FaultInjector *fault = nullptr;
 };
 
 /**
@@ -82,6 +110,17 @@ class SpinBarrier
      */
     void arriveAndWait();
 
+    /**
+     * Arrive and wait until all parties arrive or @p deadline passes.
+     *
+     * On Timeout the caller's arrival has been withdrawn: the phase
+     * completes only once all parties — including this thread, via a
+     * fresh arriveAndWait/arriveAndWaitFor call — arrive again.  The
+     * barrier stays consistent whether the caller rejoins or
+     * abandons.
+     */
+    WaitResult arriveAndWaitFor(Deadline deadline);
+
     /** Number of participating threads. */
     std::uint32_t parties() const { return parties_; }
 
@@ -99,18 +138,29 @@ class SpinBarrier
         return blocks_.load(std::memory_order_relaxed);
     }
 
+    /** Total timed waits that ended in Timeout. */
+    std::uint64_t
+    totalTimeouts() const
+    {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+
   private:
-    void waitForSense(std::uint32_t observed_count,
-                      std::uint32_t my_sense);
+    WaitResult arriveInternal(bool timed, Deadline deadline);
+    WaitResult waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
+                            bool timed, Deadline deadline);
+    /** Timed wait gave up: withdraw, or ride out a racing release. */
+    WaitResult resolveTimeout(std::uint32_t my_epoch);
 
     const std::uint32_t parties_;
     const BarrierConfig cfg_;
-    /** Arrival counter: the barrier variable. */
-    std::atomic<std::uint32_t> count_{0};
-    /** Phase sense: the barrier flag. */
+    /** Epoch-tagged arrival counter: the barrier variable. */
+    PhaseState state_;
+    /** Completed-phase count: the barrier flag / sense word. */
     std::atomic<std::uint32_t> sense_{0};
     std::atomic<std::uint64_t> polls_{0};
     std::atomic<std::uint64_t> blocks_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
 };
 
 } // namespace absync::runtime

@@ -22,6 +22,11 @@ class FlatAdapter final : public AnyBarrier
         barrier_.arriveAndWait();
     }
 
+    WaitResult arriveFor(std::uint32_t, Deadline deadline) override
+    {
+        return barrier_.arriveAndWaitFor(deadline);
+    }
+
     std::uint64_t polls() const override
     {
         return barrier_.totalPolls();
@@ -30,6 +35,11 @@ class FlatAdapter final : public AnyBarrier
     std::uint64_t blocks() const override
     {
         return barrier_.totalBlocks();
+    }
+
+    std::uint64_t timeouts() const override
+    {
+        return barrier_.totalTimeouts();
     }
 
   private:
@@ -49,6 +59,11 @@ class TangYewAdapter final : public AnyBarrier
         barrier_.arriveAndWait();
     }
 
+    WaitResult arriveFor(std::uint32_t, Deadline deadline) override
+    {
+        return barrier_.arriveAndWaitFor(deadline);
+    }
+
     std::uint64_t polls() const override
     {
         return barrier_.totalPolls();
@@ -57,6 +72,11 @@ class TangYewAdapter final : public AnyBarrier
     std::uint64_t blocks() const override
     {
         return barrier_.totalBlocks();
+    }
+
+    std::uint64_t timeouts() const override
+    {
+        return barrier_.totalTimeouts();
     }
 
   private:
@@ -76,6 +96,12 @@ class TreeAdapter final : public AnyBarrier
         barrier_.arriveAndWait(tid);
     }
 
+    WaitResult arriveFor(std::uint32_t tid,
+                         Deadline deadline) override
+    {
+        return barrier_.arriveAndWaitFor(tid, deadline);
+    }
+
     std::uint64_t polls() const override
     {
         return barrier_.totalPolls();
@@ -84,6 +110,11 @@ class TreeAdapter final : public AnyBarrier
     std::uint64_t blocks() const override
     {
         return barrier_.totalBlocks();
+    }
+
+    std::uint64_t timeouts() const override
+    {
+        return barrier_.totalTimeouts();
     }
 
   private:
@@ -93,14 +124,19 @@ class TreeAdapter final : public AnyBarrier
 class AdaptiveAdapter final : public AnyBarrier
 {
   public:
-    explicit AdaptiveAdapter(std::uint32_t parties)
-        : barrier_(parties)
+    AdaptiveAdapter(std::uint32_t parties, const BarrierConfig &cfg)
+        : barrier_(parties, adaptiveConfig(cfg))
     {
     }
 
     void arrive(std::uint32_t) override
     {
         barrier_.arriveAndWait();
+    }
+
+    WaitResult arriveFor(std::uint32_t, Deadline deadline) override
+    {
+        return barrier_.arriveAndWaitFor(deadline);
     }
 
     std::uint64_t polls() const override
@@ -113,7 +149,22 @@ class AdaptiveAdapter final : public AnyBarrier
         return barrier_.totalBlocks();
     }
 
+    std::uint64_t timeouts() const override
+    {
+        return barrier_.totalTimeouts();
+    }
+
   private:
+    /** Adaptive tunes its own waits; only the fault hook carries
+     *  over from the generic config. */
+    static AdaptiveBarrierConfig
+    adaptiveConfig(const BarrierConfig &cfg)
+    {
+        AdaptiveBarrierConfig acfg;
+        acfg.fault = cfg.fault;
+        return acfg;
+    }
+
     AdaptiveBarrier barrier_;
 };
 
@@ -146,7 +197,7 @@ makeBarrier(BarrierKind kind, std::uint32_t parties,
       case BarrierKind::Tree:
         return std::make_unique<TreeAdapter>(parties, cfg);
       case BarrierKind::Adaptive:
-        return std::make_unique<AdaptiveAdapter>(parties);
+        return std::make_unique<AdaptiveAdapter>(parties, cfg);
     }
     return nullptr;
 }

@@ -21,6 +21,7 @@
 #include "runtime/barrier.hpp"
 #include "runtime/tang_yew_barrier.hpp"
 #include "runtime/tree_barrier.hpp"
+#include "runtime/wait_result.hpp"
 
 namespace absync::runtime
 {
@@ -34,11 +35,24 @@ class AnyBarrier
     /** Arrive as the given dense thread id and wait for the phase. */
     virtual void arrive(std::uint32_t thread_id) = 0;
 
+    /**
+     * Arrive and wait until the phase completes or @p deadline
+     * passes.  On Timeout the flat barriers withdraw the arrival
+     * (rejoin with a fresh call); the tree parks a continuation that
+     * the same thread's next call resumes — see each implementation's
+     * header for the exact contract.
+     */
+    virtual WaitResult arriveFor(std::uint32_t thread_id,
+                                 Deadline deadline) = 0;
+
     /** Total shared polls across all threads and phases. */
     virtual std::uint64_t polls() const = 0;
 
     /** Total futex blocks (0 for non-blocking policies). */
     virtual std::uint64_t blocks() const = 0;
+
+    /** Total timed waits that ended in Timeout. */
+    virtual std::uint64_t timeouts() const = 0;
 };
 
 /** Which implementation a factory call should produce. */
@@ -58,8 +72,8 @@ BarrierKind barrierKindFromString(const std::string &name);
  *
  * @param kind implementation selector
  * @param parties participating threads
- * @param cfg waiting policy (ignored by Adaptive, which tunes
- *            itself)
+ * @param cfg waiting policy (Adaptive tunes its own waits and takes
+ *            only the fault hook from it)
  */
 std::unique_ptr<AnyBarrier> makeBarrier(BarrierKind kind,
                                         std::uint32_t parties,

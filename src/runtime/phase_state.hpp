@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Epoch-tagged arrival state for centralized (flat) barriers.
+ *
+ * A sense-reversing barrier keeps an arrival counter; supporting
+ * *timed* arrivals means a waiter that gives up must be able to take
+ * its arrival back without corrupting the phase.  A bare counter
+ * cannot do that safely: between the waiter's last poll and its
+ * decrement, the last party may arrive and recycle the counter for
+ * the next phase, and the late decrement would then corrupt that
+ * phase (classic ABA).
+ *
+ * PhaseState packs (epoch, count) into one 64-bit word:
+ *
+ *  - arrivals are a fetch_add of 1 (count occupies the low half, and
+ *    count <= parties << 2^32, so the add can never carry into the
+ *    epoch);
+ *  - the last arriver recycles the word with a single store of
+ *    (epoch+1, 0) — no withdrawal can interleave, because withdrawal
+ *    refuses to run once count == parties;
+ *  - withdrawal is a CAS of (epoch, count) -> (epoch, count-1),
+ *    which fails harmlessly if the epoch moved on.
+ *
+ * The epoch doubles as the phase sense: a waiter's release condition
+ * is "the barrier's published sense no longer equals my arrival
+ * epoch".  SpinBarrier and AdaptiveBarrier both build on this.
+ */
+
+#ifndef ABSYNC_RUNTIME_PHASE_STATE_HPP
+#define ABSYNC_RUNTIME_PHASE_STATE_HPP
+
+#include <atomic>
+#include <cstdint>
+
+namespace absync::runtime
+{
+
+/** Packed (epoch, arrival-count) word for flat barriers. */
+class PhaseState
+{
+  public:
+    /** Result of registering one arrival. */
+    struct Arrival
+    {
+        std::uint32_t epoch; ///< phase this arrival belongs to
+        std::uint32_t pos;   ///< 0-based arrival position
+        bool last;           ///< true for the phase-closing arrival
+    };
+
+    /** How a withdrawal attempt ended. */
+    enum class Withdraw
+    {
+        Withdrawn, ///< arrival taken back; phase is short one party
+        Completed, ///< the phase completed first; caller was released
+        Completing,///< all parties arrived; release is instants away
+    };
+
+    /** Register one arrival in the current phase. */
+    Arrival
+    arrive(std::uint32_t parties)
+    {
+        const std::uint64_t s =
+            state_.fetch_add(1, std::memory_order_acq_rel);
+        Arrival a;
+        a.epoch = static_cast<std::uint32_t>(s >> 32);
+        a.pos = static_cast<std::uint32_t>(s & 0xffffffffULL);
+        a.last = a.pos + 1 == parties;
+        return a;
+    }
+
+    /**
+     * Recycle the word for the next phase.  Only the phase-closing
+     * arriver may call this, and it must do so *before* publishing
+     * the release (sense store), so that released threads re-arriving
+     * immediately see the fresh count.
+     */
+    void
+    advance(std::uint32_t epoch)
+    {
+        state_.store(static_cast<std::uint64_t>(epoch + 1) << 32,
+                     std::memory_order_release);
+    }
+
+    /**
+     * Try to take back one arrival made in @p my_epoch.
+     *
+     * Returns Withdrawn on success.  Returns Completed when the epoch
+     * has already advanced (the caller was released and must report
+     * Ok).  Returns Completing when every party has arrived but the
+     * release is not yet published — the caller must wait for its
+     * sense word and report Ok; the closing arriver is between its
+     * fetch_add and its advance/sense stores, so the wait is bounded
+     * by that thread's progress.
+     */
+    Withdraw
+    tryWithdraw(std::uint32_t my_epoch, std::uint32_t parties)
+    {
+        std::uint64_t s = state_.load(std::memory_order_acquire);
+        for (;;) {
+            const auto epoch = static_cast<std::uint32_t>(s >> 32);
+            const auto count =
+                static_cast<std::uint32_t>(s & 0xffffffffULL);
+            if (epoch != my_epoch)
+                return Withdraw::Completed;
+            if (count == parties)
+                return Withdraw::Completing;
+            if (state_.compare_exchange_weak(
+                    s, s - 1, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                return Withdraw::Withdrawn;
+            }
+        }
+    }
+
+  private:
+    std::atomic<std::uint64_t> state_{0};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_PHASE_STATE_HPP

@@ -1,5 +1,8 @@
 #include "runtime/resource_pool.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "runtime/spin_backoff.hpp"
 
 namespace absync::runtime
@@ -29,15 +32,33 @@ BackoffResource::tryAcquire()
 void
 BackoffResource::acquire()
 {
+    acquireInternal(false, Deadline{});
+}
+
+WaitResult
+BackoffResource::acquireFor(Deadline deadline)
+{
+    return acquireInternal(true, deadline);
+}
+
+WaitResult
+BackoffResource::acquireInternal(bool timed, Deadline deadline)
+{
     std::uint64_t local_polls = 1;
     if (tryAcquire()) {
         polls_.fetch_add(local_polls, std::memory_order_relaxed);
-        return;
+        return WaitResult::Ok;
     }
 
     waiters_.fetch_add(1, std::memory_order_relaxed);
     ExpBackoff exp(2, 8, 1 << 15);
+    WaitResult result = WaitResult::Ok;
     for (;;) {
+        if (timed && deadlineExpired(deadline)) {
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            result = WaitResult::Timeout;
+            break;
+        }
         switch (policy_) {
           case ResourcePolicy::Spin:
             cpuRelax();
@@ -48,11 +69,21 @@ BackoffResource::acquire()
             // us roughly when a slot can free up.
             const std::uint64_t ahead =
                 waiters_.load(std::memory_order_relaxed);
-            spinFor((ahead ? ahead : 1) * hold_estimate_);
+            const std::uint64_t interval =
+                (ahead ? ahead : 1) * hold_estimate_;
+            if (timed)
+                spinForUntil(interval, deadline);
+            else
+                spinFor(interval);
             break;
           }
           case ResourcePolicy::Exponential:
-            exp();
+            if (timed) {
+                spinForUntil(exp.current(), deadline);
+                exp.advance();
+            } else {
+                exp();
+            }
             break;
         }
         ++local_polls;
@@ -61,12 +92,23 @@ BackoffResource::acquire()
     }
     waiters_.fetch_sub(1, std::memory_order_relaxed);
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    return result;
 }
 
 void
 BackoffResource::release()
 {
-    in_use_.fetch_sub(1, std::memory_order_release);
+    const std::uint32_t prev =
+        in_use_.fetch_sub(1, std::memory_order_release);
+    if (prev == 0) {
+        // Underflow: a release without a matching acquire.  The
+        // wrapped counter would read as ~4 billion held slots and
+        // permanently break the capacity limit; die loudly instead.
+        std::fprintf(stderr,
+                     "BackoffResource::release(): release without "
+                     "matching acquire (in_use underflow)\n");
+        std::abort();
+    }
 }
 
 } // namespace absync::runtime

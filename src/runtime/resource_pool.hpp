@@ -11,6 +11,14 @@
  * BackoffResource implements an M-slot resource (M = 1 gives a lock)
  * whose waiters read the waiter count — synchronization state — and
  * sleep proportionally to it before re-polling.
+ *
+ * acquireFor() bounds the wait by an absolute deadline, returning
+ * WaitResult::Timeout instead of spinning forever when the holders
+ * never let go; backoff intervals are spun in bounded chunks with
+ * clock checks so a pending wait never overshoots the deadline.
+ * release() fails fast (aborts with a message) on a release without
+ * a matching acquire — a silent counter wraparound would otherwise
+ * report ~4 billion slots in use and admit every acquirer.
  */
 
 #ifndef ABSYNC_RUNTIME_RESOURCE_POOL_HPP
@@ -18,6 +26,8 @@
 
 #include <atomic>
 #include <cstdint>
+
+#include "runtime/wait_result.hpp"
 
 namespace absync::runtime
 {
@@ -54,10 +64,21 @@ class BackoffResource
     /** Acquire one slot, waiting per the configured policy. */
     void acquire();
 
+    /**
+     * Acquire one slot, waiting at most until @p deadline.  Returns
+     * Ok with the slot held, or Timeout with nothing acquired (no
+     * release owed).
+     */
+    WaitResult acquireFor(Deadline deadline);
+
     /** Try to acquire without waiting. */
     bool tryAcquire();
 
-    /** Release a previously acquired slot. */
+    /**
+     * Release a previously acquired slot.  Releasing without a
+     * matching acquire aborts: an underflowed counter would silently
+     * disable the capacity limit for every later acquirer.
+     */
     void release();
 
     /** Currently held slots. */
@@ -81,13 +102,23 @@ class BackoffResource
         return polls_.load(std::memory_order_relaxed);
     }
 
+    /** Total timed acquires that ended in Timeout. */
+    std::uint64_t
+    totalTimeouts() const
+    {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+
   private:
+    WaitResult acquireInternal(bool timed, Deadline deadline);
+
     const std::uint32_t slots_;
     const ResourcePolicy policy_;
     const std::uint64_t hold_estimate_;
     std::atomic<std::uint32_t> in_use_{0};
     std::atomic<std::uint32_t> waiters_{0};
     std::atomic<std::uint64_t> polls_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
 };
 
 } // namespace absync::runtime

@@ -86,6 +86,16 @@ class ExpBackoff
     operator()()
     {
         spinFor(current_);
+        advance();
+    }
+
+    /**
+     * Grow the schedule without spinning, for callers that pace the
+     * wait themselves (e.g. deadline-clamped spins).
+     */
+    void
+    advance()
+    {
         if (current_ <= max_ / base_)
             current_ *= base_;
         else

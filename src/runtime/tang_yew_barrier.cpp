@@ -1,5 +1,7 @@
 #include "runtime/tang_yew_barrier.hpp"
 
+#include "support/fault.hpp"
+
 namespace absync::runtime
 {
 
@@ -12,6 +14,24 @@ TangYewBarrier::TangYewBarrier(std::uint32_t parties,
 void
 TangYewBarrier::arriveAndWait()
 {
+    arriveInternal(false, Deadline{});
+}
+
+WaitResult
+TangYewBarrier::arriveAndWaitFor(Deadline deadline)
+{
+    return arriveInternal(true, deadline);
+}
+
+WaitResult
+TangYewBarrier::arriveInternal(bool timed, Deadline deadline)
+{
+    if (cfg_.fault) {
+        const std::uint64_t stall = cfg_.fault->onArrive();
+        if (stall > 0)
+            spinFor(stall);
+    }
+
     // A thread can only be here after observing the previous phase's
     // release, so the phase counter is current for it.
     const std::uint32_t phase = phase_.load(std::memory_order_acquire);
@@ -29,19 +49,54 @@ TangYewBarrier::arriveAndWait()
         cell.flag.store(1, std::memory_order_release);
         if (cfg_.policy == BarrierPolicy::Blocking)
             cell.flag.notify_all();
-        return;
+        return WaitResult::Ok;
     }
-    waitOnFlag(cell, parties_ - i);
+    return waitOnFlag(cell, parties_ - i, timed, deadline);
 }
 
-void
-TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing)
+WaitResult
+TangYewBarrier::resolveTimeout(Cell &cell)
 {
+    std::uint32_t c = cell.counter.load(std::memory_order_acquire);
+    for (;;) {
+        if (cell.flag.load(std::memory_order_acquire) != 0)
+            return WaitResult::Ok; // released while giving up
+        if (c == parties_) {
+            // Completion decided; the closing thread is about to set
+            // the flag.  Wait it out and report success.
+            while (cell.flag.load(std::memory_order_acquire) == 0)
+                cpuRelax();
+            return WaitResult::Ok;
+        }
+        if (cell.counter.compare_exchange_weak(
+                c, c - 1, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            return WaitResult::Timeout;
+        }
+    }
+}
+
+WaitResult
+TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing,
+                           bool timed, Deadline deadline)
+{
+    // Pace one backoff interval; a fault hook may cut it short
+    // (spurious wakeup), a deadline clamps it into bounded chunks.
+    const auto pause = [&](std::uint64_t iterations) {
+        if (cfg_.fault && cfg_.fault->onWake())
+            return;
+        if (timed)
+            spinForUntil(iterations, deadline);
+        else
+            spinFor(iterations);
+    };
+
     // Backoff on the barrier variable: i processors have arrived, so
     // at least (N - i) increments must still happen.
     if (cfg_.policy != BarrierPolicy::None)
-        spinFor(static_cast<std::uint64_t>(missing) *
-                cfg_.perMissingArrival);
+        pause(static_cast<std::uint64_t>(missing) *
+              cfg_.perMissingArrival);
 
     std::uint64_t local_polls = 0;
     std::uint64_t wait = cfg_.initial;
@@ -49,40 +104,51 @@ TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing)
         ++local_polls;
         if (cell.flag.load(std::memory_order_acquire) != 0)
             break;
+        if (timed && deadlineExpired(deadline)) {
+            polls_.fetch_add(local_polls, std::memory_order_relaxed);
+            return resolveTimeout(cell);
+        }
         switch (cfg_.policy) {
           case BarrierPolicy::None:
           case BarrierPolicy::Variable:
             cpuRelax();
             break;
           case BarrierPolicy::Linear:
-            spinFor(wait);
+            pause(wait);
             wait = wait + cfg_.base > cfg_.maxWait ? cfg_.maxWait
                                                    : wait + cfg_.base;
             break;
           case BarrierPolicy::Exponential:
-            spinFor(wait);
+            pause(wait);
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
           case BarrierPolicy::Blocking:
             if (wait > cfg_.blockThreshold) {
-                blocks_.fetch_add(1, std::memory_order_relaxed);
-                while (cell.flag.load(std::memory_order_acquire) ==
-                       0) {
-                    cell.flag.wait(0, std::memory_order_acquire);
+                if (!timed) {
+                    blocks_.fetch_add(1, std::memory_order_relaxed);
+                    while (cell.flag.load(
+                               std::memory_order_acquire) == 0) {
+                        cell.flag.wait(0, std::memory_order_acquire);
+                    }
+                    ++local_polls;
+                    polls_.fetch_add(local_polls,
+                                     std::memory_order_relaxed);
+                    return WaitResult::Ok;
                 }
-                ++local_polls;
-                polls_.fetch_add(local_polls,
-                                 std::memory_order_relaxed);
-                return;
+                // Timed: no futex deadline exists; clamp the
+                // schedule to the threshold and keep re-polling.
+                pause(cfg_.blockThreshold);
+                break;
             }
-            spinFor(wait);
+            pause(wait);
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
         }
     }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    return WaitResult::Ok;
 }
 
 } // namespace absync::runtime

@@ -22,6 +22,14 @@
  * paper's backoff-on-the-barrier-variable: the fetch&add result i
  * tells the waiter N-i arrivals are still outstanding.
  *
+ * Timed arrivals (arriveAndWaitFor) withdraw the caller's increment
+ * on timeout.  The decrement is safe without an epoch tag because a
+ * cell is recycled only by the *next* phase's completion, which
+ * needs every party — including the pending withdrawer — to arrive
+ * again first; the withdrawal CAS refuses to run once the counter
+ * has reached N (completion then being decided), mirroring
+ * phase_state.hpp.
+ *
  * SpinBarrier (sense reversal) is the recommended modern barrier;
  * this class exists for fidelity and for A/B comparison in benches.
  */
@@ -33,6 +41,7 @@
 #include <cstdint>
 
 #include "runtime/barrier.hpp"
+#include "runtime/wait_result.hpp"
 
 namespace absync::runtime
 {
@@ -56,6 +65,14 @@ class TangYewBarrier
     /** Arrive and wait until all parties have arrived. */
     void arriveAndWait();
 
+    /**
+     * Arrive and wait until all parties arrive or @p deadline passes.
+     * On Timeout the caller's increment is withdrawn; the phase
+     * completes only once all parties arrive again (rejoin by
+     * calling either arrive variant afresh).
+     */
+    WaitResult arriveAndWaitFor(Deadline deadline);
+
     /** Number of participating threads. */
     std::uint32_t parties() const { return parties_; }
 
@@ -73,6 +90,13 @@ class TangYewBarrier
         return blocks_.load(std::memory_order_relaxed);
     }
 
+    /** Total timed waits that ended in Timeout. */
+    std::uint64_t
+    totalTimeouts() const
+    {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** One phase's cell pair, padded apart: the paper places the
      *  variable and flag in different memory modules. */
@@ -82,7 +106,11 @@ class TangYewBarrier
         alignas(64) std::atomic<std::uint32_t> flag{0};
     };
 
-    void waitOnFlag(Cell &cell, std::uint32_t missing);
+    WaitResult arriveInternal(bool timed, Deadline deadline);
+    WaitResult waitOnFlag(Cell &cell, std::uint32_t missing,
+                          bool timed, Deadline deadline);
+    /** Timed wait gave up: withdraw, or ride out a racing release. */
+    WaitResult resolveTimeout(Cell &cell);
 
     const std::uint32_t parties_;
     const BarrierConfig cfg_;
@@ -91,6 +119,7 @@ class TangYewBarrier
     std::atomic<std::uint32_t> phase_{0};
     std::atomic<std::uint64_t> polls_{0};
     std::atomic<std::uint64_t> blocks_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
 };
 
 } // namespace absync::runtime

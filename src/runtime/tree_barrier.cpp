@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "support/fault.hpp"
+
 namespace absync::runtime
 {
 
@@ -28,6 +30,7 @@ TreeBarrier::TreeBarrier(std::uint32_t parties, std::uint32_t fan_in,
     }
     nodes_ = std::vector<Node>(total);
     root_ = total - 1;
+    slots_ = std::vector<ThreadSlot>(parties_);
 
     // Expected arrivals and parent links.
     below = parties_;
@@ -43,13 +46,25 @@ TreeBarrier::TreeBarrier(std::uint32_t parties, std::uint32_t fan_in,
     }
 }
 
-void
+WaitResult
 TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
-                        std::uint32_t missing)
+                        std::uint32_t missing, bool timed,
+                        Deadline deadline)
 {
-    if (cfg_.policy != BarrierPolicy::None)
-        spinFor(static_cast<std::uint64_t>(missing) *
-                cfg_.perMissingArrival);
+    // Pace one backoff interval; a fault hook may cut it short
+    // (spurious wakeup), a deadline clamps it into bounded chunks.
+    const auto pause = [&](std::uint64_t iterations) {
+        if (cfg_.fault && cfg_.fault->onWake())
+            return;
+        if (timed)
+            spinForUntil(iterations, deadline);
+        else
+            spinFor(iterations);
+    };
+
+    if (cfg_.policy != BarrierPolicy::None && missing > 0)
+        pause(static_cast<std::uint64_t>(missing) *
+              cfg_.perMissingArrival);
 
     std::uint64_t local_polls = 0;
     std::uint64_t wait = cfg_.initial;
@@ -57,33 +72,44 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
         ++local_polls;
         if (node.sense.load(std::memory_order_acquire) != old_sense)
             break;
+        if (timed && deadlineExpired(deadline)) {
+            polls_.fetch_add(local_polls, std::memory_order_relaxed);
+            return WaitResult::Timeout;
+        }
         switch (cfg_.policy) {
           case BarrierPolicy::None:
           case BarrierPolicy::Variable:
             cpuRelax();
             break;
           case BarrierPolicy::Linear:
-            spinFor(wait);
+            pause(wait);
             wait = wait + cfg_.base > cfg_.maxWait ? cfg_.maxWait
                                                    : wait + cfg_.base;
             break;
           case BarrierPolicy::Exponential:
-            spinFor(wait);
+            pause(wait);
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
           case BarrierPolicy::Blocking:
             if (wait > cfg_.blockThreshold) {
-                blocks_.fetch_add(1, std::memory_order_relaxed);
-                while (node.sense.load(std::memory_order_acquire) ==
-                       old_sense) {
-                    node.sense.wait(old_sense,
-                                    std::memory_order_acquire);
+                if (!timed) {
+                    blocks_.fetch_add(1, std::memory_order_relaxed);
+                    while (node.sense.load(
+                               std::memory_order_acquire) ==
+                           old_sense) {
+                        node.sense.wait(old_sense,
+                                        std::memory_order_acquire);
+                    }
+                    ++local_polls;
+                    goto out;
                 }
-                ++local_polls;
-                goto out;
+                // Timed: no futex deadline exists; clamp the
+                // schedule to the threshold and keep re-polling.
+                pause(cfg_.blockThreshold);
+                break;
             }
-            spinFor(wait);
+            pause(wait);
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
@@ -91,55 +117,92 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
     }
   out:
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    return WaitResult::Ok;
 }
 
 void
 TreeBarrier::arriveAndWait(std::uint32_t thread_id)
 {
+    arriveInternal(thread_id, false, Deadline{});
+}
+
+WaitResult
+TreeBarrier::arriveAndWaitFor(std::uint32_t thread_id,
+                              Deadline deadline)
+{
+    return arriveInternal(thread_id, true, deadline);
+}
+
+WaitResult
+TreeBarrier::arriveInternal(std::uint32_t thread_id, bool timed,
+                            Deadline deadline)
+{
     assert(thread_id < parties_);
-
-    // Ascend: win nodes while we are the last arriver.
-    std::uint32_t won[32];
-    std::uint32_t n_won = 0;
-    std::uint32_t node_idx = thread_id / fan_in_;
-    std::uint32_t poll_node = node_idx;
-    std::uint32_t poll_sense = 0;
+    ThreadSlot &slot = slots_[thread_id];
+    bool is_winner = false;
     std::uint32_t poll_missing = 0;
-    bool is_winner = true;
 
-    for (;;) {
-        Node &node = nodes_[node_idx];
-        const std::uint32_t old_sense =
-            node.sense.load(std::memory_order_acquire);
-        const std::uint32_t pos =
-            node.count.fetch_add(1, std::memory_order_acq_rel);
-        if (pos + 1 != node.expected) {
-            // Not last: wait here for the release.
-            poll_node = node_idx;
-            poll_sense = old_sense;
-            poll_missing = node.expected - (pos + 1);
-            is_winner = false;
-            break;
+    if (!slot.pending) {
+        // Fresh arrival.  The fault hook stalls only here: a resumed
+        // continuation already arrived and owes the tree progress.
+        if (cfg_.fault) {
+            const std::uint64_t stall = cfg_.fault->onArrive();
+            if (stall > 0)
+                spinFor(stall);
         }
-        won[n_won++] = node_idx;
-        if (node_idx == root_)
-            break;
-        node_idx = node.parent;
+
+        // Ascend: win nodes while we are the last arriver.
+        slot.n_won = 0;
+        std::uint32_t node_idx = thread_id / fan_in_;
+        is_winner = true;
+        for (;;) {
+            Node &node = nodes_[node_idx];
+            const std::uint32_t old_sense =
+                node.sense.load(std::memory_order_acquire);
+            const std::uint32_t pos =
+                node.count.fetch_add(1, std::memory_order_acq_rel);
+            if (pos + 1 != node.expected) {
+                // Not last: wait here for the release.
+                slot.poll_node = node_idx;
+                slot.poll_sense = old_sense;
+                poll_missing = node.expected - (pos + 1);
+                is_winner = false;
+                break;
+            }
+            slot.won[slot.n_won++] = node_idx;
+            if (node_idx == root_)
+                break;
+            node_idx = node.parent;
+        }
     }
+    // else: resume the parked wait; arrivals are already in place and
+    // the pre-wait is skipped (poll_missing == 0).
 
     if (!is_winner) {
-        waitAtNode(nodes_[poll_node], poll_sense, poll_missing);
+        const WaitResult r =
+            waitAtNode(nodes_[slot.poll_node], slot.poll_sense,
+                       poll_missing, timed, deadline);
+        if (r == WaitResult::Timeout) {
+            // Park the continuation: arrivals and won-node release
+            // obligations stay registered until this thread resumes.
+            slot.pending = true;
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            return WaitResult::Timeout;
+        }
     }
+    slot.pending = false;
 
     // Release: the winner of each node resets it and bumps its
     // sense, top-down, so each subtree wakes as soon as possible.
-    for (std::uint32_t i = n_won; i-- > 0;) {
-        Node &node = nodes_[won[i]];
+    for (std::uint32_t i = slot.n_won; i-- > 0;) {
+        Node &node = nodes_[slot.won[i]];
         node.count.store(0, std::memory_order_relaxed);
         node.sense.fetch_add(1, std::memory_order_release);
         if (cfg_.policy == BarrierPolicy::Blocking)
             node.sense.notify_all();
     }
+    slot.n_won = 0;
+    return WaitResult::Ok;
 }
 
 } // namespace absync::runtime

@@ -9,6 +9,23 @@
  * paths.  Each node's wait applies the configured BarrierConfig
  * policy, including queue-on-threshold blocking via
  * std::atomic::wait.
+ *
+ * Timed arrivals (arriveAndWaitFor) use *continuation-resume*
+ * semantics instead of the withdrawal protocol of the flat barriers.
+ * Withdrawal is unsound in a tree: a timed-out thread that already
+ * won lower nodes cannot take its contributions back without racing
+ * a concurrent rejoin of the same subtree — the parent node would
+ * count the subtree twice.  Instead, a timeout leaves the thread's
+ * arrivals (and any won-node release obligations) registered in a
+ * per-thread slot and returns Timeout; the *next* arrive call from
+ * that thread — timed or not — resumes the parked wait rather than
+ * arriving anew.  The resumed call returns once the parked phase
+ * completes, at which point the thread releases the nodes it won and
+ * the barrier is back in a clean state for the next phase.  A
+ * consequence worth noting: until a timed-out thread resumes, the
+ * waiters in the subtrees it won stay unreleased even after the
+ * phase's root completes — bounded waiting tells the caller the
+ * deadline passed, it does not excuse the thread from the phase.
  */
 
 #ifndef ABSYNC_RUNTIME_TREE_BARRIER_HPP
@@ -20,6 +37,7 @@
 #include <vector>
 
 #include "runtime/barrier.hpp"
+#include "runtime/wait_result.hpp"
 
 namespace absync::runtime
 {
@@ -47,6 +65,15 @@ class TreeBarrier
     /** Arrive as thread @p thread_id and wait for the phase. */
     void arriveAndWait(std::uint32_t thread_id);
 
+    /**
+     * Arrive as thread @p thread_id and wait until the phase
+     * completes or @p deadline passes.  On Timeout the arrival stays
+     * registered (see the file comment); the same thread's next
+     * arrive call resumes the parked phase.
+     */
+    WaitResult arriveAndWaitFor(std::uint32_t thread_id,
+                                Deadline deadline);
+
     /** Number of participating threads. */
     std::uint32_t parties() const { return parties_; }
 
@@ -71,6 +98,13 @@ class TreeBarrier
         return blocks_.load(std::memory_order_relaxed);
     }
 
+    /** Total timed waits that ended in Timeout. */
+    std::uint64_t
+    totalTimeouts() const
+    {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** One tree node, padded to its own cache line pair. */
     struct alignas(64) Node
@@ -81,17 +115,37 @@ class TreeBarrier
         std::uint32_t parent = 0; ///< node index; self for the root
     };
 
+    /**
+     * Parked continuation of a timed-out arrival.  Only ever touched
+     * by its owning thread, so the fields are plain (the slot's
+     * visibility is carried by that thread's own program order).
+     */
+    struct alignas(64) ThreadSlot
+    {
+        bool pending = false; ///< a timed-out arrival is parked here
+        std::uint32_t won[32];
+        std::uint32_t n_won = 0;
+        std::uint32_t poll_node = 0;
+        std::uint32_t poll_sense = 0;
+    };
+
+    WaitResult arriveInternal(std::uint32_t thread_id, bool timed,
+                              Deadline deadline);
+
     /** Wait at @p node until its sense leaves @p old_sense. */
-    void waitAtNode(Node &node, std::uint32_t old_sense,
-                    std::uint32_t missing);
+    WaitResult waitAtNode(Node &node, std::uint32_t old_sense,
+                          std::uint32_t missing, bool timed,
+                          Deadline deadline);
 
     const std::uint32_t parties_;
     const std::uint32_t fan_in_;
     const BarrierConfig cfg_;
     std::uint32_t root_;
     std::vector<Node> nodes_;
+    std::vector<ThreadSlot> slots_;
     std::atomic<std::uint64_t> polls_{0};
     std::atomic<std::uint64_t> blocks_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
 };
 
 } // namespace absync::runtime

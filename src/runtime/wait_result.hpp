@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bounded-wait vocabulary shared by the runtime synchronization
+ * primitives.
+ *
+ * Every blocking operation in the runtime (barrier arrival, resource
+ * acquisition) has a timed variant that takes an absolute deadline
+ * and returns WaitResult instead of hanging forever.  The contract:
+ *
+ *  - Ok: the wait completed normally; the caller holds whatever the
+ *    untimed variant would have granted.
+ *  - Timeout: the deadline passed first.  The primitive has undone or
+ *    parked the caller's participation (see each class's notes), so
+ *    the caller may rejoin later or abandon; the primitive itself
+ *    stays consistent either way.
+ *
+ * Deadlines are steady_clock time points: wall-clock adjustments must
+ * not shorten or lengthen waits.  Spin loops honor a deadline by
+ * splitting each backoff interval into bounded chunks and checking
+ * the clock between chunks (spinForUntil), so no single pending wait
+ * — including what would have been a futex block in the untimed path
+ * — can overshoot the deadline by more than one chunk.  C++20
+ * std::atomic::wait has no timed form, so timed waits never enter the
+ * futex; past the blocking threshold they keep spinning at the
+ * clamped maximum interval instead.
+ */
+
+#ifndef ABSYNC_RUNTIME_WAIT_RESULT_HPP
+#define ABSYNC_RUNTIME_WAIT_RESULT_HPP
+
+#include <chrono>
+#include <cstdint>
+
+#include "runtime/spin_backoff.hpp"
+
+namespace absync::runtime
+{
+
+/** Outcome of a timed wait. */
+enum class WaitResult
+{
+    Ok,      ///< the wait completed before the deadline
+    Timeout, ///< the deadline passed; participation undone/parked
+};
+
+/** Absolute deadline for timed waits. */
+using Deadline = std::chrono::steady_clock::time_point;
+
+/** Deadline @p d from now (convenience for call sites and tests). */
+template <class Rep, class Period>
+inline Deadline
+deadlineAfter(std::chrono::duration<Rep, Period> d)
+{
+    return std::chrono::steady_clock::now() + d;
+}
+
+/** True once @p deadline has passed. */
+inline bool
+deadlineExpired(Deadline deadline)
+{
+    return std::chrono::steady_clock::now() >= deadline;
+}
+
+/**
+ * Spin for up to @p iterations pause-iterations, checking the clock
+ * every few microseconds' worth of pauses.
+ *
+ * @return true if the full interval elapsed, false if the deadline
+ *         cut it short
+ */
+inline bool
+spinForUntil(std::uint64_t iterations, Deadline deadline)
+{
+    // ~1k pauses between clock reads keeps the check overhead well
+    // under 1% while bounding deadline overshoot to a few microseconds.
+    constexpr std::uint64_t kChunk = 1024;
+    while (iterations > 0) {
+        const std::uint64_t step =
+            iterations < kChunk ? iterations : kChunk;
+        spinFor(step);
+        iterations -= step;
+        if (iterations > 0 && deadlineExpired(deadline))
+            return false;
+    }
+    return true;
+}
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_WAIT_RESULT_HPP

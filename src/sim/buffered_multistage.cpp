@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "support/fault.hpp"
+
 namespace absync::sim
 {
 
@@ -56,6 +58,7 @@ BufferedMultistageNetwork::run()
         std::uint32_t dest = 0;
         std::uint64_t wake = 0;
         std::uint64_t issueTime = 0;
+        std::uint64_t sent = 0; ///< injections so far (packet index)
     };
     std::vector<Proc> procs(n);
     const auto isPoller = [&](std::uint32_t p) {
@@ -79,7 +82,8 @@ BufferedMultistageNetwork::run()
                 continue;
             const Packet pkt = q.front();
             q.pop_front();
-            module_busy_until[m] = now + cfg_.moduleServiceCycles;
+            module_busy_until[m] =
+                now + cfg_.moduleServiceCycles + pkt.extraService;
             ++st.delivered;
             if (pkt.background) {
                 ++st.bgDelivered;
@@ -168,8 +172,24 @@ BufferedMultistageNetwork::run()
             }
             port_used[port] = 1;
             ++st.injected;
-            q0.push_back(Packet{pr.dest, pr.issueTime,
-                                !isPoller(idx)});
+            const std::uint64_t pkt_idx = pr.sent++;
+            if (cfg_.faults != nullptr &&
+                cfg_.faults->dropPacket(idx, pkt_idx)) {
+                // Lost in the wire; the fire-and-forget sender never
+                // learns, so the loss surfaces only as missing
+                // deliveries downstream.
+                ++st.droppedPackets;
+            } else {
+                std::uint32_t extra = 0;
+                if (cfg_.faults != nullptr) {
+                    extra = static_cast<std::uint32_t>(
+                        cfg_.faults->packetDelay(idx, pkt_idx));
+                    if (extra > 0)
+                        ++st.delayedPackets;
+                }
+                q0.push_back(Packet{pr.dest, pr.issueTime,
+                                    !isPoller(idx), extra});
+            }
             // Fire-and-forget: the processor may issue its next
             // request after a pipeline turnaround of the network
             // depth (it cannot have two packets racing in flight).

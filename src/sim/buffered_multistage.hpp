@@ -38,6 +38,11 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
+namespace absync::support
+{
+class FaultPlan;
+}
+
 namespace absync::sim
 {
 
@@ -70,6 +75,15 @@ struct BufferedNetConfig
     std::uint64_t cycles = 20000;
     /** RNG seed. */
     std::uint64_t seed = 1;
+
+    /**
+     * Optional fault schedule (not owned).  A dropped packet is lost
+     * at injection (the fire-and-forget sender never notices); a
+     * delayed packet occupies its destination module for extra
+     * service cycles, lengthening the very queue Scott-Sohi feedback
+     * reads.  Coordinates are (source, per-source injection index).
+     */
+    const support::FaultPlan *faults = nullptr;
 };
 
 /** Results of one buffered-network experiment. */
@@ -95,6 +109,10 @@ struct BufferedNetStats
     double hotTreeOccupancy = 0.0;
     /** Cycles processors spent in feedback-imposed waits. */
     std::uint64_t feedbackWaitCycles = 0;
+    /** Injections an injected fault discarded in flight. */
+    std::uint64_t droppedPackets = 0;
+    /** Packets an injected fault slowed at their module. */
+    std::uint64_t delayedPackets = 0;
 };
 
 /**
@@ -114,6 +132,8 @@ class BufferedMultistageNetwork
         std::uint32_t dest;
         std::uint64_t issueTime;
         bool background;
+        /** Fault-injected extra service cycles at the module. */
+        std::uint32_t extraService = 0;
     };
 
     /** Queue index for (stage, port). */

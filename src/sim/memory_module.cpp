@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "support/fault.hpp"
+
 namespace absync::sim
 {
 
@@ -25,6 +27,18 @@ arbitrationFromString(const std::string &name)
 RequesterId
 MemoryModule::arbitrate(support::Rng &rng)
 {
+    const std::uint64_t cycle = cycle_++;
+    if (faults_ && faults_->moduleStalled(module_id_, cycle)) {
+        // Stalled: deny everyone.  Denied requesters still paid a
+        // network access, so the denials count as real traffic.
+        ++total_stalls_;
+        total_denials_ += requesters_.size();
+        requesters_.clear();
+        if (arb_ == Arbitration::Fifo)
+            ++fifo_clock_;
+        return NO_GRANT;
+    }
+
     if (requesters_.empty()) {
         if (arb_ == Arbitration::Fifo)
             ++fifo_clock_;
@@ -123,6 +137,8 @@ MemoryModule::reset()
     fifo_waiting_.clear();
     total_grants_ = 0;
     total_denials_ = 0;
+    cycle_ = 0;
+    total_stalls_ = 0;
 }
 
 } // namespace absync::sim

@@ -25,6 +25,11 @@
 
 #include "support/rng.hpp"
 
+namespace absync::support
+{
+class FaultPlan;
+}
+
 namespace absync::sim
 {
 
@@ -92,6 +97,23 @@ class MemoryModule
     /** Total denied (contended-away) requests over the lifetime. */
     std::uint64_t totalDenials() const { return total_denials_; }
 
+    /** Cycles in which an injected stall denied every requester. */
+    std::uint64_t totalStallCycles() const { return total_stalls_; }
+
+    /**
+     * Attach a fault plan: in every cycle the plan marks stalled for
+     * @p module_id, arbitrate() grants nothing and denies all
+     * requesters (modelling a module busy with a refresh, an ECC
+     * scrub, or a contending non-barrier access).  Cycles are counted
+     * from the last reset().  Pass nullptr to detach.
+     */
+    void
+    setFaults(const support::FaultPlan *plan, std::uint32_t module_id)
+    {
+        faults_ = plan;
+        module_id_ = module_id;
+    }
+
     /** Reset per-episode statistics and arbitration state. */
     void reset();
 
@@ -113,6 +135,12 @@ class MemoryModule
 
     std::uint64_t total_grants_ = 0;
     std::uint64_t total_denials_ = 0;
+
+    // Fault injection: stalled cycles grant nothing (see setFaults).
+    const support::FaultPlan *faults_ = nullptr;
+    std::uint32_t module_id_ = 0;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t total_stalls_ = 0;
 };
 
 } // namespace absync::sim

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "support/fault.hpp"
+
 namespace absync::sim
 {
 
@@ -197,6 +199,7 @@ MultistageNetwork::run()
             if (pr.state != ProcState::Attempt || pr.wakeTime > now)
                 continue;
             ++st.attempts;
+            const std::uint64_t pkt = pr.issued++;
             computeRoute(idx, pr.dest, route);
             std::uint32_t blocked_at = 0;
             bool ok = true;
@@ -207,9 +210,28 @@ MultistageNetwork::run()
                     break;
                 }
             }
+            if (ok && cfg_.faults != nullptr &&
+                cfg_.faults->dropPacket(idx, pkt)) {
+                // The packet claimed its full circuit and was lost in
+                // flight: the sender sees it as a collision at
+                // maximum depth and retries per its strategy.
+                ok = false;
+                blocked_at = stages_;
+                ++st.droppedPackets;
+            }
             if (ok) {
-                // Hold the full path for setup + service.
-                const std::uint64_t until = now + cfg_.serviceCycles;
+                // Hold the full path for setup + service (an injected
+                // packet delay stretches the service occupancy).
+                std::uint64_t service = cfg_.serviceCycles;
+                if (cfg_.faults != nullptr) {
+                    const std::uint64_t extra =
+                        cfg_.faults->packetDelay(idx, pkt);
+                    if (extra > 0) {
+                        service += extra;
+                        ++st.delayedPackets;
+                    }
+                }
+                const std::uint64_t until = now + service;
                 for (std::uint32_t j = 0; j < stages_; ++j)
                     portBusyUntil_[portIndex(j, route[j])] = until;
                 pr.state = ProcState::Holding;

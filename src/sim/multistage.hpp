@@ -36,6 +36,11 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
+namespace absync::support
+{
+class FaultPlan;
+}
+
 namespace absync::sim
 {
 
@@ -92,6 +97,17 @@ struct MultistageConfig
     std::uint64_t cycles = 20000;
     /** RNG seed. */
     std::uint64_t seed = 1;
+
+    /**
+     * Optional fault schedule (not owned).  A dropped packet claims
+     * its full circuit, vanishes, and is retried like a collision at
+     * maximum depth; a delayed packet holds its circuit for extra
+     * service cycles.  Packet coordinates are (source processor,
+     * per-source attempt index), so the fault set is identical across
+     * strategies under the same plan — the basis of the degradation
+     * comparison in ext_fault_robustness.
+     */
+    const support::FaultPlan *faults = nullptr;
 };
 
 /** Aggregate results of one multistage-network experiment. */
@@ -118,6 +134,10 @@ struct MultistageStats
     double bgThroughput = 0.0;
     /** Mean background request latency. */
     double bgLatency = 0.0;
+    /** Attempts whose packet an injected fault dropped in flight. */
+    std::uint64_t droppedPackets = 0;
+    /** Completions an injected fault slowed with extra service. */
+    std::uint64_t delayedPackets = 0;
 };
 
 /**
@@ -143,6 +163,7 @@ class MultistageNetwork
         std::uint64_t issueTime = 0;
         std::uint64_t wakeTime = 0;   // next cycle to act (backoff/hold)
         std::uint32_t fails = 0;      // consecutive collisions
+        std::uint64_t issued = 0;     // attempts so far (packet index)
     };
 
     /** Port resource id for (stage, port-address). */

@@ -1,0 +1,145 @@
+#include "support/fault.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace absync::support
+{
+
+FaultPlan::FaultPlan(const FaultPlanConfig &cfg) : cfg_(cfg) {}
+
+std::uint64_t
+FaultPlan::mix(FaultKind kind, std::uint64_t a, std::uint64_t b) const
+{
+    // splitmix64 over a fixed combination of the coordinates.  Pure:
+    // no state is read or written, so queries are order-independent
+    // and thread-safe.
+    std::uint64_t z = cfg_.seed;
+    z ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(kind) + 1);
+    z += 0xbf58476d1ce4e5b9ULL * (a + 1);
+    z += 0x94d049bb133111ebULL * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+FaultPlan::unit(FaultKind kind, std::uint64_t a, std::uint64_t b) const
+{
+    return static_cast<double>(mix(kind, a, b) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+FaultPlan::range(FaultKind kind, std::uint64_t a, std::uint64_t b,
+                 std::uint64_t lo, std::uint64_t hi) const
+{
+    if (hi <= lo)
+        return lo;
+    // A second, decorrelated draw (b offset) so the magnitude is
+    // independent of the occurrence test.
+    const std::uint64_t r = mix(kind, a, b + 0x51ed270b0f0cULL);
+    return lo + r % (hi - lo + 1);
+}
+
+std::uint64_t
+FaultPlan::stragglerDelay(std::uint32_t participant,
+                          std::uint64_t phase) const
+{
+    if (cfg_.stragglerProb <= 0.0)
+        return 0;
+    if (unit(FaultKind::StragglerDelay, participant, phase) >=
+        cfg_.stragglerProb) {
+        return 0;
+    }
+    return range(FaultKind::StragglerDelay, participant, phase,
+                 cfg_.stragglerMin, cfg_.stragglerMax);
+}
+
+std::uint64_t
+FaultPlan::crashPhase(std::uint32_t participant) const
+{
+    if (cfg_.crashProb <= 0.0)
+        return std::numeric_limits<std::uint64_t>::max();
+    if (cfg_.crashProb >= 1.0)
+        return 0;
+    // Geometric draw: one uniform variate per participant gives the
+    // first phase whose per-phase crash test would fail.
+    const double u = unit(FaultKind::Crash, participant, 0);
+    const double p =
+        std::floor(std::log1p(-u) / std::log1p(-cfg_.crashProb));
+    if (p >= 1e18) // effectively never
+        return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(p);
+}
+
+bool
+FaultPlan::spuriousWake(std::uint32_t participant,
+                        std::uint64_t wait_index) const
+{
+    return cfg_.spuriousWakeProb > 0.0 &&
+           unit(FaultKind::SpuriousWake, participant, wait_index) <
+               cfg_.spuriousWakeProb;
+}
+
+bool
+FaultPlan::dropPacket(std::uint32_t source,
+                      std::uint64_t packet_index) const
+{
+    return cfg_.dropProb > 0.0 &&
+           unit(FaultKind::PacketDrop, source, packet_index) <
+               cfg_.dropProb;
+}
+
+std::uint64_t
+FaultPlan::packetDelay(std::uint32_t source,
+                       std::uint64_t packet_index) const
+{
+    if (cfg_.delayProb <= 0.0)
+        return 0;
+    if (unit(FaultKind::PacketDelay, source, packet_index) >=
+        cfg_.delayProb) {
+        return 0;
+    }
+    return range(FaultKind::PacketDelay, source, packet_index,
+                 cfg_.delayMin, cfg_.delayMax);
+}
+
+bool
+FaultPlan::moduleStalled(std::uint32_t module, std::uint64_t cycle) const
+{
+    return cfg_.stallProb > 0.0 &&
+           unit(FaultKind::ModuleStall, module, cycle) <
+               cfg_.stallProb;
+}
+
+std::vector<FaultEvent>
+FaultPlan::schedule(std::uint32_t participants,
+                    std::uint64_t phases) const
+{
+    std::vector<FaultEvent> events;
+    for (std::uint32_t p = 0; p < participants; ++p) {
+        const std::uint64_t cp = crashPhase(p);
+        if (cp < phases) {
+            events.push_back(
+                {FaultKind::Crash, p, cp, 0});
+        }
+        for (std::uint64_t ph = 0; ph < phases; ++ph) {
+            const std::uint64_t d = stragglerDelay(p, ph);
+            if (d > 0)
+                events.push_back(
+                    {FaultKind::StragglerDelay, p, ph, d});
+            if (spuriousWake(p, ph))
+                events.push_back({FaultKind::SpuriousWake, p, ph, 0});
+            if (dropPacket(p, ph))
+                events.push_back({FaultKind::PacketDrop, p, ph, 0});
+            const std::uint64_t pd = packetDelay(p, ph);
+            if (pd > 0)
+                events.push_back({FaultKind::PacketDelay, p, ph, pd});
+            if (moduleStalled(p, ph))
+                events.push_back({FaultKind::ModuleStall, p, ph, 0});
+        }
+    }
+    return events;
+}
+
+} // namespace absync::support

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Deterministic fault injection for the runtime and the simulators.
+ *
+ * The paper evaluates backoff policies in the happy path: every
+ * processor arrives, every access eventually succeeds.  Production
+ * systems are not so kind — threads stall on page faults, get
+ * preempted, or die; packets are dropped or delayed; memory modules
+ * stall.  Bender et al. (arXiv:1402.5207) and Goldberg & Lapinskas
+ * (arXiv:2203.17144) both show that backoff schedules which look fine
+ * under benign arrivals can collapse under adversarial disruption, so
+ * the policies in this repository must be measurable under
+ * perturbation, not just at the optimum.
+ *
+ * FaultPlan is a *seeded, reproducible* schedule of faults.  Every
+ * query is a pure function of (seed, fault kind, coordinates), so two
+ * plans built from the same FaultPlanConfig answer every query
+ * identically — runs are replayable, regressions bisectable, and the
+ * plan can be consulted concurrently from many threads without
+ * synchronization.  One plan type serves both fault domains:
+ *
+ *  - participant faults (straggler delays, crashes, spurious
+ *    wakeups), consumed by the barrier implementations and
+ *    core::BarrierSimulator; and
+ *  - infrastructure faults (dropped/delayed packets, stalled memory
+ *    modules), consumed by the network simulators and
+ *    sim::MemoryModule.
+ *
+ * FaultInjector adapts a plan to the real-thread runtime, where
+ * participants have no stable per-phase coordinates: it hands out
+ * schedule entries in arrival order through atomic counters.  It is a
+ * test/bench hook — production builds simply leave the hook pointer
+ * null.
+ */
+
+#ifndef ABSYNC_SUPPORT_FAULT_HPP
+#define ABSYNC_SUPPORT_FAULT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace absync::support
+{
+
+/** Kinds of faults a FaultPlan can schedule. */
+enum class FaultKind : std::uint8_t
+{
+    StragglerDelay, ///< participant arrives late by a bounded delay
+    Crash,          ///< participant stops arriving from some phase on
+    SpuriousWake,   ///< a backed-off waiter re-polls early
+    PacketDrop,     ///< a network packet is lost in flight
+    PacketDelay,    ///< a network packet is slowed by extra cycles
+    ModuleStall,    ///< a memory module grants nothing for a cycle
+};
+
+/** One materialized fault, for logging and determinism tests. */
+struct FaultEvent
+{
+    FaultKind kind;
+    std::uint32_t participant; ///< processor / source / module id
+    std::uint64_t at;          ///< phase / packet index / cycle
+    std::uint64_t magnitude;   ///< delay in cycles (0 for drops)
+
+    bool
+    operator==(const FaultEvent &o) const
+    {
+        return kind == o.kind && participant == o.participant &&
+               at == o.at && magnitude == o.magnitude;
+    }
+};
+
+/** Probabilities and bounds of one fault schedule. */
+struct FaultPlanConfig
+{
+    /** Seed: same seed + same knobs => identical schedule. */
+    std::uint64_t seed = 1;
+
+    // -- participant faults ------------------------------------------
+    /** P(participant straggles) per (participant, phase). */
+    double stragglerProb = 0.0;
+    /** Straggler delay bounds, in cycles / pause-iterations. */
+    std::uint64_t stragglerMin = 100;
+    std::uint64_t stragglerMax = 1000;
+    /** Per-phase crash probability; the crash phase is geometric.
+     *  Once crashed, a participant never arrives again. */
+    double crashProb = 0.0;
+    /** P(spurious wakeup) per (participant, backoff interval). */
+    double spuriousWakeProb = 0.0;
+
+    // -- infrastructure faults ---------------------------------------
+    /** P(packet dropped) per (source, packet index). */
+    double dropProb = 0.0;
+    /** P(packet delayed) per (source, packet index). */
+    double delayProb = 0.0;
+    /** Packet delay bounds, in cycles. */
+    std::uint64_t delayMin = 1;
+    std::uint64_t delayMax = 16;
+    /** P(module stalls) per (module, cycle). */
+    double stallProb = 0.0;
+};
+
+/**
+ * Seeded, reproducible fault schedule.
+ *
+ * All queries are const, pure, and thread-safe; the same plan (or a
+ * second plan built from an equal config) returns the same answer for
+ * the same coordinates.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultPlanConfig &cfg);
+
+    const FaultPlanConfig &config() const { return cfg_; }
+
+    /** Extra arrival delay of @p participant in @p phase (0 = none). */
+    std::uint64_t stragglerDelay(std::uint32_t participant,
+                                 std::uint64_t phase) const;
+
+    /** First phase in which @p participant fails to arrive;
+     *  UINT64_MAX when it never crashes. */
+    std::uint64_t crashPhase(std::uint32_t participant) const;
+
+    /** True once @p participant has crashed at or before @p phase. */
+    bool
+    crashed(std::uint32_t participant, std::uint64_t phase) const
+    {
+        return crashPhase(participant) <= phase;
+    }
+
+    /** True when the @p wait_index -th backoff interval of
+     *  @p participant is cut short by a spurious wakeup. */
+    bool spuriousWake(std::uint32_t participant,
+                      std::uint64_t wait_index) const;
+
+    /** True when packet @p packet_index from @p source is dropped. */
+    bool dropPacket(std::uint32_t source,
+                    std::uint64_t packet_index) const;
+
+    /** Extra service cycles for packet @p packet_index from
+     *  @p source (0 = not delayed). */
+    std::uint64_t packetDelay(std::uint32_t source,
+                              std::uint64_t packet_index) const;
+
+    /** True when @p module grants nothing in @p cycle. */
+    bool moduleStalled(std::uint32_t module,
+                       std::uint64_t cycle) const;
+
+    /**
+     * Materialize the participant-fault schedule for
+     * @p participants x @p phases (plus packet faults for the same
+     * index ranges), in a canonical order.  Intended for determinism
+     * tests and experiment logs, not hot paths.
+     */
+    std::vector<FaultEvent> schedule(std::uint32_t participants,
+                                     std::uint64_t phases) const;
+
+  private:
+    /** Pure 64-bit mix of (seed, kind, a, b). */
+    std::uint64_t mix(FaultKind kind, std::uint64_t a,
+                      std::uint64_t b) const;
+
+    /** mix() mapped to [0, 1). */
+    double unit(FaultKind kind, std::uint64_t a,
+                std::uint64_t b) const;
+
+    /** mix() mapped to [lo, hi] (inclusive). */
+    std::uint64_t range(FaultKind kind, std::uint64_t a,
+                        std::uint64_t b, std::uint64_t lo,
+                        std::uint64_t hi) const;
+
+    FaultPlanConfig cfg_;
+};
+
+/**
+ * Runtime adapter: deals plan entries to real threads in arrival
+ * order (test-only hook; see BarrierConfig::fault).
+ *
+ * Real threads have no simulator-assigned (participant, phase)
+ * coordinates, so the injector indexes the plan with atomic counters:
+ * the k-th arrival at the barrier consumes schedule slot
+ * (k % parties, k / parties).  The *plan* stays deterministic; which
+ * thread draws which slot depends on scheduling, which is the point —
+ * the fault load is reproducible even though thread interleaving is
+ * not.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan fault schedule to consult (not owned; must outlive
+     *             the injector)
+     * @param parties arrivals per phase, for slot bookkeeping
+     */
+    FaultInjector(const FaultPlan &plan, std::uint32_t parties)
+        : plan_(plan), parties_(parties ? parties : 1)
+    {
+    }
+
+    /** Pause-iterations to stall before the next arrival (0 = none). */
+    std::uint64_t
+    onArrive()
+    {
+        const std::uint64_t k =
+            arrivals_.fetch_add(1, std::memory_order_relaxed);
+        return plan_.stragglerDelay(
+            static_cast<std::uint32_t>(k % parties_), k / parties_);
+    }
+
+    /** True when the caller's next backoff interval should be cut
+     *  short (spurious wakeup). */
+    bool
+    onWake()
+    {
+        const std::uint64_t k =
+            wakes_.fetch_add(1, std::memory_order_relaxed);
+        return plan_.spuriousWake(
+            static_cast<std::uint32_t>(k % parties_), k / parties_);
+    }
+
+    /** Arrivals dealt so far (for tests). */
+    std::uint64_t
+    arrivals() const
+    {
+        return arrivals_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const FaultPlan &plan_;
+    const std::uint32_t parties_;
+    std::atomic<std::uint64_t> arrivals_{0};
+    std::atomic<std::uint64_t> wakes_{0};
+};
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_FAULT_HPP

@@ -8,6 +8,7 @@
 #include "core/backoff.hpp"
 #include "core/barrier_sim.hpp"
 #include "core/models.hpp"
+#include "support/fault.hpp"
 
 using namespace absync::core;
 using absync::support::Rng;
@@ -390,4 +391,131 @@ TEST(BarrierSim, OneVariableBlockingWorks)
     cfg.backoff.blockThreshold = 64;
     const auto s = BarrierSimulator(cfg).runMany(20, 79);
     EXPECT_GT(s.blockedProcs, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (FaultPlan threaded through BarrierConfig::faults).
+
+namespace
+{
+
+absync::support::FaultPlanConfig
+faultKnobs(std::uint64_t seed)
+{
+    absync::support::FaultPlanConfig fc;
+    fc.seed = seed;
+    return fc;
+}
+
+} // namespace
+
+TEST(BarrierSimFaults, QuietPlanMatchesNoPlan)
+{
+    // A plan with every probability at zero must be a no-op.
+    const absync::support::FaultPlan plan(faultKnobs(83));
+    auto clean = makeConfig(32, 500, BackoffConfig::exponentialFlag(2));
+    auto wired = clean;
+    wired.faults = &plan;
+    const auto a = BarrierSimulator(clean).runMany(20, 83);
+    const auto b = BarrierSimulator(wired).runMany(20, 83);
+    EXPECT_DOUBLE_EQ(a.accesses.mean(), b.accesses.mean());
+    EXPECT_DOUBLE_EQ(a.wait.mean(), b.wait.mean());
+    EXPECT_EQ(b.timedOutProcs, 0u);
+    EXPECT_EQ(b.crashedProcs, 0u);
+}
+
+TEST(BarrierSimFaults, FaultedRunsAreDeterministic)
+{
+    auto fc = faultKnobs(89);
+    fc.stragglerProb = 0.2;
+    fc.crashProb = 0.02;
+    fc.spuriousWakeProb = 0.2;
+    const absync::support::FaultPlan plan(fc);
+    auto cfg = makeConfig(64, 500, BackoffConfig::exponentialFlag(2));
+    cfg.faults = &plan;
+    cfg.timeoutCycles = 20000;
+    BarrierSimulator sim(cfg);
+    const auto a = sim.runMany(20, 89);
+    const auto b = sim.runMany(20, 89);
+    EXPECT_DOUBLE_EQ(a.accesses.mean(), b.accesses.mean());
+    EXPECT_DOUBLE_EQ(a.wait.mean(), b.wait.mean());
+    EXPECT_EQ(a.timedOutProcs, b.timedOutProcs);
+    EXPECT_EQ(a.crashedProcs, b.crashedProcs);
+}
+
+TEST(BarrierSimFaults, CrashedEpisodeTimesOutSurvivorsNoHang)
+{
+    // With a crashed processor the flag never sets; bounded waiting
+    // must end the episode with every survivor either timed out or
+    // (having arrived before its bound) done, and the summary counts
+    // must reconcile with the per-proc flags.
+    auto fc = faultKnobs(97);
+    fc.crashProb = 0.5; // most episodes lose someone immediately
+    const absync::support::FaultPlan plan(fc);
+    auto cfg = makeConfig(16, 100, BackoffConfig::none());
+    cfg.faults = &plan;
+    cfg.timeoutCycles = 5000;
+    BarrierSimulator sim(cfg);
+    Rng rng(97);
+    const auto res = sim.runOnce(rng, 0);
+    std::uint32_t crashed = 0;
+    std::uint32_t timed_out = 0;
+    for (const auto &p : res.procs) {
+        crashed += p.crashed ? 1 : 0;
+        timed_out += p.timedOut ? 1 : 0;
+        EXPECT_FALSE(p.crashed && p.timedOut);
+        if (p.timedOut) {
+            EXPECT_GE(p.waitCycles, cfg.timeoutCycles);
+        }
+    }
+    ASSERT_GT(crashed, 0u) << "seed must crash someone at episode 0";
+    EXPECT_GT(timed_out, 0u);
+    EXPECT_EQ(crashed + timed_out, res.procs.size());
+}
+
+TEST(BarrierSimFaults, StragglersStretchTheEpisode)
+{
+    auto fc = faultKnobs(101);
+    fc.stragglerProb = 0.3;
+    fc.stragglerMin = 2000;
+    fc.stragglerMax = 4000;
+    const absync::support::FaultPlan plan(fc);
+    auto clean = makeConfig(32, 100, BackoffConfig::none());
+    auto hurt = clean;
+    hurt.faults = &plan;
+    const auto a = BarrierSimulator(clean).runMany(20, 101);
+    const auto b = BarrierSimulator(hurt).runMany(20, 101);
+    // Late arrivals push the span and everyone else's wait up.
+    EXPECT_GT(b.span.mean(), a.span.mean());
+    EXPECT_GT(b.wait.mean(), a.wait.mean());
+    EXPECT_EQ(b.crashedProcs, 0u);
+}
+
+TEST(BarrierSimFaults, SpuriousWakeupsCostAccesses)
+{
+    // A cut backoff interval means an extra (early) poll, so spurious
+    // wakeups must not *decrease* traffic for a backoff policy.
+    auto fc = faultKnobs(103);
+    fc.spuriousWakeProb = 0.5;
+    const absync::support::FaultPlan plan(fc);
+    auto clean = makeConfig(32, 1000, BackoffConfig::exponentialFlag(8));
+    auto hurt = clean;
+    hurt.faults = &plan;
+    const auto a = BarrierSimulator(clean).runMany(30, 103);
+    const auto b = BarrierSimulator(hurt).runMany(30, 103);
+    EXPECT_GE(b.accesses.mean(), a.accesses.mean());
+}
+
+TEST(BarrierSimFaults, ModuleStallsDelayCompletion)
+{
+    auto fc = faultKnobs(107);
+    fc.stallProb = 0.5;
+    const absync::support::FaultPlan plan(fc);
+    auto clean = makeConfig(32, 0, BackoffConfig::none());
+    auto hurt = clean;
+    hurt.faults = &plan;
+    const auto a = BarrierSimulator(clean).runMany(20, 107);
+    const auto b = BarrierSimulator(hurt).runMany(20, 107);
+    // Denied cycles stretch the episode end-to-end.
+    EXPECT_GT(b.wait.mean(), a.wait.mean());
 }

@@ -83,6 +83,18 @@ TEST(Resource, TryAcquireSemantics)
     EXPECT_EQ(res.inUse(), 0u);
 }
 
+TEST(ResourceDeathTest, ReleaseWithoutAcquireAborts)
+{
+    // An unmatched release corrupts in_use_ silently (a free slot
+    // appears out of thin air and the cap stops holding), so it is a
+    // fail-fast abort rather than a wraparound.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    BackoffResource res(2);
+    res.acquire();
+    res.release();
+    EXPECT_DEATH(res.release(), "release without matching acquire");
+}
+
 TEST(Resource, PollsAreCounted)
 {
     BackoffResource res(1);

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Deadline-aware waiting across all four barriers, the type-erased
+ * interface, and BackoffResource.
+ *
+ * The contract under test (see barrier.hpp / tree_barrier.hpp):
+ *  - a missing party makes every timed waiter return Timeout, never
+ *    hang;
+ *  - the structure stays usable afterwards — late or rejoining
+ *    arrivals complete the phase and subsequent phases run clean;
+ *  - a timed wait whose phase completes in time returns Ok.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/adaptive_barrier.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/barrier_interface.hpp"
+#include "runtime/resource_pool.hpp"
+#include "runtime/tang_yew_barrier.hpp"
+#include "runtime/tree_barrier.hpp"
+#include "runtime/wait_result.hpp"
+#include "support/fault.hpp"
+
+using namespace absync::runtime;
+using namespace std::chrono_literals;
+
+namespace
+{
+
+/** Deadline generous enough that only a real bug can hit it; a buggy
+ *  phase then fails the test as Timeout instead of hanging CI. */
+Deadline
+generous()
+{
+    return deadlineAfter(30s);
+}
+
+/** Run @p waiters threads through fn and collect the results. */
+std::vector<WaitResult>
+runThreads(std::uint32_t waiters,
+           const std::function<WaitResult(std::uint32_t)> &fn)
+{
+    std::vector<WaitResult> results(waiters, WaitResult::Ok);
+    std::vector<std::thread> pool;
+    for (std::uint32_t t = 0; t < waiters; ++t)
+        pool.emplace_back([&, t] { results[t] = fn(t); });
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SpinBarrier
+
+TEST(TimedWaits, SpinBarrierAllOkWhenEveryoneArrives)
+{
+    SpinBarrier bar(4);
+    const auto res = runThreads(4, [&](std::uint32_t) {
+        return bar.arriveAndWaitFor(generous());
+    });
+    for (auto r : res)
+        EXPECT_EQ(r, WaitResult::Ok);
+    EXPECT_EQ(bar.totalTimeouts(), 0u);
+}
+
+TEST(TimedWaits, SpinBarrierMissingPartyTimesOutAllWaiters)
+{
+    SpinBarrier bar(4);
+    // Only 3 of 4 parties show up.
+    const auto res = runThreads(3, [&](std::uint32_t) {
+        return bar.arriveAndWaitFor(deadlineAfter(50ms));
+    });
+    for (auto r : res)
+        EXPECT_EQ(r, WaitResult::Timeout);
+    EXPECT_EQ(bar.totalTimeouts(), 3u);
+
+    // All withdrawals landed: a full complement completes the phase
+    // and the next phase runs clean.
+    for (int phase = 0; phase < 2; ++phase) {
+        const auto again = runThreads(4, [&](std::uint32_t) {
+            return bar.arriveAndWaitFor(generous());
+        });
+        for (auto r : again)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+}
+
+TEST(TimedWaits, SpinBarrierLateArrivalAfterTimeoutIsClean)
+{
+    // A waiter times out, then the "missing" party arrives late.
+    // Its arrival must not release anyone by itself (the withdrawer
+    // took its count back), and a full round must still work.
+    SpinBarrier bar(2);
+    EXPECT_EQ(bar.arriveAndWaitFor(deadlineAfter(20ms)),
+              WaitResult::Timeout);
+    // Late arrival: phase needs 2 again; with a short deadline this
+    // thread also times out rather than completing a 1-of-2 phase.
+    EXPECT_EQ(bar.arriveAndWaitFor(deadlineAfter(20ms)),
+              WaitResult::Timeout);
+    // Clean full phase afterwards.
+    const auto res = runThreads(2, [&](std::uint32_t) {
+        return bar.arriveAndWaitFor(generous());
+    });
+    for (auto r : res)
+        EXPECT_EQ(r, WaitResult::Ok);
+}
+
+TEST(TimedWaits, SpinBarrierTimedBlockingPolicyHonorsDeadline)
+{
+    // Blocking policy must not futex-sleep past the deadline in the
+    // timed path (no timed atomic wait exists; the schedule clamps).
+    BarrierConfig cfg;
+    cfg.policy = BarrierPolicy::Blocking;
+    cfg.blockThreshold = 64; // block almost immediately
+    SpinBarrier bar(2, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(bar.arriveAndWaitFor(deadlineAfter(100ms)),
+              WaitResult::Timeout);
+    EXPECT_LT(std::chrono::steady_clock::now() - t0, 10s);
+}
+
+TEST(TimedWaits, SpinBarrierMixedTimedAndUntimedWaiters)
+{
+    SpinBarrier bar(3);
+    const auto res = runThreads(3, [&](std::uint32_t t) {
+        if (t == 0) {
+            bar.arriveAndWait();
+            return WaitResult::Ok;
+        }
+        return bar.arriveAndWaitFor(generous());
+    });
+    for (auto r : res)
+        EXPECT_EQ(r, WaitResult::Ok);
+}
+
+// ---------------------------------------------------------------------
+// TangYewBarrier
+
+TEST(TimedWaits, TangYewMissingPartyTimesOutThenRecovers)
+{
+    TangYewBarrier bar(4);
+    const auto res = runThreads(3, [&](std::uint32_t) {
+        return bar.arriveAndWaitFor(deadlineAfter(50ms));
+    });
+    for (auto r : res)
+        EXPECT_EQ(r, WaitResult::Timeout);
+    EXPECT_EQ(bar.totalTimeouts(), 3u);
+
+    for (int phase = 0; phase < 2; ++phase) {
+        const auto again = runThreads(4, [&](std::uint32_t) {
+            return bar.arriveAndWaitFor(generous());
+        });
+        for (auto r : again)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+}
+
+TEST(TimedWaits, TangYewAllOkWhenEveryoneArrives)
+{
+    TangYewBarrier bar(3);
+    for (int phase = 0; phase < 3; ++phase) {
+        const auto res = runThreads(3, [&](std::uint32_t) {
+            return bar.arriveAndWaitFor(generous());
+        });
+        for (auto r : res)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+    EXPECT_EQ(bar.totalTimeouts(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// AdaptiveBarrier
+
+TEST(TimedWaits, AdaptiveMissingPartyTimesOutThenRecovers)
+{
+    AdaptiveBarrier bar(4);
+    const auto res = runThreads(3, [&](std::uint32_t) {
+        return bar.arriveAndWaitFor(deadlineAfter(50ms));
+    });
+    for (auto r : res)
+        EXPECT_EQ(r, WaitResult::Timeout);
+    EXPECT_EQ(bar.totalTimeouts(), 3u);
+
+    for (int phase = 0; phase < 2; ++phase) {
+        const auto again = runThreads(4, [&](std::uint32_t) {
+            return bar.arriveAndWaitFor(generous());
+        });
+        for (auto r : again)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+}
+
+TEST(TimedWaits, AdaptiveTimeoutDoesNotPoisonEstimator)
+{
+    // A straggler-induced timeout must not teach the estimator to
+    // expect straggler-length windows.
+    AdaptiveBarrier bar(2);
+    const std::uint64_t before = bar.learnedWait();
+    (void)bar.arriveAndWaitFor(deadlineAfter(100ms));
+    EXPECT_EQ(bar.learnedWait(), before);
+}
+
+// ---------------------------------------------------------------------
+// TreeBarrier (continuation-resume semantics)
+
+TEST(TimedWaits, TreeMissingPartyTimesOutThenResumeCompletes)
+{
+    TreeBarrier bar(4, 2);
+    // Threads 0..2 arrive; thread 3 is missing.
+    const auto res = runThreads(3, [&](std::uint32_t t) {
+        return bar.arriveAndWaitFor(t, deadlineAfter(50ms));
+    });
+    for (auto r : res)
+        EXPECT_EQ(r, WaitResult::Timeout);
+    EXPECT_EQ(bar.totalTimeouts(), 3u);
+
+    // Everyone (including the absentee) calls again: the parked
+    // continuations resume, thread 3's fresh arrival completes the
+    // phase, and the barrier is clean for the next one.
+    for (int phase = 0; phase < 2; ++phase) {
+        const auto again = runThreads(4, [&](std::uint32_t t) {
+            return bar.arriveAndWaitFor(t, generous());
+        });
+        for (auto r : again)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+}
+
+TEST(TimedWaits, TreeResumeViaUntimedArrive)
+{
+    TreeBarrier bar(2, 2);
+    EXPECT_EQ(bar.arriveAndWaitFor(0, deadlineAfter(30ms)),
+              WaitResult::Timeout);
+    // Thread 0 resumes with the untimed call while thread 1 arrives.
+    const auto res = runThreads(2, [&](std::uint32_t t) {
+        bar.arriveAndWait(t);
+        return WaitResult::Ok;
+    });
+    (void)res;
+    // Next phase runs clean.
+    const auto again = runThreads(2, [&](std::uint32_t t) {
+        return bar.arriveAndWaitFor(t, generous());
+    });
+    for (auto r : again)
+        EXPECT_EQ(r, WaitResult::Ok);
+}
+
+TEST(TimedWaits, TreeManyThreadsManyPhases)
+{
+    TreeBarrier bar(8, 2);
+    for (int phase = 0; phase < 20; ++phase) {
+        const auto res = runThreads(8, [&](std::uint32_t t) {
+            return bar.arriveAndWaitFor(t, generous());
+        });
+        for (auto r : res)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+    EXPECT_EQ(bar.totalTimeouts(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Type-erased interface: the same contract through AnyBarrier.
+
+class AnyBarrierTimed : public ::testing::TestWithParam<BarrierKind>
+{
+};
+
+TEST_P(AnyBarrierTimed, MissingPartyTimesOutThenRecovers)
+{
+    auto bar = makeBarrier(GetParam(), 3);
+    const auto res = runThreads(2, [&](std::uint32_t t) {
+        return bar->arriveFor(t, deadlineAfter(50ms));
+    });
+    for (auto r : res)
+        EXPECT_EQ(r, WaitResult::Timeout);
+    EXPECT_EQ(bar->timeouts(), 2u);
+
+    for (int phase = 0; phase < 2; ++phase) {
+        const auto again = runThreads(3, [&](std::uint32_t t) {
+            return bar->arriveFor(t, generous());
+        });
+        for (auto r : again)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AnyBarrierTimed,
+                         ::testing::Values(BarrierKind::Flat,
+                                           BarrierKind::TangYew,
+                                           BarrierKind::Tree,
+                                           BarrierKind::Adaptive));
+
+// ---------------------------------------------------------------------
+// BackoffResource
+
+TEST(TimedWaits, ResourceAcquireForTimesOutWhenHeld)
+{
+    BackoffResource res(1);
+    res.acquire();
+    EXPECT_EQ(res.acquireFor(deadlineAfter(50ms)),
+              WaitResult::Timeout);
+    EXPECT_EQ(res.totalTimeouts(), 1u);
+    EXPECT_EQ(res.inUse(), 1u); // timeout acquired nothing
+    res.release();
+    EXPECT_EQ(res.acquireFor(deadlineAfter(50ms)), WaitResult::Ok);
+    res.release();
+    EXPECT_EQ(res.inUse(), 0u);
+}
+
+TEST(TimedWaits, ResourceAcquireForSucceedsWhenReleasedInTime)
+{
+    BackoffResource res(1);
+    res.acquire();
+    std::thread holder([&] {
+        std::this_thread::sleep_for(30ms);
+        res.release();
+    });
+    EXPECT_EQ(res.acquireFor(generous()), WaitResult::Ok);
+    holder.join();
+    res.release();
+    EXPECT_EQ(res.totalTimeouts(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fault hook: perturbed barriers still complete every phase.
+
+TEST(TimedWaits, FaultInjectedBarrierStillCompletes)
+{
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 7;
+    fc.stragglerProb = 0.5;
+    fc.stragglerMin = 100;
+    fc.stragglerMax = 2000;
+    fc.spuriousWakeProb = 0.3;
+    const absync::support::FaultPlan plan(fc);
+    absync::support::FaultInjector inj(plan, 4);
+
+    BarrierConfig cfg;
+    cfg.fault = &inj;
+    SpinBarrier bar(4, cfg);
+    for (int phase = 0; phase < 10; ++phase) {
+        const auto res = runThreads(4, [&](std::uint32_t) {
+            return bar.arriveAndWaitFor(generous());
+        });
+        for (auto r : res)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+    // Every arrival consulted the plan.
+    EXPECT_EQ(inj.arrivals(), 40u);
+}
+
+TEST(TimedWaits, FaultInjectedTreeStillCompletes)
+{
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 11;
+    fc.stragglerProb = 0.4;
+    fc.stragglerMin = 50;
+    fc.stragglerMax = 500;
+    const absync::support::FaultPlan plan(fc);
+    absync::support::FaultInjector inj(plan, 8);
+
+    BarrierConfig cfg;
+    cfg.fault = &inj;
+    TreeBarrier bar(8, 2, cfg);
+    for (int phase = 0; phase < 5; ++phase) {
+        const auto res = runThreads(8, [&](std::uint32_t t) {
+            return bar.arriveAndWaitFor(t, generous());
+        });
+        for (auto r : res)
+            EXPECT_EQ(r, WaitResult::Ok);
+    }
+}

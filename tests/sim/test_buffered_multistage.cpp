@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/buffered_multistage.hpp"
+#include "support/fault.hpp"
 
 using namespace absync::sim;
 
@@ -130,4 +131,72 @@ TEST(BufferedNet, PacketConservation)
         EXPECT_EQ(st.injected, st.delivered + st.inFlightAtEnd)
             << "load " << load;
     }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (packet drops and delays via cfg.faults).
+
+TEST(BufferedNetFaults, CertainDropsDeliverNothing)
+{
+    // Store-and-forward injection is fire-and-forget: a dropped
+    // packet is silent loss, not a retry.
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 37;
+    fc.dropProb = 1.0;
+    const absync::support::FaultPlan plan(fc);
+    auto cfg = baseConfig();
+    cfg.faults = &plan;
+    const auto st = BufferedMultistageNetwork(cfg).run();
+    EXPECT_EQ(st.delivered, 0u);
+    EXPECT_GT(st.droppedPackets, 0u);
+}
+
+TEST(BufferedNetFaults, PartialDropsLowerDelivery)
+{
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 41;
+    fc.dropProb = 0.2;
+    const absync::support::FaultPlan plan(fc);
+    const auto clean = BufferedMultistageNetwork(baseConfig()).run();
+    auto cfg = baseConfig();
+    cfg.faults = &plan;
+    const auto hurt = BufferedMultistageNetwork(cfg).run();
+    EXPECT_GT(hurt.droppedPackets, 0u);
+    EXPECT_LT(hurt.delivered, clean.delivered);
+}
+
+TEST(BufferedNetFaults, DelaysBackUpTheQueues)
+{
+    // Extra service at the module lengthens the very queues the
+    // Scott-Sohi feedback strategies read.
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 43;
+    fc.delayProb = 0.5;
+    fc.delayMin = 4;
+    fc.delayMax = 16;
+    const absync::support::FaultPlan plan(fc);
+    auto cfg = baseConfig();
+    cfg.offeredLoad = 0.3;
+    const auto clean = BufferedMultistageNetwork(cfg).run();
+    cfg.faults = &plan;
+    const auto hurt = BufferedMultistageNetwork(cfg).run();
+    EXPECT_GT(hurt.delayedPackets, 0u);
+    EXPECT_GT(hurt.bgLatency, clean.bgLatency);
+    EXPECT_GT(hurt.avgQueueOccupancy, clean.avgQueueOccupancy);
+}
+
+TEST(BufferedNetFaults, FaultedRunIsDeterministic)
+{
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 47;
+    fc.dropProb = 0.1;
+    fc.delayProb = 0.1;
+    const absync::support::FaultPlan plan(fc);
+    auto cfg = baseConfig();
+    cfg.faults = &plan;
+    const auto a = BufferedMultistageNetwork(cfg).run();
+    const auto b = BufferedMultistageNetwork(cfg).run();
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.droppedPackets, b.droppedPackets);
+    EXPECT_EQ(a.delayedPackets, b.delayedPackets);
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/multistage.hpp"
+#include "support/fault.hpp"
 
 using absync::sim::MultistageConfig;
 using absync::sim::MultistageNetwork;
@@ -171,4 +172,95 @@ TEST(Multistage, BackgroundStatsDisjointFromPollers)
     const auto st = MultistageNetwork(cfg).run();
     EXPECT_LT(st.bgCompleted, st.completed);
     EXPECT_GT(st.bgCompleted, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (packet drops and delays via cfg.faults).
+
+TEST(MultistageFaults, CertainDropsCompleteNothing)
+{
+    // dropProb=1 kills every otherwise-successful circuit at the last
+    // stage; retries keep flowing, so attempts pile up but nothing
+    // completes.
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 19;
+    fc.dropProb = 1.0;
+    const absync::support::FaultPlan plan(fc);
+    MultistageConfig cfg;
+    cfg.processors = 16;
+    cfg.offeredLoad = 0.2;
+    cfg.cycles = 2000;
+    cfg.seed = 19;
+    cfg.faults = &plan;
+    const auto st = MultistageNetwork(cfg).run();
+    EXPECT_EQ(st.completed, 0u);
+    EXPECT_GT(st.droppedPackets, 0u);
+    EXPECT_GT(st.attempts, st.droppedPackets)
+        << "drops retry like collisions";
+}
+
+TEST(MultistageFaults, DropsRaiseAttemptsPerRequest)
+{
+    auto run = [](const absync::support::FaultPlan *plan) {
+        MultistageConfig cfg;
+        cfg.processors = 64;
+        cfg.offeredLoad = 0.3;
+        cfg.cycles = 20000;
+        cfg.seed = 23;
+        cfg.faults = plan;
+        return MultistageNetwork(cfg).run();
+    };
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 23;
+    fc.dropProb = 0.1;
+    const absync::support::FaultPlan plan(fc);
+    const auto clean = run(nullptr);
+    const auto hurt = run(&plan);
+    EXPECT_GT(hurt.droppedPackets, 0u);
+    EXPECT_GT(hurt.attemptsPerRequest, clean.attemptsPerRequest);
+    EXPECT_LE(hurt.throughput, clean.throughput);
+}
+
+TEST(MultistageFaults, DelaysStretchLatency)
+{
+    auto run = [](const absync::support::FaultPlan *plan) {
+        MultistageConfig cfg;
+        cfg.processors = 64;
+        cfg.offeredLoad = 0.2;
+        cfg.cycles = 20000;
+        cfg.seed = 29;
+        cfg.faults = plan;
+        return MultistageNetwork(cfg).run();
+    };
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 29;
+    fc.delayProb = 0.5;
+    fc.delayMin = 8;
+    fc.delayMax = 32;
+    const absync::support::FaultPlan plan(fc);
+    const auto clean = run(nullptr);
+    const auto hurt = run(&plan);
+    EXPECT_GT(hurt.delayedPackets, 0u);
+    EXPECT_GT(hurt.avgLatency, clean.avgLatency);
+}
+
+TEST(MultistageFaults, FaultedRunIsDeterministic)
+{
+    absync::support::FaultPlanConfig fc;
+    fc.seed = 31;
+    fc.dropProb = 0.05;
+    fc.delayProb = 0.05;
+    const absync::support::FaultPlan plan(fc);
+    MultistageConfig cfg;
+    cfg.processors = 32;
+    cfg.offeredLoad = 0.3;
+    cfg.cycles = 10000;
+    cfg.seed = 31;
+    cfg.faults = &plan;
+    const auto a = MultistageNetwork(cfg).run();
+    const auto b = MultistageNetwork(cfg).run();
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.droppedPackets, b.droppedPackets);
+    EXPECT_EQ(a.delayedPackets, b.delayedPackets);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
 }

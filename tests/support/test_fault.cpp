@@ -1,0 +1,193 @@
+/**
+ * @file
+ * FaultPlan determinism and bounds.
+ *
+ * The whole value of the plan is reproducibility: every query is a
+ * pure function of (seed, kind, coordinates), so two plans built from
+ * the same config must agree on everything, and the materialized
+ * schedule() must be bit-identical across instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/fault.hpp"
+
+using namespace absync::support;
+
+namespace
+{
+
+FaultPlanConfig
+busyConfig(std::uint64_t seed)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = seed;
+    cfg.stragglerProb = 0.3;
+    cfg.stragglerMin = 10;
+    cfg.stragglerMax = 50;
+    cfg.crashProb = 0.05;
+    cfg.spuriousWakeProb = 0.2;
+    cfg.dropProb = 0.1;
+    cfg.delayProb = 0.1;
+    cfg.delayMin = 2;
+    cfg.delayMax = 8;
+    cfg.stallProb = 0.1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FaultPlan, SameSeedIdenticalSchedule)
+{
+    const FaultPlan a(busyConfig(42));
+    const FaultPlan b(busyConfig(42));
+    const auto sa = a.schedule(16, 32);
+    const auto sb = b.schedule(16, 32);
+    EXPECT_FALSE(sa.empty()); // the config is busy enough to fire
+    EXPECT_EQ(sa, sb);
+}
+
+TEST(FaultPlan, SameSeedIdenticalPointQueries)
+{
+    const FaultPlan a(busyConfig(7));
+    const FaultPlan b(busyConfig(7));
+    for (std::uint32_t p = 0; p < 8; ++p) {
+        EXPECT_EQ(a.crashPhase(p), b.crashPhase(p));
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            EXPECT_EQ(a.stragglerDelay(p, i), b.stragglerDelay(p, i));
+            EXPECT_EQ(a.spuriousWake(p, i), b.spuriousWake(p, i));
+            EXPECT_EQ(a.dropPacket(p, i), b.dropPacket(p, i));
+            EXPECT_EQ(a.packetDelay(p, i), b.packetDelay(p, i));
+            EXPECT_EQ(a.moduleStalled(p, i), b.moduleStalled(p, i));
+        }
+    }
+}
+
+TEST(FaultPlan, DifferentSeedDifferentSchedule)
+{
+    const FaultPlan a(busyConfig(1));
+    const FaultPlan b(busyConfig(2));
+    EXPECT_NE(a.schedule(16, 32), b.schedule(16, 32));
+}
+
+TEST(FaultPlan, ZeroProbabilitiesMeanNoFaults)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = 99; // defaults: every probability is 0
+    const FaultPlan plan(cfg);
+    EXPECT_TRUE(plan.schedule(32, 64).empty());
+    for (std::uint32_t p = 0; p < 8; ++p) {
+        EXPECT_EQ(plan.crashPhase(p), UINT64_MAX);
+        for (std::uint64_t i = 0; i < 32; ++i) {
+            EXPECT_EQ(plan.stragglerDelay(p, i), 0u);
+            EXPECT_FALSE(plan.spuriousWake(p, i));
+            EXPECT_FALSE(plan.dropPacket(p, i));
+            EXPECT_EQ(plan.packetDelay(p, i), 0u);
+            EXPECT_FALSE(plan.moduleStalled(p, i));
+        }
+    }
+}
+
+TEST(FaultPlan, DelaysRespectConfiguredBounds)
+{
+    const FaultPlan plan(busyConfig(13));
+    const auto &cfg = plan.config();
+    for (std::uint32_t p = 0; p < 16; ++p) {
+        for (std::uint64_t i = 0; i < 256; ++i) {
+            const auto straggle = plan.stragglerDelay(p, i);
+            if (straggle != 0) {
+                EXPECT_GE(straggle, cfg.stragglerMin);
+                EXPECT_LE(straggle, cfg.stragglerMax);
+            }
+            const auto delay = plan.packetDelay(p, i);
+            if (delay != 0) {
+                EXPECT_GE(delay, cfg.delayMin);
+                EXPECT_LE(delay, cfg.delayMax);
+            }
+        }
+    }
+}
+
+TEST(FaultPlan, CrashIsPermanent)
+{
+    // crashed() is monotone: false strictly before crashPhase, true
+    // from it onward.
+    const FaultPlan plan(busyConfig(23));
+    for (std::uint32_t p = 0; p < 32; ++p) {
+        const auto at = plan.crashPhase(p);
+        if (at == UINT64_MAX) {
+            EXPECT_FALSE(plan.crashed(p, 1u << 20));
+            continue;
+        }
+        if (at > 0)
+            EXPECT_FALSE(plan.crashed(p, at - 1));
+        EXPECT_TRUE(plan.crashed(p, at));
+        EXPECT_TRUE(plan.crashed(p, at + 1));
+        EXPECT_TRUE(plan.crashed(p, at + 1000));
+    }
+}
+
+TEST(FaultPlan, ProbabilityRoughlyControlsRate)
+{
+    // Not a statistical test, just a sanity check that the knob is
+    // connected: at 30% straggler probability over 16x256 samples the
+    // hit count must be far from 0 and far from all.
+    const FaultPlan plan(busyConfig(31));
+    std::uint64_t hits = 0;
+    const std::uint64_t samples = 16 * 256;
+    for (std::uint32_t p = 0; p < 16; ++p)
+        for (std::uint64_t i = 0; i < 256; ++i)
+            hits += plan.stragglerDelay(p, i) != 0 ? 1 : 0;
+    EXPECT_GT(hits, samples / 10);
+    EXPECT_LT(hits, samples / 2);
+}
+
+TEST(FaultPlan, KindsAreIndependentStreams)
+{
+    // The same coordinates must not produce correlated answers across
+    // kinds (the kind participates in the mix).  With equal 10% rates
+    // drop and stall decisions at identical coordinates should
+    // disagree somewhere.
+    FaultPlanConfig cfg;
+    cfg.seed = 5;
+    cfg.dropProb = 0.5;
+    cfg.stallProb = 0.5;
+    const FaultPlan plan(cfg);
+    bool differs = false;
+    for (std::uint32_t p = 0; p < 8 && !differs; ++p)
+        for (std::uint64_t i = 0; i < 64 && !differs; ++i)
+            differs = plan.dropPacket(p, i) != plan.moduleStalled(p, i);
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, DealsSlotsInArrivalOrder)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = 3;
+    cfg.stragglerProb = 1.0; // every slot straggles
+    cfg.stragglerMin = 5;
+    cfg.stragglerMax = 9;
+    const FaultPlan plan(cfg);
+    FaultInjector inj(plan, 4);
+    // The k-th arrival consumes slot (k % parties, k / parties).
+    for (std::uint64_t k = 0; k < 12; ++k) {
+        const auto expect = plan.stragglerDelay(
+            static_cast<std::uint32_t>(k % 4), k / 4);
+        EXPECT_EQ(inj.onArrive(), expect);
+        EXPECT_GE(expect, cfg.stragglerMin);
+        EXPECT_LE(expect, cfg.stragglerMax);
+    }
+    EXPECT_EQ(inj.arrivals(), 12u);
+}
+
+TEST(FaultInjector, QuietPlanInjectsNothing)
+{
+    const FaultPlan plan(FaultPlanConfig{});
+    FaultInjector inj(plan, 8);
+    for (int k = 0; k < 32; ++k) {
+        EXPECT_EQ(inj.onArrive(), 0u);
+        EXPECT_FALSE(inj.onWake());
+    }
+}
