@@ -28,6 +28,7 @@ AdaptiveBarrier::arriveAndWaitFor(Deadline deadline)
 WaitResult
 AdaptiveBarrier::arriveInternal(bool timed, Deadline deadline)
 {
+    const ScopedSchedHook sched(cfg_.sched);
     if (cfg_.fault) {
         const std::uint64_t stall = cfg_.fault->onArrive();
         if (stall > 0)
@@ -118,10 +119,7 @@ AdaptiveBarrier::waitForSense(std::uint32_t my_epoch, bool timed,
         if (wait > cfg_.blockThreshold) {
             if (!timed) {
                 blocks_.fetch_add(1, std::memory_order_relaxed);
-                while (sense_.load(std::memory_order_acquire) ==
-                       my_epoch) {
-                    sense_.wait(my_epoch, std::memory_order_acquire);
-                }
+                atomicWaitWhileEqual(sense_, my_epoch);
                 ++local_polls;
                 break;
             }

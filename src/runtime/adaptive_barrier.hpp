@@ -63,6 +63,9 @@ struct AdaptiveBarrierConfig
     std::uint64_t blockThreshold = 1 << 20;
     /** Test-only fault hook (see BarrierConfig::fault).  Not owned. */
     support::FaultInjector *fault = nullptr;
+    /** Test-only schedule hook (see BarrierConfig::sched).  Not
+     *  owned. */
+    SchedHook *sched = nullptr;
 };
 
 /**

@@ -25,6 +25,7 @@ SpinBarrier::arriveAndWaitFor(Deadline deadline)
 WaitResult
 SpinBarrier::arriveInternal(bool timed, Deadline deadline)
 {
+    const ScopedSchedHook sched(cfg_.sched);
     if (cfg_.fault) {
         const std::uint64_t stall = cfg_.fault->onArrive();
         if (stall > 0)
@@ -124,13 +125,10 @@ SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
             if (wait > cfg_.blockThreshold) {
                 if (!timed) {
                     // Queue-on-threshold (Section 7): stop spinning
-                    // and let the OS wake us with the flag update.
+                    // and let the OS wake us with the flag update
+                    // (hook-paced polling under a virtual scheduler).
                     blocks_.fetch_add(1, std::memory_order_relaxed);
-                    while (sense_.load(std::memory_order_acquire) ==
-                           my_epoch) {
-                        sense_.wait(my_epoch,
-                                    std::memory_order_acquire);
-                    }
+                    atomicWaitWhileEqual(sense_, my_epoch);
                     polls_.fetch_add(local_polls + 1,
                                      std::memory_order_relaxed);
                     return WaitResult::Ok;

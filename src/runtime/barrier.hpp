@@ -85,6 +85,14 @@ struct BarrierConfig
      * this null (the hot path pays one branch).  Not owned.
      */
     support::FaultInjector *fault = nullptr;
+    /**
+     * Test-only schedule hook: when set, every arrive call installs
+     * it for its duration, so all of the barrier's pauses, clock
+     * reads, and (degraded) futex waits route through a virtual
+     * scheduler — see sched_hook.hpp and testing::VirtualSched.
+     * Production callers leave this null.  Not owned.
+     */
+    SchedHook *sched = nullptr;
 };
 
 /**

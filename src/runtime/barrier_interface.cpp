@@ -155,13 +155,14 @@ class AdaptiveAdapter final : public AnyBarrier
     }
 
   private:
-    /** Adaptive tunes its own waits; only the fault hook carries
-     *  over from the generic config. */
+    /** Adaptive tunes its own waits; only the fault and schedule
+     *  hooks carry over from the generic config. */
     static AdaptiveBarrierConfig
     adaptiveConfig(const BarrierConfig &cfg)
     {
         AdaptiveBarrierConfig acfg;
         acfg.fault = cfg.fault;
+        acfg.sched = cfg.sched;
         return acfg;
     }
 

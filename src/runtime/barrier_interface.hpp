@@ -73,7 +73,7 @@ BarrierKind barrierKindFromString(const std::string &name);
  * @param kind implementation selector
  * @param parties participating threads
  * @param cfg waiting policy (Adaptive tunes its own waits and takes
- *            only the fault hook from it)
+ *            only the fault and schedule hooks from it)
  */
 std::unique_ptr<AnyBarrier> makeBarrier(BarrierKind kind,
                                         std::uint32_t parties,

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Schedule hook: the seam between the runtime's waiting loops and a
+ * deterministic test scheduler.
+ *
+ * Every wait in the runtime eventually bottoms out in one of four
+ * operations: a single polite pause (cpuRelax), a bounded spin
+ * interval (spinFor), a deadline-clamped spin interval (spinForUntil),
+ * or a clock read (deadlineExpired).  SchedHook virtualizes exactly
+ * those four operations.  When a hook is installed — per thread via
+ * ScopedSchedHook, or per barrier via BarrierConfig::sched — each
+ * pause becomes a *yield point*: the hook decides when (in virtual
+ * time) the spin ends and which thread runs next, so a test harness
+ * such as testing::VirtualSched can drive the real barrier / backoff /
+ * resource-pool code through chosen or exhaustively enumerated
+ * interleavings and replay any of them from a seed.
+ *
+ * Production builds never install a hook; the cost on the hot path is
+ * one thread-local pointer read per pause, which is noise next to the
+ * PAUSE instruction itself.  The futex paths (std::atomic::wait)
+ * cannot block under a hook — a blocked thread would never reach a
+ * yield point — so the barriers degrade queue-on-threshold blocking to
+ * hook-paced polling when a hook is active (see atomicWaitWhileEqual).
+ */
+
+#ifndef ABSYNC_RUNTIME_SCHED_HOOK_HPP
+#define ABSYNC_RUNTIME_SCHED_HOOK_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace absync::runtime
+{
+
+/**
+ * Interface a virtual scheduler implements to take over the runtime's
+ * waiting loops.  All methods must be safe to call from any thread;
+ * an implementation decides per call whether the calling thread is
+ * one it manages (and yields it) or not (and falls back to native
+ * spinning).
+ */
+class SchedHook
+{
+  public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+
+    virtual ~SchedHook() = default;
+
+    /** One polite pause — a single yield point (cpuRelax). */
+    virtual void pause() = 0;
+
+    /** One backoff interval of @p iterations pause-iterations. */
+    virtual void pauseFor(std::uint64_t iterations) = 0;
+
+    /**
+     * Deadline-clamped interval: spin up to @p iterations, stopping
+     * at @p deadline.  Returns true when the full interval elapsed,
+     * false when the deadline cut it short (spinForUntil contract).
+     */
+    virtual bool pauseUntil(std::uint64_t iterations,
+                            TimePoint deadline) = 0;
+
+    /** The hook's notion of "now" (a virtual clock for test runs). */
+    virtual TimePoint now() = 0;
+};
+
+/** Currently installed hook of this thread (null in production). */
+inline SchedHook *&
+currentSchedHook()
+{
+    thread_local SchedHook *hook = nullptr;
+    return hook;
+}
+
+/**
+ * RAII installation of a SchedHook on the calling thread.  Passing
+ * null keeps whatever is already installed (so BarrierConfig::sched
+ * can be threaded through unconditionally).
+ */
+class ScopedSchedHook
+{
+  public:
+    explicit ScopedSchedHook(SchedHook *hook)
+        : previous_(currentSchedHook()), installed_(hook != nullptr)
+    {
+        if (installed_)
+            currentSchedHook() = hook;
+    }
+
+    ~ScopedSchedHook()
+    {
+        if (installed_)
+            currentSchedHook() = previous_;
+    }
+
+    ScopedSchedHook(const ScopedSchedHook &) = delete;
+    ScopedSchedHook &operator=(const ScopedSchedHook &) = delete;
+
+  private:
+    SchedHook *previous_;
+    bool installed_;
+};
+
+/**
+ * Futex wait that stays schedulable under a hook: blocks natively on
+ * @p word while it equals @p old, but degrades to hook-paced polling
+ * when a SchedHook is installed (a futex block has no yield point, so
+ * a virtual scheduler could never wake or even observe the thread).
+ */
+template <typename T>
+inline void
+atomicWaitWhileEqual(std::atomic<T> &word, T old)
+{
+    if (SchedHook *hook = currentSchedHook()) {
+        while (word.load(std::memory_order_acquire) == old)
+            hook->pause();
+        return;
+    }
+    while (word.load(std::memory_order_acquire) == old)
+        word.wait(old, std::memory_order_acquire);
+}
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_SCHED_HOOK_HPP

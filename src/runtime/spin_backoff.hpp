@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "runtime/sched_hook.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -21,9 +23,11 @@
 namespace absync::runtime
 {
 
-/** One polite busy-wait iteration (PAUSE on x86, yield on ARM). */
+/** One hardware pause, unconditionally (PAUSE on x86, yield on ARM).
+ *  Only for spots that must never become scheduler yield points; all
+ *  waiting loops should call cpuRelax / spinFor instead. */
 inline void
-cpuRelax()
+cpuRelaxNative()
 {
 #if defined(__x86_64__) || defined(__i386__)
     _mm_pause();
@@ -34,12 +38,40 @@ cpuRelax()
 #endif
 }
 
-/** Spin for @p iterations pause-iterations without touching memory. */
+/** One polite busy-wait iteration; a yield point under a SchedHook. */
+inline void
+cpuRelax()
+{
+    if (SchedHook *hook = currentSchedHook()) {
+        hook->pause();
+        return;
+    }
+    cpuRelaxNative();
+}
+
+/** Spin for @p iterations pause-iterations without touching memory;
+ *  one yield point (of that virtual length) under a SchedHook. */
 inline void
 spinFor(std::uint64_t iterations)
 {
+    if (SchedHook *hook = currentSchedHook()) {
+        hook->pauseFor(iterations);
+        return;
+    }
     for (std::uint64_t i = 0; i < iterations; ++i)
-        cpuRelax();
+        cpuRelaxNative();
+}
+
+/** Give up the processor to the OS scheduler; a yield point under a
+ *  SchedHook (which must not lose control of the thread to the OS). */
+inline void
+osYield()
+{
+    if (SchedHook *hook = currentSchedHook()) {
+        hook->pause();
+        return;
+    }
+    std::this_thread::yield();
 }
 
 /**

@@ -146,7 +146,7 @@ class TicketLock
             // Once the wait is clearly not short, yield so the OS
             // can run the ticket holder.
             if (++checks >= 8) {
-                std::this_thread::yield();
+                osYield();
                 continue;
             }
             // Backoff on synchronization state: distance to our turn.

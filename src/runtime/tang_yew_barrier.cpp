@@ -26,6 +26,7 @@ TangYewBarrier::arriveAndWaitFor(Deadline deadline)
 WaitResult
 TangYewBarrier::arriveInternal(bool timed, Deadline deadline)
 {
+    const ScopedSchedHook sched(cfg_.sched);
     if (cfg_.fault) {
         const std::uint64_t stall = cfg_.fault->onArrive();
         if (stall > 0)
@@ -127,10 +128,7 @@ TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing,
             if (wait > cfg_.blockThreshold) {
                 if (!timed) {
                     blocks_.fetch_add(1, std::memory_order_relaxed);
-                    while (cell.flag.load(
-                               std::memory_order_acquire) == 0) {
-                        cell.flag.wait(0, std::memory_order_acquire);
-                    }
+                    atomicWaitWhileEqual(cell.flag, 0u);
                     ++local_polls;
                     polls_.fetch_add(local_polls,
                                      std::memory_order_relaxed);

@@ -95,12 +95,7 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
             if (wait > cfg_.blockThreshold) {
                 if (!timed) {
                     blocks_.fetch_add(1, std::memory_order_relaxed);
-                    while (node.sense.load(
-                               std::memory_order_acquire) ==
-                           old_sense) {
-                        node.sense.wait(old_sense,
-                                        std::memory_order_acquire);
-                    }
+                    atomicWaitWhileEqual(node.sense, old_sense);
                     ++local_polls;
                     goto out;
                 }
@@ -138,6 +133,7 @@ TreeBarrier::arriveInternal(std::uint32_t thread_id, bool timed,
                             Deadline deadline)
 {
     assert(thread_id < parties_);
+    const ScopedSchedHook sched(cfg_.sched);
     ThreadSlot &slot = slots_[thread_id];
     bool is_winner = false;
     std::uint32_t poll_missing = 0;

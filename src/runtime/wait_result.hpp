@@ -46,19 +46,29 @@ enum class WaitResult
 /** Absolute deadline for timed waits. */
 using Deadline = std::chrono::steady_clock::time_point;
 
+/** "Now" for deadline math: the virtual clock when a SchedHook is
+ *  installed (deterministic test schedules), steady_clock otherwise. */
+inline Deadline
+waitClockNow()
+{
+    if (SchedHook *hook = currentSchedHook())
+        return hook->now();
+    return std::chrono::steady_clock::now();
+}
+
 /** Deadline @p d from now (convenience for call sites and tests). */
 template <class Rep, class Period>
 inline Deadline
 deadlineAfter(std::chrono::duration<Rep, Period> d)
 {
-    return std::chrono::steady_clock::now() + d;
+    return waitClockNow() + d;
 }
 
 /** True once @p deadline has passed. */
 inline bool
 deadlineExpired(Deadline deadline)
 {
-    return std::chrono::steady_clock::now() >= deadline;
+    return waitClockNow() >= deadline;
 }
 
 /**
@@ -71,6 +81,8 @@ deadlineExpired(Deadline deadline)
 inline bool
 spinForUntil(std::uint64_t iterations, Deadline deadline)
 {
+    if (SchedHook *hook = currentSchedHook())
+        return hook->pauseUntil(iterations, deadline);
     // ~1k pauses between clock reads keeps the check overhead well
     // under 1% while bounding deadline overshoot to a few microseconds.
     constexpr std::uint64_t kChunk = 1024;

@@ -1,0 +1,93 @@
+#include "testing/barrier_episodes.hpp"
+
+#include <string>
+#include <utility>
+
+namespace absync::testing
+{
+
+std::string
+PhaseLog::record(std::uint32_t thread, std::uint32_t phase)
+{
+    if (thread >= completed_.size())
+        return "PhaseLog: thread id " + std::to_string(thread) +
+               " out of range";
+    if (phase != completed_[thread] + 1)
+        return "thread " + std::to_string(thread) +
+               " completed phase " + std::to_string(phase) +
+               " after phase " + std::to_string(completed_[thread]) +
+               " (skipped or repeated)";
+    for (std::uint32_t u = 0; u < completed_.size(); ++u) {
+        if (completed_[u] + 1 < phase)
+            return "thread " + std::to_string(thread) +
+                   " released for phase " + std::to_string(phase) +
+                   " while thread " + std::to_string(u) +
+                   " has completed only " +
+                   std::to_string(completed_[u]) +
+                   " (lost arrival / premature release)";
+    }
+    events_.push_back(Event{thread, phase});
+    completed_[thread] = phase;
+    return {};
+}
+
+bool
+PhaseLog::allCompleted(std::uint32_t phases) const
+{
+    for (const std::uint32_t c : completed_)
+        if (c != phases)
+            return false;
+    return true;
+}
+
+Episode
+barrierPhasesEpisode(VirtualSched &sched,
+                     const BarrierEpisodeConfig &cfg,
+                     std::shared_ptr<BarrierEpisodeState> *out)
+{
+    runtime::BarrierConfig bcfg = cfg.barrier;
+    bcfg.sched = &sched;
+    auto state = std::make_shared<BarrierEpisodeState>(
+        runtime::makeBarrier(cfg.kind, cfg.parties, bcfg),
+        cfg.parties);
+    if (out)
+        *out = state;
+
+    Episode episode;
+    episode.bodies.reserve(cfg.parties);
+    for (std::uint32_t tid = 0; tid < cfg.parties; ++tid) {
+        episode.bodies.push_back(
+            [state, &sched, phases = cfg.phases](std::uint32_t id) {
+                for (std::uint32_t p = 1; p <= phases; ++p) {
+                    state->barrier->arrive(id);
+                    const std::string err = state->log.record(id, p);
+                    if (!err.empty())
+                        sched.fail(err);
+                }
+            });
+    }
+
+    // Counters only ever accumulate; a decrease means a torn or
+    // double-counted update somewhere in the poll accounting.
+    episode.stepInvariant = [state,
+                            last = std::make_shared<std::uint64_t>(
+                                0)]() mutable -> std::string {
+        const std::uint64_t polls = state->barrier->polls();
+        if (polls < *last)
+            return "polls() decreased from " + std::to_string(*last) +
+                   " to " + std::to_string(polls);
+        *last = polls;
+        return {};
+    };
+    return episode;
+}
+
+EpisodeFactory
+barrierPhasesFactory(BarrierEpisodeConfig cfg)
+{
+    return [cfg](VirtualSched &sched) {
+        return barrierPhasesEpisode(sched, cfg, nullptr);
+    };
+}
+
+} // namespace absync::testing

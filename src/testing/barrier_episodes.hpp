@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reusable schedule-exploration episodes over the runtime barriers.
+ *
+ * A PhaseLog is the oracle: every thread records each phase it
+ * completes, and the log checks — at the moment of recording, under
+ * the serialized schedule — that barrier semantics held:
+ *
+ *  - per-thread phases increase strictly by one (no skipped or
+ *    repeated phase);
+ *  - a thread is released for phase p only when every thread has
+ *    completed at least p − 1 (phase skew never exceeds one, which is
+ *    exactly the "no lost arrival / no premature release" property);
+ *
+ * barrierPhasesEpisode() packages N threads × P phases over any
+ * BarrierKind into a VirtualSched episode with those checks wired to
+ * fail(), plus a step invariant that the barrier's poll counter never
+ * moves backwards.  Because the same episode shape runs against all
+ * four implementations, identical schedules double as a
+ * cross-implementation oracle.
+ */
+
+#ifndef ABSYNC_TESTING_BARRIER_EPISODES_HPP
+#define ABSYNC_TESTING_BARRIER_EPISODES_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/barrier_interface.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace absync::testing
+{
+
+/** Order-of-completion oracle for barrier phases. */
+class PhaseLog
+{
+  public:
+    struct Event
+    {
+        std::uint32_t thread;
+        std::uint32_t phase; ///< 1-based completed phase
+    };
+
+    explicit PhaseLog(std::uint32_t threads)
+        : completed_(threads, 0)
+    {
+    }
+
+    /**
+     * Record that @p thread completed @p phase.  Returns an error
+     * message when the event violates barrier semantics, empty
+     * otherwise.
+     */
+    std::string record(std::uint32_t thread, std::uint32_t phase);
+
+    /** All recorded events, in schedule order. */
+    const std::vector<Event> &
+    events() const
+    {
+        return events_;
+    }
+
+    /** Phases completed so far by @p thread. */
+    std::uint32_t
+    completed(std::uint32_t thread) const
+    {
+        return completed_[thread];
+    }
+
+    /** True when every thread completed exactly @p phases. */
+    bool allCompleted(std::uint32_t phases) const;
+
+  private:
+    std::vector<std::uint32_t> completed_;
+    std::vector<Event> events_;
+};
+
+/** Shape of a barrier phase episode. */
+struct BarrierEpisodeConfig
+{
+    runtime::BarrierKind kind = runtime::BarrierKind::Flat;
+    std::uint32_t parties = 2;
+    std::uint32_t phases = 2;
+    /** Waiting policy; the sched hook field is overwritten. */
+    runtime::BarrierConfig barrier;
+};
+
+/** Live state of one episode run, inspectable after the run. */
+struct BarrierEpisodeState
+{
+    std::unique_ptr<runtime::AnyBarrier> barrier;
+    PhaseLog log;
+
+    BarrierEpisodeState(std::unique_ptr<runtime::AnyBarrier> b,
+                        std::uint32_t threads)
+        : barrier(std::move(b)), log(threads)
+    {
+    }
+};
+
+/**
+ * Build one N-threads × P-phases episode over a fresh barrier of the
+ * configured kind, scheduled by @p sched.  When @p out is non-null it
+ * receives the episode's state handle so the caller can inspect the
+ * log and counters after the run.
+ */
+Episode barrierPhasesEpisode(
+    VirtualSched &sched, const BarrierEpisodeConfig &cfg,
+    std::shared_ptr<BarrierEpisodeState> *out = nullptr);
+
+/**
+ * Factory form of barrierPhasesEpisode for the fuzz / explore
+ * drivers; each run gets a fresh barrier and log.
+ */
+EpisodeFactory barrierPhasesFactory(BarrierEpisodeConfig cfg);
+
+} // namespace absync::testing
+
+#endif // ABSYNC_TESTING_BARRIER_EPISODES_HPP

@@ -1,0 +1,391 @@
+#include "testing/virtual_sched.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "runtime/spin_backoff.hpp"
+
+namespace absync::testing
+{
+
+namespace
+{
+
+/** Sentinel for "no worker granted". */
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+// Identity of the calling thread within its owning scheduler.  A
+// plain thread_local (not per-instance state) so hook calls arriving
+// from barrier code can tell managed workers from foreign threads.
+thread_local VirtualSched *tls_sched = nullptr;
+thread_local std::uint32_t tls_id = kNone;
+
+} // namespace
+
+struct VirtualSched::Worker
+{
+    enum class State
+    {
+        Ready,   ///< parked, runnable
+        Running, ///< holds the grant
+        Done,    ///< body returned (or unwound)
+    };
+
+    std::thread thread;
+    State state = State::Ready;
+};
+
+VirtualSched::VirtualSched(VirtualSchedConfig cfg)
+    : cfg_(cfg), current_(kNone)
+{
+}
+
+VirtualSched::~VirtualSched() = default;
+
+bool
+VirtualSched::onManagedThread() const
+{
+    return tls_sched == this;
+}
+
+VirtualSched::TimePoint
+VirtualSched::now()
+{
+    return epoch_ + std::chrono::nanoseconds(
+                        vticks_.load(std::memory_order_relaxed));
+}
+
+void
+VirtualSched::yieldHere(std::uint64_t ticks)
+{
+    vticks_.fetch_add(ticks, std::memory_order_relaxed);
+    const std::uint32_t id = tls_id;
+    bool aborted;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        workers_[id].state = Worker::State::Ready;
+        current_ = kNone;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return current_ == id; });
+        workers_[id].state = Worker::State::Running;
+        aborted = abort_;
+    }
+    if (aborted)
+        throw AbortRun{};
+}
+
+void
+VirtualSched::fail(std::string message)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (failure_.empty())
+            failure_ = std::move(message);
+        abort_ = true;
+    }
+    if (onManagedThread())
+        throw AbortRun{}; // caught by workerMain
+}
+
+void
+VirtualSched::pause()
+{
+    if (!onManagedThread()) {
+        runtime::cpuRelaxNative();
+        return;
+    }
+    yieldHere(1);
+}
+
+void
+VirtualSched::pauseFor(std::uint64_t iterations)
+{
+    if (!onManagedThread()) {
+        for (std::uint64_t i = 0; i < iterations; ++i)
+            runtime::cpuRelaxNative();
+        return;
+    }
+    yieldHere(iterations > 0 ? iterations : 1);
+}
+
+bool
+VirtualSched::pauseUntil(std::uint64_t iterations, TimePoint deadline)
+{
+    if (!onManagedThread()) {
+        // Foreign thread with this hook installed: honor the contract
+        // against the real clock, checking it in modest chunks.
+        const auto clock = [] {
+            return std::chrono::steady_clock::now();
+        };
+        std::uint64_t remaining = iterations;
+        while (remaining > 0) {
+            if (clock() >= deadline)
+                return false;
+            const std::uint64_t chunk =
+                std::min<std::uint64_t>(remaining, 256);
+            for (std::uint64_t i = 0; i < chunk; ++i)
+                runtime::cpuRelaxNative();
+            remaining -= chunk;
+        }
+        return clock() < deadline;
+    }
+
+    const TimePoint vnow = now();
+    if (vnow >= deadline) {
+        // Already expired: still yield once so a deadline-polling
+        // loop remains a sequence of schedule points, then report
+        // the cut.
+        yieldHere(1);
+        return false;
+    }
+    const auto headroom = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(deadline -
+                                                             vnow)
+            .count());
+    const std::uint64_t want = iterations > 0 ? iterations : 1;
+    const std::uint64_t ticks = std::min(want, headroom);
+    yieldHere(ticks);
+    return ticks >= iterations;
+}
+
+void
+VirtualSched::workerMain(std::uint32_t id, const Body &body)
+{
+    tls_sched = this;
+    tls_id = id;
+
+    bool skip;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return current_ == id; });
+        workers_[id].state = Worker::State::Running;
+        skip = abort_;
+    }
+    if (!skip) {
+        try {
+            const runtime::ScopedSchedHook hook(this);
+            body(id);
+        } catch (const AbortRun &) {
+            // unwound by fail() or an abort grant; already recorded
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (failure_.empty())
+                failure_ =
+                    std::string("worker threw: ") + e.what();
+            abort_ = true;
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (failure_.empty())
+                failure_ = "worker threw a non-std exception";
+            abort_ = true;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        workers_[id].state = Worker::State::Done;
+        current_ = kNone;
+        cv_.notify_all();
+    }
+    tls_sched = nullptr;
+    tls_id = kNone;
+}
+
+RunRecord
+VirtualSched::run(const std::vector<Body> &bodies, Decider &decider,
+                  const std::function<std::string()> &stepInvariant)
+{
+    RunRecord rec;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        abort_ = false;
+        failure_.clear();
+        current_ = kNone;
+        vticks_.store(0, std::memory_order_relaxed);
+        epoch_ = std::chrono::steady_clock::now();
+        workers_ = std::vector<Worker>(bodies.size());
+    }
+    for (std::uint32_t i = 0; i < bodies.size(); ++i)
+        workers_[i].thread = std::thread(
+            [this, i, &bodies] { workerMain(i, bodies[i]); });
+
+    std::vector<std::uint32_t> ready;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        for (;;) {
+            cv_.wait(lk, [&] { return current_ == kNone; });
+
+            ready.clear();
+            bool all_done = true;
+            for (std::uint32_t i = 0; i < workers_.size(); ++i) {
+                if (workers_[i].state == Worker::State::Ready)
+                    ready.push_back(i);
+                if (workers_[i].state != Worker::State::Done)
+                    all_done = false;
+            }
+            if (failure_.empty() && stepInvariant) {
+                std::string msg = stepInvariant();
+                if (!msg.empty()) {
+                    failure_ = std::move(msg);
+                    abort_ = true;
+                }
+            }
+            if (!failure_.empty() || all_done)
+                break;
+            if (ready.empty()) {
+                // Cannot happen with hook-paced waiting: every parked
+                // worker is Ready.  Guard anyway.
+                failure_ = "scheduler: no runnable thread";
+                abort_ = true;
+                break;
+            }
+            if (rec.steps >= cfg_.maxSteps) {
+                failure_ = "maxSteps exceeded (livelock or lost "
+                           "wakeup under a fair schedule)";
+                abort_ = true;
+                break;
+            }
+
+            if (ready.size() > 1)
+                ++rec.choicePoints;
+            std::size_t idx = decider.choose(ready);
+            if (idx >= ready.size())
+                idx = 0;
+            const std::uint32_t chosen = ready[idx];
+            ++rec.steps;
+            if (rec.trace.size() < cfg_.traceLimit)
+                rec.trace.push_back(chosen);
+            current_ = chosen;
+            cv_.notify_all();
+        }
+
+        // Drain: grant every unfinished worker so it unwinds via
+        // AbortRun (or skips its body) and reaches Done.
+        abort_ = true;
+        for (;;) {
+            std::uint32_t pending = kNone;
+            for (std::uint32_t i = 0; i < workers_.size(); ++i) {
+                if (workers_[i].state != Worker::State::Done) {
+                    pending = i;
+                    break;
+                }
+            }
+            if (pending == kNone)
+                break;
+            current_ = pending;
+            cv_.notify_all();
+            cv_.wait(lk, [&] { return current_ == kNone; });
+        }
+    }
+
+    for (Worker &w : workers_)
+        w.thread.join();
+
+    rec.ticks = vticks_.load(std::memory_order_relaxed);
+    rec.failure = failure_;
+    rec.completed = failure_.empty();
+    return rec;
+}
+
+std::size_t
+ScriptedDecider::choose(const std::vector<std::uint32_t> &ready)
+{
+    if (ready.size() <= 1)
+        return 0;
+    if (choice_points_ < branch_depth_) {
+        const std::uint32_t cp = choice_points_++;
+        ready_counts_.push_back(
+            static_cast<std::uint32_t>(ready.size()));
+        if (cp < script_.size())
+            return std::min<std::size_t>(script_[cp],
+                                         ready.size() - 1);
+        return 0;
+    }
+    // Past the explored prefix: rotate so every ready thread is
+    // granted within ready.size() consecutive choice points, which
+    // keeps spinners from starving the thread they wait on.
+    return rr_next_++ % ready.size();
+}
+
+RunRecord
+runSeededSchedule(const EpisodeFactory &factory, std::uint64_t seed,
+                  VirtualSchedConfig cfg)
+{
+    VirtualSched sched(cfg);
+    Episode episode = factory(sched);
+    RandomDecider decider(seed);
+    return sched.run(episode.bodies, decider, episode.stepInvariant);
+}
+
+FuzzReport
+fuzzSchedules(const EpisodeFactory &factory, FuzzConfig cfg)
+{
+    FuzzReport report;
+    for (std::uint64_t k = 0; k < cfg.runs; ++k) {
+        const std::uint64_t seed = cfg.seed0 + k;
+        RunRecord rec = runSeededSchedule(factory, seed, cfg.sched);
+        ++report.runsDone;
+        if (!rec.completed) {
+            report.failed = true;
+            report.failingSeed = seed;
+            report.failure = rec.failure;
+            report.failing = std::move(rec);
+            break;
+        }
+    }
+    return report;
+}
+
+ExploreReport
+exploreSchedules(const EpisodeFactory &factory, ExploreConfig cfg)
+{
+    ExploreReport report;
+    std::vector<std::uint32_t> script;
+    for (;;) {
+        if (report.interleavings >= cfg.maxRuns)
+            return report; // budget exhausted; exhausted stays false
+
+        VirtualSched sched(cfg.sched);
+        Episode episode = factory(sched);
+        ScriptedDecider decider(script, cfg.branchDepth);
+        RunRecord rec = sched.run(episode.bodies, decider,
+                                  episode.stepInvariant);
+        ++report.interleavings;
+        if (!rec.completed) {
+            report.failed = true;
+            report.failure = rec.failure;
+            report.failingScript = script;
+            report.failing = std::move(rec);
+            return report;
+        }
+
+        // Odometer step over the choice points this run observed:
+        // the schedule taken was script_ extended with zeros, so find
+        // the deepest position that still has an unvisited sibling.
+        const std::vector<std::uint32_t> &counts =
+            decider.readyCounts();
+        std::vector<std::uint32_t> taken(counts.size(), 0);
+        for (std::size_t i = 0;
+             i < script.size() && i < taken.size(); ++i)
+            taken[i] = script[i];
+        bool advanced = false;
+        for (std::size_t pos = taken.size(); pos-- > 0;) {
+            if (taken[pos] + 1 < counts[pos]) {
+                script.assign(taken.begin(),
+                              taken.begin() +
+                                  static_cast<std::ptrdiff_t>(pos));
+                script.push_back(taken[pos] + 1);
+                advanced = true;
+                break;
+            }
+        }
+        if (!advanced) {
+            report.exhausted = true;
+            return report;
+        }
+    }
+}
+
+} // namespace absync::testing

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Deterministic schedule exploration for the real-thread runtime.
+ *
+ * The paper's claims are about adversarial timing — processors
+ * arriving skewed, polls colliding, backoff windows racing phase
+ * completion — but ordinary multithreaded tests only ever see the
+ * interleavings the host scheduler happens to produce.  VirtualSched
+ * makes the interleaving a *test input*: it runs the real barrier /
+ * backoff / resource-pool code on real threads, but serializes them
+ * so that exactly one runs at a time, handing control back at every
+ * yield point (each cpuRelax / spinFor / spinForUntil, via
+ * runtime::SchedHook).  A Decider chooses which thread advances at
+ * each step, so a schedule is just a sequence of decisions:
+ *
+ *  - RandomDecider(seed) gives seeded schedule fuzzing — any failure
+ *    is replayable by re-running the same seed;
+ *  - ScriptedDecider + exploreSchedules() enumerate *every* distinct
+ *    interleaving whose first `branchDepth` decision points are
+ *    chosen freely (a bounded exhaustive search; beyond the bound the
+ *    schedule continues round-robin so every run terminates).
+ *
+ * Time is virtual: while a hook is installed, deadlineAfter /
+ * deadlineExpired read VirtualSched's tick clock (1 tick = 1 ns past
+ * a real epoch captured at run start), and each yield advances it by
+ * the length of the interval the thread asked to spin.  Timed waits
+ * therefore resolve deterministically under a given schedule.
+ *
+ * Invariants are checked at every step: bodies report violations with
+ * fail(), and an episode can attach a stepInvariant that the
+ * scheduler evaluates between steps (all other threads are parked, so
+ * it may freely read shared state).  A run that exceeds maxSteps is
+ * reported as a failure — that is exactly what a lost wakeup or a
+ * livelock looks like under a fair schedule.
+ */
+
+#ifndef ABSYNC_TESTING_VIRTUAL_SCHED_HPP
+#define ABSYNC_TESTING_VIRTUAL_SCHED_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/sched_hook.hpp"
+#include "runtime/wait_result.hpp"
+#include "support/rng.hpp"
+
+namespace absync::testing
+{
+
+/** Knobs of one virtual-schedule run. */
+struct VirtualSchedConfig
+{
+    /** Step bound: exceeding it fails the run (livelock / lost
+     *  wakeup under a fair schedule). */
+    std::uint64_t maxSteps = 200000;
+    /** Cap on the recorded per-step thread trace (debugging aid). */
+    std::size_t traceLimit = 1 << 16;
+};
+
+/** Outcome of one scheduled run. */
+struct RunRecord
+{
+    /** True when every body returned and no invariant fired. */
+    bool completed = false;
+    /** First failure message; empty on success. */
+    std::string failure;
+    /** Scheduler steps taken (thread grants). */
+    std::uint64_t steps = 0;
+    /** Steps at which more than one thread was ready. */
+    std::uint64_t choicePoints = 0;
+    /** Virtual nanoseconds elapsed. */
+    std::uint64_t ticks = 0;
+    /** Chosen thread id per step, capped at traceLimit. */
+    std::vector<std::uint32_t> trace;
+};
+
+/**
+ * Cooperative serializing scheduler over real threads.
+ *
+ * One VirtualSched instance runs one episode at a time (run() may be
+ * called repeatedly).  It implements runtime::SchedHook; the hook is
+ * installed on every worker thread for the duration of its body, and
+ * calls from unmanaged threads fall back to native spinning so a
+ * hook pointer threaded through BarrierConfig::sched is always safe.
+ */
+class VirtualSched final : public runtime::SchedHook
+{
+  public:
+    /** A worker body; receives its dense thread id. */
+    using Body = std::function<void(std::uint32_t)>;
+
+    /** Schedule decision source: picks an index into `ready`. */
+    class Decider
+    {
+      public:
+        virtual ~Decider() = default;
+        /**
+         * Choose which thread advances.  @p ready lists the ids of
+         * all runnable threads in ascending order (never empty);
+         * return an index into it.
+         */
+        virtual std::size_t
+        choose(const std::vector<std::uint32_t> &ready) = 0;
+    };
+
+    explicit VirtualSched(VirtualSchedConfig cfg = {});
+    ~VirtualSched() override;
+
+    VirtualSched(const VirtualSched &) = delete;
+    VirtualSched &operator=(const VirtualSched &) = delete;
+
+    /**
+     * Run @p bodies (one worker thread each) under @p decider until
+     * all return, an invariant fails, or maxSteps is exceeded.
+     *
+     * @param stepInvariant optional check evaluated after every step
+     *        while all workers are parked; a non-empty return value
+     *        fails the run with that message
+     */
+    RunRecord run(const std::vector<Body> &bodies, Decider &decider,
+                  const std::function<std::string()> &stepInvariant =
+                      nullptr);
+
+    /**
+     * Report an invariant violation from inside a body.  Records the
+     * first message, aborts the run (unwinding every worker at its
+     * next yield point), and does not return when called from a
+     * managed worker thread.
+     */
+    void fail(std::string message);
+
+    /** fail(message) unless @p condition holds. */
+    void
+    require(bool condition, const std::string &message)
+    {
+        if (!condition)
+            fail(message);
+    }
+
+    /** Virtual deadline @p ticks nanoseconds from virtual now. */
+    runtime::Deadline
+    deadlineIn(std::uint64_t ticks)
+    {
+        return now() + std::chrono::nanoseconds(ticks);
+    }
+
+    // -- runtime::SchedHook ------------------------------------------
+    void pause() override;
+    void pauseFor(std::uint64_t iterations) override;
+    bool pauseUntil(std::uint64_t iterations,
+                    TimePoint deadline) override;
+    TimePoint now() override;
+
+  private:
+    struct Worker;
+    /** Thrown through a worker body to unwind an aborted run. */
+    struct AbortRun
+    {
+    };
+
+    /** True when the calling thread is a worker of this instance. */
+    bool onManagedThread() const;
+    /** Park the calling worker; wake when granted again. */
+    void yieldHere(std::uint64_t ticks);
+    void workerMain(std::uint32_t id, const Body &body);
+
+    const VirtualSchedConfig cfg_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Worker> workers_;
+    /** Index of the granted worker; kNone while all are parked. */
+    std::uint32_t current_;
+    bool abort_ = false;
+    std::string failure_;
+    /** Virtual clock, in ticks (ns) past epoch_. */
+    std::atomic<std::uint64_t> vticks_{0};
+    TimePoint epoch_{};
+};
+
+/** Seeded uniform decider: the fuzzing schedule source. */
+class RandomDecider final : public VirtualSched::Decider
+{
+  public:
+    explicit RandomDecider(std::uint64_t seed) : rng_(seed) {}
+
+    std::size_t
+    choose(const std::vector<std::uint32_t> &ready) override
+    {
+        return static_cast<std::size_t>(
+            rng_.uniformInt(0, static_cast<std::uint64_t>(
+                                   ready.size() - 1)));
+    }
+
+  private:
+    support::Rng rng_;
+};
+
+/**
+ * Scripted decider for exhaustive exploration.  The first
+ * `branchDepth` *choice points* (steps with more than one ready
+ * thread) follow the script (defaulting to index 0 past its end) and
+ * record how many options each offered; later choice points fall
+ * back to round-robin over thread ids so every schedule terminates.
+ */
+class ScriptedDecider final : public VirtualSched::Decider
+{
+  public:
+    ScriptedDecider(std::vector<std::uint32_t> script,
+                    std::uint32_t branch_depth)
+        : script_(std::move(script)), branch_depth_(branch_depth)
+    {
+    }
+
+    std::size_t choose(const std::vector<std::uint32_t> &ready) override;
+
+    /** Options seen at each explored choice point, in order. */
+    const std::vector<std::uint32_t> &
+    readyCounts() const
+    {
+        return ready_counts_;
+    }
+
+  private:
+    std::vector<std::uint32_t> script_;
+    const std::uint32_t branch_depth_;
+    std::vector<std::uint32_t> ready_counts_;
+    std::uint32_t choice_points_ = 0;
+    std::uint32_t rr_next_ = 0;
+};
+
+/**
+ * One schedulable episode: worker bodies plus an optional global
+ * invariant evaluated between steps.
+ */
+struct Episode
+{
+    std::vector<VirtualSched::Body> bodies;
+    std::function<std::string()> stepInvariant;
+};
+
+/**
+ * Builds a fresh episode against @p sched.  Called once per run so
+ * that every schedule starts from identical state; bodies may capture
+ * &sched for deadlines and fail().
+ */
+using EpisodeFactory = std::function<Episode(VirtualSched &)>;
+
+/** Run one seeded schedule (the fuzzer's unit, and its replay). */
+RunRecord runSeededSchedule(const EpisodeFactory &factory,
+                            std::uint64_t seed,
+                            VirtualSchedConfig cfg = {});
+
+/** Fuzzing campaign over consecutive seeds. */
+struct FuzzConfig
+{
+    std::uint64_t runs = 100;
+    std::uint64_t seed0 = 1;
+    VirtualSchedConfig sched;
+};
+
+struct FuzzReport
+{
+    std::uint64_t runsDone = 0;
+    bool failed = false;
+    /** Replay a failure with runSeededSchedule(factory, failingSeed). */
+    std::uint64_t failingSeed = 0;
+    std::string failure;
+    RunRecord failing;
+};
+
+FuzzReport fuzzSchedules(const EpisodeFactory &factory,
+                         FuzzConfig cfg = {});
+
+/** Bounded exhaustive exploration. */
+struct ExploreConfig
+{
+    /** Choice points explored exhaustively per run (beyond them the
+     *  schedule continues round-robin). */
+    std::uint32_t branchDepth = 12;
+    /** Safety valve on the total number of runs. */
+    std::uint64_t maxRuns = 100000;
+    VirtualSchedConfig sched;
+};
+
+struct ExploreReport
+{
+    /** Distinct complete interleavings executed. */
+    std::uint64_t interleavings = 0;
+    /** True when the bounded tree was fully enumerated. */
+    bool exhausted = false;
+    bool failed = false;
+    std::string failure;
+    /** Choice-index script reproducing the failure via
+     *  ScriptedDecider(failingScript, branchDepth). */
+    std::vector<std::uint32_t> failingScript;
+    RunRecord failing;
+};
+
+ExploreReport exploreSchedules(const EpisodeFactory &factory,
+                               ExploreConfig cfg = {});
+
+} // namespace absync::testing
+
+#endif // ABSYNC_TESTING_VIRTUAL_SCHED_HPP

@@ -133,3 +133,61 @@ TEST(Resource, ProportionalPollsLessThanSpin)
     // deterministically in tests/core/test_resource_sim.cpp.
     EXPECT_LE(prop_polls, spin_polls);
 }
+
+TEST(Resource, AcquireForPastDeadlineOnFullPoolTimesOutImmediately)
+{
+    BackoffResource res(1, ResourcePolicy::Proportional);
+    res.acquire();
+    const Deadline past =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    EXPECT_EQ(res.acquireFor(past), WaitResult::Timeout);
+    // Timeout means nothing acquired and no release owed: exactly one
+    // slot (the original) is held, and releasing once empties it.
+    EXPECT_EQ(res.inUse(), 1u);
+    EXPECT_EQ(res.waiters(), 0u);
+    EXPECT_GE(res.totalTimeouts(), 1u);
+    res.release();
+    EXPECT_EQ(res.inUse(), 0u);
+}
+
+TEST(Resource, AcquireForEpochDeadlineBehavesLikePast)
+{
+    // A default-constructed (epoch) deadline is in the distant past;
+    // it must act as "do not wait at all", not wrap around.
+    BackoffResource res(1);
+    res.acquire();
+    EXPECT_EQ(res.acquireFor(Deadline{}), WaitResult::Timeout);
+    EXPECT_EQ(res.inUse(), 1u);
+    res.release();
+}
+
+TEST(Resource, AcquireForPastDeadlineStillTakesAFreeSlot)
+{
+    // The fast path is try-then-check-deadline: a free slot is
+    // granted even when the deadline has already passed, mirroring
+    // the barriers' "arrival beats the clock" contract.
+    BackoffResource res(1);
+    const Deadline past =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    EXPECT_EQ(res.acquireFor(past), WaitResult::Ok);
+    EXPECT_EQ(res.inUse(), 1u);
+    res.release();
+}
+
+TEST(Resource, AcquireForOkWithinDeadlineUnderContention)
+{
+    BackoffResource res(1, ResourcePolicy::Exponential);
+    res.acquire();
+    std::thread holder([&res] {
+        absync::runtime::spinFor(20000);
+        res.release();
+    });
+    const WaitResult r =
+        res.acquireFor(absync::runtime::deadlineAfter(
+            std::chrono::seconds(30)));
+    holder.join();
+    EXPECT_EQ(r, WaitResult::Ok);
+    EXPECT_EQ(res.inUse(), 1u);
+    res.release();
+    EXPECT_EQ(res.waiters(), 0u);
+}

@@ -65,6 +65,38 @@ TEST(FaultPlan, SameSeedIdenticalPointQueries)
     }
 }
 
+TEST(FaultPlan, QueriesArePureAcrossCopies)
+{
+    // Copies must be interchangeable with the original: the plan is a
+    // pure function of its config, with no hidden mutable state that
+    // querying could advance (a stateful RNG inside would make the
+    // copy and the original diverge after the first call).
+    const FaultPlan original(busyConfig(12));
+    // Query the original first, so any hidden state would be advanced
+    // before the copy is taken.
+    const auto before = original.schedule(8, 16);
+    const FaultPlan copy = original;
+    const auto after = original.schedule(8, 16);
+    EXPECT_EQ(before, after) << "schedule() mutated the plan";
+    EXPECT_EQ(copy.schedule(8, 16), before);
+    for (std::uint32_t p = 0; p < 8; ++p) {
+        EXPECT_EQ(copy.crashPhase(p), original.crashPhase(p));
+        for (std::uint64_t i = 0; i < 32; ++i) {
+            EXPECT_EQ(copy.stragglerDelay(p, i),
+                      original.stragglerDelay(p, i));
+            EXPECT_EQ(copy.spuriousWake(p, i),
+                      original.spuriousWake(p, i));
+            EXPECT_EQ(copy.packetDelay(p, i),
+                      original.packetDelay(p, i));
+        }
+    }
+    // Repeated point queries on the same instance must also be
+    // stable (idempotence, the other half of purity).
+    EXPECT_EQ(original.stragglerDelay(3, 5),
+              original.stragglerDelay(3, 5));
+    EXPECT_EQ(original.crashPhase(3), original.crashPhase(3));
+}
+
 TEST(FaultPlan, DifferentSeedDifferentSchedule)
 {
     const FaultPlan a(busyConfig(1));

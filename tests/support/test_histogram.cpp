@@ -109,3 +109,56 @@ TEST(BinnedHistogram, Fractions)
     EXPECT_DOUBLE_EQ(h.binFraction(3), 0.25);
     EXPECT_DOUBLE_EQ(h.binFraction(1), 0.0);
 }
+
+TEST(IntHistogram, AsciiChartRendersEmptyTrailingBuckets)
+{
+    IntHistogram h;
+    h.add(0, 4);
+    // up_to beyond maxValue: buckets 1..3 exist in the chart even
+    // though they are empty (Figure 1 renders the full x-axis).
+    const std::string chart = h.asciiChart(20, 3);
+    EXPECT_NE(chart.find('0'), std::string::npos);
+    EXPECT_NE(chart.find('3'), std::string::npos);
+}
+
+TEST(IntHistogram, AsciiChartOnEmptyHistogramIsSafe)
+{
+    const IntHistogram h;
+    const std::string chart = h.asciiChart();
+    // Must not divide by the zero total; any (possibly empty) string
+    // without a crash is acceptable, but bucket 0 should render.
+    EXPECT_EQ(h.total(), 0u);
+    SUCCEED() << chart;
+}
+
+TEST(BinnedHistogram, EmptyHistogramFractionsAndChart)
+{
+    BinnedHistogram h(0.0, 1.0, 5);
+    EXPECT_EQ(h.total(), 0u);
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        EXPECT_DOUBLE_EQ(h.binFraction(i), 0.0);
+    const std::string chart = h.asciiChart();
+    EXPECT_FALSE(chart.empty());
+}
+
+TEST(BinnedHistogram, SingleBinSwallowsEverything)
+{
+    BinnedHistogram h(0.0, 10.0, 1);
+    h.add(-100.0); // clamped up
+    h.add(5.0);
+    h.add(1e9); // clamped down
+    EXPECT_EQ(h.bins(), 1u);
+    EXPECT_EQ(h.binCount(0), 3u);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 5.0);
+}
+
+TEST(BinnedHistogram, ExactBoundariesLandInEdgeBins)
+{
+    BinnedHistogram h(0.0, 10.0, 5);
+    h.add(0.0);  // inclusive lower edge: first bin
+    h.add(10.0); // exclusive upper edge: clamped into last bin
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}

@@ -73,3 +73,36 @@ TEST(Table, CsvOutput)
     EXPECT_NE(csv.find("\"with,comma\",2\n"), std::string::npos);
     EXPECT_NE(csv.find("\"with\"\"quote\",3\n"), std::string::npos);
 }
+
+TEST(Table, EmptyTableRendersHeaderOnly)
+{
+    Table t({"alpha", "beta"});
+    EXPECT_EQ(t.rows(), 0u);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    const std::string csv = t.csv();
+    EXPECT_EQ(csv, "alpha,beta\n");
+}
+
+TEST(Table, CsvQuotesEmbeddedNewlines)
+{
+    Table t({"k", "v"});
+    t.addRow({"multi\nline", "1"});
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"multi\nline\",1\n"), std::string::npos);
+}
+
+TEST(Table, CsvHeaderCellsAreQuotedToo)
+{
+    Table t({"a,b", "c"});
+    t.addRow({"1", "2"});
+    EXPECT_NE(t.csv().find("\"a,b\",c\n"), std::string::npos);
+}
+
+TEST(TableFmt, PercentOfZeroAndNegative)
+{
+    EXPECT_EQ(fmtPercent(0.0, 1), "0.0%");
+    // fmt itself must carry signs through for deltas in benches.
+    EXPECT_EQ(fmt(-2.5, 1), "-2.5");
+}

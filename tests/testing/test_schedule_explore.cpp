@@ -1,0 +1,258 @@
+/** @file Schedule-space exploration: bounded exhaustive enumeration
+ *        of small barrier episodes and fuzz campaigns over every
+ *        barrier kind, waiting policy, and the resource pool. */
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "runtime/barrier.hpp"
+#include "runtime/barrier_interface.hpp"
+#include "runtime/resource_pool.hpp"
+#include "runtime/spin_backoff.hpp"
+#include "testing/barrier_episodes.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace rt = absync::runtime;
+namespace vt = absync::testing;
+
+namespace
+{
+
+TEST(ScheduleExplore, ExhaustiveTwoThreadTwoPhaseFlatBarrier)
+{
+    // The acceptance case: every interleaving of a 2-thread, 2-phase
+    // flat-barrier episode whose first 10 scheduling choices are
+    // enumerated exhaustively, with the phase-ordering oracle armed.
+    vt::BarrierEpisodeConfig cfg;
+    cfg.kind = rt::BarrierKind::Flat;
+    cfg.parties = 2;
+    cfg.phases = 2;
+    cfg.barrier.policy = rt::BarrierPolicy::None;
+
+    vt::ExploreConfig xc;
+    xc.branchDepth = 10;
+    xc.maxRuns = 20000;
+    const vt::ExploreReport rep =
+        vt::exploreSchedules(vt::barrierPhasesFactory(cfg), xc);
+
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted)
+        << "bounded tree not fully enumerated within " << xc.maxRuns
+        << " runs";
+    EXPECT_GE(rep.interleavings, 2u);
+    ::testing::Test::RecordProperty(
+        "interleavings", static_cast<int>(rep.interleavings));
+    std::cout << "[ explore  ] flat 2 threads x 2 phases, depth "
+              << xc.branchDepth << ": " << rep.interleavings
+              << " distinct interleavings\n";
+}
+
+TEST(ScheduleExplore, ExhaustiveTangYewWithBackoff)
+{
+    vt::BarrierEpisodeConfig cfg;
+    cfg.kind = rt::BarrierKind::TangYew;
+    cfg.parties = 2;
+    cfg.phases = 2;
+    cfg.barrier.policy = rt::BarrierPolicy::Exponential;
+
+    vt::ExploreConfig xc;
+    xc.branchDepth = 8;
+    xc.maxRuns = 20000;
+    const vt::ExploreReport rep =
+        vt::exploreSchedules(vt::barrierPhasesFactory(cfg), xc);
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted);
+    EXPECT_GE(rep.interleavings, 2u);
+}
+
+TEST(ScheduleExplore, FuzzAllBarrierKinds)
+{
+    for (const rt::BarrierKind kind :
+         {rt::BarrierKind::Flat, rt::BarrierKind::TangYew,
+          rt::BarrierKind::Tree, rt::BarrierKind::Adaptive}) {
+        vt::BarrierEpisodeConfig cfg;
+        cfg.kind = kind;
+        cfg.parties = 3;
+        cfg.phases = 3;
+        vt::FuzzConfig fc;
+        fc.runs = 20;
+        fc.seed0 = 7;
+        const vt::FuzzReport rep =
+            vt::fuzzSchedules(vt::barrierPhasesFactory(cfg), fc);
+        EXPECT_FALSE(rep.failed)
+            << "kind " << static_cast<int>(kind)
+            << ", replay with seed " << rep.failingSeed << ": "
+            << rep.failure;
+        EXPECT_EQ(rep.runsDone, fc.runs);
+    }
+}
+
+TEST(ScheduleExplore, FuzzAllFlatPolicies)
+{
+    for (const rt::BarrierPolicy policy :
+         {rt::BarrierPolicy::None, rt::BarrierPolicy::Variable,
+          rt::BarrierPolicy::Linear, rt::BarrierPolicy::Exponential,
+          rt::BarrierPolicy::Blocking}) {
+        vt::BarrierEpisodeConfig cfg;
+        cfg.kind = rt::BarrierKind::Flat;
+        cfg.parties = 2;
+        cfg.phases = 2;
+        cfg.barrier.policy = policy;
+        // Make the Blocking policy actually cross its threshold under
+        // the virtual schedule.
+        cfg.barrier.blockThreshold = 16;
+        vt::FuzzConfig fc;
+        fc.runs = 15;
+        fc.seed0 = 31;
+        const vt::FuzzReport rep =
+            vt::fuzzSchedules(vt::barrierPhasesFactory(cfg), fc);
+        EXPECT_FALSE(rep.failed)
+            << "policy " << static_cast<int>(policy)
+            << ", replay with seed " << rep.failingSeed << ": "
+            << rep.failure;
+    }
+}
+
+TEST(ScheduleExplore, FuzzTreeTimedResumeNeverDoubleCounts)
+{
+    // Tree-barrier timed waits park a continuation instead of
+    // withdrawing; the same thread's next call resumes it.  Under
+    // arbitrary schedules a resumed arrival must still count exactly
+    // once per phase — the PhaseLog trips on any double count or
+    // premature release.
+    const vt::EpisodeFactory factory = [](vt::VirtualSched &sched) {
+        struct State
+        {
+            std::unique_ptr<rt::AnyBarrier> barrier;
+            vt::PhaseLog log{2};
+        };
+        auto st = std::make_shared<State>();
+        rt::BarrierConfig cfg;
+        cfg.policy = rt::BarrierPolicy::Variable;
+        cfg.sched = &sched;
+        st->barrier = rt::makeBarrier(rt::BarrierKind::Tree, 2, cfg);
+
+        vt::Episode ep;
+        ep.bodies.push_back([st, &sched](std::uint32_t id) {
+            for (std::uint32_t p = 1; p <= 2; ++p) {
+                std::uint32_t attempts = 0;
+                while (st->barrier->arriveFor(
+                           id, sched.deadlineIn(200)) ==
+                       rt::WaitResult::Timeout) {
+                    if (++attempts > 10000)
+                        sched.fail("timed arrive never resumed");
+                }
+                const std::string err = st->log.record(id, p);
+                if (!err.empty())
+                    sched.fail(err);
+            }
+        });
+        ep.bodies.push_back([st, &sched](std::uint32_t id) {
+            for (std::uint32_t p = 1; p <= 2; ++p) {
+                rt::spinFor(700); // straggle past several deadlines
+                st->barrier->arrive(id);
+                const std::string err = st->log.record(id, p);
+                if (!err.empty())
+                    sched.fail(err);
+            }
+        });
+        return ep;
+    };
+
+    vt::FuzzConfig fc;
+    fc.runs = 40;
+    fc.seed0 = 400;
+    const vt::FuzzReport rep = vt::fuzzSchedules(factory, fc);
+    EXPECT_FALSE(rep.failed)
+        << "replay with seed " << rep.failingSeed << ": "
+        << rep.failure;
+}
+
+TEST(ScheduleExplore, FuzzResourcePoolMutualExclusion)
+{
+    // A 1-slot BackoffResource is a lock; under any schedule at most
+    // one worker may be inside the critical section.  The pool's
+    // waiting loops are hooked transparently through the installed
+    // thread-local hook (no config field needed).
+    const vt::EpisodeFactory factory = [](vt::VirtualSched &sched) {
+        struct State
+        {
+            rt::BackoffResource pool{
+                1, rt::ResourcePolicy::Proportional, 8};
+            int inside = 0;
+        };
+        auto st = std::make_shared<State>();
+        vt::Episode ep;
+        for (int t = 0; t < 3; ++t) {
+            ep.bodies.push_back([st, &sched](std::uint32_t) {
+                for (int i = 0; i < 2; ++i) {
+                    st->pool.acquire();
+                    ++st->inside;
+                    sched.require(st->inside == 1,
+                                  "two holders of a 1-slot resource");
+                    rt::spinFor(3);
+                    sched.require(st->inside == 1,
+                                  "holder admitted mid-critical-"
+                                  "section");
+                    --st->inside;
+                    st->pool.release();
+                }
+            });
+        }
+        return ep;
+    };
+
+    vt::FuzzConfig fc;
+    fc.runs = 30;
+    fc.seed0 = 900;
+    const vt::FuzzReport rep = vt::fuzzSchedules(factory, fc);
+    EXPECT_FALSE(rep.failed)
+        << "replay with seed " << rep.failingSeed << ": "
+        << rep.failure;
+}
+
+TEST(ScheduleExplore, FailingScriptReplaysTheFailure)
+{
+    // Plant a schedule-dependent bug and check the explorer both
+    // finds it and hands back a script that reproduces it.
+    const vt::EpisodeFactory factory = [](vt::VirtualSched &sched) {
+        auto turn = std::make_shared<int>(0);
+        vt::Episode ep;
+        ep.bodies.push_back([turn, &sched](std::uint32_t) {
+            rt::cpuRelax();
+            *turn = 1;
+            rt::cpuRelax();
+            if (*turn == 2)
+                sched.fail("planted order bug");
+        });
+        ep.bodies.push_back([turn](std::uint32_t) {
+            rt::cpuRelax();
+            *turn = 2;
+            rt::cpuRelax();
+        });
+        return ep;
+    };
+
+    vt::ExploreConfig xc;
+    xc.branchDepth = 8;
+    xc.maxRuns = 5000;
+    const vt::ExploreReport rep = vt::exploreSchedules(factory, xc);
+    ASSERT_TRUE(rep.failed) << "planted bug not found in "
+                            << rep.interleavings << " interleavings";
+    EXPECT_NE(rep.failure.find("planted order bug"),
+              std::string::npos);
+
+    // The returned script must deterministically reproduce it.
+    vt::VirtualSched sched(xc.sched);
+    vt::Episode ep = factory(sched);
+    vt::ScriptedDecider decider(rep.failingScript, xc.branchDepth);
+    const vt::RunRecord replay =
+        sched.run(ep.bodies, decider, ep.stepInvariant);
+    EXPECT_FALSE(replay.completed);
+    EXPECT_EQ(replay.failure, rep.failure);
+}
+
+} // namespace

@@ -1,0 +1,281 @@
+/** @file Tests of the VirtualSched harness itself: determinism and
+ *        replay, the virtual clock, failure reporting, livelock
+ *        detection, and the native fallback on unmanaged threads. */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/barrier.hpp"
+#include "runtime/resource_pool.hpp"
+#include "runtime/spin_backoff.hpp"
+#include "runtime/wait_result.hpp"
+#include "testing/barrier_episodes.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace rt = absync::runtime;
+namespace vt = absync::testing;
+
+namespace
+{
+
+TEST(VirtualSched, RunsBodiesToCompletion)
+{
+    vt::VirtualSched sched;
+    int ran = 0;
+    std::vector<vt::VirtualSched::Body> bodies;
+    for (int i = 0; i < 3; ++i)
+        bodies.push_back([&ran](std::uint32_t) {
+            rt::cpuRelax(); // a yield point
+            ++ran;
+        });
+    vt::RandomDecider decider(1);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    EXPECT_TRUE(rec.completed) << rec.failure;
+    EXPECT_EQ(ran, 3);
+    EXPECT_GT(rec.steps, 0u);
+}
+
+TEST(VirtualSched, SameSeedReplaysIdenticalSchedule)
+{
+    vt::BarrierEpisodeConfig cfg;
+    cfg.kind = rt::BarrierKind::Flat;
+    cfg.parties = 3;
+    cfg.phases = 2;
+    const vt::EpisodeFactory factory = vt::barrierPhasesFactory(cfg);
+
+    const vt::RunRecord a = vt::runSeededSchedule(factory, 42);
+    const vt::RunRecord b = vt::runSeededSchedule(factory, 42);
+    ASSERT_TRUE(a.completed) << a.failure;
+    ASSERT_TRUE(b.completed) << b.failure;
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.trace, b.trace);
+
+    // Distinct seeds must be able to produce distinct interleavings,
+    // otherwise the fuzzer explores nothing.
+    std::set<std::vector<std::uint32_t>> traces;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+        traces.insert(vt::runSeededSchedule(factory, seed).trace);
+    EXPECT_GT(traces.size(), 1u);
+}
+
+TEST(VirtualSched, VirtualClockDrivesDeadlines)
+{
+    vt::VirtualSched sched;
+    bool expired_before = true;
+    bool expired_after = false;
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([&](std::uint32_t) {
+        const rt::Deadline dl = sched.deadlineIn(1000);
+        expired_before = rt::deadlineExpired(dl);
+        rt::spinFor(2000); // advances virtual time by 2000 ticks
+        expired_after = rt::deadlineExpired(dl);
+    });
+    vt::RandomDecider decider(3);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    ASSERT_TRUE(rec.completed) << rec.failure;
+    EXPECT_FALSE(expired_before);
+    EXPECT_TRUE(expired_after);
+    EXPECT_GE(rec.ticks, 2000u);
+}
+
+TEST(VirtualSched, SpinForUntilHonorsVirtualDeadline)
+{
+    vt::VirtualSched sched;
+    bool cut_short = true;
+    bool ran_full = false;
+    bool expired_at_cut = false;
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([&](std::uint32_t) {
+        const rt::Deadline tight = sched.deadlineIn(500);
+        cut_short = rt::spinForUntil(10000, tight);
+        expired_at_cut = rt::deadlineExpired(tight);
+        const rt::Deadline roomy = sched.deadlineIn(100000);
+        ran_full = rt::spinForUntil(300, roomy);
+    });
+    vt::RandomDecider decider(5);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    ASSERT_TRUE(rec.completed) << rec.failure;
+    EXPECT_FALSE(cut_short) << "10000-tick spin ignored a 500-tick "
+                               "deadline";
+    EXPECT_TRUE(expired_at_cut);
+    EXPECT_TRUE(ran_full);
+}
+
+TEST(VirtualSched, TimedResourceAcquireTimesOutDeterministically)
+{
+    vt::VirtualSched sched;
+    rt::WaitResult result = rt::WaitResult::Ok;
+    bool expired = false;
+    std::uint32_t held_after = 1;
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([&](std::uint32_t) {
+        rt::BackoffResource pool(1, rt::ResourcePolicy::Proportional,
+                                 8);
+        pool.acquire(); // instant: the slot is free
+        const rt::Deadline dl = sched.deadlineIn(100);
+        result = pool.acquireFor(dl); // full: must time out
+        expired = rt::deadlineExpired(dl);
+        pool.release();
+        held_after = pool.inUse();
+    });
+    vt::RandomDecider decider(7);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    ASSERT_TRUE(rec.completed) << rec.failure;
+    EXPECT_EQ(result, rt::WaitResult::Timeout);
+    EXPECT_TRUE(expired) << "Timeout reported before the deadline";
+    EXPECT_EQ(held_after, 0u) << "timed-out acquire left a slot held";
+}
+
+TEST(VirtualSched, FailAbortsAllWorkers)
+{
+    vt::VirtualSched sched;
+    std::atomic<bool> flag{false};
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([&](std::uint32_t) { sched.fail("boom"); });
+    bodies.push_back([&](std::uint32_t) {
+        // Would spin forever; must be unwound by the abort.
+        while (!flag.load(std::memory_order_acquire))
+            rt::cpuRelax();
+    });
+    vt::RandomDecider decider(1);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    EXPECT_FALSE(rec.completed);
+    EXPECT_NE(rec.failure.find("boom"), std::string::npos)
+        << rec.failure;
+}
+
+TEST(VirtualSched, WorkerExceptionIsReported)
+{
+    vt::VirtualSched sched;
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([](std::uint32_t) {
+        throw std::runtime_error("kaput");
+    });
+    vt::RandomDecider decider(1);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    EXPECT_FALSE(rec.completed);
+    EXPECT_NE(rec.failure.find("kaput"), std::string::npos)
+        << rec.failure;
+}
+
+TEST(VirtualSched, MaxStepsDetectsLivelock)
+{
+    vt::VirtualSchedConfig cfg;
+    cfg.maxSteps = 500;
+    vt::VirtualSched sched(cfg);
+    std::atomic<bool> never{false};
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([&](std::uint32_t) {
+        while (!never.load(std::memory_order_acquire))
+            rt::cpuRelax(); // lost wakeup: nobody will ever set it
+    });
+    vt::RandomDecider decider(1);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    EXPECT_FALSE(rec.completed);
+    EXPECT_NE(rec.failure.find("maxSteps"), std::string::npos)
+        << rec.failure;
+}
+
+TEST(VirtualSched, StepInvariantFailureStopsTheRun)
+{
+    vt::VirtualSched sched;
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([](std::uint32_t) {
+        for (int i = 0; i < 50; ++i)
+            rt::cpuRelax();
+    });
+    vt::RandomDecider decider(1);
+    int calls = 0;
+    const vt::RunRecord rec =
+        sched.run(bodies, decider, [&calls]() -> std::string {
+            return ++calls >= 3 ? "tripwire" : "";
+        });
+    EXPECT_FALSE(rec.completed);
+    EXPECT_EQ(rec.failure, "tripwire");
+}
+
+TEST(VirtualSched, ForeignThreadsFallBackToNativeSpinning)
+{
+    // A barrier carrying a sched hook must stay usable from threads
+    // the scheduler does not manage: the hook detects the foreign
+    // caller and spins natively.
+    vt::VirtualSched sched; // idle: manages no threads
+    rt::BarrierConfig cfg;
+    cfg.policy = rt::BarrierPolicy::Exponential;
+    cfg.sched = &sched;
+    rt::SpinBarrier barrier(2, cfg);
+    std::thread a([&] { barrier.arriveAndWait(); });
+    std::thread b([&] { barrier.arriveAndWait(); });
+    a.join();
+    b.join();
+    EXPECT_GE(barrier.totalPolls(), 2u);
+}
+
+TEST(VirtualSchedBarrier, TimeoutWithdrawalAndRejoinUnderFuzz)
+{
+    // Flat-barrier withdrawal contract under many schedules: a timed
+    // arrival that reports Timeout has withdrawn, so the phase cannot
+    // complete until that thread rejoins; and Timeout is only ever
+    // reported at or after the deadline.
+    const vt::EpisodeFactory factory = [](vt::VirtualSched &sched) {
+        struct State
+        {
+            rt::SpinBarrier barrier;
+            bool t0_timed_out = false;
+            bool t0_rejoin_started = false;
+            bool t1_done = false;
+            explicit State(const rt::BarrierConfig &cfg)
+                : barrier(2, cfg)
+            {
+            }
+        };
+        rt::BarrierConfig cfg;
+        cfg.policy = rt::BarrierPolicy::None;
+        cfg.sched = &sched;
+        auto st = std::make_shared<State>(cfg);
+
+        vt::Episode ep;
+        ep.bodies.push_back([st, &sched](std::uint32_t) {
+            const rt::Deadline dl = sched.deadlineIn(500);
+            const rt::WaitResult r = st->barrier.arriveAndWaitFor(dl);
+            if (r == rt::WaitResult::Timeout) {
+                st->t0_timed_out = true;
+                sched.require(sched.now() >= dl,
+                              "Timeout reported before the deadline");
+                sched.require(!st->t1_done,
+                              "t1 passed the barrier although t0 had "
+                              "withdrawn");
+                st->t0_rejoin_started = true;
+                st->barrier.arriveAndWait();
+            }
+        });
+        ep.bodies.push_back([st, &sched](std::uint32_t) {
+            rt::spinFor(10000); // straggle well past t0's deadline
+            st->barrier.arriveAndWait();
+            if (st->t0_timed_out)
+                sched.require(st->t0_rejoin_started,
+                              "phase completed without t0's rejoin "
+                              "arrival (withdrawal double-count)");
+            st->t1_done = true;
+        });
+        return ep;
+    };
+
+    vt::FuzzConfig fc;
+    fc.runs = 40;
+    fc.seed0 = 100;
+    const vt::FuzzReport rep = vt::fuzzSchedules(factory, fc);
+    EXPECT_FALSE(rep.failed)
+        << "replay with seed " << rep.failingSeed << ": "
+        << rep.failure;
+    EXPECT_EQ(rep.runsDone, fc.runs);
+}
+
+} // namespace

@@ -204,6 +204,52 @@ TEST(PostMortem, RmwSerializationOrdersGrabs)
     });
 }
 
+TEST(PostMortem, EmptyStatsAreWellDefined)
+{
+    // A run with zero barriers must not divide by zero anywhere.
+    const ScheduleStats stats;
+    EXPECT_EQ(stats.averageA(), 0.0);
+    EXPECT_EQ(stats.averageE(), 0.0);
+    EXPECT_EQ(stats.syncFraction(), 0.0);
+    EXPECT_EQ(stats.arrivalDistribution(5).total(), 0u);
+}
+
+TEST(PostMortem, SingleBarrierHasNoInterBarrierGap)
+{
+    // averageE is defined between consecutive barriers; with fewer
+    // than two it must be exactly zero, not NaN.
+    ScheduleStats stats;
+    stats.barriers.emplace_back();
+    EXPECT_EQ(stats.averageE(), 0.0);
+}
+
+TEST(PostMortem, SingleProcSingleRefProgram)
+{
+    // Smallest possible program: one task with one reference on one
+    // processor.
+    const auto prog = oneLoop(1, 1);
+    const auto stats = PostMortemScheduler(prog, 1).run();
+    EXPECT_EQ(stats.dataRefs, 1u);
+    EXPECT_GT(stats.cycles, 0u);
+    // One processor: every barrier window is degenerate, and the
+    // arrival histogram therefore stays empty.
+    EXPECT_EQ(stats.arrivalDistribution(4).total(), 0u);
+    EXPECT_GE(stats.averageA(), 0.0);
+}
+
+TEST(PostMortem, ZeroBinWindowsSkippedInArrivalDistribution)
+{
+    // A barrier whose first and last arrival coincide contributes no
+    // normalized samples (the window has zero width).
+    ScheduleStats stats;
+    BarrierInterval b;
+    b.firstArrival = 10;
+    b.lastArrival = 10;
+    b.arrivals = {10, 10};
+    stats.barriers.push_back(b);
+    EXPECT_EQ(stats.arrivalDistribution(8).total(), 0u);
+}
+
 TEST(PostMortem, AverageAandEConsistency)
 {
     const auto prog =
