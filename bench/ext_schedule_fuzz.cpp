@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "common/bench_util.hpp"
+#include "obs/counters.hpp"
 #include "runtime/barrier_interface.hpp"
+#include "runtime/spin_backoff.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 #include "testing/barrier_episodes.hpp"
@@ -76,6 +78,94 @@ reportFailure(const char *kind_name, std::uint64_t seed,
                 kind_name, static_cast<unsigned long long>(seed),
                 threads, phases);
     std::exit(1);
+}
+
+/**
+ * Timed-episode telemetry cross-check: thread 0 races a short
+ * deadline every phase while the others stagger in behind it, so
+ * some schedules produce timeouts and some don't.  Whatever the
+ * schedule, the per-thread telemetry must agree with the observed
+ * WaitResults exactly:
+ *
+ *  - every Timeout return increments the timeout counter once;
+ *  - withdrawing kinds (flat, tangyew, adaptive) pair each timeout
+ *    with exactly one withdrawal;
+ *  - the tree parks instead of withdrawing, so its withdrawal count
+ *    stays zero;
+ *  - the barrier's own timeouts() matches the telemetry total.
+ */
+std::uint64_t
+runTimedCheck(const Kind &k, std::uint64_t seed,
+              std::uint32_t threads, std::uint32_t phases)
+{
+    testing::VirtualSched sched;
+    runtime::BarrierConfig bcfg;
+    bcfg.policy = runtime::BarrierPolicy::Exponential;
+    bcfg.sched = &sched;
+    auto barrier = std::shared_ptr<runtime::AnyBarrier>(
+        runtime::makeBarrier(k.kind, threads, bcfg));
+    auto slabs =
+        std::make_shared<std::vector<obs::SyncCounters>>(threads);
+    auto observed =
+        std::make_shared<std::vector<std::uint64_t>>(threads, 0);
+
+    std::vector<testing::VirtualSched::Body> bodies;
+    for (std::uint32_t tid = 0; tid < threads; ++tid) {
+        bodies.push_back([barrier, slabs, observed, &sched, seed,
+                          phases](std::uint32_t id) {
+            obs::ScopedCounters sc(&(*slabs)[id]);
+            for (std::uint32_t p = 0; p < phases; ++p) {
+                if (id != 0)
+                    runtime::spinFor(50 + 37 * ((seed + p) % 7));
+                runtime::WaitResult r = barrier->arriveFor(
+                    id, sched.deadlineIn(id == 0 ? 120 : 100000));
+                while (r == runtime::WaitResult::Timeout) {
+                    ++(*observed)[id];
+                    r = barrier->arriveFor(id,
+                                           sched.deadlineIn(100000));
+                }
+            }
+        });
+    }
+    testing::RandomDecider decider(seed);
+    const testing::RunRecord rec = sched.run(bodies, decider);
+    if (!rec.completed)
+        reportFailure(k.name, seed, threads, phases,
+                      "timed episode: " + rec.failure);
+
+    std::uint64_t total_observed = 0;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        total_observed += (*observed)[t];
+        if (!obs::kTelemetryEnabled)
+            continue;
+        const obs::CounterSnapshot c = (*slabs)[t].snapshot();
+        if (c.timeouts != (*observed)[t])
+            reportFailure(k.name, seed, threads, phases,
+                          "thread " + std::to_string(t) + " saw " +
+                              std::to_string((*observed)[t]) +
+                              " Timeout returns but counted " +
+                              std::to_string(c.timeouts));
+        const std::uint64_t want_withdrawals =
+            k.kind == runtime::BarrierKind::Tree ? 0 : (*observed)[t];
+        if (c.withdrawals != want_withdrawals)
+            reportFailure(k.name, seed, threads, phases,
+                          "thread " + std::to_string(t) +
+                              " expected " +
+                              std::to_string(want_withdrawals) +
+                              " withdrawals, counted " +
+                              std::to_string(c.withdrawals));
+        if (c.backoffWaited > c.backoffRequested)
+            reportFailure(k.name, seed, threads, phases,
+                          "thread " + std::to_string(t) +
+                              " slept longer than it asked to");
+    }
+    if (barrier->timeouts() != total_observed)
+        reportFailure(k.name, seed, threads, phases,
+                      "barrier timeouts()=" +
+                          std::to_string(barrier->timeouts()) +
+                          " but threads observed " +
+                          std::to_string(total_observed));
+    return total_observed;
 }
 
 } // namespace
@@ -166,12 +256,23 @@ main(int argc, char **argv)
         next_seed += kBatch;
     }
 
-    support::Table table(
-        {"kind", "2x2 interleavings", "fuzz runs", "result"});
+    // Phase 3: timed episodes with the telemetry cross-check armed —
+    // every Timeout return must be mirrored exactly once in the
+    // withdrawal/timeout counters (kind-dependent; see runTimedCheck).
+    constexpr std::uint64_t kTimedSeeds = 48;
+    std::vector<std::uint64_t> timed_timeouts(kinds().size(), 0);
+    for (std::size_t i = 0; i < kinds().size(); ++i)
+        for (std::uint64_t s = 0; s < kTimedSeeds; ++s)
+            timed_timeouts[i] += runTimedCheck(
+                kinds()[i], seed0 + s, threads, phases);
+
+    support::Table table({"kind", "2x2 interleavings", "fuzz runs",
+                          "timed timeouts", "result"});
     for (std::size_t i = 0; i < kinds().size(); ++i) {
         table.addRow({kinds()[i].name,
                       std::to_string(interleavings[i]),
-                      std::to_string(fuzz_runs[i]), "ok"});
+                      std::to_string(fuzz_runs[i]),
+                      std::to_string(timed_timeouts[i]), "ok"});
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("seeds %llu..%llu clean; every run is replayable "

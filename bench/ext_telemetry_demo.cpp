@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Telemetry demo: drive every barrier kind through a short real-thread
+ * workload with counters and event tracing armed, then export the
+ * artifacts the observability layer exists to produce —
+ *
+ *   --counters-out <path>   CounterRegistry JSON (absync.sync_counters.v1)
+ *   --trace-out <path>      chrome://tracing JSON (load via chrome://tracing
+ *                           or https://ui.perfetto.dev)
+ *
+ * Without output paths it still runs and prints the counter table, so
+ * it doubles as a smoke test that the recording hot paths are wired.
+ * In ABSYNC_TELEMETRY=OFF builds the run completes and the exports
+ * are valid-but-empty documents — the demo proves the API surface
+ * stays callable either way.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
+#include "runtime/barrier_interface.hpp"
+#include "support/options.hpp"
+
+using namespace absync;
+
+namespace
+{
+
+void
+runBarrierPhases(runtime::BarrierKind kind, std::uint32_t threads,
+                 std::uint32_t phases)
+{
+    runtime::BarrierConfig cfg;
+    cfg.policy = runtime::BarrierPolicy::Exponential;
+    auto barrier = runtime::makeBarrier(kind, threads, cfg);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&barrier, t, phases] {
+            for (std::uint32_t p = 0; p < phases; ++p)
+                barrier->arrive(t);
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good())
+        return false;
+    out << content;
+    return out.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const support::Options opt(
+        argc, argv, {"threads", "phases", "trace-out", "counters-out"});
+    const auto threads =
+        static_cast<std::uint32_t>(opt.getInt("threads", 4));
+    const auto phases =
+        static_cast<std::uint32_t>(opt.getInt("phases", 16));
+
+    bench::printHeader(
+        "Telemetry demo: counters + chrome trace over all barrier "
+        "kinds",
+        "extension; exports absync.sync_counters.v1 and "
+        "absync.chrome_trace.v1 documents");
+
+    obs::CounterRegistry::global().resetAll();
+    obs::TraceRegistry::global().clear();
+    obs::TraceRegistry::global().enable(1 << 14);
+
+    const runtime::BarrierKind kinds[] = {
+        runtime::BarrierKind::Flat,
+        runtime::BarrierKind::TangYew,
+        runtime::BarrierKind::Tree,
+        runtime::BarrierKind::Adaptive,
+    };
+    for (const runtime::BarrierKind kind : kinds)
+        runBarrierPhases(kind, threads, phases);
+
+    obs::TraceRegistry::global().disable();
+
+    std::printf("%s\n", obs::CounterRegistry::global().text().c_str());
+    std::printf("telemetry compiled %s\n",
+                obs::kTelemetryEnabled ? "ON" : "OFF");
+
+    if (opt.has("counters-out")) {
+        const std::string path = opt.get("counters-out", "");
+        if (!writeFile(path, obs::CounterRegistry::global().json())) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("counters json -> %s\n", path.c_str());
+    }
+    if (opt.has("trace-out")) {
+        const std::string path = opt.get("trace-out", "");
+        if (!writeFile(path, obs::chromeTraceFromRegistry())) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("chrome trace -> %s (open in chrome://tracing)\n",
+                    path.c_str());
+    }
+    return 0;
+}

@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/counters.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/spin_backoff.hpp"
 #include "runtime/spinlock.hpp"
@@ -93,8 +94,13 @@ barrierBenchImpl(benchmark::State &state, Make &&make,
     static std::atomic<B *> shared{nullptr};
     static std::atomic<int> checked_out{0};
 
-    if (state.thread_index() == 0)
+    if (state.thread_index() == 0) {
+        // Per-benchmark telemetry isolation: the registry is process
+        // global, so zero it before the workers start recording (they
+        // only record inside the measurement loop, past this gate).
+        absync::obs::CounterRegistry::global().resetAll();
         shared.store(make(), std::memory_order_release);
+    }
     B *barrier;
     while (!(barrier = shared.load(std::memory_order_acquire)))
         cpuRelax();
@@ -105,9 +111,23 @@ barrierBenchImpl(benchmark::State &state, Make &&make,
     if (checked_out.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state.threads()) {
         // Last one out reports and tears down.
-        state.counters["polls/phase"] = static_cast<double>(
-            barrier->totalPolls() /
-            std::max<std::uint64_t>(1, state.iterations()));
+        const std::uint64_t phases =
+            std::max<std::uint64_t>(1, state.iterations());
+        state.counters["polls/phase"] =
+            static_cast<double>(barrier->totalPolls() / phases);
+        // Telemetry counter snapshot, normalized per phase; all-zero
+        // in ABSYNC_TELEMETRY=OFF builds.  Every thread has passed
+        // the checkout gate, so its recording is complete even if its
+        // slab has not been folded into retired_ yet — total() covers
+        // live and retired slabs alike.
+        const absync::obs::CounterSnapshot snap =
+            absync::obs::CounterRegistry::global().total();
+        snap.forEach([&state, phases](const char *key,
+                                      std::uint64_t value) {
+            state.counters[std::string("tele.") + key + "/phase"] =
+                static_cast<double>(value) /
+                static_cast<double>(phases);
+        });
         shared.store(nullptr, std::memory_order_relaxed);
         checked_out.store(0, std::memory_order_relaxed);
         delete barrier;
@@ -191,6 +211,36 @@ BM_TreeBarrier_Exponential(benchmark::State &state)
         });
 }
 
+/**
+ * Telemetry overhead guard: the same fixed spin measured through the
+ * uncounted primitive and through the instrumented one.  The ratio of
+ * the two is the whole per-wait telemetry cost (one relaxed counter
+ * bump and one gated trace check per spinFor call); run_benches.sh
+ * computes it from the JSON export and warns past 2%.  In
+ * ABSYNC_TELEMETRY=OFF builds the instrumented path compiles down to
+ * the uncounted one, so the ratio is 1 by construction.
+ */
+constexpr std::uint64_t kGuardSpin = 1024;
+
+void
+BM_SpinFor_Uncounted(benchmark::State &state)
+{
+    for (auto _ : state)
+        spinForUncounted(kGuardSpin);
+}
+
+void
+BM_SpinFor_Telemetry(benchmark::State &state)
+{
+    absync::obs::SyncCounters slab;
+    absync::obs::ScopedCounters scope(&slab);
+    for (auto _ : state)
+        spinFor(kGuardSpin);
+    const absync::obs::CounterSnapshot snap = slab.snapshot();
+    state.counters["tele.backoff_waited"] =
+        static_cast<double>(snap.backoffWaited);
+}
+
 // Modest fixed iteration counts: on an oversubscribed host (fewer
 // cores than threads) each spinning barrier phase costs scheduling
 // quanta, and the point — poll counts per phase — is visible at any
@@ -208,6 +258,9 @@ BENCHMARK(BM_TicketLock_Proportional)
     ->Threads(4)
     ->Iterations(kLockIters);
 BENCHMARK(BM_TicketLock_PlainSpin)->Threads(4)->Iterations(kLockIters);
+
+BENCHMARK(BM_SpinFor_Uncounted);
+BENCHMARK(BM_SpinFor_Telemetry);
 
 BENCHMARK(BM_Barrier_None)->Threads(4)->Iterations(kBarrierIters);
 BENCHMARK(BM_Barrier_Variable)->Threads(4)->Iterations(kBarrierIters);

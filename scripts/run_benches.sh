@@ -1,6 +1,22 @@
 #!/usr/bin/env bash
 # Run every reproduction bench and collect the outputs under
-# results/ — one text file per table/figure.
+# results/ — one text file per table/figure, plus the machine-readable
+# exports:
+#
+#   BENCH_runtime.json / BENCH_simulators.json
+#       google-benchmark --benchmark_format=json output, including the
+#       per-phase telemetry counter snapshots (tele.*) attached to the
+#       barrier benches.
+#   BENCH_counters.json
+#       absync.sync_counters.v1 counter registry snapshot from the
+#       telemetry demo workload.
+#   sample_chrome_trace.json
+#       absync.chrome_trace.v1 event trace from the same workload;
+#       open in chrome://tracing or https://ui.perfetto.dev.
+#
+# The BM_SpinFor_Telemetry / BM_SpinFor_Uncounted pair is the
+# telemetry overhead guard: their median-cpu-time ratio must stay
+# under ABSYNC_OVERHEAD_MAX_PCT (default 2) percent.
 #
 # A failing bench is a hard error: its partial output is renamed
 # *.FAILED.txt and the script exits nonzero, so a broken bench can
@@ -26,4 +42,49 @@ if [ "$failed" -gt 0 ]; then
     echo "$failed bench(es) failed" >&2
     exit 1
 fi
+
+echo "== machine-readable exports"
+"$BUILD"/bench/gbench_runtime --benchmark_format=json \
+    --benchmark_repetitions=5 --benchmark_report_aggregates_only=false \
+    > "$OUT/BENCH_runtime.json"
+"$BUILD"/bench/gbench_simulators --benchmark_format=json \
+    > "$OUT/BENCH_simulators.json"
+"$BUILD"/bench/ext_telemetry_demo \
+    --trace-out "$OUT/sample_chrome_trace.json" \
+    --counters-out "$OUT/BENCH_counters.json" \
+    > "$OUT/ext_telemetry_demo.txt" 2>&1
+
+# Validate every export and enforce the telemetry overhead guard.
+python3 - "$OUT" "${ABSYNC_OVERHEAD_MAX_PCT:-2}" <<'PYEOF'
+import json, sys
+
+out, max_pct = sys.argv[1], float(sys.argv[2])
+docs = {}
+for name in ("BENCH_runtime.json", "BENCH_simulators.json",
+             "BENCH_counters.json", "sample_chrome_trace.json"):
+    with open(f"{out}/{name}") as f:
+        docs[name] = json.load(f)
+    print(f"   {name}: valid json")
+
+assert docs["BENCH_counters.json"]["schema"] == "absync.sync_counters.v1"
+trace = docs["sample_chrome_trace.json"]
+assert trace["otherData"]["schema"] == "absync.chrome_trace.v1"
+assert isinstance(trace["traceEvents"], list)
+
+def median_cpu(doc, name):
+    times = [b["cpu_time"] for b in doc["benchmarks"]
+             if b["run_name"] == name and b["run_type"] == "iteration"]
+    times.sort()
+    return times[len(times) // 2] if times else None
+
+base = median_cpu(docs["BENCH_runtime.json"], "BM_SpinFor_Uncounted")
+tele = median_cpu(docs["BENCH_runtime.json"], "BM_SpinFor_Telemetry")
+if base and tele:
+    pct = (tele / base - 1.0) * 100.0
+    print(f"   telemetry overhead: {pct:+.2f}% (limit {max_pct}%)")
+    if pct > max_pct:
+        sys.exit(f"telemetry overhead guard tripped: {pct:.2f}% "
+                 f"> {max_pct}%")
+PYEOF
+
 echo "outputs in $OUT/"

@@ -62,6 +62,7 @@ struct Proc
     std::uint64_t arrival = 0;
     std::uint64_t wake = 0; ///< first cycle to act when backing off
     std::uint64_t denials = 0; ///< consecutive denied accesses
+    std::uint64_t delay = 0; ///< length of the backoff being served
 };
 
 } // namespace
@@ -171,6 +172,16 @@ BarrierSimulator::runOnce(support::Rng &rng,
                 p.state != PState::ReqSetFlag &&
                 p.state != PState::Done &&
                 cycle - p.arrival >= cfg_.timeoutCycles) {
+                // Giving up mid-backoff: take back the unserved tail
+                // of the interval so backoff_waited only counts
+                // cycles actually spent waiting.
+                if ((p.state == PState::VarBackoff ||
+                     p.state == PState::FlagBackoff ||
+                     p.state == PState::CtrlWait) &&
+                    p.wake > cycle) {
+                    res.counters.backoffWaited -=
+                        std::min(p.delay, p.wake - cycle);
+                }
                 p.state = PState::Done;
                 ++done;
                 res.procs[id].timedOut = true;
@@ -180,6 +191,7 @@ BarrierSimulator::runOnce(support::Rng &rng,
                 var_mod.request(id);
                 var_reqs.push_back(id);
                 ++res.procs[id].accesses;
+                ++res.counters.counterRmws;
             } else if (p.state == PState::ReqFlag ||
                        p.state == PState::ReqSetFlag) {
                 // One-variable barrier: the counter is also the
@@ -193,6 +205,7 @@ BarrierSimulator::runOnce(support::Rng &rng,
                     flag_reqs.push_back(id);
                 }
                 ++res.procs[id].accesses;
+                ++res.counters.flagPolls;
             }
         }
 
@@ -216,6 +229,7 @@ BarrierSimulator::runOnce(support::Rng &rng,
                 std::uint64_t d = bo.flagDelay(out.unsetPolls);
                 if (bo.randomized && d > 0)
                     d = rng.uniformInt(1, 2 * d);
+                const std::uint64_t asked = d;
                 if (fp != nullptr && d > 1 &&
                     fp->spuriousWake(var_win, out.unsetPolls))
                     d = 1; // woken early: re-poll almost immediately
@@ -224,9 +238,13 @@ BarrierSimulator::runOnce(support::Rng &rng,
                     blocked_ids.push_back(var_win);
                     out.blocked = true;
                     out.accesses += bo.blockAccessCost;
+                    ++res.counters.parks;
                 } else if (d > 0) {
                     p.state = PState::FlagBackoff;
                     p.wake = cycle + 1 + d;
+                    p.delay = d;
+                    res.counters.backoffRequested += asked;
+                    res.counters.backoffWaited += d;
                 }
             }
         } else if (var_win != sim::NO_GRANT) {
@@ -248,6 +266,7 @@ BarrierSimulator::runOnce(support::Rng &rng,
                             continue; // already timed out
                         q.state = PState::Done;
                         ++done;
+                        ++res.counters.wakes;
                         const std::uint64_t exit =
                             cycle + bo.blockWakeupCycles;
                         res.procs[b].waitCycles = exit - q.arrival;
@@ -266,6 +285,9 @@ BarrierSimulator::runOnce(support::Rng &rng,
                 } else {
                     p.state = PState::VarBackoff;
                     p.wake = cycle + 1 + d;
+                    p.delay = d;
+                    res.counters.backoffRequested += d;
+                    res.counters.backoffWaited += d;
                 }
             }
         }
@@ -286,6 +308,7 @@ BarrierSimulator::runOnce(support::Rng &rng,
                         continue; // already timed out
                     q.state = PState::Done;
                     ++done;
+                    ++res.counters.wakes;
                     const std::uint64_t exit =
                         cycle + bo.blockWakeupCycles;
                     res.procs[b].waitCycles = exit - q.arrival;
@@ -303,6 +326,7 @@ BarrierSimulator::runOnce(support::Rng &rng,
                 std::uint64_t d = bo.flagDelay(out.unsetPolls);
                 if (bo.randomized && d > 0)
                     d = rng.uniformInt(1, 2 * d);
+                const std::uint64_t asked = d;
                 if (fp != nullptr && d > 1 &&
                     fp->spuriousWake(flag_win, out.unsetPolls))
                     d = 1; // woken early: re-poll almost immediately
@@ -311,11 +335,15 @@ BarrierSimulator::runOnce(support::Rng &rng,
                     blocked_ids.push_back(flag_win);
                     out.blocked = true;
                     out.accesses += bo.blockAccessCost;
+                    ++res.counters.parks;
                 } else if (d == 0) {
                     // Poll again next cycle; stay in ReqFlag.
                 } else {
                     p.state = PState::FlagBackoff;
                     p.wake = cycle + 1 + d;
+                    p.delay = d;
+                    res.counters.backoffRequested += asked;
+                    res.counters.backoffWaited += d;
                 }
             }
         }
@@ -347,7 +375,11 @@ BarrierSimulator::runOnce(support::Rng &rng,
                     // return in lockstep (see backoff.hpp).
                     p.resume = p.state;
                     p.state = PState::CtrlWait;
-                    p.wake = cycle + 1 + rng.uniformInt(1, w);
+                    const std::uint64_t drawn = rng.uniformInt(1, w);
+                    p.wake = cycle + 1 + drawn;
+                    p.delay = drawn;
+                    res.counters.backoffRequested += drawn;
+                    res.counters.backoffWaited += drawn;
                 }
             };
             for (sim::RequesterId id : var_reqs)
@@ -365,6 +397,19 @@ BarrierSimulator::runOnce(support::Rng &rng,
         var_mod.totalGrants() + var_mod.totalDenials();
     res.flagModuleTraffic =
         flag_mod.totalGrants() + flag_mod.totalDenials();
+    // Outcome counters, matching the runtime flat barriers: a timed-
+    // out processor withdrew its arrival (withdrawal + timeout); every
+    // other non-crashed processor completed the episode.
+    for (const ProcOutcome &o : res.procs) {
+        if (o.crashed)
+            continue;
+        if (o.timedOut) {
+            ++res.counters.withdrawals;
+            ++res.counters.timeouts;
+        } else {
+            ++res.counters.episodes;
+        }
+    }
     return res;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/backoff.hpp"
+#include "obs/counters.hpp"
 #include "sim/memory_module.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -134,6 +135,16 @@ struct EpisodeResult
     std::uint64_t varModuleTraffic = 0;
     /** Requests that hit the flag's module — the hot spot. */
     std::uint64_t flagModuleTraffic = 0;
+
+    /**
+     * Episode totals in the runtime telemetry schema (counters.hpp),
+     * so simulator output and runtime CounterRegistry output are
+     * directly comparable: counter_rmws = variable-module attempts,
+     * flag_polls = flag-module attempts, accesses() = the paper's
+     * network accesses.  Filled even in ABSYNC_TELEMETRY=OFF builds —
+     * this is simulation output, not hot-path recording.
+     */
+    obs::CounterSnapshot counters;
 
     /** Mean network accesses per processor. */
     double avgAccesses() const;

@@ -1,0 +1,138 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace absync::obs
+{
+
+namespace
+{
+
+/** Append one JSON trace-event object. */
+void
+emit(std::string &out, bool &first, const char *ph, const char *name,
+     std::uint32_t tid, std::uint64_t ts_ns, const std::string &extra)
+{
+    if (!first)
+        out += ",\n";
+    first = false;
+    char buf[192];
+    // chrome ts is in microseconds; keep nanosecond precision with
+    // three decimals so virtual ticks (1 ns) stay distinguishable.
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"ph\":\"%s\",\"pid\":0,"
+                  "\"tid\":%u,\"ts\":%llu.%03llu",
+                  name, ph, tid,
+                  static_cast<unsigned long long>(ts_ns / 1000),
+                  static_cast<unsigned long long>(ts_ns % 1000));
+    out += buf;
+    if (!extra.empty()) {
+        out += ",";
+        out += extra;
+    }
+    out += "}";
+}
+
+std::string
+durArg(std::uint64_t dur_ns)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"dur\":%llu.%03llu",
+                  static_cast<unsigned long long>(dur_ns / 1000),
+                  static_cast<unsigned long long>(dur_ns % 1000));
+    return buf;
+}
+
+std::string
+countArg(const char *key, std::uint64_t v)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "\"s\":\"t\",\"args\":{\"%s\":%llu}",
+                  key, static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+
+    std::uint64_t t0 = 0;
+    std::uint64_t t_end = 0;
+    if (!events.empty()) {
+        t0 = events.front().ts;
+        for (const TraceEvent &e : events) {
+            t0 = std::min(t0, e.ts);
+            t_end = std::max(t_end, e.ts);
+        }
+    }
+    t_end -= t0;
+
+    // tid -> episode currently open on that track?
+    std::map<std::uint32_t, bool> open;
+
+    for (const TraceEvent &e : events) {
+        const std::uint64_t ts = e.ts - t0;
+        switch (e.kind) {
+          case EventKind::Arrive:
+            if (!open[e.tid]) {
+                emit(out, first, "B", "episode", e.tid, ts, "");
+                open[e.tid] = true;
+            }
+            break;
+          case EventKind::Release:
+            if (open[e.tid]) {
+                emit(out, first, "E", "episode", e.tid, ts, "");
+                open[e.tid] = false;
+            }
+            break;
+          case EventKind::Withdraw:
+            if (open[e.tid]) {
+                emit(out, first, "E", "episode", e.tid, ts,
+                     e.arg != 0 ? "\"args\":{\"parked\":1}"
+                                : "\"args\":{\"withdrawn\":1}");
+                open[e.tid] = false;
+            }
+            break;
+          case EventKind::Backoff:
+            // The record point stamps the *end* of the interval, so
+            // the X event starts arg ns earlier.
+            emit(out, first, "X", "backoff", e.tid,
+                 ts >= e.arg ? ts - e.arg : 0, durArg(e.arg));
+            break;
+          case EventKind::Poll:
+            emit(out, first, "i", "poll", e.tid, ts,
+                 countArg("polls", e.arg));
+            break;
+          case EventKind::Park:
+            emit(out, first, "i", "park", e.tid, ts,
+                 countArg("parks", 1));
+            break;
+        }
+    }
+
+    // Balance any episode left open (e.g. a parked continuation that
+    // never resumed before the capture ended).
+    for (const auto &[tid, is_open] : open) {
+        if (is_open)
+            emit(out, first, "E", "episode", tid, t_end,
+                 "\"args\":{\"truncated\":1}");
+    }
+
+    out += "\n],\"displayTimeUnit\":\"ns\",";
+    out += "\"otherData\":{\"schema\":\"absync.chrome_trace.v1\"}}";
+    return out;
+}
+
+std::string
+chromeTraceFromRegistry()
+{
+    return chromeTraceJson(TraceRegistry::global().collect());
+}
+
+} // namespace absync::obs

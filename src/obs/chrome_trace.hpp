@@ -1,0 +1,52 @@
+/**
+ * @file
+ * chrome://tracing exporter for TraceRing event streams.
+ *
+ * Produces the Trace Event Format JSON that chrome://tracing,
+ * Perfetto, and speedscope all read: a {"traceEvents":[...]} document
+ * where every barrier episode is a balanced B/E duration pair on its
+ * thread's track, backoff intervals are X (complete) events nested
+ * inside the episode, and polls/parks/withdrawals are instant events.
+ *
+ * Timestamps are normalized so the earliest event is t = 0 — traces
+ * captured under testing::VirtualSched (virtual clock) are therefore
+ * byte-identical across runs of the same schedule, which is what the
+ * golden-file test locks down.
+ */
+
+#ifndef ABSYNC_OBS_CHROME_TRACE_HPP
+#define ABSYNC_OBS_CHROME_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_ring.hpp"
+
+namespace absync::obs
+{
+
+/**
+ * Render @p events (time-sorted, e.g. TraceRegistry::collect()) as a
+ * chrome://tracing JSON document.
+ *
+ * Mapping:
+ *  - Arrive           -> "B" (begin "episode") on the event's tid
+ *  - Release/Withdraw -> "E" closing the open episode (a Withdraw
+ *                        carries args.withdrawn; re-arrivals after a
+ *                        withdrawal open a fresh pair)
+ *  - Backoff          -> "X" with dur = iterations slept (1 ns each)
+ *  - Poll/Park        -> "i" instant events with the arg attached
+ *
+ * B/E pairs are balanced by construction: an Arrive while an episode
+ * is already open on that tid is dropped, an E without an open B is
+ * dropped, and episodes still open when the stream ends are closed at
+ * the final timestamp with args.truncated.
+ */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events);
+
+/** chromeTraceJson over everything currently traced. */
+std::string chromeTraceFromRegistry();
+
+} // namespace absync::obs
+
+#endif // ABSYNC_OBS_CHROME_TRACE_HPP

@@ -1,0 +1,298 @@
+#include "obs/counters.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace absync::obs
+{
+
+CounterSnapshot &
+CounterSnapshot::operator+=(const CounterSnapshot &o)
+{
+    flagPolls += o.flagPolls;
+    counterRmws += o.counterRmws;
+    backoffRequested += o.backoffRequested;
+    backoffWaited += o.backoffWaited;
+    parks += o.parks;
+    wakes += o.wakes;
+    withdrawals += o.withdrawals;
+    timeouts += o.timeouts;
+    episodes += o.episodes;
+    acquires += o.acquires;
+    return *this;
+}
+
+CounterSnapshot
+CounterSnapshot::operator-(const CounterSnapshot &o) const
+{
+    CounterSnapshot d = *this;
+    d.flagPolls -= o.flagPolls;
+    d.counterRmws -= o.counterRmws;
+    d.backoffRequested -= o.backoffRequested;
+    d.backoffWaited -= o.backoffWaited;
+    d.parks -= o.parks;
+    d.wakes -= o.wakes;
+    d.withdrawals -= o.withdrawals;
+    d.timeouts -= o.timeouts;
+    d.episodes -= o.episodes;
+    d.acquires -= o.acquires;
+    return d;
+}
+
+bool
+CounterSnapshot::operator==(const CounterSnapshot &o) const
+{
+    return flagPolls == o.flagPolls && counterRmws == o.counterRmws &&
+           backoffRequested == o.backoffRequested &&
+           backoffWaited == o.backoffWaited && parks == o.parks &&
+           wakes == o.wakes && withdrawals == o.withdrawals &&
+           timeouts == o.timeouts && episodes == o.episodes &&
+           acquires == o.acquires;
+}
+
+std::string
+CounterSnapshot::json() const
+{
+    std::string s = "{";
+    bool first = true;
+    forEach([&](const char *name, std::uint64_t v) {
+        if (!first)
+            s += ",";
+        first = false;
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "\"%s\":%llu", name,
+                      static_cast<unsigned long long>(v));
+        s += buf;
+    });
+    s += "}";
+    return s;
+}
+
+bool
+parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
+{
+    // Scanner over our own exposition: for each schema key, find
+    // "<key>": and read the unsigned integer after it.  The "total"
+    // object (registry form) lists every key before the "threads"
+    // array, so first occurrence is always the total.
+    bool ok = true;
+    out->forEachMut([&](const char *name, std::uint64_t &v) {
+        const std::string needle = std::string("\"") + name + "\":";
+        const std::size_t at = json.find(needle);
+        if (at == std::string::npos) {
+            ok = false;
+            return;
+        }
+        std::size_t p = at + needle.size();
+        while (p < json.size() &&
+               std::isspace(static_cast<unsigned char>(json[p])))
+            ++p;
+        if (p >= json.size() ||
+            !std::isdigit(static_cast<unsigned char>(json[p]))) {
+            ok = false;
+            return;
+        }
+        std::uint64_t val = 0;
+        while (p < json.size() &&
+               std::isdigit(static_cast<unsigned char>(json[p]))) {
+            val = val * 10 + static_cast<std::uint64_t>(json[p] - '0');
+            ++p;
+        }
+        v = val;
+    });
+    return ok;
+}
+
+CounterRegistry &
+CounterRegistry::global()
+{
+    static CounterRegistry registry;
+    return registry;
+}
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+CounterSnapshot
+SyncCounters::snapshot() const
+{
+    CounterSnapshot s;
+    s.flagPolls = flagPolls.load(std::memory_order_relaxed);
+    s.counterRmws = counterRmws.load(std::memory_order_relaxed);
+    s.backoffRequested =
+        backoffRequested.load(std::memory_order_relaxed);
+    s.backoffWaited = backoffWaited.load(std::memory_order_relaxed);
+    s.parks = parks.load(std::memory_order_relaxed);
+    s.wakes = wakes.load(std::memory_order_relaxed);
+    s.withdrawals = withdrawals.load(std::memory_order_relaxed);
+    s.timeouts = timeouts.load(std::memory_order_relaxed);
+    s.episodes = episodes.load(std::memory_order_relaxed);
+    s.acquires = acquires.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+SyncCounters::reset()
+{
+    flagPolls.store(0, std::memory_order_relaxed);
+    counterRmws.store(0, std::memory_order_relaxed);
+    backoffRequested.store(0, std::memory_order_relaxed);
+    backoffWaited.store(0, std::memory_order_relaxed);
+    parks.store(0, std::memory_order_relaxed);
+    wakes.store(0, std::memory_order_relaxed);
+    withdrawals.store(0, std::memory_order_relaxed);
+    timeouts.store(0, std::memory_order_relaxed);
+    episodes.store(0, std::memory_order_relaxed);
+    acquires.store(0, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+/** Per-thread slab lease: returns the slab to the registry (folding
+ *  its counts into the retired total) when the thread exits. */
+struct SlabLease
+{
+    SyncCounters *slab = nullptr;
+
+    ~SlabLease()
+    {
+        if (slab != nullptr)
+            CounterRegistry::global().releaseSlab(slab);
+    }
+};
+
+thread_local SlabLease tls_lease;
+thread_local SyncCounters *tls_current = nullptr;
+
+} // namespace
+
+SyncCounters *
+currentCounters()
+{
+    if (tls_current != nullptr)
+        return tls_current;
+    if (tls_lease.slab == nullptr)
+        tls_lease.slab = CounterRegistry::global().acquireSlab();
+    tls_current = tls_lease.slab;
+    return tls_current;
+}
+
+ScopedCounters::ScopedCounters(SyncCounters *mine)
+    : previous_(tls_current)
+{
+    tls_current = mine;
+}
+
+ScopedCounters::~ScopedCounters()
+{
+    tls_current = previous_;
+}
+
+SyncCounters *
+CounterRegistry::acquireSlab()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_.empty()) {
+        SyncCounters *slab = free_.back();
+        free_.pop_back();
+        return slab;
+    }
+    slabs_.push_back(std::make_unique<SyncCounters>());
+    return slabs_.back().get();
+}
+
+void
+CounterRegistry::releaseSlab(SyncCounters *slab)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    retired_ += slab->snapshot();
+    slab->reset();
+    free_.push_back(slab);
+}
+
+CounterSnapshot
+CounterRegistry::total() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    CounterSnapshot t = retired_;
+    for (const auto &slab : slabs_)
+        t += slab->snapshot();
+    return t;
+}
+
+std::vector<CounterSnapshot>
+CounterRegistry::perThread() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<CounterSnapshot> all;
+    all.reserve(slabs_.size());
+    for (const auto &slab : slabs_)
+        all.push_back(slab->snapshot());
+    return all;
+}
+
+void
+CounterRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    retired_ = CounterSnapshot{};
+    for (const auto &slab : slabs_)
+        slab->reset();
+}
+
+#else // !ABSYNC_TELEMETRY_ENABLED
+
+CounterSnapshot
+CounterRegistry::total() const
+{
+    return {};
+}
+
+std::vector<CounterSnapshot>
+CounterRegistry::perThread() const
+{
+    return {};
+}
+
+void
+CounterRegistry::resetAll()
+{
+}
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+std::string
+CounterRegistry::text() const
+{
+    std::string s = "sync counters (telemetry ";
+    s += kTelemetryEnabled ? "on" : "off";
+    s += ")\n";
+    total().forEach([&](const char *name, std::uint64_t v) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "  %-18s %llu\n", name,
+                      static_cast<unsigned long long>(v));
+        s += buf;
+    });
+    return s;
+}
+
+std::string
+CounterRegistry::json() const
+{
+    std::string s = "{\"schema\":\"absync.sync_counters.v1\",";
+    s += "\"enabled\":";
+    s += kTelemetryEnabled ? "true" : "false";
+    s += ",\"total\":";
+    s += total().json();
+    s += ",\"threads\":[";
+    const std::vector<CounterSnapshot> threads = perThread();
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        if (i > 0)
+            s += ",";
+        s += threads[i].json();
+    }
+    s += "]}";
+    return s;
+}
+
+} // namespace absync::obs

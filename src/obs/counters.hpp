@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Per-thread synchronization counters and their aggregation registry.
+ *
+ * The paper judges every backoff policy by the traffic it generates —
+ * network accesses (flag polls + counter RMWs) and waiting cycles per
+ * barrier episode (Figures 5-10).  SyncCounters gives the *runtime*
+ * primitives the same vocabulary: each thread owns one cache-line-
+ * padded counter slab and bumps it with plain relaxed stores (single
+ * writer), so the hot path costs a thread-local load plus an
+ * unconteded add.  CounterRegistry aggregates every slab on demand
+ * into a CounterSnapshot with text and JSON exposition.
+ *
+ * Counter schema (see DESIGN.md §10 for the paper-metric mapping):
+ *
+ *  - flag_polls        loads of a sync flag / sense word (≈ the
+ *                      paper's flag accesses)
+ *  - counter_rmws      F&A / CAS attempts on a barrier variable or
+ *                      slot counter (≈ barrier-variable accesses)
+ *  - backoff_requested pause-iterations the backoff schedule asked for
+ *  - backoff_waited    pause-iterations actually spun (deadline-
+ *                      clamped waits sleep less than requested)
+ *  - parks             futex blocks (queue-on-threshold, Section 7)
+ *  - wakes             futex notify_all calls issued
+ *  - withdrawals       timed-out arrivals/acquires taken back
+ *  - timeouts          timed waits that returned Timeout (a parked
+ *                      tree continuation times out without a
+ *                      withdrawal, so timeouts >= withdrawals)
+ *  - episodes          barrier episodes completed (per thread)
+ *  - acquires          resource-pool slots granted
+ *
+ * Everything in this header compiles to no-ops when the build sets
+ * ABSYNC_TELEMETRY_ENABLED=0 (cmake -DABSYNC_TELEMETRY=OFF): the
+ * record functions vanish, SyncCounters and ScopedCounters become
+ * empty structs, and snapshots read all-zero.
+ */
+
+#ifndef ABSYNC_OBS_COUNTERS_HPP
+#define ABSYNC_OBS_COUNTERS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef ABSYNC_TELEMETRY_ENABLED
+#define ABSYNC_TELEMETRY_ENABLED 1
+#endif
+
+namespace absync::obs
+{
+
+/** True when the build carries telemetry (ABSYNC_TELEMETRY=ON). */
+inline constexpr bool kTelemetryEnabled = ABSYNC_TELEMETRY_ENABLED != 0;
+
+/**
+ * Plain (non-atomic) counter values: the exchange format between the
+ * runtime counters, the simulators, and the expositions.  Always
+ * available, even in no-op builds — it is schema, not recording.
+ */
+struct CounterSnapshot
+{
+    std::uint64_t flagPolls = 0;
+    std::uint64_t counterRmws = 0;
+    std::uint64_t backoffRequested = 0;
+    std::uint64_t backoffWaited = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t wakes = 0;
+    std::uint64_t withdrawals = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t episodes = 0;
+    std::uint64_t acquires = 0;
+
+    /** Apply @p f(name, value) to every field, in schema order. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        f("flag_polls", flagPolls);
+        f("counter_rmws", counterRmws);
+        f("backoff_requested", backoffRequested);
+        f("backoff_waited", backoffWaited);
+        f("parks", parks);
+        f("wakes", wakes);
+        f("withdrawals", withdrawals);
+        f("timeouts", timeouts);
+        f("episodes", episodes);
+        f("acquires", acquires);
+    }
+
+    /** Mutable field access by schema position (exposition helpers). */
+    template <typename F>
+    void
+    forEachMut(F &&f)
+    {
+        f("flag_polls", flagPolls);
+        f("counter_rmws", counterRmws);
+        f("backoff_requested", backoffRequested);
+        f("backoff_waited", backoffWaited);
+        f("parks", parks);
+        f("wakes", wakes);
+        f("withdrawals", withdrawals);
+        f("timeouts", timeouts);
+        f("episodes", episodes);
+        f("acquires", acquires);
+    }
+
+    CounterSnapshot &operator+=(const CounterSnapshot &o);
+    /** Field-wise difference (caller guarantees monotonicity). */
+    CounterSnapshot operator-(const CounterSnapshot &o) const;
+    bool operator==(const CounterSnapshot &o) const;
+
+    /** Sum of flag polls and counter RMWs: the paper's "network
+     *  accesses" analogue. */
+    std::uint64_t
+    accesses() const
+    {
+        return flagPolls + counterRmws;
+    }
+
+    /** One-object JSON exposition ({"flag_polls":N,...}). */
+    std::string json() const;
+};
+
+/**
+ * Parse a CounterSnapshot back out of JSON produced by
+ * CounterSnapshot::json() or CounterRegistry::json() (the "total"
+ * object).  Tolerant scanner over this library's own output, not a
+ * general JSON parser.  Returns false when any schema key is missing.
+ */
+bool parseCounterSnapshot(const std::string &json, CounterSnapshot *out);
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+/**
+ * One thread's live counters, padded to cache-line multiples so two
+ * threads' slabs never false-share.  Fields are atomics only so the
+ * registry may read them concurrently; each slab has exactly one
+ * writer, so updates are load-add-store (no RMW on the hot path).
+ */
+struct alignas(64) SyncCounters
+{
+    std::atomic<std::uint64_t> flagPolls{0};
+    std::atomic<std::uint64_t> counterRmws{0};
+    std::atomic<std::uint64_t> backoffRequested{0};
+    std::atomic<std::uint64_t> backoffWaited{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> wakes{0};
+    std::atomic<std::uint64_t> withdrawals{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> episodes{0};
+    std::atomic<std::uint64_t> acquires{0};
+
+    /** Single-writer add: safe against concurrent snapshot readers. */
+    static void
+    bump(std::atomic<std::uint64_t> &c, std::uint64_t n)
+    {
+        c.store(c.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+    }
+
+    CounterSnapshot snapshot() const;
+    void reset();
+};
+
+/**
+ * The calling thread's counter sink.  Defaults to a registry-owned
+ * slab acquired lazily on first use; ScopedCounters overrides it.
+ * Never returns null in telemetry builds.
+ */
+SyncCounters *currentCounters();
+
+/**
+ * RAII redirection of the calling thread's counter sink to a caller-
+ * owned slab — how the counter-exact tests obtain per-virtual-thread
+ * counts without sharing a slab across runs.  Counts recorded while
+ * installed do NOT reach the global registry.
+ */
+class ScopedCounters
+{
+  public:
+    explicit ScopedCounters(SyncCounters *mine);
+    ~ScopedCounters();
+    ScopedCounters(const ScopedCounters &) = delete;
+    ScopedCounters &operator=(const ScopedCounters &) = delete;
+
+  private:
+    SyncCounters *previous_;
+};
+
+#else // !ABSYNC_TELEMETRY_ENABLED
+
+/** No-op stand-in: recording vanishes, snapshots read zero. */
+struct SyncCounters
+{
+    CounterSnapshot
+    snapshot() const
+    {
+        return {};
+    }
+    void reset() {}
+};
+
+constexpr SyncCounters *
+currentCounters()
+{
+    return nullptr;
+}
+
+struct ScopedCounters
+{
+    explicit ScopedCounters(SyncCounters *) {}
+};
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------
+// Record points.  Call these from synchronization primitives; they
+// cost one thread-local load plus an uncontended add, and disappear
+// entirely in no-op builds.
+// ---------------------------------------------------------------------
+
+#if ABSYNC_TELEMETRY_ENABLED
+#define ABSYNC_OBS_RECORD(field, n)                                    \
+    SyncCounters::bump(currentCounters()->field, (n))
+#else
+#define ABSYNC_OBS_RECORD(field, n) (void)(n)
+#endif
+
+inline void
+countFlagPolls(std::uint64_t n)
+{
+    ABSYNC_OBS_RECORD(flagPolls, n);
+}
+
+inline void
+countCounterRmws(std::uint64_t n = 1)
+{
+    ABSYNC_OBS_RECORD(counterRmws, n);
+}
+
+inline void
+countBackoff(std::uint64_t requested, std::uint64_t waited)
+{
+#if ABSYNC_TELEMETRY_ENABLED
+    SyncCounters *c = currentCounters();
+    SyncCounters::bump(c->backoffRequested, requested);
+    SyncCounters::bump(c->backoffWaited, waited);
+#else
+    (void)requested;
+    (void)waited;
+#endif
+}
+
+inline void
+countPark()
+{
+    ABSYNC_OBS_RECORD(parks, 1);
+}
+
+inline void
+countWake()
+{
+    ABSYNC_OBS_RECORD(wakes, 1);
+}
+
+inline void
+countWithdrawal()
+{
+    ABSYNC_OBS_RECORD(withdrawals, 1);
+}
+
+inline void
+countTimeout()
+{
+    ABSYNC_OBS_RECORD(timeouts, 1);
+}
+
+inline void
+countEpisode()
+{
+    ABSYNC_OBS_RECORD(episodes, 1);
+}
+
+inline void
+countAcquire()
+{
+    ABSYNC_OBS_RECORD(acquires, 1);
+}
+
+#undef ABSYNC_OBS_RECORD
+
+/**
+ * Process-wide aggregation of every thread's counters.
+ *
+ * Threads acquire a slab lazily on first record; when a thread exits,
+ * its slab's counts fold into a retired total and the slab returns to
+ * a free list, so totals are monotonic and memory stays bounded no
+ * matter how many threads come and go (VirtualSched episodes spawn
+ * fresh worker threads per run).
+ *
+ * total() taken while writer threads are mid-update is a relaxed
+ * read: each field is individually exact-or-slightly-stale.  Under
+ * VirtualSched's step invariant all workers are parked, so reads
+ * there are exact.
+ */
+class CounterRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static CounterRegistry &global();
+
+    /** Aggregate of all live slabs plus retired threads. */
+    CounterSnapshot total() const;
+
+    /** Per-live-slab snapshots (diagnostics / exposition). */
+    std::vector<CounterSnapshot> perThread() const;
+
+    /**
+     * Zero every live slab and the retired total.  Only meaningful
+     * while no other thread is recording; tests and bench reporters
+     * call it between quiescent sections.
+     */
+    void resetAll();
+
+    /** Human-readable exposition, one line per counter. */
+    std::string text() const;
+
+    /**
+     * JSON exposition:
+     * {"schema":"absync.sync_counters.v1","total":{...},
+     *  "threads":[{...},...]}
+     */
+    std::string json() const;
+
+#if ABSYNC_TELEMETRY_ENABLED
+    /** Lease a slab for the calling thread (internal). */
+    SyncCounters *acquireSlab();
+    /** Fold a slab into the retired total and recycle it (internal). */
+    void releaseSlab(SyncCounters *slab);
+#endif
+
+  private:
+    CounterRegistry() = default;
+
+#if ABSYNC_TELEMETRY_ENABLED
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<SyncCounters>> slabs_;
+    std::vector<SyncCounters *> free_;
+    CounterSnapshot retired_;
+#endif
+};
+
+} // namespace absync::obs
+
+#endif // ABSYNC_OBS_COUNTERS_HPP

@@ -1,0 +1,163 @@
+#include "obs/trace_ring.hpp"
+
+#include <algorithm>
+
+namespace absync::obs
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Arrive:
+        return "arrive";
+      case EventKind::Poll:
+        return "poll";
+      case EventKind::Backoff:
+        return "backoff";
+      case EventKind::Park:
+        return "park";
+      case EventKind::Release:
+        return "release";
+      case EventKind::Withdraw:
+        return "withdraw";
+    }
+    return "?";
+}
+
+TraceRegistry &
+TraceRegistry::global()
+{
+    static TraceRegistry registry;
+    return registry;
+}
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+namespace
+{
+
+std::atomic<bool> g_trace_active{false};
+
+thread_local TraceRing *tls_ring = nullptr;
+
+} // namespace
+
+bool
+traceActive()
+{
+    return g_trace_active.load(std::memory_order_relaxed);
+}
+
+TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
+    : tid_(tid)
+{
+    std::size_t cap = 1;
+    while (cap < capacity)
+        cap <<= 1;
+    events_.resize(cap);
+    mask_ = cap - 1;
+}
+
+std::vector<TraceEvent>
+TraceRing::drain() const
+{
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t cap = mask_ + 1;
+    const std::uint64_t count = h < cap ? h : cap;
+    std::vector<TraceEvent> out;
+    out.reserve(count);
+    for (std::uint64_t i = h - count; i < h; ++i)
+        out.push_back(events_[i & mask_]);
+    return out;
+}
+
+void
+TraceRegistry::enable(std::size_t ring_capacity)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ring_capacity_ = ring_capacity;
+    }
+    clear();
+    g_trace_active.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceRegistry::disable()
+{
+    g_trace_active.store(false, std::memory_order_relaxed);
+}
+
+TraceRing *
+TraceRegistry::threadRing()
+{
+    if (tls_ring != nullptr)
+        return tls_ring;
+    std::lock_guard<std::mutex> lk(mu_);
+    rings_.push_back(std::make_unique<TraceRing>(
+        ring_capacity_, static_cast<std::uint32_t>(rings_.size())));
+    tls_ring = rings_.back().get();
+    return tls_ring;
+}
+
+std::vector<TraceEvent>
+TraceRegistry::collect() const
+{
+    std::vector<TraceEvent> all;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const auto &ring : rings_) {
+            const std::vector<TraceEvent> part = ring->drain();
+            all.insert(all.end(), part.begin(), part.end());
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.ts < b.ts;
+                     });
+    return all;
+}
+
+void
+TraceRegistry::clear()
+{
+    // Only safe while traced threads are quiescent (capture
+    // sessions, tests) — a producer mid-record would race the reset.
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &ring : rings_)
+        ring->reset();
+}
+
+#else // !ABSYNC_TELEMETRY_ENABLED
+
+bool
+traceActive()
+{
+    return false;
+}
+
+void
+TraceRegistry::enable(std::size_t)
+{
+}
+
+void
+TraceRegistry::disable()
+{
+}
+
+std::vector<TraceEvent>
+TraceRegistry::collect() const
+{
+    return {};
+}
+
+void
+TraceRegistry::clear()
+{
+}
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+} // namespace absync::obs

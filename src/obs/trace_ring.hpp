@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Bounded lock-free per-thread event tracing for the runtime
+ * synchronization primitives.
+ *
+ * Each traced thread owns one TraceRing: a power-of-two array of
+ * TraceEvent written only by that thread (single producer) with a
+ * monotonically increasing head published with release stores, so a
+ * concurrent reader never tears an event it is allowed to see.  The
+ * ring is bounded: when full, the newest event overwrites the oldest
+ * — tracing can never block or allocate on the hot path.
+ *
+ * Tracing is OFF by default even in telemetry builds; record points
+ * cost one relaxed atomic load while disabled.  TraceRegistry flips
+ * the global switch and collects every ring into one time-sorted
+ * event stream, which chrome_trace.hpp turns into a chrome://tracing
+ * JSON document.
+ *
+ * Timestamps are supplied by the *caller* in nanoseconds: runtime
+ * record points pass the SchedHook-aware clock, so traces captured
+ * under testing::VirtualSched carry virtual (deterministic) time and
+ * production traces carry steady_clock time.
+ *
+ * With ABSYNC_TELEMETRY_ENABLED=0 the record points compile to
+ * nothing and drains return empty streams.
+ */
+
+#ifndef ABSYNC_OBS_TRACE_RING_HPP
+#define ABSYNC_OBS_TRACE_RING_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/counters.hpp" // ABSYNC_TELEMETRY_ENABLED, gate macro
+
+namespace absync::obs
+{
+
+/** What happened at a record point. */
+enum class EventKind : std::uint8_t
+{
+    Arrive,   ///< entered a barrier / started a resource acquire
+    Poll,     ///< finished a poll loop; arg = polls taken
+    Backoff,  ///< one backoff interval; arg = iterations slept
+    Park,     ///< blocked on a futex (queue-on-threshold)
+    Release,  ///< episode complete / resource granted
+    Withdraw, ///< timed out; arg = 1 when a continuation parked
+              ///< (tree) instead of a true withdrawal
+};
+
+/** Name of @p kind ("arrive", "poll", ...). */
+const char *eventKindName(EventKind kind);
+
+/** One traced event, 24 bytes. */
+struct TraceEvent
+{
+    std::uint64_t ts = 0;  ///< caller-supplied nanoseconds
+    std::uint64_t arg = 0; ///< kind-specific payload
+    std::uint32_t tid = 0; ///< dense trace-thread id
+    EventKind kind = EventKind::Arrive;
+};
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+/**
+ * Single-producer bounded event ring.  record() is wait-free; drain()
+ * returns the last min(recorded, capacity) events in record order and
+ * is exact when the producer is quiescent (the only way the tests and
+ * exporters use it).
+ */
+class TraceRing
+{
+  public:
+    /** @param capacity ring size, rounded up to a power of two */
+    explicit TraceRing(std::size_t capacity, std::uint32_t tid);
+
+    TraceRing(const TraceRing &) = delete;
+    TraceRing &operator=(const TraceRing &) = delete;
+
+    /** Append one event (producer thread only). */
+    void
+    record(EventKind kind, std::uint64_t ts, std::uint64_t arg)
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        TraceEvent &slot = events_[h & mask_];
+        slot.ts = ts;
+        slot.arg = arg;
+        slot.tid = tid_;
+        slot.kind = kind;
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    /** Events currently held, oldest first. */
+    std::vector<TraceEvent> drain() const;
+
+    /** Total events ever recorded (>= capacity means wrap/loss). */
+    std::uint64_t
+    recorded() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+
+    /** Drop contents (producer must be quiescent). */
+    void
+    reset()
+    {
+        head_.store(0, std::memory_order_release);
+    }
+
+    std::uint32_t tid() const { return tid_; }
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::uint64_t mask_;
+    std::uint32_t tid_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+/** True while event tracing is globally enabled. */
+bool traceActive();
+
+/**
+ * Registry of per-thread trace rings plus the global enable switch.
+ * Rings are created lazily on a thread's first record and kept for
+ * the process lifetime (each is a few tens of KiB; traced runs are
+ * tests and capture sessions, not steady-state production).
+ */
+class TraceRegistry
+{
+  public:
+    static TraceRegistry &global();
+
+    /**
+     * Enable tracing.  @p ring_capacity bounds each thread's ring.
+     * Also clears previously collected events so a capture session
+     * starts empty.
+     */
+    void enable(std::size_t ring_capacity = 4096);
+
+    /** Disable tracing (rings keep their contents for collection). */
+    void disable();
+
+    /**
+     * All events from all rings, sorted by timestamp (ties broken by
+     * record order within a thread).  Exact when producers are
+     * quiescent.
+     */
+    std::vector<TraceEvent> collect() const;
+
+    /** Drop every ring's contents. */
+    void clear();
+
+#if ABSYNC_TELEMETRY_ENABLED
+    /** The calling thread's ring (created on demand; internal). */
+    TraceRing *threadRing();
+#endif
+
+  private:
+    TraceRegistry() = default;
+
+#if ABSYNC_TELEMETRY_ENABLED
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<TraceRing>> rings_;
+    std::size_t ring_capacity_ = 4096;
+#endif
+};
+
+/**
+ * Record point: append (kind, ts, arg) to the calling thread's ring.
+ * No-op unless tracing is enabled (one relaxed load) or telemetry is
+ * compiled out (nothing at all).
+ */
+#if ABSYNC_TELEMETRY_ENABLED
+inline void
+tracePoint(EventKind kind, std::uint64_t ts, std::uint64_t arg = 0)
+{
+    if (!traceActive())
+        return;
+    TraceRegistry::global().threadRing()->record(kind, ts, arg);
+}
+#else
+inline void
+tracePoint(EventKind, std::uint64_t, std::uint64_t = 0)
+{
+}
+#endif
+
+} // namespace absync::obs
+
+#endif // ABSYNC_OBS_TRACE_RING_HPP

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
 #include "support/fault.hpp"
 
 namespace absync::runtime
@@ -29,6 +31,7 @@ WaitResult
 AdaptiveBarrier::arriveInternal(bool timed, Deadline deadline)
 {
     const ScopedSchedHook sched(cfg_.sched);
+    obs::tracePoint(obs::EventKind::Arrive, waitClockNowNs());
     if (cfg_.fault) {
         const std::uint64_t stall = cfg_.fault->onArrive();
         if (stall > 0)
@@ -36,6 +39,8 @@ AdaptiveBarrier::arriveInternal(bool timed, Deadline deadline)
     }
 
     const PhaseState::Arrival a = state_.arrive(parties_);
+    obs::countCounterRmws();
+    WaitResult result;
     if (a.last) {
         // Learn from the phase that is now completing: fold the mean
         // spin into the EWMA and derive the next first-poll wait.
@@ -48,9 +53,17 @@ AdaptiveBarrier::arriveInternal(bool timed, Deadline deadline)
         state_.advance(a.epoch);
         sense_.store(a.epoch + 1, std::memory_order_release);
         sense_.notify_all();
-        return WaitResult::Ok;
+        result = WaitResult::Ok;
+    } else {
+        result = waitForSense(a.epoch, timed, deadline);
     }
-    return waitForSense(a.epoch, timed, deadline);
+    if (result == WaitResult::Ok) {
+        obs::countEpisode();
+        obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
+    } else {
+        obs::tracePoint(obs::EventKind::Withdraw, waitClockNowNs());
+    }
+    return result;
 }
 
 void
@@ -77,9 +90,12 @@ AdaptiveBarrier::noteWindowSample(std::uint64_t mean_spin)
 WaitResult
 AdaptiveBarrier::resolveTimeout(std::uint32_t my_epoch)
 {
+    obs::countCounterRmws(); // the withdrawal CAS attempt
     switch (state_.tryWithdraw(my_epoch, parties_)) {
       case PhaseState::Withdraw::Withdrawn:
         timeouts_.fetch_add(1, std::memory_order_relaxed);
+        obs::countWithdrawal();
+        obs::countTimeout();
         return WaitResult::Timeout;
       case PhaseState::Withdraw::Completed:
         return WaitResult::Ok;
@@ -119,7 +135,11 @@ AdaptiveBarrier::waitForSense(std::uint32_t my_epoch, bool timed,
         if (wait > cfg_.blockThreshold) {
             if (!timed) {
                 blocks_.fetch_add(1, std::memory_order_relaxed);
+                obs::countPark();
+                obs::tracePoint(obs::EventKind::Park,
+                                waitClockNowNs());
                 atomicWaitWhileEqual(sense_, my_epoch);
+                obs::countWake();
                 ++local_polls;
                 break;
             }
@@ -141,8 +161,12 @@ AdaptiveBarrier::waitForSense(std::uint32_t my_epoch, bool timed,
                     break;
                 }
                 if (timed) {
-                    if (!spinForUntil(chunk, deadline)) {
-                        local_spun += chunk;
+                    const SpinOutcome r = spinForUntil(chunk, deadline);
+                    if (!r.completed) {
+                        // Credit only the slept portion: counting the
+                        // whole chunk would feed the estimator spin
+                        // time that never happened.
+                        local_spun += r.slept;
                         break; // deadline hit mid-chunk; re-poll
                     }
                 } else {
@@ -166,6 +190,9 @@ AdaptiveBarrier::waitForSense(std::uint32_t my_epoch, bool timed,
         waiter_count_.fetch_add(1, std::memory_order_relaxed);
     }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    obs::countFlagPolls(local_polls);
+    obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                    local_polls);
     return result;
 }
 

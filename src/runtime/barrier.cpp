@@ -1,5 +1,7 @@
 #include "runtime/barrier.hpp"
 
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
 #include "support/fault.hpp"
 
 namespace absync::runtime
@@ -26,6 +28,7 @@ WaitResult
 SpinBarrier::arriveInternal(bool timed, Deadline deadline)
 {
     const ScopedSchedHook sched(cfg_.sched);
+    obs::tracePoint(obs::EventKind::Arrive, waitClockNowNs());
     if (cfg_.fault) {
         const std::uint64_t stall = cfg_.fault->onArrive();
         if (stall > 0)
@@ -33,6 +36,8 @@ SpinBarrier::arriveInternal(bool timed, Deadline deadline)
     }
 
     const PhaseState::Arrival a = state_.arrive(parties_);
+    obs::countCounterRmws();
+    WaitResult result;
     if (a.last) {
         // Recycle the arrival word before publishing the release so
         // released threads re-arriving immediately see a fresh count.
@@ -40,17 +45,28 @@ SpinBarrier::arriveInternal(bool timed, Deadline deadline)
         sense_.store(a.epoch + 1, std::memory_order_release);
         if (cfg_.policy == BarrierPolicy::Blocking)
             sense_.notify_all();
-        return WaitResult::Ok;
+        result = WaitResult::Ok;
+    } else {
+        result = waitForSense(a.epoch, a.pos, timed, deadline);
     }
-    return waitForSense(a.epoch, a.pos, timed, deadline);
+    if (result == WaitResult::Ok) {
+        obs::countEpisode();
+        obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
+    } else {
+        obs::tracePoint(obs::EventKind::Withdraw, waitClockNowNs());
+    }
+    return result;
 }
 
 WaitResult
 SpinBarrier::resolveTimeout(std::uint32_t my_epoch)
 {
+    obs::countCounterRmws(); // the withdrawal CAS attempt
     switch (state_.tryWithdraw(my_epoch, parties_)) {
       case PhaseState::Withdraw::Withdrawn:
         timeouts_.fetch_add(1, std::memory_order_relaxed);
+        obs::countWithdrawal();
+        obs::countTimeout();
         return WaitResult::Timeout;
       case PhaseState::Withdraw::Completed:
         return WaitResult::Ok;
@@ -100,6 +116,9 @@ SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
             break;
         if (timed && deadlineExpired(deadline)) {
             polls_.fetch_add(local_polls, std::memory_order_relaxed);
+            obs::countFlagPolls(local_polls);
+            obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                            local_polls);
             return resolveTimeout(my_epoch);
         }
 
@@ -128,9 +147,17 @@ SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
                     // and let the OS wake us with the flag update
                     // (hook-paced polling under a virtual scheduler).
                     blocks_.fetch_add(1, std::memory_order_relaxed);
+                    obs::countPark();
+                    obs::tracePoint(obs::EventKind::Park,
+                                    waitClockNowNs());
                     atomicWaitWhileEqual(sense_, my_epoch);
+                    obs::countWake();
                     polls_.fetch_add(local_polls + 1,
                                      std::memory_order_relaxed);
+                    obs::countFlagPolls(local_polls + 1);
+                    obs::tracePoint(obs::EventKind::Poll,
+                                    waitClockNowNs(),
+                                    local_polls + 1);
                     return WaitResult::Ok;
                 }
                 // Timed: the futex cannot honor a deadline, so hold
@@ -145,6 +172,9 @@ SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
         }
     }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    obs::countFlagPolls(local_polls);
+    obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                    local_polls);
     return WaitResult::Ok;
 }
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
 #include "runtime/spin_backoff.hpp"
 
 namespace absync::runtime
@@ -20,6 +22,7 @@ BackoffResource::tryAcquire()
 {
     std::uint32_t cur = in_use_.load(std::memory_order_relaxed);
     while (cur < slots_) {
+        obs::countCounterRmws(); // the slot-claim CAS attempt
         if (in_use_.compare_exchange_weak(cur, cur + 1,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed)) {
@@ -44,9 +47,13 @@ BackoffResource::acquireFor(Deadline deadline)
 WaitResult
 BackoffResource::acquireInternal(bool timed, Deadline deadline)
 {
+    obs::tracePoint(obs::EventKind::Arrive, waitClockNowNs());
     std::uint64_t local_polls = 1;
     if (tryAcquire()) {
         polls_.fetch_add(local_polls, std::memory_order_relaxed);
+        obs::countFlagPolls(local_polls);
+        obs::countAcquire();
+        obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
         return WaitResult::Ok;
     }
 
@@ -56,6 +63,7 @@ BackoffResource::acquireInternal(bool timed, Deadline deadline)
     for (;;) {
         if (timed && deadlineExpired(deadline)) {
             timeouts_.fetch_add(1, std::memory_order_relaxed);
+            obs::countTimeout();
             result = WaitResult::Timeout;
             break;
         }
@@ -92,6 +100,15 @@ BackoffResource::acquireInternal(bool timed, Deadline deadline)
     }
     waiters_.fetch_sub(1, std::memory_order_relaxed);
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    obs::countFlagPolls(local_polls);
+    obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                    local_polls);
+    if (result == WaitResult::Ok) {
+        obs::countAcquire();
+        obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
+    } else {
+        obs::tracePoint(obs::EventKind::Withdraw, waitClockNowNs());
+    }
     return result;
 }
 

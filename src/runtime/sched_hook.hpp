@@ -55,11 +55,14 @@ class SchedHook
 
     /**
      * Deadline-clamped interval: spin up to @p iterations, stopping
-     * at @p deadline.  Returns true when the full interval elapsed,
-     * false when the deadline cut it short (spinForUntil contract).
+     * at @p deadline.  Returns the iterations actually slept (<=
+     * @p iterations); a return value below @p iterations means the
+     * deadline cut the interval short (spinForUntil contract).
+     * Telemetry records both figures, so deadline-clamped waits are
+     * never over-counted as full backoff intervals.
      */
-    virtual bool pauseUntil(std::uint64_t iterations,
-                            TimePoint deadline) = 0;
+    virtual std::uint64_t pauseUntil(std::uint64_t iterations,
+                                     TimePoint deadline) = 0;
 
     /** The hook's notion of "now" (a virtual clock for test runs). */
     virtual TimePoint now() = 0;

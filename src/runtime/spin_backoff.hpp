@@ -11,9 +11,12 @@
 #ifndef ABSYNC_RUNTIME_SPIN_BACKOFF_HPP
 #define ABSYNC_RUNTIME_SPIN_BACKOFF_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
 #include "runtime/sched_hook.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -49,10 +52,28 @@ cpuRelax()
     cpuRelaxNative();
 }
 
-/** Spin for @p iterations pause-iterations without touching memory;
- *  one yield point (of that virtual length) under a SchedHook. */
+/** The waiting clock in nanoseconds: SchedHook virtual time when a
+ *  hook is installed, steady_clock otherwise.  Used to timestamp
+ *  trace events so captures under a virtual scheduler are
+ *  deterministic. */
+inline std::uint64_t
+waitClockNowNs()
+{
+    const auto tp = [] {
+        if (SchedHook *hook = currentSchedHook())
+            return hook->now();
+        return std::chrono::steady_clock::now();
+    }();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
+}
+
+/** spinFor without telemetry, for callers (spinForUntil) that account
+ *  for the wait themselves. */
 inline void
-spinFor(std::uint64_t iterations)
+spinForUncounted(std::uint64_t iterations)
 {
     if (SchedHook *hook = currentSchedHook()) {
         hook->pauseFor(iterations);
@@ -60,6 +81,18 @@ spinFor(std::uint64_t iterations)
     }
     for (std::uint64_t i = 0; i < iterations; ++i)
         cpuRelaxNative();
+}
+
+/** Spin for @p iterations pause-iterations without touching memory;
+ *  one yield point (of that virtual length) under a SchedHook.
+ *  Counted as one backoff interval (requested == waited). */
+inline void
+spinFor(std::uint64_t iterations)
+{
+    spinForUncounted(iterations);
+    obs::countBackoff(iterations, iterations);
+    obs::tracePoint(obs::EventKind::Backoff, waitClockNowNs(),
+                    iterations);
 }
 
 /** Give up the processor to the OS scheduler; a yield point under a

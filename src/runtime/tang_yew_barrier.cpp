@@ -1,5 +1,7 @@
 #include "runtime/tang_yew_barrier.hpp"
 
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
 #include "support/fault.hpp"
 
 namespace absync::runtime
@@ -27,6 +29,7 @@ WaitResult
 TangYewBarrier::arriveInternal(bool timed, Deadline deadline)
 {
     const ScopedSchedHook sched(cfg_.sched);
+    obs::tracePoint(obs::EventKind::Arrive, waitClockNowNs());
     if (cfg_.fault) {
         const std::uint64_t stall = cfg_.fault->onArrive();
         if (stall > 0)
@@ -41,6 +44,8 @@ TangYewBarrier::arriveInternal(bool timed, Deadline deadline)
 
     const std::uint32_t i =
         cell.counter.fetch_add(1, std::memory_order_acq_rel) + 1;
+    obs::countCounterRmws();
+    WaitResult result;
     if (i == parties_) {
         // Last arriver: prepare the next phase's cells, publish the
         // phase number, then set the flag (the paper's final write).
@@ -50,9 +55,17 @@ TangYewBarrier::arriveInternal(bool timed, Deadline deadline)
         cell.flag.store(1, std::memory_order_release);
         if (cfg_.policy == BarrierPolicy::Blocking)
             cell.flag.notify_all();
-        return WaitResult::Ok;
+        result = WaitResult::Ok;
+    } else {
+        result = waitOnFlag(cell, parties_ - i, timed, deadline);
     }
-    return waitOnFlag(cell, parties_ - i, timed, deadline);
+    if (result == WaitResult::Ok) {
+        obs::countEpisode();
+        obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
+    } else {
+        obs::tracePoint(obs::EventKind::Withdraw, waitClockNowNs());
+    }
+    return result;
 }
 
 WaitResult
@@ -69,10 +82,13 @@ TangYewBarrier::resolveTimeout(Cell &cell)
                 cpuRelax();
             return WaitResult::Ok;
         }
+        obs::countCounterRmws(); // the withdrawal CAS attempt
         if (cell.counter.compare_exchange_weak(
                 c, c - 1, std::memory_order_acq_rel,
                 std::memory_order_acquire)) {
             timeouts_.fetch_add(1, std::memory_order_relaxed);
+            obs::countWithdrawal();
+            obs::countTimeout();
             return WaitResult::Timeout;
         }
     }
@@ -107,6 +123,9 @@ TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing,
             break;
         if (timed && deadlineExpired(deadline)) {
             polls_.fetch_add(local_polls, std::memory_order_relaxed);
+            obs::countFlagPolls(local_polls);
+            obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                            local_polls);
             return resolveTimeout(cell);
         }
         switch (cfg_.policy) {
@@ -128,10 +147,17 @@ TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing,
             if (wait > cfg_.blockThreshold) {
                 if (!timed) {
                     blocks_.fetch_add(1, std::memory_order_relaxed);
+                    obs::countPark();
+                    obs::tracePoint(obs::EventKind::Park,
+                                    waitClockNowNs());
                     atomicWaitWhileEqual(cell.flag, 0u);
+                    obs::countWake();
                     ++local_polls;
                     polls_.fetch_add(local_polls,
                                      std::memory_order_relaxed);
+                    obs::countFlagPolls(local_polls);
+                    obs::tracePoint(obs::EventKind::Poll,
+                                    waitClockNowNs(), local_polls);
                     return WaitResult::Ok;
                 }
                 // Timed: no futex deadline exists; clamp the
@@ -146,6 +172,9 @@ TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing,
         }
     }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    obs::countFlagPolls(local_polls);
+    obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                    local_polls);
     return WaitResult::Ok;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
 #include "support/fault.hpp"
 
 namespace absync::runtime
@@ -74,6 +76,9 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
             break;
         if (timed && deadlineExpired(deadline)) {
             polls_.fetch_add(local_polls, std::memory_order_relaxed);
+            obs::countFlagPolls(local_polls);
+            obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                            local_polls);
             return WaitResult::Timeout;
         }
         switch (cfg_.policy) {
@@ -95,7 +100,11 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
             if (wait > cfg_.blockThreshold) {
                 if (!timed) {
                     blocks_.fetch_add(1, std::memory_order_relaxed);
+                    obs::countPark();
+                    obs::tracePoint(obs::EventKind::Park,
+                                    waitClockNowNs());
                     atomicWaitWhileEqual(node.sense, old_sense);
+                    obs::countWake();
                     ++local_polls;
                     goto out;
                 }
@@ -112,6 +121,9 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
     }
   out:
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    obs::countFlagPolls(local_polls);
+    obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                    local_polls);
     return WaitResult::Ok;
 }
 
@@ -134,6 +146,7 @@ TreeBarrier::arriveInternal(std::uint32_t thread_id, bool timed,
 {
     assert(thread_id < parties_);
     const ScopedSchedHook sched(cfg_.sched);
+    obs::tracePoint(obs::EventKind::Arrive, waitClockNowNs());
     ThreadSlot &slot = slots_[thread_id];
     bool is_winner = false;
     std::uint32_t poll_missing = 0;
@@ -157,6 +170,7 @@ TreeBarrier::arriveInternal(std::uint32_t thread_id, bool timed,
                 node.sense.load(std::memory_order_acquire);
             const std::uint32_t pos =
                 node.count.fetch_add(1, std::memory_order_acq_rel);
+            obs::countCounterRmws();
             if (pos + 1 != node.expected) {
                 // Not last: wait here for the release.
                 slot.poll_node = node_idx;
@@ -181,8 +195,13 @@ TreeBarrier::arriveInternal(std::uint32_t thread_id, bool timed,
         if (r == WaitResult::Timeout) {
             // Park the continuation: arrivals and won-node release
             // obligations stay registered until this thread resumes.
+            // Not a withdrawal — the arrival stands — so only the
+            // timeout counter moves.
             slot.pending = true;
             timeouts_.fetch_add(1, std::memory_order_relaxed);
+            obs::countTimeout();
+            obs::tracePoint(obs::EventKind::Withdraw,
+                            waitClockNowNs(), 1 /* parked */);
             return WaitResult::Timeout;
         }
     }
@@ -194,10 +213,13 @@ TreeBarrier::arriveInternal(std::uint32_t thread_id, bool timed,
         Node &node = nodes_[slot.won[i]];
         node.count.store(0, std::memory_order_relaxed);
         node.sense.fetch_add(1, std::memory_order_release);
+        obs::countCounterRmws();
         if (cfg_.policy == BarrierPolicy::Blocking)
             node.sense.notify_all();
     }
     slot.n_won = 0;
+    obs::countEpisode();
+    obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
     return WaitResult::Ok;
 }
 

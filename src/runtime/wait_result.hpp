@@ -72,29 +72,61 @@ deadlineExpired(Deadline deadline)
 }
 
 /**
+ * Result of a deadline-clamped spin: how much of the interval was
+ * requested, how much was actually slept, and whether the interval
+ * ran to completion.  `slept < requested` iff the deadline cut the
+ * interval short.  Adaptive policies must base their accounting on
+ * `slept`, not `requested`, or clamped waits get over-counted.
+ */
+struct SpinOutcome
+{
+    std::uint64_t requested = 0; ///< interval length asked for
+    std::uint64_t slept = 0;     ///< pause-iterations actually waited
+    bool completed = false;      ///< full interval elapsed
+
+    explicit operator bool() const { return completed; }
+};
+
+/**
  * Spin for up to @p iterations pause-iterations, checking the clock
  * every few microseconds' worth of pauses.
  *
- * @return true if the full interval elapsed, false if the deadline
- *         cut it short
+ * @return a SpinOutcome; `.completed` is true if the full interval
+ *         elapsed, false if the deadline cut it short, and `.slept`
+ *         is the portion actually waited.  Records one backoff
+ *         telemetry interval with both figures.
  */
-inline bool
+inline SpinOutcome
 spinForUntil(std::uint64_t iterations, Deadline deadline)
 {
-    if (SchedHook *hook = currentSchedHook())
-        return hook->pauseUntil(iterations, deadline);
-    // ~1k pauses between clock reads keeps the check overhead well
-    // under 1% while bounding deadline overshoot to a few microseconds.
-    constexpr std::uint64_t kChunk = 1024;
-    while (iterations > 0) {
-        const std::uint64_t step =
-            iterations < kChunk ? iterations : kChunk;
-        spinFor(step);
-        iterations -= step;
-        if (iterations > 0 && deadlineExpired(deadline))
-            return false;
+    SpinOutcome out;
+    out.requested = iterations;
+    if (SchedHook *hook = currentSchedHook()) {
+        out.slept = hook->pauseUntil(iterations, deadline);
+        out.completed = out.slept >= iterations;
+    } else {
+        // ~1k pauses between clock reads keeps the check overhead
+        // well under 1% while bounding deadline overshoot to a few
+        // microseconds.
+        constexpr std::uint64_t kChunk = 1024;
+        std::uint64_t remaining = iterations;
+        out.completed = true;
+        while (remaining > 0) {
+            const std::uint64_t step =
+                remaining < kChunk ? remaining : kChunk;
+            spinForUncounted(step);
+            out.slept += step;
+            remaining -= step;
+            if (remaining > 0 && deadlineExpired(deadline)) {
+                out.completed = false;
+                break;
+            }
+        }
     }
-    return true;
+    obs::countBackoff(out.requested, out.slept);
+    obs::tracePoint(obs::EventKind::Backoff, waitClockNowNs(),
+                    out.slept);
+    return out;
 }
 
 } // namespace absync::runtime

@@ -3,8 +3,35 @@
 #include <string>
 #include <utility>
 
+#include "obs/counters.hpp"
+
 namespace absync::testing
 {
+
+namespace
+{
+
+/**
+ * True when any field of @p cur is smaller than in @p prev.  The
+ * telemetry aggregate only ever accumulates, so any decrease between
+ * two serialized schedule steps is a recording bug.
+ */
+bool
+anyCounterDecreased(const obs::CounterSnapshot &prev,
+                    const obs::CounterSnapshot &cur)
+{
+    return cur.flagPolls < prev.flagPolls ||
+           cur.counterRmws < prev.counterRmws ||
+           cur.backoffRequested < prev.backoffRequested ||
+           cur.backoffWaited < prev.backoffWaited ||
+           cur.parks < prev.parks || cur.wakes < prev.wakes ||
+           cur.withdrawals < prev.withdrawals ||
+           cur.timeouts < prev.timeouts ||
+           cur.episodes < prev.episodes ||
+           cur.acquires < prev.acquires;
+}
+
+} // namespace
 
 std::string
 PhaseLog::record(std::uint32_t thread, std::uint32_t phase)
@@ -68,15 +95,27 @@ barrierPhasesEpisode(VirtualSched &sched,
     }
 
     // Counters only ever accumulate; a decrease means a torn or
-    // double-counted update somewhere in the poll accounting.
-    episode.stepInvariant = [state,
-                            last = std::make_shared<std::uint64_t>(
-                                0)]() mutable -> std::string {
+    // double-counted update somewhere in the poll accounting.  The
+    // telemetry aggregate obeys the same law, so cross-check every
+    // field of it on every step too (trivially true when telemetry
+    // is compiled out: the aggregate is permanently zero).
+    episode.stepInvariant =
+        [state, last = std::make_shared<std::uint64_t>(0),
+         prev = std::make_shared<obs::CounterSnapshot>(
+             obs::CounterRegistry::global().total())]() mutable
+        -> std::string {
         const std::uint64_t polls = state->barrier->polls();
         if (polls < *last)
             return "polls() decreased from " + std::to_string(*last) +
                    " to " + std::to_string(polls);
         *last = polls;
+        const obs::CounterSnapshot cur =
+            obs::CounterRegistry::global().total();
+        if (anyCounterDecreased(*prev, cur))
+            return "telemetry counter decreased between steps:\n"
+                   "  before: " + prev->json() + "\n"
+                   "  after:  " + cur.json();
+        *prev = cur;
         return {};
     };
     return episode;

@@ -110,7 +110,7 @@ VirtualSched::pauseFor(std::uint64_t iterations)
     yieldHere(iterations > 0 ? iterations : 1);
 }
 
-bool
+std::uint64_t
 VirtualSched::pauseUntil(std::uint64_t iterations, TimePoint deadline)
 {
     if (!onManagedThread()) {
@@ -119,26 +119,27 @@ VirtualSched::pauseUntil(std::uint64_t iterations, TimePoint deadline)
         const auto clock = [] {
             return std::chrono::steady_clock::now();
         };
-        std::uint64_t remaining = iterations;
-        while (remaining > 0) {
+        std::uint64_t slept = 0;
+        while (slept < iterations) {
             if (clock() >= deadline)
-                return false;
+                return slept;
             const std::uint64_t chunk =
-                std::min<std::uint64_t>(remaining, 256);
+                std::min<std::uint64_t>(iterations - slept, 256);
             for (std::uint64_t i = 0; i < chunk; ++i)
                 runtime::cpuRelaxNative();
-            remaining -= chunk;
+            slept += chunk;
         }
-        return clock() < deadline;
+        return slept;
     }
 
     const TimePoint vnow = now();
     if (vnow >= deadline) {
         // Already expired: still yield once so a deadline-polling
         // loop remains a sequence of schedule points, then report
-        // the cut.
+        // zero slept (the tick models scheduler overhead, not the
+        // requested interval).
         yieldHere(1);
-        return false;
+        return 0;
     }
     const auto headroom = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(deadline -
@@ -147,7 +148,9 @@ VirtualSched::pauseUntil(std::uint64_t iterations, TimePoint deadline)
     const std::uint64_t want = iterations > 0 ? iterations : 1;
     const std::uint64_t ticks = std::min(want, headroom);
     yieldHere(ticks);
-    return ticks >= iterations;
+    // Clamp to the request: when iterations == 0 the single tick is
+    // scheduler bookkeeping, not a slept interval.
+    return std::min(ticks, iterations);
 }
 
 void

@@ -151,8 +151,8 @@ class VirtualSched final : public runtime::SchedHook
     // -- runtime::SchedHook ------------------------------------------
     void pause() override;
     void pauseFor(std::uint64_t iterations) override;
-    bool pauseUntil(std::uint64_t iterations,
-                    TimePoint deadline) override;
+    std::uint64_t pauseUntil(std::uint64_t iterations,
+                             TimePoint deadline) override;
     TimePoint now() override;
 
   private:

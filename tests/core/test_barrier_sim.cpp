@@ -60,6 +60,39 @@ TEST(BarrierSim, FlagSetAfterLastArrival)
     }
 }
 
+TEST(BarrierSim, CounterSnapshotMatchesPerProcTotals)
+{
+    // The telemetry-schema snapshot the simulator fills must agree
+    // with its own per-processor statistics: submissions split into
+    // variable-module RMWs and flag-module polls, and their sum is
+    // the paper's network accesses.  This holds in every build —
+    // EpisodeResult.counters is simulation output, not hot-path
+    // recording.
+    const BackoffConfig configs[] = {BackoffConfig::none(),
+                                     BackoffConfig::variableOnly(),
+                                     BackoffConfig::exponentialFlag(2)};
+    for (const BackoffConfig &bo : configs) {
+        BarrierSimulator sim(makeConfig(16, 200, bo));
+        Rng rng(11);
+        const auto res = sim.runOnce(rng);
+        std::uint64_t total_accesses = 0;
+        for (const auto &p : res.procs)
+            total_accesses += p.accesses;
+        EXPECT_EQ(res.counters.accesses(), total_accesses);
+        EXPECT_EQ(res.counters.counterRmws +
+                      res.counters.flagPolls,
+                  res.counters.accesses());
+        EXPECT_EQ(res.counters.counterRmws, res.varModuleTraffic);
+        EXPECT_EQ(res.counters.flagPolls, res.flagModuleTraffic);
+        // Everyone finished: one episode per processor, no timeouts.
+        EXPECT_EQ(res.counters.episodes, 16u);
+        EXPECT_EQ(res.counters.timeouts, 0u);
+        EXPECT_EQ(res.counters.withdrawals, 0u);
+        EXPECT_GE(res.counters.backoffRequested,
+                  res.counters.backoffWaited);
+    }
+}
+
 TEST(BarrierSim, DeterministicForSeed)
 {
     BarrierConfig cfg =

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Counter-exact telemetry tests under VirtualSched.
+ *
+ * Every run here is a deterministic schedule (seeded decider over a
+ * virtual clock), so the counters each virtual thread records are
+ * exact values, not statistical ranges: one counter RMW per arrival,
+ * one episode per completed phase, a closed-form backoff total for
+ * the Variable policy, and requested == waited whenever no deadline
+ * cuts a wait short.  ScopedCounters redirects each worker thread to
+ * a test-owned slab, so the per-thread figures are isolated from the
+ * global registry and from other tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "runtime/barrier_interface.hpp"
+#include "testing/barrier_episodes.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace rt = absync::runtime;
+namespace vt = absync::testing;
+namespace obs = absync::obs;
+
+namespace
+{
+
+struct CountedRun
+{
+    vt::RunRecord rec;
+    std::vector<obs::CounterSnapshot> perThread;
+    obs::CounterSnapshot total;
+};
+
+/** Run one barrier episode with per-thread counter slabs installed. */
+CountedRun
+runCounted(rt::BarrierKind kind, std::uint32_t parties,
+           std::uint32_t phases, rt::BarrierPolicy policy,
+           std::uint64_t seed)
+{
+    vt::VirtualSched sched;
+    vt::BarrierEpisodeConfig ecfg;
+    ecfg.kind = kind;
+    ecfg.parties = parties;
+    ecfg.phases = phases;
+    ecfg.barrier.policy = policy;
+
+    std::shared_ptr<vt::BarrierEpisodeState> state;
+    vt::Episode ep = vt::barrierPhasesEpisode(sched, ecfg, &state);
+
+    auto slabs =
+        std::make_shared<std::vector<obs::SyncCounters>>(parties);
+    for (auto &body : ep.bodies) {
+        body = [inner = body, slabs](std::uint32_t id) {
+            obs::ScopedCounters sc(&(*slabs)[id]);
+            inner(id);
+        };
+    }
+
+    vt::RandomDecider decider(seed);
+    CountedRun out;
+    out.rec = sched.run(ep.bodies, decider, ep.stepInvariant);
+    out.perThread.reserve(parties);
+    for (std::uint32_t i = 0; i < parties; ++i) {
+        out.perThread.push_back((*slabs)[i].snapshot());
+        out.total += out.perThread.back();
+    }
+    return out;
+}
+
+constexpr rt::BarrierPolicy kSpinPolicies[] = {
+    rt::BarrierPolicy::None,
+    rt::BarrierPolicy::Variable,
+    rt::BarrierPolicy::Linear,
+    rt::BarrierPolicy::Exponential,
+};
+
+/** Exact assertions that hold for every flat-barrier spin policy. */
+void
+checkFlatExact(const CountedRun &run, std::uint32_t parties,
+               std::uint32_t phases, rt::BarrierPolicy policy)
+{
+    ASSERT_TRUE(run.rec.completed) << run.rec.failure;
+    for (std::uint32_t t = 0; t < parties; ++t) {
+        const obs::CounterSnapshot &c = run.perThread[t];
+        // Exactly one F&A per arrival, one episode per phase.
+        EXPECT_EQ(c.counterRmws, phases) << "thread " << t;
+        EXPECT_EQ(c.episodes, phases) << "thread " << t;
+        // Untimed, non-blocking: nothing withdraws, parks, or wakes.
+        EXPECT_EQ(c.withdrawals, 0u) << "thread " << t;
+        EXPECT_EQ(c.timeouts, 0u) << "thread " << t;
+        EXPECT_EQ(c.parks, 0u) << "thread " << t;
+        EXPECT_EQ(c.wakes, 0u) << "thread " << t;
+        // No deadline ever cuts an untimed wait short.
+        EXPECT_EQ(c.backoffRequested, c.backoffWaited)
+            << "thread " << t;
+    }
+    // Each phase: every non-last arriver polls the sense word at
+    // least once; the last arriver never enters the wait loop.
+    EXPECT_GE(run.total.flagPolls,
+              static_cast<std::uint64_t>(phases) * (parties - 1));
+    EXPECT_EQ(run.total.accesses(),
+              run.total.flagPolls + run.total.counterRmws);
+
+    const rt::BarrierConfig defaults;
+    if (policy == rt::BarrierPolicy::None) {
+        EXPECT_EQ(run.total.backoffRequested, 0u);
+        EXPECT_EQ(run.total.backoffWaited, 0u);
+    } else if (policy == rt::BarrierPolicy::Variable) {
+        // The pre-wait is the only backoff: arrival position p (0-
+        // based) waits (parties-1-p) * perMissingArrival, and every
+        // position 0..parties-2 occurs exactly once per phase, so
+        // the total is schedule-independent.
+        const std::uint64_t per_phase =
+            defaults.perMissingArrival *
+            (static_cast<std::uint64_t>(parties) * (parties - 1) / 2);
+        EXPECT_EQ(run.total.backoffRequested, phases * per_phase);
+        EXPECT_EQ(run.total.backoffWaited, phases * per_phase);
+    }
+}
+
+} // namespace
+
+TEST(CounterExact, Flat2x2EveryPolicy)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    for (const rt::BarrierPolicy policy : kSpinPolicies) {
+        SCOPED_TRACE(static_cast<int>(policy));
+        const CountedRun run =
+            runCounted(rt::BarrierKind::Flat, 2, 2, policy, 11);
+        checkFlatExact(run, 2, 2, policy);
+    }
+}
+
+TEST(CounterExact, Flat4x2EveryPolicy)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    for (const rt::BarrierPolicy policy : kSpinPolicies) {
+        SCOPED_TRACE(static_cast<int>(policy));
+        const CountedRun run =
+            runCounted(rt::BarrierKind::Flat, 4, 2, policy, 23);
+        checkFlatExact(run, 4, 2, policy);
+    }
+}
+
+TEST(CounterExact, EpisodesAgreeAcrossBarrierKinds)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    constexpr std::uint32_t parties = 4;
+    constexpr std::uint32_t phases = 2;
+    const rt::BarrierKind kinds[] = {
+        rt::BarrierKind::Flat,
+        rt::BarrierKind::TangYew,
+        rt::BarrierKind::Tree,
+        rt::BarrierKind::Adaptive,
+    };
+    for (const rt::BarrierKind kind : kinds) {
+        SCOPED_TRACE(static_cast<int>(kind));
+        const CountedRun run = runCounted(
+            kind, parties, phases, rt::BarrierPolicy::None, 7);
+        ASSERT_TRUE(run.rec.completed) << run.rec.failure;
+        // The episode count is implementation-independent: every
+        // thread completes every phase, whatever the arrival
+        // topology (central counter, two cells, or a tree climb).
+        EXPECT_EQ(run.total.episodes,
+                  static_cast<std::uint64_t>(parties) * phases);
+        for (std::uint32_t t = 0; t < parties; ++t)
+            EXPECT_EQ(run.perThread[t].episodes, phases)
+                << "thread " << t;
+        EXPECT_EQ(run.total.withdrawals, 0u);
+        EXPECT_EQ(run.total.timeouts, 0u);
+    }
+}
+
+TEST(CounterExact, IdenticalSnapshotsAcrossRepeatedRuns)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    // The same seed must yield byte-identical counters, run after
+    // run: the counters are a pure function of the schedule.
+    const CountedRun a = runCounted(rt::BarrierKind::Flat, 4, 2,
+                                    rt::BarrierPolicy::Exponential, 42);
+    const CountedRun b = runCounted(rt::BarrierKind::Flat, 4, 2,
+                                    rt::BarrierPolicy::Exponential, 42);
+    const CountedRun c = runCounted(rt::BarrierKind::Flat, 4, 2,
+                                    rt::BarrierPolicy::Exponential, 42);
+    ASSERT_TRUE(a.rec.completed) << a.rec.failure;
+    ASSERT_TRUE(b.rec.completed) << b.rec.failure;
+    ASSERT_TRUE(c.rec.completed) << c.rec.failure;
+    ASSERT_EQ(a.perThread.size(), b.perThread.size());
+    for (std::size_t i = 0; i < a.perThread.size(); ++i) {
+        EXPECT_TRUE(a.perThread[i] == b.perThread[i]) << "thread " << i;
+        EXPECT_TRUE(a.perThread[i] == c.perThread[i]) << "thread " << i;
+    }
+}
+
+namespace
+{
+
+/** One thread times out against a barrier nobody else joins. */
+CountedRun
+runWithdrawal(rt::BarrierKind kind)
+{
+    vt::VirtualSched sched;
+    rt::BarrierConfig bcfg;
+    bcfg.policy = rt::BarrierPolicy::Exponential;
+    bcfg.sched = &sched;
+    auto barrier = std::shared_ptr<rt::AnyBarrier>(
+        rt::makeBarrier(kind, 2, bcfg));
+
+    auto slabs = std::make_shared<std::vector<obs::SyncCounters>>(2);
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([barrier, slabs, &sched](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        const rt::WaitResult r =
+            barrier->arriveFor(id, sched.deadlineIn(200));
+        if (r != rt::WaitResult::Timeout)
+            sched.fail("expected a timeout with the partner absent");
+    });
+    bodies.push_back([slabs](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        // Burn virtual time without ever arriving.
+        rt::spinFor(1000);
+    });
+
+    vt::RandomDecider decider(3);
+    CountedRun out;
+    out.rec = sched.run(bodies, decider);
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        out.perThread.push_back((*slabs)[i].snapshot());
+        out.total += out.perThread.back();
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(CounterExact, WithdrawalCountedExactlyOnce)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    // Flat barriers withdraw the arrival on timeout: exactly one
+    // withdrawal AND one timeout.
+    const rt::BarrierKind withdrawing[] = {
+        rt::BarrierKind::Flat,
+        rt::BarrierKind::TangYew,
+        rt::BarrierKind::Adaptive,
+    };
+    for (const rt::BarrierKind kind : withdrawing) {
+        SCOPED_TRACE(static_cast<int>(kind));
+        const CountedRun run = runWithdrawal(kind);
+        ASSERT_TRUE(run.rec.completed) << run.rec.failure;
+        EXPECT_EQ(run.perThread[0].withdrawals, 1u);
+        EXPECT_EQ(run.perThread[0].timeouts, 1u);
+        EXPECT_EQ(run.perThread[0].episodes, 0u);
+        EXPECT_EQ(run.perThread[1].withdrawals, 0u);
+        // The abandoned wait slept less than its schedule asked for.
+        EXPECT_LE(run.perThread[0].backoffWaited,
+                  run.perThread[0].backoffRequested);
+    }
+
+    // The tree parks a continuation instead: a timeout but NO
+    // withdrawal (the arrival stands until the thread resumes).
+    const CountedRun tree = runWithdrawal(rt::BarrierKind::Tree);
+    ASSERT_TRUE(tree.rec.completed) << tree.rec.failure;
+    EXPECT_EQ(tree.perThread[0].withdrawals, 0u);
+    EXPECT_EQ(tree.perThread[0].timeouts, 1u);
+    EXPECT_EQ(tree.perThread[0].episodes, 0u);
+}

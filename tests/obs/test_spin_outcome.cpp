@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Regression tests for the spinForUntil / SchedHook::pauseUntil slept
+ * contract: a deadline-clamped wait must report (and count) the
+ * cycles actually slept, not the interval it asked for.  Before this
+ * contract, SpinBackoff only knew the requested delay, so deadline-
+ * cut waits were over-counted — by telemetry and by the adaptive
+ * barrier's window estimator alike.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "runtime/wait_result.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace rt = absync::runtime;
+namespace vt = absync::testing;
+namespace obs = absync::obs;
+
+TEST(SpinOutcome, DeadlineCutReportsActualSleep)
+{
+    vt::VirtualSched sched;
+    rt::SpinOutcome cut, full, expired;
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([&](std::uint32_t) {
+        cut = rt::spinForUntil(10000, sched.deadlineIn(500));
+        full = rt::spinForUntil(300, sched.deadlineIn(100000));
+        expired = rt::spinForUntil(400, sched.deadlineIn(0));
+    });
+    vt::RandomDecider decider(1);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    ASSERT_TRUE(rec.completed) << rec.failure;
+
+    EXPECT_FALSE(cut.completed);
+    EXPECT_EQ(cut.requested, 10000u);
+    EXPECT_EQ(cut.slept, 500u); // exactly the virtual headroom
+
+    EXPECT_TRUE(full.completed);
+    EXPECT_EQ(full.requested, 300u);
+    EXPECT_EQ(full.slept, 300u);
+
+    // Already-expired deadline: no sleep at all, just the report.
+    EXPECT_FALSE(expired.completed);
+    EXPECT_EQ(expired.slept, 0u);
+}
+
+TEST(SpinOutcome, BackoffCountersRecordRequestedAndWaited)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    vt::VirtualSched sched;
+    auto slab = std::make_shared<obs::SyncCounters>();
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([&, slab](std::uint32_t) {
+        obs::ScopedCounters sc(slab.get());
+        rt::spinForUntil(10000, sched.deadlineIn(500));
+        rt::spinFor(250);
+    });
+    vt::RandomDecider decider(2);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    ASSERT_TRUE(rec.completed) << rec.failure;
+
+    const obs::CounterSnapshot c = slab->snapshot();
+    // The clamped wait: 10000 asked, 500 served; the plain spin adds
+    // 250 to both sides.  Nothing is double-counted.
+    EXPECT_EQ(c.backoffRequested, 10000u + 250u);
+    EXPECT_EQ(c.backoffWaited, 500u + 250u);
+}
+
+TEST(SpinOutcome, NativePathSleepsFullIntervalBeforeDeadline)
+{
+    // No hook installed: a roomy deadline must not shorten the spin,
+    // and the outcome reports the full interval as slept.
+    const rt::SpinOutcome r = rt::spinForUntil(
+        2048, rt::deadlineAfter(std::chrono::seconds(30)));
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.requested, 2048u);
+    EXPECT_EQ(r.slept, 2048u);
+}
+
+TEST(SpinOutcome, NativePathStopsAtExpiredDeadline)
+{
+    const rt::SpinOutcome r = rt::spinForUntil(
+        std::uint64_t{1} << 40,
+        rt::deadlineAfter(std::chrono::nanoseconds(1)));
+    EXPECT_FALSE(r.completed);
+    EXPECT_LT(r.slept, std::uint64_t{1} << 40);
+    EXPECT_EQ(r.requested, std::uint64_t{1} << 40);
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Compile-gate tests: ABSYNC_TELEMETRY=OFF must turn the whole
+ * recording API into no-ops — empty structs, null sinks, zero
+ * snapshots — while ON keeps the slabs cache-line padded.  The
+ * static_asserts make the no-op claim a compile-time fact, not a
+ * runtime observation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace obs = absync::obs;
+
+static_assert(obs::kTelemetryEnabled ==
+                  (ABSYNC_TELEMETRY_ENABLED != 0),
+              "kTelemetryEnabled must mirror the build gate");
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+// ON: one slab per thread, padded so neighbours never false-share.
+static_assert(alignof(obs::SyncCounters) == 64,
+              "counter slabs must be cache-line aligned");
+static_assert(sizeof(obs::SyncCounters) % 64 == 0,
+              "counter slabs must fill whole cache lines");
+
+#else // !ABSYNC_TELEMETRY_ENABLED
+
+// OFF: the recording types carry no state at all.
+static_assert(std::is_empty_v<obs::SyncCounters>,
+              "no-op SyncCounters must be an empty struct");
+static_assert(obs::currentCounters() == nullptr,
+              "no-op builds have no counter sink");
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+TEST(TelemetryGate, RecordPointsAreCallableInEveryBuild)
+{
+    // Compiles and runs whether or not telemetry is in the build;
+    // with it off, all of this must be invisible.
+    obs::countFlagPolls(3);
+    obs::countCounterRmws();
+    obs::countBackoff(100, 40);
+    obs::countPark();
+    obs::countWake();
+    obs::countWithdrawal();
+    obs::countTimeout();
+    obs::countEpisode();
+    obs::countAcquire();
+    obs::tracePoint(obs::EventKind::Poll, 123, 4);
+    SUCCEED();
+}
+
+TEST(TelemetryGate, ScopedCountersCaptureOrVanish)
+{
+    obs::SyncCounters mine;
+    {
+        obs::ScopedCounters sc(&mine);
+        obs::countFlagPolls(5);
+        obs::countBackoff(64, 48);
+        obs::countEpisode();
+    }
+    const obs::CounterSnapshot snap = mine.snapshot();
+    if (obs::kTelemetryEnabled) {
+        EXPECT_EQ(snap.flagPolls, 5u);
+        EXPECT_EQ(snap.backoffRequested, 64u);
+        EXPECT_EQ(snap.backoffWaited, 48u);
+        EXPECT_EQ(snap.episodes, 1u);
+    } else {
+        EXPECT_TRUE(snap == obs::CounterSnapshot{});
+    }
+}
+
+TEST(TelemetryGate, ScopedRecordingBypassesRegistry)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    const obs::CounterSnapshot before =
+        obs::CounterRegistry::global().total();
+    obs::SyncCounters mine;
+    {
+        obs::ScopedCounters sc(&mine);
+        obs::countFlagPolls(1000);
+    }
+    const obs::CounterSnapshot after =
+        obs::CounterRegistry::global().total();
+    // Counts taken under a scoped slab never leak into the global
+    // aggregate (other tests' recording may, so compare this thread's
+    // contribution, which is the only writer here).
+    EXPECT_EQ(after.flagPolls, before.flagPolls);
+    EXPECT_EQ(mine.snapshot().flagPolls, 1000u);
+}
+
+TEST(TelemetryGate, OffBuildExposesZeroSnapshots)
+{
+    if (obs::kTelemetryEnabled)
+        GTEST_SKIP() << "only meaningful with telemetry off";
+    obs::countFlagPolls(99);
+    EXPECT_TRUE(obs::CounterRegistry::global().total() ==
+                obs::CounterSnapshot{});
+    obs::TraceRegistry::global().enable();
+    obs::tracePoint(obs::EventKind::Arrive, 1);
+    EXPECT_TRUE(obs::TraceRegistry::global().collect().empty());
+    obs::TraceRegistry::global().disable();
+    EXPECT_FALSE(obs::traceActive());
+}

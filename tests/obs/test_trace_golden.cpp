@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Chrome-trace exporter tests: structural invariants plus a golden-
+ * file comparison, and JSON round-trips for the counter exposition.
+ *
+ * The golden capture runs a 2-thread x 2-phase flat barrier episode
+ * under VirtualSched with a scripted (round-robin) decider, so the
+ * event stream — and after tid and timestamp normalization, the
+ * exported JSON — is byte-identical on every run and every machine.
+ * Regenerate the golden after an intentional schema change with:
+ *
+ *     ABSYNC_REGEN_GOLDEN=1 ./test_obs \
+ *         --gtest_filter=ChromeTrace.GoldenFlat2x2
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
+#include "testing/barrier_episodes.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace rt = absync::runtime;
+namespace vt = absync::testing;
+namespace obs = absync::obs;
+
+namespace
+{
+
+/** Capture one deterministic 2x2 flat episode's trace events. */
+std::vector<obs::TraceEvent>
+captureFlat2x2()
+{
+    obs::TraceRegistry::global().enable(1 << 12);
+    vt::VirtualSched sched;
+    vt::BarrierEpisodeConfig ecfg;
+    ecfg.kind = rt::BarrierKind::Flat;
+    ecfg.parties = 2;
+    ecfg.phases = 2;
+    ecfg.barrier.policy = rt::BarrierPolicy::Exponential;
+    vt::Episode ep = vt::barrierPhasesEpisode(sched, ecfg, nullptr);
+    vt::ScriptedDecider decider({}, 0); // pure round-robin
+    const vt::RunRecord rec =
+        sched.run(ep.bodies, decider, ep.stepInvariant);
+    obs::TraceRegistry::global().disable();
+    EXPECT_TRUE(rec.completed) << rec.failure;
+    return obs::TraceRegistry::global().collect();
+}
+
+/**
+ * Renumber tids densely in order of first appearance.  Ring tids are
+ * process-lifetime monotonic, so without this the golden would depend
+ * on which tests traced earlier in the same binary.
+ */
+void
+normalizeTids(std::vector<obs::TraceEvent> &events)
+{
+    std::map<std::uint32_t, std::uint32_t> remap;
+    for (obs::TraceEvent &e : events) {
+        const auto [it, inserted] = remap.emplace(
+            e.tid, static_cast<std::uint32_t>(remap.size()));
+        e.tid = it->second;
+    }
+}
+
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle);
+         pos != std::string::npos; pos = hay.find(needle, pos + 1))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(ChromeTrace, StructuralInvariants)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    std::vector<obs::TraceEvent> events = captureFlat2x2();
+    ASSERT_FALSE(events.empty());
+
+    // collect() returns a time-sorted stream.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        ASSERT_LE(events[i - 1].ts, events[i].ts) << "at " << i;
+
+    // Both threads arrive twice and are released twice.
+    std::map<std::uint32_t, int> arrives, releases;
+    for (const obs::TraceEvent &e : events) {
+        if (e.kind == obs::EventKind::Arrive)
+            ++arrives[e.tid];
+        if (e.kind == obs::EventKind::Release)
+            ++releases[e.tid];
+    }
+    ASSERT_EQ(arrives.size(), 2u);
+    for (const auto &[tid, n] : arrives) {
+        EXPECT_EQ(n, 2) << "tid " << tid;
+        EXPECT_EQ(releases[tid], 2) << "tid " << tid;
+    }
+
+    const std::string json = obs::chromeTraceJson(events);
+    // Schema keys and balanced duration pairs.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""),
+              std::string::npos);
+    EXPECT_NE(json.find("absync.chrome_trace.v1"), std::string::npos);
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"B\""),
+              countOccurrences(json, "\"ph\":\"E\""));
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"B\""), 4u);
+}
+
+TEST(ChromeTrace, GoldenFlat2x2)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    std::vector<obs::TraceEvent> events = captureFlat2x2();
+    normalizeTids(events);
+    const std::string json = obs::chromeTraceJson(events);
+
+    const std::string path =
+        std::string(ABSYNC_TEST_DATA_DIR) + "/chrome_trace_2x2.json";
+    if (std::getenv("ABSYNC_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << json;
+        GTEST_SKIP() << "golden regenerated at " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " (regenerate with ABSYNC_REGEN_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(json, golden.str())
+        << "chrome trace drifted from the golden capture; if the "
+           "change is intentional, regenerate with "
+           "ABSYNC_REGEN_GOLDEN=1";
+}
+
+TEST(ChromeTrace, EmptyStreamIsValidDocument)
+{
+    const std::string json = obs::chromeTraceJson({});
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("absync.chrome_trace.v1"), std::string::npos);
+}
+
+TEST(CounterJson, SnapshotRoundTrip)
+{
+    obs::CounterSnapshot in;
+    std::uint64_t v = 1;
+    in.forEachMut([&](const char *, std::uint64_t &field) {
+        field = v * v + 3;
+        ++v;
+    });
+    const std::string json = in.json();
+    obs::CounterSnapshot out;
+    ASSERT_TRUE(obs::parseCounterSnapshot(json, &out)) << json;
+    EXPECT_TRUE(in == out) << json;
+}
+
+TEST(CounterJson, RejectsMissingKeys)
+{
+    obs::CounterSnapshot out;
+    EXPECT_FALSE(obs::parseCounterSnapshot("{\"flag_polls\":1}", &out));
+}
+
+TEST(CounterJson, RegistryJsonCarriesSchemaAndTotal)
+{
+    const std::string json = obs::CounterRegistry::global().json();
+    EXPECT_NE(json.find("absync.sync_counters.v1"), std::string::npos);
+    EXPECT_NE(json.find("\"total\""), std::string::npos);
+    EXPECT_NE(json.find("\"threads\""), std::string::npos);
+    obs::CounterSnapshot total;
+    EXPECT_TRUE(obs::parseCounterSnapshot(json, &total));
+}

@@ -94,10 +94,16 @@ TEST(VirtualSched, SpinForUntilHonorsVirtualDeadline)
     std::vector<vt::VirtualSched::Body> bodies;
     bodies.push_back([&](std::uint32_t) {
         const rt::Deadline tight = sched.deadlineIn(500);
-        cut_short = rt::spinForUntil(10000, tight);
+        const rt::SpinOutcome cut = rt::spinForUntil(10000, tight);
+        cut_short = cut.completed;
+        if (cut.slept >= cut.requested || cut.slept > 500)
+            sched.fail("deadline-cut spin reported a full sleep");
         expired_at_cut = rt::deadlineExpired(tight);
         const rt::Deadline roomy = sched.deadlineIn(100000);
-        ran_full = rt::spinForUntil(300, roomy);
+        const rt::SpinOutcome full = rt::spinForUntil(300, roomy);
+        ran_full = full.completed;
+        if (full.slept != 300)
+            sched.fail("uncut spin must sleep exactly its request");
     });
     vt::RandomDecider decider(5);
     const vt::RunRecord rec = sched.run(bodies, decider);
