@@ -1,6 +1,9 @@
 #include "common/bench_util.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "obs/profile.hpp"
 
 namespace absync::bench
 {
@@ -23,25 +26,36 @@ figureProcessorCounts()
     return kCounts;
 }
 
-double
-barrierCell(std::uint32_t n, std::uint64_t arrival_window,
-            const core::BackoffConfig &backoff, Metric metric,
-            std::uint64_t runs, std::uint64_t seed)
+core::EpisodeSummary
+barrierSummary(std::uint32_t n, std::uint64_t arrival_window,
+               const core::BackoffConfig &backoff, std::uint64_t runs,
+               std::uint64_t seed)
 {
     core::BarrierConfig cfg;
     cfg.processors = n;
     cfg.arrivalWindow = arrival_window;
     cfg.backoff = backoff;
+    return core::BarrierSimulator(cfg).runMany(runs, seed);
+}
+
+double
+barrierCell(std::uint32_t n, std::uint64_t arrival_window,
+            const core::BackoffConfig &backoff, Metric metric,
+            std::uint64_t runs, std::uint64_t seed)
+{
     const auto summary =
-        core::BarrierSimulator(cfg).runMany(runs, seed);
+        barrierSummary(n, arrival_window, backoff, runs, seed);
     return metric == Metric::Accesses ? summary.accesses.mean()
                                       : summary.wait.mean();
 }
 
 support::Table
 barrierSweepTable(std::uint64_t arrival_window, Metric metric,
-                  std::uint64_t runs, std::uint64_t seed)
+                  std::uint64_t runs, std::uint64_t seed,
+                  obs::RunReport *report)
 {
+    const char *metric_key =
+        metric == Metric::Accesses ? "accesses" : "wait";
     std::vector<std::string> header = {"N"};
     for (const auto &p : figurePolicies())
         header.push_back(p);
@@ -50,14 +64,53 @@ barrierSweepTable(std::uint64_t arrival_window, Metric metric,
     for (std::uint32_t n : figureProcessorCounts()) {
         std::vector<double> row;
         for (const auto &policy : figurePolicies()) {
-            row.push_back(barrierCell(
+            const double cell = barrierCell(
                 n, arrival_window,
                 core::BackoffConfig::fromString(policy), metric, runs,
-                seed));
+                seed);
+            row.push_back(cell);
+            if (report != nullptr) {
+                report->addMetric(std::string(metric_key) + ".n" +
+                                      std::to_string(n) + "." + policy,
+                                  cell);
+            }
         }
         table.addRow(std::to_string(n), row);
     }
     return table;
+}
+
+void
+addBarrierProfileSection(obs::RunReport &report, std::uint32_t n,
+                         std::uint64_t arrival_window,
+                         const std::string &policy, std::uint64_t runs,
+                         std::uint64_t seed)
+{
+    const auto summary = barrierSummary(
+        n, arrival_window, core::BackoffConfig::fromString(policy),
+        runs, seed);
+    obs::ProfileBuilder profile;
+    for (const auto &m : summary.moduleHeat)
+        profile.addModule(m);
+    profile.addWait("wait.n" + std::to_string(n) + "." + policy,
+                    summary.waitProfile.summary());
+    report.addSection("profile", profile.json());
+}
+
+void
+maybeWriteRunReport(const support::Options &opts,
+                    const obs::RunReport &report)
+{
+    if (!opts.has("report-out"))
+        return;
+    const std::string path = opts.get("report-out");
+    if (!report.writeFile(path)) {
+        std::fprintf(stderr, "failed to write run report to %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::printf("run report (%zu metrics) -> %s\n",
+                report.metricCount(), path.c_str());
 }
 
 void

@@ -16,6 +16,7 @@
 
 #include "core/backoff.hpp"
 #include "core/barrier_sim.hpp"
+#include "obs/run_report.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -42,16 +43,46 @@ enum class Metric
  * @param metric which metric to tabulate
  * @param runs episodes per configuration (paper: 100)
  * @param seed RNG seed
+ * @param report when non-null, every cell is also recorded as a
+ *        run-report metric "<accesses|wait>.n<N>.<policy>" so the
+ *        regression gate (scripts/check_regression.py) can compare
+ *        sweeps run-to-run
  * @return table with one row per N and one column per policy
  */
 support::Table barrierSweepTable(std::uint64_t arrival_window,
                                  Metric metric, std::uint64_t runs,
-                                 std::uint64_t seed);
+                                 std::uint64_t seed,
+                                 obs::RunReport *report = nullptr);
+
+/** Full episode summary for one (N, A, policy) cell. */
+core::EpisodeSummary barrierSummary(std::uint32_t n,
+                                    std::uint64_t arrival_window,
+                                    const core::BackoffConfig &backoff,
+                                    std::uint64_t runs,
+                                    std::uint64_t seed);
 
 /** Mean of the chosen metric for one (N, A, policy) cell. */
 double barrierCell(std::uint32_t n, std::uint64_t arrival_window,
                    const core::BackoffConfig &backoff, Metric metric,
                    std::uint64_t runs, std::uint64_t seed);
+
+/**
+ * Attach a contention profile ("profile" section) for one headline
+ * cell to @p report: per-module heat plus the waiting-time
+ * distribution (named "wait.n<N>.<policy>").
+ */
+void addBarrierProfileSection(obs::RunReport &report, std::uint32_t n,
+                              std::uint64_t arrival_window,
+                              const std::string &policy,
+                              std::uint64_t runs, std::uint64_t seed);
+
+/**
+ * Honour --report-out: when present, write @p report there and print
+ * a one-line confirmation.  Exits nonzero on I/O failure so a CI
+ * export can't fail silently.
+ */
+void maybeWriteRunReport(const support::Options &opts,
+                         const obs::RunReport &report);
 
 /** Print the standard bench header. */
 void printHeader(const std::string &title, const std::string &paper_ref);

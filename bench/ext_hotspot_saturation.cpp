@@ -17,11 +17,26 @@
  * switch ports leading to the hot module, then show how pacing the
  * pollers (the effect of flag backoff) restores the background
  * bandwidth.
+ *
+ * Exports (the attribution layer's showcase):
+ *
+ *   --report-out <path>  absync.run_report.v1 with every table cell
+ *                        as a metric plus a profile section holding
+ *                        the per-stage queue-occupancy series of the
+ *                        saturated run — the regression gate's input.
+ *   --trace-out <path>   absync.chrome_trace.v1 whose counter ("C")
+ *                        events draw those per-stage occupancies as
+ *                        tracks in chrome://tracing: tree saturation
+ *                        as a picture.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "common/bench_util.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/profile.hpp"
 #include "sim/buffered_multistage.hpp"
 #include "sim/multistage.hpp"
 
@@ -46,12 +61,23 @@ runCase(std::uint32_t pollers, std::uint32_t interval,
     return sim::MultistageNetwork(cfg).run();
 }
 
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good())
+        return false;
+    out << content;
+    return out.good();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"cycles", "seed"});
+    support::Options opts(
+        argc, argv, {"cycles", "seed", "report-out", "trace-out"});
     const auto cycles =
         static_cast<std::uint64_t>(opts.getInt("cycles", 20000));
     const auto seed =
@@ -62,10 +88,16 @@ main(int argc, char **argv)
                 "Agarwal & Cherian 1989, Sections 1/2.2; Pfister & "
                 "Norton hot spots");
 
+    obs::RunReport report("ext_hotspot_saturation",
+                          "Hot-spot tree saturation and its relief by "
+                          "poll pacing");
+
     const auto base = runCase(0, 0, cycles, seed);
     std::printf("\nno pollers: background throughput %.4f "
                 "req/cycle/proc, latency %.1f\n",
                 base.bgThroughput, base.bgLatency);
+    report.addMetric("circuit.base.bg_throughput", base.bgThroughput);
+    report.addMetric("circuit.base.bg_latency", base.bgLatency);
 
     std::printf("\nContinuously spinning pollers (no backoff):\n");
     support::Table t1({"pollers", "bg throughput", "bg latency",
@@ -77,6 +109,10 @@ main(int argc, char **argv)
                    support::fmt(st.bgLatency, 1),
                    support::fmt(st.bgLatency / base.bgLatency, 2) +
                        "x"});
+        const std::string key =
+            "circuit.pollers" + std::to_string(pollers);
+        report.addMetric(key + ".bg_latency", st.bgLatency);
+        report.addMetric(key + ".bg_throughput", st.bgThroughput);
     }
     std::printf("%s", t1.str().c_str());
 
@@ -91,6 +127,9 @@ main(int argc, char **argv)
                    support::fmt(st.bgLatency, 1),
                    support::fmt(st.bgLatency / base.bgLatency, 2) +
                        "x"});
+        report.addMetric("circuit.paced" + std::to_string(interval) +
+                             ".bg_latency",
+                         st.bgLatency);
     }
     std::printf("%s", t2.str().c_str());
 
@@ -117,21 +156,33 @@ main(int argc, char **argv)
                 "occupancy %.2f, network avg %.2f\n",
                 bbase.bgLatency, bbase.hotTreeOccupancy,
                 bbase.avgQueueOccupancy);
+    report.addMetric("buffered.base.bg_latency", bbase.bgLatency);
+    report.addMetric("buffered.base.hot_tree_occ",
+                     bbase.hotTreeOccupancy);
 
     support::Table t3({"configuration", "bg latency", "bg slowdown",
                        "hot-tree occ", "network occ"});
-    const auto addRow = [&](const char *label,
+    const auto addRow = [&](const char *label, const char *slug,
                             const sim::BufferedNetStats &st) {
         t3.addRow({label, support::fmt(st.bgLatency, 1),
                    support::fmt(st.bgLatency / bbase.bgLatency, 2) +
                        "x",
                    support::fmt(st.hotTreeOccupancy, 2),
                    support::fmt(st.avgQueueOccupancy, 2)});
+        const std::string key = std::string("buffered.") + slug;
+        report.addMetric(key + ".bg_latency", st.bgLatency);
+        report.addMetric(key + ".hot_tree_occ", st.hotTreeOccupancy);
+        report.addMetric(key + ".network_occ", st.avgQueueOccupancy);
     };
-    addRow("16 spinning pollers", runBuffered(16, 0, 0));
-    addRow("32 spinning pollers", runBuffered(32, 0, 0));
-    addRow("16 pollers, paced 128", runBuffered(16, 128, 0));
-    addRow("16 pollers + queue feedback", runBuffered(16, 0, 2));
+    // Keep the saturated run's stats: its per-stage occupancy series
+    // is the profile/trace showcase below.
+    const auto spin16 = runBuffered(16, 0, 0);
+    addRow("16 spinning pollers", "spin16", spin16);
+    addRow("32 spinning pollers", "spin32", runBuffered(32, 0, 0));
+    addRow("16 pollers, paced 128", "paced128",
+           runBuffered(16, 128, 0));
+    addRow("16 pollers + queue feedback", "feedback",
+           runBuffered(16, 0, 2));
     std::printf("%s", t3.str().c_str());
 
     std::printf("\nReading: in the circuit-switched model spinning "
@@ -143,5 +194,33 @@ main(int argc, char **argv)
                 "Introduction warns about.  Both poll pacing "
                 "(adaptive backoff) and Scott-Sohi queue feedback "
                 "drain the tree.\n");
+
+    if (obs::kTelemetryEnabled) {
+        std::printf("\nsaturated run (16 spinning pollers) occupancy "
+                    "profile: hot_tree peak %.2f mean %.2f, stage0 "
+                    "mean %.2f\n",
+                    spin16.occupancy.peak("hot_tree"),
+                    spin16.occupancy.mean("hot_tree"),
+                    spin16.occupancy.mean("stage0"));
+    }
+
+    obs::ProfileBuilder profile;
+    profile.addOccupancy(spin16.occupancy);
+    report.addSection("profile", profile.json());
+    maybeWriteRunReport(opts, report);
+
+    if (opts.has("trace-out")) {
+        const std::string path = opts.get("trace-out");
+        obs::TraceExportMeta meta;
+        for (const auto &series : spin16.occupancy.series())
+            meta.counters.push_back(series);
+        if (!writeFile(path, obs::chromeTraceJson({}, meta))) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("occupancy counter trace -> %s (open in "
+                    "chrome://tracing)\n",
+                    path.c_str());
+    }
     return 0;
 }

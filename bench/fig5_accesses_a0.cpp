@@ -16,7 +16,8 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    support::Options opts(argc, argv,
+                          {"runs", "seed", "csv", "report-out"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
@@ -25,8 +26,10 @@ main(int argc, char **argv)
     printHeader("Figure 5: net accesses per processor, A = 0",
                 "Agarwal & Cherian 1989, Figure 5 / Section 6.2");
 
+    obs::RunReport report("fig5_accesses_a0",
+                          "Figure 5: net accesses per processor, A=0");
     const auto table =
-        barrierSweepTable(0, Metric::Accesses, runs, seed);
+        barrierSweepTable(0, Metric::Accesses, runs, seed, &report);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 
@@ -46,5 +49,8 @@ main(int argc, char **argv)
                 (1.0 - var / none) * 100.0);
     std::printf("Paper: flag backoff (bases 2/4/8) \"made no "
                 "difference\" at A = 0 beyond the variable backoff.\n");
+
+    addBarrierProfileSection(report, 64, 0, "var", runs, seed);
+    maybeWriteRunReport(opts, report);
     return 0;
 }

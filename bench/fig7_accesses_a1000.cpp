@@ -13,7 +13,8 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    support::Options opts(argc, argv,
+                          {"runs", "seed", "csv", "report-out"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
@@ -22,8 +23,11 @@ main(int argc, char **argv)
     printHeader("Figure 7: net accesses per processor, A = 1000",
                 "Agarwal & Cherian 1989, Figure 7 / Section 6.2");
 
+    obs::RunReport report(
+        "fig7_accesses_a1000",
+        "Figure 7: net accesses per processor, A=1000");
     const auto table =
-        barrierSweepTable(1000, Metric::Accesses, runs, seed);
+        barrierSweepTable(1000, Metric::Accesses, runs, seed, &report);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 
@@ -46,5 +50,8 @@ main(int argc, char **argv)
     std::printf("  N<=32 var-only savings: measured %.1f%% at N=32 "
                 "(paper: \"virtually no savings\")\n",
                 (1.0 - cell(32, "var") / cell(32, "none")) * 100.0);
+
+    addBarrierProfileSection(report, 64, 1000, "exp2", runs, seed);
+    maybeWriteRunReport(opts, report);
     return 0;
 }

@@ -17,7 +17,8 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    support::Options opts(argc, argv,
+                          {"runs", "seed", "csv", "report-out"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
@@ -26,7 +27,10 @@ main(int argc, char **argv)
     printHeader("Figure 8: waiting time per processor, A = 0",
                 "Agarwal & Cherian 1989, Figure 8 / Section 7");
 
-    const auto table = barrierSweepTable(0, Metric::Wait, runs, seed);
+    obs::RunReport report("fig8_waiting_a0",
+                          "Figure 8: waiting time per processor, A=0");
+    const auto table =
+        barrierSweepTable(0, Metric::Wait, runs, seed, &report);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 
@@ -40,5 +44,8 @@ main(int argc, char **argv)
                 cell("none"), cell("var"), cell("exp2"), cell("exp8"));
     std::printf("Paper: \"for A = 0 ... the waiting times for all the "
                 "four curves are similar\".\n");
+
+    addBarrierProfileSection(report, 64, 0, "exp2", runs, seed);
+    maybeWriteRunReport(opts, report);
     return 0;
 }

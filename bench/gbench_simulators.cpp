@@ -4,9 +4,17 @@
  * episodes (or cycles) simulated per second.  A reproduction you
  * cannot iterate on quickly is a reproduction nobody sweeps; these
  * numbers tell users what parameter grids are affordable.
+ *
+ * Like gbench_runtime, every bench attaches telemetry-schema custom
+ * counters (tele.*) to its JSON output — here sourced from the
+ * simulators' episode results rather than the thread-local
+ * CounterRegistry, so BENCH_simulators.json carries the same
+ * per-episode traffic accounting as the runtime benches.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "coherence/coherence_sim.hpp"
 #include "core/barrier_sim.hpp"
@@ -22,6 +30,21 @@ using namespace absync;
 namespace
 {
 
+/** Attach an episode's counter snapshot as tele.<name>/episode
+ *  custom counters (last episode wins; episodes are seeded and
+ *  statistically identical). */
+void
+attachEpisodeCounters(benchmark::State &state,
+                      const obs::CounterSnapshot &counters)
+{
+    counters.forEach([&](const char *name, std::uint64_t v) {
+        if (v == 0)
+            return;
+        state.counters[std::string("tele.") + name + "/episode"] =
+            static_cast<double>(v);
+    });
+}
+
 void
 BM_BarrierEpisode(benchmark::State &state)
 {
@@ -30,9 +53,13 @@ BM_BarrierEpisode(benchmark::State &state)
     cfg.arrivalWindow = 1000;
     core::BarrierSimulator sim(cfg);
     support::Rng rng(1);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sim.runOnce(rng));
+    core::EpisodeResult last;
+    for (auto _ : state) {
+        last = sim.runOnce(rng);
+        benchmark::DoNotOptimize(last);
+    }
     state.SetItemsProcessed(state.iterations());
+    attachEpisodeCounters(state, last.counters);
 }
 
 void
@@ -44,9 +71,27 @@ BM_TreeBarrierEpisode(benchmark::State &state)
     cfg.arrivalWindow = 1000;
     core::TreeBarrierSimulator sim(cfg);
     support::Rng rng(1);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sim.runOnce(rng));
+    core::TreeEpisodeResult last;
+    for (auto _ : state) {
+        last = sim.runOnce(rng);
+        benchmark::DoNotOptimize(last);
+    }
     state.SetItemsProcessed(state.iterations());
+    // Tree episodes report per-processor vectors, not a snapshot:
+    // publish the same two headline quantities the runtime benches
+    // expose — total accesses and mean wait per episode.
+    std::uint64_t accesses = 0;
+    double wait_sum = 0.0;
+    for (const std::uint64_t a : last.accesses)
+        accesses += a;
+    for (const std::uint64_t w : last.waits)
+        wait_sum += static_cast<double>(w);
+    state.counters["tele.accesses/episode"] =
+        static_cast<double>(accesses);
+    state.counters["tele.wait_mean/episode"] =
+        last.waits.empty()
+            ? 0.0
+            : wait_sum / static_cast<double>(last.waits.size());
 }
 
 void
@@ -65,15 +110,19 @@ BM_OmegaNetwork(benchmark::State &state)
 void
 BM_BufferedNetwork(benchmark::State &state)
 {
+    sim::BufferedNetStats last;
     for (auto _ : state) {
         sim::BufferedNetConfig cfg;
         cfg.processors = 64;
         cfg.offeredLoad = 0.3;
         cfg.cycles = static_cast<std::uint64_t>(state.range(0));
-        benchmark::DoNotOptimize(
-            sim::BufferedMultistageNetwork(cfg).run());
+        last = sim::BufferedMultistageNetwork(cfg).run();
+        benchmark::DoNotOptimize(last);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["tele.delivered/run"] =
+        static_cast<double>(last.delivered);
+    state.counters["tele.avg_queue_occ/run"] = last.avgQueueOccupancy;
 }
 
 void
@@ -94,6 +143,13 @@ BM_ScheduleAndCoherence(benchmark::State &state)
             });
         benchmark::DoNotOptimize(refs);
         state.counters["refs"] = static_cast<double>(refs);
+        const coherence::CoherenceStats &st = sim.stats();
+        state.counters["tele.sync_refs/run"] =
+            static_cast<double>(st.syncRefs);
+        state.counters["tele.inval_messages/run"] =
+            static_cast<double>(st.invalMessages);
+        state.counters["tele.transactions/run"] =
+            static_cast<double>(st.totalTransactions());
     }
 }
 

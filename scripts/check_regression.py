@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over absync.run_report.v1 documents.
+
+Each baseline under bench/baselines/ pins one bench invocation (an
+``absync.bench_baseline.v1`` document): the command to run, and the
+expected value + tolerance for every gated metric.  The simulators are
+fully deterministic for a fixed seed, so fresh runs should land inside
+tight tolerances on any machine; a metric drifting outside its band
+means the *behaviour* of the reproduction changed, not the hardware.
+
+Usage:
+    scripts/check_regression.py --build build            # gate
+    scripts/check_regression.py --build build \
+        --write-baselines                                # (re)seed
+    scripts/check_regression.py --build build \
+        --inject bg_latency 3.0                          # self-test
+
+--inject multiplies every measured metric whose name contains the
+substring by the factor before comparing, so CI can prove the gate
+actually fails on a synthetic 3x regression.
+
+Exit status: 0 when every metric of every baseline is inside its
+band, 1 otherwise.  Each failing metric prints the offending
+baseline/measured pair and its allowed band.
+"""
+
+import argparse
+import json
+import pathlib
+import shlex
+import subprocess
+import sys
+
+BASELINE_SCHEMA = "absync.bench_baseline.v1"
+REPORT_SCHEMA = "absync.run_report.v1"
+
+# Fresh baselines pin every metric of the report with this band.
+# Deterministic simulators reproduce exactly on one machine; the
+# band absorbs libm/compiler differences across toolchains.
+DEFAULT_TOLERANCE_PCT = 2.0
+# Metrics near zero (occupancies, fractions) compare absolutely.
+DEFAULT_ABS_TOL = 1e-9
+
+# Benches gated by default when seeding: the figure reproductions at a
+# reduced --runs (cheap but still averaged) plus the hot-spot study.
+SEED_COMMANDS = {
+    "fig5_accesses_a0":
+        "{build}/bench/fig5_accesses_a0 --runs 25 --seed 3 "
+        "--report-out {report}",
+    "fig7_accesses_a1000":
+        "{build}/bench/fig7_accesses_a1000 --runs 25 --seed 7 "
+        "--report-out {report}",
+    "fig8_waiting_a0":
+        "{build}/bench/fig8_waiting_a0 --runs 25 --seed 11 "
+        "--report-out {report}",
+    "ext_hotspot_saturation":
+        "{build}/bench/ext_hotspot_saturation --cycles 20000 "
+        "--seed 19 --report-out {report}",
+}
+
+
+def run_bench(command, build, report_path):
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    cmd = command.format(build=build, report=report_path)
+    proc = subprocess.run(shlex.split(cmd), stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"bench failed ({cmd}):\n{proc.stdout}")
+    with open(report_path) as f:
+        report = json.load(f)
+    if report.get("schema") != REPORT_SCHEMA:
+        sys.exit(f"{report_path}: schema is {report.get('schema')!r},"
+                 f" expected {REPORT_SCHEMA!r}")
+    return report
+
+
+def check_baseline(baseline, measured, inject):
+    """Yield (name, expected, got, band_lo, band_hi) for failures."""
+    for name, spec in sorted(baseline["metrics"].items()):
+        if name not in measured:
+            yield (name, spec["value"], None, None, None)
+            continue
+        got = measured[name]
+        if inject and inject[0] in name:
+            got *= inject[1]
+        expected = spec["value"]
+        tol_pct = spec.get("tolerance_pct", DEFAULT_TOLERANCE_PCT)
+        abs_tol = spec.get("abs_tol", DEFAULT_ABS_TOL)
+        band = max(abs_tol, abs(expected) * tol_pct / 100.0)
+        direction = spec.get("direction", "both")
+        lo = -float("inf") if direction == "max" else expected - band
+        hi = float("inf") if direction == "min" else expected + band
+        if not (lo <= got <= hi):
+            yield (name, expected, got, lo, hi)
+
+
+def gate(args, baseline_paths):
+    failures = 0
+    for path in baseline_paths:
+        with open(path) as f:
+            baseline = json.load(f)
+        if baseline.get("schema") != BASELINE_SCHEMA:
+            sys.exit(f"{path}: schema is {baseline.get('schema')!r},"
+                     f" expected {BASELINE_SCHEMA!r}")
+        tool = baseline["tool"]
+        report_path = args.results / f"{tool}.report.json"
+        report = run_bench(baseline["command"], args.build,
+                           report_path)
+        bad = list(check_baseline(baseline, report["metrics"],
+                                  args.inject))
+        status = "FAIL" if bad else "ok"
+        print(f"{status:>4}  {tool}  "
+              f"({len(baseline['metrics'])} metrics, "
+              f"report: {report_path})")
+        for name, expected, got, lo, hi in bad:
+            failures += 1
+            if got is None:
+                print(f"      {name}: MISSING from report "
+                      f"(baseline {expected:.6g})")
+            else:
+                print(f"      {name}: baseline {expected:.6g}, "
+                      f"measured {got:.6g}, allowed "
+                      f"[{lo:.6g}, {hi:.6g}]")
+    if failures:
+        print(f"\n{failures} metric(s) outside their regression "
+              f"band", file=sys.stderr)
+        return 1
+    print("\nall baselines inside their regression bands")
+    return 0
+
+
+def write_baselines(args):
+    args.baselines.mkdir(parents=True, exist_ok=True)
+    for tool, command in sorted(SEED_COMMANDS.items()):
+        report_path = args.results / f"{tool}.report.json"
+        report = run_bench(command, args.build, report_path)
+        metrics = {
+            name: {"value": value,
+                   "tolerance_pct": DEFAULT_TOLERANCE_PCT}
+            for name, value in sorted(report["metrics"].items())
+        }
+        doc = {"schema": BASELINE_SCHEMA, "tool": tool,
+               "command": command, "metrics": metrics}
+        out = args.baselines / f"{tool}.json"
+        with open(out, "w") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+        print(f"seeded {out} ({len(metrics)} metrics)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build", type=pathlib.Path,
+                    help="CMake build directory holding bench/")
+    ap.add_argument("--baselines", default="bench/baselines",
+                    type=pathlib.Path)
+    ap.add_argument("--results", default="results/regression",
+                    type=pathlib.Path,
+                    help="where fresh run reports are written")
+    ap.add_argument("--inject", nargs=2, metavar=("SUBSTR", "FACTOR"),
+                    default=None,
+                    help="multiply measured metrics containing SUBSTR"
+                         " by FACTOR (gate self-test)")
+    ap.add_argument("--write-baselines", action="store_true",
+                    help="run the seed benches and (re)write the"
+                         " baseline files instead of gating")
+    args = ap.parse_args()
+    if args.inject:
+        args.inject = (args.inject[0], float(args.inject[1]))
+
+    if args.write_baselines:
+        write_baselines(args)
+        return 0
+
+    baseline_paths = sorted(args.baselines.glob("*.json"))
+    if not baseline_paths:
+        sys.exit(f"no baselines under {args.baselines}/ "
+                 f"(seed them with --write-baselines)")
+    return gate(args, baseline_paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -173,6 +173,13 @@ CoherenceSimulator::access(const trace::MpRef &ref)
     const std::uint32_t invals =
         cachedAccess(p, block, ref.write, tx);
     stats_.invalMessages += invals;
+    if (invals > 0) {
+        const obs::AddressClass cls =
+            ref.sync ? (ref.rmw ? obs::AddressClass::SyncCounter
+                                : obs::AddressClass::SyncFlag)
+                     : obs::AddressClass::Data;
+        stats_.invalFanout.record(cls, invals);
+    }
 
     if (ref.sync) {
         ++stats_.syncRefs;

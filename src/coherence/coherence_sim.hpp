@@ -41,6 +41,7 @@
 
 #include "coherence/cache.hpp"
 #include "coherence/directory.hpp"
+#include "obs/profile.hpp"
 #include "support/histogram.hpp"
 #include "trace/record.hpp"
 
@@ -94,6 +95,16 @@ struct CoherenceStats
     support::IntHistogram writeCleanInvalHist;
     /** Last cycle stamp seen in the stream (trace makespan). */
     std::uint64_t lastCycle = 0;
+
+    /**
+     * Invalidation fan-out by address class: every invalidating
+     * reference is attributed to sync-counter (sync RMW), sync-flag
+     * (sync non-RMW), or data, splitting writeCleanInvalHist's
+     * aggregate into the paper's Figure 1 story — the flag class
+     * carries the deep tail, data the shallow body.  Gated recorder:
+     * empty under ABSYNC_TELEMETRY=OFF.
+     */
+    obs::InvalFanoutProfile invalFanout;
 
     /** Fraction of sync references that caused invalidations. */
     double syncInvalidatingFraction() const;

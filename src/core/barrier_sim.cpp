@@ -397,6 +397,9 @@ BarrierSimulator::runOnce(support::Rng &rng,
         var_mod.totalGrants() + var_mod.totalDenials();
     res.flagModuleTraffic =
         flag_mod.totalGrants() + flag_mod.totalDenials();
+    res.moduleHeat.push_back(
+        var_mod.heat(cfg_.singleVariable ? "counter" : "variable"));
+    res.moduleHeat.push_back(flag_mod.heat("flag"));
     // Outcome counters, matching the runtime flat barriers: a timed-
     // out processor withdrew its arrival (withdrawal + timeout); every
     // other non-crashed processor completed the episode.
@@ -431,6 +434,14 @@ BarrierSimulator::runMany(std::uint64_t runs, std::uint64_t seed) const
             s.blockedProcs += p.blocked ? 1 : 0;
             s.timedOutProcs += p.timedOut ? 1 : 0;
             s.crashedProcs += p.crashed ? 1 : 0;
+            if (!p.crashed)
+                s.waitProfile.add(p.waitCycles);
+        }
+        if (s.moduleHeat.empty()) {
+            s.moduleHeat = res.moduleHeat;
+        } else {
+            for (std::size_t m = 0; m < s.moduleHeat.size(); ++m)
+                s.moduleHeat[m] += res.moduleHeat[m];
         }
     }
     s.runs = runs;

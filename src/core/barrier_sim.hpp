@@ -29,6 +29,7 @@
 
 #include "core/backoff.hpp"
 #include "obs/counters.hpp"
+#include "obs/profile.hpp"
 #include "sim/memory_module.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -146,6 +147,16 @@ struct EpisodeResult
      */
     obs::CounterSnapshot counters;
 
+    /**
+     * Per-module attribution for the episode, in module order:
+     * [0] the barrier variable's module (labelled "variable", or
+     * "counter" for the one-variable barrier where it is also the
+     * polled location), [1] the flag's module (labelled "flag";
+     * idle in one-variable mode).  Like `counters`, simulation
+     * output — filled in every build.
+     */
+    std::vector<obs::ModuleHeatSnapshot> moduleHeat;
+
     /** Mean network accesses per processor. */
     double avgAccesses() const;
     /** Mean waiting time per processor. */
@@ -164,6 +175,17 @@ struct EpisodeSummary
     std::uint64_t blockedProcs = 0;  ///< total blocked across runs
     std::uint64_t timedOutProcs = 0; ///< total timed out across runs
     std::uint64_t crashedProcs = 0;  ///< total crashed across runs
+
+    /** Per-module heat summed across runs (same order/labels as
+     *  EpisodeResult::moduleHeat). */
+    std::vector<obs::ModuleHeatSnapshot> moduleHeat;
+
+    /**
+     * Waiting-time distribution over every non-crashed processor in
+     * every run — the raw material behind the `wait` means.  Gated
+     * recorder: empty under ABSYNC_TELEMETRY=OFF.
+     */
+    obs::WaitProfile waitProfile;
 };
 
 /**

@@ -59,18 +59,37 @@ countArg(const char *key, std::uint64_t v)
 std::string
 chromeTraceJson(const std::vector<TraceEvent> &events)
 {
+    return chromeTraceJson(events, TraceExportMeta{});
+}
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events,
+                const TraceExportMeta &meta)
+{
     std::string out = "{\"traceEvents\":[\n";
     bool first = true;
 
+    // Normalize events and counter samples against a shared origin so
+    // the tracks line up in the viewer.
+    bool have_ts = false;
     std::uint64_t t0 = 0;
     std::uint64_t t_end = 0;
-    if (!events.empty()) {
-        t0 = events.front().ts;
-        for (const TraceEvent &e : events) {
-            t0 = std::min(t0, e.ts);
-            t_end = std::max(t_end, e.ts);
+    auto widen = [&](std::uint64_t ts) {
+        if (!have_ts) {
+            t0 = t_end = ts;
+            have_ts = true;
+        } else {
+            t0 = std::min(t0, ts);
+            t_end = std::max(t_end, ts);
         }
-    }
+    };
+    for (const TraceEvent &e : events)
+        widen(e.ts);
+    for (const CounterSeries &c : meta.counters)
+        for (const auto &[ts, v] : c.samples) {
+            (void)v;
+            widen(ts);
+        }
     t_end -= t0;
 
     // tid -> episode currently open on that track?
@@ -124,15 +143,40 @@ chromeTraceJson(const std::vector<TraceEvent> &events)
                  "\"args\":{\"truncated\":1}");
     }
 
+    // Counter tracks last: chrome://tracing sorts by ts, not by
+    // document order, and keeping them contiguous keeps the golden
+    // file readable.
+    for (const CounterSeries &c : meta.counters) {
+        const std::string name = jsonEscape(c.name);
+        for (const auto &[ts, v] : c.samples) {
+            char arg[64];
+            std::snprintf(arg, sizeof arg,
+                          "\"args\":{\"value\":%.4f}", v);
+            emit(out, first, "C", name.c_str(), 0, ts - t0, arg);
+        }
+    }
+
+    char dropped[96];
+    std::snprintf(dropped, sizeof dropped, ",\"dropped_events\":%llu",
+                  static_cast<unsigned long long>(meta.droppedEvents));
     out += "\n],\"displayTimeUnit\":\"ns\",";
-    out += "\"otherData\":{\"schema\":\"absync.chrome_trace.v1\"}}";
+    out += "\"otherData\":{\"schema\":\"absync.chrome_trace.v1\"";
+    out += dropped;
+    out += "}}";
     return out;
 }
 
 std::string
 chromeTraceFromRegistry()
 {
-    return chromeTraceJson(TraceRegistry::global().collect());
+    return chromeTraceFromRegistry(TraceExportMeta{});
+}
+
+std::string
+chromeTraceFromRegistry(TraceExportMeta meta)
+{
+    meta.droppedEvents = TraceRegistry::global().droppedEvents();
+    return chromeTraceJson(TraceRegistry::global().collect(), meta);
 }
 
 } // namespace absync::obs

@@ -17,13 +17,31 @@
 #ifndef ABSYNC_OBS_CHROME_TRACE_HPP
 #define ABSYNC_OBS_CHROME_TRACE_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp" // CounterSeries
 #include "obs/trace_ring.hpp"
 
 namespace absync::obs
 {
+
+/**
+ * Extra material attached to an exported trace:
+ *
+ *  - counters: named time series rendered as counter ("C") events on
+ *    pid 0 so e.g. per-stage queue occupancy draws as its own track
+ *    under the episode spans (timestamps share the events' clock and
+ *    are normalized together);
+ *  - droppedEvents: events lost to TraceRing wrap, published as
+ *    otherData.dropped_events so a truncated capture is visible.
+ */
+struct TraceExportMeta
+{
+    std::vector<CounterSeries> counters;
+    std::uint64_t droppedEvents = 0;
+};
 
 /**
  * Render @p events (time-sorted, e.g. TraceRegistry::collect()) as a
@@ -44,8 +62,18 @@ namespace absync::obs
  */
 std::string chromeTraceJson(const std::vector<TraceEvent> &events);
 
-/** chromeTraceJson over everything currently traced. */
+/** As above, with counter tracks and loss metadata attached. */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events,
+                            const TraceExportMeta &meta);
+
+/** chromeTraceJson over everything currently traced; fills
+ *  meta.droppedEvents from the registry's rings. */
 std::string chromeTraceFromRegistry();
+
+/** Registry export with caller-supplied counter tracks (the
+ *  registry's own dropped-event count still wins over
+ *  meta.droppedEvents). */
+std::string chromeTraceFromRegistry(TraceExportMeta meta);
 
 } // namespace absync::obs
 

@@ -75,8 +75,18 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
     // "<key>": and read the unsigned integer after it.  The "total"
     // object (registry form) lists every key before the "threads"
     // array, so first occurrence is always the total.
+    //
+    // Inputs may come from disk, so a malformed or truncated document
+    // must fail cleanly: every key must be present, its value must be
+    // a plain uint64 (no sign, fraction, exponent, or overflow), and
+    // the document is only committed to *out once fully validated.
+    if (out == nullptr)
+        return false;
+    CounterSnapshot parsed;
     bool ok = true;
-    out->forEachMut([&](const char *name, std::uint64_t &v) {
+    parsed.forEachMut([&](const char *name, std::uint64_t &v) {
+        if (!ok)
+            return;
         const std::string needle = std::string("\"") + name + "\":";
         const std::size_t at = json.find(needle);
         if (at == std::string::npos) {
@@ -95,11 +105,35 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
         std::uint64_t val = 0;
         while (p < json.size() &&
                std::isdigit(static_cast<unsigned char>(json[p]))) {
-            val = val * 10 + static_cast<std::uint64_t>(json[p] - '0');
+            const auto digit =
+                static_cast<std::uint64_t>(json[p] - '0');
+            constexpr std::uint64_t kMax = ~std::uint64_t{0};
+            if (val > kMax / 10 || val * 10 > kMax - digit) {
+                ok = false;
+                return;
+            }
+            val = val * 10 + digit;
             ++p;
+        }
+        // A truncated value (end of input mid-number) or a non-integer
+        // tail (".5", "e9", "junk") is a malformed document, not a
+        // value to round.
+        if (p >= json.size()) {
+            ok = false;
+            return;
+        }
+        std::size_t q = p;
+        while (q < json.size() &&
+               std::isspace(static_cast<unsigned char>(json[q])))
+            ++q;
+        if (q >= json.size() || (json[q] != ',' && json[q] != '}')) {
+            ok = false;
+            return;
         }
         v = val;
     });
+    if (ok)
+        *out = parsed;
     return ok;
 }
 

@@ -1,0 +1,338 @@
+#include "obs/profile.hpp"
+
+#include <cstdio>
+
+namespace absync::obs
+{
+
+namespace
+{
+
+/** Format a double for the schema: shortest round-trippable-ish
+ *  representation, no locale surprises. */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+std::string
+num(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+QuantileSummary::json() const
+{
+    std::string s = "{\"count\":" + num(count);
+    s += ",\"mean\":" + num(mean);
+    s += ",\"p50\":" + num(p50);
+    s += ",\"p90\":" + num(p90);
+    s += ",\"p99\":" + num(p99);
+    s += ",\"max\":" + num(max);
+    s += "}";
+    return s;
+}
+
+QuantileSummary
+summarizeHistogram(const support::IntHistogram &h)
+{
+    QuantileSummary s;
+    s.count = h.total();
+    if (s.count == 0)
+        return s;
+    double weighted = 0.0;
+    for (const auto &[v, c] : h.buckets())
+        weighted += static_cast<double>(v) * static_cast<double>(c);
+    s.mean = weighted / static_cast<double>(s.count);
+    s.p50 = h.percentile(0.50);
+    s.p90 = h.percentile(0.90);
+    s.p99 = h.percentile(0.99);
+    s.max = h.maxValue();
+    return s;
+}
+
+double
+ModuleHeatSnapshot::contention() const
+{
+    const std::uint64_t req = requests();
+    return req ? static_cast<double>(denials) /
+                     static_cast<double>(req)
+               : 0.0;
+}
+
+ModuleHeatSnapshot &
+ModuleHeatSnapshot::operator+=(const ModuleHeatSnapshot &o)
+{
+    grants += o.grants;
+    denials += o.denials;
+    stallCycles += o.stallCycles;
+    return *this;
+}
+
+std::string
+ModuleHeatSnapshot::json() const
+{
+    std::string s = "{\"label\":\"" + jsonEscape(label) + "\"";
+    s += ",\"grants\":" + num(grants);
+    s += ",\"denials\":" + num(denials);
+    s += ",\"stall_cycles\":" + num(stallCycles);
+    s += ",\"contention\":" + num(contention());
+    s += "}";
+    return s;
+}
+
+double
+CounterSeries::peak() const
+{
+    double best = 0.0;
+    for (const auto &[ts, v] : samples) {
+        (void)ts;
+        if (v > best)
+            best = v;
+    }
+    return best;
+}
+
+double
+CounterSeries::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[ts, v] : samples) {
+        (void)ts;
+        sum += v;
+    }
+    return sum / static_cast<double>(samples.size());
+}
+
+const char *
+addressClassName(AddressClass cls)
+{
+    switch (cls) {
+    case AddressClass::SyncCounter:
+        return "sync_counter";
+    case AddressClass::SyncFlag:
+        return "sync_flag";
+    case AddressClass::Data:
+        return "data";
+    }
+    return "unknown";
+}
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+void
+WaitProfile::merge(const WaitProfile &o)
+{
+    for (const auto &[v, c] : o.hist_.buckets())
+        hist_.add(v, c);
+}
+
+void
+StageOccupancyProfile::sample(const std::string &series,
+                              std::uint64_t ts, double value)
+{
+    for (auto &s : series_) {
+        if (s.name == series) {
+            s.samples.emplace_back(ts, value);
+            return;
+        }
+    }
+    CounterSeries fresh;
+    fresh.name = series;
+    fresh.samples.emplace_back(ts, value);
+    series_.push_back(std::move(fresh));
+}
+
+double
+StageOccupancyProfile::peak(const std::string &series) const
+{
+    for (const auto &s : series_)
+        if (s.name == series)
+            return s.peak();
+    return 0.0;
+}
+
+double
+StageOccupancyProfile::mean(const std::string &series) const
+{
+    for (const auto &s : series_)
+        if (s.name == series)
+            return s.mean();
+    return 0.0;
+}
+
+void
+InvalFanoutProfile::record(AddressClass cls, std::uint32_t messages)
+{
+    hist_[static_cast<std::size_t>(cls)].add(messages);
+}
+
+std::uint64_t
+InvalFanoutProfile::events(AddressClass cls) const
+{
+    return hist_[static_cast<std::size_t>(cls)].total();
+}
+
+std::uint64_t
+InvalFanoutProfile::messages(AddressClass cls) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[v, c] :
+         hist_[static_cast<std::size_t>(cls)].buckets())
+        sum += v * c;
+    return sum;
+}
+
+QuantileSummary
+InvalFanoutProfile::fanout(AddressClass cls) const
+{
+    return summarizeHistogram(hist_[static_cast<std::size_t>(cls)]);
+}
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+void
+ProfileBuilder::addModule(const ModuleHeatSnapshot &m)
+{
+    modules_.push_back(m);
+}
+
+void
+ProfileBuilder::addWait(const std::string &name,
+                        const QuantileSummary &s)
+{
+    waits_.emplace_back(name, s);
+}
+
+void
+ProfileBuilder::addOccupancy(const StageOccupancyProfile &p)
+{
+    // Copy the series out of the (possibly gated) recorder; under
+    // ABSYNC_TELEMETRY=OFF series() is empty and nothing is added.
+    for (const auto &s : p.series())
+        occupancy_.push_back(s);
+}
+
+void
+ProfileBuilder::addInvalFanout(const InvalFanoutProfile &p)
+{
+    static constexpr AddressClass kClasses[] = {
+        AddressClass::SyncCounter,
+        AddressClass::SyncFlag,
+        AddressClass::Data,
+    };
+    for (const AddressClass cls : kClasses) {
+        if (p.events(cls) == 0)
+            continue;
+        fanout_.push_back({addressClassName(cls), p.events(cls),
+                           p.messages(cls), p.fanout(cls)});
+    }
+}
+
+std::string
+ProfileBuilder::json() const
+{
+    std::string s = "{\"schema\":\"absync.profile.v1\"";
+
+    s += ",\"modules\":[";
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        if (i > 0)
+            s += ",";
+        s += modules_[i].json();
+    }
+    s += "]";
+
+    s += ",\"waits\":{";
+    for (std::size_t i = 0; i < waits_.size(); ++i) {
+        if (i > 0)
+            s += ",";
+        s += "\"" + jsonEscape(waits_[i].first) +
+             "\":" + waits_[i].second.json();
+    }
+    s += "}";
+
+    s += ",\"occupancy\":{";
+    for (std::size_t i = 0; i < occupancy_.size(); ++i) {
+        const CounterSeries &c = occupancy_[i];
+        if (i > 0)
+            s += ",";
+        s += "\"" + jsonEscape(c.name) + "\":{";
+        s += "\"mean\":" + num(c.mean());
+        s += ",\"peak\":" + num(c.peak());
+        s += ",\"samples\":[";
+        for (std::size_t j = 0; j < c.samples.size(); ++j) {
+            if (j > 0)
+                s += ",";
+            s += "[" + num(c.samples[j].first) + "," +
+                 num(c.samples[j].second) + "]";
+        }
+        s += "]}";
+    }
+    s += "}";
+
+    s += ",\"inval_fanout\":{";
+    for (std::size_t i = 0; i < fanout_.size(); ++i) {
+        const FanoutRow &r = fanout_[i];
+        if (i > 0)
+            s += ",";
+        s += "\"" + jsonEscape(r.cls) + "\":{";
+        s += "\"events\":" + num(r.events);
+        s += ",\"messages\":" + num(r.messages);
+        s += ",\"fanout\":" + r.fanout.json();
+        s += "}";
+    }
+    s += "}";
+
+    s += "}";
+    return s;
+}
+
+} // namespace absync::obs

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Contention attribution and hot-spot profiling.
+ *
+ * PR 3's counters answer *how much* synchronization traffic a run
+ * generated; this layer answers *where it landed and how it was
+ * distributed* — the paper's actual argument.  Hot memory modules
+ * saturate the switch-queue tree feeding them (Pfister & Norton,
+ * reproduced by `ext_hotspot_saturation`), barrier-flag writes fan
+ * invalidations out to every cache (Figure 1), and the waiting-time
+ * *distributions* behind the Figure 8-10 means tell whether a backoff
+ * policy trades a good median for a terrible tail.
+ *
+ * Three kinds of artifact:
+ *
+ *  - **snapshot/schema types** (QuantileSummary, ModuleHeatSnapshot,
+ *    CounterSeries) — plain data, always compiled, the exchange
+ *    format between simulators and expositions, exactly like
+ *    CounterSnapshot in counters.hpp;
+ *
+ *  - **recorders** (WaitProfile, StageOccupancyProfile,
+ *    InvalFanoutProfile) — accumulate samples during a run; with
+ *    ABSYNC_TELEMETRY=OFF they become empty structs whose methods
+ *    vanish (static_assert-pinned in tests/obs/test_profile.cpp);
+ *
+ *  - **ProfileBuilder** — renders snapshots into one versioned
+ *    `absync.profile.v1` JSON section, embedded by run_report.hpp
+ *    into `absync.run_report.v1` documents.
+ */
+
+#ifndef ABSYNC_OBS_PROFILE_HPP
+#define ABSYNC_OBS_PROFILE_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp" // ABSYNC_TELEMETRY_ENABLED
+#include "support/histogram.hpp"
+
+namespace absync::obs
+{
+
+/** Escape a string for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+// ---------------------------------------------------------------------
+// Snapshot / schema types: always available, even in no-op builds.
+// ---------------------------------------------------------------------
+
+/**
+ * Distribution summary of a non-negative integer sample population
+ * (waiting cycles, invalidation fan-out, ...).  Percentiles follow
+ * IntHistogram::percentile: the smallest recorded value covering the
+ * requested fraction of the mass.
+ */
+struct QuantileSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+
+    bool operator==(const QuantileSummary &o) const = default;
+
+    /** {"count":N,"mean":x,"p50":N,"p90":N,"p99":N,"max":N} */
+    std::string json() const;
+};
+
+/** Summarize @p h into count/mean/p50/p90/p99/max. */
+QuantileSummary summarizeHistogram(const support::IntHistogram &h);
+
+/**
+ * Per-module attribution: how one memory module's cycles were spent.
+ * Filled by sim::MemoryModule::heat() from its lifetime tallies, so
+ * — like EpisodeResult.counters — it is simulation *output* and is
+ * available in every build.
+ */
+struct ModuleHeatSnapshot
+{
+    /** What the module holds ("variable", "flag", "counter", ...). */
+    std::string label;
+    /** Accesses granted (exactly one per busy cycle). */
+    std::uint64_t grants = 0;
+    /** Accesses denied by contention (retried next cycle). */
+    std::uint64_t denials = 0;
+    /** Cycles an injected stall denied every requester. */
+    std::uint64_t stallCycles = 0;
+
+    /** Total requests that hit the module (grants + denials). */
+    std::uint64_t requests() const { return grants + denials; }
+
+    /** Denied fraction of all requests: 0 = uncontended, ->1 = hot. */
+    double contention() const;
+
+    /** Fold another episode's tallies for the same module into this
+     *  one (label is kept; callers pair snapshots positionally). */
+    ModuleHeatSnapshot &operator+=(const ModuleHeatSnapshot &o);
+
+    std::string json() const;
+};
+
+/**
+ * One named value-over-time series, rendered by chrome_trace.hpp as
+ * counter ("C") events so hot-spot build-up is visible on its own
+ * track next to the episode spans.
+ */
+struct CounterSeries
+{
+    std::string name;
+    /** (timestamp, value) pairs in non-decreasing timestamp order. */
+    std::vector<std::pair<std::uint64_t, double>> samples;
+
+    /** Largest sampled value; 0 when empty. */
+    double peak() const;
+    /** Arithmetic mean of the sampled values; 0 when empty. */
+    double mean() const;
+};
+
+/** Address classes for invalidation attribution (paper Section 2):
+ *  barrier counters are the F&A hot spot, flags are the broadcast
+ *  hot spot, everything else is data. */
+enum class AddressClass : std::uint8_t
+{
+    SyncCounter = 0, ///< sync RMW target (barrier variable, F&A word)
+    SyncFlag = 1,    ///< sync non-RMW target (flag / sense word)
+    Data = 2,        ///< ordinary shared or private data
+};
+
+/** Schema name of @p cls ("sync_counter", "sync_flag", "data"). */
+const char *addressClassName(AddressClass cls);
+
+inline constexpr std::size_t kAddressClasses = 3;
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------
+// Recorders: accumulate during a run; compiled out under =OFF.
+// ---------------------------------------------------------------------
+
+/**
+ * Waiting-time distribution accumulator.  Feed per-processor (or
+ * per-thread) waiting cycles per episode; summary() yields the
+ * p50/p90/p99/max profile that turns the Figure 8-10 means back into
+ * distributions.
+ */
+class WaitProfile
+{
+  public:
+    /** Record one wait of @p cycles. */
+    void add(std::uint64_t cycles) { hist_.add(cycles); }
+
+    /** Fold another profile's samples into this one. */
+    void merge(const WaitProfile &o);
+
+    /** Samples recorded so far. */
+    std::uint64_t count() const { return hist_.total(); }
+
+    QuantileSummary summary() const { return summarizeHistogram(hist_); }
+
+    void clear() { hist_.clear(); }
+
+  private:
+    support::IntHistogram hist_;
+};
+
+/**
+ * Named occupancy time series, sampled by the cycle-driven simulators
+ * (one series per network stage plus the hot-module tree).  Values
+ * are occupancy fractions in [0, 1]; timestamps are simulator cycles.
+ */
+class StageOccupancyProfile
+{
+  public:
+    /** Append one observation to @p series (created on first use). */
+    void sample(const std::string &series, std::uint64_t ts,
+                double value);
+
+    /** All series, in first-sample order. */
+    const std::vector<CounterSeries> &series() const { return series_; }
+
+    bool empty() const { return series_.empty(); }
+
+    /** Peak value of @p series; 0 when the series does not exist. */
+    double peak(const std::string &series) const;
+
+    /** Mean value of @p series; 0 when the series does not exist. */
+    double mean(const std::string &series) const;
+
+  private:
+    std::vector<CounterSeries> series_;
+};
+
+/**
+ * Invalidation fan-out attribution: for each address class, a
+ * histogram over "this reference's processing sent k invalidation
+ * messages" events (k >= 1).  The sync-flag class's deep tail is the
+ * paper's Figure 1 headline; the data class is its shallow body.
+ */
+class InvalFanoutProfile
+{
+  public:
+    /** Record one invalidating reference of class @p cls that sent
+     *  @p messages invalidations (callers skip zero-fan-out refs). */
+    void record(AddressClass cls, std::uint32_t messages);
+
+    /** Invalidating references recorded for @p cls. */
+    std::uint64_t events(AddressClass cls) const;
+
+    /** Total invalidation messages attributed to @p cls. */
+    std::uint64_t messages(AddressClass cls) const;
+
+    /** Fan-out distribution for @p cls. */
+    QuantileSummary fanout(AddressClass cls) const;
+
+  private:
+    support::IntHistogram hist_[kAddressClasses];
+};
+
+#else // !ABSYNC_TELEMETRY_ENABLED
+
+/** No-op stand-ins: recording vanishes, summaries read empty. */
+class WaitProfile
+{
+  public:
+    void add(std::uint64_t) {}
+    void merge(const WaitProfile &) {}
+    std::uint64_t count() const { return 0; }
+    QuantileSummary summary() const { return {}; }
+    void clear() {}
+};
+
+class StageOccupancyProfile
+{
+  public:
+    void sample(const std::string &, std::uint64_t, double) {}
+    std::vector<CounterSeries> series() const { return {}; }
+    bool empty() const { return true; }
+    double peak(const std::string &) const { return 0.0; }
+    double mean(const std::string &) const { return 0.0; }
+};
+
+class InvalFanoutProfile
+{
+  public:
+    void record(AddressClass, std::uint32_t) {}
+    std::uint64_t events(AddressClass) const { return 0; }
+    std::uint64_t messages(AddressClass) const { return 0; }
+    QuantileSummary fanout(AddressClass) const { return {}; }
+};
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+/**
+ * Renders snapshots into one `absync.profile.v1` JSON section:
+ *
+ * {"schema":"absync.profile.v1",
+ *  "modules":[{"label":...,"grants":...,"denials":...,
+ *              "stall_cycles":...,"contention":...},...],
+ *  "waits":{"<name>":{"count":...,"mean":...,"p50":...,...},...},
+ *  "occupancy":{"<series>":{"mean":...,"peak":...,
+ *               "samples":[[ts,value],...]},...},
+ *  "inval_fanout":{"<class>":{"events":...,"messages":...,
+ *                  "fanout":{...quantiles...}},...}}
+ *
+ * Exposition only — always compiled; with telemetry off the gated
+ * recorders hand it empty snapshots and the section renders empty.
+ */
+class ProfileBuilder
+{
+  public:
+    void addModule(const ModuleHeatSnapshot &m);
+    void addWait(const std::string &name, const QuantileSummary &s);
+    void addOccupancy(const StageOccupancyProfile &p);
+    void addInvalFanout(const InvalFanoutProfile &p);
+
+    /** The assembled absync.profile.v1 object. */
+    std::string json() const;
+
+  private:
+    std::vector<ModuleHeatSnapshot> modules_;
+    std::vector<std::pair<std::string, QuantileSummary>> waits_;
+    std::vector<CounterSeries> occupancy_;
+    /** (class name, events, messages, fanout) rows. */
+    struct FanoutRow
+    {
+        std::string cls;
+        std::uint64_t events;
+        std::uint64_t messages;
+        QuantileSummary fanout;
+    };
+    std::vector<FanoutRow> fanout_;
+};
+
+} // namespace absync::obs
+
+#endif // ABSYNC_OBS_PROFILE_HPP

@@ -1,0 +1,85 @@
+#include "obs/run_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/counters.hpp" // kTelemetryEnabled
+#include "obs/profile.hpp"  // jsonEscape
+
+namespace absync::obs
+{
+
+RunReport::RunReport(std::string tool, std::string title)
+    : tool_(std::move(tool)), title_(std::move(title))
+{
+}
+
+void
+RunReport::addMetric(const std::string &name, double value)
+{
+    for (auto &[n, v] : metrics_) {
+        if (n == name) {
+            v = value;
+            return;
+        }
+    }
+    metrics_.emplace_back(name, value);
+}
+
+void
+RunReport::addSection(const std::string &name,
+                      const std::string &rawJson)
+{
+    for (auto &[n, j] : sections_) {
+        if (n == name) {
+            j = rawJson;
+            return;
+        }
+    }
+    sections_.emplace_back(name, rawJson);
+}
+
+std::string
+RunReport::json() const
+{
+    std::string s = "{\"schema\":\"absync.run_report.v1\"";
+    s += ",\"tool\":\"" + jsonEscape(tool_) + "\"";
+    s += ",\"title\":\"" + jsonEscape(title_) + "\"";
+    s += ",\"paper_ref\":\"Agarwal & Cherian, ISCA 1989\"";
+    s += ",\"telemetry\":";
+    s += kTelemetryEnabled ? "true" : "false";
+
+    s += ",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (i > 0)
+            s += ",";
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.9g", metrics_[i].second);
+        s += "\"" + jsonEscape(metrics_[i].first) + "\":" + buf;
+    }
+    s += "}";
+
+    s += ",\"sections\":{";
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        if (i > 0)
+            s += ",";
+        s += "\"" + jsonEscape(sections_[i].first) +
+             "\":" + sections_[i].second;
+    }
+    s += "}";
+
+    s += "}";
+    return s;
+}
+
+bool
+RunReport::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << json() << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace absync::obs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unified machine-readable run reports (`absync.run_report.v1`).
+ *
+ * Every exposition that prints a table — the fig* benches,
+ * ext_hotspot_saturation, run_benches.sh — historically emitted
+ * free-form text, so nothing downstream could diff two runs.  A
+ * RunReport collects named scalar metrics (the numbers a regression
+ * gate can compare, see scripts/check_regression.py) plus embedded
+ * JSON sections (an absync.profile.v1 profile, a counter-registry
+ * snapshot) into one versioned document:
+ *
+ * {"schema":"absync.run_report.v1",
+ *  "tool":"fig5_accesses_a0",
+ *  "title":"Figure 5 ...",
+ *  "paper_ref":"Agarwal & Cherian, ISCA 1989",
+ *  "telemetry":true,
+ *  "metrics":{"accesses.n64.none":160.23,...},
+ *  "sections":{"profile":{...},...}}
+ *
+ * Exposition only: always compiled, independent of ABSYNC_TELEMETRY
+ * (a report of deterministic simulator outputs is just as valid in a
+ * no-op-telemetry build; the "telemetry" field records which).
+ */
+
+#ifndef ABSYNC_OBS_RUN_REPORT_HPP
+#define ABSYNC_OBS_RUN_REPORT_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace absync::obs
+{
+
+class RunReport
+{
+  public:
+    /**
+     * @param tool machine name of the producing binary
+     * @param title human-readable one-liner
+     */
+    RunReport(std::string tool, std::string title);
+
+    /** Record one comparable scalar.  Names are dotted paths, e.g.
+     *  "accesses.n64.exp2"; later duplicates overwrite. */
+    void addMetric(const std::string &name, double value);
+
+    /** Embed a raw JSON object under sections.<name>.  @p rawJson
+     *  must already be valid JSON (object, array, or scalar). */
+    void addSection(const std::string &name,
+                    const std::string &rawJson);
+
+    /** Number of metrics recorded so far. */
+    std::size_t metricCount() const { return metrics_.size(); }
+
+    /** The assembled absync.run_report.v1 document. */
+    std::string json() const;
+
+    /** Write json() to @p path; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::string tool_;
+    std::string title_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+} // namespace absync::obs
+
+#endif // ABSYNC_OBS_RUN_REPORT_HPP

@@ -129,6 +129,16 @@ TraceRegistry::clear()
         ring->reset();
 }
 
+std::uint64_t
+TraceRegistry::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t dropped = 0;
+    for (const auto &ring : rings_)
+        dropped += ring->droppedEvents();
+    return dropped;
+}
+
 #else // !ABSYNC_TELEMETRY_ENABLED
 
 bool
@@ -156,6 +166,12 @@ TraceRegistry::collect() const
 void
 TraceRegistry::clear()
 {
+}
+
+std::uint64_t
+TraceRegistry::droppedEvents() const
+{
+    return 0;
 }
 
 #endif // ABSYNC_TELEMETRY_ENABLED

@@ -103,6 +103,19 @@ class TraceRing
         return head_.load(std::memory_order_acquire);
     }
 
+    /** Ring size in events (the requested capacity rounded up to a
+     *  power of two). */
+    std::uint64_t capacity() const { return mask_ + 1; }
+
+    /** Events lost to ring wrap: every record beyond capacity
+     *  overwrote the then-oldest event. */
+    std::uint64_t
+    droppedEvents() const
+    {
+        const std::uint64_t n = recorded();
+        return n > capacity() ? n - capacity() : 0;
+    }
+
     /** Drop contents (producer must be quiescent). */
     void
     reset()
@@ -154,6 +167,11 @@ class TraceRegistry
 
     /** Drop every ring's contents. */
     void clear();
+
+    /** Events lost to ring wrap, summed across all rings since the
+     *  last enable()/clear().  Surfaced by the chrome-trace exporter
+     *  so truncated captures are visible, not silent. */
+    std::uint64_t droppedEvents() const;
 
 #if ABSYNC_TELEMETRY_ENABLED
     /** The calling thread's ring (created on demand; internal). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <string>
 
 #include "support/fault.hpp"
 
@@ -64,6 +65,13 @@ BufferedMultistageNetwork::run()
     const auto isPoller = [&](std::uint32_t p) {
         return p < cfg_.hotPollers;
     };
+
+    // Occupancy-series decimation stride; 0 when series disabled.
+    const std::uint64_t sample_every =
+        cfg_.occupancySamples > 0
+            ? std::max<std::uint64_t>(
+                  1, cfg_.cycles / cfg_.occupancySamples)
+            : 0;
 
     // Round-robin priority toggles, one per switch output port.
     std::vector<std::uint8_t> rr(queues_.size(), 0);
@@ -198,27 +206,45 @@ BufferedMultistageNetwork::run()
                       (isPoller(idx) ? cfg_.hotPollInterval : 0);
         }
 
-        // 4. Occupancy sampling.
+        // 4. Occupancy sampling.  The scalar means observe every
+        // cycle; the per-stage time series is decimated to
+        // occupancySamples points so exports stay bounded.
+        const bool sample_series =
+            sample_every > 0 && now % sample_every == 0;
         std::uint64_t total = 0;
         std::uint64_t hot = 0;
         std::uint64_t hot_slots = 0;
         for (std::uint32_t s = 0; s < stages_; ++s) {
             const std::uint32_t hot_mask = (1u << (s + 1)) - 1;
+            std::uint64_t stage_total = 0;
             for (std::uint32_t x = 0; x < n; ++x) {
                 const auto sz = queues_[qIndex(s, x)].size();
-                total += sz;
+                stage_total += sz;
                 if ((x & hot_mask) == 0) {
                     hot += sz;
                     hot_slots += cfg_.queueCapacity;
                 }
             }
+            total += stage_total;
+            if (sample_series) {
+                st.occupancy.sample(
+                    "stage" + std::to_string(s), now,
+                    static_cast<double>(stage_total) /
+                        static_cast<double>(
+                            static_cast<std::uint64_t>(n) *
+                            cfg_.queueCapacity));
+            }
         }
+        const double hot_frac =
+            hot_slots ? static_cast<double>(hot) /
+                            static_cast<double>(hot_slots)
+                      : 0.0;
+        if (sample_series)
+            st.occupancy.sample("hot_tree", now, hot_frac);
         occupancy.add(static_cast<double>(total) /
                       static_cast<double>(queues_.size() *
                                           cfg_.queueCapacity));
-        hot_occ.add(hot_slots ? static_cast<double>(hot) /
-                                    static_cast<double>(hot_slots)
-                              : 0.0);
+        hot_occ.add(hot_frac);
     }
 
     for (const auto &q : queues_)

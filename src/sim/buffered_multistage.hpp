@@ -35,6 +35,7 @@
 #include <deque>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -77,6 +78,17 @@ struct BufferedNetConfig
     std::uint64_t seed = 1;
 
     /**
+     * Target number of points in each per-stage occupancy time
+     * series (BufferedNetStats::occupancy): the run samples every
+     * cycles/occupancySamples cycles.  The scalar occupancy means
+     * still average *every* cycle; this only bounds the exported
+     * series so a 20k-cycle run doesn't emit 20k counter events per
+     * stage.  0 disables the series (telemetry builds only; under
+     * ABSYNC_TELEMETRY=OFF the recorder is a no-op regardless).
+     */
+    std::uint32_t occupancySamples = 256;
+
+    /**
      * Optional fault schedule (not owned).  A dropped packet is lost
      * at injection (the fire-and-forget sender never notices); a
      * delayed packet occupies its destination module for extra
@@ -113,6 +125,16 @@ struct BufferedNetStats
     std::uint64_t droppedPackets = 0;
     /** Packets an injected fault slowed at their module. */
     std::uint64_t delayedPackets = 0;
+
+    /**
+     * Sampled queue-occupancy time series: one "stage<k>" series per
+     * network stage plus "hot_tree" (the queues on the tree toward
+     * module 0) — tree saturation as a picture, exportable as
+     * chrome-trace counter tracks.  Gated recorder: empty under
+     * ABSYNC_TELEMETRY=OFF.  Cadence set by
+     * BufferedNetConfig::occupancySamples.
+     */
+    obs::StageOccupancyProfile occupancy;
 };
 
 /**

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "support/rng.hpp"
 
 namespace absync::support
@@ -99,6 +100,23 @@ class MemoryModule
 
     /** Cycles in which an injected stall denied every requester. */
     std::uint64_t totalStallCycles() const { return total_stalls_; }
+
+    /**
+     * Lifetime tallies as an attribution snapshot, labelled with what
+     * this module holds ("variable", "flag", ...).  Simulation output
+     * like the grant/denial totals themselves — available in every
+     * build, see obs::ModuleHeatSnapshot.
+     */
+    obs::ModuleHeatSnapshot
+    heat(std::string label) const
+    {
+        obs::ModuleHeatSnapshot m;
+        m.label = std::move(label);
+        m.grants = total_grants_;
+        m.denials = total_denials_;
+        m.stallCycles = total_stalls_;
+        return m;
+    }
 
     /**
      * Attach a fault plan: in every cycle the plan marks stalled for

@@ -77,6 +77,36 @@ class IntHistogram
         return counts_.empty() ? 0 : counts_.rbegin()->first;
     }
 
+    /**
+     * Percentile @p p in [0, 1]: the smallest recorded value whose
+     * cumulative count covers at least a @p p fraction of the total
+     * mass (nearest-rank).  0 when empty; maxValue() when p >= 1.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        if (!total_)
+            return 0;
+        if (p <= 0.0)
+            return counts_.begin()->first;
+        if (p >= 1.0)
+            return maxValue();
+        // Nearest-rank target: ceil(p * total), at least 1.
+        const double scaled = p * static_cast<double>(total_);
+        std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+        if (static_cast<double>(rank) < scaled)
+            ++rank;
+        if (rank == 0)
+            rank = 1;
+        std::uint64_t acc = 0;
+        for (const auto &[v, c] : counts_) {
+            acc += c;
+            if (acc >= rank)
+                return v;
+        }
+        return maxValue();
+    }
+
     /** All (value, count) pairs in ascending value order. */
     const std::map<std::uint64_t, std::uint64_t> &
     buckets() const

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Fuzz-style negative tests for parseCounterSnapshot.  The parser is
+ * a tolerant scanner over this library's own JSON output, but "our
+ * own output" includes documents that crossed a pipe, were truncated
+ * by a full disk, or were hand-edited — it must reject garbage with
+ * `false`, never crash, and never half-write the output snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace obs = absync::obs;
+
+namespace
+{
+
+obs::CounterSnapshot
+sample()
+{
+    obs::CounterSnapshot s;
+    s.flagPolls = 12;
+    s.counterRmws = 34;
+    s.backoffRequested = 56;
+    s.backoffWaited = 55;
+    s.parks = 1;
+    s.wakes = 2;
+    s.withdrawals = 3;
+    s.timeouts = 4;
+    s.episodes = 5;
+    s.acquires = 6;
+    return s;
+}
+
+/** A sentinel-filled snapshot to detect partial writes. */
+obs::CounterSnapshot
+poison()
+{
+    obs::CounterSnapshot s;
+    s.forEachMut([](const char *, std::uint64_t &v) { v = 999; });
+    return s;
+}
+
+bool
+isPoisoned(const obs::CounterSnapshot &s)
+{
+    bool all = true;
+    s.forEach([&](const char *, std::uint64_t v) {
+        if (v != 999)
+            all = false;
+    });
+    return all;
+}
+
+} // namespace
+
+TEST(CounterFuzz, RoundTripStillParses)
+{
+    const obs::CounterSnapshot in = sample();
+    obs::CounterSnapshot out;
+    ASSERT_TRUE(obs::parseCounterSnapshot(in.json(), &out));
+    EXPECT_EQ(out, in);
+}
+
+TEST(CounterFuzz, WhitespaceVariantsParse)
+{
+    obs::CounterSnapshot out;
+    EXPECT_TRUE(obs::parseCounterSnapshot(
+        "{ \"flag_polls\": 1 ,\n \"counter_rmws\":2,\n"
+        "\"backoff_requested\":3, \"backoff_waited\":4,\n"
+        "\"parks\":5, \"wakes\":6, \"withdrawals\":7,\n"
+        "\"timeouts\":8, \"episodes\":9, \"acquires\":10 }",
+        &out));
+    EXPECT_EQ(out.flagPolls, 1u);
+    EXPECT_EQ(out.acquires, 10u);
+}
+
+TEST(CounterFuzz, NullOutputPointerIsRejected)
+{
+    EXPECT_FALSE(
+        obs::parseCounterSnapshot(sample().json(), nullptr));
+}
+
+TEST(CounterFuzz, MalformedDocumentsAreRejectedWithoutPartialWrites)
+{
+    const std::string good = sample().json();
+    const std::vector<std::string> bad = {
+        "",                             // empty document
+        "{}",                           // no keys at all
+        "null",                         // not an object
+        "{\"flag_polls\":1}",           // most schema keys missing
+        good.substr(0, good.size() / 2),      // truncated mid-document
+        good.substr(0, good.find(":12") + 2), // truncated mid-number
+        "{\"flag_polls\":-1,\"counter_rmws\":2,"
+        "\"backoff_requested\":3,\"backoff_waited\":4,\"parks\":5,"
+        "\"wakes\":6,\"withdrawals\":7,\"timeouts\":8,"
+        "\"episodes\":9,\"acquires\":10}", // negative value
+        "{\"flag_polls\":1x,\"counter_rmws\":2,"
+        "\"backoff_requested\":3,\"backoff_waited\":4,\"parks\":5,"
+        "\"wakes\":6,\"withdrawals\":7,\"timeouts\":8,"
+        "\"episodes\":9,\"acquires\":10}", // trailing junk in number
+        "{\"flag_polls\":99999999999999999999,\"counter_rmws\":2,"
+        "\"backoff_requested\":3,\"backoff_waited\":4,\"parks\":5,"
+        "\"wakes\":6,\"withdrawals\":7,\"timeouts\":8,"
+        "\"episodes\":9,\"acquires\":10}", // uint64 overflow
+        "{\"flag_polls\":,\"counter_rmws\":2,"
+        "\"backoff_requested\":3,\"backoff_waited\":4,\"parks\":5,"
+        "\"wakes\":6,\"withdrawals\":7,\"timeouts\":8,"
+        "\"episodes\":9,\"acquires\":10}", // empty value
+        "\"flag_polls\" \"counter_rmws\" \"backoff_requested\" "
+        "\"backoff_waited\" \"parks\" \"wakes\" \"withdrawals\" "
+        "\"timeouts\" \"episodes\" \"acquires\"", // keys, no values
+    };
+    for (const std::string &doc : bad) {
+        obs::CounterSnapshot out = poison();
+        EXPECT_FALSE(obs::parseCounterSnapshot(doc, &out))
+            << "accepted malformed doc: " << doc;
+        EXPECT_TRUE(isPoisoned(out))
+            << "partial write from doc: " << doc;
+    }
+}
+
+TEST(CounterFuzz, MaxUint64ValueSurvives)
+{
+    obs::CounterSnapshot in = sample();
+    in.flagPolls = ~std::uint64_t{0};
+    obs::CounterSnapshot out;
+    ASSERT_TRUE(obs::parseCounterSnapshot(in.json(), &out));
+    EXPECT_EQ(out.flagPolls, ~std::uint64_t{0});
+}
+
+TEST(CounterFuzz, RandomMutationsNeverCrash)
+{
+    // Deterministic xorshift so failures replay: flip bytes of a
+    // valid document at pseudo-random positions and parse the result.
+    const std::string good = sample().json();
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    const auto next = [&x]() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::string doc = good;
+        const std::size_t flips = 1 + next() % 4;
+        for (std::size_t f = 0; f < flips; ++f)
+            doc[next() % doc.size()] =
+                static_cast<char>(next() & 0xff);
+        obs::CounterSnapshot out;
+        // Any verdict is fine; surviving the parse is the test.
+        (void)obs::parseCounterSnapshot(doc, &out);
+    }
+    SUCCEED();
+}

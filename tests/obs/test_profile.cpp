@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the contention-attribution profile layer: snapshot math,
+ * gated recorders (empty-struct-pinned under ABSYNC_TELEMETRY=OFF),
+ * and the absync.profile.v1 rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "obs/profile.hpp"
+#include "support/histogram.hpp"
+
+namespace obs = absync::obs;
+using absync::support::IntHistogram;
+
+#if !ABSYNC_TELEMETRY_ENABLED
+
+// OFF: the recorders must compile down to stateless shells, exactly
+// like SyncCounters does — adding a member to the no-op variants is a
+// build error here, not a silent overhead regression.
+static_assert(std::is_empty_v<obs::WaitProfile>,
+              "no-op WaitProfile must be an empty struct");
+static_assert(std::is_empty_v<obs::StageOccupancyProfile>,
+              "no-op StageOccupancyProfile must be an empty struct");
+static_assert(std::is_empty_v<obs::InvalFanoutProfile>,
+              "no-op InvalFanoutProfile must be an empty struct");
+
+#endif // !ABSYNC_TELEMETRY_ENABLED
+
+TEST(QuantileSummary, JsonShape)
+{
+    obs::QuantileSummary s;
+    s.count = 4;
+    s.mean = 2.5;
+    s.p50 = 2;
+    s.p90 = 4;
+    s.p99 = 4;
+    s.max = 4;
+    EXPECT_EQ(s.json(), "{\"count\":4,\"mean\":2.5,\"p50\":2,"
+                        "\"p90\":4,\"p99\":4,\"max\":4}");
+}
+
+TEST(QuantileSummary, SummarizeHistogram)
+{
+    IntHistogram h;
+    for (std::uint64_t v = 1; v <= 10; ++v)
+        h.add(v);
+    const obs::QuantileSummary s = obs::summarizeHistogram(h);
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.5);
+    EXPECT_EQ(s.p50, 5u);
+    EXPECT_EQ(s.p90, 9u);
+    EXPECT_EQ(s.p99, 10u);
+    EXPECT_EQ(s.max, 10u);
+}
+
+TEST(QuantileSummary, SummarizeEmptyHistogram)
+{
+    const obs::QuantileSummary s =
+        obs::summarizeHistogram(IntHistogram{});
+    EXPECT_EQ(s, obs::QuantileSummary{});
+}
+
+TEST(ModuleHeat, ContentionAndAccumulate)
+{
+    obs::ModuleHeatSnapshot m;
+    m.label = "flag";
+    m.grants = 25;
+    m.denials = 75;
+    EXPECT_EQ(m.requests(), 100u);
+    EXPECT_DOUBLE_EQ(m.contention(), 0.75);
+
+    obs::ModuleHeatSnapshot other;
+    other.label = "ignored";
+    other.grants = 75;
+    other.denials = 25;
+    other.stallCycles = 3;
+    m += other;
+    EXPECT_EQ(m.label, "flag");
+    EXPECT_EQ(m.grants, 100u);
+    EXPECT_EQ(m.denials, 100u);
+    EXPECT_EQ(m.stallCycles, 3u);
+    EXPECT_DOUBLE_EQ(m.contention(), 0.5);
+}
+
+TEST(ModuleHeat, EmptyModuleHasZeroContention)
+{
+    const obs::ModuleHeatSnapshot m;
+    EXPECT_DOUBLE_EQ(m.contention(), 0.0);
+}
+
+TEST(ModuleHeat, JsonShape)
+{
+    obs::ModuleHeatSnapshot m;
+    m.label = "variable";
+    m.grants = 3;
+    m.denials = 1;
+    EXPECT_EQ(m.json(),
+              "{\"label\":\"variable\",\"grants\":3,\"denials\":1,"
+              "\"stall_cycles\":0,\"contention\":0.25}");
+}
+
+TEST(CounterSeries, PeakAndMean)
+{
+    obs::CounterSeries c;
+    EXPECT_DOUBLE_EQ(c.peak(), 0.0);
+    EXPECT_DOUBLE_EQ(c.mean(), 0.0);
+    c.samples = {{0, 0.5}, {10, 1.5}, {20, 1.0}};
+    EXPECT_DOUBLE_EQ(c.peak(), 1.5);
+    EXPECT_DOUBLE_EQ(c.mean(), 1.0);
+}
+
+TEST(AddressClass, Names)
+{
+    EXPECT_STREQ(
+        obs::addressClassName(obs::AddressClass::SyncCounter),
+        "sync_counter");
+    EXPECT_STREQ(obs::addressClassName(obs::AddressClass::SyncFlag),
+                 "sync_flag");
+    EXPECT_STREQ(obs::addressClassName(obs::AddressClass::Data),
+                 "data");
+}
+
+TEST(WaitProfile, RecordsOrVanishes)
+{
+    obs::WaitProfile w;
+    w.add(10);
+    w.add(20);
+    w.add(20);
+    if (obs::kTelemetryEnabled) {
+        EXPECT_EQ(w.count(), 3u);
+        const obs::QuantileSummary s = w.summary();
+        EXPECT_EQ(s.p50, 20u);
+        EXPECT_EQ(s.max, 20u);
+        obs::WaitProfile other;
+        other.add(100);
+        w.merge(other);
+        EXPECT_EQ(w.count(), 4u);
+        EXPECT_EQ(w.summary().max, 100u);
+        w.clear();
+        EXPECT_EQ(w.count(), 0u);
+    } else {
+        EXPECT_EQ(w.count(), 0u);
+        EXPECT_EQ(w.summary(), obs::QuantileSummary{});
+    }
+}
+
+TEST(StageOccupancy, SeriesAccumulateInFirstUseOrder)
+{
+    obs::StageOccupancyProfile p;
+    p.sample("stage0", 0, 0.1);
+    p.sample("hot_tree", 0, 0.9);
+    p.sample("stage0", 10, 0.3);
+    if (obs::kTelemetryEnabled) {
+        ASSERT_EQ(p.series().size(), 2u);
+        EXPECT_EQ(p.series()[0].name, "stage0");
+        EXPECT_EQ(p.series()[1].name, "hot_tree");
+        ASSERT_EQ(p.series()[0].samples.size(), 2u);
+        EXPECT_DOUBLE_EQ(p.peak("stage0"), 0.3);
+        EXPECT_DOUBLE_EQ(p.mean("stage0"), 0.2);
+        EXPECT_DOUBLE_EQ(p.peak("hot_tree"), 0.9);
+        EXPECT_DOUBLE_EQ(p.peak("absent"), 0.0);
+        EXPECT_FALSE(p.empty());
+    } else {
+        EXPECT_TRUE(p.empty());
+        EXPECT_TRUE(p.series().empty());
+        EXPECT_DOUBLE_EQ(p.peak("stage0"), 0.0);
+    }
+}
+
+TEST(InvalFanout, AttributesByClass)
+{
+    obs::InvalFanoutProfile p;
+    p.record(obs::AddressClass::SyncFlag, 63);
+    p.record(obs::AddressClass::SyncFlag, 63);
+    p.record(obs::AddressClass::Data, 1);
+    if (obs::kTelemetryEnabled) {
+        EXPECT_EQ(p.events(obs::AddressClass::SyncFlag), 2u);
+        EXPECT_EQ(p.messages(obs::AddressClass::SyncFlag), 126u);
+        EXPECT_EQ(p.events(obs::AddressClass::Data), 1u);
+        EXPECT_EQ(p.messages(obs::AddressClass::Data), 1u);
+        EXPECT_EQ(p.events(obs::AddressClass::SyncCounter), 0u);
+        EXPECT_EQ(p.fanout(obs::AddressClass::SyncFlag).max, 63u);
+    } else {
+        EXPECT_EQ(p.events(obs::AddressClass::SyncFlag), 0u);
+        EXPECT_EQ(p.messages(obs::AddressClass::SyncFlag), 0u);
+    }
+}
+
+TEST(ProfileBuilder, EmptyDocumentIsWellFormed)
+{
+    const std::string json = obs::ProfileBuilder{}.json();
+    EXPECT_EQ(json, "{\"schema\":\"absync.profile.v1\","
+                    "\"modules\":[],\"waits\":{},\"occupancy\":{},"
+                    "\"inval_fanout\":{}}");
+}
+
+TEST(ProfileBuilder, RendersAllSections)
+{
+    obs::ProfileBuilder b;
+
+    obs::ModuleHeatSnapshot m;
+    m.label = "flag";
+    m.grants = 10;
+    m.denials = 30;
+    b.addModule(m);
+
+    obs::QuantileSummary w;
+    w.count = 2;
+    w.mean = 15.0;
+    w.p50 = 10;
+    w.p90 = 20;
+    w.p99 = 20;
+    w.max = 20;
+    b.addWait("wait.n64.exp2", w);
+
+    obs::StageOccupancyProfile occ;
+    occ.sample("stage0", 0, 0.25);
+    b.addOccupancy(occ);
+
+    obs::InvalFanoutProfile inval;
+    inval.record(obs::AddressClass::SyncCounter, 5);
+    b.addInvalFanout(inval);
+
+    const std::string json = b.json();
+    EXPECT_NE(json.find("\"schema\":\"absync.profile.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"label\":\"flag\""), std::string::npos);
+    EXPECT_NE(json.find("\"contention\":0.75"), std::string::npos);
+    EXPECT_NE(json.find("\"wait.n64.exp2\":{\"count\":2"),
+              std::string::npos);
+    if (obs::kTelemetryEnabled) {
+        EXPECT_NE(json.find("\"stage0\":{\"mean\":0.25,\"peak\":0.25,"
+                            "\"samples\":[[0,0.25]]}"),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"sync_counter\":{\"events\":1,"
+                            "\"messages\":5"),
+                  std::string::npos);
+    } else {
+        // Gated recorders hand the builder nothing.
+        EXPECT_NE(json.find("\"occupancy\":{}"), std::string::npos);
+        EXPECT_NE(json.find("\"inval_fanout\":{}"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(obs::jsonEscape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+    EXPECT_EQ(obs::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}

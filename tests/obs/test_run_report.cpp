@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the absync.run_report.v1 writer: document shape, metric
+ * overwrite semantics, section embedding, and file round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/run_report.hpp"
+
+namespace obs = absync::obs;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(RunReport, EmptyDocumentShape)
+{
+    const obs::RunReport r("tool_x", "Title of X");
+    const std::string json = r.json();
+    EXPECT_NE(json.find("\"schema\":\"absync.run_report.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tool\":\"tool_x\""), std::string::npos);
+    EXPECT_NE(json.find("\"title\":\"Title of X\""),
+              std::string::npos);
+    EXPECT_NE(
+        json.find("\"paper_ref\":\"Agarwal & Cherian, ISCA 1989\""),
+        std::string::npos);
+    // The telemetry field records the build flavour truthfully.
+    const std::string expect_tele = obs::kTelemetryEnabled
+                                        ? "\"telemetry\":true"
+                                        : "\"telemetry\":false";
+    EXPECT_NE(json.find(expect_tele), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\":{}"), std::string::npos);
+    EXPECT_NE(json.find("\"sections\":{}"), std::string::npos);
+    EXPECT_EQ(r.metricCount(), 0u);
+}
+
+TEST(RunReport, MetricsRenderAndDuplicatesOverwrite)
+{
+    obs::RunReport r("t", "T");
+    r.addMetric("accesses.n64.exp2", 12.5);
+    r.addMetric("wait.n64.exp2", 300);
+    EXPECT_EQ(r.metricCount(), 2u);
+
+    r.addMetric("accesses.n64.exp2", 13.25);
+    EXPECT_EQ(r.metricCount(), 2u);
+
+    const std::string json = r.json();
+    EXPECT_NE(json.find("\"accesses.n64.exp2\":13.25"),
+              std::string::npos);
+    EXPECT_EQ(json.find(":12.5"), std::string::npos);
+    EXPECT_NE(json.find("\"wait.n64.exp2\":300"), std::string::npos);
+}
+
+TEST(RunReport, TitleIsEscaped)
+{
+    const obs::RunReport r("t", "quo\"ted\ntitle");
+    EXPECT_NE(r.json().find("\"title\":\"quo\\\"ted\\ntitle\""),
+              std::string::npos);
+}
+
+TEST(RunReport, SectionsEmbedRawJson)
+{
+    obs::RunReport r("t", "T");
+    r.addSection("profile", "{\"schema\":\"absync.profile.v1\"}");
+    r.addSection("note", "[1,2,3]");
+    const std::string json = r.json();
+    EXPECT_NE(
+        json.find(
+            "\"profile\":{\"schema\":\"absync.profile.v1\"}"),
+        std::string::npos);
+    EXPECT_NE(json.find("\"note\":[1,2,3]"), std::string::npos);
+}
+
+TEST(RunReport, WriteFileRoundTrips)
+{
+    obs::RunReport r("round_trip", "Round trip");
+    r.addMetric("m", 1.5);
+    const std::string path =
+        ::testing::TempDir() + "absync_run_report_test.json";
+    ASSERT_TRUE(r.writeFile(path));
+    // writeFile terminates the document with a newline.
+    EXPECT_EQ(slurp(path), r.json() + "\n");
+    std::remove(path.c_str());
+}
+
+TEST(RunReport, WriteFileFailsOnBadPath)
+{
+    const obs::RunReport r("t", "T");
+    EXPECT_FALSE(r.writeFile("/nonexistent-dir-xyz/report.json"));
+}

@@ -52,6 +52,69 @@ TEST(IntHistogram, CumulativeFraction)
     EXPECT_DOUBLE_EQ(h.cumulativeFraction(100), 1.0);
 }
 
+TEST(IntHistogram, PercentileEmptyIsZero)
+{
+    const IntHistogram h;
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(IntHistogram, PercentileSingleSample)
+{
+    IntHistogram h;
+    h.add(42);
+    // Every percentile of a one-sample population is that sample.
+    EXPECT_EQ(h.percentile(0.0), 42u);
+    EXPECT_EQ(h.percentile(0.5), 42u);
+    EXPECT_EQ(h.percentile(0.99), 42u);
+    EXPECT_EQ(h.percentile(1.0), 42u);
+}
+
+TEST(IntHistogram, PercentileAllEqualSamples)
+{
+    IntHistogram h;
+    h.add(7, 1000);
+    EXPECT_EQ(h.percentile(0.01), 7u);
+    EXPECT_EQ(h.percentile(0.5), 7u);
+    EXPECT_EQ(h.percentile(0.999), 7u);
+    EXPECT_EQ(h.percentile(1.0), 7u);
+}
+
+TEST(IntHistogram, PercentileNearestRank)
+{
+    IntHistogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    // Nearest-rank over 1..100: pXX is the value at rank ceil(p*100).
+    EXPECT_EQ(h.percentile(0.50), 50u);
+    EXPECT_EQ(h.percentile(0.90), 90u);
+    EXPECT_EQ(h.percentile(0.99), 99u);
+    EXPECT_EQ(h.percentile(0.991), 100u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(IntHistogram, PercentileSkewedMass)
+{
+    IntHistogram h;
+    h.add(1, 99);
+    h.add(1000, 1);
+    // 99% of the mass sits at 1; only the very tail sees 1000.
+    EXPECT_EQ(h.percentile(0.5), 1u);
+    EXPECT_EQ(h.percentile(0.99), 1u);
+    EXPECT_EQ(h.percentile(0.995), 1000u);
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+}
+
+TEST(IntHistogram, PercentileOutOfRangeArgumentsClamp)
+{
+    IntHistogram h;
+    h.add(3);
+    h.add(9);
+    EXPECT_EQ(h.percentile(-0.5), 3u);
+    EXPECT_EQ(h.percentile(1.5), 9u);
+}
+
 TEST(IntHistogram, ClearResets)
 {
     IntHistogram h;
