@@ -26,25 +26,31 @@ figureProcessorCounts()
     return kCounts;
 }
 
+unsigned
+jobsOption(const support::Options &opts)
+{
+    return static_cast<unsigned>(opts.getInt("jobs", 1));
+}
+
 core::EpisodeSummary
 barrierSummary(std::uint32_t n, std::uint64_t arrival_window,
                const core::BackoffConfig &backoff, std::uint64_t runs,
-               std::uint64_t seed)
+               std::uint64_t seed, unsigned jobs)
 {
     core::BarrierConfig cfg;
     cfg.processors = n;
     cfg.arrivalWindow = arrival_window;
     cfg.backoff = backoff;
-    return core::BarrierSimulator(cfg).runMany(runs, seed);
+    return core::BarrierSimulator(cfg).runMany(runs, seed, jobs);
 }
 
 double
 barrierCell(std::uint32_t n, std::uint64_t arrival_window,
             const core::BackoffConfig &backoff, Metric metric,
-            std::uint64_t runs, std::uint64_t seed)
+            std::uint64_t runs, std::uint64_t seed, unsigned jobs)
 {
     const auto summary =
-        barrierSummary(n, arrival_window, backoff, runs, seed);
+        barrierSummary(n, arrival_window, backoff, runs, seed, jobs);
     return metric == Metric::Accesses ? summary.accesses.mean()
                                       : summary.wait.mean();
 }
@@ -52,7 +58,7 @@ barrierCell(std::uint32_t n, std::uint64_t arrival_window,
 support::Table
 barrierSweepTable(std::uint64_t arrival_window, Metric metric,
                   std::uint64_t runs, std::uint64_t seed,
-                  obs::RunReport *report)
+                  obs::RunReport *report, unsigned jobs)
 {
     const char *metric_key =
         metric == Metric::Accesses ? "accesses" : "wait";
@@ -67,7 +73,7 @@ barrierSweepTable(std::uint64_t arrival_window, Metric metric,
             const double cell = barrierCell(
                 n, arrival_window,
                 core::BackoffConfig::fromString(policy), metric, runs,
-                seed);
+                seed, jobs);
             row.push_back(cell);
             if (report != nullptr) {
                 report->addMetric(std::string(metric_key) + ".n" +

@@ -23,6 +23,13 @@
 namespace absync::bench
 {
 
+/**
+ * Parse --jobs from @p opts (default 1 = serial; 0 = one worker per
+ * hardware thread).  Callers must list "jobs" among their known
+ * option names.
+ */
+unsigned jobsOption(const support::Options &opts);
+
 /** Policy set used by Figures 5-10: none, variable, flag base 2/4/8. */
 const std::vector<std::string> &figurePolicies();
 
@@ -47,24 +54,31 @@ enum class Metric
  *        run-report metric "<accesses|wait>.n<N>.<policy>" so the
  *        regression gate (scripts/check_regression.py) can compare
  *        sweeps run-to-run
+ * @param jobs episode-level worker threads per cell (0 = hardware
+ *        threads, 1 = serial).  Purely a throughput knob: runMany's
+ *        deterministic fold makes every cell bitwise identical for
+ *        any value, so --jobs never changes a reported number.
  * @return table with one row per N and one column per policy
  */
 support::Table barrierSweepTable(std::uint64_t arrival_window,
                                  Metric metric, std::uint64_t runs,
                                  std::uint64_t seed,
-                                 obs::RunReport *report = nullptr);
+                                 obs::RunReport *report = nullptr,
+                                 unsigned jobs = 1);
 
 /** Full episode summary for one (N, A, policy) cell. */
 core::EpisodeSummary barrierSummary(std::uint32_t n,
                                     std::uint64_t arrival_window,
                                     const core::BackoffConfig &backoff,
                                     std::uint64_t runs,
-                                    std::uint64_t seed);
+                                    std::uint64_t seed,
+                                    unsigned jobs = 1);
 
 /** Mean of the chosen metric for one (N, A, policy) cell. */
 double barrierCell(std::uint32_t n, std::uint64_t arrival_window,
                    const core::BackoffConfig &backoff, Metric metric,
-                   std::uint64_t runs, std::uint64_t seed);
+                   std::uint64_t runs, std::uint64_t seed,
+                   unsigned jobs = 1);
 
 /**
  * Attach a contention profile ("profile" section) for one headline

@@ -21,11 +21,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed"});
+    support::Options opts(argc, argv, {"runs", "seed", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 31));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Ablation: module arbitration policy",
                 "DESIGN.md Sec 7; paper Sections 3, 5.2 and Model 1");
@@ -42,7 +43,7 @@ main(int argc, char **argv)
             cfg.backoff = core::BackoffConfig::none();
             cfg.arbitration = arb;
             const auto s =
-                core::BarrierSimulator(cfg).runMany(runs, seed);
+                core::BarrierSimulator(cfg).runMany(runs, seed, jobs);
             const char *name =
                 arb == sim::Arbitration::Fifo
                     ? "fifo"

@@ -25,11 +25,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "n"});
+    support::Options opts(argc, argv, {"runs", "seed", "n", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 50));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 25));
+    const unsigned jobs = jobsOption(opts);
     const auto n = static_cast<std::uint32_t>(opts.getInt("n", 256));
 
     printHeader("Extension: combining-tree barrier with per-node "
@@ -48,7 +49,7 @@ main(int argc, char **argv)
                 cfg.arrivalWindow = a;
                 cfg.backoff = core::BackoffConfig::fromString(policy);
                 const auto s =
-                    core::BarrierSimulator(cfg).runMany(runs, seed);
+                    core::BarrierSimulator(cfg).runMany(runs, seed, jobs);
                 t.addRow({"flat (centralized)",
                           support::fmt(s.accesses.mean(), 1),
                           support::fmt(s.wait.mean(), 1),
@@ -61,7 +62,7 @@ main(int argc, char **argv)
                 cfg.arrivalWindow = a;
                 cfg.backoff = core::BackoffConfig::fromString(policy);
                 core::TreeBarrierSimulator sim(cfg);
-                const auto s = sim.runMany(runs, seed);
+                const auto s = sim.runMany(runs, seed, jobs);
                 t.addRow({"tree d=" + std::to_string(d) + " (" +
                               std::to_string(sim.nodeCount()) +
                               " nodes, depth " +

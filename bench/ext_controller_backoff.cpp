@@ -21,11 +21,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed"});
+    support::Options opts(argc, argv, {"runs", "seed", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 61));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Section 8 extension: network-controller backoff on "
                 "denied accesses",
@@ -40,9 +41,9 @@ main(int argc, char **argv)
                     auto bo = core::BackoffConfig::fromString(policy);
                     bo.controllerBackoff = ctrl;
                     const double acc = barrierCell(
-                        n, a, bo, Metric::Accesses, runs, seed);
+                        n, a, bo, Metric::Accesses, runs, seed, jobs);
                     const double wait = barrierCell(
-                        n, a, bo, Metric::Wait, runs, seed);
+                        n, a, bo, Metric::Wait, runs, seed, jobs);
                     t.addRow({std::string(policy) +
                                   (ctrl ? " + controller" : ""),
                               support::fmt(acc, 1),

@@ -21,11 +21,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed"});
+    support::Options opts(argc, argv, {"runs", "seed", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 200));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 42));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Ablation: deterministic vs randomized flag backoff",
                 "Agarwal & Cherian 1989, Section 4.2 argument");
@@ -39,13 +40,13 @@ main(int argc, char **argv)
                 auto rnd = det;
                 rnd.randomized = true;
                 const double det_acc = barrierCell(
-                    n, a, det, Metric::Accesses, runs, seed);
+                    n, a, det, Metric::Accesses, runs, seed, jobs);
                 const double rnd_acc = barrierCell(
-                    n, a, rnd, Metric::Accesses, runs, seed);
+                    n, a, rnd, Metric::Accesses, runs, seed, jobs);
                 const double det_wait =
-                    barrierCell(n, a, det, Metric::Wait, runs, seed);
+                    barrierCell(n, a, det, Metric::Wait, runs, seed, jobs);
                 const double rnd_wait =
-                    barrierCell(n, a, rnd, Metric::Wait, runs, seed);
+                    barrierCell(n, a, rnd, Metric::Wait, runs, seed, jobs);
                 t.addRow({std::to_string(n), std::to_string(a),
                           support::fmt(det_acc, 1),
                           support::fmt(rnd_acc, 1),

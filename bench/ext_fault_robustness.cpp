@@ -62,7 +62,7 @@ barrierPolicies()
 void
 barrierSweep(std::uint32_t procs, std::uint64_t window,
              std::uint64_t timeout_cycles, std::uint64_t runs,
-             std::uint64_t seed)
+             std::uint64_t seed, unsigned jobs)
 {
     struct Scenario
     {
@@ -119,9 +119,9 @@ barrierSweep(std::uint32_t procs, std::uint64_t window,
             faulted.faults = &plan;
 
             const auto base =
-                core::BarrierSimulator(clean).runMany(runs, seed);
+                core::BarrierSimulator(clean).runMany(runs, seed, jobs);
             const auto hurt =
-                core::BarrierSimulator(faulted).runMany(runs, seed);
+                core::BarrierSimulator(faulted).runMany(runs, seed, jobs);
             const double total =
                 static_cast<double>(runs) * procs / 100.0;
             t.addRow({pol.name, support::fmt(base.accesses.mean(), 1),
@@ -192,7 +192,7 @@ main(int argc, char **argv)
 {
     support::Options opts(argc, argv,
                           {"procs", "window", "timeout", "runs",
-                           "cycles", "seed"});
+                           "cycles", "seed", "jobs"});
     const auto procs =
         static_cast<std::uint32_t>(opts.getInt("procs", 64));
     const auto window =
@@ -205,6 +205,7 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.getInt("cycles", 20000));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 97));
+    const unsigned jobs = bench::jobsOption(opts);
 
     printHeader("Robustness extension: policy degradation under a "
                 "seeded fault load",
@@ -216,7 +217,7 @@ main(int argc, char **argv)
                 procs, static_cast<unsigned long long>(window),
                 static_cast<unsigned long long>(timeout),
                 static_cast<unsigned long long>(runs));
-    barrierSweep(procs, window, timeout, runs, seed);
+    barrierSweep(procs, window, timeout, runs, seed, jobs);
 
     std::printf("\n=== circuit-switched network: N=%u, load 0.4, "
                 "%llu cycles ===\n",

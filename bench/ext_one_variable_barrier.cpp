@@ -28,11 +28,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "n"});
+    support::Options opts(argc, argv, {"runs", "seed", "n", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 2));
+    const unsigned jobs = jobsOption(opts);
     const auto n = static_cast<std::uint32_t>(opts.getInt("n", 64));
 
     printHeader("Section 2: one-variable vs two-variable barrier",
@@ -54,7 +55,7 @@ main(int argc, char **argv)
                     cfg.backoff =
                         core::BackoffConfig::fromString(policy);
                     const auto s = core::BarrierSimulator(cfg)
-                                       .runMany(runs, seed);
+                                       .runMany(runs, seed, jobs);
                     row.push_back(s.accesses.mean());
                 }
             }

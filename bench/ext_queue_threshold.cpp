@@ -22,11 +22,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "n"});
+    support::Options opts(argc, argv, {"runs", "seed", "n", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 99));
+    const unsigned jobs = jobsOption(opts);
     const auto n = static_cast<std::uint32_t>(opts.getInt("n", 16));
 
     printHeader("Section 7 extension: queue-on-threshold blocking",
@@ -44,7 +45,7 @@ main(int argc, char **argv)
             cfg.arrivalWindow = a;
             cfg.backoff = core::BackoffConfig::none();
             const auto s =
-                core::BarrierSimulator(cfg).runMany(runs, seed);
+                core::BarrierSimulator(cfg).runMany(runs, seed, jobs);
             t.addRow({"spin (no backoff)",
                       support::fmt(s.accesses.mean(), 1),
                       support::fmt(s.wait.mean(), 1), "0"});
@@ -57,7 +58,7 @@ main(int argc, char **argv)
             cfg.backoff.blockThreshold = thr;
             cfg.backoff.blockWakeupCycles = wake_cost;
             const auto s =
-                core::BarrierSimulator(cfg).runMany(runs, seed);
+                core::BarrierSimulator(cfg).runMany(runs, seed, jobs);
             t.addRow({thr == 0 ? "inf (spin exp2)"
                                : std::to_string(thr),
                       support::fmt(s.accesses.mean(), 1),

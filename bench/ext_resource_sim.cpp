@@ -22,11 +22,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "cycles"});
+    support::Options opts(argc, argv, {"runs", "seed", "cycles", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 10));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 8));
+    const unsigned jobs = jobsOption(opts);
     const auto cycles =
         static_cast<std::uint64_t>(opts.getInt("cycles", 100000));
 
@@ -45,7 +46,7 @@ main(int argc, char **argv)
             cfg.policy = policy;
             cfg.cycles = cycles;
             const auto st = core::ResourceSimulator(cfg).runMany(
-                runs, seed);
+                runs, seed, jobs);
             t.addRow({core::resourceWaitPolicyName(policy),
                       support::fmt(st.accessesPerAcquisition, 1),
                       support::fmt(st.avgQueueingDelay, 1),

@@ -20,11 +20,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "n"});
+    support::Options opts(argc, argv, {"runs", "seed", "n", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 64));
+    const unsigned jobs = jobsOption(opts);
     const auto n = static_cast<std::uint32_t>(opts.getInt("n", 64));
 
     printHeader("Ablation: scaled variable backoff (N-i)*C and "
@@ -37,10 +38,10 @@ main(int argc, char **argv)
         {
             const double acc =
                 barrierCell(n, a, core::BackoffConfig::none(),
-                            Metric::Accesses, runs, seed);
+                            Metric::Accesses, runs, seed, jobs);
             const double w =
                 barrierCell(n, a, core::BackoffConfig::none(),
-                            Metric::Wait, runs, seed);
+                            Metric::Wait, runs, seed, jobs);
             t.addRow({"no backoff", support::fmt(acc, 1),
                       support::fmt(w, 1)});
         }
@@ -49,9 +50,9 @@ main(int argc, char **argv)
             bo.varScale = c;
             const double acc = barrierCell(n, a, bo,
                                            Metric::Accesses, runs,
-                                           seed);
+                                           seed, jobs);
             const double w =
-                barrierCell(n, a, bo, Metric::Wait, runs, seed);
+                barrierCell(n, a, bo, Metric::Wait, runs, seed, jobs);
             t.addRow({"(N-i)*" + support::fmt(c, 0),
                       support::fmt(acc, 1), support::fmt(w, 1)});
         }
@@ -60,9 +61,9 @@ main(int argc, char **argv)
             bo.varOffset = c;
             const double acc = barrierCell(n, a, bo,
                                            Metric::Accesses, runs,
-                                           seed);
+                                           seed, jobs);
             const double w =
-                barrierCell(n, a, bo, Metric::Wait, runs, seed);
+                barrierCell(n, a, bo, Metric::Wait, runs, seed, jobs);
             t.addRow({"(N-i)+" + std::to_string(c),
                       support::fmt(acc, 1), support::fmt(w, 1)});
         }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/bench_util.hpp"
+#include "core/barrier_sim.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace_ring.hpp"
@@ -93,6 +94,18 @@ main(int argc, char **argv)
     };
     for (const runtime::BarrierKind kind : kinds)
         runBarrierPhases(kind, threads, phases);
+
+    // Simulator stage: a short event-driven episode batch so the
+    // export also carries the engine's cycles_skipped /
+    // events_processed counters (DESIGN.md Sec 12) alongside the
+    // runtime barrier traffic.
+    {
+        core::BarrierConfig scfg;
+        scfg.processors = 32;
+        scfg.arrivalWindow = 1000;
+        scfg.backoff = core::BackoffConfig::exponentialFlag(8);
+        core::BarrierSimulator(scfg).runMany(4, 21);
+    }
 
     obs::TraceRegistry::global().disable();
 

@@ -14,24 +14,26 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    support::Options opts(argc, argv, {"runs", "seed", "csv", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 10));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Figure 10: waiting time per processor, A = 1000",
                 "Agarwal & Cherian 1989, Figure 10 / Section 7");
 
     const auto table =
-        barrierSweepTable(1000, Metric::Wait, runs, seed);
+        barrierSweepTable(1000, Metric::Wait, runs, seed,
+                          nullptr, jobs);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 
     const auto cell = [&](std::uint32_t n, const char *p) {
         return barrierCell(n, 1000,
                            core::BackoffConfig::fromString(p),
-                           Metric::Wait, runs, seed);
+                           Metric::Wait, runs, seed, jobs);
     };
     const double none64 = cell(64, "none");
     const double exp2_64 = cell(64, "exp2");

@@ -21,11 +21,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed"});
+    support::Options opts(argc, argv, {"runs", "seed", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 4));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Figure 4: model predictions vs simulation "
                 "(no backoff)",
@@ -43,7 +44,7 @@ main(int argc, char **argv)
             const double mm = std::max(m1, m2);
             const double sim = barrierCell(
                 n, a, core::BackoffConfig::none(), Metric::Accesses,
-                runs, seed);
+                runs, seed, jobs);
             worst_err =
                 std::max(worst_err, std::abs(mm - sim) / sim);
             t.addRow(std::to_string(n), {m1, m2, mm, sim});

@@ -17,28 +17,29 @@ int
 main(int argc, char **argv)
 {
     support::Options opts(argc, argv,
-                          {"runs", "seed", "csv", "report-out"});
+                          {"runs", "seed", "csv", "report-out", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 5));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Figure 5: net accesses per processor, A = 0",
                 "Agarwal & Cherian 1989, Figure 5 / Section 6.2");
 
     obs::RunReport report("fig5_accesses_a0",
                           "Figure 5: net accesses per processor, A=0");
-    const auto table =
-        barrierSweepTable(0, Metric::Accesses, runs, seed, &report);
+    const auto table = barrierSweepTable(0, Metric::Accesses, runs,
+                                         seed, &report, jobs);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 
     const double none =
         barrierCell(64, 0, core::BackoffConfig::none(),
-                    Metric::Accesses, runs, seed);
+                    Metric::Accesses, runs, seed, jobs);
     const double var =
         barrierCell(64, 0, core::BackoffConfig::variableOnly(),
-                    Metric::Accesses, runs, seed);
+                    Metric::Accesses, runs, seed, jobs);
     std::printf("\nSpot checks against the paper (N = 64, A = 0):\n");
     std::printf("  no backoff: measured %.1f, paper ~160 (5N/2)\n",
                 none);

@@ -13,24 +13,26 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    support::Options opts(argc, argv, {"runs", "seed", "csv", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 6));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Figure 6: net accesses per processor, A = 100",
                 "Agarwal & Cherian 1989, Figure 6 / Section 6.2");
 
     const auto table =
-        barrierSweepTable(100, Metric::Accesses, runs, seed);
+        barrierSweepTable(100, Metric::Accesses, runs, seed,
+                          nullptr, jobs);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 
     const auto cell = [&](std::uint32_t n, const char *p) {
         return barrierCell(n, 100,
                            core::BackoffConfig::fromString(p),
-                           Metric::Accesses, runs, seed);
+                           Metric::Accesses, runs, seed, jobs);
     };
     std::printf("\nSpot checks against the paper (A = 100):\n");
     std::printf("  N=16 base-4 savings: measured %.1f%% "

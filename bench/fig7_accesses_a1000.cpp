@@ -14,11 +14,12 @@ int
 main(int argc, char **argv)
 {
     support::Options opts(argc, argv,
-                          {"runs", "seed", "csv", "report-out"});
+                          {"runs", "seed", "csv", "report-out", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 7));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Figure 7: net accesses per processor, A = 1000",
                 "Agarwal & Cherian 1989, Figure 7 / Section 6.2");
@@ -27,14 +28,14 @@ main(int argc, char **argv)
         "fig7_accesses_a1000",
         "Figure 7: net accesses per processor, A=1000");
     const auto table =
-        barrierSweepTable(1000, Metric::Accesses, runs, seed, &report);
+        barrierSweepTable(1000, Metric::Accesses, runs, seed, &report, jobs);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 
     const auto cell = [&](std::uint32_t n, const char *p) {
         return barrierCell(n, 1000,
                            core::BackoffConfig::fromString(p),
-                           Metric::Accesses, runs, seed);
+                           Metric::Accesses, runs, seed, jobs);
     };
     std::printf("\nSpot checks against the paper (A = 1000):\n");
     std::printf("  N=16 base-2 savings: measured %.1f%% "

@@ -18,11 +18,12 @@ int
 main(int argc, char **argv)
 {
     support::Options opts(argc, argv,
-                          {"runs", "seed", "csv", "report-out"});
+                          {"runs", "seed", "csv", "report-out", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 8));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Figure 8: waiting time per processor, A = 0",
                 "Agarwal & Cherian 1989, Figure 8 / Section 7");
@@ -30,13 +31,14 @@ main(int argc, char **argv)
     obs::RunReport report("fig8_waiting_a0",
                           "Figure 8: waiting time per processor, A=0");
     const auto table =
-        barrierSweepTable(0, Metric::Wait, runs, seed, &report);
+        barrierSweepTable(0, Metric::Wait, runs, seed,
+                          &report, jobs);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 
     const auto cell = [&](const char *p) {
         return barrierCell(64, 0, core::BackoffConfig::fromString(p),
-                           Metric::Wait, runs, seed);
+                           Metric::Wait, runs, seed, jobs);
     };
     std::printf("\nSpot check (N = 64): waits for all policies within "
                 "a small band\n  none=%.0f var=%.0f exp2=%.0f "

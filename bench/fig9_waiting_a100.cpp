@@ -13,17 +13,19 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "csv"});
+    support::Options opts(argc, argv, {"runs", "seed", "csv", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 9));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Figure 9: waiting time per processor, A = 100",
                 "Agarwal & Cherian 1989, Figure 9 / Section 7");
 
     const auto table =
-        barrierSweepTable(100, Metric::Wait, runs, seed);
+        barrierSweepTable(100, Metric::Wait, runs, seed,
+                          nullptr, jobs);
     std::printf("%s", opts.getBool("csv") ? table.csv().c_str()
                                        : table.str().c_str());
 

@@ -62,6 +62,90 @@ BM_BarrierEpisode(benchmark::State &state)
     attachEpisodeCounters(state, last.counters);
 }
 
+/**
+ * The event-driven engine's headline case: exponential flag backoff
+ * base 8 over a wide arrival window leaves the episode overwhelmingly
+ * idle, so the time-skip core executes a few percent of the spanned
+ * cycles.  Tracked by the timing-regression gate against
+ * bench/baselines/BASELINE_gbench_timing.json, whose pre-event-core
+ * reference numbers document the speedup.
+ */
+void
+BM_EpisodeLargeN(benchmark::State &state)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = static_cast<std::uint32_t>(state.range(0));
+    cfg.arrivalWindow = 1000;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    core::BarrierSimulator sim(cfg);
+    support::Rng rng(1);
+    core::EpisodeResult last;
+    for (auto _ : state) {
+        last = sim.runOnce(rng);
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations());
+    attachEpisodeCounters(state, last.counters);
+    state.counters["cycles_skipped/episode"] =
+        static_cast<double>(last.cyclesSkipped);
+    state.counters["events_processed/episode"] =
+        static_cast<double>(last.eventsProcessed);
+}
+
+/**
+ * The same episode on the reference cycle stepper — the engine the
+ * event core replaced.  Kept so the speedup is measured, not assumed:
+ * the regression gate asserts BM_EpisodeLargeN beats this by >= 5x
+ * (a machine-independent ratio), and the JSON artifacts document the
+ * before/after.
+ */
+void
+BM_EpisodeLargeNReference(benchmark::State &state)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = static_cast<std::uint32_t>(state.range(0));
+    cfg.arrivalWindow = 1000;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    core::BarrierSimulator sim(cfg);
+    support::Rng rng(1);
+    core::EpisodeResult last;
+    for (auto _ : state) {
+        last = sim.runOnceReference(rng);
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations());
+    attachEpisodeCounters(state, last.counters);
+}
+
+/**
+ * Sweep throughput with the deterministic episode pool: one
+ * runMany(64 episodes) per iteration, parallelized across range(0)
+ * workers.  The summary is bitwise identical for every worker count
+ * (tests/core/test_parallel_runmany.cpp); only the wall clock moves.
+ */
+void
+BM_SweepThroughput(benchmark::State &state)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = 64;
+    cfg.arrivalWindow = 1000;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    core::BarrierSimulator sim(cfg);
+    const auto jobs = static_cast<unsigned>(state.range(0));
+    constexpr std::uint64_t kRuns = 64;
+    core::EpisodeSummary last;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        last = sim.runMany(kRuns, seed++, jobs);
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations() * kRuns);
+    state.counters["jobs"] = static_cast<double>(jobs);
+    state.counters["cycles_skipped/episode"] =
+        static_cast<double>(last.cyclesSkipped) /
+        static_cast<double>(kRuns);
+}
+
 void
 BM_TreeBarrierEpisode(benchmark::State &state)
 {
@@ -156,6 +240,10 @@ BM_ScheduleAndCoherence(benchmark::State &state)
 } // namespace
 
 BENCHMARK(BM_BarrierEpisode)->Arg(64)->Arg(512);
+BENCHMARK(BM_EpisodeLargeN)->Arg(64)->Arg(256);
+BENCHMARK(BM_EpisodeLargeNReference)->Arg(64);
+BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_TreeBarrierEpisode)->Arg(64)->Arg(512);
 BENCHMARK(BM_OmegaNetwork)->Arg(5000);
 BENCHMARK(BM_BufferedNetwork)->Arg(5000);

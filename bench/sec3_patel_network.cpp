@@ -24,11 +24,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed", "base-rate"});
+    support::Options opts(argc, argv, {"runs", "seed", "base-rate", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 3));
+    const unsigned jobs = jobsOption(opts);
     // Background data traffic per processor per cycle (the paper
     // measured 0.133 for FFT).
     const double base_rate = opts.getDouble("base-rate", 0.133);
@@ -51,7 +52,7 @@ main(int argc, char **argv)
             cfg.arrivalWindow = a;
             cfg.backoff = core::BackoffConfig::fromString(policy);
             const auto s =
-                core::BarrierSimulator(cfg).runMany(runs, seed);
+                core::BarrierSimulator(cfg).runMany(runs, seed, jobs);
             // Accesses spread over the episode: offered extra rate.
             const double span = s.setTime.mean() + 1.0;
             const double barrier_rate = s.accesses.mean() / span;

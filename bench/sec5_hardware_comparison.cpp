@@ -21,11 +21,12 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"runs", "seed"});
+    support::Options opts(argc, argv, {"runs", "seed", "jobs"});
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 55));
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Section 5.1: hardware schemes vs software backoff",
                 "Agarwal & Cherian 1989, Section 5.1 / Section 6.2");
@@ -50,7 +51,7 @@ main(int argc, char **argv)
         for (std::uint32_t n : {4u, 8u, 32u, 128u, 512u}) {
             row.push_back(barrierCell(
                 n, a, core::BackoffConfig::exponentialFlag(8),
-                Metric::Accesses, runs, seed));
+                Metric::Accesses, runs, seed, jobs));
         }
         sw.addRow(std::to_string(a), row);
     }

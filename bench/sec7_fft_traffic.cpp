@@ -24,13 +24,14 @@ using namespace absync::bench;
 int
 main(int argc, char **argv)
 {
-    support::Options opts(argc, argv, {"procs", "scale", "runs", "app"});
+    support::Options opts(argc, argv, {"procs", "scale", "runs", "app", "jobs"});
     const auto procs =
         static_cast<std::uint32_t>(opts.getInt("procs", 64));
     const double scale = opts.getDouble("scale", 1.0);
     const auto runs =
         static_cast<std::uint64_t>(opts.getInt("runs", 100));
     const std::string app = opts.get("app", "fft");
+    const unsigned jobs = jobsOption(opts);
 
     printHeader("Section 7.1: " + app +
                     " average traffic with barrier backoff",
@@ -61,7 +62,8 @@ main(int argc, char **argv)
 
     const auto model_rate = [&](const core::BackoffConfig &bo) {
         const double per_proc = barrierCell(procs, a_window, bo,
-                                            Metric::Accesses, runs, 77);
+                                            Metric::Accesses, runs, 77,
+                                            jobs);
         return base_rate + 2.0 * per_proc / per_barrier_cycles;
     };
     // The trace's spin loop re-polls every 5th cycle; the matching

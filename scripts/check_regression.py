@@ -33,6 +33,7 @@ import sys
 
 BASELINE_SCHEMA = "absync.bench_baseline.v1"
 REPORT_SCHEMA = "absync.run_report.v1"
+TIMING_SCHEMA = "absync.gbench_timing.v1"
 
 # Fresh baselines pin every metric of the report with this band.
 # Deterministic simulators reproduce exactly on one machine; the
@@ -57,6 +58,126 @@ SEED_COMMANDS = {
         "{build}/bench/ext_hotspot_saturation --cycles 20000 "
         "--seed 19 --report-out {report}",
 }
+
+# ---------------------------------------------------------------------
+# Wall-clock gate: google-benchmark timings (absync.gbench_timing.v1).
+#
+# Unlike the stat baselines above (exact simulator outputs, tight
+# bands), timings are hardware-dependent, so the gate has two parts:
+#  - speedup floors: machine-independent *ratios* between benchmarks
+#    run back-to-back in one process.  The event-driven episode core
+#    must beat the reference cycle stepper by >= 5x (ISSUE 5's
+#    acceptance bar); this holds on any machine.
+#  - timing ceilings: measured real_time may not exceed the recorded
+#    baseline by more than max_ratio (default 3x — generous on
+#    purpose; it catches order-of-magnitude regressions such as the
+#    engine silently degenerating to per-cycle stepping, not scheduler
+#    jitter).  Reseed on a new reference machine with
+#    --write-baselines.
+# ---------------------------------------------------------------------
+
+TIMING_COMMAND = (
+    "{build}/bench/gbench_simulators "
+    "--benchmark_filter=^BM_Episode "
+    "--benchmark_format=json --benchmark_out={report} "
+    "--benchmark_repetitions=3 "
+    "--benchmark_report_aggregates_only=true")
+TIMING_TOOL = "BASELINE_gbench_timing"
+TIMING_MAX_RATIO = 3.0
+TIMING_SPEEDUP_FLOORS = [
+    {"numerator": "BM_EpisodeLargeNReference/64",
+     "denominator": "BM_EpisodeLargeN/64",
+     "min_ratio": 5.0},
+]
+
+
+def run_gbench(command, build, out_path):
+    """Run a gbench binary with JSON output; return {name: real_ns}."""
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    cmd = command.format(build=build, report=out_path)
+    proc = subprocess.run(shlex.split(cmd), stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.exit(f"gbench failed ({cmd}):\n{proc.stdout}")
+    with open(out_path) as f:
+        doc = json.load(f)
+    to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    times = {}
+    for b in doc.get("benchmarks", []):
+        # With aggregates, gate on the median; otherwise the raw run.
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b.get("run_name", b["name"])
+        else:
+            name = b["name"]
+        times[name] = (b["real_time"] *
+                       to_ns.get(b.get("time_unit", "ns"), 1.0))
+    return times
+
+
+def check_timing(baseline, times, inject):
+    """Yield human-readable failure strings."""
+    for floor in baseline.get("speedup_floors", []):
+        num, den = floor["numerator"], floor["denominator"]
+        if num not in times or den not in times:
+            yield (f"speedup floor {num}/{den}: benchmark missing "
+                   f"from gbench output")
+            continue
+        ratio = times[num] / times[den] if times[den] else 0.0
+        if inject and inject[0] in den:
+            ratio /= inject[1]
+        if ratio < floor["min_ratio"]:
+            yield (f"speedup floor: {num} / {den} = {ratio:.2f}x, "
+                   f"required >= {floor['min_ratio']:.2f}x")
+    for name, spec in sorted(baseline.get("timings", {}).items()):
+        if name not in times:
+            yield f"{name}: MISSING from gbench output"
+            continue
+        got = times[name]
+        if inject and inject[0] in name:
+            got *= inject[1]
+        ceiling = spec["real_time_ns"] * spec.get("max_ratio",
+                                                  TIMING_MAX_RATIO)
+        if got > ceiling:
+            yield (f"{name}: measured {got:.0f} ns, ceiling "
+                   f"{ceiling:.0f} ns (baseline "
+                   f"{spec['real_time_ns']:.0f} ns x "
+                   f"{spec.get('max_ratio', TIMING_MAX_RATIO):g})")
+
+
+def gate_timing(args, path, baseline):
+    out_path = args.results / f"{baseline['tool']}.gbench.json"
+    times = run_gbench(baseline["command"], args.build, out_path)
+    bad = list(check_timing(baseline, times, args.inject))
+    status = "FAIL" if bad else "ok"
+    print(f"{status:>4}  {baseline['tool']}  "
+          f"({len(baseline.get('timings', {}))} timings, "
+          f"{len(baseline.get('speedup_floors', []))} floors, "
+          f"out: {out_path})")
+    for msg in bad:
+        print(f"      {msg}")
+    return len(bad)
+
+
+def write_timing_baseline(args):
+    out_path = args.results / f"{TIMING_TOOL}.gbench.json"
+    times = run_gbench(TIMING_COMMAND, args.build, out_path)
+    doc = {
+        "schema": TIMING_SCHEMA,
+        "tool": TIMING_TOOL,
+        "command": TIMING_COMMAND,
+        "speedup_floors": TIMING_SPEEDUP_FLOORS,
+        "timings": {
+            name: {"real_time_ns": t, "max_ratio": TIMING_MAX_RATIO}
+            for name, t in sorted(times.items())
+        },
+    }
+    out = args.baselines / f"{TIMING_TOOL}.json"
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"seeded {out} ({len(doc['timings'])} timings)")
 
 
 def run_bench(command, build, report_path):
@@ -99,9 +220,13 @@ def gate(args, baseline_paths):
     for path in baseline_paths:
         with open(path) as f:
             baseline = json.load(f)
+        if baseline.get("schema") == TIMING_SCHEMA:
+            failures += gate_timing(args, path, baseline)
+            continue
         if baseline.get("schema") != BASELINE_SCHEMA:
             sys.exit(f"{path}: schema is {baseline.get('schema')!r},"
-                     f" expected {BASELINE_SCHEMA!r}")
+                     f" expected {BASELINE_SCHEMA!r} or "
+                     f"{TIMING_SCHEMA!r}")
         tool = baseline["tool"]
         report_path = args.results / f"{tool}.report.json"
         report = run_bench(baseline["command"], args.build,
@@ -131,6 +256,10 @@ def gate(args, baseline_paths):
 
 def write_baselines(args):
     args.baselines.mkdir(parents=True, exist_ok=True)
+    if args.only in ("timing", "all"):
+        write_timing_baseline(args)
+    if args.only == "timing":
+        return
     for tool, command in sorted(SEED_COMMANDS.items()):
         report_path = args.results / f"{tool}.report.json"
         report = run_bench(command, args.build, report_path)
@@ -164,6 +293,17 @@ def main():
     ap.add_argument("--write-baselines", action="store_true",
                     help="run the seed benches and (re)write the"
                          " baseline files instead of gating")
+    ap.add_argument("--filter", default="",
+                    help="gate only baselines whose filename contains"
+                         " this substring (e.g. gbench_timing for the"
+                         " perf-smoke job)")
+    ap.add_argument("--only", choices=("stats", "timing", "all"),
+                    default="all",
+                    help="with --write-baselines: which baseline kind"
+                         " to reseed.  The stat baselines are exact"
+                         " simulator outputs and should not move"
+                         " unless behaviour intentionally changed;"
+                         " use --only timing after a hardware change")
     args = ap.parse_args()
     if args.inject:
         args.inject = (args.inject[0], float(args.inject[1]))
@@ -172,10 +312,11 @@ def main():
         write_baselines(args)
         return 0
 
-    baseline_paths = sorted(args.baselines.glob("*.json"))
+    baseline_paths = sorted(p for p in args.baselines.glob("*.json")
+                            if args.filter in p.name)
     if not baseline_paths:
-        sys.exit(f"no baselines under {args.baselines}/ "
-                 f"(seed them with --write-baselines)")
+        sys.exit(f"no baselines under {args.baselines}/ matching "
+                 f"{args.filter!r} (seed them with --write-baselines)")
     return gate(args, baseline_paths)
 
 

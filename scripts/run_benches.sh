@@ -31,8 +31,18 @@
 # *.FAILED.txt and the script exits nonzero, so a broken bench can
 # never silently truncate the published results.
 #
-# Usage: scripts/run_benches.sh [build-dir] [results-dir]
+# Usage: scripts/run_benches.sh [--jobs N] [build-dir] [results-dir]
+#
+# --jobs N fans the episode loops of the sweep benches out over N
+# worker threads per cell (0 = one per hardware thread).  Purely a
+# wall-clock knob: runMany's deterministic fold keeps every published
+# number bitwise identical to a serial run.
 set -euo pipefail
+JOBS=1
+if [ "${1:-}" = "--jobs" ]; then
+    JOBS="${2:?--jobs requires a value}"
+    shift 2
+fi
 BUILD="${1:-build}"
 OUT="${2:-results}"
 mkdir -p "$OUT"
@@ -51,6 +61,17 @@ for b in "$BUILD"/bench/*; do
         ext_hotspot_saturation)
             extra=(--report-out "$OUT/REPORT_$name.json"
                    --trace-out "$OUT/hotspot_occupancy_trace.json")
+            ;;
+    esac
+    # Episode-sweep benches take --jobs (deterministic parallel
+    # runMany; numbers are identical for any worker count).
+    case "$name" in
+        fig[4-9]*|fig10*|sec[357]*|ext_arbitration|\
+        ext_combining_tree|ext_controller_backoff|\
+        ext_deterministic_vs_random|ext_fault_robustness|\
+        ext_one_variable_barrier|ext_queue_threshold|\
+        ext_resource_sim|ext_scaled_var_backoff)
+            extra+=(--jobs "$JOBS")
             ;;
     esac
     echo "== $name"
@@ -99,6 +120,12 @@ for name in ("BENCH_runtime.json", "BENCH_simulators.json",
     print(f"   {name}: valid json")
 
 assert docs["BENCH_counters.json"]["schema"] == "absync.sync_counters.v1"
+# The demo's simulator stage must surface the event-driven engine's
+# skip accounting in the export (telemetry-on builds).
+if docs["BENCH_counters.json"]["enabled"]:
+    skipped = docs["BENCH_counters.json"]["total"]["cycles_skipped"]
+    assert skipped > 0, "cycles_skipped is zero in BENCH_counters.json"
+    print(f"   BENCH_counters.json: cycles_skipped={skipped}")
 trace = docs["sample_chrome_trace.json"]
 assert trace["otherData"]["schema"] == "absync.chrome_trace.v1"
 assert isinstance(trace["traceEvents"], list)

@@ -4,8 +4,13 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <iterator>
+#include <utility>
+#include <vector>
 
 #include "support/fault.hpp"
+#include "support/thread_pool.hpp"
 
 namespace absync::core
 {
@@ -30,6 +35,33 @@ EpisodeResult::avgWait() const
     for (const auto &p : procs)
         sum += p.waitCycles;
     return static_cast<double>(sum) / static_cast<double>(procs.size());
+}
+
+void
+EpisodeSummary::merge(const EpisodeResult &res)
+{
+    accesses.add(res.avgAccesses());
+    wait.add(res.avgWait());
+    span.add(static_cast<double>(res.lastArrival - res.firstArrival));
+    setTime.add(static_cast<double>(res.flagSetTime));
+    flagTraffic.add(static_cast<double>(res.flagModuleTraffic));
+    for (const auto &p : res.procs) {
+        blockedProcs += p.blocked ? 1 : 0;
+        timedOutProcs += p.timedOut ? 1 : 0;
+        crashedProcs += p.crashed ? 1 : 0;
+        if (!p.crashed)
+            waitProfile.add(p.waitCycles);
+    }
+    if (moduleHeat.empty()) {
+        moduleHeat.reserve(res.moduleHeat.size());
+        moduleHeat = res.moduleHeat;
+    } else {
+        for (std::size_t m = 0; m < moduleHeat.size(); ++m)
+            moduleHeat[m] += res.moduleHeat[m];
+    }
+    cyclesSkipped += res.cyclesSkipped;
+    eventsProcessed += res.eventsProcessed;
+    ++runs;
 }
 
 BarrierSimulator::BarrierSimulator(const BarrierConfig &cfg) : cfg_(cfg)
@@ -65,36 +97,107 @@ struct Proc
     std::uint64_t delay = 0; ///< length of the backoff being served
 };
 
-} // namespace
-
-EpisodeResult
-BarrierSimulator::runOnce(support::Rng &rng,
-                          std::uint64_t episode) const
+/** One pending wake-up in the event heap. */
+struct WakeEvent
 {
-    const std::uint32_t n = cfg_.processors;
-    const BackoffConfig &bo = cfg_.backoff;
-    const support::FaultPlan *fp = cfg_.faults;
+    std::uint64_t time;
+    std::uint32_t id;
+};
+
+/** Heap comparator: std::*_heap build max-heaps, so order by "later
+ *  wakes first" to get a min-heap on time. */
+struct LaterWake
+{
+    bool
+    operator()(const WakeEvent &a, const WakeEvent &b) const
+    {
+        return a.time > b.time;
+    }
+};
+
+/**
+ * Hot-path scratch reused across runOnce calls on the same thread, so
+ * repeated episodes (runMany, sweeps, benches) allocate nothing but
+ * their EpisodeResult.  Thread-local: parallel runMany workers each
+ * own one.
+ */
+struct Workspace
+{
+    std::vector<Proc> procs;
+    std::vector<sim::RequesterId> var_reqs;
+    std::vector<sim::RequesterId> flag_reqs;
+    std::vector<sim::RequesterId> blocked_ids;
+    std::vector<WakeEvent> heap;
+    std::vector<std::uint32_t> due;
+    std::vector<std::uint32_t> active;
+    std::vector<std::uint32_t> next_active;
+    std::vector<std::uint32_t> merged;
+};
+
+Workspace &
+tlsWorkspace()
+{
+    static thread_local Workspace ws;
+    return ws;
+}
+
+/**
+ * Mutable episode state threaded through the phase helpers.  Both
+ * engines — the event-driven runOnce and the runOnceReference cycle
+ * stepper — drive the *same* phase code below; they differ only in
+ * which cycles they execute and which processors they visit in
+ * phase 1.  Bit-identical results therefore reduce to the scheduling
+ * argument in DESIGN.md §12, not to two copies of the barrier logic
+ * staying in sync.
+ */
+struct EpisodeCtx
+{
+    const BarrierConfig &cfg;
+    const support::FaultPlan *fp;
+    std::vector<Proc> &procs;
+    sim::MemoryModule &var_mod;
+    sim::MemoryModule &flag_mod;
+    std::vector<sim::RequesterId> &var_reqs;
+    std::vector<sim::RequesterId> &flag_reqs;
+    std::vector<sim::RequesterId> &blocked_ids;
+    EpisodeResult &res;
+    std::uint32_t done = 0;
+    std::uint32_t counter = 0; // barrier variable value
+    bool flag_set = false;
+};
+
+/**
+ * Common episode prologue: fault-plan sanity check, arrival draws,
+ * crash marking, arrival-span accounting.  Returns the number of
+ * processors already done (crashed ones never arrive).
+ */
+std::uint32_t
+initEpisode(const BarrierConfig &cfg, const support::FaultPlan *fp,
+            support::Rng &rng, std::uint64_t episode,
+            std::vector<Proc> &procs, EpisodeResult &res)
+{
+    const std::uint32_t n = cfg.processors;
     // Hard check, not assert: a crashed processor never sets the
     // flag, so unbounded waiting would spin the episode loop forever
     // — including in release builds, where asserts compile out.
     if (fp != nullptr && fp->config().crashProb > 0.0 &&
-        cfg_.timeoutCycles == 0) {
+        cfg.timeoutCycles == 0) {
         std::fprintf(stderr,
                      "BarrierSimulator: crash faults require bounded "
                      "waiting (set timeoutCycles > 0)\n");
         std::abort();
     }
 
-    EpisodeResult res;
     res.procs.assign(n, {});
+    res.moduleHeat.reserve(2);
 
     std::uint32_t done = 0;
-    std::vector<Proc> procs(n);
+    procs.assign(n, Proc{});
     for (std::uint32_t id = 0; id < n; ++id) {
         Proc &p = procs[id];
-        p.arrival = cfg_.arrivalWindow == 0
+        p.arrival = cfg.arrivalWindow == 0
                         ? 0
-                        : rng.uniformInt(0, cfg_.arrivalWindow);
+                        : rng.uniformInt(0, cfg.arrivalWindow);
         if (fp != nullptr) {
             // Stragglers arrive late; crashed processors never do.
             p.arrival += fp->stragglerDelay(id, episode);
@@ -121,285 +224,278 @@ BarrierSimulator::runOnce(support::Rng &rng,
                 std::max(res.lastArrival, procs[id].arrival);
         }
     }
+    return done;
+}
 
-    sim::MemoryModule var_mod(cfg_.arbitration);
-    sim::MemoryModule flag_mod(cfg_.arbitration);
-    if (fp != nullptr) {
-        var_mod.setFaults(fp, 0);
-        flag_mod.setFaults(fp, 1);
+/** Phase 1 for one processor: wake transition, timeout check, request
+ *  submission.  Only processors whose state can change this cycle
+ *  need to be visited — for everyone else this is a no-op. */
+void
+phase1Step(EpisodeCtx &c, std::uint32_t id, std::uint64_t cycle)
+{
+    Proc &p = c.procs[id];
+    switch (p.state) {
+      case PState::WaitArrive:
+        if (p.arrival <= cycle)
+            p.state = PState::ReqVar;
+        break;
+      case PState::VarBackoff:
+      case PState::FlagBackoff:
+        if (p.wake <= cycle)
+            p.state = PState::ReqFlag;
+        break;
+      case PState::CtrlWait:
+        if (p.wake <= cycle)
+            p.state = p.resume;
+        break;
+      default:
+        break;
     }
+    // Bounded waiting: give up after timeoutCycles.  The
+    // flag writer is exempt — it is every waiter's critical
+    // path and is guaranteed an eventual grant.
+    if (c.cfg.timeoutCycles > 0 && p.state != PState::WaitArrive &&
+        p.state != PState::ReqSetFlag && p.state != PState::Done &&
+        cycle - p.arrival >= c.cfg.timeoutCycles) {
+        // Giving up mid-backoff: take back the unserved tail
+        // of the interval so backoff_waited only counts
+        // cycles actually spent waiting.
+        if ((p.state == PState::VarBackoff ||
+             p.state == PState::FlagBackoff ||
+             p.state == PState::CtrlWait) &&
+            p.wake > cycle) {
+            c.res.counters.backoffWaited -=
+                std::min(p.delay, p.wake - cycle);
+        }
+        p.state = PState::Done;
+        ++c.done;
+        c.res.procs[id].timedOut = true;
+        c.res.procs[id].waitCycles = cycle - p.arrival;
+    }
+    if (p.state == PState::ReqVar) {
+        c.var_mod.request(id);
+        c.var_reqs.push_back(id);
+        ++c.res.procs[id].accesses;
+        ++c.res.counters.counterRmws;
+    } else if (p.state == PState::ReqFlag ||
+               p.state == PState::ReqSetFlag) {
+        // One-variable barrier: the counter is also the
+        // thing being polled, so waiters contend with the
+        // arriving incrementers on the same module.
+        if (c.cfg.singleVariable) {
+            c.var_mod.request(id);
+            c.var_reqs.push_back(id);
+        } else {
+            c.flag_mod.request(id);
+            c.flag_reqs.push_back(id);
+        }
+        ++c.res.procs[id].accesses;
+        ++c.res.counters.flagPolls;
+    }
+}
 
-    std::uint32_t counter = 0; // barrier variable value
-    bool flag_set = false;
-    std::vector<sim::RequesterId> blocked_ids;
+/** Phases 2-5 of one executed cycle: module arbitration, access
+ *  outcomes, controller backoff, last-exit accounting. */
+void
+resolveCycle(EpisodeCtx &c, std::uint64_t cycle, support::Rng &rng)
+{
+    const std::uint32_t n = c.cfg.processors;
+    const BackoffConfig &bo = c.cfg.backoff;
+    const support::FaultPlan *fp = c.fp;
+    EpisodeResult &res = c.res;
 
-    std::uint64_t cycle = res.firstArrival;
-    // Generous safety net: no legitimate episode can outlive this.
-    const std::uint64_t horizon =
-        res.lastArrival + (1ULL << 62) / std::max<std::uint32_t>(n, 1);
+    // Phase 2: each module grants one access.
+    const sim::RequesterId var_win = c.var_mod.arbitrate(rng);
+    const sim::RequesterId flag_win = c.flag_mod.arbitrate(rng);
 
-    std::vector<sim::RequesterId> var_reqs;
-    std::vector<sim::RequesterId> flag_reqs;
-
-    while (done < n && cycle < horizon) {
-        // Phase 1: wake transitions and request submission.
-        var_reqs.clear();
-        flag_reqs.clear();
-        for (std::uint32_t id = 0; id < n; ++id) {
-            Proc &p = procs[id];
-            switch (p.state) {
-              case PState::WaitArrive:
-                if (p.arrival <= cycle)
-                    p.state = PState::ReqVar;
-                break;
-              case PState::VarBackoff:
-              case PState::FlagBackoff:
-                if (p.wake <= cycle)
-                    p.state = PState::ReqFlag;
-                break;
-              case PState::CtrlWait:
-                if (p.wake <= cycle)
-                    p.state = p.resume;
-                break;
-              default:
-                break;
-            }
-            // Bounded waiting: give up after timeoutCycles.  The
-            // flag writer is exempt — it is every waiter's critical
-            // path and is guaranteed an eventual grant.
-            if (cfg_.timeoutCycles > 0 &&
-                p.state != PState::WaitArrive &&
-                p.state != PState::ReqSetFlag &&
-                p.state != PState::Done &&
-                cycle - p.arrival >= cfg_.timeoutCycles) {
-                // Giving up mid-backoff: take back the unserved tail
-                // of the interval so backoff_waited only counts
-                // cycles actually spent waiting.
-                if ((p.state == PState::VarBackoff ||
-                     p.state == PState::FlagBackoff ||
-                     p.state == PState::CtrlWait) &&
-                    p.wake > cycle) {
-                    res.counters.backoffWaited -=
-                        std::min(p.delay, p.wake - cycle);
-                }
-                p.state = PState::Done;
-                ++done;
-                res.procs[id].timedOut = true;
-                res.procs[id].waitCycles = cycle - p.arrival;
-            }
-            if (p.state == PState::ReqVar) {
-                var_mod.request(id);
-                var_reqs.push_back(id);
-                ++res.procs[id].accesses;
-                ++res.counters.counterRmws;
-            } else if (p.state == PState::ReqFlag ||
-                       p.state == PState::ReqSetFlag) {
-                // One-variable barrier: the counter is also the
-                // thing being polled, so waiters contend with the
-                // arriving incrementers on the same module.
-                if (cfg_.singleVariable) {
-                    var_mod.request(id);
-                    var_reqs.push_back(id);
-                } else {
-                    flag_mod.request(id);
-                    flag_reqs.push_back(id);
-                }
-                ++res.procs[id].accesses;
-                ++res.counters.flagPolls;
+    // Phase 3: outcome of the variable fetch&add (or, for the
+    // one-variable barrier, a counter poll by a waiter).
+    if (var_win != sim::NO_GRANT &&
+        c.procs[var_win].state == PState::ReqFlag) {
+        // One-variable mode: a granted counter read.
+        Proc &p = c.procs[var_win];
+        if (c.counter == n) {
+            p.state = PState::Done;
+            ++c.done;
+            res.procs[var_win].waitCycles = cycle - p.arrival;
+        } else {
+            auto &out = res.procs[var_win];
+            ++out.unsetPolls;
+            std::uint64_t d = bo.flagDelay(out.unsetPolls);
+            if (bo.randomized && d > 0)
+                d = rng.uniformInt(1, 2 * d);
+            const std::uint64_t asked = d;
+            if (fp != nullptr && d > 1 &&
+                fp->spuriousWake(var_win, out.unsetPolls))
+                d = 1; // woken early: re-poll almost immediately
+            if (bo.shouldBlock(d)) {
+                p.state = PState::Blocked;
+                c.blocked_ids.push_back(var_win);
+                out.blocked = true;
+                out.accesses += bo.blockAccessCost;
+                ++res.counters.parks;
+            } else if (d > 0) {
+                p.state = PState::FlagBackoff;
+                p.wake = cycle + 1 + d;
+                p.delay = d;
+                res.counters.backoffRequested += asked;
+                res.counters.backoffWaited += d;
             }
         }
-
-        // Phase 2: each module grants one access.
-        const sim::RequesterId var_win = var_mod.arbitrate(rng);
-        const sim::RequesterId flag_win = flag_mod.arbitrate(rng);
-
-        // Phase 3: outcome of the variable fetch&add (or, for the
-        // one-variable barrier, a counter poll by a waiter).
-        if (var_win != sim::NO_GRANT &&
-            procs[var_win].state == PState::ReqFlag) {
-            // One-variable mode: a granted counter read.
-            Proc &p = procs[var_win];
-            if (counter == n) {
+    } else if (var_win != sim::NO_GRANT) {
+        Proc &p = c.procs[var_win];
+        ++c.counter;
+        if (c.counter == n) {
+            if (c.cfg.singleVariable) {
+                // The counter itself reads N: the last arriver
+                // simply proceeds; waiters observe N on their
+                // next granted poll.
                 p.state = PState::Done;
-                ++done;
+                ++c.done;
                 res.procs[var_win].waitCycles = cycle - p.arrival;
-            } else {
-                auto &out = res.procs[var_win];
-                ++out.unsetPolls;
-                std::uint64_t d = bo.flagDelay(out.unsetPolls);
-                if (bo.randomized && d > 0)
-                    d = rng.uniformInt(1, 2 * d);
-                const std::uint64_t asked = d;
-                if (fp != nullptr && d > 1 &&
-                    fp->spuriousWake(var_win, out.unsetPolls))
-                    d = 1; // woken early: re-poll almost immediately
-                if (bo.shouldBlock(d)) {
-                    p.state = PState::Blocked;
-                    blocked_ids.push_back(var_win);
-                    out.blocked = true;
-                    out.accesses += bo.blockAccessCost;
-                    ++res.counters.parks;
-                } else if (d > 0) {
-                    p.state = PState::FlagBackoff;
-                    p.wake = cycle + 1 + d;
-                    p.delay = d;
-                    res.counters.backoffRequested += asked;
-                    res.counters.backoffWaited += d;
-                }
-            }
-        } else if (var_win != sim::NO_GRANT) {
-            Proc &p = procs[var_win];
-            ++counter;
-            if (counter == n) {
-                if (cfg_.singleVariable) {
-                    // The counter itself reads N: the last arriver
-                    // simply proceeds; waiters observe N on their
-                    // next granted poll.
-                    p.state = PState::Done;
-                    ++done;
-                    res.procs[var_win].waitCycles =
-                        cycle - p.arrival;
-                    res.flagSetTime = cycle;
-                    for (sim::RequesterId b : blocked_ids) {
-                        Proc &q = procs[b];
-                        if (q.state == PState::Done)
-                            continue; // already timed out
-                        q.state = PState::Done;
-                        ++done;
-                        ++res.counters.wakes;
-                        const std::uint64_t exit =
-                            cycle + bo.blockWakeupCycles;
-                        res.procs[b].waitCycles = exit - q.arrival;
-                        res.lastExitTime =
-                            std::max(res.lastExitTime, exit);
-                    }
-                    blocked_ids.clear();
-                } else {
-                    // Last arriver: set the flag next cycle.
-                    p.state = PState::ReqSetFlag;
-                }
-            } else {
-                const std::uint64_t d = bo.variableDelay(n, counter);
-                if (d == 0) {
-                    p.state = PState::ReqFlag;
-                } else {
-                    p.state = PState::VarBackoff;
-                    p.wake = cycle + 1 + d;
-                    p.delay = d;
-                    res.counters.backoffRequested += d;
-                    res.counters.backoffWaited += d;
-                }
-            }
-        }
-
-        // Phase 4: outcome of the flag access (read or write).
-        if (flag_win != sim::NO_GRANT) {
-            Proc &p = procs[flag_win];
-            if (p.state == PState::ReqSetFlag) {
-                flag_set = true;
                 res.flagSetTime = cycle;
-                p.state = PState::Done;
-                ++done;
-                res.procs[flag_win].waitCycles = cycle - p.arrival;
-                // Release any blocked processors.
-                for (sim::RequesterId b : blocked_ids) {
-                    Proc &q = procs[b];
+                for (sim::RequesterId b : c.blocked_ids) {
+                    Proc &q = c.procs[b];
                     if (q.state == PState::Done)
                         continue; // already timed out
                     q.state = PState::Done;
-                    ++done;
+                    ++c.done;
                     ++res.counters.wakes;
                     const std::uint64_t exit =
                         cycle + bo.blockWakeupCycles;
                     res.procs[b].waitCycles = exit - q.arrival;
-                    res.lastExitTime = std::max(res.lastExitTime, exit);
+                    res.lastExitTime =
+                        std::max(res.lastExitTime, exit);
                 }
-                blocked_ids.clear();
-            } else if (flag_set) {
-                p.state = PState::Done;
-                ++done;
-                res.procs[flag_win].waitCycles = cycle - p.arrival;
+                c.blocked_ids.clear();
             } else {
-                // Successful read, flag not set: backoff decision.
-                auto &out = res.procs[flag_win];
-                ++out.unsetPolls;
-                std::uint64_t d = bo.flagDelay(out.unsetPolls);
-                if (bo.randomized && d > 0)
-                    d = rng.uniformInt(1, 2 * d);
-                const std::uint64_t asked = d;
-                if (fp != nullptr && d > 1 &&
-                    fp->spuriousWake(flag_win, out.unsetPolls))
-                    d = 1; // woken early: re-poll almost immediately
-                if (bo.shouldBlock(d)) {
-                    p.state = PState::Blocked;
-                    blocked_ids.push_back(flag_win);
-                    out.blocked = true;
-                    out.accesses += bo.blockAccessCost;
-                    ++res.counters.parks;
-                } else if (d == 0) {
-                    // Poll again next cycle; stay in ReqFlag.
-                } else {
-                    p.state = PState::FlagBackoff;
-                    p.wake = cycle + 1 + d;
-                    p.delay = d;
-                    res.counters.backoffRequested += asked;
-                    res.counters.backoffWaited += d;
-                }
+                // Last arriver: set the flag next cycle.
+                p.state = PState::ReqSetFlag;
+            }
+        } else {
+            const std::uint64_t d = bo.variableDelay(n, c.counter);
+            if (d == 0) {
+                p.state = PState::ReqFlag;
+            } else {
+                p.state = PState::VarBackoff;
+                p.wake = cycle + 1 + d;
+                p.delay = d;
+                res.counters.backoffRequested += d;
+                res.counters.backoffWaited += d;
             }
         }
-
-        // Phase 5: denied requesters may invoke the network
-        // controller's own backoff (Section 8) instead of retrying
-        // every cycle.  Winners reset their denial streak.
-        if (var_win != sim::NO_GRANT)
-            procs[var_win].denials = 0;
-        if (flag_win != sim::NO_GRANT)
-            procs[flag_win].denials = 0;
-        if (bo.controllerBackoff) {
-            const auto deny = [&](sim::RequesterId id,
-                                  sim::RequesterId winner) {
-                if (id == winner)
-                    return;
-                Proc &p = procs[id];
-                ++p.denials;
-                const std::uint64_t w =
-                    bo.controllerWindow(p.denials);
-                // The releasing write is exempt: it is the critical
-                // path of every waiter, and retreating from the
-                // module forfeits its queue seniority each time —
-                // with pollers re-arming every cycle that starves
-                // the release outright (observed as livelock).
-                if (w > 0 && (p.state == PState::ReqVar ||
-                              p.state == PState::ReqFlag)) {
-                    // Randomized: equal-streak losers must not
-                    // return in lockstep (see backoff.hpp).
-                    p.resume = p.state;
-                    p.state = PState::CtrlWait;
-                    const std::uint64_t drawn = rng.uniformInt(1, w);
-                    p.wake = cycle + 1 + drawn;
-                    p.delay = drawn;
-                    res.counters.backoffRequested += drawn;
-                    res.counters.backoffWaited += drawn;
-                }
-            };
-            for (sim::RequesterId id : var_reqs)
-                deny(id, var_win);
-            for (sim::RequesterId id : flag_reqs)
-                deny(id, flag_win);
-        }
-
-        res.lastExitTime = std::max(res.lastExitTime, cycle);
-        ++cycle;
     }
 
-    assert(done == n && "barrier episode failed to converge");
+    // Phase 4: outcome of the flag access (read or write).
+    if (flag_win != sim::NO_GRANT) {
+        Proc &p = c.procs[flag_win];
+        if (p.state == PState::ReqSetFlag) {
+            c.flag_set = true;
+            res.flagSetTime = cycle;
+            p.state = PState::Done;
+            ++c.done;
+            res.procs[flag_win].waitCycles = cycle - p.arrival;
+            // Release any blocked processors.
+            for (sim::RequesterId b : c.blocked_ids) {
+                Proc &q = c.procs[b];
+                if (q.state == PState::Done)
+                    continue; // already timed out
+                q.state = PState::Done;
+                ++c.done;
+                ++res.counters.wakes;
+                const std::uint64_t exit =
+                    cycle + bo.blockWakeupCycles;
+                res.procs[b].waitCycles = exit - q.arrival;
+                res.lastExitTime = std::max(res.lastExitTime, exit);
+            }
+            c.blocked_ids.clear();
+        } else if (c.flag_set) {
+            p.state = PState::Done;
+            ++c.done;
+            res.procs[flag_win].waitCycles = cycle - p.arrival;
+        } else {
+            // Successful read, flag not set: backoff decision.
+            auto &out = res.procs[flag_win];
+            ++out.unsetPolls;
+            std::uint64_t d = bo.flagDelay(out.unsetPolls);
+            if (bo.randomized && d > 0)
+                d = rng.uniformInt(1, 2 * d);
+            const std::uint64_t asked = d;
+            if (fp != nullptr && d > 1 &&
+                fp->spuriousWake(flag_win, out.unsetPolls))
+                d = 1; // woken early: re-poll almost immediately
+            if (bo.shouldBlock(d)) {
+                p.state = PState::Blocked;
+                c.blocked_ids.push_back(flag_win);
+                out.blocked = true;
+                out.accesses += bo.blockAccessCost;
+                ++res.counters.parks;
+            } else if (d == 0) {
+                // Poll again next cycle; stay in ReqFlag.
+            } else {
+                p.state = PState::FlagBackoff;
+                p.wake = cycle + 1 + d;
+                p.delay = d;
+                res.counters.backoffRequested += asked;
+                res.counters.backoffWaited += d;
+            }
+        }
+    }
+
+    // Phase 5: denied requesters may invoke the network
+    // controller's own backoff (Section 8) instead of retrying
+    // every cycle.  Winners reset their denial streak.
+    if (var_win != sim::NO_GRANT)
+        c.procs[var_win].denials = 0;
+    if (flag_win != sim::NO_GRANT)
+        c.procs[flag_win].denials = 0;
+    if (bo.controllerBackoff) {
+        const auto deny = [&](sim::RequesterId id,
+                              sim::RequesterId winner) {
+            if (id == winner)
+                return;
+            Proc &p = c.procs[id];
+            ++p.denials;
+            const std::uint64_t w = bo.controllerWindow(p.denials);
+            // The releasing write is exempt: it is the critical
+            // path of every waiter, and retreating from the
+            // module forfeits its queue seniority each time —
+            // with pollers re-arming every cycle that starves
+            // the release outright (observed as livelock).
+            if (w > 0 && (p.state == PState::ReqVar ||
+                          p.state == PState::ReqFlag)) {
+                // Randomized: equal-streak losers must not
+                // return in lockstep (see backoff.hpp).
+                p.resume = p.state;
+                p.state = PState::CtrlWait;
+                const std::uint64_t drawn = rng.uniformInt(1, w);
+                p.wake = cycle + 1 + drawn;
+                p.delay = drawn;
+                res.counters.backoffRequested += drawn;
+                res.counters.backoffWaited += drawn;
+            }
+        };
+        for (sim::RequesterId id : c.var_reqs)
+            deny(id, var_win);
+        for (sim::RequesterId id : c.flag_reqs)
+            deny(id, flag_win);
+    }
+
+    res.lastExitTime = std::max(res.lastExitTime, cycle);
+}
+
+/** Episode epilogue: module traffic, heat, outcome counters. */
+void
+finalizeEpisode(EpisodeCtx &c)
+{
+    EpisodeResult &res = c.res;
     res.varModuleTraffic =
-        var_mod.totalGrants() + var_mod.totalDenials();
+        c.var_mod.totalGrants() + c.var_mod.totalDenials();
     res.flagModuleTraffic =
-        flag_mod.totalGrants() + flag_mod.totalDenials();
-    res.moduleHeat.push_back(
-        var_mod.heat(cfg_.singleVariable ? "counter" : "variable"));
-    res.moduleHeat.push_back(flag_mod.heat("flag"));
+        c.flag_mod.totalGrants() + c.flag_mod.totalDenials();
+    res.moduleHeat.push_back(c.var_mod.heat(
+        c.cfg.singleVariable ? "counter" : "variable"));
+    res.moduleHeat.push_back(c.flag_mod.heat("flag"));
     // Outcome counters, matching the runtime flat barriers: a timed-
     // out processor withdrew its arrival (withdrawal + timeout); every
     // other non-crashed processor completed the episode.
@@ -413,38 +509,251 @@ BarrierSimulator::runOnce(support::Rng &rng,
             ++res.counters.episodes;
         }
     }
+}
+
+/** Safety-net end of simulated time (no legitimate episode gets
+ *  close; the post-loop assert fires if one does). */
+std::uint64_t
+episodeHorizon(const EpisodeResult &res, std::uint32_t n)
+{
+    return res.lastArrival + (1ULL << 62) / std::max<std::uint32_t>(n, 1);
+}
+
+} // namespace
+
+EpisodeResult
+BarrierSimulator::runOnce(support::Rng &rng,
+                          std::uint64_t episode) const
+{
+    const std::uint32_t n = cfg_.processors;
+    const support::FaultPlan *fp = cfg_.faults;
+    Workspace &ws = tlsWorkspace();
+
+    EpisodeResult res;
+    sim::MemoryModule var_mod(cfg_.arbitration);
+    sim::MemoryModule flag_mod(cfg_.arbitration);
+    const std::uint32_t done0 =
+        initEpisode(cfg_, fp, rng, episode, ws.procs, res);
+    if (fp != nullptr) {
+        var_mod.setFaults(fp, 0);
+        flag_mod.setFaults(fp, 1);
+    }
+
+    ws.var_reqs.clear();
+    ws.flag_reqs.clear();
+    ws.blocked_ids.clear();
+    ws.heap.clear();
+    ws.active.clear();
+
+    EpisodeCtx c{cfg_,        fp,           ws.procs,
+                 var_mod,     flag_mod,     ws.var_reqs,
+                 ws.flag_reqs, ws.blocked_ids, res};
+    c.done = done0;
+
+    // Seed the event heap: one arrival per live processor, plus its
+    // timeout deadline when bounded waiting is on.  Deadline events
+    // can turn out stale (the processor finished first) — executing a
+    // cycle for a processor with nothing to do is a no-op that
+    // consumes no randomness, so stale events are harmless.
+    for (std::uint32_t id = 0; id < n; ++id) {
+        const Proc &p = ws.procs[id];
+        if (p.state == PState::Done)
+            continue; // crashed: never arrives
+        ws.heap.push_back({p.arrival, id});
+        if (cfg_.timeoutCycles > 0)
+            ws.heap.push_back(
+                {p.arrival + cfg_.timeoutCycles, id});
+    }
+    std::make_heap(ws.heap.begin(), ws.heap.end(), LaterWake{});
+
+    std::uint64_t cycle = res.firstArrival;
+    const std::uint64_t horizon = episodeHorizon(res, n);
+
+    while (c.done < n && cycle < horizon) {
+        ++res.eventsProcessed;
+
+        // Wake-ups due this cycle; duplicates (a processor can hold
+        // both a wake and a deadline event) collapse in the sort.
+        ws.due.clear();
+        while (!ws.heap.empty() && ws.heap.front().time <= cycle) {
+            std::pop_heap(ws.heap.begin(), ws.heap.end(),
+                          LaterWake{});
+            ws.due.push_back(ws.heap.back().id);
+            ws.heap.pop_back();
+        }
+        std::sort(ws.due.begin(), ws.due.end());
+        ws.due.erase(std::unique(ws.due.begin(), ws.due.end()),
+                     ws.due.end());
+
+        // Processors acting this cycle, in ascending id order exactly
+        // like the reference stepper's phase-1 sweep: outstanding
+        // requesters (they retry every cycle) plus woken sleepers.
+        ws.merged.clear();
+        std::set_union(ws.active.begin(), ws.active.end(),
+                       ws.due.begin(), ws.due.end(),
+                       std::back_inserter(ws.merged));
+
+        ws.var_reqs.clear();
+        ws.flag_reqs.clear();
+        for (std::uint32_t id : ws.merged)
+            phase1Step(c, id, cycle);
+        resolveCycle(c, cycle, rng);
+
+        // Re-arm: requesters stay hot for the next cycle; new
+        // sleepers get a heap wake-up.  Blocked processors need no
+        // event — they are released inline by the flag setter or cut
+        // loose by their (already queued) timeout deadline.
+        ws.next_active.clear();
+        for (std::uint32_t id : ws.merged) {
+            const Proc &p = ws.procs[id];
+            switch (p.state) {
+              case PState::ReqVar:
+              case PState::ReqFlag:
+              case PState::ReqSetFlag:
+                ws.next_active.push_back(id);
+                break;
+              case PState::VarBackoff:
+              case PState::FlagBackoff:
+              case PState::CtrlWait:
+                if (p.wake > cycle) {
+                    ws.heap.push_back({p.wake, id});
+                    std::push_heap(ws.heap.begin(), ws.heap.end(),
+                                   LaterWake{});
+                }
+                break;
+              default:
+                break;
+            }
+        }
+        ws.active.swap(ws.next_active);
+
+        if (c.done >= n)
+            break;
+
+        // Time-skip: with no outstanding request, nothing can happen
+        // until the next heap event, and the skipped-over cycles are
+        // exactly empty arbitrate() calls (no RNG, no grants) — which
+        // MemoryModule::advance replays in O(1).
+        std::uint64_t next = cycle + 1;
+        if (ws.active.empty()) {
+            if (ws.heap.empty()) {
+                // No runnable processor and no future event: nothing
+                // can ever change.  Unreachable in a well-formed
+                // episode (crash faults require timeout deadlines);
+                // mirror the reference stepper by running out the
+                // horizon so the post-loop assert fires in both.
+                next = horizon;
+            } else {
+                next = std::max(ws.heap.front().time, cycle + 1);
+            }
+        }
+        if (next > cycle + 1) {
+            const std::uint64_t skipped = next - (cycle + 1);
+            var_mod.advance(skipped);
+            flag_mod.advance(skipped);
+            res.cyclesSkipped += skipped;
+        }
+        cycle = next;
+    }
+
+    assert(c.done == n && "barrier episode failed to converge");
+    finalizeEpisode(c);
+    obs::countCyclesSkipped(res.cyclesSkipped);
+    obs::countEventsProcessed(res.eventsProcessed);
+    return res;
+}
+
+EpisodeResult
+BarrierSimulator::runOnceReference(support::Rng &rng,
+                                   std::uint64_t episode) const
+{
+    const std::uint32_t n = cfg_.processors;
+    const support::FaultPlan *fp = cfg_.faults;
+
+    EpisodeResult res;
+    std::vector<Proc> procs;
+    std::vector<sim::RequesterId> var_reqs;
+    std::vector<sim::RequesterId> flag_reqs;
+    std::vector<sim::RequesterId> blocked_ids;
+    sim::MemoryModule var_mod(cfg_.arbitration);
+    sim::MemoryModule flag_mod(cfg_.arbitration);
+    const std::uint32_t done0 =
+        initEpisode(cfg_, fp, rng, episode, procs, res);
+    if (fp != nullptr) {
+        var_mod.setFaults(fp, 0);
+        flag_mod.setFaults(fp, 1);
+    }
+
+    EpisodeCtx c{cfg_,      fp,       procs,       var_mod,
+                 flag_mod,  var_reqs, flag_reqs,   blocked_ids,
+                 res};
+    c.done = done0;
+
+    std::uint64_t cycle = res.firstArrival;
+    const std::uint64_t horizon = episodeHorizon(res, n);
+
+    while (c.done < n && cycle < horizon) {
+        ++res.eventsProcessed;
+        var_reqs.clear();
+        flag_reqs.clear();
+        for (std::uint32_t id = 0; id < n; ++id)
+            phase1Step(c, id, cycle);
+        resolveCycle(c, cycle, rng);
+        ++cycle;
+    }
+
+    assert(c.done == n && "barrier episode failed to converge");
+    finalizeEpisode(c);
+    obs::countEventsProcessed(res.eventsProcessed);
     return res;
 }
 
 EpisodeSummary
-BarrierSimulator::runMany(std::uint64_t runs, std::uint64_t seed) const
+BarrierSimulator::runMany(std::uint64_t runs, std::uint64_t seed,
+                          unsigned jobs) const
 {
     EpisodeSummary s;
     support::Rng master(seed);
-    for (std::uint64_t r = 0; r < runs; ++r) {
-        support::Rng run_rng = master.split();
-        const EpisodeResult res = runOnce(run_rng, r);
-        s.accesses.add(res.avgAccesses());
-        s.wait.add(res.avgWait());
-        s.span.add(static_cast<double>(res.lastArrival -
-                                       res.firstArrival));
-        s.setTime.add(static_cast<double>(res.flagSetTime));
-        s.flagTraffic.add(static_cast<double>(res.flagModuleTraffic));
-        for (const auto &p : res.procs) {
-            s.blockedProcs += p.blocked ? 1 : 0;
-            s.timedOutProcs += p.timedOut ? 1 : 0;
-            s.crashedProcs += p.crashed ? 1 : 0;
-            if (!p.crashed)
-                s.waitProfile.add(p.waitCycles);
+    jobs = support::ThreadPool::resolveJobs(jobs);
+    if (jobs <= 1 || runs < 2) {
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            support::Rng run_rng = master.split();
+            s.merge(runOnce(run_rng, r));
         }
-        if (s.moduleHeat.empty()) {
-            s.moduleHeat = res.moduleHeat;
-        } else {
-            for (std::size_t m = 0; m < s.moduleHeat.size(); ++m)
-                s.moduleHeat[m] += res.moduleHeat[m];
-        }
+        return s;
     }
-    s.runs = runs;
+
+    // Deterministic fan-out: pre-split every per-episode stream
+    // serially (the exact master.split() sequence the serial path
+    // draws), run episodes on the pool, and fold results in episode
+    // order through the same merge the serial path uses.  A bounded
+    // submission window keeps at most ~4 episodes per worker
+    // in flight so results never pile up unfolded.
+    std::vector<support::Rng> streams;
+    streams.reserve(runs);
+    for (std::uint64_t r = 0; r < runs; ++r)
+        streams.push_back(master.split());
+
+    support::ThreadPool pool(jobs);
+    std::vector<std::future<EpisodeResult>> futs(runs);
+    const std::uint64_t window =
+        std::max<std::uint64_t>(std::uint64_t{jobs} * 4, 1);
+    std::uint64_t submitted = 0;
+    const auto submit = [&](std::uint64_t r) {
+        futs[r] = pool.async([this, &streams, r]() {
+            support::Rng run_rng = streams[r];
+            return runOnce(run_rng, r);
+        });
+    };
+    for (; submitted < std::min(runs, window); ++submitted)
+        submit(submitted);
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        const EpisodeResult res = futs[r].get();
+        futs[r] = {};
+        if (submitted < runs)
+            submit(submitted++);
+        s.merge(res);
+    }
     return s;
 }
 

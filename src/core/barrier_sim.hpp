@@ -157,6 +157,17 @@ struct EpisodeResult
      */
     std::vector<obs::ModuleHeatSnapshot> moduleHeat;
 
+    /**
+     * Engine diagnostics, NOT part of the bit-identical episode
+     * contract (the equivalence tests compare everything above and
+     * exclude these two): cycles the event-driven engine jumped over
+     * because no processor could act, and cycles it actually executed.
+     * The reference stepper reports cyclesSkipped = 0 and
+     * eventsProcessed = every cycle of the episode.
+     */
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t eventsProcessed = 0;
+
     /** Mean network accesses per processor. */
     double avgAccesses() const;
     /** Mean waiting time per processor. */
@@ -186,10 +197,35 @@ struct EpisodeSummary
      * recorder: empty under ABSYNC_TELEMETRY=OFF.
      */
     obs::WaitProfile waitProfile;
+
+    /** Engine diagnostics summed across runs (see EpisodeResult). */
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t eventsProcessed = 0;
+
+    /**
+     * Fold one episode into the summary.  This is the ONLY
+     * accumulation path — the serial and parallel runMany both fold
+     * completed EpisodeResults in episode order through this method,
+     * which is what makes parallel summaries *bitwise* equal to
+     * serial ones: RunningStats::add is order-sensitive in floating
+     * point, and RunningStats::merge (Chan's block formula) rounds
+     * differently than a replayed add-sequence, so partial summaries
+     * must never be block-merged.
+     */
+    void merge(const EpisodeResult &res);
 };
 
 /**
  * Simulator for barrier episodes under the Section 3 network model.
+ *
+ * runOnce is event-driven (DESIGN.md §12): simulated time jumps
+ * straight to the next cycle on which some processor can act (an
+ * arrival, a backoff wake-up, a controller-pause expiry, a timeout
+ * deadline, or an outstanding request), so an episode costs
+ * O(events), not O(cycles).  Cycles with at least one outstanding
+ * request are executed one by one with the exact per-cycle
+ * arbitration of the reference stepper, so every EpisodeResult is
+ * bit-identical to runOnceReference on the same seed.
  */
 class BarrierSimulator
 {
@@ -205,10 +241,29 @@ class BarrierSimulator
                           std::uint64_t episode = 0) const;
 
     /**
+     * Reference cycle stepper: executes every cycle of the episode,
+     * touching every processor each cycle.  Kept as the oracle for
+     * the event-driven engine — the equivalence suite asserts
+     * bit-identical EpisodeResults across both on a policy grid.
+     * O(cycles x N); do not use on hot paths.
+     */
+    EpisodeResult runOnceReference(support::Rng &rng,
+                                   std::uint64_t episode = 0) const;
+
+    /**
      * Simulate @p runs episodes with per-run derived seeds and return
      * the summary (paper methodology, Section 5.2).
+     *
+     * @p jobs > 1 fans episodes out across a support::ThreadPool of
+     * that many workers (0 = one per hardware thread).  Determinism
+     * is preserved exactly: the per-episode RNG streams are pre-split
+     * serially in episode order (the same master.split() sequence the
+     * serial path consumes), and finished episodes are folded through
+     * EpisodeSummary::merge in episode order, so the summary is
+     * bitwise identical for any worker count.
      */
-    EpisodeSummary runMany(std::uint64_t runs, std::uint64_t seed) const;
+    EpisodeSummary runMany(std::uint64_t runs, std::uint64_t seed,
+                           unsigned jobs = 1) const;
 
     /** The configuration this simulator was built with. */
     const BarrierConfig &config() const { return cfg_; }

@@ -4,7 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <iterator>
 #include <vector>
+
+#include "obs/counters.hpp"
+#include "support/thread_pool.hpp"
 
 namespace absync::core
 {
@@ -69,149 +74,360 @@ expThink(support::Rng &rng, double mean)
     return static_cast<std::uint64_t>(-mean * std::log(u));
 }
 
+/** One pending processor wake-up in the event heap. */
+struct RWake
+{
+    std::uint64_t time;
+    std::uint32_t id;
+};
+
+struct RLaterWake
+{
+    bool
+    operator()(const RWake &a, const RWake &b) const
+    {
+        return a.time > b.time;
+    }
+};
+
+/** Per-thread scratch reused across runs (see barrier_sim.cpp). */
+struct ResourceWorkspace
+{
+    std::vector<RProc> procs;
+    std::vector<RWake> heap;
+    std::vector<std::uint32_t> due;
+    std::vector<std::uint32_t> active;
+    std::vector<std::uint32_t> next_active;
+    std::vector<std::uint32_t> merged;
+};
+
+ResourceWorkspace &
+tlsResourceWorkspace()
+{
+    static thread_local ResourceWorkspace ws;
+    return ws;
+}
+
+/** Shared experiment state: both engines drive the same step helpers
+ *  below, so the resource protocol exists exactly once. */
+struct RCtx
+{
+    const ResourceSimConfig &cfg;
+    std::vector<RProc> &procs;
+    sim::MemoryModule &mod;
+    ResourceSimStats &st;
+    support::RunningStats delay;
+    support::RunningStats waiters_at_acq;
+    bool held = false;
+    std::uint64_t held_cycles = 0;
+    std::uint64_t release_at = 0;
+    std::uint32_t holder = 0;
+    std::uint32_t waiters = 0; // procs between first try and acquire
+};
+
+/** Release at the top of the cycle so a same-cycle poll can succeed.
+ *  Returns true when the holder released (its next think wake-up is
+ *  then in procs[holder].wake). */
+bool
+releaseStep(RCtx &c, std::uint64_t cycle, support::Rng &rng)
+{
+    if (!c.held || c.release_at > cycle)
+        return false;
+    c.held = false;
+    RProc &h = c.procs[c.holder];
+    h.state = RS::Thinking;
+    h.wake = cycle + expThink(rng, c.cfg.meanThink);
+    return true;
+}
+
+/** Per-processor submission: think/backoff expiry, then the poll. */
+void
+submitStep(RCtx &c, std::uint32_t p, std::uint64_t cycle)
+{
+    RProc &pr = c.procs[p];
+    switch (pr.state) {
+      case RS::Thinking:
+        if (pr.wake <= cycle) {
+            pr.state = RS::Polling;
+            pr.firstTry = cycle;
+            pr.busyPolls = 0;
+            ++c.waiters;
+        }
+        break;
+      case RS::Backoff:
+        if (pr.wake <= cycle)
+            pr.state = RS::Polling;
+        break;
+      default:
+        break;
+    }
+    if (pr.state == RS::Polling) {
+        c.mod.request(p);
+        ++c.st.accesses;
+    }
+}
+
+/** One access served per cycle, then held-time accounting. */
+void
+resolveCycle(RCtx &c, std::uint64_t cycle, support::Rng &rng)
+{
+    const auto win = c.mod.arbitrate(rng);
+    if (win != sim::NO_GRANT) {
+        RProc &pr = c.procs[win];
+        if (!c.held) {
+            // Successful test&set.
+            c.held = true;
+            c.holder = win;
+            c.release_at = cycle + c.cfg.holdCycles;
+            pr.state = RS::Holding;
+            --c.waiters;
+            ++c.st.acquisitions;
+            c.delay.add(static_cast<double>(cycle - pr.firstTry));
+            c.waiters_at_acq.add(static_cast<double>(c.waiters));
+        } else {
+            // Busy: backoff decision (only after a completed
+            // read, per the paper's rule).
+            ++pr.busyPolls;
+            std::uint64_t d = 0;
+            switch (c.cfg.policy) {
+              case ResourceWaitPolicy::Spin:
+                d = 0;
+                break;
+              case ResourceWaitPolicy::Exponential: {
+                const std::uint64_t t =
+                    std::min<std::uint64_t>(pr.busyPolls,
+                                            c.cfg.expCap);
+                d = 1;
+                for (std::uint64_t i = 0; i < t; ++i) {
+                    if (d > (1ULL << 40))
+                        break;
+                    d *= c.cfg.expBase;
+                }
+                break;
+              }
+              case ResourceWaitPolicy::Proportional: {
+                // The paper's queue-length state: (waiters ahead
+                // of us) full hold times plus the holder's
+                // expected residual half hold.  `waiters`
+                // includes ourselves, so subtract one.
+                const std::uint64_t ahead =
+                    c.waiters > 0 ? c.waiters - 1 : 0;
+                d = ahead * c.cfg.holdEstimate +
+                    c.cfg.holdEstimate / 2;
+                d = std::max<std::uint64_t>(d, 1);
+                break;
+              }
+            }
+            if (d == 0) {
+                // Poll again next cycle.
+            } else {
+                pr.state = RS::Backoff;
+                pr.wake = cycle + 1 + d;
+            }
+        }
+    }
+
+    if (c.held)
+        ++c.held_cycles;
+}
+
+/** Derived metrics from the raw tallies. */
+void
+finalizeStats(RCtx &c)
+{
+    ResourceSimStats &st = c.st;
+    st.accessesPerAcquisition =
+        st.acquisitions ? static_cast<double>(st.accesses) /
+                              static_cast<double>(st.acquisitions)
+                        : 0.0;
+    st.avgQueueingDelay = c.delay.mean();
+    st.utilization = static_cast<double>(c.held_cycles) /
+                     static_cast<double>(c.cfg.cycles);
+    st.avgWaiters = c.waiters_at_acq.mean();
+}
+
 } // namespace
 
 ResourceSimStats
 ResourceSimulator::run(support::Rng &rng) const
 {
     const std::uint32_t n = cfg_.processors;
+    ResourceWorkspace &ws = tlsResourceWorkspace();
     ResourceSimStats st;
-    support::RunningStats delay;
-    support::RunningStats waiters_at_acq;
-
-    std::vector<RProc> procs(n);
-    for (auto &p : procs)
-        p.wake = expThink(rng, cfg_.meanThink);
-
     sim::MemoryModule mod(cfg_.arbitration);
-    bool held = false;
-    std::uint64_t held_cycles = 0;
-    std::uint64_t release_at = 0;
-    std::uint32_t holder = 0;
-    std::uint32_t waiters = 0; // procs between first try and acquire
 
-    for (std::uint64_t cycle = 0; cycle < cfg_.cycles; ++cycle) {
-        // Release first so a same-cycle poll can succeed.
-        if (held && release_at <= cycle) {
-            held = false;
-            RProc &h = procs[holder];
-            h.state = RS::Thinking;
-            h.wake = cycle + expThink(rng, cfg_.meanThink);
+    ws.procs.assign(n, RProc{});
+    RCtx c{cfg_, ws.procs, mod, st, {}, {}};
+
+    ws.heap.clear();
+    ws.active.clear();
+    for (std::uint32_t p = 0; p < n; ++p) {
+        ws.procs[p].wake = expThink(rng, cfg_.meanThink);
+        ws.heap.push_back({ws.procs[p].wake, p});
+    }
+    std::make_heap(ws.heap.begin(), ws.heap.end(), RLaterWake{});
+
+    std::uint64_t cycle = 0;
+    while (cycle < cfg_.cycles) {
+        ++st.eventsProcessed;
+
+        if (releaseStep(c, cycle, rng)) {
+            ws.heap.push_back({ws.procs[c.holder].wake, c.holder});
+            std::push_heap(ws.heap.begin(), ws.heap.end(),
+                           RLaterWake{});
         }
 
-        // Submissions.
-        for (std::uint32_t p = 0; p < n; ++p) {
-            RProc &pr = procs[p];
+        ws.due.clear();
+        while (!ws.heap.empty() && ws.heap.front().time <= cycle) {
+            std::pop_heap(ws.heap.begin(), ws.heap.end(),
+                          RLaterWake{});
+            ws.due.push_back(ws.heap.back().id);
+            ws.heap.pop_back();
+        }
+        std::sort(ws.due.begin(), ws.due.end());
+        ws.due.erase(std::unique(ws.due.begin(), ws.due.end()),
+                     ws.due.end());
+
+        ws.merged.clear();
+        std::set_union(ws.active.begin(), ws.active.end(),
+                       ws.due.begin(), ws.due.end(),
+                       std::back_inserter(ws.merged));
+
+        for (std::uint32_t p : ws.merged)
+            submitStep(c, p, cycle);
+        resolveCycle(c, cycle, rng);
+
+        ws.next_active.clear();
+        for (std::uint32_t p : ws.merged) {
+            const RProc &pr = ws.procs[p];
             switch (pr.state) {
-              case RS::Thinking:
-                if (pr.wake <= cycle) {
-                    pr.state = RS::Polling;
-                    pr.firstTry = cycle;
-                    pr.busyPolls = 0;
-                    ++waiters;
-                }
+              case RS::Polling:
+                ws.next_active.push_back(p);
                 break;
               case RS::Backoff:
-                if (pr.wake <= cycle)
-                    pr.state = RS::Polling;
+                if (pr.wake > cycle) {
+                    ws.heap.push_back({pr.wake, p});
+                    std::push_heap(ws.heap.begin(), ws.heap.end(),
+                                   RLaterWake{});
+                }
                 break;
               default:
+                // Thinking wakes are queued at init/release;
+                // Holding is driven by release_at.
                 break;
             }
-            if (pr.state == RS::Polling) {
-                mod.request(p);
-                ++st.accesses;
-            }
         }
+        ws.active.swap(ws.next_active);
 
-        // One access served per cycle.
-        const auto win = mod.arbitrate(rng);
-        if (win != sim::NO_GRANT) {
-            RProc &pr = procs[win];
-            if (!held) {
-                // Successful test&set.
-                held = true;
-                holder = win;
-                release_at = cycle + cfg_.holdCycles;
-                pr.state = RS::Holding;
-                --waiters;
-                ++st.acquisitions;
-                delay.add(static_cast<double>(cycle - pr.firstTry));
-                waiters_at_acq.add(static_cast<double>(waiters));
-            } else {
-                // Busy: backoff decision (only after a completed
-                // read, per the paper's rule).
-                ++pr.busyPolls;
-                std::uint64_t d = 0;
-                switch (cfg_.policy) {
-                  case ResourceWaitPolicy::Spin:
-                    d = 0;
-                    break;
-                  case ResourceWaitPolicy::Exponential: {
-                    const std::uint64_t t =
-                        std::min<std::uint64_t>(pr.busyPolls,
-                                                cfg_.expCap);
-                    d = 1;
-                    for (std::uint64_t i = 0; i < t; ++i) {
-                        if (d > (1ULL << 40))
-                            break;
-                        d *= cfg_.expBase;
-                    }
-                    break;
-                  }
-                  case ResourceWaitPolicy::Proportional: {
-                    // The paper's queue-length state: (waiters ahead
-                    // of us) full hold times plus the holder's
-                    // expected residual half hold.  `waiters`
-                    // includes ourselves, so subtract one.
-                    const std::uint64_t ahead =
-                        waiters > 0 ? waiters - 1 : 0;
-                    d = ahead * cfg_.holdEstimate +
-                        cfg_.holdEstimate / 2;
-                    d = std::max<std::uint64_t>(d, 1);
-                    break;
-                  }
-                }
-                if (d == 0) {
-                    // Poll again next cycle.
-                } else {
-                    pr.state = RS::Backoff;
-                    pr.wake = cycle + 1 + d;
-                }
-            }
+        // Time-skip to the next actionable cycle: a poll retry
+        // (cycle+1), a wake-up from the heap, or the pending release.
+        // Skipped cycles are empty arbitrate() calls plus, when the
+        // resource is held across the gap, held-time that accrues
+        // arithmetically.
+        std::uint64_t next = cycle + 1;
+        if (ws.active.empty()) {
+            next = cfg_.cycles;
+            if (!ws.heap.empty())
+                next = std::min(next, ws.heap.front().time);
+            if (c.held)
+                next = std::min(next, c.release_at);
+            next = std::max(next, cycle + 1);
         }
-
-        if (held)
-            ++held_cycles;
+        if (next > cycle + 1) {
+            const std::uint64_t skipped = next - (cycle + 1);
+            mod.advance(skipped);
+            if (c.held)
+                c.held_cycles += skipped;
+            st.cyclesSkipped += skipped;
+        }
+        cycle = next;
     }
 
-    st.accessesPerAcquisition =
-        st.acquisitions ? static_cast<double>(st.accesses) /
-                              static_cast<double>(st.acquisitions)
-                        : 0.0;
-    st.avgQueueingDelay = delay.mean();
-    st.utilization = static_cast<double>(held_cycles) /
-                     static_cast<double>(cfg_.cycles);
-    st.avgWaiters = waiters_at_acq.mean();
+    finalizeStats(c);
+    obs::countCyclesSkipped(st.cyclesSkipped);
+    obs::countEventsProcessed(st.eventsProcessed);
     return st;
 }
 
 ResourceSimStats
-ResourceSimulator::runMany(std::uint64_t runs, std::uint64_t seed) const
+ResourceSimulator::runReference(support::Rng &rng) const
+{
+    const std::uint32_t n = cfg_.processors;
+    ResourceSimStats st;
+    sim::MemoryModule mod(cfg_.arbitration);
+    std::vector<RProc> procs(n);
+    RCtx c{cfg_, procs, mod, st, {}, {}};
+
+    for (auto &p : procs)
+        p.wake = expThink(rng, cfg_.meanThink);
+
+    for (std::uint64_t cycle = 0; cycle < cfg_.cycles; ++cycle) {
+        ++st.eventsProcessed;
+        releaseStep(c, cycle, rng);
+        for (std::uint32_t p = 0; p < n; ++p)
+            submitStep(c, p, cycle);
+        resolveCycle(c, cycle, rng);
+    }
+
+    finalizeStats(c);
+    obs::countEventsProcessed(st.eventsProcessed);
+    return st;
+}
+
+ResourceSimStats
+ResourceSimulator::runMany(std::uint64_t runs, std::uint64_t seed,
+                           unsigned jobs) const
 {
     ResourceSimStats agg;
     support::RunningStats apa, delay, util, waiters;
-    support::Rng master(seed);
-    for (std::uint64_t r = 0; r < runs; ++r) {
-        support::Rng rng = master.split();
-        const auto st = run(rng);
+    const auto fold = [&](const ResourceSimStats &st) {
         agg.acquisitions += st.acquisitions;
         agg.accesses += st.accesses;
+        agg.cyclesSkipped += st.cyclesSkipped;
+        agg.eventsProcessed += st.eventsProcessed;
         apa.add(st.accessesPerAcquisition);
         delay.add(st.avgQueueingDelay);
         util.add(st.utilization);
         waiters.add(st.avgWaiters);
+    };
+
+    support::Rng master(seed);
+    jobs = support::ThreadPool::resolveJobs(jobs);
+    if (jobs <= 1 || runs < 2) {
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            support::Rng rng = master.split();
+            fold(run(rng));
+        }
+    } else {
+        // Same deterministic fan-out as BarrierSimulator::runMany:
+        // serially pre-split streams, runs on the pool, in-order fold.
+        std::vector<support::Rng> streams;
+        streams.reserve(runs);
+        for (std::uint64_t r = 0; r < runs; ++r)
+            streams.push_back(master.split());
+
+        support::ThreadPool pool(jobs);
+        std::vector<std::future<ResourceSimStats>> futs(runs);
+        const std::uint64_t window =
+            std::max<std::uint64_t>(std::uint64_t{jobs} * 4, 1);
+        std::uint64_t submitted = 0;
+        const auto submit = [&](std::uint64_t r) {
+            futs[r] = pool.async([this, &streams, r]() {
+                support::Rng rng = streams[r];
+                return run(rng);
+            });
+        };
+        for (; submitted < std::min(runs, window); ++submitted)
+            submit(submitted);
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            const ResourceSimStats st = futs[r].get();
+            futs[r] = {};
+            if (submitted < runs)
+                submit(submitted++);
+            fold(st);
+        }
     }
+
     agg.accessesPerAcquisition = apa.mean();
     agg.avgQueueingDelay = delay.mean();
     agg.utilization = util.mean();

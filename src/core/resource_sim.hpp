@@ -93,10 +93,24 @@ struct ResourceSimStats
     double utilization = 0.0;
     /** Mean waiters observed at acquisition time. */
     double avgWaiters = 0.0;
+
+    /**
+     * Engine diagnostics, NOT part of the bit-identical contract
+     * (see EpisodeResult in barrier_sim.hpp): cycles the event-driven
+     * engine jumped over and cycles it executed.  Summed in runMany.
+     */
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t eventsProcessed = 0;
 };
 
 /**
  * Simulator for the Section 8 resource-waiting extension.
+ *
+ * run is event-driven (DESIGN.md §12): simulated time jumps between
+ * think-time expiries, backoff wake-ups, and the release of the
+ * resource, with held-cycle accounting done arithmetically over the
+ * skipped stretches.  Results are bit-identical to runReference on
+ * the same seed.
  */
 class ResourceSimulator
 {
@@ -106,9 +120,21 @@ class ResourceSimulator
     /** Run one experiment of cfg.cycles cycles. */
     ResourceSimStats run(support::Rng &rng) const;
 
-    /** Average of @p runs experiments with derived seeds. */
-    ResourceSimStats runMany(std::uint64_t runs,
-                             std::uint64_t seed) const;
+    /**
+     * Reference cycle stepper: every cycle, every processor.  Oracle
+     * for the equivalence suite; O(cycles x N), not for hot paths.
+     */
+    ResourceSimStats runReference(support::Rng &rng) const;
+
+    /**
+     * Average of @p runs experiments with derived seeds.  @p jobs
+     * parallelizes across a support::ThreadPool (0 = hardware
+     * threads); results fold in run order, so the aggregate is
+     * bitwise independent of the worker count — see
+     * BarrierSimulator::runMany.
+     */
+    ResourceSimStats runMany(std::uint64_t runs, std::uint64_t seed,
+                             unsigned jobs = 1) const;
 
   private:
     ResourceSimConfig cfg_;

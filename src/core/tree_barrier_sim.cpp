@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <future>
+#include <iterator>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "support/thread_pool.hpp"
 
 namespace absync::core
 {
@@ -27,6 +33,17 @@ TreeEpisodeResult::avgWait() const
     for (auto w : waits)
         sum += w;
     return static_cast<double>(sum) / static_cast<double>(waits.size());
+}
+
+void
+TreeEpisodeSummary::merge(const TreeEpisodeResult &res)
+{
+    accesses.add(res.avgAccesses());
+    wait.add(res.avgWait());
+    maxModuleTraffic.add(static_cast<double>(res.maxModuleTraffic));
+    cyclesSkipped += res.cyclesSkipped;
+    eventsProcessed += res.eventsProcessed;
+    ++runs;
 }
 
 TreeBarrierSimulator::TreeBarrierSimulator(const TreeBarrierConfig &cfg)
@@ -88,163 +105,405 @@ struct TProc
     std::vector<std::uint32_t> won; ///< nodes won, leaf upward
 };
 
+/** One pending processor wake-up in the event heap. */
+struct TWake
+{
+    std::uint64_t time;
+    std::uint32_t id;
+};
+
+struct TLaterWake
+{
+    bool
+    operator()(const TWake &a, const TWake &b) const
+    {
+        return a.time > b.time;
+    }
+};
+
+/** Per-thread scratch reused across episodes (see barrier_sim.cpp). */
+struct TreeWorkspace
+{
+    std::vector<TProc> procs;
+    std::vector<sim::MemoryModule> var_mods;
+    std::vector<sim::MemoryModule> flag_mods;
+    std::vector<std::uint32_t> counts;
+    std::vector<bool> flags;
+    std::vector<TWake> heap;
+    std::vector<std::uint32_t> due;
+    std::vector<std::uint32_t> active;
+    std::vector<std::uint32_t> next_active;
+    std::vector<std::uint32_t> merged;
+    std::vector<std::uint32_t> touched;
+};
+
+TreeWorkspace &
+tlsTreeWorkspace()
+{
+    static thread_local TreeWorkspace ws;
+    return ws;
+}
+
+/** Shared episode state: both engines drive the same phase helpers,
+ *  so the tree protocol exists exactly once (cf. barrier_sim.cpp). */
+struct TreeCtx
+{
+    const TreeBarrierConfig &cfg;
+    const std::vector<std::uint32_t> &node_expected;
+    const std::vector<std::uint32_t> &parent;
+    std::uint32_t root;
+    std::vector<TProc> &procs;
+    std::vector<sim::MemoryModule> &var_mods;
+    std::vector<sim::MemoryModule> &flag_mods;
+    std::vector<std::uint32_t> &counts;
+    std::vector<bool> &flags;
+    TreeEpisodeResult &res;
+    std::uint32_t done = 0;
+};
+
+/**
+ * Phase 1 for one processor: wake transitions and request submission.
+ * When @p touched is non-null the requested node index is appended to
+ * it (the event engine arbitrates only touched nodes).
+ */
+void
+treePhase1Step(TreeCtx &c, std::uint32_t p, std::uint64_t cycle,
+               std::vector<std::uint32_t> *touched)
+{
+    TProc &pr = c.procs[p];
+    switch (pr.state) {
+      case TS::WaitArrive:
+        if (pr.arrival <= cycle)
+            pr.state = TS::ReqVar;
+        break;
+      case TS::VarBackoff:
+      case TS::FlagBackoff:
+        if (pr.wake <= cycle)
+            pr.state = TS::PollFlag;
+        break;
+      default:
+        break;
+    }
+    if (pr.state == TS::ReqVar) {
+        c.var_mods[pr.node].request(p);
+        ++c.res.accesses[p];
+        if (touched != nullptr)
+            touched->push_back(pr.node);
+    } else if (pr.state == TS::PollFlag ||
+               pr.state == TS::Descend) {
+        c.flag_mods[pr.node].request(p);
+        ++c.res.accesses[p];
+        if (touched != nullptr)
+            touched->push_back(pr.node);
+    }
+}
+
+/**
+ * Phase 2 for one tree node: variable then flag arbitration with their
+ * access outcomes.  The modules' clocks are advanced lazily first —
+ * cycles a module sat idle are exactly empty arbitrate() calls, so
+ * this is a no-op for the reference stepper (which visits every node
+ * every cycle) and an O(1) catch-up for the event engine.
+ */
+void
+treeResolveNode(TreeCtx &c, std::uint32_t m, std::uint64_t cycle,
+                support::Rng &rng)
+{
+    const BackoffConfig &bo = c.cfg.backoff;
+
+    // Variable grant: fetch&add outcome.
+    c.var_mods[m].advance(cycle - c.var_mods[m].cyclesSeen());
+    const auto vw = c.var_mods[m].arbitrate(rng);
+    if (vw != sim::NO_GRANT) {
+        TProc &pr = c.procs[vw];
+        const std::uint32_t i = ++c.counts[m];
+        if (i == c.node_expected[m]) {
+            // Last arriver: ascend, or win the barrier.
+            pr.won.push_back(m);
+            if (m == c.root) {
+                pr.state = TS::Descend;
+                pr.node = pr.won.back();
+            } else {
+                pr.node = c.parent[m];
+                pr.state = TS::ReqVar;
+            }
+        } else {
+            pr.pollCount = 0;
+            const std::uint64_t delay =
+                bo.variableDelay(c.node_expected[m], i);
+            if (delay == 0) {
+                pr.state = TS::PollFlag;
+            } else {
+                pr.state = TS::VarBackoff;
+                pr.wake = cycle + 1 + delay;
+            }
+        }
+    }
+
+    // Flag grant: poll read or descend write.
+    c.flag_mods[m].advance(cycle - c.flag_mods[m].cyclesSeen());
+    const auto fw = c.flag_mods[m].arbitrate(rng);
+    if (fw != sim::NO_GRANT) {
+        TProc &pr = c.procs[fw];
+        if (pr.state == TS::Descend) {
+            c.flags[m] = true;
+            if (m == c.root)
+                c.res.rootSetTime = cycle;
+            pr.won.pop_back();
+            if (pr.won.empty()) {
+                pr.state = TS::Done;
+                ++c.done;
+                c.res.waits[fw] = cycle - pr.arrival;
+            } else {
+                pr.node = pr.won.back();
+            }
+        } else if (c.flags[m]) {
+            // Released: descend our own winning path, if any.
+            if (pr.won.empty()) {
+                pr.state = TS::Done;
+                ++c.done;
+                c.res.waits[fw] = cycle - pr.arrival;
+            } else {
+                pr.state = TS::Descend;
+                pr.node = pr.won.back();
+            }
+        } else {
+            ++pr.pollCount;
+            std::uint64_t delay = bo.flagDelay(pr.pollCount);
+            if (bo.randomized && delay > 0)
+                delay = rng.uniformInt(1, 2 * delay);
+            if (delay == 0) {
+                // Poll again next cycle.
+            } else {
+                pr.state = TS::FlagBackoff;
+                pr.wake = cycle + 1 + delay;
+            }
+        }
+    }
+}
+
+/** Episode epilogue: hot-spot concentration over every module. */
+void
+treeFinalize(TreeCtx &c, std::uint32_t node_count)
+{
+    for (std::uint32_t m = 0; m < node_count; ++m) {
+        c.res.maxModuleTraffic = std::max(
+            {c.res.maxModuleTraffic,
+             c.var_mods[m].totalGrants() +
+                 c.var_mods[m].totalDenials(),
+             c.flag_mods[m].totalGrants() +
+                 c.flag_mods[m].totalDenials()});
+    }
+}
+
+/** Reset reusable per-episode state (keeps vector capacity and, for
+ *  TProc, each processor's `won` path allocation). */
+void
+treeInitEpisode(const TreeBarrierConfig &cfg, std::uint32_t node_count,
+                support::Rng &rng, TreeWorkspace &ws,
+                TreeEpisodeResult &res)
+{
+    const std::uint32_t n = cfg.processors;
+    res.accesses.assign(n, 0);
+    res.waits.assign(n, 0);
+
+    ws.procs.resize(n);
+    for (std::uint32_t p = 0; p < n; ++p) {
+        TProc &pr = ws.procs[p];
+        pr.state = TS::WaitArrive;
+        pr.arrival = cfg.arrivalWindow == 0
+                         ? 0
+                         : rng.uniformInt(0, cfg.arrivalWindow);
+        pr.wake = 0;
+        pr.node = p / cfg.fanIn; // leaf assignment
+        pr.pollCount = 0;
+        pr.won.clear();
+    }
+
+    ws.var_mods.assign(node_count,
+                       sim::MemoryModule(cfg.arbitration));
+    ws.flag_mods.assign(node_count,
+                        sim::MemoryModule(cfg.arbitration));
+    ws.counts.assign(node_count, 0);
+    ws.flags.assign(node_count, false);
+}
+
 } // namespace
 
 TreeEpisodeResult
 TreeBarrierSimulator::runOnce(support::Rng &rng) const
 {
     const std::uint32_t n = cfg_.processors;
-    const std::uint32_t d = cfg_.fanIn;
-    const BackoffConfig &bo = cfg_.backoff;
-    const std::uint32_t root = node_count_ - 1;
+    TreeWorkspace &ws = tlsTreeWorkspace();
 
     TreeEpisodeResult res;
-    res.accesses.assign(n, 0);
-    res.waits.assign(n, 0);
+    treeInitEpisode(cfg_, node_count_, rng, ws, res);
+    TreeCtx c{cfg_,        node_expected_, parent_,  node_count_ - 1,
+              ws.procs,    ws.var_mods,    ws.flag_mods,
+              ws.counts,   ws.flags,       res};
 
-    std::vector<TProc> procs(n);
-    for (std::uint32_t p = 0; p < n; ++p) {
-        procs[p].arrival = cfg_.arrivalWindow == 0
-                               ? 0
-                               : rng.uniformInt(0, cfg_.arrivalWindow);
-        procs[p].node = p / d; // leaf assignment
-    }
+    ws.heap.clear();
+    ws.active.clear();
+    for (std::uint32_t p = 0; p < n; ++p)
+        ws.heap.push_back({ws.procs[p].arrival, p});
+    std::make_heap(ws.heap.begin(), ws.heap.end(), TLaterWake{});
 
-    std::vector<sim::MemoryModule> var_mods(
-        node_count_, sim::MemoryModule(cfg_.arbitration));
-    std::vector<sim::MemoryModule> flag_mods(
-        node_count_, sim::MemoryModule(cfg_.arbitration));
-    std::vector<std::uint32_t> counts(node_count_, 0);
-    std::vector<bool> flags(node_count_, false);
+    // The reference stepper starts at cycle 0; everything before the
+    // first arrival is an idle prefix the event engine jumps over.
+    std::uint64_t cycle = ws.heap.front().time;
+    res.cyclesSkipped += cycle;
 
-    std::uint32_t done = 0;
-    std::uint64_t cycle = 0;
+    while (c.done < n) {
+        ++res.eventsProcessed;
 
-    while (done < n) {
-        // Phase 1: wake-ups and request submission.
-        for (std::uint32_t p = 0; p < n; ++p) {
-            TProc &pr = procs[p];
+        ws.due.clear();
+        while (!ws.heap.empty() && ws.heap.front().time <= cycle) {
+            std::pop_heap(ws.heap.begin(), ws.heap.end(),
+                          TLaterWake{});
+            ws.due.push_back(ws.heap.back().id);
+            ws.heap.pop_back();
+        }
+        std::sort(ws.due.begin(), ws.due.end());
+        ws.due.erase(std::unique(ws.due.begin(), ws.due.end()),
+                     ws.due.end());
+
+        ws.merged.clear();
+        std::set_union(ws.active.begin(), ws.active.end(),
+                       ws.due.begin(), ws.due.end(),
+                       std::back_inserter(ws.merged));
+
+        // Phase 1 over acting processors, collecting touched nodes.
+        ws.touched.clear();
+        for (std::uint32_t p : ws.merged)
+            treePhase1Step(c, p, cycle, &ws.touched);
+
+        // Phase 2 over touched nodes only, in ascending node order —
+        // the same relative order the reference's 0..node_count sweep
+        // arbitrates them in (untouched nodes arbitrate empty there:
+        // no randomness, no outcome; replayed here by lazy advance).
+        std::sort(ws.touched.begin(), ws.touched.end());
+        ws.touched.erase(
+            std::unique(ws.touched.begin(), ws.touched.end()),
+            ws.touched.end());
+        for (std::uint32_t m : ws.touched)
+            treeResolveNode(c, m, cycle, rng);
+
+        ws.next_active.clear();
+        for (std::uint32_t p : ws.merged) {
+            const TProc &pr = ws.procs[p];
             switch (pr.state) {
-              case TS::WaitArrive:
-                if (pr.arrival <= cycle)
-                    pr.state = TS::ReqVar;
+              case TS::ReqVar:
+              case TS::PollFlag:
+              case TS::Descend:
+                ws.next_active.push_back(p);
                 break;
               case TS::VarBackoff:
               case TS::FlagBackoff:
-                if (pr.wake <= cycle)
-                    pr.state = TS::PollFlag;
+                if (pr.wake > cycle) {
+                    ws.heap.push_back({pr.wake, p});
+                    std::push_heap(ws.heap.begin(), ws.heap.end(),
+                                   TLaterWake{});
+                }
                 break;
               default:
                 break;
             }
-            if (pr.state == TS::ReqVar) {
-                var_mods[pr.node].request(p);
-                ++res.accesses[p];
-            } else if (pr.state == TS::PollFlag ||
-                       pr.state == TS::Descend) {
-                flag_mods[pr.node].request(p);
-                ++res.accesses[p];
-            }
         }
+        ws.active.swap(ws.next_active);
 
-        // Phase 2: one grant per module.
-        for (std::uint32_t m = 0; m < node_count_; ++m) {
-            // Variable grant: fetch&add outcome.
-            const auto vw = var_mods[m].arbitrate(rng);
-            if (vw != sim::NO_GRANT) {
-                TProc &pr = procs[vw];
-                const std::uint32_t i = ++counts[m];
-                if (i == node_expected_[m]) {
-                    // Last arriver: ascend, or win the barrier.
-                    pr.won.push_back(m);
-                    if (m == root) {
-                        pr.state = TS::Descend;
-                        pr.node = pr.won.back();
-                    } else {
-                        pr.node = parent_[m];
-                        pr.state = TS::ReqVar;
-                    }
-                } else {
-                    pr.pollCount = 0;
-                    const std::uint64_t delay =
-                        bo.variableDelay(node_expected_[m], i);
-                    if (delay == 0) {
-                        pr.state = TS::PollFlag;
-                    } else {
-                        pr.state = TS::VarBackoff;
-                        pr.wake = cycle + 1 + delay;
-                    }
-                }
-            }
+        if (c.done >= n)
+            break;
 
-            // Flag grant: poll read or descend write.
-            const auto fw = flag_mods[m].arbitrate(rng);
-            if (fw != sim::NO_GRANT) {
-                TProc &pr = procs[fw];
-                if (pr.state == TS::Descend) {
-                    flags[m] = true;
-                    if (m == root)
-                        res.rootSetTime = cycle;
-                    pr.won.pop_back();
-                    if (pr.won.empty()) {
-                        pr.state = TS::Done;
-                        ++done;
-                        res.waits[fw] = cycle - pr.arrival;
-                    } else {
-                        pr.node = pr.won.back();
-                    }
-                } else if (flags[m]) {
-                    // Released: descend our own winning path, if any.
-                    if (pr.won.empty()) {
-                        pr.state = TS::Done;
-                        ++done;
-                        res.waits[fw] = cycle - pr.arrival;
-                    } else {
-                        pr.state = TS::Descend;
-                        pr.node = pr.won.back();
-                    }
-                } else {
-                    ++pr.pollCount;
-                    std::uint64_t delay = bo.flagDelay(pr.pollCount);
-                    if (bo.randomized && delay > 0)
-                        delay = rng.uniformInt(1, 2 * delay);
-                    if (delay == 0) {
-                        // Poll again next cycle.
-                    } else {
-                        pr.state = TS::FlagBackoff;
-                        pr.wake = cycle + 1 + delay;
-                    }
-                }
-            }
+        std::uint64_t next = cycle + 1;
+        if (ws.active.empty()) {
+            // No outstanding request: nothing can happen before the
+            // next wake-up.  The heap cannot be empty here — every
+            // non-done processor is either requesting (active) or
+            // sleeping with a queued wake (the tree has no faults, so
+            // no processor can be parked without one).
+            assert(!ws.heap.empty() &&
+                   "tree episode stalled with no pending events");
+            next = std::max(ws.heap.front().time, cycle + 1);
         }
+        res.cyclesSkipped += next - (cycle + 1);
+        cycle = next;
+    }
+
+    treeFinalize(c, node_count_);
+    obs::countCyclesSkipped(res.cyclesSkipped);
+    obs::countEventsProcessed(res.eventsProcessed);
+    return res;
+}
+
+TreeEpisodeResult
+TreeBarrierSimulator::runOnceReference(support::Rng &rng) const
+{
+    const std::uint32_t n = cfg_.processors;
+    TreeWorkspace ws; // plain locals: the oracle stays allocation-dumb
+
+    TreeEpisodeResult res;
+    treeInitEpisode(cfg_, node_count_, rng, ws, res);
+    TreeCtx c{cfg_,        node_expected_, parent_,  node_count_ - 1,
+              ws.procs,    ws.var_mods,    ws.flag_mods,
+              ws.counts,   ws.flags,       res};
+
+    std::uint64_t cycle = 0;
+    while (c.done < n) {
+        ++res.eventsProcessed;
+        for (std::uint32_t p = 0; p < n; ++p)
+            treePhase1Step(c, p, cycle, nullptr);
+        for (std::uint32_t m = 0; m < node_count_; ++m)
+            treeResolveNode(c, m, cycle, rng);
         ++cycle;
     }
 
-    for (std::uint32_t m = 0; m < node_count_; ++m) {
-        res.maxModuleTraffic = std::max(
-            {res.maxModuleTraffic,
-             var_mods[m].totalGrants() + var_mods[m].totalDenials(),
-             flag_mods[m].totalGrants() +
-                 flag_mods[m].totalDenials()});
-    }
+    treeFinalize(c, node_count_);
+    obs::countEventsProcessed(res.eventsProcessed);
     return res;
 }
 
 TreeEpisodeSummary
-TreeBarrierSimulator::runMany(std::uint64_t runs,
-                              std::uint64_t seed) const
+TreeBarrierSimulator::runMany(std::uint64_t runs, std::uint64_t seed,
+                              unsigned jobs) const
 {
     TreeEpisodeSummary s;
     support::Rng master(seed);
-    for (std::uint64_t r = 0; r < runs; ++r) {
-        support::Rng run_rng = master.split();
-        const auto res = runOnce(run_rng);
-        s.accesses.add(res.avgAccesses());
-        s.wait.add(res.avgWait());
-        s.maxModuleTraffic.add(
-            static_cast<double>(res.maxModuleTraffic));
+    jobs = support::ThreadPool::resolveJobs(jobs);
+    if (jobs <= 1 || runs < 2) {
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            support::Rng run_rng = master.split();
+            s.merge(runOnce(run_rng));
+        }
+        return s;
     }
-    s.runs = runs;
+
+    // Same deterministic fan-out as BarrierSimulator::runMany:
+    // serially pre-split streams, episodes on the pool, in-order fold.
+    std::vector<support::Rng> streams;
+    streams.reserve(runs);
+    for (std::uint64_t r = 0; r < runs; ++r)
+        streams.push_back(master.split());
+
+    support::ThreadPool pool(jobs);
+    std::vector<std::future<TreeEpisodeResult>> futs(runs);
+    const std::uint64_t window =
+        std::max<std::uint64_t>(std::uint64_t{jobs} * 4, 1);
+    std::uint64_t submitted = 0;
+    const auto submit = [&](std::uint64_t r) {
+        futs[r] = pool.async([this, &streams, r]() {
+            support::Rng run_rng = streams[r];
+            return runOnce(run_rng);
+        });
+    };
+    for (; submitted < std::min(runs, window); ++submitted)
+        submit(submitted);
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        const TreeEpisodeResult res = futs[r].get();
+        futs[r] = {};
+        if (submitted < runs)
+            submit(submitted++);
+        s.merge(res);
+    }
     return s;
 }
 

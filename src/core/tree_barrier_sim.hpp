@@ -68,6 +68,14 @@ struct TreeEpisodeResult
     /** Cycle the root flag was set. */
     std::uint64_t rootSetTime = 0;
 
+    /**
+     * Engine diagnostics, NOT part of the bit-identical episode
+     * contract (see EpisodeResult in barrier_sim.hpp): cycles the
+     * event-driven engine jumped over and cycles it executed.
+     */
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t eventsProcessed = 0;
+
     double avgAccesses() const;
     double avgWait() const;
 };
@@ -79,10 +87,28 @@ struct TreeEpisodeSummary
     support::RunningStats wait;
     support::RunningStats maxModuleTraffic;
     std::uint64_t runs = 0;
+
+    /** Engine diagnostics summed across runs. */
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t eventsProcessed = 0;
+
+    /**
+     * Fold one episode into the summary — the only accumulation path,
+     * shared by the serial and parallel runMany so that summaries are
+     * bitwise identical for any worker count (see
+     * EpisodeSummary::merge in barrier_sim.hpp for the rationale).
+     */
+    void merge(const TreeEpisodeResult &res);
 };
 
 /**
  * Simulator for combining-tree barrier episodes.
+ *
+ * runOnce is event-driven (DESIGN.md §12): only cycles on which some
+ * processor acts are executed, and within an executed cycle only the
+ * tree nodes that actually received requests arbitrate (their module
+ * clocks are advanced lazily over the idle gap).  Results are
+ * bit-identical to runOnceReference on the same seed.
  */
 class TreeBarrierSimulator
 {
@@ -92,9 +118,21 @@ class TreeBarrierSimulator
     /** Simulate one episode. */
     TreeEpisodeResult runOnce(support::Rng &rng) const;
 
-    /** Simulate @p runs episodes with derived per-run seeds. */
-    TreeEpisodeSummary runMany(std::uint64_t runs,
-                               std::uint64_t seed) const;
+    /**
+     * Reference cycle stepper: every cycle, every processor, every
+     * module.  Oracle for the equivalence suite; O(cycles x (N +
+     * nodes)), do not use on hot paths.
+     */
+    TreeEpisodeResult runOnceReference(support::Rng &rng) const;
+
+    /**
+     * Simulate @p runs episodes with derived per-run seeds.  @p jobs
+     * parallelizes across a support::ThreadPool (0 = hardware threads)
+     * with the summary bitwise independent of the worker count — see
+     * BarrierSimulator::runMany.
+     */
+    TreeEpisodeSummary runMany(std::uint64_t runs, std::uint64_t seed,
+                               unsigned jobs = 1) const;
 
     /** Number of tree nodes for the configuration. */
     std::uint32_t nodeCount() const { return node_count_; }

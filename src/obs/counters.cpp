@@ -19,6 +19,8 @@ CounterSnapshot::operator+=(const CounterSnapshot &o)
     timeouts += o.timeouts;
     episodes += o.episodes;
     acquires += o.acquires;
+    cyclesSkipped += o.cyclesSkipped;
+    eventsProcessed += o.eventsProcessed;
     return *this;
 }
 
@@ -36,6 +38,8 @@ CounterSnapshot::operator-(const CounterSnapshot &o) const
     d.timeouts -= o.timeouts;
     d.episodes -= o.episodes;
     d.acquires -= o.acquires;
+    d.cyclesSkipped -= o.cyclesSkipped;
+    d.eventsProcessed -= o.eventsProcessed;
     return d;
 }
 
@@ -47,7 +51,9 @@ CounterSnapshot::operator==(const CounterSnapshot &o) const
            backoffWaited == o.backoffWaited && parks == o.parks &&
            wakes == o.wakes && withdrawals == o.withdrawals &&
            timeouts == o.timeouts && episodes == o.episodes &&
-           acquires == o.acquires;
+           acquires == o.acquires &&
+           cyclesSkipped == o.cyclesSkipped &&
+           eventsProcessed == o.eventsProcessed;
 }
 
 std::string
@@ -82,6 +88,13 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
     // the document is only committed to *out once fully validated.
     if (out == nullptr)
         return false;
+    // Keys added after absync.sync_counters.v1 first shipped: absent
+    // in documents from older builds, so absence means 0, not a
+    // malformed document.
+    const auto optional_key = [](const char *name) {
+        const std::string n = name;
+        return n == "cycles_skipped" || n == "events_processed";
+    };
     CounterSnapshot parsed;
     bool ok = true;
     parsed.forEachMut([&](const char *name, std::uint64_t &v) {
@@ -90,7 +103,8 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
         const std::string needle = std::string("\"") + name + "\":";
         const std::size_t at = json.find(needle);
         if (at == std::string::npos) {
-            ok = false;
+            if (!optional_key(name))
+                ok = false;
             return;
         }
         std::size_t p = at + needle.size();
@@ -161,6 +175,9 @@ SyncCounters::snapshot() const
     s.timeouts = timeouts.load(std::memory_order_relaxed);
     s.episodes = episodes.load(std::memory_order_relaxed);
     s.acquires = acquires.load(std::memory_order_relaxed);
+    s.cyclesSkipped = cyclesSkipped.load(std::memory_order_relaxed);
+    s.eventsProcessed =
+        eventsProcessed.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -177,6 +194,8 @@ SyncCounters::reset()
     timeouts.store(0, std::memory_order_relaxed);
     episodes.store(0, std::memory_order_relaxed);
     acquires.store(0, std::memory_order_relaxed);
+    cyclesSkipped.store(0, std::memory_order_relaxed);
+    eventsProcessed.store(0, std::memory_order_relaxed);
 }
 
 namespace

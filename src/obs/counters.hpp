@@ -28,6 +28,14 @@
  *                      withdrawal, so timeouts >= withdrawals)
  *  - episodes          barrier episodes completed (per thread)
  *  - acquires          resource-pool slots granted
+ *  - cycles_skipped    simulated cycles the event-driven episode
+ *                      engines jumped over (no processor acting)
+ *  - events_processed  simulated cycles the event-driven engines
+ *                      actually executed (scheduler events served)
+ *
+ * The last two are engine diagnostics recorded by the simulators;
+ * parseCounterSnapshot treats them as optional so documents written
+ * by older builds still parse.
  *
  * Everything in this header compiles to no-ops when the build sets
  * ABSYNC_TELEMETRY_ENABLED=0 (cmake -DABSYNC_TELEMETRY=OFF): the
@@ -72,6 +80,8 @@ struct CounterSnapshot
     std::uint64_t timeouts = 0;
     std::uint64_t episodes = 0;
     std::uint64_t acquires = 0;
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t eventsProcessed = 0;
 
     /** Apply @p f(name, value) to every field, in schema order. */
     template <typename F>
@@ -88,6 +98,8 @@ struct CounterSnapshot
         f("timeouts", timeouts);
         f("episodes", episodes);
         f("acquires", acquires);
+        f("cycles_skipped", cyclesSkipped);
+        f("events_processed", eventsProcessed);
     }
 
     /** Mutable field access by schema position (exposition helpers). */
@@ -105,6 +117,8 @@ struct CounterSnapshot
         f("timeouts", timeouts);
         f("episodes", episodes);
         f("acquires", acquires);
+        f("cycles_skipped", cyclesSkipped);
+        f("events_processed", eventsProcessed);
     }
 
     CounterSnapshot &operator+=(const CounterSnapshot &o);
@@ -128,7 +142,10 @@ struct CounterSnapshot
  * Parse a CounterSnapshot back out of JSON produced by
  * CounterSnapshot::json() or CounterRegistry::json() (the "total"
  * object).  Tolerant scanner over this library's own output, not a
- * general JSON parser.  Returns false when any schema key is missing.
+ * general JSON parser.  Returns false when any schema key is missing,
+ * except the engine-diagnostic keys (cycles_skipped,
+ * events_processed) added after v1 shipped: those default to 0 so
+ * documents from older builds still parse.
  */
 bool parseCounterSnapshot(const std::string &json, CounterSnapshot *out);
 
@@ -152,6 +169,8 @@ struct alignas(64) SyncCounters
     std::atomic<std::uint64_t> timeouts{0};
     std::atomic<std::uint64_t> episodes{0};
     std::atomic<std::uint64_t> acquires{0};
+    std::atomic<std::uint64_t> cyclesSkipped{0};
+    std::atomic<std::uint64_t> eventsProcessed{0};
 
     /** Single-writer add: safe against concurrent snapshot readers. */
     static void
@@ -288,6 +307,18 @@ inline void
 countAcquire()
 {
     ABSYNC_OBS_RECORD(acquires, 1);
+}
+
+inline void
+countCyclesSkipped(std::uint64_t n)
+{
+    ABSYNC_OBS_RECORD(cyclesSkipped, n);
+}
+
+inline void
+countEventsProcessed(std::uint64_t n)
+{
+    ABSYNC_OBS_RECORD(eventsProcessed, n);
 }
 
 #undef ABSYNC_OBS_RECORD

@@ -100,6 +100,9 @@ struct ModuleHeatSnapshot
      *  one (label is kept; callers pair snapshots positionally). */
     ModuleHeatSnapshot &operator+=(const ModuleHeatSnapshot &o);
 
+    /** Field-wise equality (the equivalence suite compares heat). */
+    bool operator==(const ModuleHeatSnapshot &o) const = default;
+
     std::string json() const;
 };
 

@@ -128,6 +128,25 @@ MemoryModule::arbitrateFifo()
 }
 
 void
+MemoryModule::advance(std::uint64_t cycles)
+{
+    if (cycles == 0)
+        return;
+    if (faults_ != nullptr) {
+        // Stalled empty cycles still count as stalls (they denied
+        // nobody, but the module was unavailable) — identical to the
+        // per-cycle arbitrate() accounting.
+        for (std::uint64_t i = 0; i < cycles; ++i) {
+            if (faults_->moduleStalled(module_id_, cycle_ + i))
+                ++total_stalls_;
+        }
+    }
+    cycle_ += cycles;
+    if (arb_ == Arbitration::Fifo)
+        fifo_clock_ += cycles;
+}
+
+void
 MemoryModule::reset()
 {
     requesters_.clear();

@@ -132,6 +132,21 @@ class MemoryModule
         module_id_ = module_id;
     }
 
+    /**
+     * Advance the module through @p cycles consecutive *empty* cycles
+     * — exactly equivalent to that many arbitrate() calls with no
+     * requesters, but O(1) unless a fault plan is attached (stalled
+     * cycles must still be counted, so the plan is consulted per
+     * skipped cycle).  The event-driven simulators use this to jump
+     * over idle stretches without disturbing arbitration state: in
+     * particular FIFO seniority stamps are deliberately left alone,
+     * matching arbitrate()'s empty-cycle early return.
+     */
+    void advance(std::uint64_t cycles);
+
+    /** Cycles the module has seen (arbitrate() calls + advance()). */
+    std::uint64_t cyclesSeen() const { return cycle_; }
+
     /** Reset per-episode statistics and arbitration state. */
     void reset();
 

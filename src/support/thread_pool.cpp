@@ -1,0 +1,66 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace absync::support
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    threads = std::max(1u, threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk,
+                     [this]() { return stopping_ || !queue_.empty(); });
+            // Drain before stopping so ~ThreadPool is a barrier: every
+            // submitted task has run by the time join() returns.
+            if (queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+unsigned
+ThreadPool::resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+} // namespace absync::support

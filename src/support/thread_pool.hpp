@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool for deterministic parallel sweeps.
+ *
+ * The simulators fan episodes out across host cores (runMany's `jobs`
+ * parameter); determinism comes from the *callers* — RNG streams are
+ * pre-split serially per episode index and results are folded back in
+ * episode order — so the pool itself only needs to run closures on a
+ * fixed set of threads.  A mutex + condition-variable queue is plenty:
+ * each task is an entire simulated episode (micro- to milliseconds),
+ * so queue overhead is noise.
+ */
+
+#ifndef ABSYNC_SUPPORT_THREAD_POOL_HPP
+#define ABSYNC_SUPPORT_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace absync::support
+{
+
+/**
+ * Fixed-size thread pool.  Tasks run in submission order (single
+ * shared queue); the destructor drains the queue and joins.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Waits for all queued tasks to finish, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue fire-and-forget work. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Enqueue @p fn and get a future for its result.  Exceptions
+     * thrown by @p fn surface from future::get().
+     */
+    template <typename F>
+    auto
+    async(F &&fn) -> std::future<std::invoke_result_t<F &>>
+    {
+        using R = std::invoke_result_t<F &>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        submit([task]() { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Resolve a user-facing jobs request: 0 means "all hardware
+     * threads" (never less than 1), anything else is taken literally.
+     */
+    static unsigned resolveJobs(unsigned requested);
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_THREAD_POOL_HPP

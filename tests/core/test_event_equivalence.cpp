@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Bit-identity of the event-driven episode engines against their
+ * reference cycle steppers (DESIGN.md §12).
+ *
+ * The event-driven runOnce in each simulator claims *exact*
+ * equivalence: same seed, same EpisodeResult, down to the last
+ * counter — not statistical closeness.  These tests hold it to that
+ * across the full policy grid (every backoff family, arbitration
+ * policy, controller backoff, queue-on-threshold, the one-variable
+ * barrier, faults with bounded waiting) and across the tree and
+ * resource simulators.  Engine diagnostics (cyclesSkipped /
+ * eventsProcessed) are deliberately excluded: the whole point of the
+ * event engine is that those differ.
+ *
+ * A second group proves the engines actually skip work (the episode
+ * executes far fewer cycles than it spans), so a regression that
+ * silently degrades the engine to stepping every cycle fails here
+ * rather than only in the benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/barrier_sim.hpp"
+#include "core/resource_sim.hpp"
+#include "core/tree_barrier_sim.hpp"
+#include "support/fault.hpp"
+#include "support/rng.hpp"
+
+namespace
+{
+
+using namespace absync;
+
+/** Everything except the engine diagnostics must match exactly. */
+void
+expectSameEpisode(const core::EpisodeResult &ev,
+                  const core::EpisodeResult &ref,
+                  const std::string &what)
+{
+    SCOPED_TRACE(what);
+    ASSERT_EQ(ev.procs.size(), ref.procs.size());
+    for (std::size_t i = 0; i < ev.procs.size(); ++i) {
+        SCOPED_TRACE("proc " + std::to_string(i));
+        EXPECT_EQ(ev.procs[i].accesses, ref.procs[i].accesses);
+        EXPECT_EQ(ev.procs[i].waitCycles, ref.procs[i].waitCycles);
+        EXPECT_EQ(ev.procs[i].unsetPolls, ref.procs[i].unsetPolls);
+        EXPECT_EQ(ev.procs[i].blocked, ref.procs[i].blocked);
+        EXPECT_EQ(ev.procs[i].timedOut, ref.procs[i].timedOut);
+        EXPECT_EQ(ev.procs[i].crashed, ref.procs[i].crashed);
+    }
+    EXPECT_EQ(ev.flagSetTime, ref.flagSetTime);
+    EXPECT_EQ(ev.lastExitTime, ref.lastExitTime);
+    EXPECT_EQ(ev.firstArrival, ref.firstArrival);
+    EXPECT_EQ(ev.lastArrival, ref.lastArrival);
+    EXPECT_EQ(ev.varModuleTraffic, ref.varModuleTraffic);
+    EXPECT_EQ(ev.flagModuleTraffic, ref.flagModuleTraffic);
+    EXPECT_TRUE(ev.counters == ref.counters);
+    EXPECT_TRUE(ev.moduleHeat == ref.moduleHeat);
+}
+
+/** Run both engines over several seeds and demand identity. */
+void
+expectEngineEquivalence(const core::BarrierConfig &cfg,
+                        const std::string &what,
+                        std::uint64_t seeds = 5)
+{
+    core::BarrierSimulator sim(cfg);
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        support::Rng ev_rng(seed);
+        support::Rng ref_rng(seed);
+        const auto ev = sim.runOnce(ev_rng, seed);
+        const auto ref = sim.runOnceReference(ref_rng, seed);
+        expectSameEpisode(ev, ref,
+                          what + " seed " + std::to_string(seed));
+        // Both engines must also leave their RNGs in the same state:
+        // anything less means one consumed randomness the other
+        // didn't, which would corrupt every later split in a sweep.
+        EXPECT_EQ(ev_rng(), ref_rng()) << what << " rng divergence";
+    }
+}
+
+// --- Flat barrier: the full policy grid ------------------------------
+
+class PolicyGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, const char *, std::uint64_t>>
+{
+};
+
+TEST_P(PolicyGrid, EventEngineMatchesReference)
+{
+    const auto [n, policy, window] = GetParam();
+    core::BarrierConfig cfg;
+    cfg.processors = n;
+    cfg.arrivalWindow = window;
+    cfg.backoff = core::BackoffConfig::fromString(policy);
+    expectEngineEquivalence(cfg, std::string(policy) + " fifo");
+
+    cfg.arbitration = sim::Arbitration::Random;
+    expectEngineEquivalence(cfg, std::string(policy) + " random");
+
+    cfg.arbitration = sim::Arbitration::RoundRobin;
+    expectEngineEquivalence(cfg, std::string(policy) + " rr");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PolicyGrid,
+    ::testing::Combine(::testing::Values(2u, 16u, 64u),
+                       ::testing::Values("none", "var", "lin4",
+                                         "exp2", "exp4", "exp8"),
+                       ::testing::Values(std::uint64_t{0},
+                                         std::uint64_t{1000})),
+    [](const auto &info) {
+        return "N" + std::to_string(std::get<0>(info.param)) + "_" +
+               std::get<1>(info.param) + "_A" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+TEST(EventEquivalence, RandomizedBackoff)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.arrivalWindow = 500;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    cfg.backoff.randomized = true;
+    expectEngineEquivalence(cfg, "randomized exp2");
+}
+
+TEST(EventEquivalence, QueueOnThreshold)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = 48;
+    cfg.arrivalWindow = 200;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    cfg.backoff.blockThreshold = 64;
+    cfg.backoff.blockWakeupCycles = 25;
+    expectEngineEquivalence(cfg, "queue-on-threshold");
+}
+
+TEST(EventEquivalence, ControllerBackoff)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.arrivalWindow = 0; // simultaneous arrival: maximum contention
+    cfg.backoff = core::BackoffConfig::none();
+    cfg.backoff.controllerBackoff = true;
+    expectEngineEquivalence(cfg, "controller backoff");
+
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    cfg.backoff.controllerBackoff = true;
+    cfg.arrivalWindow = 300;
+    expectEngineEquivalence(cfg, "controller + exp2");
+}
+
+TEST(EventEquivalence, SingleVariableBarrier)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = 24;
+    cfg.arrivalWindow = 100;
+    cfg.singleVariable = true;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    expectEngineEquivalence(cfg, "single variable");
+}
+
+TEST(EventEquivalence, TimeoutsWithoutFaults)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = 16;
+    cfg.arrivalWindow = 50;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    // Tight enough that some processors abandon the episode.
+    cfg.timeoutCycles = 120;
+    expectEngineEquivalence(cfg, "tight timeout");
+}
+
+TEST(EventEquivalence, FaultPlanFullStack)
+{
+    support::FaultPlanConfig fcfg;
+    fcfg.seed = 42;
+    fcfg.stragglerProb = 0.1;
+    fcfg.stragglerMin = 50;
+    fcfg.stragglerMax = 400;
+    fcfg.crashProb = 0.05;
+    fcfg.spuriousWakeProb = 0.2;
+    fcfg.stallProb = 0.02;
+    support::FaultPlan plan(fcfg);
+
+    core::BarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.arrivalWindow = 300;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(4);
+    cfg.faults = &plan;
+    cfg.timeoutCycles = 5000;
+    expectEngineEquivalence(cfg, "faults fifo");
+
+    cfg.arbitration = sim::Arbitration::Random;
+    expectEngineEquivalence(cfg, "faults random");
+}
+
+TEST(EventEquivalence, SerialRunManyFoldsLikeManualReferenceFold)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = 16;
+    cfg.arrivalWindow = 400;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    core::BarrierSimulator sim(cfg);
+
+    constexpr std::uint64_t kRuns = 12, kSeed = 7;
+    const core::EpisodeSummary got = sim.runMany(kRuns, kSeed);
+
+    // Replay the exact contract by hand: split streams in order, run
+    // the *reference* engine, fold through the one accumulation path.
+    core::EpisodeSummary want;
+    support::Rng master(kSeed);
+    for (std::uint64_t r = 0; r < kRuns; ++r) {
+        support::Rng run_rng = master.split();
+        want.merge(sim.runOnceReference(run_rng, r));
+    }
+
+    EXPECT_EQ(got.runs, want.runs);
+    EXPECT_EQ(got.accesses.mean(), want.accesses.mean());
+    EXPECT_EQ(got.accesses.variance(), want.accesses.variance());
+    EXPECT_EQ(got.wait.mean(), want.wait.mean());
+    EXPECT_EQ(got.wait.variance(), want.wait.variance());
+    EXPECT_EQ(got.span.mean(), want.span.mean());
+    EXPECT_EQ(got.setTime.mean(), want.setTime.mean());
+    EXPECT_EQ(got.flagTraffic.mean(), want.flagTraffic.mean());
+    EXPECT_EQ(got.blockedProcs, want.blockedProcs);
+    EXPECT_EQ(got.timedOutProcs, want.timedOutProcs);
+    EXPECT_EQ(got.crashedProcs, want.crashedProcs);
+    EXPECT_TRUE(got.moduleHeat == want.moduleHeat);
+    EXPECT_EQ(got.waitProfile.count(), want.waitProfile.count());
+    EXPECT_TRUE(got.waitProfile.summary() ==
+                want.waitProfile.summary());
+}
+
+// --- Tree barrier ----------------------------------------------------
+
+class TreeGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, const char *>>
+{
+};
+
+TEST_P(TreeGrid, EventEngineMatchesReference)
+{
+    const auto [n, fan_in, policy] = GetParam();
+    core::TreeBarrierConfig cfg;
+    cfg.processors = n;
+    cfg.fanIn = fan_in;
+    cfg.arrivalWindow = 500;
+    cfg.backoff = core::BackoffConfig::fromString(policy);
+    core::TreeBarrierSimulator sim(cfg);
+
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        support::Rng ev_rng(seed);
+        support::Rng ref_rng(seed);
+        const auto ev = sim.runOnce(ev_rng);
+        const auto ref = sim.runOnceReference(ref_rng);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_EQ(ev.accesses, ref.accesses);
+        EXPECT_EQ(ev.waits, ref.waits);
+        EXPECT_EQ(ev.maxModuleTraffic, ref.maxModuleTraffic);
+        EXPECT_EQ(ev.rootSetTime, ref.rootSetTime);
+        EXPECT_EQ(ev_rng(), ref_rng()) << "rng divergence";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TreeGrid,
+    ::testing::Combine(::testing::Values(2u, 16u, 64u),
+                       ::testing::Values(2u, 4u, 8u),
+                       ::testing::Values("none", "exp2", "exp8")),
+    [](const auto &info) {
+        return "N" + std::to_string(std::get<0>(info.param)) + "_d" +
+               std::to_string(std::get<1>(info.param)) + "_" +
+               std::get<2>(info.param);
+    });
+
+TEST(TreeEventEquivalence, RandomArbitrationAndRandomizedBackoff)
+{
+    core::TreeBarrierConfig cfg;
+    cfg.processors = 40;
+    cfg.fanIn = 4;
+    cfg.arrivalWindow = 300;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    cfg.backoff.randomized = true;
+    cfg.arbitration = sim::Arbitration::Random;
+    core::TreeBarrierSimulator sim(cfg);
+
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        support::Rng ev_rng(seed);
+        support::Rng ref_rng(seed);
+        const auto ev = sim.runOnce(ev_rng);
+        const auto ref = sim.runOnceReference(ref_rng);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_EQ(ev.accesses, ref.accesses);
+        EXPECT_EQ(ev.waits, ref.waits);
+        EXPECT_EQ(ev.maxModuleTraffic, ref.maxModuleTraffic);
+        EXPECT_EQ(ev.rootSetTime, ref.rootSetTime);
+        EXPECT_EQ(ev_rng(), ref_rng()) << "rng divergence";
+    }
+}
+
+// --- Resource simulator ----------------------------------------------
+
+class ResourceGrid
+    : public ::testing::TestWithParam<core::ResourceWaitPolicy>
+{
+};
+
+TEST_P(ResourceGrid, EventEngineMatchesReference)
+{
+    core::ResourceSimConfig cfg;
+    cfg.processors = 16;
+    cfg.cycles = 30000;
+    cfg.policy = GetParam();
+    core::ResourceSimulator sim(cfg);
+
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        support::Rng ev_rng(seed);
+        support::Rng ref_rng(seed);
+        const auto ev = sim.run(ev_rng);
+        const auto ref = sim.runReference(ref_rng);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_EQ(ev.acquisitions, ref.acquisitions);
+        EXPECT_EQ(ev.accesses, ref.accesses);
+        EXPECT_EQ(ev.accessesPerAcquisition,
+                  ref.accessesPerAcquisition);
+        EXPECT_EQ(ev.avgQueueingDelay, ref.avgQueueingDelay);
+        EXPECT_EQ(ev.utilization, ref.utilization);
+        EXPECT_EQ(ev.avgWaiters, ref.avgWaiters);
+        EXPECT_EQ(ev_rng(), ref_rng()) << "rng divergence";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ResourceGrid,
+    ::testing::Values(core::ResourceWaitPolicy::Spin,
+                      core::ResourceWaitPolicy::Exponential,
+                      core::ResourceWaitPolicy::Proportional),
+    [](const auto &info) {
+        switch (info.param) {
+          case core::ResourceWaitPolicy::Spin:
+            return std::string("spin");
+          case core::ResourceWaitPolicy::Exponential:
+            return std::string("exp");
+          default:
+            return std::string("prop");
+        }
+    });
+
+TEST(ResourceEventEquivalence, RandomArbitration)
+{
+    core::ResourceSimConfig cfg;
+    cfg.processors = 8;
+    cfg.cycles = 20000;
+    cfg.policy = core::ResourceWaitPolicy::Exponential;
+    cfg.arbitration = sim::Arbitration::Random;
+    core::ResourceSimulator sim(cfg);
+
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        support::Rng ev_rng(seed);
+        support::Rng ref_rng(seed);
+        const auto ev = sim.run(ev_rng);
+        const auto ref = sim.runReference(ref_rng);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_EQ(ev.acquisitions, ref.acquisitions);
+        EXPECT_EQ(ev.accesses, ref.accesses);
+        EXPECT_EQ(ev.utilization, ref.utilization);
+        EXPECT_EQ(ev_rng(), ref_rng()) << "rng divergence";
+    }
+}
+
+// --- The engine must actually skip -----------------------------------
+
+TEST(EventEngineSkips, ExponentialBackoffSkipsMostCycles)
+{
+    core::BarrierConfig cfg;
+    cfg.processors = 64;
+    cfg.arrivalWindow = 1000;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    core::BarrierSimulator sim(cfg);
+    support::Rng rng(3);
+    const auto res = sim.runOnce(rng);
+    EXPECT_GT(res.cyclesSkipped, 0u);
+    // With exp-8 backoff the episode is overwhelmingly idle: demand
+    // the engine executes well under half the spanned cycles.
+    EXPECT_LT(res.eventsProcessed,
+              (res.eventsProcessed + res.cyclesSkipped) / 2);
+}
+
+TEST(EventEngineSkips, ResourceThinkTimeSkips)
+{
+    core::ResourceSimConfig cfg;
+    cfg.processors = 4;
+    cfg.cycles = 100000;
+    cfg.meanThink = 5000.0;
+    core::ResourceSimulator sim(cfg);
+    support::Rng rng(5);
+    const auto st = sim.run(rng);
+    EXPECT_GT(st.cyclesSkipped, 0u);
+    EXPECT_EQ(st.cyclesSkipped + st.eventsProcessed, cfg.cycles);
+    EXPECT_LT(st.eventsProcessed, cfg.cycles / 2);
+}
+
+TEST(EventEngineSkips, BusyPollingSkipsNothing)
+{
+    // No backoff + simultaneous arrival: every cycle has requesters,
+    // so the event engine must degenerate to the stepper exactly.
+    core::BarrierConfig cfg;
+    cfg.processors = 8;
+    cfg.backoff = core::BackoffConfig::none();
+    core::BarrierSimulator sim(cfg);
+    support::Rng rng(11);
+    const auto res = sim.runOnce(rng);
+    EXPECT_EQ(res.cyclesSkipped, 0u);
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Parallel runMany must be *bitwise* identical to serial runMany.
+ *
+ * The engines promise that `jobs` is a pure throughput knob: RNG
+ * streams are pre-split serially in episode order and results are
+ * folded through the single merge path in episode order, so the
+ * summary for jobs = 8 is the same bytes as for jobs = 1.  These
+ * tests compare every field — including floating-point means and
+ * variances with EXPECT_EQ, not EXPECT_NEAR, because "close" would
+ * mean the fold order leaked.  The TSan CI job runs this binary to
+ * check the claim is also race-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/barrier_sim.hpp"
+#include "core/resource_sim.hpp"
+#include "core/tree_barrier_sim.hpp"
+#include "support/fault.hpp"
+#include "support/stats.hpp"
+
+namespace
+{
+
+using namespace absync;
+
+void
+expectSameStats(const support::RunningStats &a,
+                const support::RunningStats &b, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.variance(), b.variance());
+    EXPECT_EQ(a.minimum(), b.minimum());
+    EXPECT_EQ(a.maximum(), b.maximum());
+}
+
+class BarrierJobs : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BarrierJobs, SummaryBitwiseEqualToSerial)
+{
+    const unsigned jobs = GetParam();
+
+    support::FaultPlanConfig fcfg;
+    fcfg.seed = 9;
+    fcfg.stragglerProb = 0.05;
+    fcfg.crashProb = 0.02;
+    fcfg.spuriousWakeProb = 0.1;
+    support::FaultPlan plan(fcfg);
+
+    core::BarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.arrivalWindow = 500;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(4);
+    cfg.faults = &plan; // exercises the per-episode schedule indexing
+    cfg.timeoutCycles = 5000;
+    core::BarrierSimulator sim(cfg);
+
+    constexpr std::uint64_t kRuns = 24, kSeed = 123;
+    const core::EpisodeSummary serial = sim.runMany(kRuns, kSeed, 1);
+    const core::EpisodeSummary par = sim.runMany(kRuns, kSeed, jobs);
+
+    EXPECT_EQ(par.runs, serial.runs);
+    expectSameStats(par.accesses, serial.accesses, "accesses");
+    expectSameStats(par.wait, serial.wait, "wait");
+    expectSameStats(par.span, serial.span, "span");
+    expectSameStats(par.setTime, serial.setTime, "setTime");
+    expectSameStats(par.flagTraffic, serial.flagTraffic, "flagTraffic");
+    EXPECT_EQ(par.blockedProcs, serial.blockedProcs);
+    EXPECT_EQ(par.timedOutProcs, serial.timedOutProcs);
+    EXPECT_EQ(par.crashedProcs, serial.crashedProcs);
+    EXPECT_TRUE(par.moduleHeat == serial.moduleHeat);
+    EXPECT_EQ(par.waitProfile.count(), serial.waitProfile.count());
+    EXPECT_TRUE(par.waitProfile.summary() ==
+                serial.waitProfile.summary());
+    // Even the engine diagnostics match: the same episodes ran.
+    EXPECT_EQ(par.cyclesSkipped, serial.cyclesSkipped);
+    EXPECT_EQ(par.eventsProcessed, serial.eventsProcessed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, BarrierJobs,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto &info) {
+                             return "J" + std::to_string(info.param);
+                         });
+
+class TreeJobs : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TreeJobs, SummaryBitwiseEqualToSerial)
+{
+    const unsigned jobs = GetParam();
+
+    core::TreeBarrierConfig cfg;
+    cfg.processors = 64;
+    cfg.fanIn = 4;
+    cfg.arrivalWindow = 400;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    core::TreeBarrierSimulator sim(cfg);
+
+    constexpr std::uint64_t kRuns = 24, kSeed = 321;
+    const core::TreeEpisodeSummary serial =
+        sim.runMany(kRuns, kSeed, 1);
+    const core::TreeEpisodeSummary par =
+        sim.runMany(kRuns, kSeed, jobs);
+
+    EXPECT_EQ(par.runs, serial.runs);
+    expectSameStats(par.accesses, serial.accesses, "accesses");
+    expectSameStats(par.wait, serial.wait, "wait");
+    expectSameStats(par.maxModuleTraffic, serial.maxModuleTraffic,
+                    "maxModuleTraffic");
+    EXPECT_EQ(par.cyclesSkipped, serial.cyclesSkipped);
+    EXPECT_EQ(par.eventsProcessed, serial.eventsProcessed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, TreeJobs,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto &info) {
+                             return "J" + std::to_string(info.param);
+                         });
+
+class ResourceJobs : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ResourceJobs, StatsBitwiseEqualToSerial)
+{
+    const unsigned jobs = GetParam();
+
+    core::ResourceSimConfig cfg;
+    cfg.processors = 16;
+    cfg.cycles = 20000;
+    cfg.policy = core::ResourceWaitPolicy::Proportional;
+    core::ResourceSimulator sim(cfg);
+
+    constexpr std::uint64_t kRuns = 24, kSeed = 77;
+    const core::ResourceSimStats serial =
+        sim.runMany(kRuns, kSeed, 1);
+    const core::ResourceSimStats par =
+        sim.runMany(kRuns, kSeed, jobs);
+
+    EXPECT_EQ(par.acquisitions, serial.acquisitions);
+    EXPECT_EQ(par.accesses, serial.accesses);
+    EXPECT_EQ(par.accessesPerAcquisition,
+              serial.accessesPerAcquisition);
+    EXPECT_EQ(par.avgQueueingDelay, serial.avgQueueingDelay);
+    EXPECT_EQ(par.utilization, serial.utilization);
+    EXPECT_EQ(par.avgWaiters, serial.avgWaiters);
+    EXPECT_EQ(par.cyclesSkipped, serial.cyclesSkipped);
+    EXPECT_EQ(par.eventsProcessed, serial.eventsProcessed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ResourceJobs,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto &info) {
+                             return "J" + std::to_string(info.param);
+                         });
+
+TEST(ParallelRunMany, JobsZeroMeansHardware)
+{
+    // jobs = 0 resolves to the hardware thread count; whatever that
+    // is, the summary must still match serial exactly.
+    core::BarrierConfig cfg;
+    cfg.processors = 16;
+    cfg.arrivalWindow = 200;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    core::BarrierSimulator sim(cfg);
+
+    const auto serial = sim.runMany(10, 5, 1);
+    const auto par = sim.runMany(10, 5, 0);
+    EXPECT_EQ(par.runs, serial.runs);
+    expectSameStats(par.accesses, serial.accesses, "accesses");
+    expectSameStats(par.wait, serial.wait, "wait");
+    EXPECT_EQ(par.eventsProcessed, serial.eventsProcessed);
+}
+
+} // namespace

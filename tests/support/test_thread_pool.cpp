@@ -1,0 +1,98 @@
+/**
+ * @file
+ * support::ThreadPool contract tests.
+ *
+ * The pool exists for one purpose — the deterministic parallel
+ * runMany in the episode engines — so the contract under test is
+ * narrow: submitted work runs exactly once, async() futures deliver
+ * results and propagate exceptions, and the destructor is a barrier
+ * that drains everything already queued.  The TSan CI job builds this
+ * binary to shake out data races in the queue itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace
+{
+
+using absync::support::ThreadPool;
+
+TEST(ThreadPool, SizeIsAtLeastOne)
+{
+    ThreadPool one(1);
+    EXPECT_EQ(one.size(), 1u);
+    ThreadPool clamped(0); // degenerate request still gets a worker
+    EXPECT_EQ(clamped.size(), 1u);
+    ThreadPool four(4);
+    EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPool, ResolveJobs)
+{
+    EXPECT_EQ(ThreadPool::resolveJobs(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveJobs(7), 7u);
+    // 0 = "use the hardware"; must still be a usable worker count.
+    EXPECT_GE(ThreadPool::resolveJobs(0), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsSubmittedWork)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&ran] { ++ran; });
+        // No waiting here: destruction must act as the barrier.
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, AsyncDeliversResults)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<std::uint64_t>> futs;
+    futs.reserve(64);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        futs.push_back(pool.async([i] { return i * i; }));
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, AsyncPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto ok = pool.async([] { return 7; });
+    auto bad = pool.async(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyProducersOneQueue)
+{
+    // Hammer the queue from several submitting threads at once; the
+    // interesting assertions are TSan's, not the count.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(4);
+        {
+            ThreadPool producers(4);
+            for (int p = 0; p < 4; ++p)
+                producers.submit([&pool, &ran] {
+                    for (int i = 0; i < 250; ++i)
+                        pool.submit([&ran] { ++ran; });
+                });
+        } // producers drained: all 1000 submissions are queued
+    }     // pool drained: all 1000 increments ran
+    EXPECT_EQ(ran.load(), 1000);
+}
+
+} // namespace
