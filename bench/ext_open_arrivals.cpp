@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Extension experiment: open-system overload — the stable→unstable λ
+ * transition per backoff policy, and its repair by graceful
+ * degradation (core/open_system.hpp; DESIGN.md §13).
+ *
+ * The paper's experiments are closed: N processors, one episode.
+ * This bench opens the system — requests arrive continuously at rate
+ * λ against one contended resource — and sweeps λ across the
+ * capacity 1/holdCycles for the paper's exp2/exp4/exp8 family plus a
+ * Bender-style robust policy, under an adversarial bursty arrival
+ * process (the Goldberg–Lapinskas instability driver).  Each policy
+ * shows a stable regime (goodput tracks offered load, detector quiet)
+ * and a saturated regime (backlog diverges, detector latches); the
+ * onset λ orders the policies: aggressive bases saturate earlier
+ * because deep backoff windows leave the resource idle while backlog
+ * accumulates.
+ *
+ * The second table holds one unstable configuration fixed and switches
+ * the degradation controls on one at a time: load shedding with
+ * retry-after, queue-on-threshold escalation (Section 7 blocking
+ * path), and bounded retry budgets.  The acceptance bar: at least one
+ * control restores goodput to >= 90% of offered load.
+ *
+ * Modes:
+ *   --report-out <path>  absync.run_report.v1 with per-policy onset
+ *                        λ, stable-point goodput ratios, and the
+ *                        degradation ratios — the regression gate's
+ *                        input (absync.open_system.v1 baselines).
+ *   --soak               bounded-memory soak: one Poisson run of
+ *                        --soak-cycles (default 1e9) cycles streaming
+ *                        through the P²/BoundedSeries pipeline with
+ *                        tracing enabled; fails (exit 1) on RSS above
+ *                        --rss-limit-mb, any dropped TraceRing event,
+ *                        or a saturation flag on the stable config.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "core/open_system.hpp"
+#include "obs/trace_ring.hpp"
+#include "support/table.hpp"
+
+#if defined(__linux__)
+#include <fstream>
+#endif
+
+using namespace absync;
+using namespace absync::bench;
+
+namespace
+{
+
+/** Raw service capacity: one completion per holdCycles. */
+constexpr std::uint32_t kHoldCycles = 50;
+constexpr double kCapacity = 1.0 / kHoldCycles;
+
+/** λ sweep grid as fractions of raw capacity. */
+const std::vector<double> &
+rhoGrid()
+{
+    static const std::vector<double> g = {0.30, 0.50, 0.70, 0.85,
+                                          0.95, 1.05};
+    return g;
+}
+
+core::OpenSystemConfig
+baseConfig(double lambda, const std::string &policy,
+           std::uint64_t cycles, core::ArrivalProcess process)
+{
+    core::OpenSystemConfig cfg;
+    cfg.lambda = lambda;
+    cfg.arrivals = process;
+    cfg.burstSize = 32;
+    cfg.backoff = core::openBackoffFromString(policy);
+    cfg.holdCycles = kHoldCycles;
+    cfg.cycles = cycles;
+    return cfg;
+}
+
+/** Resident set size in MiB (0 where /proc is unavailable). */
+double
+rssMiB()
+{
+#if defined(__linux__)
+    std::ifstream status("/proc/self/status");
+    std::string key;
+    while (status >> key) {
+        if (key == "VmRSS:") {
+            double kib = 0.0;
+            status >> kib;
+            return kib / 1024.0;
+        }
+        status.ignore(4096, '\n');
+    }
+#endif
+    return 0.0;
+}
+
+int
+soak(const support::Options &opts, std::uint64_t seed)
+{
+    const auto cycles = static_cast<std::uint64_t>(
+        opts.getInt("soak-cycles", 1000000000LL));
+    const double rss_limit = static_cast<double>(
+        opts.getInt("rss-limit-mb", 512));
+
+    // Stable Poisson configuration at 60% of capacity: the soak
+    // guards the *plumbing* (P² quantiles, decimating series, shed
+    // caps, trace ring) over a multi-billion-cycle stream, so the
+    // run itself must be healthy.
+    core::OpenSystemConfig cfg;
+    cfg.lambda = 0.6 * kCapacity;
+    cfg.arrivals = core::ArrivalProcess::Poisson;
+    cfg.backoff = core::openBackoffFromString("robust");
+    cfg.holdCycles = kHoldCycles;
+    cfg.cycles = cycles;
+
+    obs::TraceRegistry::global().enable(4096);
+    const double rss_before = rssMiB();
+    support::Rng rng(seed);
+    const auto st = core::OpenSystem(cfg).run(rng);
+    const double rss_after = rssMiB();
+    obs::TraceRegistry::global().disable();
+    const std::uint64_t dropped =
+        obs::TraceRegistry::global().droppedEvents();
+
+    std::printf("\nsoak: %llu cycles, %llu arrivals, %llu "
+                "completions (goodput ratio %.4f)\n",
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(st.arrivalsOffered),
+                static_cast<unsigned long long>(st.completions),
+                st.goodputRatio);
+    std::printf("soak: delay p50/p90/p99 = %.0f/%.0f/%.0f cycles, "
+                "avg backlog %.2f, peak %llu\n",
+                st.delayP50, st.delayP90, st.delayP99, st.avgBacklog,
+                static_cast<unsigned long long>(st.peakBacklog));
+    std::printf("soak: %llu detector windows (%llu saturated), "
+                "series %zu+%zu samples, rss %.1f -> %.1f MiB, "
+                "%llu dropped trace events\n",
+                static_cast<unsigned long long>(st.windows),
+                static_cast<unsigned long long>(st.saturatedWindows),
+                st.goodputSeries.samples.size(),
+                st.backlogSeries.samples.size(),
+                rss_before, rss_after,
+                static_cast<unsigned long long>(dropped));
+
+    int failures = 0;
+    const auto expect = [&](bool ok, const char *what) {
+        if (!ok) {
+            std::fprintf(stderr, "soak FAIL: %s\n", what);
+            ++failures;
+        }
+    };
+    expect(rss_after <= rss_limit, "resident set above limit");
+    expect(dropped == 0, "trace ring dropped events at steady state");
+    expect(!st.saturated, "stable configuration flagged saturated");
+    expect(st.goodputRatio > 0.99,
+           "stable configuration lost arrivals");
+    expect(st.goodputSeries.samples.size() <= 512 &&
+               st.backlogSeries.samples.size() <= 512,
+           "windowed series exceeded their sample budget");
+    if (failures == 0)
+        std::printf("soak: PASS\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv,
+                          {"cycles", "runs", "seed", "jobs",
+                           "report-out", "soak", "soak-cycles",
+                           "rss-limit-mb"});
+    const auto cycles =
+        static_cast<std::uint64_t>(opts.getInt("cycles", 150000));
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 4));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 23));
+    const unsigned jobs = jobsOption(opts);
+
+    printHeader("Extension: open-system overload — saturation onset "
+                "per policy, graceful degradation",
+                "open-arrival engine over the Section 3 module model; "
+                "Bender et al., Goldberg & Lapinskas");
+
+    if (opts.getBool("soak"))
+        return soak(opts, seed);
+
+    obs::RunReport report("ext_open_arrivals",
+                          "Open-system saturation onset per backoff "
+                          "policy and graceful degradation");
+    report.addMetric("open.capacity", kCapacity);
+
+    const std::vector<std::string> policies = {"exp2", "exp4", "exp8",
+                                               "robust"};
+
+    std::printf("\nPoisson arrivals, hold %u cycles (capacity "
+                "%.3f/cycle), %llu cycles, %llu runs:\n",
+                kHoldCycles, kCapacity,
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(runs));
+
+    // ---- λ sweep: goodput ratio per (policy, λ); * = saturated ----
+    std::vector<std::string> header = {"rho (λ/cap)"};
+    header.insert(header.end(), policies.begin(), policies.end());
+    support::Table sweep(header);
+    std::vector<double> onset(policies.size(), 0.0);
+
+    for (const double rho : rhoGrid()) {
+        std::vector<std::string> row = {support::fmt(rho, 2)};
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto cfg =
+                baseConfig(rho * kCapacity, policies[p], cycles,
+                           core::ArrivalProcess::Poisson);
+            const auto st =
+                core::OpenSystem(cfg).runMany(runs, seed, jobs);
+            row.push_back(support::fmt(st.goodputRatio, 3) +
+                          (st.saturated ? " *" : ""));
+            if (st.saturated && onset[p] == 0.0)
+                onset[p] = rho;
+            const std::string key = "open." + policies[p] + ".rho" +
+                                    std::to_string(
+                                        static_cast<int>(rho * 100));
+            report.addMetric(key + ".goodput_ratio", st.goodputRatio);
+            report.addMetric(key + ".saturated",
+                             st.saturated ? 1.0 : 0.0);
+            report.addMetric(key + ".avg_backlog", st.avgBacklog);
+        }
+        sweep.addRow(row);
+    }
+    std::printf("%s", sweep.str().c_str());
+    std::printf("(* = saturation detector latched in a majority of "
+                "runs)\n");
+
+    std::printf("\nSaturation onset (first flagged rho; 0 = stable "
+                "across the grid):\n");
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        std::printf("  %-7s %s\n", policies[p].c_str(),
+                    onset[p] > 0.0 ? support::fmt(onset[p], 2).c_str()
+                                   : "stable");
+        // 0 encodes "never saturated on this grid"; the gate treats
+        // it as an exact match requirement.
+        report.addMetric("open." + policies[p] + ".onset_rho",
+                         onset[p]);
+    }
+
+    // ---- arrival-process ablation: bursts break exp, robust holds --
+    const double rho_ablate = 0.50;
+    std::printf("\nArrival-process ablation at rho=%.2f (goodput "
+                "ratio; * = saturated):\n",
+                rho_ablate);
+    support::Table ablate({"process", "exp2", "robust"});
+    for (const auto process : {core::ArrivalProcess::Poisson,
+                               core::ArrivalProcess::Batch,
+                               core::ArrivalProcess::Adversarial}) {
+        std::vector<std::string> row = {
+            core::arrivalProcessName(process)};
+        for (const char *policy : {"exp2", "robust"}) {
+            const auto cfg = baseConfig(rho_ablate * kCapacity,
+                                        policy, cycles, process);
+            const auto st =
+                core::OpenSystem(cfg).runMany(runs, seed, jobs);
+            row.push_back(support::fmt(st.goodputRatio, 3) +
+                          (st.saturated ? " *" : ""));
+            report.addMetric("open.process." +
+                                 core::arrivalProcessName(process) +
+                                 "." + std::string(policy) +
+                                 ".goodput_ratio",
+                             st.goodputRatio);
+        }
+        ablate.addRow(row);
+    }
+    std::printf("%s", ablate.str().c_str());
+
+    // ---- graceful degradation: one unstable config, controls on ----
+    const double rho_degrade = 0.85;
+    std::printf("\nGraceful degradation at rho=%.2f under exp8 with "
+                "adversarial bursts (unstable baseline):\n",
+                rho_degrade);
+    support::Table degrade({"configuration", "goodput ratio",
+                            "avg backlog", "peak", "sheds",
+                            "withdrawn", "saturated"});
+    const auto degradeRow = [&](const char *label, const char *slug,
+                                core::OpenSystemConfig cfg) {
+        const auto st =
+            core::OpenSystem(cfg).runMany(runs, seed, jobs);
+        degrade.addRow(
+            {label, support::fmt(st.goodputRatio, 3),
+             support::fmt(st.avgBacklog, 1),
+             std::to_string(st.peakBacklog),
+             std::to_string(st.sheds),
+             std::to_string(st.withdrawals),
+             st.saturated ? "yes" : "no"});
+        const std::string key = std::string("open.degrade.") + slug;
+        report.addMetric(key + ".goodput_ratio", st.goodputRatio);
+        report.addMetric(key + ".avg_backlog", st.avgBacklog);
+        report.addMetric(key + ".saturated", st.saturated ? 1. : 0.);
+        return st;
+    };
+
+    const auto unstable = [&] {
+        return baseConfig(rho_degrade * kCapacity, "exp8", cycles,
+                          core::ArrivalProcess::Adversarial);
+    };
+    degradeRow("baseline (no controls)", "baseline", unstable());
+
+    auto shed = unstable();
+    shed.shedCapacity = 64;
+    shed.retryAfter = 4 * kHoldCycles;
+    degradeRow("shed at 64 + retry-after", "shed", shed);
+
+    auto queue = unstable();
+    queue.queueThreshold = 64;
+    degradeRow("queue-on-threshold 64", "queue", queue);
+
+    auto budget = unstable();
+    budget.retryBudget = 5;
+    degradeRow("retry budget 5", "budget", budget);
+    std::printf("%s", degrade.str().c_str());
+
+    std::printf(
+        "\nReading: below onset every policy keeps goodput at the "
+        "offered load; past it deep backoff windows idle the free "
+        "resource while backlog accumulates (goodput ratio sags, "
+        "detector latches).  Aggressive bases cross first — exp8 and "
+        "exp4 before exp2.  Under smooth Poisson arrivals the robust "
+        "policy only matches exp2; its payoff is the ablation row — "
+        "adversarial bursts collapse the exponential family (windows "
+        "grow in lockstep, the resource idles) while randomized "
+        "re-probing keeps serving.  On the unstable exp8 point, "
+        "queue-on-threshold escalation (the Section 7 blocking path) "
+        "eliminates the idle waste and restores goodput to the "
+        "offered load; shedding and retry budgets bound backlog and "
+        "memory instead, trading completed work for stability.\n");
+
+    maybeWriteRunReport(opts, report);
+    return 0;
+}

@@ -34,6 +34,7 @@ import sys
 BASELINE_SCHEMA = "absync.bench_baseline.v1"
 REPORT_SCHEMA = "absync.run_report.v1"
 TIMING_SCHEMA = "absync.gbench_timing.v1"
+OPEN_SCHEMA = "absync.open_system.v1"
 
 # Fresh baselines pin every metric of the report with this band.
 # Deterministic simulators reproduce exactly on one machine; the
@@ -180,6 +181,125 @@ def write_timing_baseline(args):
     print(f"seeded {out} ({len(doc['timings'])} timings)")
 
 
+# ---------------------------------------------------------------------
+# Open-system gate: the ext_open_arrivals λ-sweep
+# (absync.open_system.v1).
+#
+# The sweep's regression contract is *qualitative*, not a band around
+# every number: the stability boundary of each policy must not move,
+# stable operating points must keep their goodput, and the graceful-
+# degradation acceptance bar (queue escalation restores >= 90% of the
+# offered load on an otherwise-unstable point) must keep holding.
+# Tight value bands would re-pin every probabilistic detail instead of
+# the claims the bench exists to demonstrate.
+#  - onsets: first flagged rho per policy, exact match (the grid is
+#    discrete, so any movement is a behaviour change);
+#  - flags: every recorded .saturated metric, exact 0/1 match;
+#  - goodput_floors: measured ratio may not drop below the recorded
+#    floor (seeded a little under the measured stable-point values);
+#  - degradation_floors: hard acceptance criteria, fixed by hand.
+# ---------------------------------------------------------------------
+
+OPEN_TOOL = "BASELINE_open_system"
+OPEN_COMMAND = ("{build}/bench/ext_open_arrivals --cycles 150000 "
+                "--runs 4 --seed 23 --report-out {report}")
+# Stable-point floors sit this far under the measured value, absorbing
+# toolchain/libm drift without letting goodput decay unnoticed.
+OPEN_FLOOR_MARGIN = 0.03
+# The ISSUE acceptance bar, independent of what was measured.
+OPEN_DEGRADATION_FLOORS = {
+    "open.degrade.queue.goodput_ratio": 0.9,
+}
+
+
+def check_open(baseline, measured, inject):
+    """Yield human-readable failure strings for the open-system gate."""
+
+    def get(name):
+        got = measured.get(name)
+        if got is not None and inject and inject[0] in name:
+            got *= inject[1]
+        return got
+
+    for policy, expected in sorted(baseline.get("onsets", {}).items()):
+        name = f"open.{policy}.onset_rho"
+        got = get(name)
+        if got is None:
+            yield f"{name}: MISSING from report"
+        elif got != expected:
+            yield (f"{name}: saturation onset moved, baseline "
+                   f"{expected:g}, measured {got:g}")
+    for name, expected in sorted(baseline.get("flags", {}).items()):
+        got = get(name)
+        if got is None:
+            yield f"{name}: MISSING from report"
+        elif got != expected:
+            yield (f"{name}: saturation verdict flipped, baseline "
+                   f"{expected:g}, measured {got:g}")
+    floors = dict(baseline.get("goodput_floors", {}))
+    floors.update(baseline.get("degradation_floors", {}))
+    for name, floor in sorted(floors.items()):
+        got = get(name)
+        if got is None:
+            yield f"{name}: MISSING from report"
+        elif got < floor:
+            yield (f"{name}: measured {got:.6g} below floor "
+                   f"{floor:.6g}")
+
+
+def gate_open(args, baseline):
+    report_path = args.results / f"{baseline['tool']}.report.json"
+    report = run_bench(baseline["command"], args.build, report_path)
+    bad = list(check_open(baseline, report["metrics"], args.inject))
+    checks = (len(baseline.get("onsets", {})) +
+              len(baseline.get("flags", {})) +
+              len(baseline.get("goodput_floors", {})) +
+              len(baseline.get("degradation_floors", {})))
+    status = "FAIL" if bad else "ok"
+    print(f"{status:>4}  {baseline['tool']}  "
+          f"({checks} checks, report: {report_path})")
+    for msg in bad:
+        print(f"      {msg}")
+    return len(bad)
+
+
+def write_open_baseline(args):
+    report_path = args.results / f"{OPEN_TOOL}.report.json"
+    report = run_bench(OPEN_COMMAND, args.build, report_path)
+    metrics = report["metrics"]
+    onsets = {}
+    flags = {}
+    floors = {}
+    for name, value in sorted(metrics.items()):
+        if name.endswith(".onset_rho"):
+            onsets[name.split(".")[1]] = value
+        elif name.endswith(".saturated"):
+            flags[name] = value
+    for name, value in sorted(metrics.items()):
+        # Pin a floor under every *stable* sweep/degradation point;
+        # saturated points have no goodput to protect.
+        if not name.endswith(".goodput_ratio"):
+            continue
+        flag = name.replace(".goodput_ratio", ".saturated")
+        if flags.get(flag, 0.0) == 0.0:
+            floors[name] = round(value * (1.0 - OPEN_FLOOR_MARGIN), 6)
+    doc = {
+        "schema": OPEN_SCHEMA,
+        "tool": OPEN_TOOL,
+        "command": OPEN_COMMAND,
+        "onsets": onsets,
+        "flags": flags,
+        "goodput_floors": floors,
+        "degradation_floors": OPEN_DEGRADATION_FLOORS,
+    }
+    out = args.baselines / f"{OPEN_TOOL}.json"
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"seeded {out} ({len(onsets)} onsets, {len(flags)} flags, "
+          f"{len(floors)} floors)")
+
+
 def run_bench(command, build, report_path):
     report_path.parent.mkdir(parents=True, exist_ok=True)
     cmd = command.format(build=build, report=report_path)
@@ -223,10 +343,13 @@ def gate(args, baseline_paths):
         if baseline.get("schema") == TIMING_SCHEMA:
             failures += gate_timing(args, path, baseline)
             continue
+        if baseline.get("schema") == OPEN_SCHEMA:
+            failures += gate_open(args, baseline)
+            continue
         if baseline.get("schema") != BASELINE_SCHEMA:
             sys.exit(f"{path}: schema is {baseline.get('schema')!r},"
-                     f" expected {BASELINE_SCHEMA!r} or "
-                     f"{TIMING_SCHEMA!r}")
+                     f" expected {BASELINE_SCHEMA!r}, "
+                     f"{OPEN_SCHEMA!r} or {TIMING_SCHEMA!r}")
         tool = baseline["tool"]
         report_path = args.results / f"{tool}.report.json"
         report = run_bench(baseline["command"], args.build,
@@ -260,6 +383,7 @@ def write_baselines(args):
         write_timing_baseline(args)
     if args.only == "timing":
         return
+    write_open_baseline(args)
     for tool, command in sorted(SEED_COMMANDS.items()):
         report_path = args.results / f"{tool}.report.json"
         report = run_bench(command, args.build, report_path)

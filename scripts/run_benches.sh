@@ -62,6 +62,9 @@ for b in "$BUILD"/bench/*; do
             extra=(--report-out "$OUT/REPORT_$name.json"
                    --trace-out "$OUT/hotspot_occupancy_trace.json")
             ;;
+        ext_open_arrivals)
+            extra=(--report-out "$OUT/REPORT_$name.json")
+            ;;
     esac
     # Episode-sweep benches take --jobs (deterministic parallel
     # runMany; numbers are identical for any worker count).
@@ -69,8 +72,9 @@ for b in "$BUILD"/bench/*; do
         fig[4-9]*|fig10*|sec[357]*|ext_arbitration|\
         ext_combining_tree|ext_controller_backoff|\
         ext_deterministic_vs_random|ext_fault_robustness|\
-        ext_one_variable_barrier|ext_queue_threshold|\
-        ext_resource_sim|ext_scaled_var_backoff)
+        ext_one_variable_barrier|ext_open_arrivals|\
+        ext_queue_threshold|ext_resource_sim|\
+        ext_scaled_var_backoff)
             extra+=(--jobs "$JOBS")
             ;;
     esac
@@ -135,7 +139,8 @@ reports = {}
 for name in ("REPORT_fig5_accesses_a0.json",
              "REPORT_fig7_accesses_a1000.json",
              "REPORT_fig8_waiting_a0.json",
-             "REPORT_ext_hotspot_saturation.json"):
+             "REPORT_ext_hotspot_saturation.json",
+             "REPORT_ext_open_arrivals.json"):
     with open(f"{out}/{name}") as f:
         reports[name] = json.load(f)
     assert reports[name]["schema"] == "absync.run_report.v1", name

@@ -1,0 +1,747 @@
+#include "core/open_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <future>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
+#include "support/p2_quantile.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+
+namespace absync::core
+{
+
+ArrivalProcess
+arrivalProcessFromString(const std::string &name)
+{
+    if (name == "poisson")
+        return ArrivalProcess::Poisson;
+    if (name == "batch")
+        return ArrivalProcess::Batch;
+    if (name == "adversarial" || name == "adv")
+        return ArrivalProcess::Adversarial;
+    std::fprintf(stderr, "unknown arrival process '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+std::string
+arrivalProcessName(ArrivalProcess p)
+{
+    switch (p) {
+      case ArrivalProcess::Poisson:
+        return "poisson";
+      case ArrivalProcess::Batch:
+        return "batch";
+      case ArrivalProcess::Adversarial:
+        return "adversarial";
+    }
+    return "?";
+}
+
+OpenBackoffConfig
+openBackoffFromString(const std::string &name)
+{
+    OpenBackoffConfig cfg;
+    if (name == "exp2" || name == "exp4" || name == "exp8") {
+        cfg.policy = OpenWaitPolicy::Exp;
+        cfg.expBase = static_cast<std::uint64_t>(name[3] - '0');
+        return cfg;
+    }
+    if (name == "robust") {
+        cfg.policy = OpenWaitPolicy::Robust;
+        cfg.expBase = 2;
+        return cfg;
+    }
+    std::fprintf(stderr, "unknown open backoff policy '%s'\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+std::string
+openBackoffName(const OpenBackoffConfig &cfg)
+{
+    if (cfg.policy == OpenWaitPolicy::Robust)
+        return "robust";
+    return "exp" + std::to_string(cfg.expBase);
+}
+
+// ---------------------------------------------------------------------
+// SaturationDetector
+// ---------------------------------------------------------------------
+
+SaturationDetector::SaturationDetector(
+    const SaturationDetectorConfig &cfg)
+    : cfg_(cfg), ring_(std::max<std::uint32_t>(cfg.trendWindows, 2))
+{
+}
+
+void
+SaturationDetector::observe(std::uint64_t admitted,
+                            std::uint64_t completed,
+                            std::uint64_t backlog)
+{
+    ring_[head_] = {admitted, completed, backlog};
+    head_ = (head_ + 1) % ring_.size();
+    ++windows_;
+
+    saturated_now_ = false;
+    if (windows_ < ring_.size())
+        return;
+
+    // Walk the trend span oldest -> newest.
+    bool grew = true;
+    bool all_backlogged = true;
+    std::uint64_t admitted_sum = 0;
+    std::uint64_t completed_sum = 0;
+    std::uint64_t prev_backlog = 0;
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const Obs &o = ring_[(head_ + i) % ring_.size()];
+        admitted_sum += o.admitted;
+        completed_sum += o.completed;
+        if (i > 0 && o.backlog <= prev_backlog)
+            grew = false;
+        if (o.backlog <= cfg_.minBacklog)
+            all_backlogged = false;
+        prev_backlog = o.backlog;
+    }
+    const std::uint64_t newest_backlog = prev_backlog;
+
+    const bool growth = grew && newest_backlog > cfg_.minBacklog;
+    const std::uint64_t span_capacity =
+        cfg_.windowCapacity * ring_.size();
+    const std::uint64_t deliverable =
+        std::min(admitted_sum, span_capacity);
+    const bool collapse =
+        cfg_.windowCapacity > 0 && all_backlogged &&
+        static_cast<double>(completed_sum) <
+            cfg_.collapseFraction * static_cast<double>(deliverable);
+    if (growth || collapse) {
+        saturated_now_ = true;
+        latched_ = true;
+        ++flagged_;
+    }
+}
+
+// ---------------------------------------------------------------------
+// OpenSystem engine
+// ---------------------------------------------------------------------
+
+OpenSystem::OpenSystem(const OpenSystemConfig &cfg) : cfg_(cfg) {}
+
+namespace
+{
+
+enum class OS : std::uint8_t
+{
+    Polling, ///< attempting to read/acquire the state word
+    Backoff, ///< waiting out a backoff interval
+    Queued,  ///< parked in the FIFO handoff queue
+    Holding, ///< owns the resource
+    Free,    ///< slot unused
+};
+
+/** One in-system request.  Slots are recycled through a free list;
+ *  a slot is referenced by exactly one structure at a time (active
+ *  set, wake heap, FIFO queue, or the holder), so no stale handles. */
+struct OReq
+{
+    std::uint64_t arrivalIndex = 0;
+    std::uint64_t admitAt = 0;
+    std::uint64_t wake = 0;
+    std::uint64_t attempts = 0; ///< busy polls so far
+    OS state = OS::Free;
+};
+
+/** Pending wake-up / re-admission in a time-ordered heap. */
+struct OWake
+{
+    std::uint64_t time;
+    std::uint64_t id; ///< slot (wake heap) or arrival index (retry)
+    std::uint32_t tries = 0;
+};
+
+struct OLater
+{
+    bool
+    operator()(const OWake &a, const OWake &b) const
+    {
+        // Ties break on id so heap order is deterministic.
+        return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+};
+
+/** Exponential interarrival with mean @p mean (>= 0 cycles). */
+std::uint64_t
+expGap(support::Rng &rng, double mean)
+{
+    const double u = std::max(rng.nextDouble(), 1e-12);
+    return static_cast<std::uint64_t>(-mean * std::log(u));
+}
+
+/** Per-thread scratch reused across runs (see barrier_sim.cpp). */
+struct OpenWorkspace
+{
+    std::vector<OReq> slots;
+    std::vector<std::uint32_t> free_slots;
+    std::vector<OWake> wake_heap;
+    std::vector<OWake> retry_heap;
+    std::vector<std::uint32_t> due;
+    std::vector<std::uint32_t> active;
+    std::vector<std::uint32_t> next_active;
+    std::deque<std::uint32_t> fifo;
+};
+
+OpenWorkspace &
+tlsOpenWorkspace()
+{
+    static thread_local OpenWorkspace ws;
+    return ws;
+}
+
+} // namespace
+
+OpenSystemStats
+OpenSystem::run(support::Rng &rng) const
+{
+    const OpenSystemConfig &cfg = cfg_;
+    OpenWorkspace &ws = tlsOpenWorkspace();
+    OpenSystemStats st;
+    sim::MemoryModule mod(cfg.arbitration);
+
+    ws.slots.clear();
+    ws.free_slots.clear();
+    ws.wake_heap.clear();
+    ws.retry_heap.clear();
+    ws.active.clear();
+    ws.fifo.clear();
+
+    const std::uint64_t window = std::max<std::uint64_t>(
+        cfg.detector.windowCycles, 1);
+    SaturationDetectorConfig det_cfg = cfg.detector;
+    if (det_cfg.windowCapacity == 0 && cfg.holdCycles > 0)
+        det_cfg.windowCapacity =
+            std::max<std::uint64_t>(window / cfg.holdCycles, 1);
+    SaturationDetector detector(det_cfg);
+    support::P2Quantile p50(0.50), p90(0.90), p99(0.99);
+    support::RunningStats delay;
+    obs::BoundedSeries goodput_series("open_goodput",
+                                      cfg.seriesSamples);
+    obs::BoundedSeries backlog_series("open_backlog",
+                                      cfg.seriesSamples);
+
+    bool held = false;
+    std::uint32_t holder = 0;
+    std::uint64_t release_at = 0;
+    std::uint64_t held_cycles = 0;
+    std::uint64_t backlog = 0; ///< requests in the system
+    std::uint64_t backlog_integral = 0;
+
+    // Window tallies.
+    std::uint64_t next_window = window;
+    std::uint64_t win_admitted = 0;
+    std::uint64_t win_completed = 0;
+
+    // Arrival generator state: next arrival time + burst remaining.
+    const double mean_gap = cfg.lambda > 0.0 ? 1.0 / cfg.lambda : 0.0;
+    std::uint64_t next_arrival = 0;
+    std::uint64_t burst_left = 0;
+    std::uint64_t next_arrival_index = 0;
+    bool arrivals_done = cfg.lambda <= 0.0;
+    switch (cfg.arrivals) {
+      case ArrivalProcess::Poisson:
+        next_arrival = arrivals_done ? 0 : expGap(rng, mean_gap);
+        burst_left = 1;
+        break;
+      case ArrivalProcess::Batch:
+        next_arrival = 0;
+        burst_left = std::max<std::uint32_t>(cfg.batchSize, 1);
+        break;
+      case ArrivalProcess::Adversarial:
+        next_arrival = 0;
+        burst_left = std::max<std::uint32_t>(cfg.burstSize, 1);
+        break;
+    }
+
+    const auto scheduleNextBurst = [&](std::uint64_t now) {
+        switch (cfg.arrivals) {
+          case ArrivalProcess::Poisson:
+            next_arrival = now + expGap(rng, mean_gap);
+            burst_left = 1;
+            break;
+          case ArrivalProcess::Batch: {
+            const std::uint64_t size =
+                std::max<std::uint32_t>(cfg.batchSize, 1);
+            next_arrival =
+                now + std::max<std::uint64_t>(
+                          static_cast<std::uint64_t>(
+                              static_cast<double>(size) * mean_gap),
+                          1);
+            burst_left = size;
+            break;
+          }
+          case ArrivalProcess::Adversarial: {
+            // Geometric burst scaling: size = base << g with
+            // P(g) = 2^-(g+1) capped at 4 doublings, gap sized to
+            // preserve the mean rate λ.  Rare clustered mega-bursts
+            // after matching quiet stretches — the adversarial shape
+            // exponential backoff handles worst.
+            std::uint32_t g = 0;
+            while (g < 4 && rng.bernoulli(0.5))
+                ++g;
+            const std::uint64_t size =
+                std::uint64_t{std::max<std::uint32_t>(cfg.burstSize,
+                                                      1)}
+                << g;
+            next_arrival =
+                now + std::max<std::uint64_t>(
+                          static_cast<std::uint64_t>(
+                              static_cast<double>(size) * mean_gap),
+                          1);
+            burst_left = size;
+            break;
+          }
+        }
+    };
+
+    const auto allocSlot = [&]() -> std::uint32_t {
+        if (!ws.free_slots.empty()) {
+            const std::uint32_t s = ws.free_slots.back();
+            ws.free_slots.pop_back();
+            return s;
+        }
+        ws.slots.push_back({});
+        return static_cast<std::uint32_t>(ws.slots.size() - 1);
+    };
+
+    const auto freeSlot = [&](std::uint32_t s) {
+        ws.slots[s].state = OS::Free;
+        ws.free_slots.push_back(s);
+        --backlog;
+    };
+
+    // One request leaves the contention loop for good.
+    const auto withdraw = [&](std::uint32_t s, std::uint64_t now) {
+        ++st.withdrawals;
+        obs::tracePoint(obs::EventKind::Withdraw, now,
+                        ws.slots[s].arrivalIndex);
+        freeSlot(s);
+    };
+
+    // Admission: returns the slot, or UINT32_MAX when shed.
+    const auto admit = [&](std::uint64_t arrival_index,
+                           std::uint64_t now,
+                           std::uint32_t tries) -> std::uint32_t {
+        const bool over_cap =
+            (cfg.shedCapacity > 0 && backlog >= cfg.shedCapacity) ||
+            backlog >= cfg.hardCap;
+        if (over_cap) {
+            ++st.sheds;
+            if (cfg.retryAfter > 0 && tries < cfg.maxAdmitRetries) {
+                ++st.shedRetries;
+                ws.retry_heap.push_back(
+                    {now + cfg.retryAfter, arrival_index,
+                     static_cast<std::uint32_t>(tries + 1)});
+                std::push_heap(ws.retry_heap.begin(),
+                               ws.retry_heap.end(), OLater{});
+            } else {
+                ++st.drops;
+            }
+            return UINT32_MAX;
+        }
+        const std::uint32_t s = allocSlot();
+        OReq &r = ws.slots[s];
+        r.arrivalIndex = arrival_index;
+        r.admitAt = now;
+        r.attempts = 0;
+        ++backlog;
+        st.peakBacklog = std::max(st.peakBacklog, backlog);
+        ++st.arrivalsAdmitted;
+        ++win_admitted;
+
+        // Straggler fault: the request exists but its first poll is
+        // delayed (a stalled client, a lost wake-up).
+        std::uint64_t first_poll_delay =
+            cfg.faults != nullptr
+                ? cfg.faults->arrivalStragglerDelay(arrival_index)
+                : 0;
+
+        // Queue-on-threshold admission escalation: past the
+        // threshold, joining the poll scrum is pointless — park
+        // directly in the handoff queue.
+        if (cfg.queueThreshold > 0 && backlog > cfg.queueThreshold) {
+            r.state = OS::Queued;
+            ++st.parks;
+            obs::tracePoint(obs::EventKind::Park, now, arrival_index);
+            ws.fifo.push_back(s);
+            return s;
+        }
+        if (first_poll_delay > 0) {
+            r.state = OS::Backoff;
+            r.wake = now + first_poll_delay;
+            ws.wake_heap.push_back({r.wake, s});
+            std::push_heap(ws.wake_heap.begin(), ws.wake_heap.end(),
+                           OLater{});
+        } else {
+            r.state = OS::Polling;
+            ws.active.push_back(s);
+        }
+        return s;
+    };
+
+    // Completed acquisition: sample the queueing delay.
+    const auto acquire = [&](std::uint32_t s, std::uint64_t now) {
+        OReq &r = ws.slots[s];
+        r.state = OS::Holding;
+        held = true;
+        holder = s;
+        release_at = now + cfg.holdCycles;
+        const auto d = static_cast<double>(now - r.admitAt);
+        delay.add(d);
+        p50.add(d);
+        p90.add(d);
+        p99.add(d);
+    };
+
+    // Release at the top of the cycle; FIFO handoff bypasses the
+    // poll scrum entirely (the Section 7 blocking path's wake).
+    const auto releaseStep = [&](std::uint64_t now) {
+        if (!held || release_at > now)
+            return;
+        held = false;
+        ++st.completions;
+        ++win_completed;
+        freeSlot(holder);
+        if (!ws.fifo.empty()) {
+            const std::uint32_t s = ws.fifo.front();
+            ws.fifo.pop_front();
+            ++st.accesses; // the handoff's single wake+acquire access
+            acquire(s, now);
+        }
+    };
+
+    const auto closeWindow = [&](std::uint64_t boundary) {
+        detector.observe(win_admitted, win_completed, backlog);
+        goodput_series.sample(boundary,
+                              static_cast<double>(win_completed) /
+                                  static_cast<double>(window));
+        backlog_series.sample(boundary,
+                              static_cast<double>(backlog));
+        win_admitted = 0;
+        win_completed = 0;
+    };
+
+    std::uint64_t cycle = 0;
+    while (cycle < cfg.cycles) {
+        ++st.eventsProcessed;
+
+        // Detection windows that closed at or before this cycle.
+        // Nothing changed during a skip, so closing them late with the
+        // current backlog is exact.
+        while (next_window <= cycle) {
+            closeWindow(next_window);
+            next_window += window;
+        }
+
+        releaseStep(cycle);
+
+        // Retry-after re-admissions due now.
+        while (!ws.retry_heap.empty() &&
+               ws.retry_heap.front().time <= cycle) {
+            std::pop_heap(ws.retry_heap.begin(), ws.retry_heap.end(),
+                          OLater{});
+            const OWake w = ws.retry_heap.back();
+            ws.retry_heap.pop_back();
+            admit(w.id, cycle, w.tries);
+        }
+
+        // Fresh arrivals due now.
+        while (!arrivals_done && next_arrival <= cycle) {
+            ++st.arrivalsOffered;
+            admit(next_arrival_index++, cycle, 0);
+            if (--burst_left == 0)
+                scheduleNextBurst(next_arrival);
+        }
+
+        // Backoff wake-ups due now.
+        ws.due.clear();
+        while (!ws.wake_heap.empty() &&
+               ws.wake_heap.front().time <= cycle) {
+            std::pop_heap(ws.wake_heap.begin(), ws.wake_heap.end(),
+                          OLater{});
+            ws.due.push_back(
+                static_cast<std::uint32_t>(ws.wake_heap.back().id));
+            ws.wake_heap.pop_back();
+        }
+        std::sort(ws.due.begin(), ws.due.end());
+        for (std::uint32_t s : ws.due) {
+            if (ws.slots[s].state == OS::Backoff)
+                ws.slots[s].state = OS::Polling;
+        }
+        ws.active.insert(ws.active.end(), ws.due.begin(),
+                         ws.due.end());
+
+        // Poll submissions: every polling request hits the module.
+        std::sort(ws.active.begin(), ws.active.end());
+        ws.active.erase(
+            std::unique(ws.active.begin(), ws.active.end()),
+            ws.active.end());
+        for (std::uint32_t s : ws.active) {
+            mod.request(s);
+            ++st.accesses;
+        }
+
+        // One access served per cycle.
+        const auto win = mod.arbitrate(rng);
+        if (win != sim::NO_GRANT) {
+            const auto s = static_cast<std::uint32_t>(win);
+            OReq &r = ws.slots[s];
+            if (!held) {
+                acquire(s, cycle);
+            } else {
+                // Busy: policy decision after a completed read.
+                ++r.attempts;
+                const bool budget_spent =
+                    cfg.retryBudget > 0 &&
+                    r.attempts >= cfg.retryBudget;
+                const bool fault_timeout =
+                    cfg.faults != nullptr &&
+                    cfg.faults->arrivalTimeout(r.arrivalIndex);
+                if (budget_spent || fault_timeout) {
+                    withdraw(s, cycle);
+                } else {
+                    std::uint64_t t = std::min<std::uint64_t>(
+                        r.attempts, cfg.backoff.expCap);
+                    std::uint64_t d = 1;
+                    for (std::uint64_t i = 0; i < t; ++i) {
+                        if (d > cfg.backoff.maxWait)
+                            break;
+                        d *= cfg.backoff.expBase;
+                    }
+                    d = std::min(d, cfg.backoff.maxWait);
+                    if (cfg.backoff.policy == OpenWaitPolicy::Robust) {
+                        // Bender-style: randomize within the window
+                        // (desynchronizes bursts) and periodically
+                        // re-probe with a small window so a freed
+                        // resource never idles a full grown window.
+                        const std::uint32_t period = std::max<
+                            std::uint32_t>(cfg.backoff.reprobePeriod,
+                                           2);
+                        if (r.attempts % period == 0) {
+                            d = std::min<std::uint64_t>(
+                                d, cfg.backoff.expBase *
+                                       cfg.backoff.expBase);
+                        }
+                        d = rng.uniformInt(1, std::max<std::uint64_t>(
+                                                  d, 1));
+                    }
+                    if (cfg.queueThreshold > 0 &&
+                        d > cfg.queueThreshold) {
+                        // Queue-on-threshold: a wait this long is a
+                        // park, not a spin (paper Section 7).
+                        r.state = OS::Queued;
+                        ++st.parks;
+                        obs::tracePoint(obs::EventKind::Park, cycle,
+                                        r.arrivalIndex);
+                        ws.fifo.push_back(s);
+                    } else {
+                        r.state = OS::Backoff;
+                        r.wake = cycle + 1 + d;
+                        ws.wake_heap.push_back({r.wake, s});
+                        std::push_heap(ws.wake_heap.begin(),
+                                       ws.wake_heap.end(), OLater{});
+                    }
+                }
+            }
+        }
+
+        if (held)
+            ++held_cycles;
+
+        // Keep only still-polling requests in the active set.
+        ws.next_active.clear();
+        for (std::uint32_t s : ws.active) {
+            if (ws.slots[s].state == OS::Polling)
+                ws.next_active.push_back(s);
+        }
+        ws.active.swap(ws.next_active);
+
+        // Time-skip to the next actionable cycle: a poll retry
+        // (cycle+1), an arrival, a retry-after re-admission, a wake,
+        // the pending release, or the horizon.  Window boundaries are
+        // caught up on re-entry.
+        std::uint64_t next = cycle + 1;
+        if (ws.active.empty()) {
+            next = cfg.cycles;
+            if (!arrivals_done)
+                next = std::min(next, next_arrival);
+            if (!ws.wake_heap.empty())
+                next = std::min(next, ws.wake_heap.front().time);
+            if (!ws.retry_heap.empty())
+                next = std::min(next, ws.retry_heap.front().time);
+            if (held)
+                next = std::min(next, release_at);
+            next = std::max(next, cycle + 1);
+        }
+        if (next > cycle + 1) {
+            const std::uint64_t skipped = next - (cycle + 1);
+            mod.advance(skipped);
+            if (held) {
+                const std::uint64_t held_gap =
+                    std::min(release_at, next) -
+                    std::min(release_at, cycle + 1);
+                held_cycles += held_gap;
+            }
+            st.cyclesSkipped += skipped;
+        }
+        backlog_integral += backlog * (next - cycle);
+        cycle = next;
+    }
+
+    // Close any windows that ended exactly at the horizon.
+    while (next_window <= cfg.cycles) {
+        closeWindow(next_window);
+        next_window += window;
+    }
+
+    // ---- finalize ----------------------------------------------------
+    st.backlogAtEnd = backlog;
+    st.offeredRate = static_cast<double>(st.arrivalsOffered) /
+                     static_cast<double>(cfg.cycles);
+    st.goodput = static_cast<double>(st.completions) /
+                 static_cast<double>(cfg.cycles);
+    st.goodputRatio =
+        st.arrivalsOffered
+            ? static_cast<double>(st.completions) /
+                  static_cast<double>(st.arrivalsOffered)
+            : 0.0;
+    st.utilization = static_cast<double>(held_cycles) /
+                     static_cast<double>(cfg.cycles);
+    st.avgBacklog = static_cast<double>(backlog_integral) /
+                    static_cast<double>(cfg.cycles);
+    st.accessesPerCompletion =
+        st.completions ? static_cast<double>(st.accesses) /
+                             static_cast<double>(st.completions)
+                       : 0.0;
+    st.avgDelay = delay.mean();
+    st.delayP50 = p50.value();
+    st.delayP90 = p90.value();
+    st.delayP99 = p99.value();
+    st.delayMax = p99.maximum();
+    st.windows = detector.windows();
+    st.saturatedWindows = detector.saturatedWindows();
+    st.saturated = detector.latched();
+    st.saturatedRuns = st.saturated ? 1 : 0;
+    st.goodputSeries = goodput_series.series();
+    st.backlogSeries = backlog_series.series();
+
+    obs::countArrivals(st.arrivalsAdmitted);
+    obs::countSheds(st.sheds);
+    obs::countSaturatedWindows(st.saturatedWindows);
+    obs::countCyclesSkipped(st.cyclesSkipped);
+    obs::countEventsProcessed(st.eventsProcessed);
+    return st;
+}
+
+OpenSystemStats
+OpenSystem::runMany(std::uint64_t runs, std::uint64_t seed,
+                    unsigned jobs) const
+{
+    OpenSystemStats agg;
+    support::RunningStats offered, goodput, ratio, util, avg_backlog,
+        avg_delay, d50, d90, d99, dmax, apc;
+    bool first = true;
+    const auto fold = [&](const OpenSystemStats &st) {
+        agg.arrivalsOffered += st.arrivalsOffered;
+        agg.arrivalsAdmitted += st.arrivalsAdmitted;
+        agg.sheds += st.sheds;
+        agg.shedRetries += st.shedRetries;
+        agg.drops += st.drops;
+        agg.completions += st.completions;
+        agg.withdrawals += st.withdrawals;
+        agg.parks += st.parks;
+        agg.backlogAtEnd += st.backlogAtEnd;
+        agg.accesses += st.accesses;
+        agg.peakBacklog = std::max(agg.peakBacklog, st.peakBacklog);
+        agg.windows += st.windows;
+        agg.saturatedWindows += st.saturatedWindows;
+        agg.saturatedRuns += st.saturatedRuns;
+        agg.cyclesSkipped += st.cyclesSkipped;
+        agg.eventsProcessed += st.eventsProcessed;
+        offered.add(st.offeredRate);
+        goodput.add(st.goodput);
+        ratio.add(st.goodputRatio);
+        util.add(st.utilization);
+        avg_backlog.add(st.avgBacklog);
+        avg_delay.add(st.avgDelay);
+        d50.add(st.delayP50);
+        d90.add(st.delayP90);
+        d99.add(st.delayP99);
+        dmax.add(st.delayMax);
+        apc.add(st.accessesPerCompletion);
+        if (first) {
+            agg.goodputSeries = st.goodputSeries;
+            agg.backlogSeries = st.backlogSeries;
+            first = false;
+        }
+    };
+
+    support::Rng master(seed);
+    jobs = support::ThreadPool::resolveJobs(jobs);
+    if (jobs <= 1 || runs < 2) {
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            support::Rng run_rng = master.split();
+            fold(run(run_rng));
+        }
+    } else {
+        // Deterministic fan-out (BarrierSimulator::runMany): streams
+        // pre-split serially, runs on the pool, folds in run order.
+        std::vector<support::Rng> streams;
+        streams.reserve(runs);
+        for (std::uint64_t r = 0; r < runs; ++r)
+            streams.push_back(master.split());
+
+        support::ThreadPool pool(jobs);
+        std::vector<std::future<OpenSystemStats>> futs(runs);
+        const std::uint64_t window =
+            std::max<std::uint64_t>(std::uint64_t{jobs} * 4, 1);
+        std::uint64_t submitted = 0;
+        const auto submit = [&](std::uint64_t r) {
+            futs[r] = pool.async([this, &streams, r]() {
+                support::Rng run_rng = streams[r];
+                return run(run_rng);
+            });
+        };
+        for (; submitted < std::min(runs, window); ++submitted)
+            submit(submitted);
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            const OpenSystemStats st = futs[r].get();
+            futs[r] = {};
+            if (submitted < runs)
+                submit(submitted++);
+            fold(st);
+        }
+    }
+
+    agg.offeredRate = offered.mean();
+    agg.goodput = goodput.mean();
+    agg.goodputRatio = ratio.mean();
+    agg.utilization = util.mean();
+    agg.avgBacklog = avg_backlog.mean();
+    agg.avgDelay = avg_delay.mean();
+    agg.delayP50 = d50.mean();
+    agg.delayP90 = d90.mean();
+    agg.delayP99 = d99.mean();
+    agg.delayMax = dmax.mean();
+    agg.accessesPerCompletion = apc.mean();
+    agg.saturated = agg.saturatedRuns * 2 > runs;
+    return agg;
+}
+
+} // namespace absync::core

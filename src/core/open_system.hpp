@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Open-arrival contention engine with online saturation detection and
+ * graceful-degradation controls (ROADMAP "open-system contention
+ * service"; DESIGN.md §13).
+ *
+ * Every other engine in this repository runs *closed* episodes: N
+ * processors arrive once, the episode ends, and the interesting
+ * quantity is per-episode latency.  A production service is an *open*
+ * system — requests arrive continuously at rate λ against a contended
+ * resource, and the interesting failures are overload, saturation,
+ * and instability.  Goldberg & Lapinskas (arXiv:2203.17144) prove
+ * that classic exponential backoff is unstable for arbitrarily small
+ * arrival rates in the worst case; Bender et al. (arXiv:1402.5207)
+ * give a robust schedule (constant throughput, polylog attempts) that
+ * survives bursts.  This engine reproduces both phenomena against the
+ * paper's exp2/exp4/exp8 family and a Bender-style robust policy.
+ *
+ * Model: requests arrive per an ArrivalProcess (Poisson, batched, or
+ * adversarial bursts), join the system, and contend for one resource
+ * whose state word lives in a sim::MemoryModule (one access per
+ * cycle, Section 3 rules).  A request polls, backs off per its policy
+ * after each *completed* busy read, acquires, holds for a service
+ * time, and departs.  The instability mechanism is idle waste: once
+ * every waiter is deep in a backoff window, the resource sits free
+ * while backlog accumulates — offered load below raw capacity can
+ * still diverge.
+ *
+ * The robustness layer (all individually optional):
+ *
+ *  - SaturationDetector — windowed online overload detection: a
+ *    backlog-growth trend test and a goodput-collapse test over the
+ *    last K windows, O(1) state, no post-processing.
+ *  - Admission control / load shedding — arrivals beyond a backlog
+ *    cap are refused (counted, optionally retried after a
+ *    retry-after interval), bounding both backlog and memory.
+ *  - Queue-on-threshold escalation — when a computed backoff interval
+ *    crosses the threshold, the request parks in an explicit FIFO
+ *    queue and is handed the resource directly at release (the
+ *    Section 7 blocking path), eliminating both poll traffic and
+ *    idle waste.
+ *  - Bounded retry budgets — a request withdraws after a fixed number
+ *    of busy polls (the open-system analogue of the PR 1 timed-wait
+ *    withdrawal), as do requests whose support::FaultPlan arrival-
+ *    indexed timeout fires.
+ *
+ * Multi-billion-cycle streams flow through bounded memory: delay
+ * quantiles come from P² estimators (support::P2Quantile), the
+ * per-window throughput/backlog series decimate themselves
+ * (obs::BoundedSeries), and a hard in-system cap converts unbounded
+ * backlog into counted sheds.  run() is event-driven time-skip
+ * (DESIGN.md §12) and deterministic per seed; runMany() fans out over
+ * pre-split RNG streams with an in-order fold, so aggregates are
+ * bitwise identical for any worker count.
+ */
+
+#ifndef ABSYNC_CORE_OPEN_SYSTEM_HPP
+#define ABSYNC_CORE_OPEN_SYSTEM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "sim/memory_module.hpp"
+#include "support/fault.hpp"
+#include "support/rng.hpp"
+
+namespace absync::core
+{
+
+/** How open-system requests arrive. */
+enum class ArrivalProcess
+{
+    Poisson,     ///< independent exponential interarrivals, rate λ
+    Batch,       ///< fixed-size batches at a fixed period (mean λ)
+    Adversarial, ///< geometric burst sizes after matching quiet gaps
+                 ///< (mean λ): rare huge clustered bursts, the
+                 ///< Goldberg-Lapinskas instability driver
+};
+
+/** Parse "poisson" | "batch" | "adversarial"; fatal on typo. */
+ArrivalProcess arrivalProcessFromString(const std::string &name);
+
+/** Human-readable process name. */
+std::string arrivalProcessName(ArrivalProcess p);
+
+/** Backoff family at the open resource. */
+enum class OpenWaitPolicy
+{
+    Exp,    ///< deterministic b^t after the t-th busy poll (paper)
+    Robust, ///< Bender-style: randomized truncated-exponential
+            ///< windows with periodic small-window re-probes
+};
+
+/** Backoff configuration for one open-system experiment. */
+struct OpenBackoffConfig
+{
+    OpenWaitPolicy policy = OpenWaitPolicy::Exp;
+    /** Exponential base b (2, 4, 8 in the paper's family). */
+    std::uint64_t expBase = 2;
+    /** Cap on the exponent t. */
+    std::uint32_t expCap = 16;
+    /** Absolute clamp on any single backoff interval, cycles. */
+    std::uint64_t maxWait = 1ULL << 20;
+    /** Robust policy: every k-th failure re-probes with a small
+     *  window instead of the grown one (polylog extra attempts buy
+     *  burst robustness — Bender et al.'s monitoring component). */
+    std::uint32_t reprobePeriod = 4;
+};
+
+/** Parse "exp2" | "exp4" | "exp8" | "robust"; fatal on typo. */
+OpenBackoffConfig openBackoffFromString(const std::string &name);
+
+/** Canonical policy name ("exp2", ..., "robust"). */
+std::string openBackoffName(const OpenBackoffConfig &cfg);
+
+/** Windowed overload-detection thresholds. */
+struct SaturationDetectorConfig
+{
+    /** Detection window width, cycles. */
+    std::uint64_t windowCycles = 4096;
+    /** Consecutive windows a trend must persist for a verdict. */
+    std::uint32_t trendWindows = 4;
+    /** Backlogs at or below this are never called saturated.  Set it
+     *  a few times above the healthy standing pool (waiters asleep in
+     *  backoff windows at equilibrium) so random monotone
+     *  fluctuations around that pool cannot form a growth trend;
+     *  divergent runs cross any fixed threshold quickly. */
+    std::uint64_t minBacklog = 64;
+    /** Goodput collapse: completions < this fraction of the service
+     *  capacity over the trend span while every window is backlogged
+     *  (see windowCapacity). */
+    double collapseFraction = 0.75;
+    /** Completions one window could deliver at full utilization
+     *  (windowCycles / holdCycles).  OpenSystem fills this in; 0
+     *  disables the collapse test. */
+    std::uint64_t windowCapacity = 0;
+};
+
+/**
+ * Online saturation detector: feed one observation per closed window,
+ * read the verdict any time.  O(trendWindows) state.
+ *
+ * A window span is *saturated* when, over the last trendWindows
+ * windows, either
+ *  - backlog grew strictly in every window and ended above
+ *    minBacklog (queue-growth test), or
+ *  - every window's backlog stayed above minBacklog yet completions
+ *    fell below collapseFraction x min(admissions, the span's
+ *    service capacity) (goodput-collapse test).
+ *
+ * The collapse comparison is deliberately the min of the two: a
+ * backlogged span completing at the admission rate is a stable (if
+ * slow) equilibrium, and a backlogged span completing at capacity is
+ * a queue draining as fast as physics allows — neither is failure.
+ * Only when completions lag both the inflow and the service capacity
+ * is the resource idling under a standing queue: waiters asleep in
+ * grown backoff windows, the open-system failure mode.
+ *
+ * Windowing is the point (DESIGN.md §13): cumulative averages dilute
+ * an onset that begins after a long stable prefix, and single-cycle
+ * signals flap on benign bursts; a K-window trend is both prompt and
+ * burst-proof.
+ */
+class SaturationDetector
+{
+  public:
+    explicit SaturationDetector(const SaturationDetectorConfig &cfg);
+
+    /** Close one window: @p admitted / @p completed in the window,
+     *  @p backlog the in-system count at the window boundary. */
+    void observe(std::uint64_t admitted, std::uint64_t completed,
+                 std::uint64_t backlog);
+
+    /** Verdict over the most recent trend span. */
+    bool saturatedNow() const { return saturated_now_; }
+
+    /** True once any window was flagged (sticky). */
+    bool latched() const { return latched_; }
+
+    /** Windows flagged saturated so far. */
+    std::uint64_t saturatedWindows() const { return flagged_; }
+
+    /** Windows observed so far. */
+    std::uint64_t windows() const { return windows_; }
+
+    const SaturationDetectorConfig &config() const { return cfg_; }
+
+  private:
+    SaturationDetectorConfig cfg_;
+    /** Ring of the last trendWindows observations. */
+    struct Obs
+    {
+        std::uint64_t admitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t backlog = 0;
+    };
+    std::vector<Obs> ring_;
+    std::size_t head_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t flagged_ = 0;
+    bool saturated_now_ = false;
+    bool latched_ = false;
+};
+
+/** Configuration of one open-system experiment. */
+struct OpenSystemConfig
+{
+    /** Mean arrival rate, requests per cycle. */
+    double lambda = 0.01;
+    /** Arrival schedule shape. */
+    ArrivalProcess arrivals = ArrivalProcess::Poisson;
+    /** Batch process: arrivals per batch (period = size/λ). */
+    std::uint32_t batchSize = 8;
+    /** Adversarial process: base burst size (doubled geometrically). */
+    std::uint32_t burstSize = 32;
+
+    /** Waiting policy under test. */
+    OpenBackoffConfig backoff;
+    /** Cycles the resource is held per acquisition (service time);
+     *  raw capacity is 1/holdCycles requests per cycle. */
+    std::uint32_t holdCycles = 50;
+    /** Simulated cycles. */
+    std::uint64_t cycles = 200000;
+    /** Module arbitration. */
+    sim::Arbitration arbitration = sim::Arbitration::Fifo;
+
+    // -- graceful degradation (0 disables each control) --------------
+    /** Admission control: arrivals finding this many requests in the
+     *  system are shed. */
+    std::uint64_t shedCapacity = 0;
+    /** Shed arrivals re-arrive after this many cycles (0 = dropped);
+     *  each arrival is re-admitted at most maxAdmitRetries times. */
+    std::uint64_t retryAfter = 0;
+    /** Retry-after attempts per shed arrival before dropping. */
+    std::uint32_t maxAdmitRetries = 8;
+    /** Queue-on-threshold escalation: a computed backoff interval
+     *  above this parks the request in a FIFO handoff queue
+     *  (Section 7 blocking path). */
+    std::uint64_t queueThreshold = 0;
+    /** Bounded retry budget: withdraw after this many busy polls. */
+    std::uint64_t retryBudget = 0;
+
+    /** Overload-detection thresholds. */
+    SaturationDetectorConfig detector;
+
+    /** Arrival-indexed fault plan (stragglers delay a request's first
+     *  poll; timeouts force withdrawal); may be null. */
+    const support::FaultPlan *faults = nullptr;
+
+    // -- bounded-memory guards ---------------------------------------
+    /** Absolute in-system bound: arrivals beyond it are shed even
+     *  with admission control off, so an unstable run's footprint
+     *  stays O(hardCap), not O(backlog). */
+    std::uint64_t hardCap = 1ULL << 20;
+    /** Per-series sample budget for the windowed throughput/backlog
+     *  series (decimated past this, obs::BoundedSeries). */
+    std::size_t seriesSamples = 512;
+};
+
+/** Results of one open-system experiment. */
+struct OpenSystemStats
+{
+    // -- conservation ledger -----------------------------------------
+    /** Requests the arrival schedule generated. */
+    std::uint64_t arrivalsOffered = 0;
+    /** Requests admitted into the system (includes re-admissions
+     *  counted once at their successful admission). */
+    std::uint64_t arrivalsAdmitted = 0;
+    /** Admission refusals (shedCapacity + hardCap overflow). */
+    std::uint64_t sheds = 0;
+    /** Refusals that were re-queued for a later retry-after attempt. */
+    std::uint64_t shedRetries = 0;
+    /** Requests dropped for good (no retry-after, or budget spent). */
+    std::uint64_t drops = 0;
+    /** Completed acquisitions (each held the resource and released). */
+    std::uint64_t completions = 0;
+    /** Requests that gave up: retry budget exhausted or an injected
+     *  arrival-timeout fault fired. */
+    std::uint64_t withdrawals = 0;
+    /** Requests parked into the FIFO handoff queue. */
+    std::uint64_t parks = 0;
+    /** Requests still in the system when the horizon ended. */
+    std::uint64_t backlogAtEnd = 0;
+
+    /** Network accesses (every poll, granted or denied). */
+    std::uint64_t accesses = 0;
+
+    // -- rates ---------------------------------------------------------
+    double offeredRate = 0.0; ///< arrivalsOffered / cycles
+    double goodput = 0.0;     ///< completions / cycles
+    /** completions / arrivalsOffered: 1.0 = kept up with offered
+     *  load; the acceptance bar for graceful degradation is >= 0.9. */
+    double goodputRatio = 0.0;
+    double utilization = 0.0; ///< fraction of cycles resource held
+    double avgBacklog = 0.0;  ///< time-averaged in-system count
+    std::uint64_t peakBacklog = 0;
+    double accessesPerCompletion = 0.0;
+
+    // -- streaming delay quantiles (admission -> acquisition) ---------
+    double delayP50 = 0.0;
+    double delayP90 = 0.0;
+    double delayP99 = 0.0;
+    double delayMax = 0.0;
+    double avgDelay = 0.0;
+
+    // -- detector ------------------------------------------------------
+    std::uint64_t windows = 0;
+    std::uint64_t saturatedWindows = 0;
+    /** Detector latched at any point during the run. */
+    bool saturated = false;
+
+    /** runMany: how many of the folded runs latched. */
+    std::uint64_t saturatedRuns = 0;
+
+    // -- engine diagnostics (not part of any regression contract) -----
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t eventsProcessed = 0;
+
+    // -- bounded windowed series (first run's, under runMany) ---------
+    /** Per-window completions/cycle ("open_goodput"). */
+    obs::CounterSeries goodputSeries;
+    /** Per-window backlog at the boundary ("open_backlog"). */
+    obs::CounterSeries backlogSeries;
+};
+
+/**
+ * Open-arrival contention simulator.
+ *
+ * run() is event-driven: simulated time jumps between arrivals,
+ * backoff wake-ups, retry-after re-admissions, the pending release,
+ * and detection-window boundaries; contended stretches are resolved
+ * cycle-exactly.  Deterministic per (config, seed).
+ */
+class OpenSystem
+{
+  public:
+    explicit OpenSystem(const OpenSystemConfig &cfg);
+
+    /** Run one experiment of cfg.cycles cycles. */
+    OpenSystemStats run(support::Rng &rng) const;
+
+    /**
+     * Average of @p runs experiments with derived seeds.  @p jobs
+     * parallelizes across a support::ThreadPool (0 = hardware
+     * threads); streams are pre-split serially and results fold in
+     * run order, so the aggregate is bitwise independent of the
+     * worker count — see BarrierSimulator::runMany.
+     */
+    OpenSystemStats runMany(std::uint64_t runs, std::uint64_t seed,
+                            unsigned jobs = 1) const;
+
+  private:
+    OpenSystemConfig cfg_;
+};
+
+} // namespace absync::core
+
+#endif // ABSYNC_CORE_OPEN_SYSTEM_HPP

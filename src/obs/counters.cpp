@@ -21,6 +21,9 @@ CounterSnapshot::operator+=(const CounterSnapshot &o)
     acquires += o.acquires;
     cyclesSkipped += o.cyclesSkipped;
     eventsProcessed += o.eventsProcessed;
+    arrivals += o.arrivals;
+    sheds += o.sheds;
+    saturatedWindows += o.saturatedWindows;
     return *this;
 }
 
@@ -40,6 +43,9 @@ CounterSnapshot::operator-(const CounterSnapshot &o) const
     d.acquires -= o.acquires;
     d.cyclesSkipped -= o.cyclesSkipped;
     d.eventsProcessed -= o.eventsProcessed;
+    d.arrivals -= o.arrivals;
+    d.sheds -= o.sheds;
+    d.saturatedWindows -= o.saturatedWindows;
     return d;
 }
 
@@ -53,7 +59,9 @@ CounterSnapshot::operator==(const CounterSnapshot &o) const
            timeouts == o.timeouts && episodes == o.episodes &&
            acquires == o.acquires &&
            cyclesSkipped == o.cyclesSkipped &&
-           eventsProcessed == o.eventsProcessed;
+           eventsProcessed == o.eventsProcessed &&
+           arrivals == o.arrivals && sheds == o.sheds &&
+           saturatedWindows == o.saturatedWindows;
 }
 
 std::string
@@ -93,7 +101,9 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
     // malformed document.
     const auto optional_key = [](const char *name) {
         const std::string n = name;
-        return n == "cycles_skipped" || n == "events_processed";
+        return n == "cycles_skipped" || n == "events_processed" ||
+               n == "arrivals" || n == "sheds" ||
+               n == "saturated_windows";
     };
     CounterSnapshot parsed;
     bool ok = true;
@@ -178,6 +188,10 @@ SyncCounters::snapshot() const
     s.cyclesSkipped = cyclesSkipped.load(std::memory_order_relaxed);
     s.eventsProcessed =
         eventsProcessed.load(std::memory_order_relaxed);
+    s.arrivals = arrivals.load(std::memory_order_relaxed);
+    s.sheds = sheds.load(std::memory_order_relaxed);
+    s.saturatedWindows =
+        saturatedWindows.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -196,6 +210,9 @@ SyncCounters::reset()
     acquires.store(0, std::memory_order_relaxed);
     cyclesSkipped.store(0, std::memory_order_relaxed);
     eventsProcessed.store(0, std::memory_order_relaxed);
+    arrivals.store(0, std::memory_order_relaxed);
+    sheds.store(0, std::memory_order_relaxed);
+    saturatedWindows.store(0, std::memory_order_relaxed);
 }
 
 namespace

@@ -32,10 +32,15 @@
  *                      engines jumped over (no processor acting)
  *  - events_processed  simulated cycles the event-driven engines
  *                      actually executed (scheduler events served)
+ *  - arrivals          open-system requests admitted into the system
+ *  - sheds             open-system requests refused or dropped by
+ *                      admission control / load shedding
+ *  - saturated_windows detector windows flagged saturated by the
+ *                      online overload detector (DESIGN.md §13)
  *
- * The last two are engine diagnostics recorded by the simulators;
- * parseCounterSnapshot treats them as optional so documents written
- * by older builds still parse.
+ * The last five are engine counters recorded by the simulators and
+ * the open-system robustness layer; parseCounterSnapshot treats them
+ * as optional so documents written by older builds still parse.
  *
  * Everything in this header compiles to no-ops when the build sets
  * ABSYNC_TELEMETRY_ENABLED=0 (cmake -DABSYNC_TELEMETRY=OFF): the
@@ -82,6 +87,9 @@ struct CounterSnapshot
     std::uint64_t acquires = 0;
     std::uint64_t cyclesSkipped = 0;
     std::uint64_t eventsProcessed = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t saturatedWindows = 0;
 
     /** Apply @p f(name, value) to every field, in schema order. */
     template <typename F>
@@ -100,6 +108,9 @@ struct CounterSnapshot
         f("acquires", acquires);
         f("cycles_skipped", cyclesSkipped);
         f("events_processed", eventsProcessed);
+        f("arrivals", arrivals);
+        f("sheds", sheds);
+        f("saturated_windows", saturatedWindows);
     }
 
     /** Mutable field access by schema position (exposition helpers). */
@@ -119,6 +130,9 @@ struct CounterSnapshot
         f("acquires", acquires);
         f("cycles_skipped", cyclesSkipped);
         f("events_processed", eventsProcessed);
+        f("arrivals", arrivals);
+        f("sheds", sheds);
+        f("saturated_windows", saturatedWindows);
     }
 
     CounterSnapshot &operator+=(const CounterSnapshot &o);
@@ -171,6 +185,9 @@ struct alignas(64) SyncCounters
     std::atomic<std::uint64_t> acquires{0};
     std::atomic<std::uint64_t> cyclesSkipped{0};
     std::atomic<std::uint64_t> eventsProcessed{0};
+    std::atomic<std::uint64_t> arrivals{0};
+    std::atomic<std::uint64_t> sheds{0};
+    std::atomic<std::uint64_t> saturatedWindows{0};
 
     /** Single-writer add: safe against concurrent snapshot readers. */
     static void
@@ -319,6 +336,24 @@ inline void
 countEventsProcessed(std::uint64_t n)
 {
     ABSYNC_OBS_RECORD(eventsProcessed, n);
+}
+
+inline void
+countArrivals(std::uint64_t n)
+{
+    ABSYNC_OBS_RECORD(arrivals, n);
+}
+
+inline void
+countSheds(std::uint64_t n)
+{
+    ABSYNC_OBS_RECORD(sheds, n);
+}
+
+inline void
+countSaturatedWindows(std::uint64_t n)
+{
+    ABSYNC_OBS_RECORD(saturatedWindows, n);
 }
 
 #undef ABSYNC_OBS_RECORD

@@ -1,5 +1,6 @@
 #include "obs/profile.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace absync::obs
@@ -150,6 +151,35 @@ CounterSeries::mean() const
         sum += v;
     }
     return sum / static_cast<double>(samples.size());
+}
+
+BoundedSeries::BoundedSeries(std::string name,
+                             std::size_t max_samples)
+    : max_(std::max<std::size_t>(max_samples & ~std::size_t{1}, 2))
+{
+    series_.name = std::move(name);
+}
+
+void
+BoundedSeries::sample(std::uint64_t ts, double value)
+{
+    const std::uint64_t k = offered_++;
+    if (k % stride_ != 0)
+        return;
+    if (series_.samples.size() == max_) {
+        // Budget full: drop every other retained sample and double
+        // the stride.  Retained samples were the multiples of the old
+        // stride; keeping the even-indexed ones leaves exactly the
+        // multiples of the new stride, so spacing stays uniform.
+        auto &v = series_.samples;
+        for (std::size_t i = 1; 2 * i < v.size(); ++i)
+            v[i] = v[2 * i];
+        v.resize((v.size() + 1) / 2);
+        stride_ *= 2;
+        if (k % stride_ != 0)
+            return;
+    }
+    series_.samples.emplace_back(ts, value);
 }
 
 const char *

@@ -123,6 +123,43 @@ struct CounterSeries
     double mean() const;
 };
 
+/**
+ * Self-decimating bounded time series: a CounterSeries whose sample
+ * count never exceeds a fixed budget, for open-ended streams (the
+ * open-system engine's per-window throughput/backlog tracks over a
+ * multi-billion-cycle soak).  When the budget fills, every other
+ * retained sample is dropped and the acceptance stride doubles, so
+ * the series always covers the whole stream at the finest resolution
+ * the budget allows.  Always compiled — like CounterSeries it is
+ * simulation output, not telemetry recording.
+ */
+class BoundedSeries
+{
+  public:
+    /** @param max_samples even sample budget >= 2 (odd is rounded
+     *         down; below 2 is clamped to 2). */
+    explicit BoundedSeries(std::string name,
+                           std::size_t max_samples = 512);
+
+    /** Offer one observation; kept only when the stride admits it. */
+    void sample(std::uint64_t ts, double value);
+
+    /** Observations offered so far (kept or not). */
+    std::uint64_t offered() const { return offered_; }
+
+    /** Current acceptance stride: 1 = every offer kept. */
+    std::uint64_t stride() const { return stride_; }
+
+    /** The retained, budget-bounded series. */
+    const CounterSeries &series() const { return series_; }
+
+  private:
+    CounterSeries series_;
+    std::size_t max_;
+    std::uint64_t stride_ = 1;
+    std::uint64_t offered_ = 0;
+};
+
 /** Address classes for invalidation attribution (paper Section 2):
  *  barrier counters are the F&A hot spot, flags are the broadcast
  *  hot spot, everything else is data. */

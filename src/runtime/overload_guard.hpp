@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Host-thread admission gate: the runtime analogue of the open-system
+ * engine's load shedding (core/open_system.hpp, DESIGN.md §13).
+ *
+ * The simulator establishes *when* refusing work beats queueing it: an
+ * open system past its stable λ diverges, and shedding at a backlog
+ * cap restores goodput.  OverloadGuard applies the same contract to
+ * real threads fronting a contended section: a bounded in-flight
+ * count, sheds instead of unbounded waiting, an exponential
+ * retry-after hint for shed callers, and a latched overload verdict
+ * after a run of consecutive refusals — the thread-world counterpart
+ * of SaturationDetector's trend test, with "probe" standing in for
+ * "window" because wall-clock windows are not deterministic here.
+ *
+ * All operations are lock-free (single CAS loop in tryEnter); the
+ * guard adds no waiting of its own — policy for *how* to wait stays
+ * with spin_backoff.hpp / BackoffResource.
+ */
+
+#ifndef ABSYNC_RUNTIME_OVERLOAD_GUARD_HPP
+#define ABSYNC_RUNTIME_OVERLOAD_GUARD_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace absync::runtime
+{
+
+/**
+ * Bounded-admission gate with shed accounting and a latched overload
+ * signal.
+ *
+ * Protocol: callers bracket the protected section with
+ * `if (guard.tryEnter()) { ...; guard.exit(); }`; a false return is a
+ * shed — the caller should wait at least retryAfterHint() before
+ * probing again (or give up, the analogue of a retry-budget
+ * withdrawal).
+ */
+class OverloadGuard
+{
+  public:
+    /**
+     * @param capacity concurrent admissions allowed (>= 1)
+     * @param trend_probes consecutive sheds that latch overloaded()
+     * @param retry_base_nanos retry-after hint for the first shed;
+     *        doubles per consecutive shed, capped at 10 doublings
+     */
+    explicit OverloadGuard(std::uint32_t capacity,
+                           std::uint32_t trend_probes = 4,
+                           std::uint64_t retry_base_nanos = 1000)
+        : capacity_(capacity ? capacity : 1),
+          trend_probes_(trend_probes ? trend_probes : 1),
+          retry_base_nanos_(retry_base_nanos ? retry_base_nanos : 1)
+    {
+    }
+
+    /**
+     * Try to enter the guarded section.  Returns true with one
+     * admission held, or false (a shed) with nothing held.
+     */
+    bool
+    tryEnter()
+    {
+        std::uint32_t cur = in_flight_.load(std::memory_order_relaxed);
+        while (cur < capacity_) {
+            if (in_flight_.compare_exchange_weak(
+                    cur, cur + 1, std::memory_order_acquire,
+                    std::memory_order_relaxed)) {
+                admitted_.fetch_add(1, std::memory_order_relaxed);
+                consecutive_sheds_.store(0,
+                                         std::memory_order_relaxed);
+                return true;
+            }
+        }
+        sheds_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint32_t run =
+            consecutive_sheds_.fetch_add(1,
+                                         std::memory_order_relaxed) +
+            1;
+        if (run >= trend_probes_)
+            overloaded_.store(true, std::memory_order_relaxed);
+        return false;
+    }
+
+    /**
+     * Leave the guarded section.  An exit without a matching admitted
+     * tryEnter aborts — an underflowed in-flight count would silently
+     * raise the capacity for every later caller (same failure mode as
+     * BackoffResource::release).
+     */
+    void
+    exit()
+    {
+        const std::uint32_t prev =
+            in_flight_.fetch_sub(1, std::memory_order_release);
+        if (prev == 0) {
+            std::fprintf(
+                stderr,
+                "OverloadGuard::exit without matching tryEnter\n");
+            std::abort();
+        }
+    }
+
+    /**
+     * Suggested wait before re-probing after a shed: the retry base
+     * doubled per consecutive shed so synchronized retry storms fan
+     * out, exactly like the engine's retry-after escalation.
+     */
+    std::uint64_t
+    retryAfterHint() const
+    {
+        const std::uint32_t run =
+            consecutive_sheds_.load(std::memory_order_relaxed);
+        const std::uint32_t shift = run < 10 ? run : 10;
+        return retry_base_nanos_ << shift;
+    }
+
+    /** Admissions currently held. */
+    std::uint32_t
+    inFlight() const
+    {
+        return in_flight_.load(std::memory_order_relaxed);
+    }
+
+    /** Total successful admissions. */
+    std::uint64_t
+    admitted() const
+    {
+        return admitted_.load(std::memory_order_relaxed);
+    }
+
+    /** Total refusals. */
+    std::uint64_t
+    sheds() const
+    {
+        return sheds_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * True once trend_probes consecutive probes were shed (sticky,
+     * like SaturationDetector::latched): the guard has seen sustained
+     * demand above capacity, not a lone collision.
+     */
+    bool
+    overloaded() const
+    {
+        return overloaded_.load(std::memory_order_relaxed);
+    }
+
+    /** Clear the latched overload verdict (counters are kept). */
+    void
+    clearOverloaded()
+    {
+        overloaded_.store(false, std::memory_order_relaxed);
+        consecutive_sheds_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    const std::uint32_t capacity_;
+    const std::uint32_t trend_probes_;
+    const std::uint64_t retry_base_nanos_;
+    std::atomic<std::uint32_t> in_flight_{0};
+    std::atomic<std::uint32_t> consecutive_sheds_{0};
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> sheds_{0};
+    std::atomic<bool> overloaded_{false};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_OVERLOAD_GUARD_HPP

@@ -112,6 +112,54 @@ FaultPlan::moduleStalled(std::uint32_t module, std::uint64_t cycle) const
                cfg_.stallProb;
 }
 
+namespace
+{
+/** Coordinate tag decorrelating arrival-indexed draws from the
+ *  (participant, phase) queries that share a FaultKind. */
+constexpr std::uint64_t kArrivalTag = 0x6f70656e'61727276ULL;
+} // namespace
+
+std::uint64_t
+FaultPlan::arrivalStragglerDelay(std::uint64_t arrival_index) const
+{
+    if (cfg_.stragglerProb <= 0.0)
+        return 0;
+    if (unit(FaultKind::StragglerDelay, arrival_index, kArrivalTag) >=
+        cfg_.stragglerProb) {
+        return 0;
+    }
+    return range(FaultKind::StragglerDelay, arrival_index, kArrivalTag,
+                 cfg_.stragglerMin, cfg_.stragglerMax);
+}
+
+bool
+FaultPlan::arrivalTimeout(std::uint64_t arrival_index) const
+{
+    return cfg_.arrivalTimeoutProb > 0.0 &&
+           unit(FaultKind::ArrivalTimeout, arrival_index,
+                kArrivalTag) < cfg_.arrivalTimeoutProb;
+}
+
+std::vector<FaultEvent>
+FaultPlan::arrivalSchedule(std::uint64_t arrivals) const
+{
+    std::vector<FaultEvent> events;
+    for (std::uint64_t k = 0; k < arrivals; ++k) {
+        const std::uint64_t d = arrivalStragglerDelay(k);
+        if (d > 0) {
+            events.push_back({FaultKind::StragglerDelay,
+                              static_cast<std::uint32_t>(k % UINT32_MAX),
+                              k, d});
+        }
+        if (arrivalTimeout(k)) {
+            events.push_back({FaultKind::ArrivalTimeout,
+                              static_cast<std::uint32_t>(k % UINT32_MAX),
+                              k, 0});
+        }
+    }
+    return events;
+}
+
 std::vector<FaultEvent>
 FaultPlan::schedule(std::uint32_t participants,
                     std::uint64_t phases) const

@@ -52,6 +52,8 @@ enum class FaultKind : std::uint8_t
     PacketDrop,     ///< a network packet is lost in flight
     PacketDelay,    ///< a network packet is slowed by extra cycles
     ModuleStall,    ///< a memory module grants nothing for a cycle
+    ArrivalTimeout, ///< an open-system request's patience is cut: it
+                    ///< withdraws at its next busy poll
 };
 
 /** One materialized fault, for logging and determinism tests. */
@@ -98,6 +100,12 @@ struct FaultPlanConfig
     std::uint64_t delayMax = 16;
     /** P(module stalls) per (module, cycle). */
     double stallProb = 0.0;
+
+    // -- open-system (continuous-arrival) faults ---------------------
+    /** P(an admitted request's patience is cut) per arrival index;
+     *  the request withdraws at its next busy poll (bounded-wait
+     *  abandonment, the open-system analogue of a timed wait). */
+    double arrivalTimeoutProb = 0.0;
 };
 
 /**
@@ -146,6 +154,34 @@ class FaultPlan
     /** True when @p module grants nothing in @p cycle. */
     bool moduleStalled(std::uint32_t module,
                        std::uint64_t cycle) const;
+
+    // -- arrival-indexed queries (open-system engines) ---------------
+    //
+    // A closed episode has stable (participant, phase) coordinates; an
+    // open system does not — the processor slot serving arrival k
+    // depends on completion order, and under parallel runMany there is
+    // no global phase at all.  The *arrival index* (k-th admitted
+    // request of the run) is the only schedule-independent coordinate,
+    // so open-system fault queries key on it exclusively.  Same purity
+    // contract as every other query: a pure function of
+    // (seed, kind, arrival index), identical for any --jobs.
+
+    /** Extra cycles before arrival @p arrival_index's first poll
+     *  (0 = on time).  Uses the straggler probability/bounds. */
+    std::uint64_t arrivalStragglerDelay(
+        std::uint64_t arrival_index) const;
+
+    /** True when arrival @p arrival_index's patience is cut: the
+     *  request must withdraw at its next busy poll. */
+    bool arrivalTimeout(std::uint64_t arrival_index) const;
+
+    /**
+     * Materialize the arrival-fault schedule for the first
+     * @p arrivals admitted requests, in arrival order.  Purity /
+     * determinism counterpart of schedule() for the open engines.
+     */
+    std::vector<FaultEvent> arrivalSchedule(
+        std::uint64_t arrivals) const;
 
     /**
      * Materialize the participant-fault schedule for

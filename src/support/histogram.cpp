@@ -43,8 +43,10 @@ BinnedHistogram::add(double x, std::uint64_t weight)
     auto idx = static_cast<long>(std::floor(t * static_cast<double>(
                                                     counts_.size())));
     idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
-    counts_[static_cast<std::size_t>(idx)] += weight;
-    total_ += weight;
+    // Saturate like IntHistogram::add: never wrap a bucket count.
+    auto &slot = counts_[static_cast<std::size_t>(idx)];
+    slot = slot > UINT64_MAX - weight ? UINT64_MAX : slot + weight;
+    total_ = total_ > UINT64_MAX - weight ? UINT64_MAX : total_ + weight;
 }
 
 double

@@ -27,12 +27,19 @@ namespace absync::support
 class IntHistogram
 {
   public:
-    /** Record one occurrence of @p value with weight @p weight. */
+    /**
+     * Record one occurrence of @p value with weight @p weight.
+     *
+     * Counts saturate at UINT64_MAX instead of wrapping: a
+     * multi-billion-sample open-system stream (or a caller passing a
+     * huge weight) must degrade to a pinned count, never to a silently
+     * tiny one that would corrupt percentiles and fractions.
+     */
     void
     add(std::uint64_t value, std::uint64_t weight = 1)
     {
-        counts_[value] += weight;
-        total_ += weight;
+        saturatingAdd(counts_[value], weight);
+        saturatingAdd(total_, weight);
     }
 
     /** Count recorded at exactly @p value. */
@@ -131,6 +138,13 @@ class IntHistogram
      */
     std::string asciiChart(std::size_t max_width = 50,
                            std::uint64_t up_to = 0) const;
+
+    /** Saturating @p slot += @p weight (shared with BinnedHistogram). */
+    static void
+    saturatingAdd(std::uint64_t &slot, std::uint64_t weight)
+    {
+        slot = slot > UINT64_MAX - weight ? UINT64_MAX : slot + weight;
+    }
 
   private:
     std::map<std::uint64_t, std::uint64_t> counts_;

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Streaming quantile estimation in O(1) memory (P² algorithm).
+ *
+ * The closed-episode reporting path keeps a full IntHistogram of
+ * every waiting time, which is exact but unbounded: an open-system
+ * soak run streams billions of delay samples, and even a sparse
+ * histogram of a heavy-tailed delay distribution grows without limit.
+ * P2Quantile is the bounded-memory replacement: the P² algorithm of
+ * Jain & Chlamtac (CACM 1985) tracks one quantile with five markers
+ * (25 doubles, no allocation) by nudging the marker heights along
+ * fitted parabolas as samples stream past.
+ *
+ * Accuracy: exact up to five samples (the markers are the order
+ * statistics), asymptotically consistent afterwards; the estimate of
+ * a central quantile of a well-behaved distribution is typically
+ * within a few percent after a few hundred samples.  The estimator is
+ * deterministic — feeding the same sample sequence always yields the
+ * same estimate — so it composes with the repository's replayable
+ * seeds (cross-checked against IntHistogram::percentile in
+ * tests/support/test_p2_quantile.cpp).
+ */
+
+#ifndef ABSYNC_SUPPORT_P2_QUANTILE_HPP
+#define ABSYNC_SUPPORT_P2_QUANTILE_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace absync::support
+{
+
+/**
+ * One-quantile P² estimator.
+ *
+ * Usage: P2Quantile q(0.99); q.add(x) per sample; q.value() any time.
+ */
+class P2Quantile
+{
+  public:
+    /** @param p target quantile in (0, 1), e.g. 0.5, 0.9, 0.99. */
+    explicit P2Quantile(double p = 0.5) : p_(std::clamp(p, 1e-6, 1.0 - 1e-6))
+    {
+        // Desired marker positions advance by these increments per
+        // sample: min, p/2, p, (1+p)/2, max.
+        inc_[0] = 0.0;
+        inc_[1] = p_ / 2.0;
+        inc_[2] = p_;
+        inc_[3] = (1.0 + p_) / 2.0;
+        inc_[4] = 1.0;
+    }
+
+    /** The quantile being tracked. */
+    double quantile() const { return p_; }
+
+    /** Samples observed so far. */
+    std::uint64_t count() const { return n_; }
+
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        if (n_ < 5) {
+            q_[n_++] = x;
+            if (n_ == 5) {
+                std::sort(q_, q_ + 5);
+                for (int i = 0; i < 5; ++i) {
+                    pos_[i] = i + 1;
+                    des_[i] = 1.0 + inc_[i] * 4.0;
+                }
+            }
+            return;
+        }
+        ++n_;
+
+        // Locate the cell containing x and clamp the extremes.
+        int k;
+        if (x < q_[0]) {
+            q_[0] = x;
+            k = 0;
+        } else if (x < q_[1]) {
+            k = 0;
+        } else if (x < q_[2]) {
+            k = 1;
+        } else if (x < q_[3]) {
+            k = 2;
+        } else if (x <= q_[4]) {
+            k = 3;
+        } else {
+            q_[4] = x;
+            k = 3;
+        }
+
+        for (int i = k + 1; i < 5; ++i)
+            ++pos_[i];
+        for (int i = 0; i < 5; ++i)
+            des_[i] += inc_[i];
+
+        // Nudge the interior markers toward their desired positions.
+        for (int i = 1; i <= 3; ++i) {
+            const double d = des_[i] - static_cast<double>(pos_[i]);
+            const bool right =
+                d >= 1.0 && pos_[i + 1] - pos_[i] > 1;
+            const bool left =
+                d <= -1.0 && pos_[i - 1] - pos_[i] < -1;
+            if (!right && !left)
+                continue;
+            const int s = right ? 1 : -1;
+            const double cand = parabolic(i, s);
+            if (q_[i - 1] < cand && cand < q_[i + 1])
+                q_[i] = cand;
+            else
+                q_[i] = linear(i, s);
+            pos_[i] += s;
+        }
+    }
+
+    /**
+     * Current estimate of the tracked quantile.  Before five samples
+     * it is the exact nearest-rank order statistic of what has been
+     * seen; 0 when empty.
+     */
+    double
+    value() const
+    {
+        if (n_ == 0)
+            return 0.0;
+        if (n_ < 5) {
+            double sorted[5];
+            std::copy(q_, q_ + n_, sorted);
+            std::sort(sorted, sorted + n_);
+            // Nearest-rank on the n_ samples held so far.
+            const double scaled = p_ * static_cast<double>(n_);
+            std::size_t rank = static_cast<std::size_t>(scaled);
+            if (static_cast<double>(rank) < scaled)
+                ++rank;
+            rank = std::clamp<std::size_t>(rank, 1, n_);
+            return sorted[rank - 1];
+        }
+        return q_[2];
+    }
+
+    /** Smallest observation; 0 when empty. */
+    double
+    minimum() const
+    {
+        if (n_ == 0)
+            return 0.0;
+        return n_ < 5 ? *std::min_element(q_, q_ + n_) : q_[0];
+    }
+
+    /** Largest observation; 0 when empty. */
+    double
+    maximum() const
+    {
+        if (n_ == 0)
+            return 0.0;
+        return n_ < 5 ? *std::max_element(q_, q_ + n_) : q_[4];
+    }
+
+    /** Reset to empty, keeping the target quantile. */
+    void
+    clear()
+    {
+        n_ = 0;
+    }
+
+  private:
+    /** P² parabolic marker adjustment for marker @p i, direction @p s. */
+    double
+    parabolic(int i, int s) const
+    {
+        const double qi = q_[i];
+        const double np = static_cast<double>(pos_[i + 1]);
+        const double nm = static_cast<double>(pos_[i - 1]);
+        const double n0 = static_cast<double>(pos_[i]);
+        const double ds = static_cast<double>(s);
+        return qi + ds / (np - nm) *
+                        ((n0 - nm + ds) * (q_[i + 1] - qi) / (np - n0) +
+                         (np - n0 - ds) * (qi - q_[i - 1]) / (n0 - nm));
+    }
+
+    /** Fallback linear adjustment when the parabola overshoots. */
+    double
+    linear(int i, int s) const
+    {
+        return q_[i] + static_cast<double>(s) * (q_[i + s] - q_[i]) /
+                           static_cast<double>(pos_[i + s] - pos_[i]);
+    }
+
+    double p_;
+    double inc_[5] = {};  ///< desired-position increments per sample
+    double q_[5] = {};    ///< marker heights
+    std::int64_t pos_[5] = {1, 2, 3, 4, 5}; ///< actual positions
+    double des_[5] = {};  ///< desired positions
+    std::uint64_t n_ = 0;
+};
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_P2_QUANTILE_HPP

@@ -16,11 +16,22 @@ namespace absync::support
 {
 
 /**
- * Single-pass mean / variance / min / max accumulator (Welford).
+ * Single-pass mean / variance / min / max accumulator (Welford with
+ * Neumaier compensation).
  *
  * Numerically stable; O(1) memory.  Used for the "average of 100 runs"
  * reporting that the paper's Section 5.2 prescribes, including the
  * standard-deviation check (< ~7 % of the mean).
+ *
+ * The open-system soak path streams multi-billion-sample
+ * populations through one accumulator, where plain Welford still
+ * loses low-order bits: each update adds a term many orders of
+ * magnitude smaller than the running sums.  Both running sums
+ * (mean_, m2_) therefore carry a Neumaier compensation term that
+ * recovers the rounding error of every addition, so the mean of n
+ * identical values is exact for any n and drift stays bounded by the
+ * representation, not by the stream length (regression-tested in
+ * tests/support/test_stats.cpp).
  */
 class RunningStats
 {
@@ -30,9 +41,10 @@ class RunningStats
     add(double x)
     {
         ++n_;
-        const double delta = x - mean_;
-        mean_ += delta / static_cast<double>(n_);
-        m2_ += delta * (x - mean_);
+        const double delta = x - mean();
+        compensatedAdd(mean_, mean_c_,
+                       delta / static_cast<double>(n_));
+        compensatedAdd(m2_, m2_c_, delta * (x - mean()));
         min_ = std::min(min_, x);
         max_ = std::max(max_, x);
     }
@@ -47,35 +59,38 @@ class RunningStats
             *this = other;
             return;
         }
-        const double delta = other.mean_ - mean_;
+        const double delta = other.mean() - mean();
         const auto na = static_cast<double>(n_);
         const auto nb = static_cast<double>(other.n_);
         const double nt = na + nb;
-        m2_ += other.m2_ + delta * delta * na * nb / nt;
-        mean_ = (na * mean_ + nb * other.mean_) / nt;
+        compensatedAdd(m2_, m2_c_,
+                       other.m2_ + other.m2_c_ +
+                           delta * delta * na * nb / nt);
+        compensatedAdd(mean_, mean_c_, delta * nb / nt);
         n_ += other.n_;
         min_ = std::min(min_, other.min_);
         max_ = std::max(max_, other.max_);
     }
 
     /** Number of observations so far. */
-    std::size_t count() const { return n_; }
+    std::uint64_t count() const { return n_; }
 
     /** Arithmetic mean; 0 when empty. */
-    double mean() const { return n_ ? mean_ : 0.0; }
+    double mean() const { return n_ ? mean_ + mean_c_ : 0.0; }
 
     /** Population variance; 0 with fewer than two samples. */
     double
     variance() const
     {
-        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+        return n_ > 1 ? (m2_ + m2_c_) / static_cast<double>(n_) : 0.0;
     }
 
     /** Sample (n-1) variance; 0 with fewer than two samples. */
     double
     sampleVariance() const
     {
-        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+        return n_ > 1 ? (m2_ + m2_c_) / static_cast<double>(n_ - 1)
+                      : 0.0;
     }
 
     /** Population standard deviation. */
@@ -112,9 +127,24 @@ class RunningStats
     }
 
   private:
-    std::size_t n_ = 0;
+    /** Neumaier-compensated sum += term: the compensation picks up
+     *  whichever operand's low-order bits the addition rounded away. */
+    static void
+    compensatedAdd(double &sum, double &comp, double term)
+    {
+        const double t = sum + term;
+        if (std::abs(sum) >= std::abs(term))
+            comp += (sum - t) + term;
+        else
+            comp += (term - t) + sum;
+        sum = t;
+    }
+
+    std::uint64_t n_ = 0;
     double mean_ = 0.0;
+    double mean_c_ = 0.0; ///< compensation for mean_
     double m2_ = 0.0;
+    double m2_c_ = 0.0; ///< compensation for m2_
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };

@@ -51,8 +51,36 @@ TEST(TelemetryGate, RecordPointsAreCallableInEveryBuild)
     obs::countTimeout();
     obs::countEpisode();
     obs::countAcquire();
+    obs::countCyclesSkipped(17);
+    obs::countEventsProcessed(4);
+    obs::countArrivals(6);
+    obs::countSheds(2);
+    obs::countSaturatedWindows(1);
     obs::tracePoint(obs::EventKind::Poll, 123, 4);
     SUCCEED();
+}
+
+TEST(TelemetryGate, OpenSystemCountersCaptureOrVanish)
+{
+    obs::SyncCounters mine;
+    {
+        obs::ScopedCounters sc(&mine);
+        obs::countArrivals(40);
+        obs::countSheds(7);
+        obs::countSaturatedWindows(3);
+        obs::countCyclesSkipped(100);
+        obs::countEventsProcessed(25);
+    }
+    const obs::CounterSnapshot snap = mine.snapshot();
+    if (obs::kTelemetryEnabled) {
+        EXPECT_EQ(snap.arrivals, 40u);
+        EXPECT_EQ(snap.sheds, 7u);
+        EXPECT_EQ(snap.saturatedWindows, 3u);
+        EXPECT_EQ(snap.cyclesSkipped, 100u);
+        EXPECT_EQ(snap.eventsProcessed, 25u);
+    } else {
+        EXPECT_TRUE(snap == obs::CounterSnapshot{});
+    }
 }
 
 TEST(TelemetryGate, ScopedCountersCaptureOrVanish)

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * OverloadGuard tests: bounded admission, shed accounting, the
+ * latched overload trend verdict, the exponential retry-after hint,
+ * and multithreaded conservation (admitted + sheds == probes,
+ * in-flight never above capacity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/overload_guard.hpp"
+
+using absync::runtime::OverloadGuard;
+
+TEST(OverloadGuard, AdmitsUpToCapacityThenSheds)
+{
+    OverloadGuard guard(2);
+    EXPECT_TRUE(guard.tryEnter());
+    EXPECT_TRUE(guard.tryEnter());
+    EXPECT_EQ(guard.inFlight(), 2u);
+    EXPECT_FALSE(guard.tryEnter());
+    EXPECT_EQ(guard.sheds(), 1u);
+    guard.exit();
+    EXPECT_TRUE(guard.tryEnter());
+    guard.exit();
+    guard.exit();
+    EXPECT_EQ(guard.inFlight(), 0u);
+    EXPECT_EQ(guard.admitted(), 3u);
+}
+
+TEST(OverloadGuard, ZeroCapacityIsClampedToOne)
+{
+    OverloadGuard guard(0);
+    EXPECT_TRUE(guard.tryEnter());
+    EXPECT_FALSE(guard.tryEnter());
+    guard.exit();
+}
+
+TEST(OverloadGuard, OverloadLatchesAfterConsecutiveSheds)
+{
+    OverloadGuard guard(1, /*trend_probes=*/3);
+    ASSERT_TRUE(guard.tryEnter());
+    EXPECT_FALSE(guard.tryEnter());
+    EXPECT_FALSE(guard.tryEnter());
+    EXPECT_FALSE(guard.overloaded()); // 2 of 3: a lone collision
+    EXPECT_FALSE(guard.tryEnter());
+    EXPECT_TRUE(guard.overloaded()); // run of 3 latches
+    guard.exit();
+    // Sticky even after the pressure clears...
+    ASSERT_TRUE(guard.tryEnter());
+    guard.exit();
+    EXPECT_TRUE(guard.overloaded());
+    // ...until explicitly cleared.
+    guard.clearOverloaded();
+    EXPECT_FALSE(guard.overloaded());
+    EXPECT_EQ(guard.sheds(), 3u); // counters survive the clear
+}
+
+TEST(OverloadGuard, AdmissionResetsTheShedRun)
+{
+    OverloadGuard guard(1, /*trend_probes=*/3);
+    ASSERT_TRUE(guard.tryEnter());
+    EXPECT_FALSE(guard.tryEnter());
+    EXPECT_FALSE(guard.tryEnter());
+    guard.exit();
+    ASSERT_TRUE(guard.tryEnter()); // breaks the run at 2
+    EXPECT_FALSE(guard.tryEnter());
+    EXPECT_FALSE(guard.tryEnter());
+    EXPECT_FALSE(guard.overloaded()); // never 3 in a row
+    guard.exit();
+}
+
+TEST(OverloadGuard, RetryAfterHintDoublesPerConsecutiveShed)
+{
+    OverloadGuard guard(1, 100, /*retry_base_nanos=*/1000);
+    EXPECT_EQ(guard.retryAfterHint(), 1000u);
+    ASSERT_TRUE(guard.tryEnter());
+    for (std::uint64_t expect : {2000u, 4000u, 8000u, 16000u}) {
+        EXPECT_FALSE(guard.tryEnter());
+        EXPECT_EQ(guard.retryAfterHint(), expect);
+    }
+    // Capped at 10 doublings.
+    for (int i = 0; i < 50; ++i)
+        (void)guard.tryEnter();
+    EXPECT_EQ(guard.retryAfterHint(), 1000u << 10);
+    guard.exit();
+    ASSERT_TRUE(guard.tryEnter()); // admission resets the hint
+    EXPECT_EQ(guard.retryAfterHint(), 1000u);
+    guard.exit();
+}
+
+TEST(OverloadGuard, MultithreadedConservationAndBound)
+{
+    constexpr std::uint32_t kCapacity = 4;
+    constexpr int kThreads = 8;
+    constexpr int kProbesPerThread = 20000;
+
+    OverloadGuard guard(kCapacity);
+    std::atomic<std::uint32_t> peak{0};
+    std::atomic<std::uint64_t> local_admits{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kProbesPerThread; ++i) {
+                if (!guard.tryEnter())
+                    continue;
+                const std::uint32_t now = guard.inFlight();
+                std::uint32_t seen =
+                    peak.load(std::memory_order_relaxed);
+                while (now > seen &&
+                       !peak.compare_exchange_weak(seen, now)) {
+                }
+                local_admits.fetch_add(1,
+                                       std::memory_order_relaxed);
+                guard.exit();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_LE(peak.load(), kCapacity);
+    EXPECT_EQ(guard.inFlight(), 0u);
+    EXPECT_EQ(guard.admitted(), local_admits.load());
+    EXPECT_EQ(guard.admitted() + guard.sheds(),
+              static_cast<std::uint64_t>(kThreads) * kProbesPerThread);
+}

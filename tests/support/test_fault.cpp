@@ -153,8 +153,9 @@ TEST(FaultPlan, CrashIsPermanent)
             EXPECT_FALSE(plan.crashed(p, 1u << 20));
             continue;
         }
-        if (at > 0)
+        if (at > 0) {
             EXPECT_FALSE(plan.crashed(p, at - 1));
+        }
         EXPECT_TRUE(plan.crashed(p, at));
         EXPECT_TRUE(plan.crashed(p, at + 1));
         EXPECT_TRUE(plan.crashed(p, at + 1000));
@@ -222,4 +223,100 @@ TEST(FaultInjector, QuietPlanInjectsNothing)
         EXPECT_EQ(inj.onArrive(), 0u);
         EXPECT_FALSE(inj.onWake());
     }
+}
+
+TEST(FaultPlan, ArrivalQueriesArePureAndOrderFree)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = 17;
+    cfg.stragglerProb = 0.4;
+    cfg.stragglerMin = 3;
+    cfg.stragglerMax = 30;
+    cfg.arrivalTimeoutProb = 0.25;
+    const FaultPlan a(cfg);
+    const FaultPlan b(cfg);
+
+    // Forward on one plan, backward on its twin, then revisits: pure
+    // functions of (seed, kind, arrival index), so every answer must
+    // agree regardless of query order or interleaving.
+    for (std::uint64_t k = 0; k < 500; ++k) {
+        const std::uint64_t r = 499 - k;
+        EXPECT_EQ(a.arrivalStragglerDelay(k),
+                  b.arrivalStragglerDelay(k));
+        EXPECT_EQ(a.arrivalTimeout(k), b.arrivalTimeout(k));
+        EXPECT_EQ(a.arrivalStragglerDelay(r),
+                  b.arrivalStragglerDelay(r));
+        EXPECT_EQ(a.arrivalTimeout(r), b.arrivalTimeout(r));
+        EXPECT_EQ(a.arrivalStragglerDelay(k),
+                  a.arrivalStragglerDelay(k)); // revisit self
+    }
+}
+
+TEST(FaultPlan, ArrivalQueriesRespectBoundsAndProbabilities)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = 21;
+    cfg.stragglerProb = 0.5;
+    cfg.stragglerMin = 7;
+    cfg.stragglerMax = 11;
+    cfg.arrivalTimeoutProb = 0.5;
+    const FaultPlan plan(cfg);
+    std::uint64_t stragglers = 0, timeouts = 0;
+    constexpr std::uint64_t kN = 10000;
+    for (std::uint64_t k = 0; k < kN; ++k) {
+        const auto d = plan.arrivalStragglerDelay(k);
+        if (d != 0) {
+            ++stragglers;
+            EXPECT_GE(d, cfg.stragglerMin);
+            EXPECT_LE(d, cfg.stragglerMax);
+        }
+        timeouts += plan.arrivalTimeout(k) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(stragglers) / kN, 0.5, 0.05);
+    EXPECT_NEAR(static_cast<double>(timeouts) / kN, 0.5, 0.05);
+}
+
+TEST(FaultPlan, ArrivalScheduleMatchesPerIndexQueries)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = 8;
+    cfg.stragglerProb = 0.3;
+    cfg.stragglerMin = 2;
+    cfg.stragglerMax = 6;
+    cfg.arrivalTimeoutProb = 0.2;
+    const FaultPlan plan(cfg);
+    const auto sched = plan.arrivalSchedule(2000);
+    const FaultPlan twin(cfg);
+    EXPECT_EQ(sched, twin.arrivalSchedule(2000));
+    for (const auto &ev : sched) {
+        if (ev.kind == FaultKind::StragglerDelay) {
+            EXPECT_EQ(ev.magnitude, plan.arrivalStragglerDelay(ev.at));
+        } else {
+            ASSERT_EQ(ev.kind, FaultKind::ArrivalTimeout);
+            EXPECT_TRUE(plan.arrivalTimeout(ev.at));
+        }
+    }
+}
+
+TEST(FaultPlan, ArrivalStreamIsDecorrelatedFromParticipantStream)
+{
+    // The arrival-indexed queries must draw from their own stream:
+    // arrival k and (participant k, phase 0) sharing raw bits would
+    // couple open-system faults to episode faults under one seed.
+    FaultPlanConfig cfg;
+    cfg.seed = 33;
+    cfg.stragglerProb = 0.5;
+    cfg.stragglerMin = 1;
+    cfg.stragglerMax = 1000;
+    const FaultPlan plan(cfg);
+    std::uint64_t agree = 0;
+    for (std::uint64_t k = 0; k < 200; ++k) {
+        const auto arrival = plan.arrivalStragglerDelay(k);
+        const auto participant = plan.stragglerDelay(
+            static_cast<std::uint32_t>(k), 0);
+        agree += arrival == participant ? 1 : 0;
+    }
+    // Identical streams would agree on all 200; independent ones on
+    // roughly the hit/miss coincidence rate.
+    EXPECT_LT(agree, 150u);
 }

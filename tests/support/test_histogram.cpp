@@ -225,3 +225,38 @@ TEST(BinnedHistogram, ExactBoundariesLandInEdgeBins)
     EXPECT_EQ(h.binCount(4), 1u);
     EXPECT_EQ(h.total(), 2u);
 }
+
+TEST(IntHistogram, CountsSaturateInsteadOfWrapping)
+{
+    // Multi-billion-sample soak streams (or a caller passing a huge
+    // weight) must pin at UINT64_MAX, never wrap to a tiny count that
+    // would corrupt percentiles and fractions.
+    IntHistogram h;
+    h.add(7, UINT64_MAX);
+    h.add(7, UINT64_MAX);
+    EXPECT_EQ(h.count(7), UINT64_MAX);
+    EXPECT_EQ(h.total(), UINT64_MAX);
+    h.add(7); // weight 1 on a pinned count stays pinned
+    EXPECT_EQ(h.count(7), UINT64_MAX);
+
+    // The total saturates independently of any one bucket.
+    IntHistogram g;
+    g.add(1, UINT64_MAX - 5);
+    g.add(2, 100);
+    EXPECT_EQ(g.count(1), UINT64_MAX - 5);
+    EXPECT_EQ(g.count(2), 100u);
+    EXPECT_EQ(g.total(), UINT64_MAX);
+    // Percentiles remain well-defined on a saturated total.
+    EXPECT_EQ(g.percentile(0.5), 1u);
+}
+
+TEST(BinnedHistogram, CountsSaturateInsteadOfWrapping)
+{
+    BinnedHistogram h(0.0, 10.0, 2);
+    h.add(1.0, UINT64_MAX);
+    h.add(1.0, 10);
+    h.add(9.0, 10);
+    EXPECT_EQ(h.binCount(0), UINT64_MAX);
+    EXPECT_EQ(h.binCount(1), 10u);
+    EXPECT_EQ(h.total(), UINT64_MAX);
+}

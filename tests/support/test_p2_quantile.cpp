@@ -1,0 +1,131 @@
+/**
+ * @file
+ * P² streaming-quantile tests: exact below five samples, accurate on
+ * known distributions, and consistent with the exact nearest-rank
+ * answer of IntHistogram::percentile on replayed integer streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/histogram.hpp"
+#include "support/p2_quantile.hpp"
+#include "support/rng.hpp"
+
+using absync::support::IntHistogram;
+using absync::support::P2Quantile;
+using absync::support::Rng;
+
+TEST(P2Quantile, EmptyIsZero)
+{
+    const P2Quantile q(0.9);
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_DOUBLE_EQ(q.value(), 0.0);
+    EXPECT_DOUBLE_EQ(q.minimum(), 0.0);
+    EXPECT_DOUBLE_EQ(q.maximum(), 0.0);
+}
+
+TEST(P2Quantile, ExactNearestRankBelowFiveSamples)
+{
+    P2Quantile p50(0.5);
+    p50.add(30.0);
+    p50.add(10.0);
+    EXPECT_DOUBLE_EQ(p50.value(), 10.0); // rank ceil(0.5*2)=1
+    p50.add(20.0);
+    EXPECT_DOUBLE_EQ(p50.value(), 20.0); // rank ceil(0.5*3)=2
+    EXPECT_DOUBLE_EQ(p50.minimum(), 10.0);
+    EXPECT_DOUBLE_EQ(p50.maximum(), 30.0);
+
+    P2Quantile p99(0.99);
+    for (double x : {5.0, 1.0, 4.0, 2.0})
+        p99.add(x);
+    EXPECT_DOUBLE_EQ(p99.value(), 5.0); // rank ceil(.99*4)=4
+}
+
+TEST(P2Quantile, TracksMinAndMaxExactly)
+{
+    P2Quantile q(0.5);
+    Rng rng(42);
+    double lo = 1e300, hi = -1e300;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble() * 100.0 - 50.0;
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        q.add(x);
+    }
+    EXPECT_EQ(q.count(), 1000u);
+    EXPECT_DOUBLE_EQ(q.minimum(), lo);
+    EXPECT_DOUBLE_EQ(q.maximum(), hi);
+}
+
+TEST(P2Quantile, UniformStreamConvergesToQuantile)
+{
+    P2Quantile p50(0.5), p90(0.9), p99(0.99);
+    Rng rng(7);
+    for (int i = 0; i < 200000; ++i) {
+        const double x = rng.nextDouble();
+        p50.add(x);
+        p90.add(x);
+        p99.add(x);
+    }
+    EXPECT_NEAR(p50.value(), 0.50, 0.01);
+    EXPECT_NEAR(p90.value(), 0.90, 0.01);
+    EXPECT_NEAR(p99.value(), 0.99, 0.005);
+    // Estimates of nested quantiles stay ordered.
+    EXPECT_LE(p50.value(), p90.value());
+    EXPECT_LE(p90.value(), p99.value());
+}
+
+TEST(P2Quantile, AgreesWithHistogramOnIntegerStream)
+{
+    // Replay one integer-valued stream (a body of short delays plus a
+    // long heavy tail, the open-system delay shape) into both the
+    // exact nearest-rank histogram and the O(1) P² estimators; the
+    // streaming answers must land near the exact ones relative to the
+    // distribution's scale.
+    IntHistogram exact;
+    P2Quantile p50(0.5), p90(0.9), p99(0.99);
+    Rng rng(123);
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t x = rng.bernoulli(0.9)
+                                    ? rng.uniformInt(1, 1000)
+                                    : rng.uniformInt(1000, 50000);
+        exact.add(x);
+        p50.add(static_cast<double>(x));
+        p90.add(static_cast<double>(x));
+        p99.add(static_cast<double>(x));
+    }
+    const auto e50 = static_cast<double>(exact.percentile(0.50));
+    const auto e90 = static_cast<double>(exact.percentile(0.90));
+    const auto e99 = static_cast<double>(exact.percentile(0.99));
+    EXPECT_NEAR(p50.value(), e50, 0.15 * e50);
+    EXPECT_NEAR(p90.value(), e90, 0.15 * e90);
+    EXPECT_NEAR(p99.value(), e99, 0.15 * e99);
+}
+
+TEST(P2Quantile, ClearResetsButKeepsTarget)
+{
+    P2Quantile q(0.9);
+    for (int i = 0; i < 100; ++i)
+        q.add(static_cast<double>(i));
+    ASSERT_GT(q.value(), 0.0);
+    q.clear();
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_DOUBLE_EQ(q.value(), 0.0);
+    EXPECT_DOUBLE_EQ(q.quantile(), 0.9);
+    q.add(3.0);
+    EXPECT_DOUBLE_EQ(q.value(), 3.0);
+}
+
+TEST(P2Quantile, ConstantStreamIsThatConstant)
+{
+    P2Quantile q(0.99);
+    for (int i = 0; i < 10000; ++i)
+        q.add(42.0);
+    EXPECT_DOUBLE_EQ(q.value(), 42.0);
+    EXPECT_DOUBLE_EQ(q.minimum(), 42.0);
+    EXPECT_DOUBLE_EQ(q.maximum(), 42.0);
+}

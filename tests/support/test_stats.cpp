@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
 
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -122,4 +125,67 @@ TEST(RunningStats, Ci95Behaviour)
         b.add(rng.nextDouble());
     EXPECT_GT(a.ci95(), b.ci95());
     EXPECT_NEAR(b.mean(), 0.5, b.ci95() * 3);
+}
+
+TEST(RunningStats, CompensationMakesIdenticalValuesExact)
+{
+    // The soak regression: mean of n identical values must be exact
+    // for ANY n.  Uncompensated Welford drifts because each
+    // delta/n correction term is rounded against a sum many orders
+    // of magnitude larger; the Neumaier terms recover those bits.
+    RunningStats s;
+    const double v = 1.0e9 + 1.0 / 3.0; // not representable exactly
+    for (int i = 0; i < 2000000; ++i)
+        s.add(v);
+    EXPECT_EQ(s.mean(), v); // bitwise, not NEAR
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.minimum(), v);
+    EXPECT_EQ(s.maximum(), v);
+}
+
+TEST(RunningStats, LargeOffsetAlternatingStreamKeepsTightMean)
+{
+    // Alternating 1e9 / 1e9+1: true mean is 1e9 + 0.5 and true
+    // population variance is exactly 0.25.  The low-order bit being
+    // accumulated sits ~2^30 below the running mean, which is where
+    // plain Welford loses precision over long streams.
+    RunningStats s;
+    for (int i = 0; i < 4000000; ++i)
+        s.add(1.0e9 + static_cast<double>(i & 1));
+    EXPECT_NEAR(s.mean(), 1.0e9 + 0.5, 1e-6);
+    EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(RunningStats, MergeMatchesSerialUnderLargeOffset)
+{
+    // Parallel-fold contract at soak scale: splitting a large-offset
+    // stream into shards and merging must agree with the serial
+    // accumulation to near representation precision.
+    RunningStats serial, sa, sb, sc;
+    Rng rng(31);
+    for (int i = 0; i < 300000; ++i) {
+        const double x = 1.0e9 + rng.nextDouble();
+        serial.add(x);
+        (i % 3 == 0 ? sa : i % 3 == 1 ? sb : sc).add(x);
+    }
+    RunningStats merged = sa;
+    merged.merge(sb);
+    merged.merge(sc);
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_NEAR(merged.mean(), serial.mean(), 1e-6);
+    EXPECT_NEAR(merged.variance(), serial.variance(), 1e-4);
+    EXPECT_EQ(merged.minimum(), serial.minimum());
+    EXPECT_EQ(merged.maximum(), serial.maximum());
+}
+
+TEST(RunningStats, CountIsSixtyFourBit)
+{
+    // Multi-billion-sample streams overflow a 32-bit counter; the
+    // accumulator must count in 64 bits.
+    static_assert(
+        std::is_same_v<decltype(std::declval<const RunningStats &>()
+                                    .count()),
+                       std::uint64_t>,
+        "RunningStats::count must be 64-bit for soak streams");
+    SUCCEED();
 }
