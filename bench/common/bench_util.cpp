@@ -12,7 +12,7 @@ const std::vector<std::string> &
 figurePolicies()
 {
     static const std::vector<std::string> kPolicies = {
-        "none", "var", "exp2", "exp4", "exp8",
+        "none", "var", "exp2", "exp4", "exp8", "queue",
     };
     return kPolicies;
 }

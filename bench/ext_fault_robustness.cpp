@@ -51,6 +51,7 @@ barrierPolicies()
         {"exp2", core::BackoffConfig::exponentialFlag(2)},
         {"exp8", core::BackoffConfig::exponentialFlag(8)},
         {"linear4", core::BackoffConfig::linearFlag(4)},
+        {"queue", core::BackoffConfig::queue()},
     };
 }
 

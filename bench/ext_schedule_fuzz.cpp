@@ -14,6 +14,11 @@
  * It also runs the bounded exhaustive exploration of the smallest
  * interesting episode (2 threads x 2 phases) per barrier kind and
  * reports how many distinct interleavings were visited.
+ *
+ * The queue-lock family (MCS/CLH, DESIGN.md §14) rides the same
+ * harness: exhaustive 2-thread acquire/release exploration plus the
+ * seeded fuzz round-robin with the single-owner oracle armed, under
+ * the lock kinds "mcs" and "clh" (replayable the same way).
  */
 
 #include <chrono>
@@ -22,9 +27,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/bench_util.hpp"
 #include "obs/counters.hpp"
 #include "runtime/barrier_interface.hpp"
+#include "runtime/queue_lock.hpp"
 #include "runtime/spin_backoff.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
@@ -50,6 +58,72 @@ kinds()
         {"tangyew", runtime::BarrierKind::TangYew},
         {"tree", runtime::BarrierKind::Tree},
         {"adaptive", runtime::BarrierKind::Adaptive},
+    };
+    return k;
+}
+
+/**
+ * Queue-lock mutual-exclusion episode: each thread runs `iters`
+ * lock / dwell / unlock cycles with the single-owner oracle armed at
+ * every scheduling step.  Template over runtime::McsLock /
+ * runtime::ClhLock.
+ */
+template <typename Lock>
+testing::EpisodeFactory
+queueLockFactory(std::uint32_t threads, std::uint32_t iters)
+{
+    return [threads, iters](testing::VirtualSched &sched) {
+        runtime::QueueLockConfig cfg;
+        cfg.maxThreads = threads;
+        cfg.sched = &sched;
+        struct State
+        {
+            Lock lock;
+            int inside = 0;
+            explicit State(const runtime::QueueLockConfig &c)
+                : lock(c)
+            {
+            }
+        };
+        auto st = std::make_shared<State>(cfg);
+        testing::Episode ep;
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            ep.bodies.push_back([st, &sched, iters](std::uint32_t id) {
+                for (std::uint32_t i = 0; i < iters; ++i) {
+                    st->lock.lock(id);
+                    ++st->inside;
+                    sched.require(st->inside == 1,
+                                  "two holders of the queue lock");
+                    runtime::spinFor(2);
+                    sched.require(st->inside == 1,
+                                  "second holder admitted mid-"
+                                  "critical-section");
+                    --st->inside;
+                    st->lock.unlock(id);
+                }
+            });
+        }
+        ep.stepInvariant = [st]() -> std::string {
+            if (st->inside < 0 || st->inside > 1)
+                return "critical-section occupancy out of range";
+            return {};
+        };
+        return ep;
+    };
+}
+
+struct LockKind
+{
+    const char *name;
+    testing::EpisodeFactory (*factory)(std::uint32_t, std::uint32_t);
+};
+
+const std::vector<LockKind> &
+lockKinds()
+{
+    static const std::vector<LockKind> k = {
+        {"mcs", &queueLockFactory<runtime::McsLock>},
+        {"clh", &queueLockFactory<runtime::ClhLock>},
     };
     return k;
 }
@@ -191,16 +265,21 @@ main(int argc, char **argv)
         "arrival)");
 
     if (opt.has("replay")) {
-        // Reproduce one seed against one kind, verbosely.
+        // Reproduce one seed against one kind (barrier or queue
+        // lock), verbosely.
         const std::string name = opt.get("kind", "flat");
-        const runtime::BarrierKind kind =
-            runtime::barrierKindFromString(name);
         const auto seed =
             static_cast<std::uint64_t>(opt.getInt("replay", 1));
-        const testing::RunRecord rec = testing::runSeededSchedule(
-            testing::barrierPhasesFactory(
-                episodeConfig(kind, threads, phases)),
-            seed);
+        testing::EpisodeFactory factory;
+        for (const LockKind &lk : lockKinds())
+            if (name == lk.name)
+                factory = lk.factory(threads, phases);
+        if (!factory)
+            factory = testing::barrierPhasesFactory(episodeConfig(
+                runtime::barrierKindFromString(name), threads,
+                phases));
+        const testing::RunRecord rec =
+            testing::runSeededSchedule(factory, seed);
         std::printf("kind=%s seed=%llu steps=%llu choicePoints=%llu "
                     "ticks=%llu -> %s\n",
                     name.c_str(),
@@ -230,6 +309,23 @@ main(int argc, char **argv)
         interleavings.push_back(rep.interleavings);
     }
 
+    // Phase 1b: same exhaustive treatment for the queue-lock family —
+    // every 2-thread acquire/release interleaving up to the branch
+    // depth, single-owner oracle armed.
+    std::vector<std::uint64_t> lock_interleavings;
+    for (const LockKind &lk : lockKinds()) {
+        testing::ExploreConfig xc;
+        xc.branchDepth = 12;
+        xc.maxRuns = 100000;
+        const testing::ExploreReport rep =
+            testing::exploreSchedules(lk.factory(2, 1), xc);
+        if (rep.failed)
+            reportFailure(lk.name, 0, 2, 1,
+                          rep.failure +
+                              " (found by exhaustive exploration)");
+        lock_interleavings.push_back(rep.interleavings);
+    }
+
     // Phase 2: seeded fuzz round-robin over the kinds until the time
     // budget is spent.
     const auto deadline =
@@ -237,6 +333,7 @@ main(int argc, char **argv)
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(seconds));
     std::vector<std::uint64_t> fuzz_runs(kinds().size(), 0);
+    std::vector<std::uint64_t> lock_fuzz_runs(lockKinds().size(), 0);
     std::uint64_t next_seed = seed0;
     constexpr std::uint64_t kBatch = 25;
     while (std::chrono::steady_clock::now() < deadline) {
@@ -251,6 +348,17 @@ main(int argc, char **argv)
             fuzz_runs[i] += rep.runsDone;
             if (rep.failed)
                 reportFailure(kinds()[i].name, rep.failingSeed,
+                              threads, phases, rep.failure);
+        }
+        for (std::size_t i = 0; i < lockKinds().size(); ++i) {
+            testing::FuzzConfig fc;
+            fc.runs = kBatch;
+            fc.seed0 = next_seed;
+            const testing::FuzzReport rep = testing::fuzzSchedules(
+                lockKinds()[i].factory(threads, phases), fc);
+            lock_fuzz_runs[i] += rep.runsDone;
+            if (rep.failed)
+                reportFailure(lockKinds()[i].name, rep.failingSeed,
                               threads, phases, rep.failure);
         }
         next_seed += kBatch;
@@ -273,6 +381,11 @@ main(int argc, char **argv)
                       std::to_string(interleavings[i]),
                       std::to_string(fuzz_runs[i]),
                       std::to_string(timed_timeouts[i]), "ok"});
+    }
+    for (std::size_t i = 0; i < lockKinds().size(); ++i) {
+        table.addRow({lockKinds()[i].name,
+                      std::to_string(lock_interleavings[i]),
+                      std::to_string(lock_fuzz_runs[i]), "-", "ok"});
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("seeds %llu..%llu clean; every run is replayable "

@@ -58,6 +58,9 @@ SEED_COMMANDS = {
     "ext_hotspot_saturation":
         "{build}/bench/ext_hotspot_saturation --cycles 20000 "
         "--seed 19 --report-out {report}",
+    "ext_queue_threshold":
+        "{build}/bench/ext_queue_threshold --runs 25 --seed 23 "
+        "--report-out {report}",
 }
 
 # ---------------------------------------------------------------------

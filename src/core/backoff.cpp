@@ -68,6 +68,8 @@ BackoffConfig::controllerWindow(std::uint64_t consecutive_denials) const
 std::string
 BackoffConfig::name() const
 {
+    if (queueWakeup)
+        return "queue";
     std::string s = onVariable ? "var" : "none";
     switch (onFlag) {
       case FlagBackoff::None:
@@ -132,12 +134,22 @@ BackoffConfig::constantFlag(std::uint64_t c)
 }
 
 BackoffConfig
+BackoffConfig::queue()
+{
+    BackoffConfig c;
+    c.queueWakeup = true;
+    return c;
+}
+
+BackoffConfig
 BackoffConfig::fromString(const std::string &name)
 {
     if (name == "none")
         return none();
     if (name == "var")
         return variableOnly();
+    if (name == "queue")
+        return queue();
     if (name.rfind("const", 0) == 0 && name.size() > 5)
         return constantFlag(std::strtoull(name.c_str() + 5,
                                           nullptr, 10));

@@ -27,6 +27,14 @@
  *    crosses a preset threshold it is cheaper to block the process on a
  *    condition variable; the enqueue/wakeup overhead is charged
  *    explicitly.
+ *
+ *  - **Local-spin queue** (the third policy family, DESIGN.md §14).
+ *    Arrivals still fetch&add the barrier variable, but instead of
+ *    polling the shared flag every waiter parks on its own local
+ *    word; the last arriver walks the arrival queue and wakes each
+ *    waiter with one uncontended write.  Flag traffic vanishes — the
+ *    remaining accesses are the enqueue F&A and one handoff write per
+ *    waiter.
  */
 
 #ifndef ABSYNC_CORE_BACKOFF_HPP
@@ -132,6 +140,16 @@ struct BackoffConfig
     std::uint64_t blockAccessCost = 2;
 
     /**
+     * Local-spin queue arrival phase (MCS/CLH analogue, DESIGN.md
+     * §14): waiters never poll the flag; the last arriver wakes them
+     * serially, one uncontended write per waiter per cycle, in
+     * arrival order.  Overrides the flag-side knobs (onFlag,
+     * blockThreshold, controllerBackoff) — there is no flag polling
+     * to pace.
+     */
+    bool queueWakeup = false;
+
+    /**
      * Wait before the first flag poll after incrementing the variable.
      *
      * @param n total participants N
@@ -178,10 +196,13 @@ struct BackoffConfig
     /** Variable backoff + fixed poll period of c idle cycles. */
     static BackoffConfig constantFlag(std::uint64_t c);
 
+    /** Local-spin queue arrival phase (no flag polling at all). */
+    static BackoffConfig queue();
+
     /**
-     * Parse a preset name: "none", "var", "lin<C>", "exp<B>" or
-     * "const<C>" (e.g. "exp2", "exp8", "lin4", "const4").  Fatal on
-     * unknown names.
+     * Parse a preset name: "none", "var", "queue", "lin<C>",
+     * "exp<B>" or "const<C>" (e.g. "exp2", "exp8", "lin4",
+     * "const4").  Fatal on unknown names.
      */
     static BackoffConfig fromString(const std::string &name);
 };

@@ -83,6 +83,8 @@ enum class PState
     ReqSetFlag, ///< last arriver, attempting to write the flag
     CtrlWait,   ///< network controller pausing after denials (Sec 8)
     Blocked,    ///< queued on a condition variable
+    LocalWait,  ///< queue mode: parked on a local word, zero traffic
+    Waking,     ///< queue mode: last arriver walking the wake queue
     Done,       ///< past the barrier
 };
 
@@ -127,6 +129,7 @@ struct Workspace
     std::vector<sim::RequesterId> var_reqs;
     std::vector<sim::RequesterId> flag_reqs;
     std::vector<sim::RequesterId> blocked_ids;
+    std::vector<std::uint32_t> wake_queue;
     std::vector<WakeEvent> heap;
     std::vector<std::uint32_t> due;
     std::vector<std::uint32_t> active;
@@ -160,10 +163,13 @@ struct EpisodeCtx
     std::vector<sim::RequesterId> &var_reqs;
     std::vector<sim::RequesterId> &flag_reqs;
     std::vector<sim::RequesterId> &blocked_ids;
+    std::vector<std::uint32_t> &wake_queue;
     EpisodeResult &res;
     std::uint32_t done = 0;
     std::uint32_t counter = 0; // barrier variable value
     bool flag_set = false;
+    /** Queue mode: next wake_queue entry the waker will visit. */
+    std::size_t wake_pos = 0;
 };
 
 /**
@@ -227,6 +233,44 @@ initEpisode(const BarrierConfig &cfg, const support::FaultPlan *fp,
     return done;
 }
 
+/** Queue mode, one executed cycle of the waker: skip abandoned
+ *  (timed-out) queue entries, deliver at most one uncontended wake
+ *  write, and retire the waker once the queue is drained.  Mirrors
+ *  McsLock::releaseFrom — the walk past withdrawn nodes is free of
+ *  network traffic, only the grant write is charged. */
+void
+wakeStep(EpisodeCtx &c, std::uint32_t id, std::uint64_t cycle)
+{
+    const auto skipAbandoned = [&] {
+        while (c.wake_pos < c.wake_queue.size() &&
+               c.procs[c.wake_queue[c.wake_pos]].state !=
+                   PState::LocalWait) {
+            ++c.wake_pos;
+            ++c.res.counters.nodesAbandoned;
+        }
+    };
+    skipAbandoned();
+    if (c.wake_pos < c.wake_queue.size()) {
+        const std::uint32_t t = c.wake_queue[c.wake_pos++];
+        Proc &q = c.procs[t];
+        q.state = PState::Done;
+        ++c.done;
+        ++c.res.procs[id].accesses; // the waker's handoff write
+        ++c.res.counters.queueHandoffs;
+        c.res.procs[t].waitCycles = cycle - q.arrival;
+    }
+    // A trailing run of abandoned entries must not keep the waker
+    // alive another cycle: drain it now so the emptiness check below
+    // is exact.
+    skipAbandoned();
+    if (c.wake_pos == c.wake_queue.size()) {
+        Proc &p = c.procs[id];
+        p.state = PState::Done;
+        ++c.done;
+        c.res.procs[id].waitCycles = cycle - p.arrival;
+    }
+}
+
 /** Phase 1 for one processor: wake transition, timeout check, request
  *  submission.  Only processors whose state can change this cycle
  *  need to be visited — for everyone else this is a no-op. */
@@ -248,14 +292,19 @@ phase1Step(EpisodeCtx &c, std::uint32_t id, std::uint64_t cycle)
         if (p.wake <= cycle)
             p.state = p.resume;
         break;
+      case PState::Waking:
+        wakeStep(c, id, cycle);
+        break;
       default:
         break;
     }
     // Bounded waiting: give up after timeoutCycles.  The
     // flag writer is exempt — it is every waiter's critical
-    // path and is guaranteed an eventual grant.
+    // path and is guaranteed an eventual grant.  The queue-mode
+    // waker is exempt for the same reason: it IS the release.
     if (c.cfg.timeoutCycles > 0 && p.state != PState::WaitArrive &&
-        p.state != PState::ReqSetFlag && p.state != PState::Done &&
+        p.state != PState::ReqSetFlag && p.state != PState::Waking &&
+        p.state != PState::Done &&
         cycle - p.arrival >= c.cfg.timeoutCycles) {
         // Giving up mid-backoff: take back the unserved tail
         // of the interval so backoff_waited only counts
@@ -345,7 +394,20 @@ resolveCycle(EpisodeCtx &c, std::uint64_t cycle, support::Rng &rng)
     } else if (var_win != sim::NO_GRANT) {
         Proc &p = c.procs[var_win];
         ++c.counter;
-        if (c.counter == n) {
+        if (bo.queueWakeup) {
+            // Local-spin queue arrival phase (DESIGN.md §14): the
+            // F&A grant order IS the wake queue.  Non-last arrivers
+            // park on a local word and never touch a module again;
+            // the last arriver becomes the waker and starts walking
+            // the queue next cycle.
+            if (c.counter == n) {
+                p.state = PState::Waking;
+                res.flagSetTime = cycle;
+            } else {
+                p.state = PState::LocalWait;
+                c.wake_queue.push_back(var_win);
+            }
+        } else if (c.counter == n) {
             if (c.cfg.singleVariable) {
                 // The counter itself reads N: the last arriver
                 // simply proceeds; waiters observe N on their
@@ -542,12 +604,13 @@ BarrierSimulator::runOnce(support::Rng &rng,
     ws.var_reqs.clear();
     ws.flag_reqs.clear();
     ws.blocked_ids.clear();
+    ws.wake_queue.clear();
     ws.heap.clear();
     ws.active.clear();
 
     EpisodeCtx c{cfg_,        fp,           ws.procs,
                  var_mod,     flag_mod,     ws.var_reqs,
-                 ws.flag_reqs, ws.blocked_ids, res};
+                 ws.flag_reqs, ws.blocked_ids, ws.wake_queue, res};
     c.done = done0;
 
     // Seed the event heap: one arrival per live processor, plus its
@@ -600,9 +663,10 @@ BarrierSimulator::runOnce(support::Rng &rng,
         resolveCycle(c, cycle, rng);
 
         // Re-arm: requesters stay hot for the next cycle; new
-        // sleepers get a heap wake-up.  Blocked processors need no
-        // event — they are released inline by the flag setter or cut
-        // loose by their (already queued) timeout deadline.
+        // sleepers get a heap wake-up.  Blocked and LocalWait
+        // processors need no event — they are released inline (by
+        // the flag setter / the queue waker) or cut loose by their
+        // (already queued) timeout deadline.
         ws.next_active.clear();
         for (std::uint32_t id : ws.merged) {
             const Proc &p = ws.procs[id];
@@ -610,6 +674,9 @@ BarrierSimulator::runOnce(support::Rng &rng,
               case PState::ReqVar:
               case PState::ReqFlag:
               case PState::ReqSetFlag:
+              case PState::Waking:
+                // The waker acts every cycle (one handoff write per
+                // cycle) just like an outstanding requester.
                 ws.next_active.push_back(id);
                 break;
               case PState::VarBackoff:
@@ -675,6 +742,7 @@ BarrierSimulator::runOnceReference(support::Rng &rng,
     std::vector<sim::RequesterId> var_reqs;
     std::vector<sim::RequesterId> flag_reqs;
     std::vector<sim::RequesterId> blocked_ids;
+    std::vector<std::uint32_t> wake_queue;
     sim::MemoryModule var_mod(cfg_.arbitration);
     sim::MemoryModule flag_mod(cfg_.arbitration);
     const std::uint32_t done0 =
@@ -686,7 +754,7 @@ BarrierSimulator::runOnceReference(support::Rng &rng,
 
     EpisodeCtx c{cfg_,      fp,       procs,       var_mod,
                  flag_mod,  var_reqs, flag_reqs,   blocked_ids,
-                 res};
+                 wake_queue, res};
     c.done = done0;
 
     std::uint64_t cycle = res.firstArrival;

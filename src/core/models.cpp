@@ -52,6 +52,15 @@ model2ExponentialAccesses(double arrival_window, std::uint32_t n,
 }
 
 double
+modelQueueAccesses(std::uint32_t n)
+{
+    if (n <= 1)
+        return 1.0;
+    const double dn = static_cast<double>(n);
+    return (dn + 1.0) / 2.0 + (dn - 1.0) / dn;
+}
+
+double
 hardwareAccessesPerProc(HardwareScheme scheme)
 {
     switch (scheme) {

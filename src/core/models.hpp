@@ -53,6 +53,16 @@ double model1VariableBackoffAccesses(std::uint32_t n);
 double model2ExponentialAccesses(double arrival_window, std::uint32_t n,
                                  double base);
 
+/**
+ * Local-spin queue barrier under simultaneous arrival (DESIGN.md
+ * §14): the only network traffic is the enqueue fetch&add — the k-th
+ * FIFO grant cost k attempts, averaging (N+1)/2 — plus the waker's
+ * N-1 uncontended handoff writes amortized over N processors:
+ * (N+1)/2 + (N-1)/N ~= N/2 + 1.5.  No flag polling term at all,
+ * which is the family's whole point.
+ */
+double modelQueueAccesses(std::uint32_t n);
+
 /** Hardware synchronization support compared in Section 5.1. */
 enum class HardwareScheme
 {

@@ -23,6 +23,8 @@ resourceWaitPolicyFromString(const std::string &name)
         return ResourceWaitPolicy::Exponential;
     if (name == "prop" || name == "proportional")
         return ResourceWaitPolicy::Proportional;
+    if (name == "queue")
+        return ResourceWaitPolicy::Queue;
     std::fprintf(stderr, "unknown resource wait policy '%s'\n",
                  name.c_str());
     std::exit(2);
@@ -38,6 +40,8 @@ resourceWaitPolicyName(ResourceWaitPolicy p)
         return "exponential";
       case ResourceWaitPolicy::Proportional:
         return "waiter-proportional";
+      case ResourceWaitPolicy::Queue:
+        return "queue";
     }
     return "?";
 }
@@ -55,6 +59,7 @@ enum class RS : std::uint8_t
     Thinking,
     Polling,  ///< attempting to read/acquire the state word
     Backoff,  ///< waiting out a backoff interval
+    Queued,   ///< queue policy: enqueued, spinning on a local word
     Holding,  ///< owns the resource
 };
 
@@ -123,21 +128,48 @@ struct RCtx
     std::uint64_t release_at = 0;
     std::uint32_t holder = 0;
     std::uint32_t waiters = 0; // procs between first try and acquire
+    std::vector<std::uint32_t> queue{}; // queue policy: FIFO waiters
+    std::size_t queue_pos = 0;        // next queue entry to hand to
 };
 
-/** Release at the top of the cycle so a same-cycle poll can succeed.
- *  Returns true when the holder released (its next think wake-up is
- *  then in procs[holder].wake). */
-bool
+/** Sentinel for releaseStep: no release happened this cycle. */
+constexpr std::uint32_t kNoRelease = ~std::uint32_t{0};
+
+/**
+ * Release at the top of the cycle so a same-cycle poll can succeed.
+ * Returns the id of the processor that released (its next think
+ * wake-up is then in procs[id].wake) or kNoRelease.  Under the Queue
+ * policy the release is a direct handoff: the resource passes to the
+ * queue head in the same cycle with one uncontended write, so
+ * c.holder may differ from the returned id on exit.
+ */
+std::uint32_t
 releaseStep(RCtx &c, std::uint64_t cycle, support::Rng &rng)
 {
     if (!c.held || c.release_at > cycle)
-        return false;
-    c.held = false;
-    RProc &h = c.procs[c.holder];
+        return kNoRelease;
+    const std::uint32_t released = c.holder;
+    RProc &h = c.procs[released];
     h.state = RS::Thinking;
     h.wake = cycle + expThink(rng, c.cfg.meanThink);
-    return true;
+    if (c.queue_pos < c.queue.size()) {
+        // Hand straight to the queue head: no open contention, one
+        // write, charged as one access.
+        const std::uint32_t t = c.queue[c.queue_pos++];
+        RProc &pr = c.procs[t];
+        c.holder = t;
+        c.release_at = cycle + c.cfg.holdCycles;
+        pr.state = RS::Holding;
+        --c.waiters;
+        ++c.st.acquisitions;
+        ++c.st.accesses;
+        ++c.st.queueHandoffs;
+        c.delay.add(static_cast<double>(cycle - pr.firstTry));
+        c.waiters_at_acq.add(static_cast<double>(c.waiters));
+    } else {
+        c.held = false;
+    }
+    return released;
 }
 
 /** Per-processor submission: think/backoff expiry, then the poll. */
@@ -184,6 +216,12 @@ resolveCycle(RCtx &c, std::uint64_t cycle, support::Rng &rng)
             ++c.st.acquisitions;
             c.delay.add(static_cast<double>(cycle - pr.firstTry));
             c.waiters_at_acq.add(static_cast<double>(c.waiters));
+        } else if (c.cfg.policy == ResourceWaitPolicy::Queue) {
+            // Busy under the queue policy: this granted poll IS the
+            // enqueue F&A.  Park on a local word — no module traffic
+            // until the releaser hands the resource over.
+            pr.state = RS::Queued;
+            c.queue.push_back(win);
         } else {
             // Busy: backoff decision (only after a completed
             // read, per the paper's rule).
@@ -217,6 +255,8 @@ resolveCycle(RCtx &c, std::uint64_t cycle, support::Rng &rng)
                 d = std::max<std::uint64_t>(d, 1);
                 break;
               }
+              case ResourceWaitPolicy::Queue:
+                break; // handled above: never reaches the switch
             }
             if (d == 0) {
                 // Poll again next cycle.
@@ -271,8 +311,11 @@ ResourceSimulator::run(support::Rng &rng) const
     while (cycle < cfg_.cycles) {
         ++st.eventsProcessed;
 
-        if (releaseStep(c, cycle, rng)) {
-            ws.heap.push_back({ws.procs[c.holder].wake, c.holder});
+        const std::uint32_t released = releaseStep(c, cycle, rng);
+        if (released != kNoRelease) {
+            // Queue the RELEASED processor's think wake-up — under
+            // the queue policy c.holder is already the next waiter.
+            ws.heap.push_back({ws.procs[released].wake, released});
             std::push_heap(ws.heap.begin(), ws.heap.end(),
                            RLaterWake{});
         }
@@ -313,7 +356,8 @@ ResourceSimulator::run(support::Rng &rng) const
                 break;
               default:
                 // Thinking wakes are queued at init/release;
-                // Holding is driven by release_at.
+                // Holding is driven by release_at; Queued waiters
+                // are handed the resource inline by releaseStep.
                 break;
             }
         }
@@ -383,6 +427,7 @@ ResourceSimulator::runMany(std::uint64_t runs, std::uint64_t seed,
     const auto fold = [&](const ResourceSimStats &st) {
         agg.acquisitions += st.acquisitions;
         agg.accesses += st.accesses;
+        agg.queueHandoffs += st.queueHandoffs;
         agg.cyclesSkipped += st.cyclesSkipped;
         agg.eventsProcessed += st.eventsProcessed;
         apa.add(st.accessesPerAcquisition);

@@ -44,9 +44,14 @@ enum class ResourceWaitPolicy
     Spin,         ///< re-poll the state word every cycle
     Exponential,  ///< wait b^t after the t-th busy poll
     Proportional, ///< wait (waiters ahead) * holdEstimate cycles
+    Queue,        ///< local-spin queue lock (MCS/CLH analogue,
+                  ///< DESIGN.md §14): the first busy poll doubles as
+                  ///< the enqueue; the waiter then spins locally and
+                  ///< the releaser hands the resource straight to the
+                  ///< queue head with one uncontended write
 };
 
-/** Parse "spin" | "exp" | "prop"; fatal on typo. */
+/** Parse "spin" | "exp" | "prop" | "queue"; fatal on typo. */
 ResourceWaitPolicy resourceWaitPolicyFromString(
     const std::string &name);
 
@@ -93,6 +98,9 @@ struct ResourceSimStats
     double utilization = 0.0;
     /** Mean waiters observed at acquisition time. */
     double avgWaiters = 0.0;
+    /** Queue policy only: acquisitions granted by direct handoff
+     *  from the releaser (vs. an open-contention test&set). */
+    std::uint64_t queueHandoffs = 0;
 
     /**
      * Engine diagnostics, NOT part of the bit-identical contract

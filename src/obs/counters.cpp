@@ -24,6 +24,8 @@ CounterSnapshot::operator+=(const CounterSnapshot &o)
     arrivals += o.arrivals;
     sheds += o.sheds;
     saturatedWindows += o.saturatedWindows;
+    queueHandoffs += o.queueHandoffs;
+    nodesAbandoned += o.nodesAbandoned;
     return *this;
 }
 
@@ -46,6 +48,8 @@ CounterSnapshot::operator-(const CounterSnapshot &o) const
     d.arrivals -= o.arrivals;
     d.sheds -= o.sheds;
     d.saturatedWindows -= o.saturatedWindows;
+    d.queueHandoffs -= o.queueHandoffs;
+    d.nodesAbandoned -= o.nodesAbandoned;
     return d;
 }
 
@@ -61,7 +65,9 @@ CounterSnapshot::operator==(const CounterSnapshot &o) const
            cyclesSkipped == o.cyclesSkipped &&
            eventsProcessed == o.eventsProcessed &&
            arrivals == o.arrivals && sheds == o.sheds &&
-           saturatedWindows == o.saturatedWindows;
+           saturatedWindows == o.saturatedWindows &&
+           queueHandoffs == o.queueHandoffs &&
+           nodesAbandoned == o.nodesAbandoned;
 }
 
 std::string
@@ -103,7 +109,8 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
         const std::string n = name;
         return n == "cycles_skipped" || n == "events_processed" ||
                n == "arrivals" || n == "sheds" ||
-               n == "saturated_windows";
+               n == "saturated_windows" || n == "queue_handoffs" ||
+               n == "nodes_abandoned";
     };
     CounterSnapshot parsed;
     bool ok = true;
@@ -192,6 +199,9 @@ SyncCounters::snapshot() const
     s.sheds = sheds.load(std::memory_order_relaxed);
     s.saturatedWindows =
         saturatedWindows.load(std::memory_order_relaxed);
+    s.queueHandoffs = queueHandoffs.load(std::memory_order_relaxed);
+    s.nodesAbandoned =
+        nodesAbandoned.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -213,6 +223,8 @@ SyncCounters::reset()
     arrivals.store(0, std::memory_order_relaxed);
     sheds.store(0, std::memory_order_relaxed);
     saturatedWindows.store(0, std::memory_order_relaxed);
+    queueHandoffs.store(0, std::memory_order_relaxed);
+    nodesAbandoned.store(0, std::memory_order_relaxed);
 }
 
 namespace

@@ -37,9 +37,15 @@
  *                      admission control / load shedding
  *  - saturated_windows detector windows flagged saturated by the
  *                      online overload detector (DESIGN.md §13)
+ *  - queue_handoffs    direct lock/arrival handoffs to a queued
+ *                      local-spin waiter (MCS/CLH grants, queue-mode
+ *                      barrier wake writes; DESIGN.md §14)
+ *  - nodes_abandoned   abandoned (timed-out / parked) queue nodes
+ *                      unlinked and recycled by a later handoff
  *
- * The last five are engine counters recorded by the simulators and
- * the open-system robustness layer; parseCounterSnapshot treats them
+ * Everything after `acquires` postdates v1 of the schema: those
+ * counters are recorded by the simulators, the open-system robustness
+ * layer, and the queue-lock family; parseCounterSnapshot treats them
  * as optional so documents written by older builds still parse.
  *
  * Everything in this header compiles to no-ops when the build sets
@@ -90,6 +96,8 @@ struct CounterSnapshot
     std::uint64_t arrivals = 0;
     std::uint64_t sheds = 0;
     std::uint64_t saturatedWindows = 0;
+    std::uint64_t queueHandoffs = 0;
+    std::uint64_t nodesAbandoned = 0;
 
     /** Apply @p f(name, value) to every field, in schema order. */
     template <typename F>
@@ -111,6 +119,8 @@ struct CounterSnapshot
         f("arrivals", arrivals);
         f("sheds", sheds);
         f("saturated_windows", saturatedWindows);
+        f("queue_handoffs", queueHandoffs);
+        f("nodes_abandoned", nodesAbandoned);
     }
 
     /** Mutable field access by schema position (exposition helpers). */
@@ -133,6 +143,8 @@ struct CounterSnapshot
         f("arrivals", arrivals);
         f("sheds", sheds);
         f("saturated_windows", saturatedWindows);
+        f("queue_handoffs", queueHandoffs);
+        f("nodes_abandoned", nodesAbandoned);
     }
 
     CounterSnapshot &operator+=(const CounterSnapshot &o);
@@ -157,9 +169,9 @@ struct CounterSnapshot
  * CounterSnapshot::json() or CounterRegistry::json() (the "total"
  * object).  Tolerant scanner over this library's own output, not a
  * general JSON parser.  Returns false when any schema key is missing,
- * except the engine-diagnostic keys (cycles_skipped,
- * events_processed) added after v1 shipped: those default to 0 so
- * documents from older builds still parse.
+ * except the keys added after v1 shipped (cycles_skipped through
+ * nodes_abandoned): those default to 0 so documents from older builds
+ * still parse.
  */
 bool parseCounterSnapshot(const std::string &json, CounterSnapshot *out);
 
@@ -188,6 +200,8 @@ struct alignas(64) SyncCounters
     std::atomic<std::uint64_t> arrivals{0};
     std::atomic<std::uint64_t> sheds{0};
     std::atomic<std::uint64_t> saturatedWindows{0};
+    std::atomic<std::uint64_t> queueHandoffs{0};
+    std::atomic<std::uint64_t> nodesAbandoned{0};
 
     /** Single-writer add: safe against concurrent snapshot readers. */
     static void
@@ -354,6 +368,18 @@ inline void
 countSaturatedWindows(std::uint64_t n)
 {
     ABSYNC_OBS_RECORD(saturatedWindows, n);
+}
+
+inline void
+countQueueHandoff(std::uint64_t n = 1)
+{
+    ABSYNC_OBS_RECORD(queueHandoffs, n);
+}
+
+inline void
+countNodeAbandoned(std::uint64_t n = 1)
+{
+    ABSYNC_OBS_RECORD(nodesAbandoned, n);
 }
 
 #undef ABSYNC_OBS_RECORD

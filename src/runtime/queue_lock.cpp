@@ -1,0 +1,349 @@
+#include "runtime/queue_lock.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/fault.hpp"
+
+namespace absync::runtime
+{
+
+using queue_detail::epochOf;
+using queue_detail::kAbandoned;
+using queue_detail::kFree;
+using queue_detail::kGranted;
+using queue_detail::kReleased;
+using queue_detail::kWaiting;
+using queue_detail::pack;
+using queue_detail::stateOf;
+
+namespace
+{
+
+/** Pause-iterations a fault plan parks a node inside the MCS enqueue
+ *  window (tail swapped, predecessor link not yet published). */
+constexpr std::uint64_t kParkedLinkStall = 256;
+
+[[noreturn]] void
+releaseUnderflow(const char *which)
+{
+    std::fprintf(stderr,
+                 "absync: %s::unlock without a held lock "
+                 "(release underflow)\n",
+                 which);
+    std::abort();
+}
+
+} // namespace
+
+// --- McsLock ---------------------------------------------------------
+
+McsLock::McsLock(const QueueLockConfig &cfg)
+    : cfg_(cfg), pools_(cfg.maxThreads ? cfg.maxThreads : 1),
+      held_(pools_.size(), nullptr)
+{
+}
+
+McsLock::Node *
+McsLock::claimNode(std::uint32_t tid)
+{
+    auto &pool = pools_[tid];
+    for (auto &n : pool) {
+        const std::uint64_t w =
+            n->word.load(std::memory_order_acquire);
+        if (stateOf(w) == kFree) {
+            n->next.store(nullptr, std::memory_order_relaxed);
+            n->word.store(pack(epochOf(w) + 1, kWaiting),
+                          std::memory_order_relaxed);
+            return n.get();
+        }
+    }
+    // Every pool node is pinned in the queue (abandoned, not yet
+    // unlinked): grow rather than wait on our own wreckage.
+    pool.push_back(std::make_unique<Node>());
+    Node *n = pool.back().get();
+    n->word.store(pack(1, kWaiting), std::memory_order_relaxed);
+    return n;
+}
+
+WaitResult
+McsLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
+{
+    const ScopedSchedHook sched(cfg_.sched);
+    obs::tracePoint(obs::EventKind::Arrive, waitClockNowNs());
+    if (cfg_.fault) {
+        const std::uint64_t stall = cfg_.fault->onArrive();
+        if (stall > 0)
+            spinFor(stall);
+    }
+
+    Node *node = claimNode(tid);
+    const std::uint64_t epoch =
+        epochOf(node->word.load(std::memory_order_relaxed));
+
+    Node *pred = tail_.exchange(node, std::memory_order_acq_rel);
+    obs::countCounterRmws();
+    if (pred == nullptr) {
+        node->word.store(pack(epoch, kGranted),
+                         std::memory_order_relaxed);
+        held_[tid] = node;
+        obs::countAcquire();
+        obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
+        return WaitResult::Ok;
+    }
+
+    // The classic MCS window: until this link lands, the releaser can
+    // only wait for it.  A fault plan parks nodes right here.
+    if (cfg_.fault && cfg_.fault->onWake())
+        spinFor(kParkedLinkStall);
+    pred->next.store(node, std::memory_order_release);
+
+    for (;;) {
+        const std::uint64_t w =
+            node->word.load(std::memory_order_acquire);
+        if (stateOf(w) == kGranted) {
+            held_[tid] = node;
+            obs::countAcquire();
+            obs::tracePoint(obs::EventKind::Release,
+                            waitClockNowNs());
+            return WaitResult::Ok;
+        }
+        if (timed && deadlineExpired(deadline)) {
+            std::uint64_t expected = pack(epoch, kWaiting);
+            if (node->word.compare_exchange_strong(
+                    expected, pack(epoch, kAbandoned),
+                    std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                // Withdrawn in place: the node stays pinned in the
+                // queue until a handoff unlinks it.
+                obs::countTimeout();
+                obs::countWithdrawal();
+                obs::tracePoint(obs::EventKind::Withdraw,
+                                waitClockNowNs());
+                return WaitResult::Timeout;
+            }
+            // The grant raced the deadline: we own the lock at its
+            // expiry.  Pass ownership straight on — no successor may
+            // lose its wakeup — and still report Timeout.
+            releaseFrom(node);
+            obs::countTimeout();
+            obs::countWithdrawal();
+            obs::tracePoint(obs::EventKind::Withdraw,
+                            waitClockNowNs());
+            return WaitResult::Timeout;
+        }
+        cpuRelax();
+    }
+}
+
+void
+McsLock::releaseFrom(Node *node)
+{
+    // Walk from our node to the oldest live waiter, unlinking
+    // abandoned nodes.  We hold the lock, so this walk is the only
+    // grant/unlink traversal in flight.
+    Node *cur = node;
+    for (;;) {
+        Node *next = cur->next.load(std::memory_order_acquire);
+        if (next == nullptr) {
+            Node *expected = cur;
+            obs::countCounterRmws();
+            if (tail_.compare_exchange_strong(
+                    expected, nullptr, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                // Queue drained: cur has no successor and can never
+                // get one (the tail no longer points at it).
+                cur->word.store(
+                    pack(epochOf(
+                             cur->word.load(std::memory_order_relaxed)),
+                         kFree),
+                    std::memory_order_release);
+                return;
+            }
+            // An enqueuer swapped the tail but has not linked yet
+            // (possibly parked by a fault plan).  Its link needs no
+            // lock to land, so this wait is bounded by that thread's
+            // next step.
+            while ((next = cur->next.load(
+                        std::memory_order_acquire)) == nullptr)
+                cpuRelax();
+        }
+        const std::uint64_t w =
+            next->word.load(std::memory_order_acquire);
+        if (stateOf(w) == kWaiting) {
+            std::uint64_t expected = w;
+            if (next->word.compare_exchange_strong(
+                    expected, pack(epochOf(w), kGranted),
+                    std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                obs::countQueueHandoff();
+                cur->word.store(
+                    pack(epochOf(
+                             cur->word.load(std::memory_order_relaxed)),
+                         kFree),
+                    std::memory_order_release);
+                return;
+            }
+        }
+        // The successor abandoned (its only other transition out of
+        // Waiting): unlink it, recycle the node we walked past, and
+        // keep going.
+        obs::countNodeAbandoned();
+        cur->word.store(
+            pack(epochOf(cur->word.load(std::memory_order_relaxed)),
+                 kFree),
+            std::memory_order_release);
+        cur = next;
+    }
+}
+
+void
+McsLock::lock(std::uint32_t tid)
+{
+    acquire(tid, false, Deadline{});
+}
+
+WaitResult
+McsLock::lockFor(std::uint32_t tid, Deadline deadline)
+{
+    return acquire(tid, true, deadline);
+}
+
+void
+McsLock::unlock(std::uint32_t tid)
+{
+    const ScopedSchedHook sched(cfg_.sched);
+    Node *node = held_[tid];
+    if (node == nullptr)
+        releaseUnderflow("McsLock");
+    held_[tid] = nullptr;
+    releaseFrom(node);
+    obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
+}
+
+// --- ClhLock ---------------------------------------------------------
+
+ClhLock::ClhLock(const QueueLockConfig &cfg)
+    : cfg_(cfg), dummy_(std::make_unique<Node>()),
+      pools_(cfg.maxThreads ? cfg.maxThreads : 1),
+      held_(pools_.size(), nullptr)
+{
+    dummy_->word.store(pack(0, kReleased), std::memory_order_relaxed);
+    tail_.store(dummy_.get(), std::memory_order_relaxed);
+}
+
+ClhLock::Node *
+ClhLock::claimNode(std::uint32_t tid)
+{
+    auto &pool = pools_[tid];
+    for (auto &n : pool) {
+        const std::uint64_t w =
+            n->word.load(std::memory_order_acquire);
+        if (stateOf(w) == kFree) {
+            n->word.store(pack(epochOf(w) + 1, kWaiting),
+                          std::memory_order_relaxed);
+            return n.get();
+        }
+    }
+    pool.push_back(std::make_unique<Node>());
+    Node *n = pool.back().get();
+    n->word.store(pack(1, kWaiting), std::memory_order_relaxed);
+    return n;
+}
+
+WaitResult
+ClhLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
+{
+    const ScopedSchedHook sched(cfg_.sched);
+    obs::tracePoint(obs::EventKind::Arrive, waitClockNowNs());
+    if (cfg_.fault) {
+        const std::uint64_t stall = cfg_.fault->onArrive();
+        if (stall > 0)
+            spinFor(stall);
+    }
+
+    Node *node = claimNode(tid);
+    Node *pred = tail_.exchange(node, std::memory_order_acq_rel);
+    obs::countCounterRmws();
+    node->prev = pred;
+
+    // Spin on the live predecessor, hopping backwards past abandoned
+    // nodes (each hop recycles the node it leaves behind — we are its
+    // unique observer).
+    bool waited = false;
+    Node *spin_on = pred;
+    for (;;) {
+        const std::uint64_t w =
+            spin_on->word.load(std::memory_order_acquire);
+        const queue_detail::NodeState s = stateOf(w);
+        if (s == kReleased) {
+            // The predecessor's node is spent: recycle it to its
+            // owner's pool and take the lock.
+            spin_on->word.store(pack(epochOf(w), kFree),
+                                std::memory_order_release);
+            held_[tid] = node;
+            obs::countAcquire();
+            if (waited)
+                obs::countQueueHandoff();
+            obs::tracePoint(obs::EventKind::Release,
+                            waitClockNowNs());
+            return WaitResult::Ok;
+        }
+        if (s == kAbandoned) {
+            Node *pp = spin_on->prev;
+            spin_on->word.store(pack(epochOf(w), kFree),
+                                std::memory_order_release);
+            obs::countNodeAbandoned();
+            spin_on = pp;
+            continue;
+        }
+        if (timed && deadlineExpired(deadline)) {
+            // Repoint our back link at the live predecessor (the
+            // original one may already be recycled) and withdraw.
+            // Our word has a single writer while Waiting, so a plain
+            // release store publishes both.
+            node->prev = spin_on;
+            node->word.store(
+                pack(epochOf(node->word.load(
+                         std::memory_order_relaxed)),
+                     kAbandoned),
+                std::memory_order_release);
+            obs::countTimeout();
+            obs::countWithdrawal();
+            obs::tracePoint(obs::EventKind::Withdraw,
+                            waitClockNowNs());
+            return WaitResult::Timeout;
+        }
+        waited = true;
+        cpuRelax();
+    }
+}
+
+void
+ClhLock::lock(std::uint32_t tid)
+{
+    acquire(tid, false, Deadline{});
+}
+
+WaitResult
+ClhLock::lockFor(std::uint32_t tid, Deadline deadline)
+{
+    return acquire(tid, true, deadline);
+}
+
+void
+ClhLock::unlock(std::uint32_t tid)
+{
+    const ScopedSchedHook sched(cfg_.sched);
+    Node *node = held_[tid];
+    if (node == nullptr)
+        releaseUnderflow("ClhLock");
+    held_[tid] = nullptr;
+    node->word.store(
+        pack(epochOf(node->word.load(std::memory_order_relaxed)),
+             kReleased),
+        std::memory_order_release);
+    obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
+}
+
+} // namespace absync::runtime

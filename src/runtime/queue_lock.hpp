@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Local-spin queue locks: the third policy family.
+ *
+ * The paper's queue-on-threshold policy (Section 7) blocks a waiter
+ * instead of letting it spin, but every waiter still funnels through
+ * one hot synchronization variable.  MCS and CLH queue locks remove
+ * the hot spot entirely: each waiter spins on its *own* queue node,
+ * so the only shared-variable traffic is one RMW to join the queue
+ * and one write per handoff — O(1) network accesses per acquisition
+ * regardless of contention (DESIGN.md §14).
+ *
+ *  - McsLock: explicit queue.  Enqueue swaps the tail, links into the
+ *    predecessor's next pointer, and spins on the own node's state
+ *    word; release grants the successor directly.
+ *  - ClhLock: implicit queue.  Enqueue swaps the tail and spins on
+ *    the *predecessor's* state word; release is a single local store.
+ *
+ * Both carry the PR 1 deadline contract: lockFor returns
+ * WaitResult::Timeout with the caller's participation withdrawn and
+ * the lock consistent.  Withdrawal is epoch-tagged: a node's state
+ * word packs (epoch, state), the abandoning waiter CASes
+ * Waiting->Abandoned on the exact epoch, and the node stays in the
+ * queue — pinned, never reused — until a later handoff walks past it,
+ * unlinks it, and recycles it back to its owning thread's pool.  If
+ * the abandon CAS loses to a concurrent grant, the waiter *owns* the
+ * lock at its deadline: it passes ownership straight on to its
+ * successor and still reports Timeout, so no grant is ever lost.
+ *
+ * All spinning goes through the SchedHook seam (cpuRelax/spinFor), so
+ * testing::VirtualSched can drive every interleaving of the handoff
+ * protocol deterministically.
+ */
+
+#ifndef ABSYNC_RUNTIME_QUEUE_LOCK_HPP
+#define ABSYNC_RUNTIME_QUEUE_LOCK_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/wait_result.hpp"
+
+namespace absync::support
+{
+class FaultInjector;
+}
+
+namespace absync::runtime
+{
+
+/** Shared configuration for the queue-lock family. */
+struct QueueLockConfig
+{
+    /** Dense thread ids [0, maxThreads) index per-thread node pools. */
+    std::uint32_t maxThreads = 1;
+
+    /**
+     * Test-only schedule hook: when set, every lock/unlock call
+     * installs it for the duration, so waits become virtual-scheduler
+     * yield points — see sched_hook.hpp and testing::VirtualSched.
+     */
+    SchedHook *sched = nullptr;
+
+    /**
+     * Test-only fault hook: when set, lock() consults the injector
+     * for a straggler stall before enqueueing and for a park *inside*
+     * the enqueue window (between the tail swap and the predecessor
+     * link for MCS) — the classic parked-queue-node scenario.
+     */
+    support::FaultInjector *fault = nullptr;
+};
+
+namespace queue_detail
+{
+
+/** Node lifecycle states, packed with an epoch tag (state in the low
+ *  3 bits, reuse epoch above) so a stale writer from a previous life
+ *  of the node can never hit the current one. */
+enum NodeState : std::uint64_t
+{
+    kFree = 0,      ///< in the owner's pool, claimable
+    kWaiting = 1,   ///< queued, spinning (MCS) / holder-or-waiter (CLH)
+    kGranted = 2,   ///< MCS: handed the lock by the releaser
+    kReleased = 3,  ///< CLH: owner released; successor may proceed
+    kAbandoned = 4, ///< timed out; pinned until unlinked
+};
+
+inline constexpr std::uint64_t
+pack(std::uint64_t epoch, NodeState s)
+{
+    return (epoch << 3) | static_cast<std::uint64_t>(s);
+}
+
+inline constexpr NodeState
+stateOf(std::uint64_t word)
+{
+    return static_cast<NodeState>(word & 7u);
+}
+
+inline constexpr std::uint64_t
+epochOf(std::uint64_t word)
+{
+    return word >> 3;
+}
+
+} // namespace queue_detail
+
+/**
+ * MCS queue lock (explicit queue, local spin, FIFO handoff) with a
+ * deadline-aware acquire.
+ *
+ * Not a C++ Lockable: callers pass their dense thread id so the lock
+ * can manage per-thread node pools without thread-local state (the
+ * same convention as AnyBarrier).
+ */
+class McsLock
+{
+  public:
+    explicit McsLock(const QueueLockConfig &cfg);
+    McsLock(const McsLock &) = delete;
+    McsLock &operator=(const McsLock &) = delete;
+
+    /** Acquire; FIFO behind earlier enqueuers. */
+    void lock(std::uint32_t tid);
+
+    /**
+     * Acquire with a deadline.  On Timeout the caller holds nothing:
+     * its node is either abandoned in place (unlinked by a later
+     * handoff) or — when a grant raced the deadline — the lock has
+     * been passed straight on to the successor.
+     */
+    WaitResult lockFor(std::uint32_t tid, Deadline deadline);
+
+    /** Release; grants the oldest live waiter, unlinking abandoned
+     *  nodes on the way.  Aborts if the caller holds nothing. */
+    void unlock(std::uint32_t tid);
+
+  private:
+    struct alignas(64) Node
+    {
+        std::atomic<std::uint64_t> word{
+            queue_detail::pack(0, queue_detail::kFree)};
+        std::atomic<Node *> next{nullptr};
+    };
+
+    Node *claimNode(std::uint32_t tid);
+    WaitResult acquire(std::uint32_t tid, bool timed, Deadline deadline);
+    void releaseFrom(Node *node);
+
+    QueueLockConfig cfg_;
+    std::atomic<Node *> tail_{nullptr};
+    std::vector<std::vector<std::unique_ptr<Node>>> pools_;
+    std::vector<Node *> held_;
+};
+
+/**
+ * CLH queue lock (implicit queue: spin on the predecessor's node)
+ * with a deadline-aware acquire.
+ *
+ * Abandonment leaves the node in the queue with a back pointer; the
+ * successor observing Abandoned redirects its spin to the abandoned
+ * node's predecessor and recycles the node.  Nodes self-recycle
+ * through the queue, so pools stay bounded under steady use.
+ */
+class ClhLock
+{
+  public:
+    explicit ClhLock(const QueueLockConfig &cfg);
+    ClhLock(const ClhLock &) = delete;
+    ClhLock &operator=(const ClhLock &) = delete;
+
+    void lock(std::uint32_t tid);
+    WaitResult lockFor(std::uint32_t tid, Deadline deadline);
+    void unlock(std::uint32_t tid);
+
+  private:
+    struct alignas(64) Node
+    {
+        std::atomic<std::uint64_t> word{
+            queue_detail::pack(0, queue_detail::kFree)};
+        Node *prev = nullptr; ///< published by the abandon store
+    };
+
+    Node *claimNode(std::uint32_t tid);
+    WaitResult acquire(std::uint32_t tid, bool timed, Deadline deadline);
+
+    QueueLockConfig cfg_;
+    std::atomic<Node *> tail_;
+    std::unique_ptr<Node> dummy_; ///< pre-Released head of the queue
+    std::vector<std::vector<std::unique_ptr<Node>>> pools_;
+    std::vector<Node *> held_;
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_QUEUE_LOCK_HPP

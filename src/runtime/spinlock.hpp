@@ -14,6 +14,12 @@
  *    our turn — the direct analogue of "backoff on the barrier
  *    variable" (wait time proportional to the waiters ahead of us,
  *    Section 8's resource-waiting argument).
+ *
+ * All three record obs::SyncCounters: every atomic attempt is a
+ * counter_rmws, every contended spin probe a flag_polls, every
+ * successful acquisition an acquires (no-ops when the build disables
+ * telemetry).  The local-spin queue locks that make the polling
+ * counters vanish live in queue_lock.hpp.
  */
 
 #ifndef ABSYNC_RUNTIME_SPINLOCK_HPP
@@ -45,14 +51,22 @@ class TasLock
     lock()
     {
         Backoff b = backoff_;
-        while (flag_.exchange(true, std::memory_order_acquire))
+        obs::countCounterRmws();
+        while (flag_.exchange(true, std::memory_order_acquire)) {
             b();
+            obs::countCounterRmws();
+        }
+        obs::countAcquire();
     }
 
     bool
     try_lock()
     {
-        return !flag_.exchange(true, std::memory_order_acquire);
+        obs::countCounterRmws();
+        if (flag_.exchange(true, std::memory_order_acquire))
+            return false;
+        obs::countAcquire();
+        return true;
     }
 
     void
@@ -85,10 +99,17 @@ class TtasLock
     {
         Backoff b = backoff_;
         for (;;) {
-            while (flag_.load(std::memory_order_relaxed))
+            while (flag_.load(std::memory_order_relaxed)) {
+                // A probe that found the lock held: the contended
+                // spin the paper charges as a flag access.
+                obs::countFlagPolls(1);
                 cpuRelax();
-            if (!flag_.exchange(true, std::memory_order_acquire))
+            }
+            obs::countCounterRmws();
+            if (!flag_.exchange(true, std::memory_order_acquire)) {
+                obs::countAcquire();
                 return;
+            }
             b(); // failed the race: back off before re-reading
         }
     }
@@ -96,8 +117,15 @@ class TtasLock
     bool
     try_lock()
     {
-        return !flag_.load(std::memory_order_relaxed) &&
-               !flag_.exchange(true, std::memory_order_acquire);
+        if (flag_.load(std::memory_order_relaxed)) {
+            obs::countFlagPolls(1);
+            return false;
+        }
+        obs::countCounterRmws();
+        if (flag_.exchange(true, std::memory_order_acquire))
+            return false;
+        obs::countAcquire();
+        return true;
     }
 
     void
@@ -134,12 +162,16 @@ class TicketLock
     {
         const std::uint32_t my =
             next_.fetch_add(1, std::memory_order_relaxed);
+        obs::countCounterRmws();
         std::uint32_t checks = 0;
         for (;;) {
             const std::uint32_t cur =
                 serving_.load(std::memory_order_acquire);
-            if (cur == my)
+            if (cur == my) {
+                obs::countAcquire();
                 return;
+            }
+            obs::countFlagPolls(1);
             // FIFO locks convoy badly when the thread whose turn it
             // is has been preempted: every handoff then costs a
             // scheduling quantum while the spinners burn the core.
@@ -164,15 +196,20 @@ class TicketLock
         std::uint32_t cur = serving_.load(std::memory_order_relaxed);
         std::uint32_t expected = cur;
         // Succeed only if no one is waiting and we can take a ticket.
-        return next_.compare_exchange_strong(
-            expected, cur + 1, std::memory_order_acquire,
-            std::memory_order_relaxed);
+        obs::countCounterRmws();
+        if (!next_.compare_exchange_strong(
+                expected, cur + 1, std::memory_order_acquire,
+                std::memory_order_relaxed))
+            return false;
+        obs::countAcquire();
+        return true;
     }
 
     void
     unlock()
     {
         serving_.fetch_add(1, std::memory_order_release);
+        obs::countCounterRmws();
     }
 
   private:

@@ -93,6 +93,67 @@ TEST(BarrierSim, CounterSnapshotMatchesPerProcTotals)
     }
 }
 
+TEST(BarrierSim, QueueWakeupCountersAndFifoOrder)
+{
+    // Queue mode's counter contract differs from the polling
+    // policies: waiters never touch the flag module, so the flag side
+    // of the ledger is zero and per-processor accesses decompose into
+    // enqueue RMWs plus the waker's handoff writes.
+    constexpr std::uint32_t kN = 16;
+    BarrierSimulator sim(makeConfig(kN, 200, BackoffConfig::queue()));
+    Rng rng(13);
+    for (int i = 0; i < 10; ++i) {
+        const auto res = sim.runOnce(rng);
+        std::uint64_t total_accesses = 0;
+        for (const auto &p : res.procs) {
+            EXPECT_FALSE(p.timedOut);
+            total_accesses += p.accesses;
+        }
+        EXPECT_EQ(res.counters.flagPolls, 0u);
+        EXPECT_EQ(res.flagModuleTraffic, 0u);
+        EXPECT_EQ(total_accesses, res.counters.counterRmws +
+                                      res.counters.queueHandoffs);
+        // Everyone but the last arriver is woken by a handoff.
+        EXPECT_EQ(res.counters.queueHandoffs, std::uint64_t{kN} - 1);
+        EXPECT_EQ(res.counters.nodesAbandoned, 0u);
+        // The wake walk starts when the last arriver gets through
+        // the variable and retires one waiter per cycle, so the
+        // barrier drains in at most N cycles past the flag-set time.
+        EXPECT_GE(res.flagSetTime, res.lastArrival);
+        EXPECT_LE(res.lastExitTime, res.flagSetTime + kN);
+    }
+}
+
+TEST(BarrierSim, QueueWakeupSkipsAbandonedNodes)
+{
+    // With a timeout tight enough that some waiters withdraw
+    // mid-queue, the waker must skip their nodes (counting them) and
+    // still wake every live waiter.
+    // Simultaneous arrival: the wake walk retires one waiter per
+    // cycle from ~cycle N, so a 20-cycle budget lets the first few
+    // handoffs land and forces everyone deeper in the queue to
+    // abandon.
+    BarrierConfig cfg = makeConfig(16, 0, BackoffConfig::queue());
+    cfg.timeoutCycles = 20;
+    BarrierSimulator sim(cfg);
+    Rng rng(17);
+    std::uint64_t abandoned = 0;
+    for (int i = 0; i < 20; ++i) {
+        const auto res = sim.runOnce(rng);
+        std::uint64_t timed_out = 0;
+        for (const auto &p : res.procs)
+            timed_out += p.timedOut ? 1 : 0;
+        // Every timed-out waiter was enqueued, so its node is
+        // exactly the abandoned count for the episode.
+        EXPECT_EQ(res.counters.nodesAbandoned, timed_out);
+        EXPECT_EQ(res.counters.queueHandoffs + timed_out,
+                  std::uint64_t{16} - 1);
+        abandoned += res.counters.nodesAbandoned;
+    }
+    EXPECT_GT(abandoned, 0u) << "timeout never fired: the skip path "
+                                "went untested";
+}
+
 TEST(BarrierSim, DeterministicForSeed)
 {
     BarrierConfig cfg =

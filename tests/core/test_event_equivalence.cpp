@@ -112,7 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, PolicyGrid,
     ::testing::Combine(::testing::Values(2u, 16u, 64u),
                        ::testing::Values("none", "var", "lin4",
-                                         "exp2", "exp4", "exp8"),
+                                         "exp2", "exp4", "exp8",
+                                         "queue"),
                        ::testing::Values(std::uint64_t{0},
                                          std::uint64_t{1000})),
     [](const auto &info) {
@@ -155,6 +156,39 @@ TEST(EventEquivalence, ControllerBackoff)
     cfg.backoff.controllerBackoff = true;
     cfg.arrivalWindow = 300;
     expectEngineEquivalence(cfg, "controller + exp2");
+}
+
+TEST(EventEquivalence, QueueWakeupWithTimeouts)
+{
+    // The queue-wakeup phase has its own timeout subtlety: a
+    // LocalWait processor that abandons its node must be *skipped*
+    // by the waker, in both engines, with identical nodesAbandoned
+    // accounting.
+    core::BarrierConfig cfg;
+    cfg.processors = 16;
+    cfg.arrivalWindow = 50;
+    cfg.backoff = core::BackoffConfig::queue();
+    cfg.timeoutCycles = 60; // tight: some waiters abandon mid-queue
+    expectEngineEquivalence(cfg, "queue + tight timeout");
+}
+
+TEST(EventEquivalence, QueueWakeupWithFaults)
+{
+    support::FaultPlanConfig fcfg;
+    fcfg.seed = 42;
+    fcfg.stragglerProb = 0.1;
+    fcfg.stragglerMin = 50;
+    fcfg.stragglerMax = 400;
+    fcfg.crashProb = 0.05;
+    support::FaultPlan plan(fcfg);
+
+    core::BarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.arrivalWindow = 300;
+    cfg.backoff = core::BackoffConfig::queue();
+    cfg.faults = &plan;
+    cfg.timeoutCycles = 5000;
+    expectEngineEquivalence(cfg, "queue + faults");
 }
 
 TEST(EventEquivalence, SingleVariableBarrier)
@@ -335,6 +369,7 @@ TEST_P(ResourceGrid, EventEngineMatchesReference)
         EXPECT_EQ(ev.avgQueueingDelay, ref.avgQueueingDelay);
         EXPECT_EQ(ev.utilization, ref.utilization);
         EXPECT_EQ(ev.avgWaiters, ref.avgWaiters);
+        EXPECT_EQ(ev.queueHandoffs, ref.queueHandoffs);
         EXPECT_EQ(ev_rng(), ref_rng()) << "rng divergence";
     }
 }
@@ -343,13 +378,16 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, ResourceGrid,
     ::testing::Values(core::ResourceWaitPolicy::Spin,
                       core::ResourceWaitPolicy::Exponential,
-                      core::ResourceWaitPolicy::Proportional),
+                      core::ResourceWaitPolicy::Proportional,
+                      core::ResourceWaitPolicy::Queue),
     [](const auto &info) {
         switch (info.param) {
           case core::ResourceWaitPolicy::Spin:
             return std::string("spin");
           case core::ResourceWaitPolicy::Exponential:
             return std::string("exp");
+          case core::ResourceWaitPolicy::Queue:
+            return std::string("queue");
           default:
             return std::string("prop");
         }

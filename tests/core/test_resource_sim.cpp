@@ -115,6 +115,55 @@ TEST(ResourceSim, ThroughputComparableAtModerateContention)
     EXPECT_GT(prop.utilization, spin.utilization * 0.9);
 }
 
+TEST(ResourceSim, QueueAccessesStayFlatUnderContention)
+{
+    // The queue policy's whole point: one enqueue poll plus one
+    // handoff write per acquisition, independent of contention — the
+    // O(1) floor even the proportional policy can only approximate.
+    const auto lo =
+        ResourceSimulator(makeCfg(2, ResourceWaitPolicy::Queue))
+            .runMany(3, 13);
+    const auto hi =
+        ResourceSimulator(makeCfg(32, ResourceWaitPolicy::Queue))
+            .runMany(3, 13);
+    EXPECT_LT(lo.accessesPerAcquisition, 2.5);
+    EXPECT_LT(hi.accessesPerAcquisition, 2.5);
+
+    const auto prop =
+        ResourceSimulator(
+            makeCfg(32, ResourceWaitPolicy::Proportional))
+            .runMany(3, 13);
+    EXPECT_LE(hi.accessesPerAcquisition,
+              prop.accessesPerAcquisition);
+}
+
+TEST(ResourceSim, QueueHandsOffWithoutIdleGaps)
+{
+    // Under saturation every release hands the resource straight to
+    // the queue head, so utilization approaches 1 and nearly every
+    // acquisition is a handoff rather than an open race.
+    ResourceSimConfig cfg = makeCfg(16, ResourceWaitPolicy::Queue);
+    cfg.meanThink = 100.0; // much shorter than 16 * holdCycles
+    const auto st = ResourceSimulator(cfg).runMany(3, 15);
+    EXPECT_GT(st.utilization, 0.95);
+    EXPECT_GT(st.queueHandoffs,
+              st.acquisitions - st.acquisitions / 10);
+    // FIFO service keeps the delay near (waiters ahead) * hold.
+    EXPECT_GT(st.avgWaiters, 5.0);
+    const double expected_delay = st.avgWaiters * cfg.holdCycles;
+    EXPECT_NEAR(st.avgQueueingDelay, expected_delay,
+                0.35 * expected_delay);
+}
+
+TEST(ResourceSim, QueueHandoffsZeroWithoutContention)
+{
+    const auto st =
+        ResourceSimulator(makeCfg(1, ResourceWaitPolicy::Queue))
+            .runMany(3, 17);
+    EXPECT_EQ(st.queueHandoffs, 0u);
+    EXPECT_NEAR(st.accessesPerAcquisition, 1.0, 0.01);
+}
+
 TEST(ResourceSim, PolicyNamesRoundTrip)
 {
     EXPECT_EQ(resourceWaitPolicyFromString("spin"),
@@ -123,9 +172,12 @@ TEST(ResourceSim, PolicyNamesRoundTrip)
               ResourceWaitPolicy::Exponential);
     EXPECT_EQ(resourceWaitPolicyFromString("prop"),
               ResourceWaitPolicy::Proportional);
+    EXPECT_EQ(resourceWaitPolicyFromString("queue"),
+              ResourceWaitPolicy::Queue);
     for (auto p : {ResourceWaitPolicy::Spin,
                    ResourceWaitPolicy::Exponential,
-                   ResourceWaitPolicy::Proportional}) {
+                   ResourceWaitPolicy::Proportional,
+                   ResourceWaitPolicy::Queue}) {
         EXPECT_FALSE(resourceWaitPolicyName(p).empty());
     }
 }

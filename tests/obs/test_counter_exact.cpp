@@ -20,6 +20,7 @@
 
 #include "obs/counters.hpp"
 #include "runtime/barrier_interface.hpp"
+#include "runtime/spinlock.hpp"
 #include "testing/barrier_episodes.hpp"
 #include "testing/virtual_sched.hpp"
 
@@ -274,4 +275,94 @@ TEST(CounterExact, WithdrawalCountedExactlyOnce)
     EXPECT_EQ(tree.perThread[0].withdrawals, 0u);
     EXPECT_EQ(tree.perThread[0].timeouts, 1u);
     EXPECT_EQ(tree.perThread[0].episodes, 0u);
+}
+
+TEST(CounterExact, SpinlocksUncontended)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    // Single thread, no contention: every figure is closed-form.
+    {
+        obs::SyncCounters slab;
+        obs::ScopedCounters sc(&slab);
+        rt::TasLock<> lock;
+        for (int i = 0; i < 7; ++i) {
+            lock.lock();
+            lock.unlock();
+        }
+        const obs::CounterSnapshot c = slab.snapshot();
+        EXPECT_EQ(c.acquires, 7u);
+        EXPECT_EQ(c.counterRmws, 7u); // one exchange per lock
+        EXPECT_EQ(c.flagPolls, 0u);
+    }
+    {
+        obs::SyncCounters slab;
+        obs::ScopedCounters sc(&slab);
+        rt::TtasLock<> lock;
+        for (int i = 0; i < 7; ++i) {
+            lock.lock();
+            lock.unlock();
+        }
+        const obs::CounterSnapshot c = slab.snapshot();
+        EXPECT_EQ(c.acquires, 7u);
+        EXPECT_EQ(c.counterRmws, 7u); // free on the first read
+        EXPECT_EQ(c.flagPolls, 0u);   // never saw the lock held
+    }
+    {
+        obs::SyncCounters slab;
+        obs::ScopedCounters sc(&slab);
+        rt::TicketLock lock;
+        for (int i = 0; i < 7; ++i) {
+            lock.lock();
+            lock.unlock();
+        }
+        const obs::CounterSnapshot c = slab.snapshot();
+        EXPECT_EQ(c.acquires, 7u);
+        // F&A ticket on lock + F&A grant bump on unlock.
+        EXPECT_EQ(c.counterRmws, 14u);
+        EXPECT_EQ(c.flagPolls, 0u);
+    }
+}
+
+TEST(CounterExact, ContendedSpinlockWaiterPollsTheFlag)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    // A TTAS waiter that finds the lock held records its contended
+    // probes as flag polls — the traffic the queue-lock family is
+    // built to eliminate (contrast: test_queue_locks.cpp asserts the
+    // same schedule shape yields zero flag polls for MCS/CLH).
+    vt::VirtualSched sched;
+    auto lock = std::make_shared<rt::TtasLock<>>();
+    auto slabs = std::make_shared<std::vector<obs::SyncCounters>>(2);
+    auto a_locked = std::make_shared<bool>(false);
+    auto b_spun = std::make_shared<bool>(false);
+
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([=](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        lock->lock();
+        *a_locked = true;
+        while (!*b_spun)
+            rt::cpuRelax();
+        lock->unlock();
+    });
+    bodies.push_back([=](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        while (!*a_locked)
+            rt::cpuRelax();
+        // The next probe is guaranteed to find the lock held; only
+        // then let the holder release.
+        *b_spun = true;
+        lock->lock();
+        lock->unlock();
+    });
+    vt::RandomDecider decider(21);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    ASSERT_TRUE(rec.completed) << rec.failure;
+
+    EXPECT_EQ((*slabs)[0].snapshot().flagPolls, 0u);
+    EXPECT_GE((*slabs)[1].snapshot().flagPolls, 1u);
+    EXPECT_EQ((*slabs)[0].snapshot().acquires, 1u);
+    EXPECT_EQ((*slabs)[1].snapshot().acquires, 1u);
 }

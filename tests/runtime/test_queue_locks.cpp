@@ -1,0 +1,638 @@
+/**
+ * @file
+ * Queue-lock correctness under exhaustive schedule exploration.
+ *
+ * The MCS/CLH handoff protocol (queue_lock.hpp, DESIGN.md §14) is
+ * proven correct the same way the barriers were: run the *real* lock
+ * code under testing::VirtualSched and make the interleaving a test
+ * input.  Bounded exhaustive exploration enumerates every distinct
+ * 2-thread acquire/release schedule up to the branch depth and checks
+ * the per-step invariants — single owner, strict FIFO handoff, no
+ * lost wakeup (every run completes), no node reuse before release
+ * (any premature recycle corrupts the queue and trips the owner
+ * invariants).  Scripted-gate episodes pin down FIFO order and the
+ * mid-queue withdrawal protocol deterministically, seeded fuzzing
+ * covers 3-thread schedules, and a real-thread stress section gives
+ * the TSan job a true concurrency surface (including the
+ * grant-races-deadline path, which cooperative scheduling cannot
+ * reach: there is no yield point between the deadline check and the
+ * abandon CAS).
+ *
+ * Cooperative-atomicity note used by the gate flags below: between
+ * two yield points (cpuRelax/spinFor) a VirtualSched worker runs
+ * uninterrupted, so "set flag; lock()" publishes the flag strictly
+ * before the enqueue becomes observable to any other worker — a
+ * flag read therefore proves the setter has already swapped the tail
+ * and parked.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "runtime/queue_lock.hpp"
+#include "runtime/spin_backoff.hpp"
+#include "support/fault.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace rt = absync::runtime;
+namespace vt = absync::testing;
+namespace obs = absync::obs;
+namespace sp = absync::support;
+
+namespace
+{
+
+template <typename Lock>
+struct LockState
+{
+    Lock lock;
+    int inside = 0;
+    std::vector<std::uint32_t> admissions;
+
+    explicit LockState(const rt::QueueLockConfig &cfg) : lock(cfg) {}
+};
+
+/** N threads x I iterations of lock / dwell / unlock with the
+ *  single-owner invariant armed at every step. */
+template <typename Lock>
+vt::EpisodeFactory
+mutualExclusionFactory(std::uint32_t threads, std::uint32_t iters,
+                       sp::FaultInjector *fault = nullptr)
+{
+    return [threads, iters, fault](vt::VirtualSched &sched) {
+        rt::QueueLockConfig cfg;
+        cfg.maxThreads = threads;
+        cfg.sched = &sched;
+        cfg.fault = fault;
+        auto st = std::make_shared<LockState<Lock>>(cfg);
+        vt::Episode ep;
+        for (std::uint32_t t = 0; t < threads; ++t) {
+            ep.bodies.push_back(
+                [st, &sched, iters](std::uint32_t id) {
+                    for (std::uint32_t i = 0; i < iters; ++i) {
+                        st->lock.lock(id);
+                        ++st->inside;
+                        sched.require(st->inside == 1,
+                                      "two holders of the queue lock");
+                        st->admissions.push_back(id);
+                        rt::spinFor(2); // dwell across yield points
+                        sched.require(st->inside == 1,
+                                      "second holder admitted mid-"
+                                      "critical-section");
+                        --st->inside;
+                        st->lock.unlock(id);
+                    }
+                });
+        }
+        ep.stepInvariant = [st]() -> std::string {
+            if (st->inside < 0 || st->inside > 1)
+                return "critical-section occupancy out of range";
+            return {};
+        };
+        return ep;
+    };
+}
+
+} // namespace
+
+TEST(QueueLockExplore, ExhaustiveTwoThreadMcsAcquireRelease)
+{
+    // The acceptance case: every interleaving of the 2-thread MCS
+    // acquire/release protocol whose first 12 scheduling choices are
+    // enumerated exhaustively, with the occupancy oracle armed.  A
+    // lost wakeup or a premature node recycle shows up as a run that
+    // never completes (maxSteps) or as a double admission.
+    vt::ExploreConfig xc;
+    xc.branchDepth = 12;
+    xc.maxRuns = 100000;
+    const vt::ExploreReport rep = vt::exploreSchedules(
+        mutualExclusionFactory<rt::McsLock>(2, 1), xc);
+
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted)
+        << "bounded tree not fully enumerated within " << xc.maxRuns
+        << " runs";
+    EXPECT_GE(rep.interleavings, 2u);
+    ::testing::Test::RecordProperty(
+        "interleavings", static_cast<int>(rep.interleavings));
+    std::cout << "[ explore  ] MCS 2 threads x 1 acquire, depth "
+              << xc.branchDepth << ": " << rep.interleavings
+              << " distinct interleavings, zero violations\n";
+}
+
+TEST(QueueLockExplore, ExhaustiveTwoThreadClhAcquireRelease)
+{
+    vt::ExploreConfig xc;
+    xc.branchDepth = 12;
+    xc.maxRuns = 100000;
+    const vt::ExploreReport rep = vt::exploreSchedules(
+        mutualExclusionFactory<rt::ClhLock>(2, 1), xc);
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted);
+    EXPECT_GE(rep.interleavings, 2u);
+    std::cout << "[ explore  ] CLH 2 threads x 1 acquire, depth "
+              << xc.branchDepth << ": " << rep.interleavings
+              << " distinct interleavings, zero violations\n";
+}
+
+namespace
+{
+
+/** Two threads, one holding while the other races a deadline: every
+ *  schedule must end with the lock still functional — the timed
+ *  loser re-acquires untimed and succeeds. */
+template <typename Lock>
+vt::EpisodeFactory
+timedRaceFactory()
+{
+    return [](vt::VirtualSched &sched) {
+        rt::QueueLockConfig cfg;
+        cfg.maxThreads = 2;
+        cfg.sched = &sched;
+        auto st = std::make_shared<LockState<Lock>>(cfg);
+        vt::Episode ep;
+        ep.bodies.push_back([st, &sched](std::uint32_t id) {
+            st->lock.lock(id);
+            ++st->inside;
+            sched.require(st->inside == 1, "double admission");
+            rt::spinFor(40);
+            --st->inside;
+            st->lock.unlock(id);
+        });
+        ep.bodies.push_back([st, &sched](std::uint32_t id) {
+            const rt::WaitResult r =
+                st->lock.lockFor(id, sched.deadlineIn(10));
+            if (r == rt::WaitResult::Ok) {
+                ++st->inside;
+                sched.require(st->inside == 1, "double admission");
+                --st->inside;
+                st->lock.unlock(id);
+                return;
+            }
+            // Withdrawn: the abandoned node must not wedge the
+            // queue — an untimed re-acquire has to succeed (a lost
+            // wakeup here shows up as a maxSteps failure).
+            st->lock.lock(id);
+            ++st->inside;
+            sched.require(st->inside == 1,
+                          "double admission after withdrawal");
+            --st->inside;
+            st->lock.unlock(id);
+        });
+        return ep;
+    };
+}
+
+} // namespace
+
+TEST(QueueLockExplore, ExhaustiveTimedWithdrawalMcs)
+{
+    vt::ExploreConfig xc;
+    xc.branchDepth = 12;
+    xc.maxRuns = 100000;
+    const vt::ExploreReport rep =
+        vt::exploreSchedules(timedRaceFactory<rt::McsLock>(), xc);
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted);
+    std::cout << "[ explore  ] MCS timed-withdrawal race: "
+              << rep.interleavings << " interleavings\n";
+}
+
+TEST(QueueLockExplore, ExhaustiveTimedWithdrawalClh)
+{
+    vt::ExploreConfig xc;
+    xc.branchDepth = 12;
+    xc.maxRuns = 100000;
+    const vt::ExploreReport rep =
+        vt::exploreSchedules(timedRaceFactory<rt::ClhLock>(), xc);
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted);
+    std::cout << "[ explore  ] CLH timed-withdrawal race: "
+              << rep.interleavings << " interleavings\n";
+}
+
+TEST(QueueLockFuzz, ThreeThreadSchedules)
+{
+    vt::FuzzConfig fc;
+    fc.runs = 40;
+    fc.seed0 = 17;
+    const vt::FuzzReport mcs = vt::fuzzSchedules(
+        mutualExclusionFactory<rt::McsLock>(3, 2), fc);
+    EXPECT_FALSE(mcs.failed)
+        << "MCS, replay with seed " << mcs.failingSeed << ": "
+        << mcs.failure;
+    const vt::FuzzReport clh = vt::fuzzSchedules(
+        mutualExclusionFactory<rt::ClhLock>(3, 2), fc);
+    EXPECT_FALSE(clh.failed)
+        << "CLH, replay with seed " << clh.failingSeed << ": "
+        << clh.failure;
+}
+
+namespace
+{
+
+/** Gate flags forcing the enqueue order 0 -> 1 -> 2 while thread 0
+ *  holds the lock (see the cooperative-atomicity note on top). */
+template <typename Lock>
+struct FifoState : LockState<Lock>
+{
+    bool a_locked = false;
+    bool b_started = false;
+    bool c_started = false;
+
+    using LockState<Lock>::LockState;
+};
+
+/** One gated run returning the admission log. */
+template <typename Lock>
+std::vector<std::uint32_t>
+runFifoOnce(std::uint64_t seed)
+{
+    vt::VirtualSched sched;
+    rt::QueueLockConfig cfg;
+    cfg.maxThreads = 3;
+    cfg.sched = &sched;
+    auto st = std::make_shared<FifoState<Lock>>(cfg);
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([st](std::uint32_t id) {
+        st->lock.lock(id);
+        st->admissions.push_back(id);
+        st->a_locked = true;
+        // Hold until both waiters are provably enqueued.
+        while (!st->c_started)
+            rt::cpuRelax();
+        st->lock.unlock(id);
+    });
+    bodies.push_back([st](std::uint32_t id) {
+        while (!st->a_locked)
+            rt::cpuRelax();
+        st->b_started = true; // published before the tail swap
+        st->lock.lock(id);
+        st->admissions.push_back(id);
+        st->lock.unlock(id);
+    });
+    bodies.push_back([st](std::uint32_t id) {
+        while (!st->b_started) // => thread 1 already enqueued
+            rt::cpuRelax();
+        st->c_started = true;
+        st->lock.lock(id);
+        st->admissions.push_back(id);
+        st->lock.unlock(id);
+    });
+    vt::RandomDecider decider(seed);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    EXPECT_TRUE(rec.completed) << rec.failure;
+    return st->admissions;
+}
+
+} // namespace
+
+TEST(QueueLockFifo, StrictHandoffOrderUnderAnySchedule)
+{
+    // Enqueue order is forced to 0, 1, 2 by the gates; FIFO handoff
+    // means the admission order must match on every schedule.
+    const std::vector<std::uint32_t> expect = {0, 1, 2};
+    for (std::uint64_t seed = 200; seed < 230; ++seed) {
+        EXPECT_EQ(runFifoOnce<rt::McsLock>(seed), expect)
+            << "MCS seed " << seed;
+        EXPECT_EQ(runFifoOnce<rt::ClhLock>(seed), expect)
+            << "CLH seed " << seed;
+    }
+}
+
+namespace
+{
+
+/** A (holder) - B (times out mid-queue) - C (queued behind B): B's
+ *  withdrawal must never block C's handoff. */
+template <typename Lock>
+struct WithdrawState : LockState<Lock>
+{
+    bool a_locked = false;
+    bool b_started = false;
+    bool b_timed_out = false;
+    bool c_started = false;
+
+    using LockState<Lock>::LockState;
+};
+
+template <typename Lock>
+struct WithdrawOutcome
+{
+    std::vector<std::uint32_t> admissions;
+    std::vector<obs::CounterSnapshot> perThread;
+};
+
+template <typename Lock>
+WithdrawOutcome<Lock>
+runMidQueueWithdrawal(std::uint64_t seed)
+{
+    vt::VirtualSched sched;
+    rt::QueueLockConfig cfg;
+    cfg.maxThreads = 3;
+    cfg.sched = &sched;
+    auto st = std::make_shared<WithdrawState<Lock>>(cfg);
+    auto slabs = std::make_shared<std::vector<obs::SyncCounters>>(3);
+
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([st, slabs](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        st->lock.lock(id);
+        st->admissions.push_back(id);
+        st->a_locked = true;
+        // Unlock only once C sits behind B's already-withdrawn node:
+        // the handoff must walk past it.
+        while (!st->c_started || !st->b_timed_out)
+            rt::cpuRelax();
+        st->lock.unlock(id);
+    });
+    bodies.push_back([st, slabs, &sched](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        while (!st->a_locked)
+            rt::cpuRelax();
+        st->b_started = true;
+        const rt::WaitResult r =
+            st->lock.lockFor(id, sched.deadlineIn(30));
+        // The holder cannot release before b_timed_out is set, so
+        // the deadline always wins this race.
+        sched.require(r == rt::WaitResult::Timeout,
+                      "mid-queue waiter acquired a held lock");
+        st->b_timed_out = true;
+    });
+    bodies.push_back([st, slabs](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        while (!st->b_started)
+            rt::cpuRelax();
+        st->c_started = true;
+        st->lock.lock(id);
+        st->admissions.push_back(id);
+        st->lock.unlock(id);
+    });
+
+    vt::RandomDecider decider(seed);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    EXPECT_TRUE(rec.completed) << "seed " << seed << ": "
+                               << rec.failure;
+    WithdrawOutcome<Lock> out;
+    out.admissions = st->admissions;
+    for (std::uint32_t i = 0; i < 3; ++i)
+        out.perThread.push_back((*slabs)[i].snapshot());
+    return out;
+}
+
+} // namespace
+
+TEST(QueueLockWithdrawal, MidQueueTimeoutNeverBlocksSuccessors)
+{
+    const std::vector<std::uint32_t> expect = {0, 2};
+    for (std::uint64_t seed = 300; seed < 320; ++seed) {
+        const auto mcs =
+            runMidQueueWithdrawal<rt::McsLock>(seed);
+        EXPECT_EQ(mcs.admissions, expect) << "MCS seed " << seed;
+        const auto clh =
+            runMidQueueWithdrawal<rt::ClhLock>(seed);
+        EXPECT_EQ(clh.admissions, expect) << "CLH seed " << seed;
+
+        if (obs::kTelemetryEnabled) {
+            // MCS: the *releaser* walks past and unlinks the
+            // abandoned node, then grants C.
+            EXPECT_EQ(mcs.perThread[0].nodesAbandoned, 1u);
+            EXPECT_EQ(mcs.perThread[0].queueHandoffs, 1u);
+            EXPECT_EQ(mcs.perThread[1].timeouts, 1u);
+            EXPECT_EQ(mcs.perThread[1].withdrawals, 1u);
+            // CLH: the *successor* hops backwards past the
+            // abandoned node and recycles it.
+            EXPECT_EQ(clh.perThread[2].nodesAbandoned, 1u);
+            EXPECT_EQ(clh.perThread[2].queueHandoffs, 1u);
+            EXPECT_EQ(clh.perThread[1].timeouts, 1u);
+            EXPECT_EQ(clh.perThread[1].withdrawals, 1u);
+            // The headline property of the family: waiters never
+            // poll a shared flag, in any thread, in any role.
+            for (int t = 0; t < 3; ++t) {
+                EXPECT_EQ(mcs.perThread[t].flagPolls, 0u)
+                    << "thread " << t;
+                EXPECT_EQ(clh.perThread[t].flagPolls, 0u)
+                    << "thread " << t;
+            }
+        }
+    }
+}
+
+TEST(QueueLockFault, ParkedEnqueueWindowCannotDeadlock)
+{
+    // Every enqueue parks inside the MCS tail-swap/link window (the
+    // classic vulnerable interval) and every arrival straggles; the
+    // releaser's bounded wait for the link must still complete the
+    // episode under arbitrary schedules.
+    sp::FaultPlanConfig fpc;
+    fpc.seed = 5;
+    fpc.spuriousWakeProb = 1.0; // onWake() => park in the window
+    fpc.stragglerProb = 0.5;
+    fpc.stragglerMin = 10;
+    fpc.stragglerMax = 50;
+    const sp::FaultPlan plan(fpc);
+    sp::FaultInjector inj(plan, 3);
+
+    vt::FuzzConfig fc;
+    fc.runs = 25;
+    fc.seed0 = 71;
+    const vt::FuzzReport rep = vt::fuzzSchedules(
+        mutualExclusionFactory<rt::McsLock>(3, 2, &inj), fc);
+    EXPECT_FALSE(rep.failed)
+        << "replay with seed " << rep.failingSeed << ": "
+        << rep.failure;
+    EXPECT_EQ(rep.runsDone, fc.runs);
+}
+
+TEST(QueueLockCounters, UncontendedExactTotals)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    {
+        obs::SyncCounters slab;
+        obs::ScopedCounters sc(&slab);
+        rt::QueueLockConfig cfg;
+        cfg.maxThreads = 1;
+        rt::McsLock lock(cfg);
+        for (int i = 0; i < 5; ++i) {
+            lock.lock(0);
+            lock.unlock(0);
+        }
+        const obs::CounterSnapshot c = slab.snapshot();
+        EXPECT_EQ(c.acquires, 5u);
+        // One tail swap per lock, one tail reset-CAS per unlock.
+        EXPECT_EQ(c.counterRmws, 10u);
+        EXPECT_EQ(c.flagPolls, 0u);
+        EXPECT_EQ(c.queueHandoffs, 0u);
+        EXPECT_EQ(c.nodesAbandoned, 0u);
+    }
+    {
+        obs::SyncCounters slab;
+        obs::ScopedCounters sc(&slab);
+        rt::QueueLockConfig cfg;
+        cfg.maxThreads = 1;
+        rt::ClhLock lock(cfg);
+        for (int i = 0; i < 5; ++i) {
+            lock.lock(0);
+            lock.unlock(0);
+        }
+        const obs::CounterSnapshot c = slab.snapshot();
+        EXPECT_EQ(c.acquires, 5u);
+        // CLH release is a local store: one RMW per acquisition.
+        EXPECT_EQ(c.counterRmws, 5u);
+        EXPECT_EQ(c.flagPolls, 0u);
+        EXPECT_EQ(c.queueHandoffs, 0u);
+    }
+}
+
+namespace
+{
+
+/** One contended handoff with gate flags, returning summed slabs. */
+template <typename Lock>
+obs::CounterSnapshot
+runOneHandoff(std::uint64_t seed, std::uint64_t expect_rmws)
+{
+    vt::VirtualSched sched;
+    rt::QueueLockConfig cfg;
+    cfg.maxThreads = 2;
+    cfg.sched = &sched;
+    auto st = std::make_shared<FifoState<Lock>>(cfg);
+    auto slabs = std::make_shared<std::vector<obs::SyncCounters>>(2);
+
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([st, slabs](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        st->lock.lock(id);
+        st->a_locked = true;
+        while (!st->b_started)
+            rt::cpuRelax();
+        st->lock.unlock(id);
+    });
+    bodies.push_back([st, slabs](std::uint32_t id) {
+        obs::ScopedCounters sc(&(*slabs)[id]);
+        while (!st->a_locked)
+            rt::cpuRelax();
+        st->b_started = true;
+        st->lock.lock(id); // must go through the queued-handoff path
+        st->lock.unlock(id);
+    });
+
+    vt::RandomDecider decider(seed);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    EXPECT_TRUE(rec.completed) << rec.failure;
+    obs::CounterSnapshot total;
+    for (std::uint32_t i = 0; i < 2; ++i)
+        total += (*slabs)[i].snapshot();
+    EXPECT_EQ(total.acquires, 2u);
+    EXPECT_EQ(total.queueHandoffs, 1u);
+    EXPECT_EQ(total.counterRmws, expect_rmws);
+    // THE family property: zero flag polls however long the waiter
+    // actually spun — local spinning generates no network traffic.
+    EXPECT_EQ(total.flagPolls, 0u);
+    EXPECT_EQ(total.nodesAbandoned, 0u);
+    return total;
+}
+
+} // namespace
+
+TEST(QueueLockCounters, ContendedHandoffExactTotals)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    for (std::uint64_t seed = 400; seed < 410; ++seed) {
+        // MCS: two tail swaps + the *waiter's* unlock tail-reset CAS
+        // (the holder's unlock grants the linked successor directly,
+        // no tail access).
+        runOneHandoff<rt::McsLock>(seed, 3);
+        // CLH: just the two tail swaps; both releases are local
+        // stores.
+        runOneHandoff<rt::ClhLock>(seed, 2);
+    }
+}
+
+// ---- Real-thread stress (the TSan job's surface) --------------------
+
+TEST(QueueLockThreads, MutualExclusionStress)
+{
+    constexpr std::uint32_t kThreads = 4;
+    constexpr std::uint64_t kIters = 2000;
+    const auto stress = [](auto &lock) {
+        std::uint64_t counter = 0; // protected by `lock` only
+        std::vector<std::thread> workers;
+        for (std::uint32_t t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&, t] {
+                for (std::uint64_t i = 0; i < kIters; ++i) {
+                    lock.lock(t);
+                    ++counter;
+                    lock.unlock(t);
+                }
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+        return counter;
+    };
+
+    rt::QueueLockConfig cfg;
+    cfg.maxThreads = kThreads;
+    rt::McsLock mcs(cfg);
+    EXPECT_EQ(stress(mcs), kThreads * kIters);
+    rt::ClhLock clh(cfg);
+    EXPECT_EQ(stress(clh), kThreads * kIters);
+}
+
+TEST(QueueLockThreads, TimedStressNeverLosesTheLock)
+{
+    // Real threads racing tiny deadlines: this is the only way to
+    // reach the grant-races-deadline branch (under VirtualSched the
+    // deadline check and the abandon CAS are a single step).  Success
+    // or Timeout, the lock must stay consistent: protected increments
+    // equal successful acquisitions, and a final untimed sweep takes
+    // the lock on every thread.
+    constexpr std::uint32_t kThreads = 4;
+    constexpr std::uint64_t kIters = 400;
+    const auto stress = [](auto &lock) {
+        std::atomic<std::uint64_t> acquired{0};
+        std::uint64_t counter = 0; // protected by `lock` only
+        std::vector<std::thread> workers;
+        for (std::uint32_t t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&, t] {
+                for (std::uint64_t i = 0; i < kIters; ++i) {
+                    const auto deadline = rt::deadlineAfter(
+                        std::chrono::microseconds(i % 3));
+                    if (lock.lockFor(t, deadline) ==
+                        rt::WaitResult::Ok) {
+                        ++counter;
+                        acquired.fetch_add(
+                            1, std::memory_order_relaxed);
+                        lock.unlock(t);
+                    }
+                }
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+        EXPECT_EQ(counter, acquired.load());
+        // No wedged queue: every thread can still acquire untimed.
+        for (std::uint32_t t = 0; t < kThreads; ++t) {
+            lock.lock(t);
+            lock.unlock(t);
+        }
+    };
+
+    rt::QueueLockConfig cfg;
+    cfg.maxThreads = kThreads;
+    rt::McsLock mcs(cfg);
+    stress(mcs);
+    rt::ClhLock clh(cfg);
+    stress(clh);
+}

@@ -1,7 +1,9 @@
 /** @file Cross-implementation oracle: under seeded virtual schedules
  *        all four barrier implementations must produce phase logs
  *        that are valid (no skew beyond one, no lost arrival) and
- *        structurally identical to one another. */
+ *        structurally identical to one another — and the three lock
+ *        policy families (spin+backoff, backoff-on-state ticket,
+ *        local-spin queue) must agree on admissions the same way. */
 
 #include <algorithm>
 #include <cstdint>
@@ -12,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include "runtime/barrier_interface.hpp"
+#include "runtime/queue_lock.hpp"
+#include "runtime/spinlock.hpp"
 #include "testing/barrier_episodes.hpp"
 #include "testing/virtual_sched.hpp"
 
@@ -126,6 +130,111 @@ TEST(CrossImplOracle, EventOrderRespectsPhasesWithinEveryKind)
         }
         for (std::uint32_t u = 0; u < cfg.parties; ++u)
             EXPECT_EQ(done[u], cfg.phases);
+    }
+}
+
+// ---- Three-way lock-family agreement --------------------------------
+//
+// The same oracle idea applied to the lock families: force the
+// arrival order 0 -> 1 -> ... -> n-1 with gate flags (a flag set
+// immediately before lock() is published strictly before the enqueue
+// becomes observable, because a VirtualSched worker runs
+// uninterrupted between yield points), then compare admission logs.
+// TicketLock, McsLock and ClhLock are all FIFO, so they must admit in
+// exactly the gated order on every schedule; TtasLock is unfair, so
+// it only has to admit the same *set* of threads exactly once each.
+
+/** Uniform tid-taking shim over the C++-Lockable spinlocks. */
+template <typename L>
+struct LockShim
+{
+    L lock;
+    void acquire(std::uint32_t) { lock.lock(); }
+    void release(std::uint32_t) { lock.unlock(); }
+};
+
+template <typename L>
+struct QueueShim
+{
+    L lock;
+    explicit QueueShim(const rt::QueueLockConfig &cfg) : lock(cfg) {}
+    void acquire(std::uint32_t tid) { lock.lock(tid); }
+    void release(std::uint32_t tid) { lock.unlock(tid); }
+};
+
+/** Gated episode: returns the admission order for @p shim. */
+template <typename Shim>
+std::vector<std::uint32_t>
+admissionOrder(std::shared_ptr<Shim> shim, std::uint32_t n,
+               std::uint64_t seed)
+{
+    auto started = std::make_shared<std::vector<char>>(n, char{0});
+    auto admissions =
+        std::make_shared<std::vector<std::uint32_t>>();
+
+    vt::VirtualSched sched;
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.push_back([=](std::uint32_t id) {
+        shim->acquire(id);
+        admissions->push_back(id);
+        (*started)[0] = 1;
+        // Hold until the whole chain is provably enqueued.
+        while (!(*started)[n - 1])
+            rt::cpuRelax();
+        shim->release(id);
+    });
+    for (std::uint32_t t = 1; t < n; ++t) {
+        bodies.push_back([=](std::uint32_t id) {
+            while (!(*started)[id - 1])
+                rt::cpuRelax();
+            (*started)[id] = 1; // published before the enqueue
+            shim->acquire(id);
+            admissions->push_back(id);
+            shim->release(id);
+        });
+    }
+    vt::RandomDecider decider(seed);
+    const vt::RunRecord rec = sched.run(bodies, decider);
+    EXPECT_TRUE(rec.completed) << "seed " << seed << ": "
+                               << rec.failure;
+    return *admissions;
+}
+
+TEST(CrossImplOracle, LockFamiliesAgreeOnAdmissions)
+{
+    constexpr std::uint32_t kThreads = 4;
+    std::vector<std::uint32_t> fifo(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t)
+        fifo[t] = t;
+
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        rt::QueueLockConfig qcfg;
+        qcfg.maxThreads = kThreads;
+
+        const auto ticket = admissionOrder(
+            std::make_shared<LockShim<rt::TicketLock>>(), kThreads,
+            seed);
+        const auto mcs = admissionOrder(
+            std::make_shared<QueueShim<rt::McsLock>>(qcfg), kThreads,
+            seed);
+        const auto clh = admissionOrder(
+            std::make_shared<QueueShim<rt::ClhLock>>(qcfg), kThreads,
+            seed);
+
+        // FIFO families: identical admission sequences, which under
+        // the gated arrival order pins all three to 0..n-1.
+        EXPECT_EQ(ticket, fifo) << "ticket, seed " << seed;
+        EXPECT_EQ(mcs, fifo) << "mcs, seed " << seed;
+        EXPECT_EQ(clh, fifo) << "clh, seed " << seed;
+        EXPECT_EQ(ticket, mcs) << "seed " << seed;
+        EXPECT_EQ(mcs, clh) << "seed " << seed;
+
+        // Unfair spin+backoff family: same multiset of admissions.
+        auto ttas = admissionOrder(
+            std::make_shared<LockShim<rt::TtasLock<>>>(), kThreads,
+            seed);
+        std::sort(ttas.begin(), ttas.end());
+        EXPECT_EQ(ttas, fifo) << "ttas, seed " << seed;
     }
 }
 

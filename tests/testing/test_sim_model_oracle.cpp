@@ -138,4 +138,31 @@ TEST(SimModelOracle, ExponentialFlagBackoffMatchesItsModel2Variant)
     }
 }
 
+TEST(SimModelOracle, QueueWakeupMatchesItsModel)
+{
+    // Third policy family (DESIGN.md §14): with a local-spin queue
+    // the only network traffic is the enqueue F&A — the k-th FIFO
+    // grant costs k attempts, (N+1)/2 on average — plus the waker's
+    // N-1 handoff writes amortized over N processors.  No flag
+    // polling term exists at all, so the flag module must be stone
+    // cold, not merely quiet.
+    std::uint64_t seed = 601;
+    for (const std::uint32_t n : {16u, 32u, 64u}) {
+        const EpisodeSummary s = runGridPoint(
+            n, 0, BackoffConfig::queue(), seed++);
+        const double predicted =
+            absync::core::modelQueueAccesses(n);
+        EXPECT_NEAR(s.accesses.mean(), predicted, 0.20 * predicted)
+            << "N=" << n;
+        EXPECT_EQ(s.flagTraffic.mean(), 0.0)
+            << "queue mode touched the flag module at N=" << n;
+        // And the family ordering the models predict: far below the
+        // 2N floor of the best spinning policy.
+        EXPECT_LT(
+            s.accesses.mean(),
+            0.5 * absync::core::model1VariableBackoffAccesses(n))
+            << "N=" << n;
+    }
+}
+
 } // namespace
