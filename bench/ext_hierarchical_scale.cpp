@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Extension: hierarchical NUMA-aware barriers in the 1024-core regime
+ * (DESIGN.md §15; Bertuletti et al. and Golab, PAPERS.md).
+ *
+ * The paper's flat model stops at 64 processors; at three orders of
+ * magnitude more cores the machine is tiled — a tile's own memory
+ * answers in a few cycles, a remote tile's costs an order of
+ * magnitude more.  This bench sweeps N = 256..16384 over a tiled
+ * topology and compares, for the spin+backoff and queue policy
+ * families:
+ *
+ *  - the flat centralized barrier (the paper's Section 4 shape, all
+ *    traffic on two hot modules);
+ *  - the flat radix tree: the paper's Section 6.2 combining tree
+ *    dropped unchanged onto the tiled machine, its nodes striped
+ *    across tiles by a topology-oblivious allocator (scatterNodes),
+ *    so nearly every node access pays the remote latency;
+ *  - the NUMA-aware radix tree (nodes homed in the tile of their
+ *    first descendant — ungated reference column);
+ *  - the two-level hierarchical barrier (tile-local arrival, one
+ *    representative per tile in the global phase, broadcast
+ *    wake-down), tile size scaled ~sqrt(N) to balance its levels.
+ *
+ * Headline metric: completion cycles per processor (mean wait under
+ * simultaneous arrival — the latency a compute phase actually pays).
+ * The reading the baselines lock in: the hierarchical variant beats
+ * the flat radix tree at N >= 1024 — on completion for the adaptive-
+ * backoff families (the flat tree pays the remote latency at every
+ * one of its log_d(N) levels, the hierarchy exactly once per phase),
+ * on remote accesses per processor for the queue family (whose
+ * serial FIFO handoff chains trade completion for minimal cross-tile
+ * traffic).  The
+ * local/remote access split (new counters) shows why, and the bench
+ * exits nonzero if either win ever regresses.
+ *
+ * With --report-out the sweep is pinned as run-report metrics and
+ * gated by scripts/check_regression.py (the hier-scale-smoke CI job).
+ * The full --nmax 16384 point is documented in EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "core/hierarchical_barrier_sim.hpp"
+#include "core/tree_barrier_sim.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+namespace
+{
+
+struct Cell
+{
+    double accesses = 0.0;   ///< network accesses per processor
+    double completion = 0.0; ///< completion cycles per processor
+    double remoteShare = 0.0; ///< remote fraction of all accesses
+};
+
+Cell
+flatCell(std::uint32_t n, const core::BackoffConfig &backoff,
+         std::uint64_t remote_latency, std::uint64_t runs,
+         std::uint64_t seed, unsigned jobs)
+{
+    // The centralized barrier has no topology support: every access
+    // is a remote hot-module access.  Its simulated completion is
+    // charged at latency 1 per access, so scale it by the remote
+    // latency to put it on the same axis as the tiled structures
+    // (this flatters the flat barrier if anything — its real
+    // contention would grow, not scale linearly).
+    core::BarrierConfig cfg;
+    cfg.processors = n;
+    cfg.arrivalWindow = 0;
+    cfg.backoff = backoff;
+    const auto s = core::BarrierSimulator(cfg).runMany(runs, seed,
+                                                      jobs);
+    Cell c;
+    c.accesses = s.accesses.mean();
+    c.completion =
+        s.wait.mean() * static_cast<double>(remote_latency);
+    c.remoteShare = 1.0;
+    return c;
+}
+
+Cell
+treeCell(std::uint32_t n, std::uint32_t fan_in,
+         std::uint32_t tile_size, std::uint64_t local_latency,
+         std::uint64_t remote_latency, bool scatter,
+         const core::BackoffConfig &backoff, std::uint64_t runs,
+         std::uint64_t seed, unsigned jobs)
+{
+    core::TreeBarrierConfig cfg;
+    cfg.processors = n;
+    cfg.fanIn = fan_in;
+    cfg.arrivalWindow = 0;
+    cfg.tileSize = tile_size;
+    cfg.scatterNodes = scatter;
+    cfg.localLatency = local_latency;
+    cfg.remoteLatency = remote_latency;
+    cfg.backoff = backoff;
+    const auto s = core::TreeBarrierSimulator(cfg).runMany(runs, seed,
+                                                           jobs);
+    Cell c;
+    c.accesses = s.accesses.mean();
+    c.completion = s.wait.mean();
+    const double total = static_cast<double>(s.localAccesses +
+                                             s.remoteAccesses);
+    c.remoteShare =
+        total > 0.0 ? static_cast<double>(s.remoteAccesses) / total
+                    : 0.0;
+    return c;
+}
+
+Cell
+hierCell(std::uint32_t n, std::uint32_t tile_size,
+         std::uint64_t local_latency, std::uint64_t remote_latency,
+         const core::BackoffConfig &backoff, std::uint64_t runs,
+         std::uint64_t seed, unsigned jobs)
+{
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = n;
+    cfg.tileSize = tile_size;
+    cfg.localLatency = local_latency;
+    cfg.remoteLatency = remote_latency;
+    cfg.arrivalWindow = 0;
+    cfg.backoff = backoff;
+    const auto s =
+        core::HierarchicalBarrierSimulator(cfg).runMany(runs, seed,
+                                                        jobs);
+    Cell c;
+    c.accesses = s.accesses.mean();
+    c.completion = s.wait.mean();
+    const double total =
+        static_cast<double>(s.counters.localAccesses +
+                            s.counters.remoteAccesses);
+    c.remoteShare = total > 0.0
+                        ? static_cast<double>(
+                              s.counters.remoteAccesses) /
+                              total
+                        : 0.0;
+    return c;
+}
+
+/**
+ * Tile size balancing the hierarchy's two serialized levels: the
+ * largest power of two <= sqrt(N) (always divides the power-of-four
+ * sweep points).  A fixed small tile degenerates at large N — the
+ * global phase becomes the flat barrier among N/s representatives.
+ */
+std::uint32_t
+autoTile(std::uint32_t n)
+{
+    std::uint32_t s = 1;
+    while (static_cast<std::uint64_t>(s * 2) * (s * 2) <= n &&
+           n % (s * 2) == 0)
+        s *= 2;
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    support::Options opts(argc, argv,
+                          {"runs", "seed", "jobs", "nmax", "tile",
+                           "fan", "local-lat", "remote-lat",
+                           "report-out"});
+    const auto runs =
+        static_cast<std::uint64_t>(opts.getInt("runs", 10));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 29));
+    const unsigned jobs = jobsOption(opts);
+    const auto nmax =
+        static_cast<std::uint32_t>(opts.getInt("nmax", 4096));
+    const auto tile =
+        static_cast<std::uint32_t>(opts.getInt("tile", 0));
+    const auto fan =
+        static_cast<std::uint32_t>(opts.getInt("fan", 4));
+    const auto local_lat =
+        static_cast<std::uint64_t>(opts.getInt("local-lat", 2));
+    const auto remote_lat =
+        static_cast<std::uint64_t>(opts.getInt("remote-lat", 20));
+
+    printHeader("Extension: hierarchical barriers at 1024-core scale",
+                "DESIGN.md §15; Bertuletti et al. / Golab (PAPERS.md)"
+                ", beyond Agarwal & Cherian's flat 64-proc model");
+
+    if (tile > 0)
+        std::printf("tiles of %u, ", tile);
+    else
+        std::printf("tile size ~sqrt(N), ");
+    std::printf("local latency %llu, remote latency %llu, radix "
+                "tree fan-in %u, A = 0\n",
+                static_cast<unsigned long long>(local_lat),
+                static_cast<unsigned long long>(remote_lat), fan);
+
+    obs::RunReport report(
+        "ext_hierarchical_scale",
+        "Flat vs radix tree vs two-level hierarchical barrier over a "
+        "tiled topology, N=256..16384");
+
+    struct Family
+    {
+        const char *key;
+        const char *label;
+        core::BackoffConfig backoff;
+        /**
+         * What the N >= 1024 gate holds for this family.  The
+         * adaptive-backoff families must win on completion cycles —
+         * the headline claim.  The queue family's FIFO handoff
+         * chains are serial by construction (O(sqrt N) chain length
+         * against the tree's parallel per-node chains), so it can
+         * never win completion at scale; its win — and its gate —
+         * is *remote* accesses per processor, the cross-tile
+         * interconnect traffic a NUMA machine actually charges for,
+         * which the two-level shape holds near-constant while the
+         * scattered tree pays it on nearly every access.
+         */
+        bool gateOnCompletion;
+    };
+    const std::vector<Family> families = {
+        {"exp2", "spin + exponential backoff (base 2)",
+         core::BackoffConfig::fromString("exp2"), true},
+        {"exp8", "spin + exponential backoff (base 8)",
+         core::BackoffConfig::fromString("exp8"), true},
+        {"queue", "local-spin queue",
+         core::BackoffConfig::queue(), false},
+    };
+
+    std::vector<std::uint32_t> ns;
+    for (std::uint32_t n = 256; n <= nmax; n *= 4)
+        ns.push_back(n);
+
+    int violations = 0;
+    std::uint64_t cell_seed = seed;
+    for (const Family &fam : families) {
+        support::Table t({"N", "tile", "flat compl",
+                          "flat tree compl", "numa tree compl",
+                          "hier compl", "hier acc/proc",
+                          "hier remote share", "flat tree/hier"});
+        for (const std::uint32_t n : ns) {
+            const std::uint32_t s = tile > 0 ? tile : autoTile(n);
+            const Cell flat = flatCell(n, fam.backoff, remote_lat,
+                                       runs, cell_seed++, jobs);
+            const Cell flat_tree =
+                treeCell(n, fan, s, local_lat, remote_lat, true,
+                         fam.backoff, runs, cell_seed++, jobs);
+            const Cell numa_tree =
+                treeCell(n, fan, s, local_lat, remote_lat, false,
+                         fam.backoff, runs, cell_seed++, jobs);
+            const Cell hier =
+                hierCell(n, s, local_lat, remote_lat, fam.backoff,
+                         runs, cell_seed++, jobs);
+            const double hier_remote =
+                hier.accesses * hier.remoteShare;
+            const double tree_remote =
+                flat_tree.accesses * flat_tree.remoteShare;
+            const double win =
+                fam.gateOnCompletion
+                    ? (hier.completion > 0.0
+                           ? flat_tree.completion / hier.completion
+                           : 0.0)
+                    : (hier_remote > 0.0 ? tree_remote / hier_remote
+                                         : 0.0);
+            t.addRow({std::to_string(n), std::to_string(s),
+                      support::fmt(flat.completion, 0),
+                      support::fmt(flat_tree.completion, 0),
+                      support::fmt(numa_tree.completion, 0),
+                      support::fmt(hier.completion, 0),
+                      support::fmt(hier.accesses, 1),
+                      support::fmt(hier.remoteShare, 3),
+                      support::fmt(win, 2)});
+
+            const std::string prefix = "hs.n" + std::to_string(n) +
+                                       "." + fam.key;
+            report.addMetric(prefix + ".flat.completion",
+                             flat.completion);
+            report.addMetric(prefix + ".flat_tree.completion",
+                             flat_tree.completion);
+            report.addMetric(prefix + ".numa_tree.completion",
+                             numa_tree.completion);
+            report.addMetric(prefix + ".hier.completion",
+                             hier.completion);
+            report.addMetric(prefix + ".hier.accesses",
+                             hier.accesses);
+            report.addMetric(prefix + ".hier.remote_share",
+                             hier.remoteShare);
+            report.addMetric(prefix + ".flat_tree.accesses",
+                             flat_tree.accesses);
+            report.addMetric(prefix + ".win.flat_tree_over_hier",
+                             win);
+
+            // The acceptance bar this bench exists to hold: at
+            // N >= 1024 the two-level hierarchy must beat the flat
+            // (topology-oblivious) radix tree over the same machine
+            // — on completion cycles for the backoff families, on
+            // accesses per processor for the queue family.
+            if (n >= 1024 && win <= 1.0) {
+                std::fprintf(
+                    stderr,
+                    "VIOLATION: hierarchical (%0.0f) did not beat "
+                    "the flat radix tree (%0.0f) on %s at N=%u, "
+                    "family %s\n",
+                    fam.gateOnCompletion ? hier.completion
+                                         : hier_remote,
+                    fam.gateOnCompletion ? flat_tree.completion
+                                         : tree_remote,
+                    fam.gateOnCompletion ? "completion cycles"
+                                         : "remote accesses/proc",
+                    n, fam.key);
+                ++violations;
+            }
+        }
+        std::printf("\n%s:\n%s", fam.label, t.str().c_str());
+    }
+
+    std::printf(
+        "\nReading: the flat radix tree pays the remote latency at "
+        "every one of its log_d(N) levels — a topology-oblivious "
+        "allocator stripes its nodes across tiles — while the "
+        "hierarchy keeps all but one access per tile inside the tile "
+        "(see the remote-share column) and pays the cross-tile price "
+        "exactly once per phase.  The flat centralized barrier's two "
+        "hot modules serialize all N processors and leave contention "
+        "entirely.  The NUMA-aware tree (first-descendant node "
+        "homing) is shown as an ungated reference.  The queue "
+        "family's column tells the other half of the story: its "
+        "serial handoff chains lose on completion at scale, but its "
+        "remote accesses per processor stay near-constant at about "
+        "half an access — two orders of magnitude below the "
+        "scattered tree's cross-tile traffic — which is the win its "
+        "gate holds.\n");
+
+    maybeWriteRunReport(opts, report);
+    if (violations > 0) {
+        std::fprintf(stderr,
+                     "%d scaling violation(s) — see above\n",
+                     violations);
+        return 1;
+    }
+    return 0;
+}

@@ -18,6 +18,7 @@
 
 #include "coherence/coherence_sim.hpp"
 #include "core/barrier_sim.hpp"
+#include "core/hierarchical_barrier_sim.hpp"
 #include "core/tree_barrier_sim.hpp"
 #include "sim/buffered_multistage.hpp"
 #include "sim/multistage.hpp"
@@ -107,6 +108,69 @@ BM_EpisodeLargeNReference(benchmark::State &state)
     cfg.arrivalWindow = 1000;
     cfg.backoff = core::BackoffConfig::exponentialFlag(8);
     core::BarrierSimulator sim(cfg);
+    support::Rng rng(1);
+    core::EpisodeResult last;
+    for (auto _ : state) {
+        last = sim.runOnceReference(rng);
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations());
+    attachEpisodeCounters(state, last.counters);
+}
+
+/** Shared shape for the two hierarchical engine benches below:
+ *  tile ~sqrt(N), exp8 backoff over a wide arrival window — the
+ *  regime the 1024-core sweeps (ext_hierarchical_scale) live in. */
+core::HierarchicalBarrierConfig
+hierBenchConfig(std::uint32_t n)
+{
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = n;
+    std::uint32_t s = 1;
+    while (static_cast<std::uint64_t>(s * 2) * (s * 2) <= n &&
+           n % (s * 2) == 0)
+        s *= 2;
+    cfg.tileSize = s;
+    cfg.localLatency = 2;
+    cfg.remoteLatency = 20;
+    cfg.arrivalWindow = 1000;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    return cfg;
+}
+
+/**
+ * Hierarchical (two-level tiled) episode on the event-driven engine.
+ * Tracked by the timing-regression gate; paired with the reference
+ * stepper below through the speedup floor, so the time-skip core's
+ * advantage is measured on the topology path too (latency > 1 keeps
+ * Transit hops in flight — the engine must still skip the idle gaps).
+ */
+void
+BM_EpisodeHier(benchmark::State &state)
+{
+    core::HierarchicalBarrierSimulator sim(
+        hierBenchConfig(static_cast<std::uint32_t>(state.range(0))));
+    support::Rng rng(1);
+    core::EpisodeResult last;
+    for (auto _ : state) {
+        last = sim.runOnce(rng);
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations());
+    attachEpisodeCounters(state, last.counters);
+    state.counters["cycles_skipped/episode"] =
+        static_cast<double>(last.cyclesSkipped);
+    state.counters["events_processed/episode"] =
+        static_cast<double>(last.eventsProcessed);
+}
+
+/** The same hierarchical episode on the reference cycle stepper —
+ *  kept so the event engine's speedup stays measured, not assumed. */
+void
+BM_EpisodeHierReference(benchmark::State &state)
+{
+    core::HierarchicalBarrierSimulator sim(
+        hierBenchConfig(static_cast<std::uint32_t>(state.range(0))));
     support::Rng rng(1);
     core::EpisodeResult last;
     for (auto _ : state) {
@@ -242,6 +306,8 @@ BM_ScheduleAndCoherence(benchmark::State &state)
 BENCHMARK(BM_BarrierEpisode)->Arg(64)->Arg(512);
 BENCHMARK(BM_EpisodeLargeN)->Arg(64)->Arg(256);
 BENCHMARK(BM_EpisodeLargeNReference)->Arg(64);
+BENCHMARK(BM_EpisodeHier)->Arg(256)->Arg(1024);
+BENCHMARK(BM_EpisodeHierReference)->Arg(256);
 BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_TreeBarrierEpisode)->Arg(64)->Arg(512);

@@ -61,6 +61,14 @@ SEED_COMMANDS = {
     "ext_queue_threshold":
         "{build}/bench/ext_queue_threshold --runs 25 --seed 23 "
         "--report-out {report}",
+    # The N=256..4096 points of the hierarchical-vs-flat-tree sweep
+    # (the full 16384 sweep is documented in EXPERIMENTS.md).  The
+    # binary itself exits nonzero if the hierarchy stops beating the
+    # flat radix tree at N >= 1024, so this entry gates both the
+    # metric values and the scaling claim.
+    "ext_hierarchical_scale":
+        "{build}/bench/ext_hierarchical_scale --runs 10 --seed 29 "
+        "--nmax 4096 --report-out {report}",
 }
 
 # ---------------------------------------------------------------------
@@ -91,6 +99,12 @@ TIMING_MAX_RATIO = 3.0
 TIMING_SPEEDUP_FLOORS = [
     {"numerator": "BM_EpisodeLargeNReference/64",
      "denominator": "BM_EpisodeLargeN/64",
+     "min_ratio": 5.0},
+    # The topology path (Transit hops in flight) must not cost the
+    # event engine its advantage: measured ~25x on the reference
+    # machine, floored at 5x like the flat episode.
+    {"numerator": "BM_EpisodeHierReference/256",
+     "denominator": "BM_EpisodeHier/256",
      "min_ratio": 5.0},
 ]
 

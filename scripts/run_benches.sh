@@ -65,6 +65,13 @@ for b in "$BUILD"/bench/*; do
         ext_open_arrivals)
             extra=(--report-out "$OUT/REPORT_$name.json")
             ;;
+        ext_hierarchical_scale)
+            # The 1024-core sweep's machine-readable export keeps its
+            # own top-level name: it is the artifact the scaling claim
+            # (hierarchical beats the flat radix tree at N >= 1024)
+            # is audited from.
+            extra=(--report-out "$OUT/BENCH_hierarchical.json")
+            ;;
     esac
     # Episode-sweep benches take --jobs (deterministic parallel
     # runMany; numbers are identical for any worker count).
@@ -72,8 +79,8 @@ for b in "$BUILD"/bench/*; do
         fig[4-9]*|fig10*|sec[357]*|ext_arbitration|\
         ext_combining_tree|ext_controller_backoff|\
         ext_deterministic_vs_random|ext_fault_robustness|\
-        ext_one_variable_barrier|ext_open_arrivals|\
-        ext_queue_threshold|ext_resource_sim|\
+        ext_hierarchical_scale|ext_one_variable_barrier|\
+        ext_open_arrivals|ext_queue_threshold|ext_resource_sim|\
         ext_scaled_var_backoff)
             extra+=(--jobs "$JOBS")
             ;;
@@ -146,6 +153,19 @@ for name in ("REPORT_fig5_accesses_a0.json",
     assert reports[name]["schema"] == "absync.run_report.v1", name
     assert reports[name]["metrics"], f"{name}: no metrics"
     print(f"   {name}: {len(reports[name]['metrics'])} metrics")
+
+with open(f"{out}/BENCH_hierarchical.json") as f:
+    hier = json.load(f)
+assert hier["schema"] == "absync.run_report.v1"
+wins = {k: v for k, v in hier["metrics"].items()
+        if ".win.flat_tree_over_hier" in k}
+assert wins, "BENCH_hierarchical.json: no win metrics"
+losing = {k: v for k, v in wins.items()
+          if v <= 1.0 and (".n1024." in k or ".n4096." in k
+                           or ".n16384." in k)}
+assert not losing, f"hierarchical stopped winning: {losing}"
+print(f"   BENCH_hierarchical.json: {len(hier['metrics'])} metrics, "
+      f"{len(wins)} win ratios")
 
 with open(f"{out}/hotspot_occupancy_trace.json") as f:
     occ = json.load(f)

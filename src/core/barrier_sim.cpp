@@ -59,6 +59,7 @@ EpisodeSummary::merge(const EpisodeResult &res)
         for (std::size_t m = 0; m < moduleHeat.size(); ++m)
             moduleHeat[m] += res.moduleHeat[m];
     }
+    counters += res.counters;
     cyclesSkipped += res.cyclesSkipped;
     eventsProcessed += res.eventsProcessed;
     ++runs;

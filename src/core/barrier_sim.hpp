@@ -191,6 +191,11 @@ struct EpisodeSummary
      *  EpisodeResult::moduleHeat). */
     std::vector<obs::ModuleHeatSnapshot> moduleHeat;
 
+    /** Episode telemetry totals summed across runs (same schema as
+     *  EpisodeResult::counters — e.g. local/remote access split for
+     *  topology-aware simulators). */
+    obs::CounterSnapshot counters;
+
     /**
      * Waiting-time distribution over every non-crashed processor in
      * every run — the raw material behind the `wait` means.  Gated

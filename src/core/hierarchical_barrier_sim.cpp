@@ -1,0 +1,902 @@
+#include "core/hierarchical_barrier_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <iterator>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "support/fault.hpp"
+#include "support/thread_pool.hpp"
+
+namespace absync::core
+{
+
+HierarchicalBarrierSimulator::HierarchicalBarrierSimulator(
+    const HierarchicalBarrierConfig &cfg)
+    : cfg_(cfg), topo_(cfg.processors, cfg.tileSize, cfg.localLatency,
+                       cfg.remoteLatency)
+{
+    // The Section 8 network-controller backoff acts on *denials* of a
+    // flat module pair; it has no defined meaning across two levels
+    // of modules, so reject it instead of silently ignoring it.
+    if (cfg.backoff.controllerBackoff) {
+        std::fprintf(stderr,
+                     "HierarchicalBarrierSimulator: controller "
+                     "backoff is not supported at the hierarchical "
+                     "level\n");
+        std::exit(2);
+    }
+}
+
+namespace
+{
+
+/** Module index layout: the global pair first, then the tile pairs.
+ *  Fault-plan module ids use the same layout. */
+constexpr std::uint32_t kGlobalVar = 0;
+constexpr std::uint32_t kGlobalFlag = 1;
+
+std::uint32_t
+tileVarModule(std::uint32_t tile)
+{
+    return 2 + 2 * tile;
+}
+
+std::uint32_t
+tileFlagModule(std::uint32_t tile)
+{
+    return 3 + 2 * tile;
+}
+
+/** Per-processor execution state within one hierarchical episode. */
+enum class HS : std::uint8_t
+{
+    WaitArrive,       ///< has not reached the barrier yet
+    ReqLocalVar,      ///< fetch&add on the tile's barrier variable
+    LocalVarBackoff,  ///< serving the local (N-i) variable backoff
+    PollLocalFlag,    ///< polling the tile's flag
+    LocalFlagBackoff, ///< serving a local flag backoff interval
+    ReqGlobalVar,     ///< representative: fetch&add the global variable
+    GlobalVarBackoff, ///< serving the global variable backoff
+    PollGlobalFlag,   ///< representative: polling the global flag
+    GlobalFlagBackoff,///< serving a global flag backoff interval
+    ReqSetGlobalFlag, ///< last representative: writing the global flag
+    ReqSetLocalFlag,  ///< released representative: wake-down write
+    Transit,          ///< granted response in flight (latency > 1)
+    Blocked,          ///< queue-on-threshold park at the local flag
+    LocalWait,        ///< queue mode: parked in the tile queue
+    GlobalWait,       ///< queue mode: representative parked globally
+    GlobalWaking,     ///< queue mode: walking the cross-tile queue
+    LocalWaking,      ///< queue mode: walking the tile queue
+    Done,             ///< past the barrier
+};
+
+/** Release-side states: every waiter's critical path, so exempt from
+ *  bounded-waiting abandonment (same argument as the flat flag
+ *  writer's exemption). */
+bool
+isReleaseState(HS s)
+{
+    return s == HS::ReqSetGlobalFlag || s == HS::ReqSetLocalFlag ||
+           s == HS::GlobalWaking || s == HS::LocalWaking;
+}
+
+struct HProc
+{
+    HS state = HS::WaitArrive;
+    HS resume = HS::ReqLocalVar; ///< state after a Transit hop
+    std::uint32_t tile = 0;
+    std::uint64_t arrival = 0;
+    std::uint64_t wake = 0;  ///< first cycle to act when sleeping
+    std::uint64_t delay = 0; ///< length of the backoff being served
+};
+
+/** One pending wake-up in the event heap. */
+struct HWake
+{
+    std::uint64_t time;
+    std::uint32_t id;
+};
+
+struct HLaterWake
+{
+    bool
+    operator()(const HWake &a, const HWake &b) const
+    {
+        return a.time > b.time;
+    }
+};
+
+/** Per-thread scratch reused across episodes (see barrier_sim.cpp). */
+struct HWorkspace
+{
+    std::vector<HProc> procs;
+    std::vector<sim::MemoryModule> mods;
+    std::vector<std::uint32_t> local_count;
+    std::vector<unsigned char> local_flag;
+    std::vector<std::vector<std::uint32_t>> tile_queue;
+    std::vector<std::size_t> tile_pos;
+    std::vector<std::vector<std::uint32_t>> blocked;
+    std::vector<std::uint32_t> global_queue;
+    std::vector<HWake> heap;
+    std::vector<HWake> deferred;
+    std::vector<std::uint32_t> due;
+    std::vector<std::uint32_t> active;
+    std::vector<std::uint32_t> next_active;
+    std::vector<std::uint32_t> merged;
+    std::vector<std::uint32_t> touched;
+};
+
+HWorkspace &
+tlsHWorkspace()
+{
+    static thread_local HWorkspace ws;
+    return ws;
+}
+
+/** Shared episode state: both engines drive the same phase helpers,
+ *  so the hierarchical protocol exists exactly once. */
+struct HCtx
+{
+    const HierarchicalBarrierConfig &cfg;
+    const sim::Topology &topo;
+    const support::FaultPlan *fp;
+    std::vector<HProc> &procs;
+    std::vector<sim::MemoryModule> &mods;
+    std::vector<std::uint32_t> &local_count;
+    std::vector<unsigned char> &local_flag;
+    std::vector<std::vector<std::uint32_t>> &tile_queue;
+    std::vector<std::size_t> &tile_pos;
+    std::vector<std::vector<std::uint32_t>> &blocked;
+    std::vector<std::uint32_t> &global_queue;
+    EpisodeResult &res;
+    std::uint32_t done = 0;
+    std::uint32_t global_count = 0;
+    bool global_flag = false;
+    std::size_t global_pos = 0; ///< next cross-tile queue entry
+    /** Event engine only: wake-ups created for *other* processors by
+     *  a queue handoff (a woken representative is not in the acting
+     *  set, so it needs its own heap event).  Null in the reference
+     *  stepper, which visits every processor every cycle anyway. */
+    std::vector<HWake> *deferred = nullptr;
+};
+
+/** Enter the next acting state after a granted access whose response
+ *  takes @p lat cycles: the processor may act again at cycle + lat
+ *  (lat == 1 reproduces the flat model's next-cycle behaviour). */
+void
+enterAfter(HProc &p, std::uint64_t cycle, std::uint64_t lat, HS next)
+{
+    if (lat <= 1) {
+        p.state = next;
+    } else {
+        p.state = HS::Transit;
+        p.resume = next;
+        p.wake = cycle + lat;
+    }
+}
+
+/** Retire a processor: past the barrier at absolute cycle @p at. */
+void
+finishProc(HCtx &c, std::uint32_t id, std::uint64_t at)
+{
+    HProc &p = c.procs[id];
+    p.state = HS::Done;
+    ++c.done;
+    c.res.procs[id].waitCycles = at - p.arrival;
+    c.res.lastExitTime = std::max(c.res.lastExitTime, at);
+}
+
+void localWakeStep(HCtx &c, std::uint32_t id, std::uint64_t cycle);
+
+/** Queue mode, one executed step of the cross-tile waker: skip
+ *  abandoned representatives, hand one remote wake write to the next
+ *  one (it starts waking its own tile once the write lands), and fall
+ *  through to waking the waker's own tile once the queue drains. */
+void
+globalWakeStep(HCtx &c, std::uint32_t id, std::uint64_t cycle)
+{
+    HProc &wk = c.procs[id];
+    const auto skipAbandoned = [&] {
+        while (c.global_pos < c.global_queue.size() &&
+               c.procs[c.global_queue[c.global_pos]].state !=
+                   HS::GlobalWait) {
+            ++c.global_pos;
+            ++c.res.counters.nodesAbandoned;
+        }
+    };
+    skipAbandoned();
+    bool delivered = false;
+    if (c.global_pos < c.global_queue.size()) {
+        const std::uint32_t r = c.global_queue[c.global_pos++];
+        HProc &q = c.procs[r];
+        const std::uint64_t lat = c.topo.remoteLatency();
+        q.state = HS::LocalWaking;
+        q.wake = cycle + lat;
+        ++c.res.procs[id].accesses; // the waker's remote handoff write
+        ++c.res.counters.queueHandoffs;
+        ++c.res.counters.remoteAccesses;
+        if (c.deferred != nullptr)
+            c.deferred->push_back({q.wake, r});
+        wk.wake = cycle + lat; // remote writes are serialized
+        delivered = true;
+    }
+    skipAbandoned();
+    if (c.global_pos == c.global_queue.size()) {
+        // Cross-tile chain complete: wake our own tile.  With no
+        // write in flight we can start this very cycle.
+        wk.state = HS::LocalWaking;
+        if (!delivered)
+            localWakeStep(c, id, cycle);
+    }
+}
+
+/** Queue mode, one executed step of a tile waker: one uncontended
+ *  local wake write per step, abandoned entries skipped for free. */
+void
+localWakeStep(HCtx &c, std::uint32_t id, std::uint64_t cycle)
+{
+    HProc &wk = c.procs[id];
+    const std::uint32_t t = wk.tile;
+    std::vector<std::uint32_t> &queue = c.tile_queue[t];
+    std::size_t &pos = c.tile_pos[t];
+    const auto skipAbandoned = [&] {
+        while (pos < queue.size() &&
+               c.procs[queue[pos]].state != HS::LocalWait) {
+            ++pos;
+            ++c.res.counters.nodesAbandoned;
+        }
+    };
+    skipAbandoned();
+    if (pos < queue.size()) {
+        const std::uint32_t q = queue[pos++];
+        const std::uint64_t lat = c.topo.localLatency();
+        finishProc(c, q, cycle + lat - 1);
+        ++c.res.procs[id].accesses; // the waker's local handoff write
+        ++c.res.counters.queueHandoffs;
+        ++c.res.counters.localAccesses;
+        wk.wake = cycle + lat;
+    }
+    skipAbandoned();
+    if (pos == queue.size())
+        finishProc(c, id, cycle);
+}
+
+/** Phase 1 for one processor: wake transitions, timeout check,
+ *  request submission.  When @p touched is non-null the requested
+ *  module index is appended (the event engine arbitrates only touched
+ *  modules). */
+void
+hierPhase1Step(HCtx &c, std::uint32_t id, std::uint64_t cycle,
+               std::vector<std::uint32_t> *touched)
+{
+    HProc &p = c.procs[id];
+    switch (p.state) {
+      case HS::WaitArrive:
+        if (p.arrival <= cycle)
+            p.state = HS::ReqLocalVar;
+        break;
+      case HS::LocalVarBackoff:
+      case HS::LocalFlagBackoff:
+        if (p.wake <= cycle)
+            p.state = HS::PollLocalFlag;
+        break;
+      case HS::GlobalVarBackoff:
+      case HS::GlobalFlagBackoff:
+        if (p.wake <= cycle)
+            p.state = HS::PollGlobalFlag;
+        break;
+      case HS::Transit:
+        if (p.wake <= cycle)
+            p.state = p.resume;
+        break;
+      case HS::GlobalWaking:
+        if (p.wake <= cycle)
+            globalWakeStep(c, id, cycle);
+        break;
+      case HS::LocalWaking:
+        if (p.wake <= cycle)
+            localWakeStep(c, id, cycle);
+        break;
+      default:
+        break;
+    }
+    // Bounded waiting: give up after timeoutCycles.  Release-side
+    // states are exempt (they are every waiter's critical path), and
+    // so is a Transit hop that resumes into one.
+    if (c.cfg.timeoutCycles > 0 && p.state != HS::WaitArrive &&
+        p.state != HS::Done && !isReleaseState(p.state) &&
+        !(p.state == HS::Transit && isReleaseState(p.resume)) &&
+        cycle - p.arrival >= c.cfg.timeoutCycles) {
+        // Giving up mid-backoff: take back the unserved tail so
+        // backoff_waited only counts cycles actually spent waiting.
+        if ((p.state == HS::LocalVarBackoff ||
+             p.state == HS::LocalFlagBackoff ||
+             p.state == HS::GlobalVarBackoff ||
+             p.state == HS::GlobalFlagBackoff) &&
+            p.wake > cycle) {
+            c.res.counters.backoffWaited -=
+                std::min(p.delay, p.wake - cycle);
+        }
+        p.state = HS::Done;
+        ++c.done;
+        c.res.procs[id].timedOut = true;
+        c.res.procs[id].waitCycles = cycle - p.arrival;
+        c.res.lastExitTime = std::max(c.res.lastExitTime, cycle);
+    }
+
+    std::uint32_t m = 0;
+    bool requesting = true;
+    bool is_var = false;
+    switch (p.state) {
+      case HS::ReqLocalVar:
+        m = tileVarModule(p.tile);
+        is_var = true;
+        break;
+      case HS::ReqGlobalVar:
+        m = kGlobalVar;
+        is_var = true;
+        break;
+      case HS::PollLocalFlag:
+      case HS::ReqSetLocalFlag:
+        m = tileFlagModule(p.tile);
+        break;
+      case HS::PollGlobalFlag:
+      case HS::ReqSetGlobalFlag:
+        m = kGlobalFlag;
+        break;
+      default:
+        requesting = false;
+        break;
+    }
+    if (requesting) {
+        c.mods[m].request(id);
+        ++c.res.procs[id].accesses;
+        if (is_var)
+            ++c.res.counters.counterRmws;
+        else
+            ++c.res.counters.flagPolls;
+        if (c.mods[m].isLocalFor(id))
+            ++c.res.counters.localAccesses;
+        else
+            ++c.res.counters.remoteAccesses;
+        if (touched != nullptr)
+            touched->push_back(m);
+    }
+}
+
+/** Phase 2 for one module: lazy clock catch-up, arbitration, and the
+ *  granted access's outcome (cf. treeResolveNode). */
+void
+hierResolveModule(HCtx &c, std::uint32_t m, std::uint64_t cycle,
+                  support::Rng &rng)
+{
+    const BackoffConfig &bo = c.cfg.backoff;
+    const std::uint32_t tile_n = c.cfg.tileSize;
+    const std::uint32_t tiles = c.topo.tiles();
+
+    sim::MemoryModule &mod = c.mods[m];
+    mod.advance(cycle - mod.cyclesSeen());
+    const sim::RequesterId w = mod.arbitrate(rng);
+    if (w == sim::NO_GRANT)
+        return;
+    HProc &p = c.procs[w];
+    const std::uint64_t lat = mod.latencyFor(w);
+    EpisodeResult &res = c.res;
+
+    switch (p.state) {
+      case HS::ReqLocalVar: {
+        const std::uint32_t t = p.tile;
+        const std::uint32_t i = ++c.local_count[t];
+        if (bo.queueWakeup) {
+            // HMCS arrival: the tile's F&A grant order IS its wake
+            // queue; the last local arriver ascends as representative.
+            if (i == tile_n) {
+                enterAfter(p, cycle, lat, HS::ReqGlobalVar);
+            } else {
+                p.state = HS::LocalWait;
+                c.tile_queue[t].push_back(w);
+            }
+        } else if (i == tile_n) {
+            enterAfter(p, cycle, lat, HS::ReqGlobalVar);
+        } else {
+            const std::uint64_t d = bo.variableDelay(tile_n, i);
+            if (d == 0) {
+                enterAfter(p, cycle, lat, HS::PollLocalFlag);
+            } else {
+                p.state = HS::LocalVarBackoff;
+                p.wake = cycle + lat + d;
+                p.delay = d;
+                res.counters.backoffRequested += d;
+                res.counters.backoffWaited += d;
+            }
+        }
+        break;
+      }
+      case HS::PollLocalFlag: {
+        const std::uint32_t t = p.tile;
+        if (c.local_flag[t] != 0) {
+            finishProc(c, w, cycle + lat - 1);
+        } else {
+            auto &out = res.procs[w];
+            ++out.unsetPolls;
+            std::uint64_t d = bo.flagDelay(out.unsetPolls);
+            if (bo.randomized && d > 0)
+                d = rng.uniformInt(1, 2 * d);
+            const std::uint64_t asked = d;
+            if (c.fp != nullptr && d > 1 &&
+                c.fp->spuriousWake(w, out.unsetPolls))
+                d = 1; // woken early: re-poll almost immediately
+            if (bo.shouldBlock(d)) {
+                p.state = HS::Blocked;
+                c.blocked[t].push_back(w);
+                out.blocked = true;
+                out.accesses += bo.blockAccessCost;
+                ++res.counters.parks;
+            } else if (d == 0) {
+                enterAfter(p, cycle, lat, HS::PollLocalFlag);
+            } else {
+                p.state = HS::LocalFlagBackoff;
+                p.wake = cycle + lat + d;
+                p.delay = d;
+                res.counters.backoffRequested += asked;
+                res.counters.backoffWaited += d;
+            }
+        }
+        break;
+      }
+      case HS::ReqGlobalVar: {
+        const std::uint32_t g = ++c.global_count;
+        if (bo.queueWakeup) {
+            if (g == tiles) {
+                // Last representative: the barrier is logically
+                // complete; start walking the cross-tile queue once
+                // the F&A response lands.
+                p.state = HS::GlobalWaking;
+                p.wake = cycle + lat;
+                res.flagSetTime = cycle;
+            } else {
+                p.state = HS::GlobalWait;
+                c.global_queue.push_back(w);
+            }
+        } else if (g == tiles) {
+            enterAfter(p, cycle, lat, HS::ReqSetGlobalFlag);
+        } else {
+            const std::uint64_t d = bo.variableDelay(tiles, g);
+            if (d == 0) {
+                enterAfter(p, cycle, lat, HS::PollGlobalFlag);
+            } else {
+                p.state = HS::GlobalVarBackoff;
+                p.wake = cycle + lat + d;
+                p.delay = d;
+                res.counters.backoffRequested += d;
+                res.counters.backoffWaited += d;
+            }
+        }
+        break;
+      }
+      case HS::PollGlobalFlag: {
+        if (c.global_flag) {
+            // Released: descend — wake our own tile.
+            enterAfter(p, cycle, lat, HS::ReqSetLocalFlag);
+        } else {
+            auto &out = res.procs[w];
+            ++out.unsetPolls;
+            std::uint64_t d = bo.flagDelay(out.unsetPolls);
+            if (bo.randomized && d > 0)
+                d = rng.uniformInt(1, 2 * d);
+            const std::uint64_t asked = d;
+            if (c.fp != nullptr && d > 1 &&
+                c.fp->spuriousWake(w, out.unsetPolls))
+                d = 1;
+            // Representatives never block: each one is its whole
+            // tile's critical path (the flat flag-writer argument).
+            if (d == 0) {
+                enterAfter(p, cycle, lat, HS::PollGlobalFlag);
+            } else {
+                p.state = HS::GlobalFlagBackoff;
+                p.wake = cycle + lat + d;
+                p.delay = d;
+                res.counters.backoffRequested += asked;
+                res.counters.backoffWaited += d;
+            }
+        }
+        break;
+      }
+      case HS::ReqSetGlobalFlag: {
+        c.global_flag = true;
+        res.flagSetTime = cycle;
+        enterAfter(p, cycle, lat, HS::ReqSetLocalFlag);
+        break;
+      }
+      case HS::ReqSetLocalFlag: {
+        const std::uint32_t t = p.tile;
+        c.local_flag[t] = 1;
+        // Queue-on-threshold waiters of this tile wake now.
+        for (std::uint32_t b : c.blocked[t]) {
+            HProc &q = c.procs[b];
+            if (q.state == HS::Done)
+                continue; // already timed out
+            q.state = HS::Done;
+            ++c.done;
+            ++res.counters.wakes;
+            const std::uint64_t exit = cycle + bo.blockWakeupCycles;
+            res.procs[b].waitCycles = exit - q.arrival;
+            res.lastExitTime = std::max(res.lastExitTime, exit);
+        }
+        c.blocked[t].clear();
+        finishProc(c, w, cycle + lat - 1);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+/** Episode prologue shared by both engines: fault sanity, arrival
+ *  draws, crash marking, arrival-span accounting, module homing. */
+std::uint32_t
+hierInitEpisode(const HierarchicalBarrierConfig &cfg,
+                const sim::Topology &topo,
+                const support::FaultPlan *fp, support::Rng &rng,
+                std::uint64_t episode, HWorkspace &ws,
+                EpisodeResult &res)
+{
+    const std::uint32_t n = cfg.processors;
+    const std::uint32_t tiles = topo.tiles();
+    if (fp != nullptr && fp->config().crashProb > 0.0 &&
+        cfg.timeoutCycles == 0) {
+        std::fprintf(stderr,
+                     "HierarchicalBarrierSimulator: crash faults "
+                     "require bounded waiting (set timeoutCycles > "
+                     "0)\n");
+        std::abort();
+    }
+
+    res.procs.assign(n, {});
+    res.moduleHeat.reserve(4);
+
+    const std::uint32_t mod_count = 2 + 2 * tiles;
+    ws.mods.assign(mod_count, sim::MemoryModule(cfg.arbitration));
+    ws.mods[kGlobalVar].setTopology(&topo, sim::GLOBAL_TILE);
+    ws.mods[kGlobalFlag].setTopology(&topo, sim::GLOBAL_TILE);
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+        ws.mods[tileVarModule(t)].setTopology(&topo, t);
+        ws.mods[tileFlagModule(t)].setTopology(&topo, t);
+    }
+    if (fp != nullptr) {
+        for (std::uint32_t m = 0; m < mod_count; ++m)
+            ws.mods[m].setFaults(fp, m);
+    }
+
+    ws.local_count.assign(tiles, 0);
+    ws.local_flag.assign(tiles, 0);
+    ws.tile_queue.resize(tiles);
+    ws.tile_pos.assign(tiles, 0);
+    ws.blocked.resize(tiles);
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+        ws.tile_queue[t].clear();
+        ws.blocked[t].clear();
+    }
+    ws.global_queue.clear();
+
+    std::uint32_t done = 0;
+    ws.procs.assign(n, HProc{});
+    for (std::uint32_t id = 0; id < n; ++id) {
+        HProc &p = ws.procs[id];
+        p.tile = topo.tileOf(id);
+        p.arrival = cfg.arrivalWindow == 0
+                        ? 0
+                        : rng.uniformInt(0, cfg.arrivalWindow);
+        if (fp != nullptr) {
+            p.arrival += fp->stragglerDelay(id, episode);
+            if (fp->crashed(id, episode)) {
+                p.state = HS::Done;
+                res.procs[id].crashed = true;
+                ++done;
+            }
+        }
+    }
+    bool any_arrival = false;
+    for (std::uint32_t id = 0; id < n; ++id) {
+        if (ws.procs[id].state == HS::Done)
+            continue;
+        if (!any_arrival) {
+            res.firstArrival = ws.procs[id].arrival;
+            res.lastArrival = ws.procs[id].arrival;
+            any_arrival = true;
+        } else {
+            res.firstArrival =
+                std::min(res.firstArrival, ws.procs[id].arrival);
+            res.lastArrival =
+                std::max(res.lastArrival, ws.procs[id].arrival);
+        }
+    }
+    return done;
+}
+
+/** Episode epilogue: module clocks synced by the caller; aggregate
+ *  traffic, heat, and outcome counters. */
+void
+hierFinalize(HCtx &c, std::uint32_t tiles)
+{
+    EpisodeResult &res = c.res;
+    res.varModuleTraffic = c.mods[kGlobalVar].totalGrants() +
+                           c.mods[kGlobalVar].totalDenials();
+    res.flagModuleTraffic = c.mods[kGlobalFlag].totalGrants() +
+                            c.mods[kGlobalFlag].totalDenials();
+    res.moduleHeat.push_back(
+        c.mods[kGlobalVar].heat("global.variable"));
+    res.moduleHeat.push_back(c.mods[kGlobalFlag].heat("global.flag"));
+    obs::ModuleHeatSnapshot tiles_var;
+    tiles_var.label = "tiles.variable";
+    obs::ModuleHeatSnapshot tiles_flag;
+    tiles_flag.label = "tiles.flag";
+    for (std::uint32_t t = 0; t < tiles; ++t) {
+        tiles_var += c.mods[tileVarModule(t)].heat("");
+        tiles_flag += c.mods[tileFlagModule(t)].heat("");
+    }
+    tiles_var.label = "tiles.variable";
+    tiles_flag.label = "tiles.flag";
+    res.moduleHeat.push_back(tiles_var);
+    res.moduleHeat.push_back(tiles_flag);
+
+    for (const ProcOutcome &o : res.procs) {
+        if (o.crashed)
+            continue;
+        if (o.timedOut) {
+            ++res.counters.withdrawals;
+            ++res.counters.timeouts;
+        } else {
+            ++res.counters.episodes;
+        }
+    }
+}
+
+/** Safety-net end of simulated time (see barrier_sim.cpp). */
+std::uint64_t
+hierHorizon(const EpisodeResult &res, std::uint32_t n)
+{
+    return res.lastArrival +
+           (1ULL << 62) / std::max<std::uint32_t>(n, 1);
+}
+
+} // namespace
+
+EpisodeResult
+HierarchicalBarrierSimulator::runOnce(support::Rng &rng,
+                                      std::uint64_t episode) const
+{
+    const std::uint32_t n = cfg_.processors;
+    const std::uint32_t tiles = topo_.tiles();
+    const support::FaultPlan *fp = cfg_.faults;
+    HWorkspace &ws = tlsHWorkspace();
+
+    EpisodeResult res;
+    const std::uint32_t done0 =
+        hierInitEpisode(cfg_, topo_, fp, rng, episode, ws, res);
+
+    HCtx c{cfg_,          topo_,        fp,
+           ws.procs,      ws.mods,      ws.local_count,
+           ws.local_flag, ws.tile_queue, ws.tile_pos,
+           ws.blocked,    ws.global_queue, res};
+    c.done = done0;
+    c.deferred = &ws.deferred;
+
+    ws.heap.clear();
+    ws.deferred.clear();
+    ws.active.clear();
+    for (std::uint32_t id = 0; id < n; ++id) {
+        const HProc &p = ws.procs[id];
+        if (p.state == HS::Done)
+            continue; // crashed: never arrives
+        ws.heap.push_back({p.arrival, id});
+        if (cfg_.timeoutCycles > 0)
+            ws.heap.push_back({p.arrival + cfg_.timeoutCycles, id});
+    }
+    std::make_heap(ws.heap.begin(), ws.heap.end(), HLaterWake{});
+
+    // The reference stepper starts at cycle 0 so that module clocks
+    // align with absolute cycles; everything before the first arrival
+    // is an idle prefix the event engine jumps over (lazy advance
+    // replays it per module).
+    std::uint64_t cycle = res.firstArrival;
+    res.cyclesSkipped += cycle;
+    const std::uint64_t horizon = hierHorizon(res, n);
+
+    while (c.done < n && cycle < horizon) {
+        ++res.eventsProcessed;
+
+        ws.due.clear();
+        while (!ws.heap.empty() && ws.heap.front().time <= cycle) {
+            std::pop_heap(ws.heap.begin(), ws.heap.end(),
+                          HLaterWake{});
+            ws.due.push_back(ws.heap.back().id);
+            ws.heap.pop_back();
+        }
+        std::sort(ws.due.begin(), ws.due.end());
+        ws.due.erase(std::unique(ws.due.begin(), ws.due.end()),
+                     ws.due.end());
+
+        ws.merged.clear();
+        std::set_union(ws.active.begin(), ws.active.end(),
+                       ws.due.begin(), ws.due.end(),
+                       std::back_inserter(ws.merged));
+
+        // Phase 1 over acting processors, collecting touched modules.
+        ws.touched.clear();
+        for (std::uint32_t id : ws.merged)
+            hierPhase1Step(c, id, cycle, &ws.touched);
+
+        // Phase 2 over touched modules only, ascending module index —
+        // the reference's 0..mods sweep order (untouched modules
+        // arbitrate empty there: no randomness, no outcome; replayed
+        // here by lazy advance).
+        std::sort(ws.touched.begin(), ws.touched.end());
+        ws.touched.erase(
+            std::unique(ws.touched.begin(), ws.touched.end()),
+            ws.touched.end());
+        for (std::uint32_t m : ws.touched)
+            hierResolveModule(c, m, cycle, rng);
+
+        // Wake-ups minted for non-acting processors (queue handoffs).
+        for (const HWake &wk : ws.deferred) {
+            ws.heap.push_back(wk);
+            std::push_heap(ws.heap.begin(), ws.heap.end(),
+                           HLaterWake{});
+        }
+        ws.deferred.clear();
+
+        ws.next_active.clear();
+        for (std::uint32_t id : ws.merged) {
+            const HProc &p = ws.procs[id];
+            switch (p.state) {
+              case HS::ReqLocalVar:
+              case HS::PollLocalFlag:
+              case HS::ReqGlobalVar:
+              case HS::PollGlobalFlag:
+              case HS::ReqSetGlobalFlag:
+              case HS::ReqSetLocalFlag:
+                ws.next_active.push_back(id);
+                break;
+              case HS::LocalVarBackoff:
+              case HS::LocalFlagBackoff:
+              case HS::GlobalVarBackoff:
+              case HS::GlobalFlagBackoff:
+              case HS::Transit:
+              case HS::GlobalWaking:
+              case HS::LocalWaking:
+                if (p.wake > cycle) {
+                    ws.heap.push_back({p.wake, id});
+                    std::push_heap(ws.heap.begin(), ws.heap.end(),
+                                   HLaterWake{});
+                } else {
+                    ws.next_active.push_back(id);
+                }
+                break;
+              default:
+                break;
+            }
+        }
+        ws.active.swap(ws.next_active);
+
+        if (c.done >= n)
+            break;
+
+        std::uint64_t next = cycle + 1;
+        if (ws.active.empty()) {
+            if (ws.heap.empty()) {
+                // Nothing runnable and no future event: unreachable
+                // in a well-formed episode (crash faults require
+                // timeout deadlines); mirror the reference by running
+                // out the horizon so the post-loop assert fires.
+                next = horizon;
+            } else {
+                next = std::max(ws.heap.front().time, cycle + 1);
+            }
+        }
+        res.cyclesSkipped += next - (cycle + 1);
+        cycle = next;
+    }
+
+    assert(c.done == n && "hierarchical episode failed to converge");
+    // Sync every module clock to the reference's end state (it
+    // arbitrates each module on every cycle through the last one), so
+    // fault-stall accounting in the heat snapshots is bit-identical.
+    for (sim::MemoryModule &mod : ws.mods)
+        mod.advance(cycle + 1 - mod.cyclesSeen());
+    hierFinalize(c, tiles);
+    obs::countCyclesSkipped(res.cyclesSkipped);
+    obs::countEventsProcessed(res.eventsProcessed);
+    return res;
+}
+
+EpisodeResult
+HierarchicalBarrierSimulator::runOnceReference(
+    support::Rng &rng, std::uint64_t episode) const
+{
+    const std::uint32_t n = cfg_.processors;
+    const std::uint32_t tiles = topo_.tiles();
+    const std::uint32_t mod_count = 2 + 2 * tiles;
+    const support::FaultPlan *fp = cfg_.faults;
+    HWorkspace ws; // plain locals: the oracle stays allocation-dumb
+
+    EpisodeResult res;
+    const std::uint32_t done0 =
+        hierInitEpisode(cfg_, topo_, fp, rng, episode, ws, res);
+
+    HCtx c{cfg_,          topo_,        fp,
+           ws.procs,      ws.mods,      ws.local_count,
+           ws.local_flag, ws.tile_queue, ws.tile_pos,
+           ws.blocked,    ws.global_queue, res};
+    c.done = done0;
+
+    std::uint64_t cycle = 0;
+    const std::uint64_t horizon = hierHorizon(res, n);
+
+    while (c.done < n && cycle < horizon) {
+        ++res.eventsProcessed;
+        for (std::uint32_t id = 0; id < n; ++id)
+            hierPhase1Step(c, id, cycle, nullptr);
+        for (std::uint32_t m = 0; m < mod_count; ++m)
+            hierResolveModule(c, m, cycle, rng);
+        ++cycle;
+    }
+
+    assert(c.done == n && "hierarchical episode failed to converge");
+    hierFinalize(c, tiles);
+    obs::countEventsProcessed(res.eventsProcessed);
+    return res;
+}
+
+EpisodeSummary
+HierarchicalBarrierSimulator::runMany(std::uint64_t runs,
+                                      std::uint64_t seed,
+                                      unsigned jobs) const
+{
+    EpisodeSummary s;
+    support::Rng master(seed);
+    jobs = support::ThreadPool::resolveJobs(jobs);
+    if (jobs <= 1 || runs < 2) {
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            support::Rng run_rng = master.split();
+            s.merge(runOnce(run_rng, r));
+        }
+        return s;
+    }
+
+    // Same deterministic fan-out as BarrierSimulator::runMany:
+    // serially pre-split streams, episodes on the pool, in-order fold.
+    std::vector<support::Rng> streams;
+    streams.reserve(runs);
+    for (std::uint64_t r = 0; r < runs; ++r)
+        streams.push_back(master.split());
+
+    support::ThreadPool pool(jobs);
+    std::vector<std::future<EpisodeResult>> futs(runs);
+    const std::uint64_t window =
+        std::max<std::uint64_t>(std::uint64_t{jobs} * 4, 1);
+    std::uint64_t submitted = 0;
+    const auto submit = [&](std::uint64_t r) {
+        futs[r] = pool.async([this, &streams, r]() {
+            support::Rng run_rng = streams[r];
+            return runOnce(run_rng, r);
+        });
+    };
+    for (; submitted < std::min(runs, window); ++submitted)
+        submit(submitted);
+    for (std::uint64_t r = 0; r < runs; ++r) {
+        const EpisodeResult res = futs[r].get();
+        futs[r] = {};
+        if (submitted < runs)
+            submit(submitted++);
+        s.merge(res);
+    }
+    return s;
+}
+
+} // namespace absync::core

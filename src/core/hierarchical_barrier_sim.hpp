@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cycle-level simulator of a two-level hierarchical (NUMA-aware)
+ * barrier over a tiled topology (DESIGN.md §15).
+ *
+ * At the 1024-core scale the machine stops being flat: processors sit
+ * in tiles whose own memory answers in a few cycles while a remote
+ * tile's memory costs an order of magnitude more (Bertuletti et al.,
+ * PAPERS.md).  The winning barrier designs there are hierarchical —
+ * a local barrier within each tile, one *representative* per tile in
+ * a global phase across tiles, and a broadcast wake-down — because
+ * they pay the remote latency O(tiles) times instead of O(N) times.
+ *
+ * Protocol (spin + backoff family):
+ *  - each processor fetch&adds its tile's LOCAL barrier variable
+ *    (local latency), then polls the tile's LOCAL flag under the
+ *    configured flag backoff;
+ *  - the last arriver in a tile becomes the tile's representative:
+ *    it fetch&adds the GLOBAL barrier variable (remote latency) and
+ *    polls the GLOBAL flag;
+ *  - the last representative sets the global flag; every released
+ *    representative then writes its own tile's local flag — the
+ *    wake-down is one remote round plus tile-parallel local writes.
+ *
+ * Queue family (BackoffConfig::queueWakeup, HMCS-style): arrivals at
+ * both levels enqueue in fetch&add grant order and park on a local
+ * word; the last representative walks the global queue (one remote
+ * handoff write per hop), and each woken representative walks its
+ * tile's queue (local handoff writes) — local-then-global queue
+ * handoff with O(1) module traffic per processor.
+ *
+ * Both engines — the event-driven runOnce and the runOnceReference
+ * cycle stepper — drive the same phase helpers, and every
+ * EpisodeResult is bit-identical between them on the same seed (the
+ * same contract as BarrierSimulator, DESIGN.md §12).
+ */
+
+#ifndef ABSYNC_CORE_HIERARCHICAL_BARRIER_SIM_HPP
+#define ABSYNC_CORE_HIERARCHICAL_BARRIER_SIM_HPP
+
+#include <cstdint>
+
+#include "core/backoff.hpp"
+#include "core/barrier_sim.hpp"
+#include "sim/memory_module.hpp"
+#include "sim/topology.hpp"
+#include "support/rng.hpp"
+
+namespace absync::core
+{
+
+/** Parameters of one hierarchical-barrier experiment. */
+struct HierarchicalBarrierConfig
+{
+    /** Number of synchronizing processors, N. */
+    std::uint32_t processors = 256;
+
+    /** Processors per tile; must divide N (validated fatally by the
+     *  sim::Topology built at construction). */
+    std::uint32_t tileSize = 16;
+
+    /** Granted-access latency against the requester's own tile. */
+    std::uint64_t localLatency = 1;
+
+    /** Granted-access latency across tiles (global modules are
+     *  remote for everyone). */
+    std::uint64_t remoteLatency = 8;
+
+    /** Arrival window A: arrivals uniform in [0, A]. */
+    std::uint64_t arrivalWindow = 0;
+
+    /** Backoff policy applied at both levels: variable backoff uses
+     *  the level's population (tileSize locally, tiles globally) as
+     *  its "N"; queueWakeup selects the HMCS-style queue family. */
+    BackoffConfig backoff;
+
+    /** Module arbitration policy (every module). */
+    sim::Arbitration arbitration = sim::Arbitration::Fifo;
+
+    /** Optional fault schedule (not owned); see BarrierConfig.
+     *  Module ids for stalls: 0 = global variable, 1 = global flag,
+     *  2+2t = tile t's variable, 3+2t = tile t's flag. */
+    const support::FaultPlan *faults = nullptr;
+
+    /** Bounded waiting (cycles since arrival); required > 0 with
+     *  crash faults, exactly as in BarrierSimulator. */
+    std::uint64_t timeoutCycles = 0;
+};
+
+/**
+ * Simulator for hierarchical barrier episodes over a tiled topology.
+ *
+ * Reuses EpisodeResult / EpisodeSummary from the flat simulator so
+ * sweeps, reports, and the regression gate treat all barrier families
+ * uniformly.  Field mapping: varModuleTraffic / flagModuleTraffic are
+ * the GLOBAL modules' traffic (the cross-tile hot spot), moduleHeat
+ * carries four entries — "global.variable", "global.flag", and the
+ * per-tile modules aggregated as "tiles.variable" / "tiles.flag" —
+ * and counters.localAccesses / counters.remoteAccesses split the
+ * paper's network accesses by whether they crossed a tile boundary.
+ */
+class HierarchicalBarrierSimulator
+{
+  public:
+    /** Builds (and thereby fatally validates) the topology. */
+    explicit HierarchicalBarrierSimulator(
+        const HierarchicalBarrierConfig &cfg);
+
+    /** Simulate one episode (event-driven time-skip engine). */
+    EpisodeResult runOnce(support::Rng &rng,
+                          std::uint64_t episode = 0) const;
+
+    /** Reference cycle stepper: every cycle, every processor, every
+     *  module.  Oracle for the equivalence suite; O(cycles x N). */
+    EpisodeResult runOnceReference(support::Rng &rng,
+                                   std::uint64_t episode = 0) const;
+
+    /** Repeated episodes with derived per-run seeds; @p jobs > 1
+     *  fans out deterministically (see BarrierSimulator::runMany). */
+    EpisodeSummary runMany(std::uint64_t runs, std::uint64_t seed,
+                           unsigned jobs = 1) const;
+
+    const HierarchicalBarrierConfig &config() const { return cfg_; }
+    const sim::Topology &topology() const { return topo_; }
+
+  private:
+    HierarchicalBarrierConfig cfg_;
+    sim::Topology topo_;
+};
+
+} // namespace absync::core
+
+#endif // ABSYNC_CORE_HIERARCHICAL_BARRIER_SIM_HPP

@@ -61,6 +61,19 @@ modelQueueAccesses(std::uint32_t n)
 }
 
 double
+modelHierarchicalAccesses(std::uint32_t tile_size,
+                          std::uint32_t tiles)
+{
+    const double s = static_cast<double>(std::max(tile_size, 1u));
+    const double t = static_cast<double>(std::max(tiles, 1u));
+    const double n = s * t;
+    const double local_enqueue = (s + 1.0) / 2.0;
+    const double global_enqueue = (t + 1.0) / (2.0 * s);
+    const double handoffs = (n - 1.0) / n;
+    return local_enqueue + global_enqueue + handoffs;
+}
+
+double
 hardwareAccessesPerProc(HardwareScheme scheme)
 {
     switch (scheme) {

@@ -63,6 +63,19 @@ double model2ExponentialAccesses(double arrival_window, std::uint32_t n,
  */
 double modelQueueAccesses(std::uint32_t n);
 
+/**
+ * Hierarchical queue barrier under simultaneous arrival (DESIGN.md
+ * §15): the two-level analogue of modelQueueAccesses.  The local
+ * enqueue fetch&add costs (s+1)/2 attempts under FIFO arbitration
+ * with tile size s, the representative's global enqueue costs
+ * (T+1)/2 attempts amortized over its s processors (T tiles), and
+ * the wake chains deliver exactly N-1 handoff writes in total —
+ * no polling term at either level:
+ *   (s+1)/2 + (T+1)/(2s) + (N-1)/N,  N = s*T.
+ */
+double modelHierarchicalAccesses(std::uint32_t tile_size,
+                                 std::uint32_t tiles);
+
 /** Hardware synchronization support compared in Section 5.1. */
 enum class HardwareScheme
 {

@@ -41,6 +41,8 @@ TreeEpisodeSummary::merge(const TreeEpisodeResult &res)
     accesses.add(res.avgAccesses());
     wait.add(res.avgWait());
     maxModuleTraffic.add(static_cast<double>(res.maxModuleTraffic));
+    localAccesses += res.localAccesses;
+    remoteAccesses += res.remoteAccesses;
     cyclesSkipped += res.cyclesSkipped;
     eventsProcessed += res.eventsProcessed;
     ++runs;
@@ -79,6 +81,33 @@ TreeBarrierSimulator::TreeBarrierSimulator(const TreeBarrierConfig &cfg)
                 level_base_[l + 1] + j / d;
         }
     }
+
+    // Tiled topology: home each node in the tile of its first
+    // descendant processor (leaf j covers processors [j*d, ...)), so
+    // a node's subtree-local traffic stays tile-local for as long as
+    // the subtree fits in one tile.  scatterNodes instead stripes
+    // nodes round-robin across tiles — the placement a topology-
+    // oblivious allocator produces — so nearly all tree traffic pays
+    // the remote latency (the "flat radix tree" baseline).
+    if (cfg.tileSize > 0) {
+        topo_.emplace(cfg.processors, cfg.tileSize, cfg.localLatency,
+                      cfg.remoteLatency);
+        node_home_.assign(node_count_, 0);
+        if (cfg.scatterNodes) {
+            for (std::uint32_t i = 0; i < node_count_; ++i)
+                node_home_[i] = i % topo_->tiles();
+        } else {
+            for (std::uint32_t j = 0; j < level_nodes_[0]; ++j)
+                node_home_[j] = topo_->tileOf(j * d);
+            for (std::uint32_t l = 1; l < depth_; ++l) {
+                for (std::uint32_t j = 0; j < level_nodes_[l]; ++j) {
+                    // First child of (l, j) is (l-1, j*d).
+                    node_home_[level_base_[l] + j] =
+                        node_home_[level_base_[l - 1] + j * d];
+                }
+            }
+        }
+    }
 }
 
 namespace
@@ -92,18 +121,35 @@ enum class TS : std::uint8_t
     PollFlag,   ///< polling the current node's flag
     FlagBackoff,
     Descend,    ///< setting flags of won nodes, top-down
+    Transit,    ///< granted response in flight (topology latency > 1)
     Done,
 };
 
 struct TProc
 {
     TS state = TS::WaitArrive;
+    TS resume = TS::ReqVar;      ///< state after a Transit hop
     std::uint64_t arrival = 0;
     std::uint64_t wake = 0;
     std::uint32_t node = 0;      ///< node being worked on
     std::uint64_t pollCount = 0; ///< unset polls at the current node
     std::vector<std::uint32_t> won; ///< nodes won, leaf upward
 };
+
+/** Enter the next acting state after a grant whose response takes
+ *  @p lat cycles; lat == 1 reproduces the flat next-cycle model. */
+void
+treeEnterAfter(TProc &pr, std::uint64_t cycle, std::uint64_t lat,
+               TS next)
+{
+    if (lat <= 1) {
+        pr.state = next;
+    } else {
+        pr.state = TS::Transit;
+        pr.resume = next;
+        pr.wake = cycle + lat;
+    }
+}
 
 /** One pending processor wake-up in the event heap. */
 struct TWake
@@ -181,18 +227,30 @@ treePhase1Step(TreeCtx &c, std::uint32_t p, std::uint64_t cycle,
         if (pr.wake <= cycle)
             pr.state = TS::PollFlag;
         break;
+      case TS::Transit:
+        if (pr.wake <= cycle)
+            pr.state = pr.resume;
+        break;
       default:
         break;
     }
     if (pr.state == TS::ReqVar) {
         c.var_mods[pr.node].request(p);
         ++c.res.accesses[p];
+        if (c.var_mods[pr.node].isLocalFor(p))
+            ++c.res.localAccesses;
+        else
+            ++c.res.remoteAccesses;
         if (touched != nullptr)
             touched->push_back(pr.node);
     } else if (pr.state == TS::PollFlag ||
                pr.state == TS::Descend) {
         c.flag_mods[pr.node].request(p);
         ++c.res.accesses[p];
+        if (c.flag_mods[pr.node].isLocalFor(p))
+            ++c.res.localAccesses;
+        else
+            ++c.res.remoteAccesses;
         if (touched != nullptr)
             touched->push_back(pr.node);
     }
@@ -211,31 +269,34 @@ treeResolveNode(TreeCtx &c, std::uint32_t m, std::uint64_t cycle,
 {
     const BackoffConfig &bo = c.cfg.backoff;
 
-    // Variable grant: fetch&add outcome.
+    // Variable grant: fetch&add outcome.  Granted accesses are
+    // charged the module's topology latency: the winner's next action
+    // waits for the response (lat cycles; 1 when flat).
     c.var_mods[m].advance(cycle - c.var_mods[m].cyclesSeen());
     const auto vw = c.var_mods[m].arbitrate(rng);
     if (vw != sim::NO_GRANT) {
         TProc &pr = c.procs[vw];
+        const std::uint64_t lat = c.var_mods[m].latencyFor(vw);
         const std::uint32_t i = ++c.counts[m];
         if (i == c.node_expected[m]) {
             // Last arriver: ascend, or win the barrier.
             pr.won.push_back(m);
             if (m == c.root) {
-                pr.state = TS::Descend;
                 pr.node = pr.won.back();
+                treeEnterAfter(pr, cycle, lat, TS::Descend);
             } else {
                 pr.node = c.parent[m];
-                pr.state = TS::ReqVar;
+                treeEnterAfter(pr, cycle, lat, TS::ReqVar);
             }
         } else {
             pr.pollCount = 0;
             const std::uint64_t delay =
                 bo.variableDelay(c.node_expected[m], i);
             if (delay == 0) {
-                pr.state = TS::PollFlag;
+                treeEnterAfter(pr, cycle, lat, TS::PollFlag);
             } else {
                 pr.state = TS::VarBackoff;
-                pr.wake = cycle + 1 + delay;
+                pr.wake = cycle + lat + delay;
             }
         }
     }
@@ -245,6 +306,7 @@ treeResolveNode(TreeCtx &c, std::uint32_t m, std::uint64_t cycle,
     const auto fw = c.flag_mods[m].arbitrate(rng);
     if (fw != sim::NO_GRANT) {
         TProc &pr = c.procs[fw];
+        const std::uint64_t lat = c.flag_mods[m].latencyFor(fw);
         if (pr.state == TS::Descend) {
             c.flags[m] = true;
             if (m == c.root)
@@ -253,19 +315,20 @@ treeResolveNode(TreeCtx &c, std::uint32_t m, std::uint64_t cycle,
             if (pr.won.empty()) {
                 pr.state = TS::Done;
                 ++c.done;
-                c.res.waits[fw] = cycle - pr.arrival;
+                c.res.waits[fw] = cycle + lat - 1 - pr.arrival;
             } else {
                 pr.node = pr.won.back();
+                treeEnterAfter(pr, cycle, lat, TS::Descend);
             }
         } else if (c.flags[m]) {
             // Released: descend our own winning path, if any.
             if (pr.won.empty()) {
                 pr.state = TS::Done;
                 ++c.done;
-                c.res.waits[fw] = cycle - pr.arrival;
+                c.res.waits[fw] = cycle + lat - 1 - pr.arrival;
             } else {
-                pr.state = TS::Descend;
                 pr.node = pr.won.back();
+                treeEnterAfter(pr, cycle, lat, TS::Descend);
             }
         } else {
             ++pr.pollCount;
@@ -273,10 +336,11 @@ treeResolveNode(TreeCtx &c, std::uint32_t m, std::uint64_t cycle,
             if (bo.randomized && delay > 0)
                 delay = rng.uniformInt(1, 2 * delay);
             if (delay == 0) {
-                // Poll again next cycle.
+                // Poll again as soon as the response lands.
+                treeEnterAfter(pr, cycle, lat, TS::PollFlag);
             } else {
                 pr.state = TS::FlagBackoff;
-                pr.wake = cycle + 1 + delay;
+                pr.wake = cycle + lat + delay;
             }
         }
     }
@@ -300,6 +364,8 @@ treeFinalize(TreeCtx &c, std::uint32_t node_count)
  *  TProc, each processor's `won` path allocation). */
 void
 treeInitEpisode(const TreeBarrierConfig &cfg, std::uint32_t node_count,
+                const std::optional<sim::Topology> &topo,
+                const std::vector<std::uint32_t> &node_home,
                 support::Rng &rng, TreeWorkspace &ws,
                 TreeEpisodeResult &res)
 {
@@ -324,6 +390,12 @@ treeInitEpisode(const TreeBarrierConfig &cfg, std::uint32_t node_count,
                        sim::MemoryModule(cfg.arbitration));
     ws.flag_mods.assign(node_count,
                         sim::MemoryModule(cfg.arbitration));
+    if (topo.has_value()) {
+        for (std::uint32_t m = 0; m < node_count; ++m) {
+            ws.var_mods[m].setTopology(&*topo, node_home[m]);
+            ws.flag_mods[m].setTopology(&*topo, node_home[m]);
+        }
+    }
     ws.counts.assign(node_count, 0);
     ws.flags.assign(node_count, false);
 }
@@ -337,7 +409,8 @@ TreeBarrierSimulator::runOnce(support::Rng &rng) const
     TreeWorkspace &ws = tlsTreeWorkspace();
 
     TreeEpisodeResult res;
-    treeInitEpisode(cfg_, node_count_, rng, ws, res);
+    treeInitEpisode(cfg_, node_count_, topo_, node_home_, rng, ws,
+                    res);
     TreeCtx c{cfg_,        node_expected_, parent_,  node_count_ - 1,
               ws.procs,    ws.var_mods,    ws.flag_mods,
               ws.counts,   ws.flags,       res};
@@ -399,10 +472,13 @@ TreeBarrierSimulator::runOnce(support::Rng &rng) const
                 break;
               case TS::VarBackoff:
               case TS::FlagBackoff:
+              case TS::Transit:
                 if (pr.wake > cycle) {
                     ws.heap.push_back({pr.wake, p});
                     std::push_heap(ws.heap.begin(), ws.heap.end(),
                                    TLaterWake{});
+                } else {
+                    ws.next_active.push_back(p);
                 }
                 break;
               default:
@@ -442,7 +518,8 @@ TreeBarrierSimulator::runOnceReference(support::Rng &rng) const
     TreeWorkspace ws; // plain locals: the oracle stays allocation-dumb
 
     TreeEpisodeResult res;
-    treeInitEpisode(cfg_, node_count_, rng, ws, res);
+    treeInitEpisode(cfg_, node_count_, topo_, node_home_, rng, ws,
+                    res);
     TreeCtx c{cfg_,        node_expected_, parent_,  node_count_ - 1,
               ws.procs,    ws.var_mods,    ws.flag_mods,
               ws.counts,   ws.flags,       res};

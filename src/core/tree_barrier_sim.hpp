@@ -30,10 +30,12 @@
 #define ABSYNC_CORE_TREE_BARRIER_SIM_HPP
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/backoff.hpp"
 #include "sim/memory_module.hpp"
+#include "sim/topology.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -54,6 +56,38 @@ struct TreeBarrierConfig
     BackoffConfig backoff;
     /** Module arbitration policy. */
     sim::Arbitration arbitration = sim::Arbitration::Fifo;
+
+    /**
+     * Optional tiled topology (DESIGN.md §15): 0 = flat machine
+     * (every access latency 1 — the historical behaviour, preserved
+     * bit-identically).  > 0 homes each node's modules in the tile of
+     * the node's first descendant processor, so leaf traffic is tile-
+     * local while ascending levels increasingly cross tiles at
+     * remoteLatency.  This is the topology-aware radix tree the
+     * hierarchical barrier is benchmarked against.  Must divide
+     * `processors` (validated fatally by the sim::Topology built at
+     * construction).
+     */
+    std::uint32_t tileSize = 0;
+
+    /**
+     * Home node modules round-robin across tiles (node i in tile
+     * i mod tiles) instead of in the first descendant's tile — the
+     * placement a topology-*oblivious* allocator produces when the
+     * paper's flat radix tree is dropped unchanged onto a tiled
+     * machine.  This is the "flat radix tree" baseline the
+     * hierarchical barrier is measured against; the default
+     * first-descendant homing is the NUMA-aware tree.  Ignored when
+     * tileSize == 0.
+     */
+    bool scatterNodes = false;
+
+    /** Granted-access latency against the requester's own tile
+     *  (used only when tileSize > 0). */
+    std::uint64_t localLatency = 1;
+
+    /** Granted-access latency across tiles. */
+    std::uint64_t remoteLatency = 8;
 };
 
 /** Outcome of one simulated tree-barrier episode. */
@@ -67,6 +101,11 @@ struct TreeEpisodeResult
     std::uint64_t maxModuleTraffic = 0;
     /** Cycle the root flag was set. */
     std::uint64_t rootSetTime = 0;
+    /** Access attempts against the requester's own tile's modules
+     *  (all of them when no topology is configured). */
+    std::uint64_t localAccesses = 0;
+    /** Access attempts that crossed a tile boundary. */
+    std::uint64_t remoteAccesses = 0;
 
     /**
      * Engine diagnostics, NOT part of the bit-identical episode
@@ -87,6 +126,9 @@ struct TreeEpisodeSummary
     support::RunningStats wait;
     support::RunningStats maxModuleTraffic;
     std::uint64_t runs = 0;
+    /** Local/remote access totals summed across runs. */
+    std::uint64_t localAccesses = 0;
+    std::uint64_t remoteAccesses = 0;
 
     /** Engine diagnostics summed across runs. */
     std::uint64_t cyclesSkipped = 0;
@@ -140,8 +182,18 @@ class TreeBarrierSimulator
     /** Tree depth (levels of internal nodes). */
     std::uint32_t depth() const { return depth_; }
 
+    /** The topology in effect (empty when tileSize == 0). */
+    const std::optional<sim::Topology> &topology() const
+    {
+        return topo_;
+    }
+
   private:
     TreeBarrierConfig cfg_;
+    std::optional<sim::Topology> topo_;
+    /** Home tile per node (first descendant processor's tile);
+     *  empty when flat. */
+    std::vector<std::uint32_t> node_home_;
     std::uint32_t node_count_;
     std::uint32_t depth_;
     /** First node index of each level; level 0 = leaves. */

@@ -26,6 +26,8 @@ CounterSnapshot::operator+=(const CounterSnapshot &o)
     saturatedWindows += o.saturatedWindows;
     queueHandoffs += o.queueHandoffs;
     nodesAbandoned += o.nodesAbandoned;
+    localAccesses += o.localAccesses;
+    remoteAccesses += o.remoteAccesses;
     return *this;
 }
 
@@ -50,6 +52,8 @@ CounterSnapshot::operator-(const CounterSnapshot &o) const
     d.saturatedWindows -= o.saturatedWindows;
     d.queueHandoffs -= o.queueHandoffs;
     d.nodesAbandoned -= o.nodesAbandoned;
+    d.localAccesses -= o.localAccesses;
+    d.remoteAccesses -= o.remoteAccesses;
     return d;
 }
 
@@ -67,7 +71,9 @@ CounterSnapshot::operator==(const CounterSnapshot &o) const
            arrivals == o.arrivals && sheds == o.sheds &&
            saturatedWindows == o.saturatedWindows &&
            queueHandoffs == o.queueHandoffs &&
-           nodesAbandoned == o.nodesAbandoned;
+           nodesAbandoned == o.nodesAbandoned &&
+           localAccesses == o.localAccesses &&
+           remoteAccesses == o.remoteAccesses;
 }
 
 std::string
@@ -102,6 +108,14 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
     // the document is only committed to *out once fully validated.
     if (out == nullptr)
         return false;
+    // Every valid input — bare snapshot or registry document — is a
+    // JSON object, so it ends in '}'.  A document cut short (full
+    // disk, broken pipe) ends mid-token instead; catching that here
+    // also covers truncation inside the optional-key tail, where the
+    // per-key scan below would find nothing wrong.
+    const std::size_t last = json.find_last_not_of(" \t\n\r");
+    if (last == std::string::npos || json[last] != '}')
+        return false;
     // Keys added after absync.sync_counters.v1 first shipped: absent
     // in documents from older builds, so absence means 0, not a
     // malformed document.
@@ -110,7 +124,8 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
         return n == "cycles_skipped" || n == "events_processed" ||
                n == "arrivals" || n == "sheds" ||
                n == "saturated_windows" || n == "queue_handoffs" ||
-               n == "nodes_abandoned";
+               n == "nodes_abandoned" || n == "local_accesses" ||
+               n == "remote_accesses";
     };
     CounterSnapshot parsed;
     bool ok = true;
@@ -202,6 +217,9 @@ SyncCounters::snapshot() const
     s.queueHandoffs = queueHandoffs.load(std::memory_order_relaxed);
     s.nodesAbandoned =
         nodesAbandoned.load(std::memory_order_relaxed);
+    s.localAccesses = localAccesses.load(std::memory_order_relaxed);
+    s.remoteAccesses =
+        remoteAccesses.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -225,6 +243,8 @@ SyncCounters::reset()
     saturatedWindows.store(0, std::memory_order_relaxed);
     queueHandoffs.store(0, std::memory_order_relaxed);
     nodesAbandoned.store(0, std::memory_order_relaxed);
+    localAccesses.store(0, std::memory_order_relaxed);
+    remoteAccesses.store(0, std::memory_order_relaxed);
 }
 
 namespace

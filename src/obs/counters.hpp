@@ -42,6 +42,11 @@
  *                      barrier wake writes; DESIGN.md §14)
  *  - nodes_abandoned   abandoned (timed-out / parked) queue nodes
  *                      unlinked and recycled by a later handoff
+ *  - local_accesses    topology-aware simulators: access attempts on
+ *                      a module homed in the requester's own tile
+ *                      (DESIGN.md §15)
+ *  - remote_accesses   access attempts that crossed tiles (globally
+ *                      shared modules count as remote for everyone)
  *
  * Everything after `acquires` postdates v1 of the schema: those
  * counters are recorded by the simulators, the open-system robustness
@@ -98,6 +103,8 @@ struct CounterSnapshot
     std::uint64_t saturatedWindows = 0;
     std::uint64_t queueHandoffs = 0;
     std::uint64_t nodesAbandoned = 0;
+    std::uint64_t localAccesses = 0;
+    std::uint64_t remoteAccesses = 0;
 
     /** Apply @p f(name, value) to every field, in schema order. */
     template <typename F>
@@ -121,6 +128,8 @@ struct CounterSnapshot
         f("saturated_windows", saturatedWindows);
         f("queue_handoffs", queueHandoffs);
         f("nodes_abandoned", nodesAbandoned);
+        f("local_accesses", localAccesses);
+        f("remote_accesses", remoteAccesses);
     }
 
     /** Mutable field access by schema position (exposition helpers). */
@@ -145,6 +154,8 @@ struct CounterSnapshot
         f("saturated_windows", saturatedWindows);
         f("queue_handoffs", queueHandoffs);
         f("nodes_abandoned", nodesAbandoned);
+        f("local_accesses", localAccesses);
+        f("remote_accesses", remoteAccesses);
     }
 
     CounterSnapshot &operator+=(const CounterSnapshot &o);
@@ -170,7 +181,7 @@ struct CounterSnapshot
  * object).  Tolerant scanner over this library's own output, not a
  * general JSON parser.  Returns false when any schema key is missing,
  * except the keys added after v1 shipped (cycles_skipped through
- * nodes_abandoned): those default to 0 so documents from older builds
+ * remote_accesses): those default to 0 so documents from older builds
  * still parse.
  */
 bool parseCounterSnapshot(const std::string &json, CounterSnapshot *out);
@@ -202,6 +213,8 @@ struct alignas(64) SyncCounters
     std::atomic<std::uint64_t> saturatedWindows{0};
     std::atomic<std::uint64_t> queueHandoffs{0};
     std::atomic<std::uint64_t> nodesAbandoned{0};
+    std::atomic<std::uint64_t> localAccesses{0};
+    std::atomic<std::uint64_t> remoteAccesses{0};
 
     /** Single-writer add: safe against concurrent snapshot readers. */
     static void
@@ -380,6 +393,18 @@ inline void
 countNodeAbandoned(std::uint64_t n = 1)
 {
     ABSYNC_OBS_RECORD(nodesAbandoned, n);
+}
+
+inline void
+countLocalAccesses(std::uint64_t n)
+{
+    ABSYNC_OBS_RECORD(localAccesses, n);
+}
+
+inline void
+countRemoteAccesses(std::uint64_t n)
+{
+    ABSYNC_OBS_RECORD(remoteAccesses, n);
 }
 
 #undef ABSYNC_OBS_RECORD

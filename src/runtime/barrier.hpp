@@ -78,6 +78,22 @@ struct BarrierConfig
     /** Blocking: futex-wait once the next wait would exceed this. */
     std::uint64_t blockThreshold = 1 << 12;
     /**
+     * HierarchicalBarrier only: threads per tile (0 = auto, the
+     * largest divisor of `parties` no larger than its square root).
+     * Must divide the party count; fatal otherwise.  Other barrier
+     * kinds ignore it.
+     */
+    std::uint32_t tileSize = 0;
+    /**
+     * HierarchicalBarrier only: use queue wake-up (HMCS-style) —
+     * arrivals at both levels enqueue in arrival order and spin on a
+     * private per-thread word; the last representative walks the
+     * cross-tile queue and every released representative walks its
+     * tile's queue.  No shared-word polling at all.  Other barrier
+     * kinds ignore it.
+     */
+    bool queueWakeup = false;
+    /**
      * Test-only fault hook: when set, arrivals consult the injector
      * for straggler stalls and wait loops for spurious wakeups, so
      * robustness tests and benches can perturb the barrier with a

@@ -169,6 +169,45 @@ class AdaptiveAdapter final : public AnyBarrier
     AdaptiveBarrier barrier_;
 };
 
+class HierarchicalAdapter final : public AnyBarrier
+{
+  public:
+    HierarchicalAdapter(std::uint32_t parties,
+                        const BarrierConfig &cfg)
+        : barrier_(parties, cfg)
+    {
+    }
+
+    void arrive(std::uint32_t tid) override
+    {
+        barrier_.arriveAndWait(tid);
+    }
+
+    WaitResult arriveFor(std::uint32_t tid,
+                         Deadline deadline) override
+    {
+        return barrier_.arriveAndWaitFor(tid, deadline);
+    }
+
+    std::uint64_t polls() const override
+    {
+        return barrier_.totalPolls();
+    }
+
+    std::uint64_t blocks() const override
+    {
+        return barrier_.totalBlocks();
+    }
+
+    std::uint64_t timeouts() const override
+    {
+        return barrier_.totalTimeouts();
+    }
+
+  private:
+    HierarchicalBarrier barrier_;
+};
+
 } // namespace
 
 BarrierKind
@@ -182,6 +221,8 @@ barrierKindFromString(const std::string &name)
         return BarrierKind::Tree;
     if (name == "adaptive")
         return BarrierKind::Adaptive;
+    if (name == "hier" || name == "hierarchical")
+        return BarrierKind::Hierarchical;
     std::fprintf(stderr, "unknown barrier kind '%s'\n", name.c_str());
     std::exit(2);
 }
@@ -199,6 +240,8 @@ makeBarrier(BarrierKind kind, std::uint32_t parties,
         return std::make_unique<TreeAdapter>(parties, cfg);
       case BarrierKind::Adaptive:
         return std::make_unique<AdaptiveAdapter>(parties, cfg);
+      case BarrierKind::Hierarchical:
+        return std::make_unique<HierarchicalAdapter>(parties, cfg);
     }
     return nullptr;
 }

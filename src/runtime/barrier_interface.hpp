@@ -2,9 +2,10 @@
  * @file
  * Type-erased barrier interface and factory.
  *
- * The runtime library has four barrier implementations — the
+ * The runtime library has five barrier implementations — the
  * sense-reversing SpinBarrier, the paper-faithful TangYewBarrier,
- * the combining TreeBarrier, and the self-tuning AdaptiveBarrier.
+ * the combining TreeBarrier, the self-tuning AdaptiveBarrier, and
+ * the two-level NUMA-aware HierarchicalBarrier.
  * Application-level code (TeamRunner, the examples) should be able
  * to swap them by configuration, so this header provides a minimal
  * virtual interface plus adapters and a factory.
@@ -19,6 +20,7 @@
 
 #include "runtime/adaptive_barrier.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/hierarchical_barrier.hpp"
 #include "runtime/tang_yew_barrier.hpp"
 #include "runtime/tree_barrier.hpp"
 #include "runtime/wait_result.hpp"
@@ -58,13 +60,15 @@ class AnyBarrier
 /** Which implementation a factory call should produce. */
 enum class BarrierKind
 {
-    Flat,     ///< SpinBarrier (sense-reversing)
-    TangYew,  ///< two-variable counter + flag
-    Tree,     ///< combining tree, fan-in 2
-    Adaptive, ///< self-tuning first-wait estimator
+    Flat,         ///< SpinBarrier (sense-reversing)
+    TangYew,      ///< two-variable counter + flag
+    Tree,         ///< combining tree, fan-in 2
+    Adaptive,     ///< self-tuning first-wait estimator
+    Hierarchical, ///< two-level tile-local + cross-tile
 };
 
-/** Parse "flat" | "tangyew" | "tree" | "adaptive"; fatal on typo. */
+/** Parse "flat" | "tangyew" | "tree" | "adaptive" | "hier[archical]";
+ *  fatal on typo. */
 BarrierKind barrierKindFromString(const std::string &name);
 
 /**

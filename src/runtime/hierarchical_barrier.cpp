@@ -1,0 +1,377 @@
+#include "runtime/hierarchical_barrier.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
+#include "support/fault.hpp"
+
+namespace absync::runtime
+{
+
+namespace
+{
+
+/** Auto tile shape: largest divisor of n no larger than sqrt(n), so
+ *  the two levels are as balanced as the divisor structure allows
+ *  (primes degenerate to 1 x n, which is just the flat barrier). */
+std::uint32_t
+autoTileSize(std::uint32_t n)
+{
+    std::uint32_t best = 1;
+    for (std::uint32_t d = 1;
+         static_cast<std::uint64_t>(d) * d <= n; ++d) {
+        if (n % d == 0)
+            best = d;
+    }
+    return best;
+}
+
+} // namespace
+
+HierarchicalBarrier::HierarchicalBarrier(std::uint32_t parties,
+                                         BarrierConfig cfg)
+    : parties_(parties), cfg_(cfg)
+{
+    assert(parties >= 1);
+    tile_size_ = cfg.tileSize == 0 ? autoTileSize(parties)
+                                   : cfg.tileSize;
+    if (tile_size_ == 0 || tile_size_ > parties_ ||
+        parties_ % tile_size_ != 0) {
+        std::fprintf(stderr,
+                     "HierarchicalBarrier: tile size %u invalid for "
+                     "%u parties (must divide the party count)\n",
+                     tile_size_, parties_);
+        std::exit(2);
+    }
+    tiles_ = parties_ / tile_size_;
+
+    local_nodes_ = std::vector<Node>(tiles_);
+    for (Node &n : local_nodes_)
+        n.expected = tile_size_;
+    global_node_.expected = tiles_;
+    words_ = std::vector<WakeWord>(parties_);
+    tile_slots_ = std::vector<QueueSlot>(parties_);
+    global_slots_ = std::vector<QueueSlot>(tiles_);
+    slots_ = std::vector<ThreadSlot>(parties_);
+}
+
+WaitResult
+HierarchicalBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
+                                std::uint32_t missing, bool timed,
+                                Deadline deadline)
+{
+    // Identical pacing contract to TreeBarrier::waitAtNode: one
+    // backoff interval per unset poll, fault hook may cut it short,
+    // deadline clamps it into bounded chunks.
+    const auto pause = [&](std::uint64_t iterations) {
+        if (cfg_.fault && cfg_.fault->onWake())
+            return;
+        if (timed)
+            spinForUntil(iterations, deadline);
+        else
+            spinFor(iterations);
+    };
+
+    if (cfg_.policy != BarrierPolicy::None && missing > 0)
+        pause(static_cast<std::uint64_t>(missing) *
+              cfg_.perMissingArrival);
+
+    std::uint64_t local_polls = 0;
+    std::uint64_t wait = cfg_.initial;
+    for (;;) {
+        ++local_polls;
+        if (node.sense.load(std::memory_order_acquire) != old_sense)
+            break;
+        if (timed && deadlineExpired(deadline)) {
+            polls_.fetch_add(local_polls, std::memory_order_relaxed);
+            obs::countFlagPolls(local_polls);
+            obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                            local_polls);
+            return WaitResult::Timeout;
+        }
+        switch (cfg_.policy) {
+          case BarrierPolicy::None:
+          case BarrierPolicy::Variable:
+            cpuRelax();
+            break;
+          case BarrierPolicy::Linear:
+            pause(wait);
+            wait = wait + cfg_.base > cfg_.maxWait ? cfg_.maxWait
+                                                   : wait + cfg_.base;
+            break;
+          case BarrierPolicy::Exponential:
+            pause(wait);
+            wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
+                                                   : wait * cfg_.base;
+            break;
+          case BarrierPolicy::Blocking:
+            if (wait > cfg_.blockThreshold) {
+                if (!timed) {
+                    blocks_.fetch_add(1, std::memory_order_relaxed);
+                    obs::countPark();
+                    obs::tracePoint(obs::EventKind::Park,
+                                    waitClockNowNs());
+                    atomicWaitWhileEqual(node.sense, old_sense);
+                    obs::countWake();
+                    ++local_polls;
+                    goto out;
+                }
+                pause(cfg_.blockThreshold);
+                break;
+            }
+            pause(wait);
+            wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
+                                                   : wait * cfg_.base;
+            break;
+        }
+    }
+  out:
+    polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    obs::countFlagPolls(local_polls);
+    obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
+                    local_polls);
+    return WaitResult::Ok;
+}
+
+WaitResult
+HierarchicalBarrier::waitOnWord(std::uint32_t thread_id,
+                                std::uint32_t w0, bool timed,
+                                Deadline deadline)
+{
+    // The queue family's whole point: this word is ours alone, so
+    // polling it costs nothing on the interconnect and needs no
+    // backoff.  Blocking still offers the futex once the spin budget
+    // crosses the threshold.
+    WakeWord &w = words_[thread_id];
+    std::uint64_t local_polls = 0;
+    std::uint64_t spent = 0;
+    for (;;) {
+        ++local_polls;
+        if (w.epoch.load(std::memory_order_acquire) != w0)
+            break;
+        if (timed && deadlineExpired(deadline)) {
+            polls_.fetch_add(local_polls, std::memory_order_relaxed);
+            obs::countFlagPolls(local_polls);
+            return WaitResult::Timeout;
+        }
+        if (cfg_.policy == BarrierPolicy::Blocking && !timed &&
+            spent > cfg_.blockThreshold) {
+            blocks_.fetch_add(1, std::memory_order_relaxed);
+            obs::countPark();
+            atomicWaitWhileEqual(w.epoch, w0);
+            obs::countWake();
+            ++local_polls;
+            break;
+        }
+        cpuRelax();
+        ++spent;
+    }
+    polls_.fetch_add(local_polls, std::memory_order_relaxed);
+    obs::countFlagPolls(local_polls);
+    return WaitResult::Ok;
+}
+
+void
+HierarchicalBarrier::releaseTile(std::uint32_t tile)
+{
+    Node &ln = local_nodes_[tile];
+    if (!cfg_.queueWakeup) {
+        ln.count.store(0, std::memory_order_relaxed);
+        ln.sense.fetch_add(1, std::memory_order_release);
+        obs::countCounterRmws();
+        obs::countLocalAccesses(1);
+        if (cfg_.policy == BarrierPolicy::Blocking)
+            ln.sense.notify_all();
+        return;
+    }
+
+    // Queue wake-down: consume the tile's arrival-order queue
+    // (bounded wait — each enqueuer already fetch&added, its slot
+    // store is at most one peer instruction away), reset the node,
+    // then hand off.  The reset happens before any wake so a released
+    // thread can immediately re-arrive into a clean phase.
+    const std::uint32_t waiters = tile_size_ - 1;
+    std::vector<std::uint32_t> rids;
+    rids.reserve(waiters);
+    std::uint64_t local_polls = 0;
+    for (std::uint32_t pos = 0; pos < waiters; ++pos) {
+        QueueSlot &s = tile_slots_[tile * tile_size_ + pos];
+        std::uint32_t v;
+        while ((v = s.v.load(std::memory_order_acquire)) == 0) {
+            ++local_polls;
+            cpuRelax();
+        }
+        s.v.store(0, std::memory_order_relaxed);
+        rids.push_back(v - 1);
+    }
+    ln.count.store(0, std::memory_order_release);
+    for (const std::uint32_t rid : rids) {
+        words_[rid].epoch.fetch_add(1, std::memory_order_release);
+        if (cfg_.policy == BarrierPolicy::Blocking)
+            words_[rid].epoch.notify_all();
+    }
+    handoffs_.fetch_add(waiters, std::memory_order_relaxed);
+    obs::countQueueHandoff(waiters);
+    obs::countLocalAccesses(waiters + 1);
+    if (local_polls > 0) {
+        polls_.fetch_add(local_polls, std::memory_order_relaxed);
+        obs::countFlagPolls(local_polls);
+    }
+}
+
+void
+HierarchicalBarrier::releaseGlobal()
+{
+    Node &g = global_node_;
+    if (!cfg_.queueWakeup) {
+        g.count.store(0, std::memory_order_relaxed);
+        g.sense.fetch_add(1, std::memory_order_release);
+        obs::countCounterRmws();
+        obs::countRemoteAccesses(1);
+        if (cfg_.policy == BarrierPolicy::Blocking)
+            g.sense.notify_all();
+        return;
+    }
+
+    const std::uint32_t waiters = tiles_ - 1;
+    std::vector<std::uint32_t> rids;
+    rids.reserve(waiters);
+    std::uint64_t local_polls = 0;
+    for (std::uint32_t pos = 0; pos < waiters; ++pos) {
+        QueueSlot &s = global_slots_[pos];
+        std::uint32_t v;
+        while ((v = s.v.load(std::memory_order_acquire)) == 0) {
+            ++local_polls;
+            cpuRelax();
+        }
+        s.v.store(0, std::memory_order_relaxed);
+        rids.push_back(v - 1);
+    }
+    g.count.store(0, std::memory_order_release);
+    for (const std::uint32_t rid : rids) {
+        words_[rid].epoch.fetch_add(1, std::memory_order_release);
+        if (cfg_.policy == BarrierPolicy::Blocking)
+            words_[rid].epoch.notify_all();
+    }
+    handoffs_.fetch_add(waiters, std::memory_order_relaxed);
+    obs::countQueueHandoff(waiters);
+    obs::countRemoteAccesses(waiters + 1);
+    if (local_polls > 0) {
+        polls_.fetch_add(local_polls, std::memory_order_relaxed);
+        obs::countFlagPolls(local_polls);
+    }
+}
+
+void
+HierarchicalBarrier::arriveAndWait(std::uint32_t thread_id)
+{
+    arriveInternal(thread_id, false, Deadline{});
+}
+
+WaitResult
+HierarchicalBarrier::arriveAndWaitFor(std::uint32_t thread_id,
+                                      Deadline deadline)
+{
+    return arriveInternal(thread_id, true, deadline);
+}
+
+WaitResult
+HierarchicalBarrier::arriveInternal(std::uint32_t thread_id,
+                                    bool timed, Deadline deadline)
+{
+    assert(thread_id < parties_);
+    const ScopedSchedHook sched(cfg_.sched);
+    obs::tracePoint(obs::EventKind::Arrive, waitClockNowNs());
+    ThreadSlot &slot = slots_[thread_id];
+    const std::uint32_t tile = thread_id / tile_size_;
+    std::uint32_t missing = 0;
+    bool released = false; ///< no wait needed (last representative)
+
+    if (!slot.pending) {
+        // Fresh arrival.  The fault hook stalls only here: a resumed
+        // continuation already arrived and owes the barrier progress.
+        if (cfg_.fault) {
+            const std::uint64_t stall = cfg_.fault->onArrive();
+            if (stall > 0)
+                spinFor(stall);
+        }
+
+        Node &ln = local_nodes_[tile];
+        // Queue family: the wake-word baseline must be read before
+        // the enqueue is published — the releaser bumps the word only
+        // after consuming the slot, so the bump cannot land between.
+        slot.word0 =
+            words_[thread_id].epoch.load(std::memory_order_relaxed);
+        slot.sense0 = ln.sense.load(std::memory_order_acquire);
+        const std::uint32_t pos =
+            ln.count.fetch_add(1, std::memory_order_acq_rel);
+        obs::countCounterRmws();
+        obs::countLocalAccesses(1);
+        if (pos + 1 != tile_size_) {
+            if (cfg_.queueWakeup)
+                tile_slots_[tile * tile_size_ + pos].v.store(
+                    thread_id + 1, std::memory_order_release);
+            slot.stage = Stage::LocalWait;
+            missing = tile_size_ - (pos + 1);
+        } else {
+            // Representative: ascend to the global node.
+            Node &g = global_node_;
+            slot.word0 = words_[thread_id].epoch.load(
+                std::memory_order_relaxed);
+            slot.sense0 = g.sense.load(std::memory_order_acquire);
+            const std::uint32_t gpos =
+                g.count.fetch_add(1, std::memory_order_acq_rel);
+            obs::countCounterRmws();
+            obs::countRemoteAccesses(1);
+            if (gpos + 1 != tiles_) {
+                if (cfg_.queueWakeup)
+                    global_slots_[gpos].v.store(
+                        thread_id + 1, std::memory_order_release);
+                slot.stage = Stage::GlobalWait;
+                missing = tiles_ - (gpos + 1);
+            } else {
+                // Last representative: the phase is complete.
+                releaseGlobal();
+                released = true;
+            }
+        }
+    }
+    // else: resume the parked wait (missing == 0 skips the pre-wait).
+
+    if (!released) {
+        const WaitResult r =
+            cfg_.queueWakeup
+                ? waitOnWord(thread_id, slot.word0, timed, deadline)
+                : waitAtNode(slot.stage == Stage::LocalWait
+                                 ? local_nodes_[tile]
+                                 : global_node_,
+                             slot.sense0, missing, timed, deadline);
+        if (r == WaitResult::Timeout) {
+            // Park the continuation (cf. TreeBarrier): the arrival
+            // stands, only the timeout counter moves.
+            slot.pending = true;
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            obs::countTimeout();
+            obs::tracePoint(obs::EventKind::Withdraw,
+                            waitClockNowNs(), 1 /* parked */);
+            return WaitResult::Timeout;
+        }
+    }
+    slot.pending = false;
+
+    // Wake-down: every released representative — including the last
+    // one — releases its own tile.
+    if (released || slot.stage == Stage::GlobalWait) {
+        // Spin family: reset our count view before releasing (the
+        // global node was reset by the last representative).
+        releaseTile(tile);
+    }
+    obs::countEpisode();
+    obs::tracePoint(obs::EventKind::Release, waitClockNowNs());
+    return WaitResult::Ok;
+}
+
+} // namespace absync::runtime

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Two-level hierarchical (NUMA-aware) barrier for real threads — the
+ * runtime counterpart of core::HierarchicalBarrierSimulator
+ * (DESIGN.md §15).
+ *
+ * Threads are grouped into tiles of `tileSize` consecutive ids.  Each
+ * tile has a local sense-reversing node; the last arriver in a tile
+ * becomes the tile's *representative* and arrives at a single global
+ * node shared by all representatives.  The last representative
+ * releases the global node, and every released representative then
+ * releases its own tile — so at most `tileSize` threads ever contend
+ * on a tile line and at most `tiles` on the global line, and the
+ * expensive cross-tile traffic is paid O(tiles) times per phase
+ * instead of O(N).
+ *
+ * With BarrierConfig::queueWakeup the wake-down switches to the
+ * HMCS-style queue family: arrivals at both levels enqueue in arrival
+ * order and spin on a *private* per-thread word; the last
+ * representative walks the cross-tile queue (one handoff write per
+ * representative), and each released representative walks its tile's
+ * queue.  No shared word is ever polled, so the only contended
+ * traffic is the two fetch&adds.
+ *
+ * Timed arrivals use the same *continuation-resume* semantics as
+ * TreeBarrier (see tree_barrier.hpp for the rationale): a timeout
+ * parks the wait — the arrival stands — and the same thread's next
+ * arrive call resumes it.  Until a timed-out representative resumes,
+ * its tile stays unreleased even after the global phase completes.
+ */
+
+#ifndef ABSYNC_RUNTIME_HIERARCHICAL_BARRIER_HPP
+#define ABSYNC_RUNTIME_HIERARCHICAL_BARRIER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/wait_result.hpp"
+
+namespace absync::runtime
+{
+
+/**
+ * Reusable two-level barrier for a fixed set of threads.  Like
+ * TreeBarrier, arriveAndWait takes the caller's dense thread id
+ * (0..parties-1) so the thread can be routed to its tile.
+ */
+class HierarchicalBarrier
+{
+  public:
+    /**
+     * @param parties participating threads (>= 1)
+     * @param cfg waiting policy; cfg.tileSize selects the tile shape
+     *            (0 = auto: the largest divisor of @p parties no
+     *            larger than its square root) and must divide
+     *            @p parties — fatal otherwise; cfg.queueWakeup
+     *            selects the queue wake-down family
+     */
+    explicit HierarchicalBarrier(std::uint32_t parties,
+                                 BarrierConfig cfg = {});
+
+    HierarchicalBarrier(const HierarchicalBarrier &) = delete;
+    HierarchicalBarrier &operator=(const HierarchicalBarrier &) =
+        delete;
+
+    /** Arrive as thread @p thread_id and wait for the phase. */
+    void arriveAndWait(std::uint32_t thread_id);
+
+    /**
+     * Arrive as thread @p thread_id and wait until the phase
+     * completes or @p deadline passes.  On Timeout the arrival stays
+     * registered (continuation-resume, see the file comment); the
+     * same thread's next arrive call resumes the parked wait.
+     */
+    WaitResult arriveAndWaitFor(std::uint32_t thread_id,
+                                Deadline deadline);
+
+    /** Number of participating threads. */
+    std::uint32_t parties() const { return parties_; }
+
+    /** Threads per tile in effect (after auto-selection). */
+    std::uint32_t tileSize() const { return tile_size_; }
+
+    /** Number of tiles. */
+    std::uint32_t tiles() const { return tiles_; }
+
+    /** Total shared polls across all threads and phases (private
+     *  wake-word polls included: they are the queue family's spin). */
+    std::uint64_t
+    totalPolls() const
+    {
+        return polls_.load(std::memory_order_relaxed);
+    }
+
+    /** Total futex blocks (Blocking policy only). */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return blocks_.load(std::memory_order_relaxed);
+    }
+
+    /** Total timed waits that ended in Timeout. */
+    std::uint64_t
+    totalTimeouts() const
+    {
+        return timeouts_.load(std::memory_order_relaxed);
+    }
+
+    /** Total queue handoff writes (queueWakeup only). */
+    std::uint64_t
+    totalHandoffs() const
+    {
+        return handoffs_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** One barrier node, padded to its own cache line pair. */
+    struct alignas(64) Node
+    {
+        std::atomic<std::uint32_t> count{0};
+        std::atomic<std::uint32_t> sense{0};
+        std::uint32_t expected = 0;
+    };
+
+    /** Private wake word (queue family): bumped once per release. */
+    struct alignas(64) WakeWord
+    {
+        std::atomic<std::uint32_t> epoch{0};
+    };
+
+    /** One arrival-order queue entry: thread id + 1, 0 = empty. */
+    struct alignas(64) QueueSlot
+    {
+        std::atomic<std::uint32_t> v{0};
+    };
+
+    /** Where a parked continuation must resume waiting. */
+    enum class Stage : std::uint8_t
+    {
+        LocalWait,  ///< waiting for the tile release
+        GlobalWait, ///< representative: waiting for the global release
+    };
+
+    /** Parked continuation of a timed-out arrival; only ever touched
+     *  by its owning thread (cf. TreeBarrier::ThreadSlot). */
+    struct alignas(64) ThreadSlot
+    {
+        bool pending = false;
+        Stage stage = Stage::LocalWait;
+        std::uint32_t sense0 = 0; ///< sense baseline (spin family)
+        std::uint32_t word0 = 0;  ///< wake-word baseline (queue family)
+    };
+
+    WaitResult arriveInternal(std::uint32_t thread_id, bool timed,
+                              Deadline deadline);
+
+    /** Wait at @p node until its sense leaves @p old_sense. */
+    WaitResult waitAtNode(Node &node, std::uint32_t old_sense,
+                          std::uint32_t missing, bool timed,
+                          Deadline deadline);
+
+    /** Queue family: wait until our own wake word leaves @p w0. */
+    WaitResult waitOnWord(std::uint32_t thread_id, std::uint32_t w0,
+                          bool timed, Deadline deadline);
+
+    /** Release the tile (sense bump, or queue walk + word bumps). */
+    void releaseTile(std::uint32_t tile);
+
+    /** Last representative: release every parked representative. */
+    void releaseGlobal();
+
+    const std::uint32_t parties_;
+    std::uint32_t tile_size_;
+    std::uint32_t tiles_;
+    const BarrierConfig cfg_;
+    std::vector<Node> local_nodes_;
+    Node global_node_;
+    std::vector<WakeWord> words_;
+    /** Tile t's queue occupies [t*tileSize, ...); entry pos is the
+     *  pos-th local arriver (the last one ascends instead). */
+    std::vector<QueueSlot> tile_slots_;
+    /** Cross-tile queue: entry g is the g-th representative. */
+    std::vector<QueueSlot> global_slots_;
+    std::vector<ThreadSlot> slots_;
+    std::atomic<std::uint64_t> polls_{0};
+    std::atomic<std::uint64_t> blocks_{0};
+    std::atomic<std::uint64_t> timeouts_{0};
+    std::atomic<std::uint64_t> handoffs_{0};
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_HIERARCHICAL_BARRIER_HPP

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/profile.hpp"
+#include "sim/topology.hpp"
 #include "support/rng.hpp"
 
 namespace absync::support
@@ -133,6 +134,39 @@ class MemoryModule
     }
 
     /**
+     * Home this module in a tile of @p topo (sim::GLOBAL_TILE: remote
+     * to everyone).  Routing only affects latency attribution — the
+     * one-grant-per-cycle contention model is unchanged; the
+     * simulators consult latencyFor()/isLocalFor() on every granted
+     * access to delay the winner's next action and to classify the
+     * access as local or remote traffic.  Pass nullptr to detach
+     * (flat model: every access is local, latency 1).  @p topo is not
+     * owned and must outlive the module; reset() keeps the homing,
+     * like setFaults().
+     */
+    void
+    setTopology(const Topology *topo, std::uint32_t home_tile)
+    {
+        topo_ = topo;
+        home_tile_ = home_tile;
+    }
+
+    /** Granted-access latency for requester @p id (1 when flat). */
+    std::uint64_t
+    latencyFor(RequesterId id) const
+    {
+        return topo_ == nullptr ? 1 : topo_->latency(id, home_tile_);
+    }
+
+    /** True when @p id's tile is this module's home (or no topology
+     *  is attached — the flat model is all-local). */
+    bool
+    isLocalFor(RequesterId id) const
+    {
+        return topo_ == nullptr || topo_->isLocal(id, home_tile_);
+    }
+
+    /**
      * Advance the module through @p cycles consecutive *empty* cycles
      * — exactly equivalent to that many arbitrate() calls with no
      * requesters, but O(1) unless a fault plan is attached (stalled
@@ -168,6 +202,10 @@ class MemoryModule
 
     std::uint64_t total_grants_ = 0;
     std::uint64_t total_denials_ = 0;
+
+    // NUMA routing: home tile + latency map (see setTopology).
+    const Topology *topo_ = nullptr;
+    std::uint32_t home_tile_ = GLOBAL_TILE;
 
     // Fault injection: stalled cycles grant nothing (see setFaults).
     const support::FaultPlan *faults_ = nullptr;

@@ -1,0 +1,55 @@
+#include "sim/topology.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace absync::sim
+{
+
+Topology::Topology(std::uint32_t processors, std::uint32_t tile_size,
+                   std::uint64_t local_latency,
+                   std::uint64_t remote_latency)
+    : processors_(processors), tile_size_(tile_size),
+      local_latency_(local_latency), remote_latency_(remote_latency)
+{
+    // Fail fast: every violation below would otherwise surface as
+    // silent mis-routing (edge tile with the wrong population) or as
+    // an event engine scheduling a response before its request.
+    if (processors == 0) {
+        std::fprintf(stderr,
+                     "Topology: processor count must be >= 1\n");
+        std::exit(2);
+    }
+    if (tile_size == 0 || tile_size > processors) {
+        std::fprintf(stderr,
+                     "Topology: tile size %u invalid for %u "
+                     "processors\n",
+                     tile_size, processors);
+        std::exit(2);
+    }
+    if (processors % tile_size != 0) {
+        std::fprintf(stderr,
+                     "Topology: %u processors not divisible by tile "
+                     "size %u\n",
+                     processors, tile_size);
+        std::exit(2);
+    }
+    if (local_latency == 0) {
+        std::fprintf(stderr, "Topology: zero-latency local link\n");
+        std::exit(2);
+    }
+    if (remote_latency == 0) {
+        std::fprintf(stderr, "Topology: zero-latency remote link\n");
+        std::exit(2);
+    }
+    if (remote_latency < local_latency) {
+        std::fprintf(stderr,
+                     "Topology: remote latency %llu below local "
+                     "latency %llu\n",
+                     static_cast<unsigned long long>(remote_latency),
+                     static_cast<unsigned long long>(local_latency));
+        std::exit(2);
+    }
+}
+
+} // namespace absync::sim

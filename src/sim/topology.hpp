@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tile/cluster topology descriptor for the NUMA-aware network model.
+ *
+ * The paper's Section 3 model is flat: every processor reaches every
+ * memory module in one network cycle.  Bertuletti et al. (PAPERS.md,
+ * 1024-core RISC-V cluster) show that at three orders of magnitude
+ * more cores the machine is hierarchical — processors are grouped
+ * into tiles, a tile's own memory answers in a few cycles, and a
+ * remote tile's memory costs an order of magnitude more.  Topology
+ * captures exactly that split: N processors partitioned into equal
+ * tiles, one local latency, one remote latency.
+ *
+ * A MemoryModule is *homed* in a tile (or in no tile — GLOBAL_TILE —
+ * for globally shared locations that are remote to everyone).  The
+ * simulators charge the home-relative latency on every granted
+ * access: the grant itself still occupies the module for one cycle
+ * (module contention is unchanged), but the response takes
+ * latency(requester, home) cycles to travel back, so the requester's
+ * next action is delayed by that much.  Denied requesters retry every
+ * cycle exactly as in the flat model.  See DESIGN.md §15.
+ *
+ * Construction validates fail-fast (exit 2): a tile size that does
+ * not divide N would silently mis-route the edge tile, and a
+ * zero-latency link would let the event engines schedule a response
+ * before its request — both are configuration bugs, not data.
+ */
+
+#ifndef ABSYNC_SIM_TOPOLOGY_HPP
+#define ABSYNC_SIM_TOPOLOGY_HPP
+
+#include <cstdint>
+
+namespace absync::sim
+{
+
+/** Home-tile sentinel for globally shared modules: remote to every
+ *  requester, including processors of any tile. */
+constexpr std::uint32_t GLOBAL_TILE = static_cast<std::uint32_t>(-1);
+
+/**
+ * Equal-tile partition of N processors with a two-level latency map.
+ * Immutable after construction; constructing with invalid parameters
+ * is fatal (see file header).
+ */
+class Topology
+{
+  public:
+    /**
+     * @param processors      total processor count N (>= 1)
+     * @param tile_size       processors per tile; must divide N
+     * @param local_latency   granted-access latency within the home
+     *                        tile, cycles (>= 1)
+     * @param remote_latency  granted-access latency across tiles,
+     *                        cycles (>= local_latency)
+     */
+    Topology(std::uint32_t processors, std::uint32_t tile_size,
+             std::uint64_t local_latency = 1,
+             std::uint64_t remote_latency = 8);
+
+    std::uint32_t processors() const { return processors_; }
+    std::uint32_t tileSize() const { return tile_size_; }
+    std::uint32_t tiles() const { return processors_ / tile_size_; }
+    std::uint64_t localLatency() const { return local_latency_; }
+    std::uint64_t remoteLatency() const { return remote_latency_; }
+
+    /** Tile that processor @p proc belongs to (contiguous blocks). */
+    std::uint32_t
+    tileOf(std::uint32_t proc) const
+    {
+        return proc / tile_size_;
+    }
+
+    /** True when @p proc's tile is the module home @p home_tile. */
+    bool
+    isLocal(std::uint32_t proc, std::uint32_t home_tile) const
+    {
+        return home_tile != GLOBAL_TILE && tileOf(proc) == home_tile;
+    }
+
+    /** Granted-access latency for @p proc against a module homed in
+     *  @p home_tile (GLOBAL_TILE: remote for everyone). */
+    std::uint64_t
+    latency(std::uint32_t proc, std::uint32_t home_tile) const
+    {
+        return isLocal(proc, home_tile) ? local_latency_
+                                        : remote_latency_;
+    }
+
+  private:
+    std::uint32_t processors_;
+    std::uint32_t tile_size_;
+    std::uint64_t local_latency_;
+    std::uint64_t remote_latency_;
+};
+
+} // namespace absync::sim
+
+#endif // ABSYNC_SIM_TOPOLOGY_HPP

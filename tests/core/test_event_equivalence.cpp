@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/barrier_sim.hpp"
+#include "core/hierarchical_barrier_sim.hpp"
 #include "core/resource_sim.hpp"
 #include "core/tree_barrier_sim.hpp"
 #include "support/fault.hpp"
@@ -273,6 +274,193 @@ TEST(EventEquivalence, SerialRunManyFoldsLikeManualReferenceFold)
                 want.waitProfile.summary());
 }
 
+// --- Hierarchical barrier: the topology grid -------------------------
+
+void
+expectHierEquivalence(const core::HierarchicalBarrierConfig &cfg,
+                      const std::string &what,
+                      std::uint64_t seeds = 5)
+{
+    core::HierarchicalBarrierSimulator sim(cfg);
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        support::Rng ev_rng(seed);
+        support::Rng ref_rng(seed);
+        const auto ev = sim.runOnce(ev_rng, seed);
+        const auto ref = sim.runOnceReference(ref_rng, seed);
+        expectSameEpisode(ev, ref,
+                          what + " seed " + std::to_string(seed));
+        EXPECT_EQ(ev_rng(), ref_rng()) << what << " rng divergence";
+    }
+}
+
+/** (N, tile size, policy): tile counts from 2 up to one-per-pair,
+ *  including the degenerate single-tile and size-1-tile shapes. */
+class HierGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, const char *>>
+{
+};
+
+TEST_P(HierGrid, EventEngineMatchesReference)
+{
+    const auto [n, tile, policy] = GetParam();
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = n;
+    cfg.tileSize = tile;
+    cfg.arrivalWindow = 500;
+    cfg.backoff = core::BackoffConfig::fromString(policy);
+    expectHierEquivalence(cfg, std::string(policy) + " fifo");
+
+    cfg.arbitration = sim::Arbitration::Random;
+    expectHierEquivalence(cfg, std::string(policy) + " random");
+
+    cfg.arbitration = sim::Arbitration::RoundRobin;
+    expectHierEquivalence(cfg, std::string(policy) + " rr");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HierGrid,
+    ::testing::Combine(::testing::Values(16u, 64u),
+                       ::testing::Values(1u, 4u, 16u),
+                       ::testing::Values("none", "var", "exp2",
+                                         "exp8", "queue")),
+    [](const auto &info) {
+        return "N" + std::to_string(std::get<0>(info.param)) + "_t" +
+               std::to_string(std::get<1>(info.param)) + "_" +
+               std::get<2>(info.param);
+    });
+
+TEST(HierEventEquivalence, DeepRemoteLatency)
+{
+    // Latency >> 1 exercises the Transit state and the wake-chain
+    // pacing; both engines must agree on every in-flight hop.
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = 64;
+    cfg.tileSize = 8;
+    cfg.localLatency = 3;
+    cfg.remoteLatency = 40;
+    cfg.arrivalWindow = 200;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(4);
+    expectHierEquivalence(cfg, "deep latency exp4");
+
+    cfg.backoff = core::BackoffConfig::queue();
+    expectHierEquivalence(cfg, "deep latency queue");
+}
+
+TEST(HierEventEquivalence, RandomizedBackoff)
+{
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.tileSize = 8;
+    cfg.arrivalWindow = 400;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    cfg.backoff.randomized = true;
+    expectHierEquivalence(cfg, "randomized exp2");
+}
+
+TEST(HierEventEquivalence, QueueOnThreshold)
+{
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = 48;
+    cfg.tileSize = 16;
+    cfg.remoteLatency = 12;
+    cfg.arrivalWindow = 200;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    cfg.backoff.blockThreshold = 64;
+    cfg.backoff.blockWakeupCycles = 25;
+    expectHierEquivalence(cfg, "hier queue-on-threshold");
+}
+
+TEST(HierEventEquivalence, TimeoutsWithoutFaults)
+{
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = 16;
+    cfg.tileSize = 4;
+    cfg.arrivalWindow = 50;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    cfg.timeoutCycles = 150; // tight: some processors abandon
+    expectHierEquivalence(cfg, "hier tight timeout");
+
+    cfg.backoff = core::BackoffConfig::queue();
+    expectHierEquivalence(cfg, "hier queue tight timeout");
+}
+
+TEST(HierEventEquivalence, FaultPlanFullStack)
+{
+    // Stragglers, crashes, spurious wakeups, and module stalls over
+    // the whole module array (global pair + every tile pair), under
+    // both policy families and two arbitration schemes.
+    support::FaultPlanConfig fcfg;
+    fcfg.seed = 42;
+    fcfg.stragglerProb = 0.1;
+    fcfg.stragglerMin = 50;
+    fcfg.stragglerMax = 400;
+    fcfg.crashProb = 0.05;
+    fcfg.spuriousWakeProb = 0.2;
+    fcfg.stallProb = 0.02;
+    support::FaultPlan plan(fcfg);
+
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.tileSize = 8;
+    cfg.remoteLatency = 6;
+    cfg.arrivalWindow = 300;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(4);
+    cfg.faults = &plan;
+    cfg.timeoutCycles = 5000;
+    expectHierEquivalence(cfg, "hier faults exp4");
+
+    cfg.backoff = core::BackoffConfig::queue();
+    expectHierEquivalence(cfg, "hier faults queue");
+
+    cfg.arbitration = sim::Arbitration::Random;
+    expectHierEquivalence(cfg, "hier faults queue random");
+}
+
+TEST(HierEventEquivalence, SerialRunManyFoldsLikeReferenceFold)
+{
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.tileSize = 8;
+    cfg.arrivalWindow = 400;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    core::HierarchicalBarrierSimulator sim(cfg);
+
+    constexpr std::uint64_t kRuns = 12, kSeed = 7;
+    const core::EpisodeSummary got = sim.runMany(kRuns, kSeed);
+
+    core::EpisodeSummary want;
+    support::Rng master(kSeed);
+    for (std::uint64_t r = 0; r < kRuns; ++r) {
+        support::Rng run_rng = master.split();
+        want.merge(sim.runOnceReference(run_rng, r));
+    }
+
+    EXPECT_EQ(got.runs, want.runs);
+    EXPECT_EQ(got.accesses.mean(), want.accesses.mean());
+    EXPECT_EQ(got.accesses.variance(), want.accesses.variance());
+    EXPECT_EQ(got.wait.mean(), want.wait.mean());
+    EXPECT_EQ(got.setTime.mean(), want.setTime.mean());
+    EXPECT_EQ(got.flagTraffic.mean(), want.flagTraffic.mean());
+    EXPECT_TRUE(got.moduleHeat == want.moduleHeat);
+    EXPECT_TRUE(got.counters == want.counters);
+}
+
+TEST(HierEventSkips, BackoffSkipsMostCycles)
+{
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = 256;
+    cfg.tileSize = 16;
+    cfg.arrivalWindow = 2000;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(8);
+    core::HierarchicalBarrierSimulator sim(cfg);
+    support::Rng rng(3);
+    const auto res = sim.runOnce(rng);
+    EXPECT_GT(res.cyclesSkipped, 0u);
+    EXPECT_LT(res.eventsProcessed,
+              (res.eventsProcessed + res.cyclesSkipped) / 2);
+}
+
 // --- Tree barrier ----------------------------------------------------
 
 class TreeGrid
@@ -315,6 +503,100 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(std::get<1>(info.param)) + "_" +
                std::get<2>(info.param);
     });
+
+TEST(TreeEventEquivalence, TiledTopologyGrid)
+{
+    // Topology-aware radix tree: latency > 1 introduces the Transit
+    // state into the tree engines; both must stay bit-identical over
+    // tile shapes and fan-ins that do and don't align with tiles,
+    // under both node placements (first-descendant homing and the
+    // topology-oblivious scattered placement).
+    for (const std::uint32_t tile : {4u, 8u, 16u}) {
+        for (const std::uint32_t fan_in : {2u, 4u, 8u}) {
+            for (const bool scatter : {false, true}) {
+                core::TreeBarrierConfig cfg;
+                cfg.processors = 64;
+                cfg.fanIn = fan_in;
+                cfg.tileSize = tile;
+                cfg.scatterNodes = scatter;
+                cfg.localLatency = 2;
+                cfg.remoteLatency = 10;
+                cfg.arrivalWindow = 300;
+                cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+                core::TreeBarrierSimulator sim(cfg);
+
+                for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+                    support::Rng ev_rng(seed);
+                    support::Rng ref_rng(seed);
+                    const auto ev = sim.runOnce(ev_rng);
+                    const auto ref = sim.runOnceReference(ref_rng);
+                    SCOPED_TRACE("tile " + std::to_string(tile) +
+                                 " d " + std::to_string(fan_in) +
+                                 (scatter ? " scattered" : "") +
+                                 " seed " + std::to_string(seed));
+                    EXPECT_EQ(ev.accesses, ref.accesses);
+                    EXPECT_EQ(ev.waits, ref.waits);
+                    EXPECT_EQ(ev.maxModuleTraffic,
+                              ref.maxModuleTraffic);
+                    EXPECT_EQ(ev.rootSetTime, ref.rootSetTime);
+                    EXPECT_EQ(ev.localAccesses, ref.localAccesses);
+                    EXPECT_EQ(ev.remoteAccesses, ref.remoteAccesses);
+                    EXPECT_EQ(ev_rng(), ref_rng())
+                        << "rng divergence";
+                    // A tiled tree must actually split its traffic.
+                    EXPECT_GT(ev.localAccesses, 0u);
+                    EXPECT_GT(ev.remoteAccesses, 0u);
+                }
+            }
+        }
+    }
+}
+
+TEST(TreeEventEquivalence, ScatteredPlacementIsMostlyRemote)
+{
+    // The scattered ("flat") tree is the topology-oblivious baseline:
+    // striping nodes across tiles must push the bulk of the traffic
+    // across tile boundaries, where first-descendant homing keeps the
+    // bulk of it local.
+    core::TreeBarrierConfig cfg;
+    cfg.processors = 64;
+    cfg.fanIn = 4;
+    cfg.tileSize = 16;
+    cfg.localLatency = 2;
+    cfg.remoteLatency = 10;
+    cfg.arrivalWindow = 200;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+
+    cfg.scatterNodes = true;
+    support::Rng rng_s(5);
+    const auto scattered =
+        core::TreeBarrierSimulator(cfg).runOnce(rng_s);
+    cfg.scatterNodes = false;
+    support::Rng rng_h(5);
+    const auto homed = core::TreeBarrierSimulator(cfg).runOnce(rng_h);
+
+    EXPECT_GT(scattered.remoteAccesses, scattered.localAccesses);
+    EXPECT_GT(homed.localAccesses, homed.remoteAccesses);
+}
+
+TEST(TreeEventEquivalence, FlatTreeIsAllLocal)
+{
+    // tileSize = 0 preserves the historical flat behaviour: every
+    // access is classified local and latency stays 1.
+    core::TreeBarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.fanIn = 4;
+    cfg.arrivalWindow = 200;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(2);
+    core::TreeBarrierSimulator sim(cfg);
+    support::Rng rng(1);
+    const auto res = sim.runOnce(rng);
+    EXPECT_EQ(res.remoteAccesses, 0u);
+    std::uint64_t total = 0;
+    for (const auto a : res.accesses)
+        total += a;
+    EXPECT_EQ(res.localAccesses, total);
+}
 
 TEST(TreeEventEquivalence, RandomArbitrationAndRandomizedBackoff)
 {

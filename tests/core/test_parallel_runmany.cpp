@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/barrier_sim.hpp"
+#include "core/hierarchical_barrier_sim.hpp"
 #include "core/resource_sim.hpp"
 #include "core/tree_barrier_sim.hpp"
 #include "support/fault.hpp"
@@ -122,6 +123,58 @@ TEST_P(TreeJobs, SummaryBitwiseEqualToSerial)
 }
 
 INSTANTIATE_TEST_SUITE_P(Jobs, TreeJobs,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto &info) {
+                             return "J" + std::to_string(info.param);
+                         });
+
+class HierJobs : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HierJobs, SummaryBitwiseEqualToSerial)
+{
+    const unsigned jobs = GetParam();
+
+    support::FaultPlanConfig fcfg;
+    fcfg.seed = 9;
+    fcfg.stragglerProb = 0.05;
+    fcfg.crashProb = 0.02;
+    fcfg.spuriousWakeProb = 0.1;
+    support::FaultPlan plan(fcfg);
+
+    core::HierarchicalBarrierConfig cfg;
+    cfg.processors = 32;
+    cfg.tileSize = 8;
+    cfg.remoteLatency = 6;
+    cfg.arrivalWindow = 500;
+    cfg.backoff = core::BackoffConfig::exponentialFlag(4);
+    cfg.faults = &plan;
+    cfg.timeoutCycles = 5000;
+    core::HierarchicalBarrierSimulator sim(cfg);
+
+    constexpr std::uint64_t kRuns = 24, kSeed = 123;
+    const core::EpisodeSummary serial = sim.runMany(kRuns, kSeed, 1);
+    const core::EpisodeSummary par = sim.runMany(kRuns, kSeed, jobs);
+
+    EXPECT_EQ(par.runs, serial.runs);
+    expectSameStats(par.accesses, serial.accesses, "accesses");
+    expectSameStats(par.wait, serial.wait, "wait");
+    expectSameStats(par.span, serial.span, "span");
+    expectSameStats(par.setTime, serial.setTime, "setTime");
+    expectSameStats(par.flagTraffic, serial.flagTraffic,
+                    "flagTraffic");
+    EXPECT_EQ(par.timedOutProcs, serial.timedOutProcs);
+    EXPECT_EQ(par.crashedProcs, serial.crashedProcs);
+    EXPECT_TRUE(par.moduleHeat == serial.moduleHeat);
+    // The topology split must fold identically too: local/remote
+    // access totals are part of the deterministic contract.
+    EXPECT_TRUE(par.counters == serial.counters);
+    EXPECT_EQ(par.cyclesSkipped, serial.cyclesSkipped);
+    EXPECT_EQ(par.eventsProcessed, serial.eventsProcessed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, HierJobs,
                          ::testing::Values(1u, 2u, 8u),
                          [](const auto &info) {
                              return "J" + std::to_string(info.param);

@@ -44,7 +44,7 @@ TEST(BarrierInterface, EveryKindIsABarrier)
 {
     for (auto kind :
          {BarrierKind::Flat, BarrierKind::TangYew, BarrierKind::Tree,
-          BarrierKind::Adaptive}) {
+          BarrierKind::Adaptive, BarrierKind::Hierarchical}) {
         BarrierConfig cfg;
         cfg.policy = BarrierPolicy::Exponential;
         auto b = makeBarrier(kind, 4, cfg);
@@ -62,13 +62,17 @@ TEST(BarrierInterface, KindParsing)
     EXPECT_EQ(barrierKindFromString("tree"), BarrierKind::Tree);
     EXPECT_EQ(barrierKindFromString("adaptive"),
               BarrierKind::Adaptive);
+    EXPECT_EQ(barrierKindFromString("hier"),
+              BarrierKind::Hierarchical);
+    EXPECT_EQ(barrierKindFromString("hierarchical"),
+              BarrierKind::Hierarchical);
 }
 
 TEST(BarrierInterface, SingleThreadEveryKind)
 {
     for (auto kind :
          {BarrierKind::Flat, BarrierKind::TangYew, BarrierKind::Tree,
-          BarrierKind::Adaptive}) {
+          BarrierKind::Adaptive, BarrierKind::Hierarchical}) {
         auto b = makeBarrier(kind, 1);
         for (int i = 0; i < 50; ++i)
             b->arrive(0);

@@ -1,0 +1,405 @@
+/** @file Correctness, schedule-exploration, and stress tests for the
+ *        two-level hierarchical barrier: real-thread phase batteries
+ *        over both wake-down families, bounded-exhaustive
+ *        interleaving enumeration of the 2-tiles-x-2-threads shape,
+ *        timed-withdrawal fuzz, and the fail-fast tile-shape paths. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier_interface.hpp"
+#include "runtime/hierarchical_barrier.hpp"
+#include "runtime/spin_backoff.hpp"
+#include "testing/barrier_episodes.hpp"
+#include "testing/virtual_sched.hpp"
+
+using namespace absync::runtime;
+namespace vt = absync::testing;
+
+using namespace std::chrono_literals;
+
+namespace
+{
+
+/** The fundamental barrier property across phases, with explicit
+ *  thread ids (cf. the tree-barrier battery). */
+void
+phaseTest(BarrierConfig cfg, unsigned threads, unsigned phases)
+{
+    HierarchicalBarrier barrier(threads, cfg);
+    std::vector<std::atomic<unsigned>> counts(phases);
+    std::atomic<unsigned> failures{0};
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (unsigned ph = 0; ph < phases; ++ph) {
+                counts[ph].fetch_add(1, std::memory_order_relaxed);
+                barrier.arriveAndWait(t);
+                if (counts[ph].load(std::memory_order_relaxed) !=
+                    threads) {
+                    failures.fetch_add(1,
+                                       std::memory_order_relaxed);
+                }
+                barrier.arriveAndWait(t);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(failures.load(), 0u);
+}
+
+BarrierConfig
+cfgFor(BarrierPolicy p, std::uint32_t tile_size = 0,
+       bool queue = false)
+{
+    BarrierConfig cfg;
+    cfg.policy = p;
+    cfg.blockThreshold = 256;
+    cfg.tileSize = tile_size;
+    cfg.queueWakeup = queue;
+    return cfg;
+}
+
+} // namespace
+
+TEST(HierarchicalBarrier, AutoTileShape)
+{
+    // Auto: largest divisor no larger than sqrt(parties).
+    EXPECT_EQ(HierarchicalBarrier(12).tileSize(), 3u);
+    EXPECT_EQ(HierarchicalBarrier(12).tiles(), 4u);
+    EXPECT_EQ(HierarchicalBarrier(16).tileSize(), 4u);
+    EXPECT_EQ(HierarchicalBarrier(16).tiles(), 4u);
+    EXPECT_EQ(HierarchicalBarrier(7).tileSize(), 1u); // prime: flat
+    EXPECT_EQ(HierarchicalBarrier(7).tiles(), 7u);
+    EXPECT_EQ(HierarchicalBarrier(1).tileSize(), 1u);
+}
+
+TEST(HierarchicalBarrier, SingleThread)
+{
+    for (const bool queue : {false, true}) {
+        HierarchicalBarrier b(
+            1, cfgFor(BarrierPolicy::Exponential, 0, queue));
+        for (int i = 0; i < 100; ++i)
+            b.arriveAndWait(0);
+        EXPECT_EQ(b.totalPolls(), 0u);
+        EXPECT_EQ(b.totalTimeouts(), 0u);
+    }
+}
+
+TEST(HierarchicalBarrier, EveryPolicySpinFamily)
+{
+    for (BarrierPolicy p :
+         {BarrierPolicy::None, BarrierPolicy::Variable,
+          BarrierPolicy::Linear, BarrierPolicy::Exponential,
+          BarrierPolicy::Blocking}) {
+        phaseTest(cfgFor(p, 2), 8, 25);
+    }
+}
+
+TEST(HierarchicalBarrier, EveryPolicyQueueFamily)
+{
+    for (BarrierPolicy p :
+         {BarrierPolicy::None, BarrierPolicy::Exponential,
+          BarrierPolicy::Blocking}) {
+        phaseTest(cfgFor(p, 2, true), 8, 25);
+    }
+}
+
+TEST(HierarchicalBarrier, UnevenTileShapes)
+{
+    // Non-square partitions on both sides of sqrt(N).
+    phaseTest(cfgFor(BarrierPolicy::Exponential, 3), 12, 20);
+    phaseTest(cfgFor(BarrierPolicy::Exponential, 6), 12, 20);
+    phaseTest(cfgFor(BarrierPolicy::Exponential, 1), 5, 20);
+    phaseTest(cfgFor(BarrierPolicy::Exponential, 5), 5, 20);
+}
+
+TEST(HierarchicalBarrier, QueueHandoffAccounting)
+{
+    // Every phase delivers exactly N-1 handoff writes in total:
+    // tiles-1 along the cross-tile queue plus tiles*(tileSize-1)
+    // along the tile queues.
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kPhases = 40;
+    HierarchicalBarrier b(kThreads,
+                          cfgFor(BarrierPolicy::None, 4, true));
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            for (unsigned ph = 0; ph < kPhases; ++ph)
+                b.arriveAndWait(t);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(b.totalHandoffs(),
+              std::uint64_t{kPhases} * (kThreads - 1));
+}
+
+TEST(HierarchicalBarrier, SpinFamilyNeverHandsOff)
+{
+    HierarchicalBarrier b(4, cfgFor(BarrierPolicy::None, 2));
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < 4; ++t) {
+        pool.emplace_back([&, t] {
+            for (unsigned ph = 0; ph < 10; ++ph)
+                b.arriveAndWait(t);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(b.totalHandoffs(), 0u);
+    EXPECT_GT(b.totalPolls(), 0u);
+}
+
+TEST(HierarchicalBarrier, BlockingBlocks)
+{
+    BarrierConfig cfg = cfgFor(BarrierPolicy::Blocking, 2);
+    cfg.blockThreshold = 16;
+    HierarchicalBarrier b(2, cfg);
+    std::thread late([&] {
+        std::this_thread::sleep_for(50ms);
+        b.arriveAndWait(1);
+    });
+    b.arriveAndWait(0);
+    late.join();
+    EXPECT_GE(b.totalBlocks(), 1u);
+}
+
+TEST(HierarchicalBarrier, TimedWaitParksAndResumes)
+{
+    // Continuation-resume (cf. TreeBarrier): a timed-out arrival
+    // stands; the same thread's next call resumes the parked wait.
+    for (const bool queue : {false, true}) {
+        HierarchicalBarrier b(
+            2, cfgFor(BarrierPolicy::Variable, 2, queue));
+        EXPECT_EQ(b.arriveAndWaitFor(0, deadlineAfter(20ms)),
+                  WaitResult::Timeout)
+            << (queue ? "queue" : "spin");
+        std::thread other([&] { b.arriveAndWait(1); });
+        WaitResult r = WaitResult::Timeout;
+        for (int tries = 0;
+             tries < 500 && r == WaitResult::Timeout; ++tries)
+            r = b.arriveAndWaitFor(0, deadlineAfter(20ms));
+        EXPECT_EQ(r, WaitResult::Ok)
+            << (queue ? "queue" : "spin");
+        other.join();
+        EXPECT_GE(b.totalTimeouts(), 1u);
+    }
+}
+
+TEST(HierarchicalBarrier, TimedRepresentativeHoldsItsTile)
+{
+    // 2 tiles x 1 thread: both threads are representatives.  The
+    // second phase must still work after the first one was reached
+    // through a parked-and-resumed representative wait.
+    HierarchicalBarrier b(2, cfgFor(BarrierPolicy::Variable, 1));
+    std::thread late([&] {
+        std::this_thread::sleep_for(40ms);
+        b.arriveAndWait(1);
+        b.arriveAndWait(1);
+    });
+    WaitResult r = WaitResult::Timeout;
+    for (int tries = 0; tries < 500 && r == WaitResult::Timeout;
+         ++tries)
+        r = b.arriveAndWaitFor(0, deadlineAfter(10ms));
+    EXPECT_EQ(r, WaitResult::Ok);
+    b.arriveAndWait(0);
+    late.join();
+    EXPECT_GE(b.totalTimeouts(), 1u);
+}
+
+// ---- Bounded-exhaustive schedule exploration ------------------------
+//
+// The acceptance shape from the issue: 2 tiles x 2 threads per tile,
+// every interleaving of the first scheduling choices enumerated
+// exhaustively with the phase-ordering oracle armed, for both
+// wake-down families.  A lost wake (the queue family's failure mode)
+// or a premature release (the spin family's) would either trip the
+// oracle or deadlock the bounded run — both are reported failures.
+
+namespace
+{
+
+vt::BarrierEpisodeConfig
+hierEpisode(bool queue, BarrierPolicy policy)
+{
+    vt::BarrierEpisodeConfig cfg;
+    cfg.kind = BarrierKind::Hierarchical;
+    cfg.parties = 4;
+    cfg.phases = 2;
+    cfg.barrier.policy = policy;
+    cfg.barrier.tileSize = 2;
+    cfg.barrier.queueWakeup = queue;
+    return cfg;
+}
+
+} // namespace
+
+TEST(HierarchicalSchedules, ExhaustiveTwoTilesTwoThreadsSpin)
+{
+    vt::ExploreConfig xc;
+    xc.branchDepth = 6;
+    xc.maxRuns = 200000;
+    const vt::ExploreReport rep = vt::exploreSchedules(
+        vt::barrierPhasesFactory(
+            hierEpisode(false, BarrierPolicy::None)),
+        xc);
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted)
+        << "bounded tree not fully enumerated within " << xc.maxRuns
+        << " runs";
+    EXPECT_GE(rep.interleavings, 2u);
+}
+
+TEST(HierarchicalSchedules, ExhaustiveTwoTilesTwoThreadsQueue)
+{
+    vt::ExploreConfig xc;
+    xc.branchDepth = 6;
+    xc.maxRuns = 200000;
+    const vt::ExploreReport rep = vt::exploreSchedules(
+        vt::barrierPhasesFactory(
+            hierEpisode(true, BarrierPolicy::None)),
+        xc);
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted);
+    EXPECT_GE(rep.interleavings, 2u);
+}
+
+TEST(HierarchicalSchedules, FuzzEveryPolicyBothFamilies)
+{
+    for (const bool queue : {false, true}) {
+        for (const BarrierPolicy policy :
+             {BarrierPolicy::None, BarrierPolicy::Variable,
+              BarrierPolicy::Exponential,
+              BarrierPolicy::Blocking}) {
+            vt::BarrierEpisodeConfig cfg =
+                hierEpisode(queue, policy);
+            cfg.barrier.blockThreshold = 16;
+            vt::FuzzConfig fc;
+            fc.runs = 15;
+            fc.seed0 = 53;
+            const vt::FuzzReport rep =
+                vt::fuzzSchedules(vt::barrierPhasesFactory(cfg), fc);
+            EXPECT_FALSE(rep.failed)
+                << (queue ? "queue" : "spin") << " policy "
+                << static_cast<int>(policy)
+                << ", replay with seed " << rep.failingSeed << ": "
+                << rep.failure;
+        }
+    }
+}
+
+TEST(HierarchicalSchedules, FuzzTimedResumeNeverDoubleCounts)
+{
+    // Timed-withdrawal variant of the exploration battery: one
+    // thread per tile runs timed arrivals that park and resume,
+    // a straggler delays every phase past several deadlines.  Under
+    // arbitrary schedules a resumed arrival must count exactly once
+    // per phase — the PhaseLog trips on any double count, lost
+    // arrival, or premature release.
+    for (const bool queue : {false, true}) {
+        const vt::EpisodeFactory factory =
+            [queue](vt::VirtualSched &sched) {
+                struct State
+                {
+                    std::unique_ptr<AnyBarrier> barrier;
+                    vt::PhaseLog log{4};
+                };
+                auto st = std::make_shared<State>();
+                BarrierConfig cfg;
+                cfg.policy = BarrierPolicy::Variable;
+                cfg.tileSize = 2;
+                cfg.queueWakeup = queue;
+                cfg.sched = &sched;
+                st->barrier =
+                    makeBarrier(BarrierKind::Hierarchical, 4, cfg);
+
+                vt::Episode ep;
+                for (std::uint32_t t = 0; t < 3; ++t) {
+                    ep.bodies.push_back(
+                        [st, &sched](std::uint32_t id) {
+                            for (std::uint32_t p = 1; p <= 2; ++p) {
+                                std::uint32_t attempts = 0;
+                                while (st->barrier->arriveFor(
+                                           id,
+                                           sched.deadlineIn(200)) ==
+                                       WaitResult::Timeout) {
+                                    if (++attempts > 10000)
+                                        sched.fail("timed arrive "
+                                                   "never resumed");
+                                }
+                                const std::string err =
+                                    st->log.record(id, p);
+                                if (!err.empty())
+                                    sched.fail(err);
+                            }
+                        });
+                }
+                ep.bodies.push_back([st,
+                                     &sched](std::uint32_t id) {
+                    for (std::uint32_t p = 1; p <= 2; ++p) {
+                        spinFor(700); // straggle past deadlines
+                        st->barrier->arrive(id);
+                        const std::string err =
+                            st->log.record(id, p);
+                        if (!err.empty())
+                            sched.fail(err);
+                    }
+                });
+                return ep;
+            };
+
+        vt::FuzzConfig fc;
+        fc.runs = 40;
+        fc.seed0 = 410;
+        const vt::FuzzReport rep = vt::fuzzSchedules(factory, fc);
+        EXPECT_FALSE(rep.failed)
+            << (queue ? "queue" : "spin") << ", replay with seed "
+            << rep.failingSeed << ": " << rep.failure;
+    }
+}
+
+// ---- Fail-fast tile-shape paths -------------------------------------
+
+namespace
+{
+
+void
+badTileShape()
+{
+    BarrierConfig cfg;
+    cfg.tileSize = 4; // does not divide 10
+    HierarchicalBarrier b(10, cfg);
+    b.arriveAndWait(0);
+}
+
+void
+oversizedTile()
+{
+    BarrierConfig cfg;
+    cfg.tileSize = 8; // larger than the party count
+    HierarchicalBarrier b(4, cfg);
+    b.arriveAndWait(0);
+}
+
+} // namespace
+
+TEST(HierarchicalBarrierDeathTest, TileSizeMustDivideParties)
+{
+    EXPECT_EXIT(badTileShape(), ::testing::ExitedWithCode(2),
+                "tile size 4 invalid for 10 parties");
+}
+
+TEST(HierarchicalBarrierDeathTest, TileSizeMustFitParties)
+{
+    EXPECT_EXIT(oversizedTile(), ::testing::ExitedWithCode(2),
+                "tile size 8 invalid for 4 parties");
+}

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include "core/backoff.hpp"
+#include "core/hierarchical_barrier_sim.hpp"
 #include "core/resource_sim.hpp"
 #include "sim/memory_module.hpp"
 #include "sim/multistage.hpp"
+#include "sim/topology.hpp"
 
 namespace
 {
@@ -79,4 +81,76 @@ TEST(FatalPaths, KnownNamesStillParse)
         EXPECT_NO_FATAL_FAILURE(
             absync::sim::arbitrationFromString(name));
     }
+}
+
+// ---- Topology construction: every invalid shape fails fast ----------
+//
+// A tile size that does not divide N would silently mis-route the
+// edge tile; a zero-latency link would let the event engines schedule
+// a response before its request.  Both must die at construction, not
+// corrupt an episode.
+
+TEST(FatalPaths, TopologyZeroProcessors)
+{
+    EXPECT_EXIT(absync::sim::Topology(0, 1),
+                ::testing::ExitedWithCode(2),
+                "processor count must be >= 1");
+}
+
+TEST(FatalPaths, TopologyZeroTileSize)
+{
+    EXPECT_EXIT(absync::sim::Topology(16, 0),
+                ::testing::ExitedWithCode(2),
+                "tile size 0 invalid for 16 processors");
+}
+
+TEST(FatalPaths, TopologyTileLargerThanMachine)
+{
+    EXPECT_EXIT(absync::sim::Topology(8, 16),
+                ::testing::ExitedWithCode(2),
+                "tile size 16 invalid for 8 processors");
+}
+
+TEST(FatalPaths, TopologyTileMustDivideProcessors)
+{
+    EXPECT_EXIT(absync::sim::Topology(10, 4),
+                ::testing::ExitedWithCode(2),
+                "10 processors not divisible by tile size 4");
+}
+
+TEST(FatalPaths, TopologyZeroLatencyLinks)
+{
+    EXPECT_EXIT(absync::sim::Topology(8, 4, 0, 8),
+                ::testing::ExitedWithCode(2),
+                "zero-latency local link");
+    EXPECT_EXIT(absync::sim::Topology(8, 4, 1, 0),
+                ::testing::ExitedWithCode(2),
+                "zero-latency remote link");
+}
+
+TEST(FatalPaths, TopologyRemoteBelowLocal)
+{
+    EXPECT_EXIT(absync::sim::Topology(8, 4, 8, 2),
+                ::testing::ExitedWithCode(2),
+                "remote latency 2 below local latency 8");
+}
+
+TEST(FatalPaths, TopologyValidShapesConstruct)
+{
+    // Boundary shapes that must keep working: one tile, all-singleton
+    // tiles, equal local/remote latency.
+    EXPECT_NO_FATAL_FAILURE(absync::sim::Topology(16, 16));
+    EXPECT_NO_FATAL_FAILURE(absync::sim::Topology(16, 1));
+    EXPECT_NO_FATAL_FAILURE(absync::sim::Topology(16, 4, 3, 3));
+}
+
+TEST(FatalPaths, HierarchicalSimRejectsControllerBackoff)
+{
+    // Section 8 controller backoff acts on denials of a flat module
+    // pair; it has no defined meaning across two levels of modules.
+    absync::core::HierarchicalBarrierConfig cfg;
+    cfg.backoff.controllerBackoff = true;
+    EXPECT_EXIT(absync::core::HierarchicalBarrierSimulator{cfg},
+                ::testing::ExitedWithCode(2),
+                "controller backoff is not supported");
 }

@@ -30,6 +30,7 @@ constexpr rt::BarrierKind kKinds[] = {
     rt::BarrierKind::TangYew,
     rt::BarrierKind::Tree,
     rt::BarrierKind::Adaptive,
+    rt::BarrierKind::Hierarchical,
 };
 
 const char *
@@ -44,6 +45,8 @@ kindName(rt::BarrierKind kind)
         return "tree";
       case rt::BarrierKind::Adaptive:
         return "adaptive";
+      case rt::BarrierKind::Hierarchical:
+        return "hierarchical";
     }
     return "?";
 }
@@ -130,6 +133,62 @@ TEST(CrossImplOracle, EventOrderRespectsPhasesWithinEveryKind)
         }
         for (std::uint32_t u = 0; u < cfg.parties; ++u)
             EXPECT_EQ(done[u], cfg.phases);
+    }
+}
+
+TEST(CrossImplOracle, HierarchicalAgreesWithEveryFlatKind)
+{
+    // The hierarchical barrier must be observationally identical to
+    // the four flat kinds: for every tile shape that divides N and
+    // both wake-down families, the phase-log signature matches the
+    // flat reference under the same seeds.
+    constexpr std::uint32_t kParties = 4;
+    constexpr std::uint32_t kPhases = 3;
+
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        // Flat reference signature.
+        vt::BarrierEpisodeConfig ref;
+        ref.kind = rt::BarrierKind::Flat;
+        ref.parties = kParties;
+        ref.phases = kPhases;
+        vt::VirtualSched rsched;
+        std::shared_ptr<vt::BarrierEpisodeState> rstate;
+        vt::Episode rep = vt::barrierPhasesEpisode(rsched, ref,
+                                                   &rstate);
+        vt::RandomDecider rdec(seed);
+        const vt::RunRecord rrec =
+            rsched.run(rep.bodies, rdec, rep.stepInvariant);
+        ASSERT_TRUE(rrec.completed) << "flat seed " << seed << ": "
+                                    << rrec.failure;
+        const auto want = signature(rstate->log);
+
+        for (const std::uint32_t tile : {1u, 2u, 4u}) {
+            for (const bool queue : {false, true}) {
+                vt::BarrierEpisodeConfig cfg;
+                cfg.kind = rt::BarrierKind::Hierarchical;
+                cfg.parties = kParties;
+                cfg.phases = kPhases;
+                cfg.barrier.tileSize = tile;
+                cfg.barrier.queueWakeup = queue;
+
+                vt::VirtualSched sched;
+                std::shared_ptr<vt::BarrierEpisodeState> state;
+                vt::Episode ep =
+                    vt::barrierPhasesEpisode(sched, cfg, &state);
+                vt::RandomDecider decider(seed);
+                const vt::RunRecord rec =
+                    sched.run(ep.bodies, decider, ep.stepInvariant);
+                ASSERT_TRUE(rec.completed)
+                    << "tile " << tile
+                    << (queue ? " queue" : " spin") << " seed "
+                    << seed << ": " << rec.failure;
+                EXPECT_TRUE(state->log.allCompleted(kPhases));
+                EXPECT_EQ(signature(state->log), want)
+                    << "hierarchical tile " << tile
+                    << (queue ? " queue" : " spin")
+                    << " disagrees with flat at seed " << seed;
+            }
+        }
     }
 }
 

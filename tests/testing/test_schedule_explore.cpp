@@ -72,7 +72,8 @@ TEST(ScheduleExplore, FuzzAllBarrierKinds)
 {
     for (const rt::BarrierKind kind :
          {rt::BarrierKind::Flat, rt::BarrierKind::TangYew,
-          rt::BarrierKind::Tree, rt::BarrierKind::Adaptive}) {
+          rt::BarrierKind::Tree, rt::BarrierKind::Adaptive,
+          rt::BarrierKind::Hierarchical}) {
         vt::BarrierEpisodeConfig cfg;
         cfg.kind = kind;
         cfg.parties = 3;

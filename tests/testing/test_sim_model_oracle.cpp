@@ -9,6 +9,7 @@
 
 #include "core/backoff.hpp"
 #include "core/barrier_sim.hpp"
+#include "core/hierarchical_barrier_sim.hpp"
 #include "core/models.hpp"
 
 namespace
@@ -162,6 +163,42 @@ TEST(SimModelOracle, QueueWakeupMatchesItsModel)
             s.accesses.mean(),
             0.5 * absync::core::model1VariableBackoffAccesses(n))
             << "N=" << n;
+    }
+}
+
+TEST(SimModelOracle, HierarchicalQueueMatchesItsModel)
+{
+    // Two-level queue barrier (DESIGN.md §15): per-processor traffic
+    // is the local enqueue F&A ((s+1)/2 attempts), the amortized
+    // global enqueue ((T+1)/(2s)), and the amortized wake chains
+    // ((N-1)/N) — independent of the local/remote latency split,
+    // which delays grantees but never adds attempts.
+    std::uint64_t seed = 701;
+    for (const auto &[s, t] : {std::pair<std::uint32_t,
+                                         std::uint32_t>{4u, 4u},
+                               {8u, 4u},
+                               {4u, 16u},
+                               {16u, 8u}}) {
+        absync::core::HierarchicalBarrierConfig cfg;
+        cfg.processors = s * t;
+        cfg.tileSize = s;
+        cfg.localLatency = 2;
+        cfg.remoteLatency = 12;
+        cfg.arrivalWindow = 0;
+        cfg.backoff = BackoffConfig::queue();
+        const absync::core::EpisodeSummary sum =
+            absync::core::HierarchicalBarrierSimulator(cfg).runMany(
+                40, seed++);
+        const double predicted =
+            absync::core::modelHierarchicalAccesses(s, t);
+        EXPECT_NEAR(sum.accesses.mean(), predicted,
+                    0.20 * predicted)
+            << "s=" << s << " T=" << t;
+        // No polling term at either level: the flag modules must be
+        // stone cold, as in the flat queue family.
+        EXPECT_EQ(sum.flagTraffic.mean(), 0.0)
+            << "queue mode touched a flag module at s=" << s
+            << " T=" << t;
     }
 }
 
