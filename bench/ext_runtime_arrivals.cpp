@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Extension experiment: real-thread open arrivals under the live
+ * observatory (DESIGN.md §16) — the runtime counterpart of
+ * ext_open_arrivals.
+ *
+ * A pacer thread generates Poisson / batch / adversarial arrivals at
+ * λ = ρ × capacity into a work queue; executor threads pop, pass the
+ * runtime::OverloadGuard admission gate, and hold a
+ * runtime::BackoffResource slot for a calibrated wall-clock service
+ * time.  The observatory watches the whole thing end-to-end: its
+ * sampler closes one detector window per tick from live counter
+ * deltas (arrivals admitted vs acquires completed vs the queue+waiter
+ * backlog probe), its watchdog scans the wait heartbeats, and its
+ * flight recorder streams absync.live_report.v1 JSONL.
+ *
+ * Capacity is calibrated per machine (wall time of the hold spin), so
+ * the swept ρ points are machine-independent: well-stable rows must
+ * stay un-saturated and the ρ > 1 rows must saturate on any host.
+ *
+ * Three-way verdict comparison per row:
+ *   online   the observatory's latched saturation verdict,
+ *   offline  the bench's own ledger (goodput ratio + end backlog),
+ *   sim      core::OpenSystem at the same ρ and arrival process —
+ *            the simulated stability boundary next to the measured
+ *            one.
+ *
+ * The binary self-gates (exit 1) when telemetry is on and any row's
+ * online verdict disagrees with the offline ledger, a stable row
+ * trips the watchdog, the injected-straggler fault row fails to trip
+ * it at least once, or sampler overhead exceeds the 2% telemetry
+ * budget (ABSYNC_OVERHEAD_MAX_PCT to widen locally).
+ *
+ * Modes:
+ *   --report-out <path>  absync.run_report.v1 for the regression gate
+ *                        (absync.runtime_arrivals.v1 baselines)
+ *   --live-out <path>    absync.live_report.v1 JSONL flight-recorder
+ *                        artifact (window lines + one postmortem line
+ *                        per row)
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "core/open_system.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/observatory.hpp"
+#include "runtime/overload_guard.hpp"
+#include "runtime/resource_pool.hpp"
+#include "runtime/spin_backoff.hpp"
+#include "support/table.hpp"
+
+using namespace absync;
+using namespace absync::bench;
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Pause-iterations whose spin lasts ~@p targetNs on this machine. */
+std::uint64_t
+calibrateHoldIters(std::uint64_t targetNs)
+{
+    // Warm up, then time a large fixed spin a few times and keep the
+    // fastest (least-preempted) measurement.
+    constexpr std::uint64_t kProbe = 1 << 18;
+    runtime::spinForUncounted(kProbe);
+    double bestNsPerIter = 1e9;
+    for (int rep = 0; rep < 3; ++rep) {
+        const std::uint64_t t0 = nowNs();
+        runtime::spinForUncounted(kProbe);
+        const std::uint64_t t1 = nowNs();
+        const double per =
+            static_cast<double>(t1 - t0) / static_cast<double>(kProbe);
+        if (per > 0 && per < bestNsPerIter)
+            bestNsPerIter = per;
+    }
+    const double iters = static_cast<double>(targetNs) / bestNsPerIter;
+    return iters < 64 ? 64 : static_cast<std::uint64_t>(iters);
+}
+
+enum class Process
+{
+    Poisson,
+    Batch,
+    Adversarial,
+};
+
+struct RowSpec
+{
+    std::string label;
+    Process process;
+    double rho;            ///< offered load as a fraction of capacity
+    bool straggler;        ///< inject a heartbeat-silent fault thread
+    bool expectSaturated;  ///< machine-independent expectation
+};
+
+struct RowResult
+{
+    RowSpec spec;
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t endBacklog = 0;
+    double goodputRatio = 0.0;
+    bool onlineSaturated = false;
+    bool offlineSaturated = false;
+    bool simSaturated = false;
+    bool agree = false;
+    std::uint64_t watchdogTrips = 0;
+    std::uint64_t samplerTicks = 0;
+    std::uint64_t samplerBusyNs = 0;
+    std::uint64_t wallNs = 0;
+};
+
+/** Offline ledger verdict: the run was saturated if work piled up or
+ *  goodput visibly fell behind offered load. */
+bool
+offlineVerdict(std::uint64_t endBacklog, double goodputRatio)
+{
+    return endBacklog >= 64 || goodputRatio < 0.85;
+}
+
+/** Simulated boundary at the same ρ / process (core::OpenSystem). */
+bool
+simVerdict(const RowSpec &spec, std::uint64_t seed)
+{
+    core::OpenSystemConfig cfg;
+    cfg.holdCycles = 50;
+    cfg.lambda = spec.rho / cfg.holdCycles;
+    cfg.arrivals = spec.process == Process::Poisson
+                       ? core::ArrivalProcess::Poisson
+                       : spec.process == Process::Batch
+                             ? core::ArrivalProcess::Batch
+                             : core::ArrivalProcess::Adversarial;
+    cfg.backoff = core::openBackoffFromString("exp2");
+    cfg.cycles = 200000;
+    support::Rng rng(seed);
+    return core::OpenSystem(cfg).run(rng).saturated;
+}
+
+struct RowKnobs
+{
+    std::uint64_t durationNs;
+    std::uint64_t holdNs;
+    std::uint64_t holdIters;
+    std::uint64_t samplePeriodNs;
+    std::uint64_t watchdogDeadlineNs;
+    std::uint64_t straggleNs;
+    std::string liveOut;
+    std::uint64_t seed;
+    bool appendSink;
+};
+
+RowResult
+runRow(const RowSpec &spec, const RowKnobs &k)
+{
+    RowResult r;
+    r.spec = spec;
+
+    // One slot: capacity = 1 / holdNs completions per ns.  Two
+    // executors keep one request waiting while one holds, so backlog
+    // beyond two lives in the bench queue where the probe can see it.
+    constexpr std::uint32_t kSlots = 1;
+    constexpr std::uint32_t kExecutors = 2;
+    runtime::BackoffResource pool(kSlots,
+                                  runtime::ResourcePolicy::Proportional,
+                                  k.holdIters / 16 + 1);
+    runtime::OverloadGuard guard(kExecutors + 2, 64);
+
+    std::mutex qmu;
+    std::deque<std::uint64_t> queue;
+    std::atomic<bool> stop{false};
+
+    const double capacityPerNs = static_cast<double>(kSlots) /
+                                 static_cast<double>(k.holdNs);
+    const double lambdaPerNs = spec.rho * capacityPerNs;
+
+    obs::ObservatoryConfig ocfg;
+    ocfg.samplePeriodNs = k.samplePeriodNs;
+    ocfg.watchdogDeadlineNs = k.watchdogDeadlineNs;
+    ocfg.detector.trendWindows = 4;
+    ocfg.detector.minBacklog = 16;
+    ocfg.backlogProbe = [&]() -> std::uint64_t {
+        std::lock_guard<std::mutex> lk(qmu);
+        return queue.size() + pool.waiters();
+    };
+    ocfg.liveReportPath = k.liveOut;
+    ocfg.appendSink = k.appendSink;
+    ocfg.label = spec.label;
+    obs::Observatory observatory(ocfg);
+    observatory.installPostmortemHandlers();
+    observatory.start();
+
+    std::atomic<std::uint64_t> offered{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> sheds{0};
+
+    const std::uint64_t startNs = nowNs();
+    const std::uint64_t endNs = startNs + k.durationNs;
+
+    // Pacer: absolute arrival schedule, so sleep jitter produces a
+    // catch-up burst instead of silently lowering the offered rate.
+    std::thread pacer([&] {
+        std::mt19937_64 rng(k.seed);
+        std::exponential_distribution<double> exp(lambdaPerNs);
+        std::uint64_t nextNs = startNs;
+        std::uint32_t burst = 4;
+        for (;;) {
+            const std::uint64_t t = nowNs();
+            if (t >= endNs)
+                break;
+            while (nextNs <= t) {
+                std::uint32_t n = 1;
+                switch (spec.process) {
+                  case Process::Poisson:
+                    nextNs += static_cast<std::uint64_t>(exp(rng)) + 1;
+                    break;
+                  case Process::Batch:
+                    n = 8;
+                    nextNs += static_cast<std::uint64_t>(
+                        8.0 / lambdaPerNs);
+                    break;
+                  case Process::Adversarial:
+                    // Geometrically growing bursts at the mean rate:
+                    // the Goldberg–Lapinskas style driver.
+                    n = burst;
+                    nextNs += static_cast<std::uint64_t>(
+                        static_cast<double>(burst) / lambdaPerNs);
+                    burst = burst >= 64 ? 4 : burst * 2;
+                    break;
+                }
+                {
+                    std::lock_guard<std::mutex> lk(qmu);
+                    for (std::uint32_t i = 0; i < n; ++i)
+                        queue.push_back(t);
+                }
+                obs::countArrivals(n);
+                offered.fetch_add(n, std::memory_order_relaxed);
+            }
+            const std::uint64_t gap = nextNs - t;
+            if (gap > 2'000'000)
+                std::this_thread::sleep_for(
+                    std::chrono::nanoseconds(gap - 1'000'000));
+            else
+                runtime::cpuRelaxNative();
+        }
+        stop.store(true, std::memory_order_release);
+    });
+
+    std::vector<std::thread> executors;
+    for (std::uint32_t e = 0; e < kExecutors; ++e) {
+        executors.emplace_back([&] {
+            // Stop at the row deadline without draining: whatever is
+            // still queued IS the measurement (the offline ledger's
+            // end backlog must match what the probe saw live).
+            while (!stop.load(std::memory_order_acquire)) {
+                bool have = false;
+                {
+                    std::lock_guard<std::mutex> lk(qmu);
+                    if (!queue.empty()) {
+                        queue.pop_front();
+                        have = true;
+                    }
+                }
+                if (!have) {
+                    // Sleep rather than spin when idle so idle
+                    // executors don't steal cycles from the holder
+                    // and silently shrink the calibrated capacity.
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                    continue;
+                }
+                if (!guard.tryEnter()) {
+                    obs::countSheds(1);
+                    sheds.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+                const auto res = pool.acquireFor(
+                    runtime::deadlineAfter(
+                        std::chrono::milliseconds(250)));
+                if (res == runtime::WaitResult::Ok) {
+                    runtime::spinForUncounted(k.holdIters);
+                    pool.release();
+                    completed.fetch_add(1,
+                                        std::memory_order_relaxed);
+                }
+                guard.exit();
+            }
+        });
+    }
+
+    // Fault row: a thread opens a wait heartbeat and goes silent for
+    // straggleNs — the watchdog must attribute exactly this wait.
+    std::thread straggler;
+    if (spec.straggler) {
+        straggler = std::thread([&] {
+            const obs::ScopedWaitHeartbeat hb(
+                "fault", "injected_straggler",
+                runtime::waitClockNowNs());
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(k.straggleNs));
+        });
+    }
+
+    pacer.join();
+    for (auto &t : executors)
+        t.join();
+    if (straggler.joinable())
+        straggler.join();
+    observatory.stop();
+
+    r.wallNs = nowNs() - startNs;
+    r.offered = offered.load();
+    r.completed = completed.load();
+    r.sheds = sheds.load();
+    {
+        std::lock_guard<std::mutex> lk(qmu);
+        r.endBacklog = queue.size();
+    }
+    r.goodputRatio =
+        r.offered == 0 ? 1.0
+                       : static_cast<double>(r.completed) /
+                             static_cast<double>(r.offered);
+    r.onlineSaturated = observatory.latched();
+    r.offlineSaturated = offlineVerdict(r.endBacklog, r.goodputRatio);
+    r.agree = r.onlineSaturated == r.offlineSaturated;
+    r.watchdogTrips = observatory.watchdog().trips().size();
+    r.samplerTicks = observatory.samplerTicks();
+    r.samplerBusyNs = observatory.samplerBusyNs();
+    r.simSaturated = simVerdict(spec, k.seed);
+    observatory.finalize("row_end");
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const support::Options opts(
+        argc, argv,
+        {"report-out", "live-out", "duration-ms", "hold-us",
+         "sample-ms", "deadline-ms", "straggle-ms", "seed", "jobs"});
+
+    printHeader("ext_runtime_arrivals: real-thread open arrivals "
+                "under the live observatory",
+                "runtime counterpart of DESIGN.md §13 (open system); "
+                "observatory per §16");
+
+    RowKnobs k;
+    k.durationNs = static_cast<std::uint64_t>(
+                       opts.getInt("duration-ms", 400)) *
+                   1'000'000;
+    k.holdNs = static_cast<std::uint64_t>(
+                   opts.getInt("hold-us", 1000)) *
+               1'000;
+    k.samplePeriodNs = static_cast<std::uint64_t>(
+                           opts.getInt("sample-ms", 10)) *
+                       1'000'000;
+    k.watchdogDeadlineNs = static_cast<std::uint64_t>(
+                               opts.getInt("deadline-ms", 50)) *
+                           1'000'000;
+    k.straggleNs = static_cast<std::uint64_t>(
+                       opts.getInt("straggle-ms", 200)) *
+                   1'000'000;
+    k.liveOut = opts.get("live-out");
+    k.seed = static_cast<std::uint64_t>(opts.getInt("seed", 42));
+    k.holdIters = calibrateHoldIters(k.holdNs);
+
+    std::printf("calibration: hold %llu us = %llu pause-iterations\n",
+                static_cast<unsigned long long>(k.holdNs / 1000),
+                static_cast<unsigned long long>(k.holdIters));
+    std::printf("telemetry: %s\n\n",
+                obs::kTelemetryEnabled ? "on" : "off");
+
+    // Stable points sit well below effective capacity (calibration is
+    // optimistic under co-running threads), overload points well
+    // above it; the fault row is stable load plus a silent straggler.
+    const std::vector<RowSpec> rows = {
+        {"poisson.rho0.10", Process::Poisson, 0.10, false, false},
+        {"poisson.rho0.20", Process::Poisson, 0.20, false, false},
+        {"poisson.rho2.50", Process::Poisson, 2.50, false, true},
+        {"adversarial.rho2.50", Process::Adversarial, 2.50, false,
+         true},
+        {"fault.straggler", Process::Poisson, 0.10, true, false},
+    };
+
+    support::Table table(
+        {"row", "rho", "offered", "completed", "goodput", "backlog",
+         "online", "offline", "sim", "trips"});
+
+    std::vector<RowResult> results;
+    std::uint64_t totalBusyNs = 0;
+    std::uint64_t totalWallNs = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        k.appendSink = i > 0;
+        RowResult r = runRow(rows[i], k);
+        totalBusyNs += r.samplerBusyNs;
+        totalWallNs += r.wallNs;
+        table.addRow(
+            {r.spec.label, std::to_string(r.spec.rho),
+             std::to_string(r.offered), std::to_string(r.completed),
+             std::to_string(r.goodputRatio),
+             std::to_string(r.endBacklog),
+             r.onlineSaturated ? "SAT" : "ok",
+             r.offlineSaturated ? "SAT" : "ok",
+             r.simSaturated ? "SAT" : "ok",
+             std::to_string(r.watchdogTrips)});
+        results.push_back(std::move(r));
+    }
+    std::fputs(table.str().c_str(), stdout);
+
+    const double overheadPct =
+        totalWallNs == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(totalBusyNs) /
+                  static_cast<double>(totalWallNs);
+    std::printf("\nsampler overhead: %.3f%% of wall time "
+                "(budget 2%%)\n",
+                overheadPct);
+
+    obs::RunReport report("ext_runtime_arrivals",
+                          "real-thread open arrivals observed live "
+                          "vs the simulated stability boundary");
+    for (const RowResult &r : results) {
+        const std::string p = "live." + r.spec.label + ".";
+        report.addMetric(p + "online_saturated",
+                         r.onlineSaturated ? 1.0 : 0.0);
+        report.addMetric(p + "offline_saturated",
+                         r.offlineSaturated ? 1.0 : 0.0);
+        report.addMetric(p + "sim_saturated",
+                         r.simSaturated ? 1.0 : 0.0);
+        report.addMetric(p + "agree", r.agree ? 1.0 : 0.0);
+        report.addMetric(p + "watchdog_trips",
+                         static_cast<double>(r.watchdogTrips));
+        report.addMetric(p + "goodput_ratio", r.goodputRatio);
+        report.addMetric(p + "sampler_ticks",
+                         static_cast<double>(r.samplerTicks));
+    }
+    report.addMetric("live.sampler.overhead_pct", overheadPct);
+    maybeWriteRunReport(opts, report);
+
+    // Self-gate (telemetry builds only: without recording there is
+    // nothing to verify and every verdict legitimately reads false).
+    if (!obs::kTelemetryEnabled)
+        return 0;
+    const char *env = std::getenv("ABSYNC_OVERHEAD_MAX_PCT");
+    const double maxPct = env != nullptr ? std::atof(env) : 2.0;
+    int failures = 0;
+    for (const RowResult &r : results) {
+        if (!r.agree) {
+            std::fprintf(stderr,
+                         "FAIL %s: online verdict %d disagrees with "
+                         "offline ledger %d\n",
+                         r.spec.label.c_str(), r.onlineSaturated,
+                         r.offlineSaturated);
+            ++failures;
+        }
+        if (r.onlineSaturated != r.spec.expectSaturated) {
+            std::fprintf(stderr,
+                         "FAIL %s: expected %ssaturated\n",
+                         r.spec.label.c_str(),
+                         r.spec.expectSaturated ? "" : "not ");
+            ++failures;
+        }
+        if (r.spec.straggler && r.watchdogTrips < 1) {
+            std::fprintf(stderr,
+                         "FAIL %s: injected straggler did not trip "
+                         "the watchdog\n",
+                         r.spec.label.c_str());
+            ++failures;
+        }
+        if (!r.spec.straggler && r.watchdogTrips != 0) {
+            std::fprintf(stderr,
+                         "FAIL %s: %llu watchdog trips on a healthy "
+                         "row\n",
+                         r.spec.label.c_str(),
+                         static_cast<unsigned long long>(
+                             r.watchdogTrips));
+            ++failures;
+        }
+    }
+    if (overheadPct > maxPct) {
+        std::fprintf(stderr,
+                     "FAIL sampler overhead %.3f%% > %.2f%%\n",
+                     overheadPct, maxPct);
+        ++failures;
+    }
+    if (failures > 0) {
+        std::fprintf(stderr, "%d live-observatory gate failure(s)\n",
+                     failures);
+        return 1;
+    }
+    std::printf("live-observatory gates: all passed\n");
+    return 0;
+}

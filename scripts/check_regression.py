@@ -35,6 +35,7 @@ BASELINE_SCHEMA = "absync.bench_baseline.v1"
 REPORT_SCHEMA = "absync.run_report.v1"
 TIMING_SCHEMA = "absync.gbench_timing.v1"
 OPEN_SCHEMA = "absync.open_system.v1"
+RUNTIME_SCHEMA = "absync.runtime_arrivals.v1"
 
 # Fresh baselines pin every metric of the report with this band.
 # Deterministic simulators reproduce exactly on one machine; the
@@ -317,6 +318,125 @@ def write_open_baseline(args):
           f"{len(floors)} floors)")
 
 
+# ---------------------------------------------------------------------
+# Live-observatory gate: the ext_runtime_arrivals real-thread sweep
+# (absync.runtime_arrivals.v1).
+#
+# Real threads are not deterministic, so like the open-system gate the
+# contract is qualitative — sanity bands on the saturation onsets
+# rather than value bands:
+#  - flags: online verdict, offline ledger verdict, and their
+#    agreement bit per swept row, exact 0/1 match (the rows sit far
+#    from the capacity boundary on purpose, so the verdicts are
+#    machine-independent);
+#  - trip bounds: stable rows must report exactly zero watchdog trips,
+#    the injected-straggler fault row at least one;
+#  - overhead ceiling: the sampler thread may spend at most
+#    RUNTIME_OVERHEAD_CEILING_PCT of wall time inside ticks (the 2%
+#    telemetry budget, fixed by hand, never reseeded from a
+#    measurement).
+# Telemetry-off builds record none of this; the gate skips with a
+# note (the bench itself still must run cleanly — run_bench fails on
+# a nonzero exit).
+# ---------------------------------------------------------------------
+
+RUNTIME_TOOL = "BASELINE_runtime_arrivals"
+RUNTIME_COMMAND = ("{build}/bench/ext_runtime_arrivals --seed 42 "
+                   "--report-out {report}")
+RUNTIME_OVERHEAD_CEILING_PCT = 2.0
+
+
+def check_runtime(baseline, measured, inject):
+    """Yield human-readable failure strings for the live gate."""
+
+    def get(name):
+        got = measured.get(name)
+        if got is not None and inject and inject[0] in name:
+            got *= inject[1]
+        return got
+
+    for name, expected in sorted(baseline.get("flags", {}).items()):
+        got = get(name)
+        if got is None:
+            yield f"{name}: MISSING from report"
+        elif got != expected:
+            yield (f"{name}: verdict flipped, baseline {expected:g}, "
+                   f"measured {got:g}")
+    for name, spec in sorted(baseline.get("trip_bounds", {}).items()):
+        got = get(name)
+        if got is None:
+            yield f"{name}: MISSING from report"
+        elif "exact" in spec and got != spec["exact"]:
+            yield (f"{name}: expected exactly {spec['exact']:g} "
+                   f"watchdog trips, measured {got:g}")
+        elif "min" in spec and got < spec["min"]:
+            yield (f"{name}: expected >= {spec['min']:g} watchdog "
+                   f"trips, measured {got:g}")
+    ceiling = baseline.get("overhead_ceiling_pct",
+                           RUNTIME_OVERHEAD_CEILING_PCT)
+    got = get("live.sampler.overhead_pct")
+    if got is None:
+        yield "live.sampler.overhead_pct: MISSING from report"
+    elif got > ceiling:
+        yield (f"live.sampler.overhead_pct: measured {got:.3f}% "
+               f"above the {ceiling:g}% telemetry budget")
+
+
+def gate_runtime(args, baseline):
+    report_path = args.results / f"{baseline['tool']}.report.json"
+    report = run_bench(baseline["command"], args.build, report_path)
+    if not report.get("telemetry", True):
+        print(f"skip  {baseline['tool']}  (telemetry compiled out; "
+              f"bench ran clean)")
+        return 0
+    bad = list(check_runtime(baseline, report["metrics"],
+                             args.inject))
+    checks = (len(baseline.get("flags", {})) +
+              len(baseline.get("trip_bounds", {})) + 1)
+    status = "FAIL" if bad else "ok"
+    print(f"{status:>4}  {baseline['tool']}  "
+          f"({checks} checks, report: {report_path})")
+    for msg in bad:
+        print(f"      {msg}")
+    return len(bad)
+
+
+def write_runtime_baseline(args):
+    report_path = args.results / f"{RUNTIME_TOOL}.report.json"
+    report = run_bench(RUNTIME_COMMAND, args.build, report_path)
+    if not report.get("telemetry", True):
+        print(f"not seeding {RUNTIME_TOOL}: telemetry compiled out")
+        return
+    metrics = report["metrics"]
+    flags = {}
+    trip_bounds = {}
+    for name, value in sorted(metrics.items()):
+        if (name.endswith(".online_saturated") or
+                name.endswith(".offline_saturated") or
+                name.endswith(".agree")):
+            flags[name] = value
+        elif name.endswith(".watchdog_trips"):
+            label = name.split(".")[1]
+            if label.startswith("fault"):
+                trip_bounds[name] = {"min": 1.0}
+            else:
+                trip_bounds[name] = {"exact": 0.0}
+    doc = {
+        "schema": RUNTIME_SCHEMA,
+        "tool": RUNTIME_TOOL,
+        "command": RUNTIME_COMMAND,
+        "flags": flags,
+        "trip_bounds": trip_bounds,
+        "overhead_ceiling_pct": RUNTIME_OVERHEAD_CEILING_PCT,
+    }
+    out = args.baselines / f"{RUNTIME_TOOL}.json"
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"seeded {out} ({len(flags)} flags, "
+          f"{len(trip_bounds)} trip bounds)")
+
+
 def run_bench(command, build, report_path):
     report_path.parent.mkdir(parents=True, exist_ok=True)
     cmd = command.format(build=build, report=report_path)
@@ -363,10 +483,14 @@ def gate(args, baseline_paths):
         if baseline.get("schema") == OPEN_SCHEMA:
             failures += gate_open(args, baseline)
             continue
+        if baseline.get("schema") == RUNTIME_SCHEMA:
+            failures += gate_runtime(args, baseline)
+            continue
         if baseline.get("schema") != BASELINE_SCHEMA:
             sys.exit(f"{path}: schema is {baseline.get('schema')!r},"
                      f" expected {BASELINE_SCHEMA!r}, "
-                     f"{OPEN_SCHEMA!r} or {TIMING_SCHEMA!r}")
+                     f"{OPEN_SCHEMA!r}, {RUNTIME_SCHEMA!r} or "
+                     f"{TIMING_SCHEMA!r}")
         tool = baseline["tool"]
         report_path = args.results / f"{tool}.report.json"
         report = run_bench(baseline["command"], args.build,
@@ -401,6 +525,7 @@ def write_baselines(args):
     if args.only == "timing":
         return
     write_open_baseline(args)
+    write_runtime_baseline(args)
     for tool, command in sorted(SEED_COMMANDS.items()):
         report_path = args.results / f"{tool}.report.json"
         report = run_bench(command, args.build, report_path)

@@ -65,6 +65,13 @@ for b in "$BUILD"/bench/*; do
         ext_open_arrivals)
             extra=(--report-out "$OUT/REPORT_$name.json")
             ;;
+        ext_runtime_arrivals)
+            # Real-thread λ sweep: the run report carries the
+            # online/offline/sim verdict comparison, the live JSONL
+            # stream is the flight-recorder artifact itself.
+            extra=(--report-out "$OUT/REPORT_$name.json"
+                   --live-out "$OUT/BENCH_live.json")
+            ;;
         ext_hierarchical_scale)
             # The 1024-core sweep's machine-readable export keeps its
             # own top-level name: it is the artifact the scaling claim
@@ -98,6 +105,18 @@ if [ "$failed" -gt 0 ]; then
 fi
 
 echo "== machine-readable exports"
+# Fail fast, by name, when a requested export tool is missing — a
+# half-built tree must not produce a results directory that looks
+# complete but silently lacks exports.
+for tool in gbench_runtime gbench_simulators ext_telemetry_demo \
+            ext_runtime_arrivals; do
+    if [ ! -x "$BUILD/bench/$tool" ]; then
+        echo "error: export tool $BUILD/bench/$tool is missing or" \
+             "not executable; build it first (cmake --build" \
+             "$BUILD --target $tool)" >&2
+        exit 1
+    fi
+done
 "$BUILD"/bench/gbench_runtime --benchmark_format=json \
     --benchmark_repetitions=5 --benchmark_report_aggregates_only=false \
     > "$OUT/BENCH_runtime.json"
@@ -147,7 +166,8 @@ for name in ("REPORT_fig5_accesses_a0.json",
              "REPORT_fig7_accesses_a1000.json",
              "REPORT_fig8_waiting_a0.json",
              "REPORT_ext_hotspot_saturation.json",
-             "REPORT_ext_open_arrivals.json"):
+             "REPORT_ext_open_arrivals.json",
+             "REPORT_ext_runtime_arrivals.json"):
     with open(f"{out}/{name}") as f:
         reports[name] = json.load(f)
     assert reports[name]["schema"] == "absync.run_report.v1", name
@@ -176,6 +196,28 @@ if reports["REPORT_ext_hotspot_saturation.json"]["telemetry"]:
     assert counter_events, "no counter events in occupancy trace"
 print(f"   hotspot_occupancy_trace.json: "
       f"{len(counter_events)} counter events")
+
+# The live flight-recorder stream: JSONL, one schema-stamped line per
+# sampler window plus one postmortem per swept row.  Telemetry-off
+# builds record nothing, so the artifact legitimately does not exist
+# there (the run report above still does).
+import os
+live_path = f"{out}/BENCH_live.json"
+if reports["REPORT_ext_runtime_arrivals.json"]["telemetry"]:
+    with open(live_path) as f:
+        live = [json.loads(line) for line in f if line.strip()]
+    assert all(d["schema"] == "absync.live_report.v1" for d in live)
+    windows = [d for d in live if d["kind"] == "window"]
+    posts = [d for d in live if d["kind"] == "postmortem"]
+    assert windows, "BENCH_live.json: no window lines"
+    assert posts, "BENCH_live.json: no postmortem lines"
+    fault = [d for d in posts if d["label"].startswith("fault.")]
+    assert fault and fault[0]["watchdog"]["trips"] >= 1, \
+        "BENCH_live.json: fault row carries no watchdog trip"
+    print(f"   BENCH_live.json: {len(windows)} windows, "
+          f"{len(posts)} postmortems")
+elif os.path.exists(live_path):
+    print(f"   BENCH_live.json: present despite telemetry off")
 
 def median_cpu(doc, name):
     times = [b["cpu_time"] for b in doc["benchmarks"]

@@ -28,6 +28,9 @@ CounterSnapshot::operator+=(const CounterSnapshot &o)
     nodesAbandoned += o.nodesAbandoned;
     localAccesses += o.localAccesses;
     remoteAccesses += o.remoteAccesses;
+    samplerTicks += o.samplerTicks;
+    watchdogTrips += o.watchdogTrips;
+    liveWindows += o.liveWindows;
     return *this;
 }
 
@@ -54,6 +57,9 @@ CounterSnapshot::operator-(const CounterSnapshot &o) const
     d.nodesAbandoned -= o.nodesAbandoned;
     d.localAccesses -= o.localAccesses;
     d.remoteAccesses -= o.remoteAccesses;
+    d.samplerTicks -= o.samplerTicks;
+    d.watchdogTrips -= o.watchdogTrips;
+    d.liveWindows -= o.liveWindows;
     return d;
 }
 
@@ -73,7 +79,10 @@ CounterSnapshot::operator==(const CounterSnapshot &o) const
            queueHandoffs == o.queueHandoffs &&
            nodesAbandoned == o.nodesAbandoned &&
            localAccesses == o.localAccesses &&
-           remoteAccesses == o.remoteAccesses;
+           remoteAccesses == o.remoteAccesses &&
+           samplerTicks == o.samplerTicks &&
+           watchdogTrips == o.watchdogTrips &&
+           liveWindows == o.liveWindows;
 }
 
 std::string
@@ -125,7 +134,8 @@ parseCounterSnapshot(const std::string &json, CounterSnapshot *out)
                n == "arrivals" || n == "sheds" ||
                n == "saturated_windows" || n == "queue_handoffs" ||
                n == "nodes_abandoned" || n == "local_accesses" ||
-               n == "remote_accesses";
+               n == "remote_accesses" || n == "sampler_ticks" ||
+               n == "watchdog_trips" || n == "live_windows";
     };
     CounterSnapshot parsed;
     bool ok = true;
@@ -220,6 +230,9 @@ SyncCounters::snapshot() const
     s.localAccesses = localAccesses.load(std::memory_order_relaxed);
     s.remoteAccesses =
         remoteAccesses.load(std::memory_order_relaxed);
+    s.samplerTicks = samplerTicks.load(std::memory_order_relaxed);
+    s.watchdogTrips = watchdogTrips.load(std::memory_order_relaxed);
+    s.liveWindows = liveWindows.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -245,6 +258,9 @@ SyncCounters::reset()
     nodesAbandoned.store(0, std::memory_order_relaxed);
     localAccesses.store(0, std::memory_order_relaxed);
     remoteAccesses.store(0, std::memory_order_relaxed);
+    samplerTicks.store(0, std::memory_order_relaxed);
+    watchdogTrips.store(0, std::memory_order_relaxed);
+    liveWindows.store(0, std::memory_order_relaxed);
 }
 
 namespace

@@ -47,6 +47,13 @@
  *                      (DESIGN.md §15)
  *  - remote_accesses   access attempts that crossed tiles (globally
  *                      shared modules count as remote for everyone)
+ *  - sampler_ticks     live-observatory sampler wakeups (DESIGN.md
+ *                      §16)
+ *  - watchdog_trips    stuck-waiter watchdog verdicts: waits whose
+ *                      heartbeat epoch froze past the deadline
+ *  - live_windows      detector windows the observatory closed from
+ *                      live counter deltas (its online analogue of
+ *                      the simulator's saturation windows)
  *
  * Everything after `acquires` postdates v1 of the schema: those
  * counters are recorded by the simulators, the open-system robustness
@@ -105,6 +112,9 @@ struct CounterSnapshot
     std::uint64_t nodesAbandoned = 0;
     std::uint64_t localAccesses = 0;
     std::uint64_t remoteAccesses = 0;
+    std::uint64_t samplerTicks = 0;
+    std::uint64_t watchdogTrips = 0;
+    std::uint64_t liveWindows = 0;
 
     /** Apply @p f(name, value) to every field, in schema order. */
     template <typename F>
@@ -130,6 +140,9 @@ struct CounterSnapshot
         f("nodes_abandoned", nodesAbandoned);
         f("local_accesses", localAccesses);
         f("remote_accesses", remoteAccesses);
+        f("sampler_ticks", samplerTicks);
+        f("watchdog_trips", watchdogTrips);
+        f("live_windows", liveWindows);
     }
 
     /** Mutable field access by schema position (exposition helpers). */
@@ -156,6 +169,9 @@ struct CounterSnapshot
         f("nodes_abandoned", nodesAbandoned);
         f("local_accesses", localAccesses);
         f("remote_accesses", remoteAccesses);
+        f("sampler_ticks", samplerTicks);
+        f("watchdog_trips", watchdogTrips);
+        f("live_windows", liveWindows);
     }
 
     CounterSnapshot &operator+=(const CounterSnapshot &o);
@@ -181,7 +197,7 @@ struct CounterSnapshot
  * object).  Tolerant scanner over this library's own output, not a
  * general JSON parser.  Returns false when any schema key is missing,
  * except the keys added after v1 shipped (cycles_skipped through
- * remote_accesses): those default to 0 so documents from older builds
+ * live_windows): those default to 0 so documents from older builds
  * still parse.
  */
 bool parseCounterSnapshot(const std::string &json, CounterSnapshot *out);
@@ -215,6 +231,9 @@ struct alignas(64) SyncCounters
     std::atomic<std::uint64_t> nodesAbandoned{0};
     std::atomic<std::uint64_t> localAccesses{0};
     std::atomic<std::uint64_t> remoteAccesses{0};
+    std::atomic<std::uint64_t> samplerTicks{0};
+    std::atomic<std::uint64_t> watchdogTrips{0};
+    std::atomic<std::uint64_t> liveWindows{0};
 
     /** Single-writer add: safe against concurrent snapshot readers. */
     static void
@@ -405,6 +424,24 @@ inline void
 countRemoteAccesses(std::uint64_t n)
 {
     ABSYNC_OBS_RECORD(remoteAccesses, n);
+}
+
+inline void
+countSamplerTick()
+{
+    ABSYNC_OBS_RECORD(samplerTicks, 1);
+}
+
+inline void
+countWatchdogTrip(std::uint64_t n = 1)
+{
+    ABSYNC_OBS_RECORD(watchdogTrips, n);
+}
+
+inline void
+countLiveWindows(std::uint64_t n = 1)
+{
+    ABSYNC_OBS_RECORD(liveWindows, n);
 }
 
 #undef ABSYNC_OBS_RECORD

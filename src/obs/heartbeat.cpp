@@ -1,0 +1,137 @@
+#include "obs/heartbeat.hpp"
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+namespace absync::obs
+{
+
+thread_local HeartbeatSlot *tls_heartbeat = nullptr;
+
+namespace
+{
+
+/** Per-thread slot lease: recycles the slot when the thread exits. */
+struct HeartbeatLease
+{
+    HeartbeatSlot *slot = nullptr;
+
+    ~HeartbeatLease()
+    {
+        if (slot != nullptr)
+            HeartbeatRegistry::global().releaseSlot(slot);
+    }
+};
+
+thread_local HeartbeatLease tls_hb_lease;
+
+HeartbeatSlot *
+ensureSlot()
+{
+    if (tls_heartbeat != nullptr)
+        return tls_heartbeat;
+    if (tls_hb_lease.slot == nullptr)
+        tls_hb_lease.slot = HeartbeatRegistry::global().acquireSlot();
+    tls_heartbeat = tls_hb_lease.slot;
+    return tls_heartbeat;
+}
+
+} // namespace
+
+HeartbeatRegistry &
+HeartbeatRegistry::global()
+{
+    static HeartbeatRegistry registry;
+    return registry;
+}
+
+HeartbeatSlot *
+HeartbeatRegistry::acquireSlot()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_.empty()) {
+        HeartbeatSlot *slot = free_.back();
+        free_.pop_back();
+        return slot;
+    }
+    slots_.push_back(std::make_unique<HeartbeatSlot>());
+    slots_.back()->tid =
+        static_cast<std::uint32_t>(slots_.size() - 1);
+    return slots_.back().get();
+}
+
+void
+HeartbeatRegistry::releaseSlot(HeartbeatSlot *slot)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    // A thread that exits mid-wait (should not happen; scopes are
+    // stack-bound) would leave depth nonzero — clear it so a recycled
+    // slot never inherits a phantom wait.
+    slot->depth.store(0, std::memory_order_relaxed);
+    slot->kind.store(nullptr, std::memory_order_relaxed);
+    slot->site.store(nullptr, std::memory_order_relaxed);
+    free_.push_back(slot);
+}
+
+std::vector<HeartbeatSample>
+HeartbeatRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<HeartbeatSample> all;
+    all.reserve(slots_.size());
+    for (const auto &slot : slots_) {
+        HeartbeatSample s;
+        s.tid = slot->tid;
+        s.active = slot->depth.load(std::memory_order_relaxed) > 0;
+        s.epoch = slot->epoch.load(std::memory_order_relaxed);
+        s.startNs = slot->startNs.load(std::memory_order_relaxed);
+        const char *k = slot->kind.load(std::memory_order_relaxed);
+        const char *w = slot->site.load(std::memory_order_relaxed);
+        s.kind = k != nullptr ? k : "";
+        s.site = w != nullptr ? w : "";
+        all.push_back(s);
+    }
+    return all;
+}
+
+std::size_t
+HeartbeatRegistry::activeWaits() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const auto &slot : slots_)
+        if (slot->depth.load(std::memory_order_relaxed) > 0)
+            ++n;
+    return n;
+}
+
+ScopedWaitHeartbeat::ScopedWaitHeartbeat(const char *kind,
+                                         const char *site,
+                                         std::uint64_t nowNs)
+    : slot_(ensureSlot()),
+      prevKind_(slot_->kind.load(std::memory_order_relaxed)),
+      prevSite_(slot_->site.load(std::memory_order_relaxed)),
+      prevStartNs_(slot_->startNs.load(std::memory_order_relaxed))
+{
+    slot_->kind.store(kind, std::memory_order_relaxed);
+    slot_->site.store(site, std::memory_order_relaxed);
+    slot_->startNs.store(nowNs, std::memory_order_relaxed);
+    slot_->depth.store(
+        slot_->depth.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    heartbeatPulse();
+}
+
+ScopedWaitHeartbeat::~ScopedWaitHeartbeat()
+{
+    heartbeatPulse();
+    slot_->depth.store(
+        slot_->depth.load(std::memory_order_relaxed) - 1,
+        std::memory_order_relaxed);
+    slot_->kind.store(prevKind_, std::memory_order_relaxed);
+    slot_->site.store(prevSite_, std::memory_order_relaxed);
+    slot_->startNs.store(prevStartNs_, std::memory_order_relaxed);
+}
+
+} // namespace absync::obs
+
+#endif // ABSYNC_TELEMETRY_ENABLED

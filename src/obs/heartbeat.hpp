@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Wait-loop heartbeats: the liveness side of the telemetry layer.
+ *
+ * Counters (counters.hpp) say how much work a wait did; heartbeats say
+ * whether it is still *making progress*.  Every runtime wait loop
+ * brackets its wait in a ScopedWaitHeartbeat (kind + site + start
+ * time) and the spin primitives it bottoms out in (cpuRelax, spinFor,
+ * osYield) pulse the calling thread's heartbeat epoch once per
+ * iteration.  A thread whose epoch stops advancing while a wait scope
+ * is open is either futex-parked (parks never pulse — a parked thread
+ * executes nothing) or genuinely stuck; the observatory's stuck-waiter
+ * watchdog (observatory.hpp) reads the registry and decides, after a
+ * configurable deadline, which waits to flag.
+ *
+ * The pulse is the hot-path cost: one thread-local pointer load and,
+ * only when a wait scope is open, a relaxed load/add/store on a slot
+ * owned by this thread (single writer; the watchdog only reads).  With
+ * no ScopedWaitHeartbeat open the pulse is a load and a branch.
+ *
+ * Slots are cache-line padded and recycled through a free list on
+ * thread exit, exactly like CounterRegistry slabs, so VirtualSched
+ * episodes that spawn fresh OS threads per run do not grow the
+ * registry without bound.
+ *
+ * Everything here compiles to no-ops under ABSYNC_TELEMETRY=OFF;
+ * HeartbeatSample stays available as schema.
+ */
+
+#ifndef ABSYNC_OBS_HEARTBEAT_HPP
+#define ABSYNC_OBS_HEARTBEAT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace absync::obs
+{
+
+/**
+ * One wait's observed state, as read by the watchdog.  Always
+ * available, even in no-op builds — schema, not recording.  kind/site
+ * point at the string literals the wait scope was opened with.
+ */
+struct HeartbeatSample
+{
+    std::uint32_t tid = 0;       ///< dense slot id (stable per slot)
+    bool active = false;         ///< a wait scope is currently open
+    std::uint64_t epoch = 0;     ///< pulses since slot creation
+    std::uint64_t startNs = 0;   ///< when the open wait began
+    const char *kind = "";       ///< primitive family ("barrier", ...)
+    const char *site = "";       ///< wait loop within it ("acquire")
+};
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+/**
+ * One thread's heartbeat slot, padded so the watchdog's reads never
+ * false-share with the owner's pulses.  Single writer (the owning
+ * thread); all fields atomic only so the watchdog may read them
+ * concurrently.
+ */
+struct alignas(64) HeartbeatSlot
+{
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> startNs{0};
+    std::atomic<std::uint32_t> depth{0}; ///< open wait scopes (nested)
+    std::atomic<const char *> kind{nullptr};
+    std::atomic<const char *> site{nullptr};
+    std::uint32_t tid = 0;
+};
+
+/** The calling thread's slot, or null until its first wait scope. */
+extern thread_local HeartbeatSlot *tls_heartbeat;
+
+/**
+ * Process-wide slot registry.  Slots are leased per thread on the
+ * first ScopedWaitHeartbeat and recycled (depth cleared) on thread
+ * exit; snapshot() samples every slot ever created, live or idle.
+ */
+class HeartbeatRegistry
+{
+  public:
+    static HeartbeatRegistry &global();
+
+    std::vector<HeartbeatSample> snapshot() const;
+
+    /** Number of waits currently open across all threads. */
+    std::size_t activeWaits() const;
+
+    /** Lease / recycle a slot (internal; mirrors CounterRegistry). */
+    HeartbeatSlot *acquireSlot();
+    void releaseSlot(HeartbeatSlot *slot);
+
+  private:
+    HeartbeatRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<HeartbeatSlot>> slots_;
+    std::vector<HeartbeatSlot *> free_;
+};
+
+/**
+ * Advance the calling thread's wait epoch.  Called by the runtime
+ * spin primitives once per wait iteration; a no-op when no wait scope
+ * is open (or in no-op builds).
+ */
+inline void
+heartbeatPulse()
+{
+    if (HeartbeatSlot *s = tls_heartbeat)
+        s->epoch.store(s->epoch.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+}
+
+/**
+ * RAII wait scope: marks the calling thread as waiting in
+ * @p kind / @p site starting at @p nowNs (caller supplies the clock —
+ * the runtime passes waitClockNowNs() so virtual-scheduler time works
+ * too).  Nests: an inner scope shadows the outer attribution and
+ * restores it on exit.  Opening and closing a scope both count as a
+ * pulse, so a wait that completes is never flagged.
+ */
+class ScopedWaitHeartbeat
+{
+  public:
+    ScopedWaitHeartbeat(const char *kind, const char *site,
+                        std::uint64_t nowNs);
+    ~ScopedWaitHeartbeat();
+    ScopedWaitHeartbeat(const ScopedWaitHeartbeat &) = delete;
+    ScopedWaitHeartbeat &operator=(const ScopedWaitHeartbeat &) =
+        delete;
+
+  private:
+    HeartbeatSlot *slot_;
+    const char *prevKind_;
+    const char *prevSite_;
+    std::uint64_t prevStartNs_;
+};
+
+#else // !ABSYNC_TELEMETRY_ENABLED
+
+/** No-op stand-ins: pulses vanish, the registry reads empty. */
+class HeartbeatRegistry
+{
+  public:
+    static HeartbeatRegistry &
+    global()
+    {
+        static HeartbeatRegistry registry;
+        return registry;
+    }
+
+    std::vector<HeartbeatSample>
+    snapshot() const
+    {
+        return {};
+    }
+
+    std::size_t
+    activeWaits() const
+    {
+        return 0;
+    }
+};
+
+inline void
+heartbeatPulse()
+{
+}
+
+struct ScopedWaitHeartbeat
+{
+    ScopedWaitHeartbeat(const char *, const char *, std::uint64_t) {}
+};
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+} // namespace absync::obs
+
+#endif // ABSYNC_OBS_HEARTBEAT_HPP

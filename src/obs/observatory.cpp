@@ -1,0 +1,419 @@
+#include "obs/observatory.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+
+namespace absync::obs
+{
+
+namespace
+{
+
+void
+appendU64(std::string &s, const char *key, std::uint64_t v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"%s\":%llu", key,
+                  static_cast<unsigned long long>(v));
+    s += buf;
+}
+
+void
+appendBool(std::string &s, const char *key, bool v)
+{
+    s += '"';
+    s += key;
+    s += v ? "\":true" : "\":false";
+}
+
+void
+appendStr(std::string &s, const char *key, const std::string &v)
+{
+    s += '"';
+    s += key;
+    s += "\":\"";
+    s += jsonEscape(v);
+    s += '"';
+}
+
+} // namespace
+
+std::string
+PostmortemReport::json() const
+{
+    std::string s = "{\"schema\":\"absync.live_report.v1\","
+                    "\"kind\":\"postmortem\",";
+    appendStr(s, "reason", reason);
+    s += ',';
+    appendStr(s, "label", label);
+    s += ',';
+    appendU64(s, "ts_ns", tsNs);
+    s += ',';
+    s += "\"sampler\":{";
+    appendU64(s, "ticks", samplerTicks);
+    s += ',';
+    appendU64(s, "busy_ns", samplerBusyNs);
+    s += "},\"detector\":{";
+    appendU64(s, "windows", detectorWindows);
+    s += ',';
+    appendU64(s, "saturated_windows", detectorSaturatedWindows);
+    s += ',';
+    appendBool(s, "saturated_now", saturatedNow);
+    s += ',';
+    appendBool(s, "latched", latched);
+    s += "},";
+    appendU64(s, "active_waits", activeWaits);
+    s += ",\"watchdog\":{";
+    appendU64(s, "trips", trips.size());
+    s += ",\"detail\":[";
+    for (std::size_t i = 0; i < trips.size(); ++i) {
+        const WatchdogTrip &t = trips[i];
+        if (i > 0)
+            s += ',';
+        s += '{';
+        appendU64(s, "tid", t.tid);
+        s += ',';
+        appendStr(s, "kind", t.kind);
+        s += ',';
+        appendStr(s, "site", t.site);
+        s += ',';
+        appendU64(s, "epoch", t.epoch);
+        s += ',';
+        appendU64(s, "start_ns", t.startNs);
+        s += ',';
+        appendU64(s, "stuck_ns", t.stuckNs);
+        s += ",\"delta\":";
+        s += t.delta.json();
+        s += '}';
+    }
+    s += "]},\"counters\":";
+    s += counters.json();
+    s += ",\"trace\":{";
+    appendU64(s, "events", events.size());
+    s += ',';
+    appendU64(s, "dropped", droppedEvents);
+    s += ",\"detail\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        if (i > 0)
+            s += ',';
+        s += '{';
+        appendU64(s, "ts", e.ts);
+        s += ',';
+        appendU64(s, "tid", e.tid);
+        s += ',';
+        appendStr(s, "kind", eventKindName(e.kind));
+        s += ',';
+        appendU64(s, "arg", e.arg);
+        s += '}';
+    }
+    s += "]}}";
+    return s;
+}
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------
+// StuckWaiterWatchdog
+// ---------------------------------------------------------------------
+
+std::size_t
+StuckWaiterWatchdog::scan(std::uint64_t nowNs,
+                          const CounterSnapshot &delta)
+{
+    std::size_t fired = 0;
+    const std::vector<HeartbeatSample> samples =
+        HeartbeatRegistry::global().snapshot();
+    for (const HeartbeatSample &hb : samples) {
+        if (hb.tid >= state_.size())
+            state_.resize(hb.tid + 1);
+        SlotState &st = state_[hb.tid];
+        if (!hb.active) {
+            // Wait closed (or slot idle): forget the stall so the
+            // next wait on this slot starts fresh.
+            st.seen = false;
+            st.tripped = false;
+            continue;
+        }
+        if (!st.seen || hb.epoch != st.lastEpoch) {
+            // First sight of this wait, or it pulsed since the last
+            // scan: progress.  A wait first seen mid-stall is charged
+            // from its own start time (its opening pulse), so a wait
+            // already old when the watchdog starts trips promptly.
+            st.lastProgressNs = st.seen ? nowNs : hb.startNs;
+            st.seen = true;
+            st.tripped = false;
+            st.lastEpoch = hb.epoch;
+            continue;
+        }
+        if (st.tripped)
+            continue;
+        const std::uint64_t stuck =
+            nowNs > st.lastProgressNs ? nowNs - st.lastProgressNs : 0;
+        if (stuck < deadlineNs_)
+            continue;
+        st.tripped = true;
+        WatchdogTrip trip;
+        trip.tid = hb.tid;
+        trip.kind = hb.kind;
+        trip.site = hb.site;
+        trip.epoch = hb.epoch;
+        trip.startNs = hb.startNs;
+        trip.stuckNs = stuck;
+        trip.delta = delta;
+        trips_.push_back(std::move(trip));
+        countWatchdogTrip();
+        ++fired;
+    }
+    return fired;
+}
+
+// ---------------------------------------------------------------------
+// Observatory
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Process postmortem target for atexit / fatal-signal dumps. */
+std::atomic<Observatory *> g_postmortem_target{nullptr};
+
+void
+postmortemAtExit()
+{
+    if (Observatory *o =
+            g_postmortem_target.exchange(nullptr,
+                                         std::memory_order_acq_rel))
+        o->finalize("exit");
+}
+
+void
+postmortemOnSignal(int sig)
+{
+    // Not async-signal-safe in the strict sense; the process is dying
+    // anyway, so a best-effort dump beats silence.  finalize() uses
+    // try_lock so a tick in flight skips the write rather than
+    // deadlocking.
+    if (Observatory *o =
+            g_postmortem_target.exchange(nullptr,
+                                         std::memory_order_acq_rel)) {
+        char reason[32];
+        std::snprintf(reason, sizeof reason, "signal:%d", sig);
+        o->finalize(reason);
+    }
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+} // namespace
+
+Observatory::Observatory(ObservatoryConfig cfg)
+    : cfg_(std::move(cfg)),
+      detector_(cfg_.detector),
+      watchdog_(cfg_.watchdogDeadlineNs),
+      arrivals_("live.arrivals", cfg_.seriesSamples),
+      completions_("live.completions", cfg_.seriesSamples),
+      backlog_("live.backlog", cfg_.seriesSamples)
+{
+}
+
+Observatory::~Observatory()
+{
+    stop();
+    Observatory *self = this;
+    g_postmortem_target.compare_exchange_strong(
+        self, nullptr, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (sink_ != nullptr) {
+        std::fclose(sink_);
+        sink_ = nullptr;
+    }
+}
+
+void
+Observatory::start()
+{
+    std::lock_guard<std::mutex> lk(threadMu_);
+    if (running_)
+        return;
+    stopRequested_ = false;
+    running_ = true;
+    sampler_ = std::thread([this] {
+        std::unique_lock<std::mutex> lk(threadMu_);
+        while (!stopRequested_) {
+            cv_.wait_for(
+                lk,
+                std::chrono::nanoseconds(cfg_.samplePeriodNs),
+                [this] { return stopRequested_; });
+            if (stopRequested_)
+                break;
+            lk.unlock();
+            tickOnce(steadyNowNs());
+            lk.lock();
+        }
+    });
+}
+
+void
+Observatory::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(threadMu_);
+        if (!running_)
+            return;
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    if (sampler_.joinable())
+        sampler_.join();
+    std::lock_guard<std::mutex> lk(threadMu_);
+    running_ = false;
+}
+
+void
+Observatory::ensureSink()
+{
+    // Caller holds mu_.
+    if (sink_ != nullptr || cfg_.liveReportPath.empty())
+        return;
+    sink_ = std::fopen(cfg_.liveReportPath.c_str(),
+                       cfg_.appendSink ? "ab" : "wb");
+}
+
+void
+Observatory::writeLine(const std::string &line)
+{
+    // Caller holds mu_.
+    ensureSink();
+    if (sink_ == nullptr)
+        return;
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+}
+
+void
+Observatory::tickOnce(std::uint64_t nowNs)
+{
+    const std::uint64_t t0 = steadyNowNs();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (finalized_)
+        return;
+    countSamplerTick();
+    ++ticks_;
+
+    const CounterSnapshot total = CounterRegistry::global().total();
+    const CounterSnapshot delta =
+        haveBaseline_ ? total - lastTotal_ : CounterSnapshot{};
+    lastTotal_ = total;
+    haveBaseline_ = true;
+
+    const std::uint64_t backlog =
+        cfg_.backlogProbe ? cfg_.backlogProbe() : 0;
+    detector_.observe(delta.arrivals, delta.acquires, backlog);
+    countLiveWindows();
+    if (detector_.saturatedNow())
+        countSaturatedWindows(1);
+
+    arrivals_.sample(nowNs, static_cast<double>(delta.arrivals));
+    completions_.sample(nowNs, static_cast<double>(delta.acquires));
+    backlog_.sample(nowNs, static_cast<double>(backlog));
+
+    watchdog_.scan(nowNs, delta);
+
+    std::string line = "{\"schema\":\"absync.live_report.v1\","
+                       "\"kind\":\"window\",";
+    appendStr(line, "label", cfg_.label);
+    line += ',';
+    appendU64(line, "seq", seq_++);
+    line += ',';
+    appendU64(line, "ts_ns", nowNs);
+    line += ',';
+    appendU64(line, "arrivals", delta.arrivals);
+    line += ',';
+    appendU64(line, "completions", delta.acquires);
+    line += ',';
+    appendU64(line, "sheds", delta.sheds);
+    line += ',';
+    appendU64(line, "backlog", backlog);
+    line += ',';
+    appendU64(line, "active_waits",
+              HeartbeatRegistry::global().activeWaits());
+    line += ',';
+    appendBool(line, "saturated_now", detector_.saturatedNow());
+    line += ',';
+    appendBool(line, "latched", detector_.latched());
+    line += ',';
+    appendU64(line, "watchdog_trips", watchdog_.trips().size());
+    line += '}';
+    writeLine(line);
+
+    busyNs_ += steadyNowNs() - t0;
+}
+
+PostmortemReport
+Observatory::postmortem(const std::string &reason) const
+{
+    PostmortemReport r;
+    r.reason = reason;
+    r.label = cfg_.label;
+    r.tsNs = steadyNowNs();
+    r.samplerTicks = ticks_;
+    r.samplerBusyNs = busyNs_;
+    r.detectorWindows = detector_.windows();
+    r.detectorSaturatedWindows = detector_.saturatedWindows();
+    r.saturatedNow = detector_.saturatedNow();
+    r.latched = detector_.latched();
+    r.activeWaits = HeartbeatRegistry::global().activeWaits();
+    r.counters = CounterRegistry::global().total();
+    r.trips = watchdog_.trips();
+    r.events = TraceRegistry::global().collect();
+    r.droppedEvents = TraceRegistry::global().droppedEvents();
+    return r;
+}
+
+std::string
+Observatory::finalize(const std::string &reason)
+{
+    std::unique_lock<std::mutex> lk(mu_, std::try_to_lock);
+    if (!lk.owns_lock()) {
+        // A tick holds the lock (we may be in a signal handler that
+        // interrupted it): return the document without sinking it.
+        return postmortem(reason).json();
+    }
+    const std::string doc = postmortem(reason).json();
+    if (!finalized_) {
+        writeLine(doc);
+        finalized_ = true;
+    }
+    return doc;
+}
+
+void
+Observatory::installPostmortemHandlers()
+{
+    g_postmortem_target.store(this, std::memory_order_release);
+    static bool installed = [] {
+        std::atexit(postmortemAtExit);
+        std::signal(SIGABRT, postmortemOnSignal);
+        std::signal(SIGSEGV, postmortemOnSignal);
+        std::signal(SIGTERM, postmortemOnSignal);
+        return true;
+    }();
+    (void)installed;
+}
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+} // namespace absync::obs

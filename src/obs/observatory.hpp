@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Live runtime observatory: sampler, stuck-waiter watchdog, and
+ * flight recorder (DESIGN.md §16).
+ *
+ * Everything in src/obs so far is *post-run* telemetry: counters and
+ * traces are drained after the workload quiesces.  The observatory
+ * watches the native runtime *while it runs*:
+ *
+ *  - A background sampler thread periodically snapshots the global
+ *    CounterRegistry, forms per-window deltas, feeds them to a
+ *    core::SaturationDetector (arrivals admitted vs acquires
+ *    completed vs a caller-supplied backlog probe) for an *online*
+ *    queue-growth / goodput-collapse verdict, and streams the windows
+ *    into BoundedSeries so memory stays bounded at any runtime.
+ *
+ *  - A stuck-waiter watchdog scans the heartbeat registry
+ *    (heartbeat.hpp): any thread inside a wait scope whose heartbeat
+ *    epoch has not advanced within the deadline is flagged once per
+ *    stall, attributed by kind/site and the global counter delta that
+ *    elapsed while it was stuck.
+ *
+ *  - A flight recorder appends one `absync.live_report.v1` JSONL
+ *    window line per sampler tick, and finalize() (wired to atexit
+ *    and fatal signals via installPostmortemHandlers()) drains the
+ *    TraceRing, counter registry, and watchdog verdicts into a single
+ *    postmortem line — so a hung or crashed run still leaves a usable
+ *    artifact.
+ *
+ * The exposition types (WatchdogTrip, PostmortemReport) are schema
+ * and always compiled; the recorders (StuckWaiterWatchdog,
+ * Observatory) compile to empty no-ops under ABSYNC_TELEMETRY=OFF.
+ *
+ * Verdict semantics deliberately reuse core::SaturationDetector so
+ * the online verdicts on real threads are directly comparable with
+ * core::OpenSystem's simulated stability boundaries — that comparison
+ * is bench/ext_runtime_arrivals.cpp.
+ */
+
+#ifndef ABSYNC_OBS_OBSERVATORY_HPP
+#define ABSYNC_OBS_OBSERVATORY_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/open_system.hpp"
+#include "obs/counters.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace absync::obs
+{
+
+/**
+ * One watchdog verdict: a wait whose heartbeat epoch froze for at
+ * least the deadline.  Always compiled (schema).
+ */
+struct WatchdogTrip
+{
+    std::uint32_t tid = 0;    ///< heartbeat slot id
+    std::string kind;         ///< wait family ("resource_pool", ...)
+    std::string site;         ///< wait loop within it ("acquire")
+    std::uint64_t epoch = 0;  ///< the frozen epoch value
+    std::uint64_t startNs = 0;///< when the wait scope opened
+    std::uint64_t stuckNs = 0;///< observed stall length at the trip
+    /** Global counter movement during the scan interval that tripped:
+     *  "the rest of the system did this much while you hung". */
+    CounterSnapshot delta;
+};
+
+/**
+ * Full-state dump written at finalize / atexit / fatal signal: the
+ * "postmortem" line of an absync.live_report.v1 stream.  Plain data
+ * plus a json() exposition; always compiled so tests can build
+ * deterministic documents without live registries.
+ */
+struct PostmortemReport
+{
+    std::string reason;  ///< "finalize", "exit", "signal:11", ...
+    std::string label;   ///< workload label from ObservatoryConfig
+    std::uint64_t tsNs = 0;
+    std::uint64_t samplerTicks = 0;
+    std::uint64_t samplerBusyNs = 0;
+    std::uint64_t detectorWindows = 0;
+    std::uint64_t detectorSaturatedWindows = 0;
+    bool saturatedNow = false;
+    bool latched = false;
+    std::uint64_t activeWaits = 0;
+    CounterSnapshot counters;
+    std::vector<WatchdogTrip> trips;
+    std::vector<TraceEvent> events;
+    std::uint64_t droppedEvents = 0;
+
+    /** One-line JSON: {"schema":"absync.live_report.v1",
+     *  "kind":"postmortem",...}. */
+    std::string json() const;
+};
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+/**
+ * Scans the heartbeat registry for waits whose epoch stopped
+ * advancing.  Synchronous — scan() is called by the observatory's
+ * sampler tick (or directly by deterministic tests); the watchdog
+ * owns no thread.  Each stall trips exactly once: after a trip the
+ * slot is quiet until its epoch moves again (progress), after which a
+ * fresh stall may trip anew.
+ */
+class StuckWaiterWatchdog
+{
+  public:
+    /** @param deadlineNs stall length that constitutes "stuck" */
+    explicit StuckWaiterWatchdog(std::uint64_t deadlineNs)
+        : deadlineNs_(deadlineNs)
+    {
+    }
+
+    /**
+     * Scan every heartbeat slot at time @p nowNs.  @p delta is the
+     * global counter movement since the previous scan, recorded into
+     * any trip fired for attribution.  Returns trips fired by this
+     * scan (they are also appended to trips()).
+     */
+    std::size_t scan(std::uint64_t nowNs, const CounterSnapshot &delta);
+
+    /** Every trip fired so far, in fire order. */
+    const std::vector<WatchdogTrip> &trips() const { return trips_; }
+
+    std::uint64_t deadlineNs() const { return deadlineNs_; }
+
+  private:
+    struct SlotState
+    {
+        bool seen = false;       ///< watching an open wait
+        bool tripped = false;    ///< current stall already reported
+        std::uint64_t lastEpoch = 0;
+        std::uint64_t lastProgressNs = 0;
+    };
+
+    std::uint64_t deadlineNs_;
+    std::vector<SlotState> state_; ///< indexed by heartbeat slot id
+    std::vector<WatchdogTrip> trips_;
+};
+
+#else // !ABSYNC_TELEMETRY_ENABLED
+
+/** No-op stand-in: scans see nothing, trips never fire. */
+class StuckWaiterWatchdog
+{
+  public:
+    explicit StuckWaiterWatchdog(std::uint64_t) {}
+
+    std::size_t
+    scan(std::uint64_t, const CounterSnapshot &)
+    {
+        return 0;
+    }
+
+    std::vector<WatchdogTrip>
+    trips() const
+    {
+        return {};
+    }
+
+    std::uint64_t deadlineNs() const { return 0; }
+};
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+/**
+ * Observatory configuration.  Always available (schema/config, like
+ * CounterSnapshot) so call sites compile unchanged in no-op builds.
+ */
+struct ObservatoryConfig
+{
+    /** Sampler period — one detector window per tick. */
+    std::uint64_t samplePeriodNs = 10'000'000; // 10 ms
+
+    /** Stall length after which the watchdog trips a waiter. */
+    std::uint64_t watchdogDeadlineNs = 100'000'000; // 100 ms
+
+    /** Online saturation detector tuning.  windowCycles is unused
+     *  here: the live window is samplePeriodNs of wall time. */
+    core::SaturationDetectorConfig detector;
+
+    /** In-system count at each window boundary (e.g. ready-queue
+     *  length + pool waiters).  Null probes read 0. */
+    std::function<std::uint64_t()> backlogProbe;
+
+    /** JSONL sink for live window lines + the postmortem line; empty
+     *  disables the flight recorder file (state still accumulates). */
+    std::string liveReportPath;
+
+    /** Append to an existing sink instead of truncating — lets one
+     *  artifact span several observatory instances (per-λ rows). */
+    bool appendSink = false;
+
+    /** Label stamped on every emitted line ("poisson.rho0.50"). */
+    std::string label;
+
+    /** Budget for each streamed BoundedSeries. */
+    std::size_t seriesSamples = 512;
+};
+
+#if ABSYNC_TELEMETRY_ENABLED
+
+/**
+ * The live observatory.  start()/stop() run the sampler thread;
+ * tickOnce() executes exactly one sampler tick synchronously and is
+ * the deterministic-test entry point (the thread does nothing else).
+ * One instance observes the whole process (the registries are
+ * global); its detector/watchdog state is its own, so concurrent
+ * instances or per-phase instances are fine.
+ */
+class Observatory
+{
+  public:
+    explicit Observatory(ObservatoryConfig cfg);
+    ~Observatory();
+    Observatory(const Observatory &) = delete;
+    Observatory &operator=(const Observatory &) = delete;
+
+    /** Launch the sampler thread (idempotent). */
+    void start();
+
+    /** Stop and join the sampler thread (idempotent). */
+    void stop();
+
+    /**
+     * One sampler tick at time @p nowNs: snapshot counters, close a
+     * detector window, scan the watchdog, append a window line.
+     * Called by the sampler thread with steady_clock time; tests call
+     * it directly with virtual time.
+     */
+    void tickOnce(std::uint64_t nowNs);
+
+    // -- online verdicts -------------------------------------------
+    bool saturatedNow() const { return detector_.saturatedNow(); }
+    bool latched() const { return detector_.latched(); }
+    std::uint64_t windows() const { return detector_.windows(); }
+    std::uint64_t
+    saturatedWindows() const
+    {
+        return detector_.saturatedWindows();
+    }
+
+    const StuckWaiterWatchdog &watchdog() const { return watchdog_; }
+
+    // -- sampler accounting ----------------------------------------
+    std::uint64_t samplerTicks() const { return ticks_; }
+    /** Wall time the sampler spent inside ticks (overhead metric). */
+    std::uint64_t samplerBusyNs() const { return busyNs_; }
+
+    /** Streamed windows (arrivals / completions / backlog). */
+    const BoundedSeries &arrivalSeries() const { return arrivals_; }
+    const BoundedSeries &completionSeries() const
+    {
+        return completions_;
+    }
+    const BoundedSeries &backlogSeries() const { return backlog_; }
+
+    /** Assemble a postmortem snapshot of the global registries plus
+     *  this instance's verdicts. */
+    PostmortemReport postmortem(const std::string &reason) const;
+
+    /**
+     * Append the postmortem line to the live sink (once; later calls
+     * and unsinked instances still return the document).  Safe to
+     * call from atexit / signal context — best effort, skips rather
+     * than deadlocks when a tick holds the lock.
+     */
+    std::string finalize(const std::string &reason);
+
+    /**
+     * Register this instance as the process postmortem target:
+     * atexit and fatal signals (SIGABRT/SIGSEGV/SIGTERM) finalize()
+     * it.  The destructor deregisters.
+     */
+    void installPostmortemHandlers();
+
+  private:
+    void ensureSink();
+    void writeLine(const std::string &line);
+
+    ObservatoryConfig cfg_;
+    core::SaturationDetector detector_;
+    StuckWaiterWatchdog watchdog_;
+    BoundedSeries arrivals_;
+    BoundedSeries completions_;
+    BoundedSeries backlog_;
+
+    mutable std::mutex mu_;
+    std::FILE *sink_ = nullptr;
+    bool finalized_ = false;
+    CounterSnapshot lastTotal_;
+    bool haveBaseline_ = false;
+    std::uint64_t ticks_ = 0;
+    std::uint64_t busyNs_ = 0;
+    std::uint64_t seq_ = 0;
+
+    std::thread sampler_;
+    std::mutex threadMu_;
+    std::condition_variable cv_;
+    bool stopRequested_ = false;
+    bool running_ = false;
+};
+
+#else // !ABSYNC_TELEMETRY_ENABLED
+
+/** No-op stand-in: the whole observatory costs nothing when
+ *  telemetry is compiled out. */
+class Observatory
+{
+  public:
+    explicit Observatory(ObservatoryConfig) {}
+
+    void start() {}
+    void stop() {}
+    void tickOnce(std::uint64_t) {}
+
+    bool saturatedNow() const { return false; }
+    bool latched() const { return false; }
+    std::uint64_t windows() const { return 0; }
+    std::uint64_t saturatedWindows() const { return 0; }
+
+    StuckWaiterWatchdog
+    watchdog() const
+    {
+        return StuckWaiterWatchdog(0);
+    }
+
+    std::uint64_t samplerTicks() const { return 0; }
+    std::uint64_t samplerBusyNs() const { return 0; }
+
+    BoundedSeries
+    arrivalSeries() const
+    {
+        return BoundedSeries("arrivals");
+    }
+    BoundedSeries
+    completionSeries() const
+    {
+        return BoundedSeries("completions");
+    }
+    BoundedSeries
+    backlogSeries() const
+    {
+        return BoundedSeries("backlog");
+    }
+
+    PostmortemReport
+    postmortem(const std::string &reason) const
+    {
+        PostmortemReport r;
+        r.reason = reason;
+        return r;
+    }
+
+    std::string
+    finalize(const std::string &reason)
+    {
+        return postmortem(reason).json();
+    }
+
+    void installPostmortemHandlers() {}
+};
+
+#endif // ABSYNC_TELEMETRY_ENABLED
+
+} // namespace absync::obs
+
+#endif // ABSYNC_OBS_OBSERVATORY_HPP

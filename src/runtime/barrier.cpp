@@ -1,6 +1,7 @@
 #include "runtime/barrier.hpp"
 
 #include "obs/counters.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/trace_ring.hpp"
 #include "support/fault.hpp"
 
@@ -85,6 +86,8 @@ WaitResult
 SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
                           bool timed, Deadline deadline)
 {
+    const obs::ScopedWaitHeartbeat hb("barrier", "flat.wait",
+                                      waitClockNowNs());
     // Backoff on the barrier variable: the F&A told us how many
     // arrivals are still missing; nothing can happen before they each
     // spend at least one operation arriving.

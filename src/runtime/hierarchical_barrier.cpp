@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "obs/counters.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/trace_ring.hpp"
 #include "support/fault.hpp"
 
@@ -75,6 +76,8 @@ HierarchicalBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
             spinFor(iterations);
     };
 
+    const obs::ScopedWaitHeartbeat hb("barrier", "hier.node",
+                                      waitClockNowNs());
     if (cfg_.policy != BarrierPolicy::None && missing > 0)
         pause(static_cast<std::uint64_t>(missing) *
               cfg_.perMissingArrival);
@@ -146,6 +149,8 @@ HierarchicalBarrier::waitOnWord(std::uint32_t thread_id,
     // backoff.  Blocking still offers the futex once the spin budget
     // crosses the threshold.
     WakeWord &w = words_[thread_id];
+    const obs::ScopedWaitHeartbeat hb("barrier", "hier.word",
+                                      waitClockNowNs());
     std::uint64_t local_polls = 0;
     std::uint64_t spent = 0;
     for (;;) {

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/heartbeat.hpp"
 #include "support/fault.hpp"
 
 namespace absync::runtime
@@ -98,6 +99,8 @@ McsLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
         spinFor(kParkedLinkStall);
     pred->next.store(node, std::memory_order_release);
 
+    const obs::ScopedWaitHeartbeat hb("queue_lock", "mcs.acquire",
+                                      waitClockNowNs());
     for (;;) {
         const std::uint64_t w =
             node->word.load(std::memory_order_acquire);
@@ -272,6 +275,8 @@ ClhLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
     // unique observer).
     bool waited = false;
     Node *spin_on = pred;
+    const obs::ScopedWaitHeartbeat hb("queue_lock", "clh.acquire",
+                                      waitClockNowNs());
     for (;;) {
         const std::uint64_t w =
             spin_on->word.load(std::memory_order_acquire);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/counters.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/trace_ring.hpp"
 #include "runtime/spin_backoff.hpp"
 
@@ -58,6 +59,8 @@ BackoffResource::acquireInternal(bool timed, Deadline deadline)
     }
 
     waiters_.fetch_add(1, std::memory_order_relaxed);
+    const obs::ScopedWaitHeartbeat hb("resource_pool", "acquire",
+                                      waitClockNowNs());
     ExpBackoff exp(2, 8, 1 << 15);
     WaitResult result = WaitResult::Ok;
     for (;;) {

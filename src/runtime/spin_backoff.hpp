@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "obs/counters.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/trace_ring.hpp"
 #include "runtime/sched_hook.hpp"
 
@@ -41,10 +42,13 @@ cpuRelaxNative()
 #endif
 }
 
-/** One polite busy-wait iteration; a yield point under a SchedHook. */
+/** One polite busy-wait iteration; a yield point under a SchedHook.
+ *  Pulses the wait heartbeat: a poll loop that keeps polling keeps
+ *  proving liveness to the stuck-waiter watchdog (DESIGN.md §16). */
 inline void
 cpuRelax()
 {
+    obs::heartbeatPulse();
     if (SchedHook *hook = currentSchedHook()) {
         hook->pause();
         return;
@@ -75,6 +79,7 @@ waitClockNowNs()
 inline void
 spinForUncounted(std::uint64_t iterations)
 {
+    obs::heartbeatPulse();
     if (SchedHook *hook = currentSchedHook()) {
         hook->pauseFor(iterations);
         return;
@@ -100,6 +105,7 @@ spinFor(std::uint64_t iterations)
 inline void
 osYield()
 {
+    obs::heartbeatPulse();
     if (SchedHook *hook = currentSchedHook()) {
         hook->pause();
         return;

@@ -125,6 +125,67 @@ TEST(CounterFuzz, MalformedDocumentsAreRejectedWithoutPartialWrites)
     }
 }
 
+TEST(CounterFuzz, ObservatoryKeysAreOptionalForBackCompat)
+{
+    // Documents written before the live-observatory counters existed
+    // carry only the v1 core keys: they must still parse, with the
+    // newer fields (sampler_ticks, watchdog_trips, live_windows)
+    // defaulting to zero.
+    obs::CounterSnapshot out = poison();
+    ASSERT_TRUE(obs::parseCounterSnapshot(
+        "{\"flag_polls\":1,\"counter_rmws\":2,"
+        "\"backoff_requested\":3,\"backoff_waited\":4,\"parks\":5,"
+        "\"wakes\":6,\"withdrawals\":7,\"timeouts\":8,"
+        "\"episodes\":9,\"acquires\":10}",
+        &out));
+    EXPECT_EQ(out.samplerTicks, 0u);
+    EXPECT_EQ(out.watchdogTrips, 0u);
+    EXPECT_EQ(out.liveWindows, 0u);
+}
+
+TEST(CounterFuzz, ObservatoryKeysRoundTrip)
+{
+    obs::CounterSnapshot in = sample();
+    in.samplerTicks = 111;
+    in.watchdogTrips = 7;
+    in.liveWindows = 109;
+    const std::string json = in.json();
+    EXPECT_NE(json.find("\"sampler_ticks\":111"), std::string::npos);
+    EXPECT_NE(json.find("\"watchdog_trips\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"live_windows\":109"), std::string::npos);
+    obs::CounterSnapshot out;
+    ASSERT_TRUE(obs::parseCounterSnapshot(json, &out));
+    EXPECT_EQ(out, in);
+}
+
+TEST(CounterFuzz, MalformedObservatoryValuesAreRejected)
+{
+    // A present-but-garbage optional key must fail the parse outright
+    // (tolerant to absence, strict about nonsense), with no partial
+    // write.
+    const std::vector<std::string> bad = {
+        "{\"flag_polls\":1,\"counter_rmws\":2,"
+        "\"backoff_requested\":3,\"backoff_waited\":4,\"parks\":5,"
+        "\"wakes\":6,\"withdrawals\":7,\"timeouts\":8,"
+        "\"episodes\":9,\"acquires\":10,\"sampler_ticks\":-4}",
+        "{\"flag_polls\":1,\"counter_rmws\":2,"
+        "\"backoff_requested\":3,\"backoff_waited\":4,\"parks\":5,"
+        "\"wakes\":6,\"withdrawals\":7,\"timeouts\":8,"
+        "\"episodes\":9,\"acquires\":10,\"watchdog_trips\":true}",
+        "{\"flag_polls\":1,\"counter_rmws\":2,"
+        "\"backoff_requested\":3,\"backoff_waited\":4,\"parks\":5,"
+        "\"wakes\":6,\"withdrawals\":7,\"timeouts\":8,"
+        "\"episodes\":9,\"acquires\":10,\"live_windows\":}",
+    };
+    for (const std::string &doc : bad) {
+        obs::CounterSnapshot out = poison();
+        EXPECT_FALSE(obs::parseCounterSnapshot(doc, &out))
+            << "accepted malformed doc: " << doc;
+        EXPECT_TRUE(isPoisoned(out))
+            << "partial write from doc: " << doc;
+    }
+}
+
 TEST(CounterFuzz, MaxUint64ValueSurvives)
 {
     obs::CounterSnapshot in = sample();

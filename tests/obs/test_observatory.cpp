@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Observatory tests: heartbeat registry semantics, deterministic
+ * stuck-waiter watchdog runs under VirtualSched, flight-recorder
+ * JSONL via synchronous ticks, a postmortem golden file, and the
+ * sampler thread smoke (the TSan surface).
+ *
+ * The watchdog runs are fully deterministic: worker threads wait
+ * under a virtual scheduler, the "stuck" body stalls by yielding to
+ * the scheduler hook directly (which, like a futex park, never pulses
+ * its heartbeat) while the progressing body waits through spinFor
+ * (which pulses); the watchdog scans from the step invariant, i.e.
+ * only while every worker is parked.  Regenerate the postmortem
+ * golden after an intentional schema change with:
+ *
+ *     ABSYNC_REGEN_GOLDEN=1 ./test_observatory \
+ *         --gtest_filter=PostmortemGolden.Document
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/observatory.hpp"
+#include "obs/trace_ring.hpp"
+#include "runtime/sched_hook.hpp"
+#include "runtime/spin_backoff.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace rt = absync::runtime;
+namespace vt = absync::testing;
+namespace obs = absync::obs;
+
+// The whole observatory API must cost nothing when telemetry is
+// compiled out: every recorder must be an empty class (the exposition
+// structs — HeartbeatSample, WatchdogTrip, PostmortemReport,
+// ObservatoryConfig — intentionally stay full; they are schema).
+#if !ABSYNC_TELEMETRY_ENABLED
+static_assert(std::is_empty_v<obs::ScopedWaitHeartbeat>,
+              "OFF-build ScopedWaitHeartbeat must be a no-op");
+static_assert(std::is_empty_v<obs::HeartbeatRegistry>,
+              "OFF-build HeartbeatRegistry must be stateless");
+static_assert(std::is_empty_v<obs::StuckWaiterWatchdog>,
+              "OFF-build StuckWaiterWatchdog must be stateless");
+static_assert(std::is_empty_v<obs::Observatory>,
+              "OFF-build Observatory must be stateless");
+#endif
+
+namespace
+{
+
+std::uint64_t
+nsOf(rt::SchedHook::TimePoint tp)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count());
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty())
+            out.push_back(line);
+    return out;
+}
+
+/** Deterministic non-trivial counter pattern for golden documents. */
+obs::CounterSnapshot
+patternedCounters(std::uint64_t salt)
+{
+    obs::CounterSnapshot c;
+    std::uint64_t v = salt;
+    c.forEachMut([&](const char *, std::uint64_t &field) {
+        field = v * 3 + 1;
+        ++v;
+    });
+    return c;
+}
+
+} // namespace
+
+// --- heartbeat registry ----------------------------------------------
+
+TEST(Heartbeat, PulseWithoutScopeIsHarmless)
+{
+    obs::heartbeatPulse(); // must not crash with no slot leased
+}
+
+TEST(Heartbeat, ScopeRegistersAttributionAndPulsesAdvanceEpoch)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    ASSERT_EQ(obs::HeartbeatRegistry::global().activeWaits(), 0u);
+    {
+        const obs::ScopedWaitHeartbeat hb("unit", "outer", 1000);
+        EXPECT_EQ(obs::HeartbeatRegistry::global().activeWaits(), 1u);
+
+        auto find_active = [] {
+            for (const obs::HeartbeatSample &s :
+                 obs::HeartbeatRegistry::global().snapshot())
+                if (s.active)
+                    return s;
+            return obs::HeartbeatSample{};
+        };
+        obs::HeartbeatSample before = find_active();
+        ASSERT_TRUE(before.active);
+        EXPECT_STREQ(before.kind, "unit");
+        EXPECT_STREQ(before.site, "outer");
+        EXPECT_EQ(before.startNs, 1000u);
+
+        obs::heartbeatPulse();
+        obs::heartbeatPulse();
+        obs::HeartbeatSample after = find_active();
+        EXPECT_EQ(after.epoch, before.epoch + 2);
+
+        {
+            // Nested scope shadows the attribution...
+            const obs::ScopedWaitHeartbeat inner("unit", "inner",
+                                                 2000);
+            obs::HeartbeatSample nested = find_active();
+            EXPECT_STREQ(nested.site, "inner");
+            EXPECT_EQ(nested.startNs, 2000u);
+            EXPECT_EQ(obs::HeartbeatRegistry::global().activeWaits(),
+                      1u)
+                << "nesting is one wait, not two";
+        }
+        // ...and restores it on exit.
+        obs::HeartbeatSample restored = find_active();
+        EXPECT_STREQ(restored.site, "outer");
+        EXPECT_EQ(restored.startNs, 1000u);
+    }
+    EXPECT_EQ(obs::HeartbeatRegistry::global().activeWaits(), 0u);
+}
+
+// --- watchdog, deterministic under VirtualSched ----------------------
+
+TEST(Watchdog, ParkedWaiterTripsOnceProgressingNever)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    constexpr std::uint64_t kDeadline = 2000; // virtual ns
+    obs::StuckWaiterWatchdog wd(kDeadline);
+
+    vt::VirtualSched sched;
+    std::vector<vt::VirtualSched::Body> bodies;
+    // Stuck body: opens a wait scope, then stalls through the raw
+    // scheduler hook — time passes, the heartbeat does not.  This is
+    // exactly what a futex-parked (or wedged) waiter looks like.
+    bodies.emplace_back([](std::uint32_t) {
+        const obs::ScopedWaitHeartbeat hb("test", "stuck",
+                                          rt::waitClockNowNs());
+        for (int i = 0; i < 60; ++i)
+            rt::currentSchedHook()->pauseFor(100);
+    });
+    // Progressing body: same wait length, but waits through spinFor,
+    // which pulses the heartbeat each iteration.
+    bodies.emplace_back([](std::uint32_t) {
+        const obs::ScopedWaitHeartbeat hb("test", "progress",
+                                          rt::waitClockNowNs());
+        for (int i = 0; i < 60; ++i)
+            rt::spinFor(100);
+    });
+
+    vt::ScriptedDecider decider({}, 0); // round-robin
+    const vt::RunRecord rec = sched.run(bodies, decider, [&] {
+        wd.scan(nsOf(sched.now()), obs::CounterSnapshot{});
+        return std::string();
+    });
+    ASSERT_TRUE(rec.completed) << rec.failure;
+
+    ASSERT_EQ(wd.trips().size(), 1u)
+        << "one stall must trip exactly once";
+    const obs::WatchdogTrip &trip = wd.trips()[0];
+    EXPECT_EQ(trip.kind, "test");
+    EXPECT_EQ(trip.site, "stuck");
+    EXPECT_GE(trip.stuckNs, kDeadline);
+}
+
+TEST(Watchdog, FreshStallAfterProgressTripsAgain)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    constexpr std::uint64_t kDeadline = 2000;
+    obs::StuckWaiterWatchdog wd(kDeadline);
+
+    vt::VirtualSched sched;
+    std::vector<vt::VirtualSched::Body> bodies;
+    bodies.emplace_back([](std::uint32_t) {
+        const obs::ScopedWaitHeartbeat hb("test", "two_stalls",
+                                          rt::waitClockNowNs());
+        for (int i = 0; i < 60; ++i) // first stall: trips
+            rt::currentSchedHook()->pauseFor(100);
+        rt::cpuRelax(); // progress: re-arms the watchdog
+        for (int i = 0; i < 60; ++i) // second stall: trips anew
+            rt::currentSchedHook()->pauseFor(100);
+    });
+
+    vt::ScriptedDecider decider({}, 0);
+    const vt::RunRecord rec = sched.run(bodies, decider, [&] {
+        wd.scan(nsOf(sched.now()), obs::CounterSnapshot{});
+        return std::string();
+    });
+    ASSERT_TRUE(rec.completed) << rec.failure;
+
+    ASSERT_EQ(wd.trips().size(), 2u);
+    EXPECT_EQ(wd.trips()[0].site, "two_stalls");
+    EXPECT_EQ(wd.trips()[1].site, "two_stalls");
+}
+
+TEST(Watchdog, TripDeltaCarriesCounterAttribution)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    obs::StuckWaiterWatchdog wd(100);
+    obs::CounterSnapshot delta;
+    delta.flagPolls = 77;
+    {
+        const obs::ScopedWaitHeartbeat hb("test", "attributed", 0);
+        // First scan sights the wait (charging from startNs = 0);
+        // second scan, past the deadline, trips with the delta.
+        wd.scan(50, obs::CounterSnapshot{});
+        ASSERT_EQ(wd.scan(500, delta), 1u);
+    }
+    ASSERT_EQ(wd.trips().size(), 1u);
+    EXPECT_EQ(wd.trips()[0].delta.flagPolls, 77u);
+}
+
+// --- observatory: synchronous ticks + flight recorder ----------------
+
+TEST(Observatory, TicksCloseWindowsAndLatchOnBacklogGrowth)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    const std::string path =
+        ::testing::TempDir() + "obs_live_unit.jsonl";
+    std::remove(path.c_str());
+
+    std::uint64_t probed = 0;
+    obs::ObservatoryConfig cfg;
+    cfg.detector.trendWindows = 2;
+    cfg.detector.minBacklog = 4;
+    cfg.backlogProbe = [&] { return probed; };
+    cfg.liveReportPath = path;
+    cfg.label = "unit";
+    obs::Observatory o(cfg);
+
+    // Baseline tick, then strictly growing backlog past minBacklog:
+    // the online growth verdict must latch.
+    const std::uint64_t backlogs[] = {0, 6, 9, 12};
+    std::uint64_t now = 1'000'000;
+    for (std::uint64_t b : backlogs) {
+        probed = b;
+        obs::countArrivals(5);
+        obs::countAcquire();
+        o.tickOnce(now);
+        now += 1'000'000;
+    }
+
+    EXPECT_EQ(o.windows(), 4u);
+    EXPECT_EQ(o.samplerTicks(), 4u);
+    EXPECT_TRUE(o.latched());
+    EXPECT_GE(o.saturatedWindows(), 1u);
+    EXPECT_EQ(o.backlogSeries().offered(), 4u);
+
+    // Flight recorder: one window line per tick, schema-stamped.
+    const std::vector<std::string> before = lines(slurp(path));
+    ASSERT_EQ(before.size(), 4u);
+    for (const std::string &line : before) {
+        EXPECT_NE(line.find("\"schema\":\"absync.live_report.v1\""),
+                  std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"kind\":\"window\""), std::string::npos);
+        EXPECT_NE(line.find("\"label\":\"unit\""), std::string::npos);
+    }
+
+    // finalize appends the postmortem line exactly once.
+    const std::string doc = o.finalize("unit_test");
+    EXPECT_NE(doc.find("\"kind\":\"postmortem\""), std::string::npos);
+    EXPECT_NE(doc.find("\"reason\":\"unit_test\""), std::string::npos);
+    o.finalize("again"); // idempotent: still returns a document...
+    const std::vector<std::string> after = lines(slurp(path));
+    EXPECT_EQ(after.size(), 5u) << "...but writes no second line";
+    EXPECT_NE(after.back().find("\"kind\":\"postmortem\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Observatory, AppendSinkSpansInstances)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    const std::string path =
+        ::testing::TempDir() + "obs_live_append.jsonl";
+    std::remove(path.c_str());
+
+    for (int row = 0; row < 2; ++row) {
+        obs::ObservatoryConfig cfg;
+        cfg.liveReportPath = path;
+        cfg.appendSink = row > 0;
+        cfg.label = row == 0 ? "row0" : "row1";
+        obs::Observatory o(cfg);
+        o.tickOnce(1000);
+        o.finalize("row_end");
+    }
+    const std::vector<std::string> all = lines(slurp(path));
+    ASSERT_EQ(all.size(), 4u); // 2 rows x (window + postmortem)
+    EXPECT_NE(all[0].find("row0"), std::string::npos);
+    EXPECT_NE(all[2].find("row1"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Observatory, PostmortemSeesOpenWaitsAndWatchdogState)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    obs::ObservatoryConfig cfg;
+    cfg.watchdogDeadlineNs = 100;
+    cfg.label = "pm";
+    obs::Observatory o(cfg);
+
+    const obs::ScopedWaitHeartbeat hb("test", "pm_wait", 0);
+    o.tickOnce(50);   // sights the wait
+    o.tickOnce(5000); // trips it
+    const obs::PostmortemReport r = o.postmortem("inspect");
+    EXPECT_EQ(r.reason, "inspect");
+    EXPECT_EQ(r.label, "pm");
+    EXPECT_GE(r.activeWaits, 1u);
+    ASSERT_GE(r.trips.size(), 1u);
+    EXPECT_EQ(r.trips[0].site, "pm_wait");
+    EXPECT_EQ(r.samplerTicks, 2u);
+}
+
+TEST(Observatory, SamplerThreadTicksOnItsOwn)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    obs::ObservatoryConfig cfg;
+    cfg.samplePeriodNs = 1'000'000; // 1 ms
+    cfg.label = "smoke";
+    obs::Observatory o(cfg);
+    o.start();
+    o.start(); // idempotent
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    o.stop();
+    o.stop(); // idempotent
+    EXPECT_GE(o.samplerTicks(), 1u);
+    EXPECT_EQ(o.windows(), o.samplerTicks());
+    EXPECT_GT(o.samplerBusyNs(), 0u);
+}
+
+// --- no-op build surface ---------------------------------------------
+
+#if !ABSYNC_TELEMETRY_ENABLED
+TEST(ObservatoryOff, EverythingReadsEmpty)
+{
+    obs::ObservatoryConfig cfg;
+    cfg.label = "off";
+    obs::Observatory o(cfg);
+    o.start();
+    o.tickOnce(123);
+    o.stop();
+    EXPECT_EQ(o.windows(), 0u);
+    EXPECT_FALSE(o.latched());
+    EXPECT_EQ(o.samplerTicks(), 0u);
+    EXPECT_TRUE(o.watchdog().trips().empty());
+    EXPECT_EQ(o.arrivalSeries().offered(), 0u);
+
+    obs::StuckWaiterWatchdog wd(100);
+    const obs::ScopedWaitHeartbeat hb("test", "off", 0);
+    obs::heartbeatPulse();
+    EXPECT_EQ(wd.scan(1'000'000, obs::CounterSnapshot{}), 0u);
+    EXPECT_EQ(obs::HeartbeatRegistry::global().activeWaits(), 0u);
+
+    const std::string doc = o.finalize("off");
+    EXPECT_NE(doc.find("\"kind\":\"postmortem\""), std::string::npos);
+}
+#endif
+
+// --- postmortem golden (schema is always compiled) -------------------
+
+TEST(PostmortemGolden, Document)
+{
+    // Hand-built report with fixed tids/timestamps: the document is
+    // byte-identical on every machine and in both telemetry builds.
+    obs::PostmortemReport r;
+    r.reason = "golden";
+    r.label = "unit.golden \"quoted\"";
+    r.tsNs = 123456789;
+    r.samplerTicks = 7;
+    r.samplerBusyNs = 4200;
+    r.detectorWindows = 7;
+    r.detectorSaturatedWindows = 2;
+    r.saturatedNow = false;
+    r.latched = true;
+    r.activeWaits = 1;
+    r.counters = patternedCounters(1);
+
+    obs::WatchdogTrip trip;
+    trip.tid = 0;
+    trip.kind = "resource_pool";
+    trip.site = "acquire";
+    trip.epoch = 41;
+    trip.startNs = 1000;
+    trip.stuckNs = 9000;
+    trip.delta = patternedCounters(2);
+    r.trips.push_back(trip);
+
+    obs::TraceEvent ev;
+    ev.ts = 10;
+    ev.arg = 1;
+    ev.tid = 0;
+    ev.kind = obs::EventKind::Arrive;
+    r.events.push_back(ev);
+    ev.ts = 20;
+    ev.arg = 0;
+    ev.tid = 1;
+    ev.kind = obs::EventKind::Park;
+    r.events.push_back(ev);
+    r.droppedEvents = 3;
+
+    const std::string json = r.json();
+    // Structural spot checks independent of the golden file.
+    EXPECT_EQ(json.find('\n'), std::string::npos) << "one JSONL line";
+    EXPECT_NE(json.find("\"schema\":\"absync.live_report.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"postmortem\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos)
+        << "labels must be JSON-escaped";
+
+    const std::string path =
+        std::string(ABSYNC_TEST_DATA_DIR) + "/postmortem_report.json";
+    if (std::getenv("ABSYNC_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << json;
+        GTEST_SKIP() << "golden regenerated at " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " (regenerate with ABSYNC_REGEN_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(json, golden.str())
+        << "postmortem document drifted from the golden capture; if "
+           "the change is intentional, regenerate with "
+           "ABSYNC_REGEN_GOLDEN=1";
+}

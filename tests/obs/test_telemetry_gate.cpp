@@ -56,8 +56,31 @@ TEST(TelemetryGate, RecordPointsAreCallableInEveryBuild)
     obs::countArrivals(6);
     obs::countSheds(2);
     obs::countSaturatedWindows(1);
+    obs::countSamplerTick();
+    obs::countWatchdogTrip(2);
+    obs::countLiveWindows(5);
     obs::tracePoint(obs::EventKind::Poll, 123, 4);
     SUCCEED();
+}
+
+TEST(TelemetryGate, ObservatoryCountersCaptureOrVanish)
+{
+    obs::SyncCounters mine;
+    {
+        obs::ScopedCounters sc(&mine);
+        obs::countSamplerTick();
+        obs::countSamplerTick();
+        obs::countWatchdogTrip(3);
+        obs::countLiveWindows(9);
+    }
+    const obs::CounterSnapshot snap = mine.snapshot();
+    if (obs::kTelemetryEnabled) {
+        EXPECT_EQ(snap.samplerTicks, 2u);
+        EXPECT_EQ(snap.watchdogTrips, 3u);
+        EXPECT_EQ(snap.liveWindows, 9u);
+    } else {
+        EXPECT_TRUE(snap == obs::CounterSnapshot{});
+    }
 }
 
 TEST(TelemetryGate, OpenSystemCountersCaptureOrVanish)
