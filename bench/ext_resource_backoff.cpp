@@ -66,6 +66,8 @@ policyName(ResourcePolicy p)
         return "waiter-proportional";
       case ResourcePolicy::Exponential:
         return "exponential";
+      case ResourcePolicy::Adaptive:
+        return "adaptive";
     }
     return "?";
 }
@@ -95,7 +97,8 @@ main(int argc, char **argv)
                           "shared polls", "polls/acquire"});
         for (auto p : {ResourcePolicy::Spin,
                        ResourcePolicy::Exponential,
-                       ResourcePolicy::Proportional}) {
+                       ResourcePolicy::Proportional,
+                       ResourcePolicy::Adaptive}) {
             const auto r = contend(p, threads, iters, hold);
             t.addRow({policyName(p), support::fmt(r.seconds, 3),
                       std::to_string(r.polls),
@@ -107,11 +110,15 @@ main(int argc, char **argv)
                     iters, t.str().c_str());
     }
 
-    std::printf("\nReading: both adaptive policies cut shared polls "
+    std::printf("\nReading: every backoff policy cuts shared polls "
                 "per acquisition by orders of magnitude at equal or "
                 "better wall time.  Exponential polls least; waiter-"
                 "proportional stays within a few polls while bounding "
                 "the worst-case sleep by the actual queue length — "
-                "the state-driven adaptivity Section 8 argues for.\n");
+                "the state-driven adaptivity Section 8 argues for.  "
+                "The contention-feedback schedule (DESIGN.md 17) "
+                "matches exponential's poll economy and wins wall "
+                "time once threads outnumber cores, by escalating "
+                "waiters to yield/park instead of spinning.\n");
     return 0;
 }

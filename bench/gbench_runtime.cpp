@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "obs/counters.hpp"
+#include "runtime/adaptive_backoff.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/spin_backoff.hpp"
 #include "runtime/spinlock.hpp"
@@ -77,6 +78,53 @@ void
 BM_TicketLock_PlainSpin(benchmark::State &state)
 {
     lockBench(state, g_ticket_spin);
+}
+
+/**
+ * Fixed-vs-adaptive pair under a long hold and oversubscription (8
+ * threads): every failed TasLock attempt runs the policy, so the
+ * fixed spinner steals CPU from the (preempted) holder while the
+ * adaptive ladder escalates to yield/park and gives it back.  The
+ * regression gate (BASELINE_gbench_adaptive.json) floors the
+ * fixed/adaptive time ratio — the feedback loop must keep paying.
+ */
+constexpr std::uint64_t kPairHoldIters = 4096;
+
+AdaptiveBackoffConfig
+pairAdaptiveConfig()
+{
+    AdaptiveBackoffConfig cfg =
+        adaptiveConfigFrom(8, 1 << 15, 1 << 12);
+    cfg.parkSliceNs = 1'000'000; // fewer wakeups when oversubscribed
+    return cfg;
+}
+
+AdaptiveBackoffController g_pair_ctl{pairAdaptiveConfig()};
+TasLock<ExpBackoff> g_pair_fixed{ExpBackoff(2, 8, 1 << 15)};
+TasLock<AdaptiveSpinBackoff> g_pair_adaptive{
+    AdaptiveSpinBackoff(g_pair_ctl)};
+
+template <typename Lock>
+void
+holdingLockBench(benchmark::State &state, Lock &lock)
+{
+    for (auto _ : state) {
+        lock.lock();
+        spinForUncounted(kPairHoldIters);
+        lock.unlock();
+    }
+}
+
+void
+BM_AdaptiveVsFixed_FixedExp(benchmark::State &state)
+{
+    holdingLockBench(state, g_pair_fixed);
+}
+
+void
+BM_AdaptiveVsFixed_Adaptive(benchmark::State &state)
+{
+    holdingLockBench(state, g_pair_adaptive);
 }
 
 /**
@@ -179,6 +227,12 @@ BM_Barrier_Blocking(benchmark::State &state)
     barrierBench(state, BarrierPolicy::Blocking);
 }
 
+void
+BM_Barrier_Adaptive(benchmark::State &state)
+{
+    barrierBench(state, BarrierPolicy::Adaptive);
+}
+
 /** Tang & Yew two-variable barrier (the paper's construction). */
 void
 BM_TangYewBarrier_Exponential(benchmark::State &state)
@@ -262,12 +316,22 @@ BENCHMARK(BM_TicketLock_PlainSpin)->Threads(4)->Iterations(kLockIters);
 BENCHMARK(BM_SpinFor_Uncounted);
 BENCHMARK(BM_SpinFor_Telemetry);
 
+// Modest fixed count: the fixed-spin side burns scheduling quanta
+// per handoff once 8 threads share fewer cores.
+BENCHMARK(BM_AdaptiveVsFixed_FixedExp)
+    ->Threads(8)
+    ->Iterations(500);
+BENCHMARK(BM_AdaptiveVsFixed_Adaptive)
+    ->Threads(8)
+    ->Iterations(500);
+
 BENCHMARK(BM_Barrier_None)->Threads(4)->Iterations(kBarrierIters);
 BENCHMARK(BM_Barrier_Variable)->Threads(4)->Iterations(kBarrierIters);
 BENCHMARK(BM_Barrier_Exponential)
     ->Threads(4)
     ->Iterations(kBarrierIters);
 BENCHMARK(BM_Barrier_Blocking)->Threads(4)->Iterations(kBarrierIters);
+BENCHMARK(BM_Barrier_Adaptive)->Threads(4)->Iterations(kBarrierIters);
 BENCHMARK(BM_TangYewBarrier_Exponential)
     ->Threads(4)
     ->Iterations(kBarrierIters);

@@ -43,6 +43,25 @@ BackoffConfig::flagDelay(std::uint64_t unsuccessful_polls) const
         }
         return v;
       }
+      case FlagBackoff::Adaptive: {
+        // Same deterministic exponential within the episode, clamped
+        // to the retunable cap.  The cap is the feedback knob: a
+        // driver halves/doubles it between episodes from observed
+        // poll counts (support::AdaptiveRetuner), mirroring the
+        // native AdaptiveBackoffController.
+        const std::uint64_t cap = adaptiveCap ? adaptiveCap : 1;
+        if (flagBase <= 1)
+            return std::min(unsuccessful_polls, cap);
+        const std::uint64_t t =
+            std::min<std::uint64_t>(unsuccessful_polls, maxExponent);
+        std::uint64_t v = 1;
+        for (std::uint64_t i = 0; i < t; ++i) {
+            if (v > cap / flagBase)
+                return cap;
+            v *= flagBase;
+        }
+        return std::min(v, cap);
+      }
     }
     return 0;
 }
@@ -82,6 +101,10 @@ BackoffConfig::name() const
         break;
       case FlagBackoff::Exponential:
         s += "+flag(exp,b=" + std::to_string(flagBase) + ")";
+        break;
+      case FlagBackoff::Adaptive:
+        s += "+flag(adaptive,b=" + std::to_string(flagBase) +
+             ",cap=" + std::to_string(adaptiveCap) + ")";
         break;
     }
     if (blockThreshold)
@@ -142,6 +165,17 @@ BackoffConfig::queue()
 }
 
 BackoffConfig
+BackoffConfig::adaptive(std::uint64_t cap, std::uint64_t b)
+{
+    BackoffConfig c;
+    c.onVariable = true;
+    c.onFlag = FlagBackoff::Adaptive;
+    c.flagBase = b;
+    c.adaptiveCap = cap ? cap : 1;
+    return c;
+}
+
+BackoffConfig
 BackoffConfig::fromString(const std::string &name)
 {
     if (name == "none")
@@ -150,6 +184,8 @@ BackoffConfig::fromString(const std::string &name)
         return variableOnly();
     if (name == "queue")
         return queue();
+    if (name == "adaptive")
+        return adaptive();
     if (name.rfind("const", 0) == 0 && name.size() > 5)
         return constantFlag(std::strtoull(name.c_str() + 5,
                                           nullptr, 10));

@@ -54,6 +54,10 @@ enum class FlagBackoff
                  ///< spin loop's natural period; non-adaptive)
     Linear,      ///< wait C * t after t unsuccessful polls
     Exponential, ///< wait b^t after t unsuccessful polls
+    Adaptive,    ///< b^t clamped to a retunable cap (adaptiveCap) —
+                 ///< the sim mirror of the native runtime's
+                 ///< contention-feedback controller, whose sliding
+                 ///< window halves/doubles the cap between episodes
 };
 
 /**
@@ -87,6 +91,15 @@ struct BackoffConfig
      * process would have been blocked long ago in any real system.
      */
     std::uint32_t maxExponent = 32;
+
+    /**
+     * FlagBackoff::Adaptive only: ceiling on the per-poll wait.  The
+     * schedule inside one episode is the deterministic exponential
+     * (same serialization-preserving argument as Section 4.2); the
+     * *cap* is what a feedback retuner (support::AdaptiveRetuner)
+     * halves or doubles between episodes from observed contention.
+     */
+    std::uint64_t adaptiveCap = 4096;
 
     /**
      * Randomize flag backoff (ablation of Section 4.2's argument):
@@ -199,10 +212,15 @@ struct BackoffConfig
     /** Local-spin queue arrival phase (no flag polling at all). */
     static BackoffConfig queue();
 
+    /** Variable backoff + cap-clamped exponential flag backoff (the
+     *  adaptive mirror); @p cap is the retunable ceiling. */
+    static BackoffConfig adaptive(std::uint64_t cap = 4096,
+                                  std::uint64_t b = 2);
+
     /**
-     * Parse a preset name: "none", "var", "queue", "lin<C>",
-     * "exp<B>" or "const<C>" (e.g. "exp2", "exp8", "lin4",
-     * "const4").  Fatal on unknown names.
+     * Parse a preset name: "none", "var", "queue", "adaptive",
+     * "lin<C>", "exp<B>" or "const<C>" (e.g. "exp2", "exp8",
+     * "lin4", "const4").  Fatal on unknown names.
      */
     static BackoffConfig fromString(const std::string &name);
 };

@@ -127,6 +127,9 @@ struct LaterWake
 struct Workspace
 {
     std::vector<Proc> procs;
+    /** Episode-recycled module pool: [0] variable, [1] flag (see
+     *  sim::resetModulePool). */
+    std::vector<sim::MemoryModule> modules;
     std::vector<sim::RequesterId> var_reqs;
     std::vector<sim::RequesterId> flag_reqs;
     std::vector<sim::RequesterId> blocked_ids;
@@ -593,8 +596,9 @@ BarrierSimulator::runOnce(support::Rng &rng,
     Workspace &ws = tlsWorkspace();
 
     EpisodeResult res;
-    sim::MemoryModule var_mod(cfg_.arbitration);
-    sim::MemoryModule flag_mod(cfg_.arbitration);
+    sim::resetModulePool(ws.modules, 2, cfg_.arbitration);
+    sim::MemoryModule &var_mod = ws.modules[0];
+    sim::MemoryModule &flag_mod = ws.modules[1];
     const std::uint32_t done0 =
         initEpisode(cfg_, fp, rng, episode, ws.procs, res);
     if (fp != nullptr) {

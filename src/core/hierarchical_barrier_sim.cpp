@@ -561,7 +561,7 @@ hierInitEpisode(const HierarchicalBarrierConfig &cfg,
     res.moduleHeat.reserve(4);
 
     const std::uint32_t mod_count = 2 + 2 * tiles;
-    ws.mods.assign(mod_count, sim::MemoryModule(cfg.arbitration));
+    sim::resetModulePool(ws.mods, mod_count, cfg.arbitration);
     ws.mods[kGlobalVar].setTopology(&topo, sim::GLOBAL_TILE);
     ws.mods[kGlobalFlag].setTopology(&topo, sim::GLOBAL_TILE);
     for (std::uint32_t t = 0; t < tiles; ++t) {

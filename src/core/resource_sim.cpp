@@ -99,6 +99,8 @@ struct RLaterWake
 struct ResourceWorkspace
 {
     std::vector<RProc> procs;
+    /** Episode-recycled one-module pool (see sim::resetModulePool). */
+    std::vector<sim::MemoryModule> modules;
     std::vector<RWake> heap;
     std::vector<std::uint32_t> due;
     std::vector<std::uint32_t> active;
@@ -294,7 +296,8 @@ ResourceSimulator::run(support::Rng &rng) const
     const std::uint32_t n = cfg_.processors;
     ResourceWorkspace &ws = tlsResourceWorkspace();
     ResourceSimStats st;
-    sim::MemoryModule mod(cfg_.arbitration);
+    sim::resetModulePool(ws.modules, 1, cfg_.arbitration);
+    sim::MemoryModule &mod = ws.modules[0];
 
     ws.procs.assign(n, RProc{});
     RCtx c{cfg_, ws.procs, mod, st, {}, {}};

@@ -386,10 +386,8 @@ treeInitEpisode(const TreeBarrierConfig &cfg, std::uint32_t node_count,
         pr.won.clear();
     }
 
-    ws.var_mods.assign(node_count,
-                       sim::MemoryModule(cfg.arbitration));
-    ws.flag_mods.assign(node_count,
-                        sim::MemoryModule(cfg.arbitration));
+    sim::resetModulePool(ws.var_mods, node_count, cfg.arbitration);
+    sim::resetModulePool(ws.flag_mods, node_count, cfg.arbitration);
     if (topo.has_value()) {
         for (std::uint32_t m = 0; m < node_count; ++m) {
             ws.var_mods[m].setTopology(&*topo, node_home[m]);

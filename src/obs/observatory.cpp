@@ -5,6 +5,8 @@
 #include <csignal>
 #include <cstdlib>
 
+#include "obs/retune.hpp"
+
 namespace absync::obs
 {
 
@@ -170,6 +172,16 @@ StuckWaiterWatchdog::scan(std::uint64_t nowNs,
     return fired;
 }
 
+std::size_t
+StuckWaiterWatchdog::activeTrippedSlots() const
+{
+    std::size_t n = 0;
+    for (const SlotState &st : state_)
+        if (st.seen && st.tripped)
+            ++n;
+    return n;
+}
+
 // ---------------------------------------------------------------------
 // Observatory
 // ---------------------------------------------------------------------
@@ -330,7 +342,27 @@ Observatory::tickOnce(std::uint64_t nowNs)
     completions_.sample(nowNs, static_cast<double>(delta.acquires));
     backlog_.sample(nowNs, static_cast<double>(backlog));
 
-    watchdog_.scan(nowNs, delta);
+    const std::size_t fired = watchdog_.scan(nowNs, delta);
+
+    if (cfg_.publishRetune) {
+        // Close the PR 9 loop: a live watchdog trip or detector
+        // overload verdict becomes a retune signal for the adaptive
+        // backoff controllers.  Publish edges, not levels — a trip
+        // re-publishes Degraded even while already degraded (the trip
+        // count lets controllers attribute the edge), recovery
+        // publishes Normal exactly once.
+        const bool degraded = fired > 0 ||
+                              watchdog_.activeTrippedSlots() > 0 ||
+                              detector_.saturatedNow();
+        RetuneHub &hub = RetuneHub::global();
+        if (fired > 0)
+            hub.trip();
+        else if (degraded && !lastDegraded_)
+            hub.overload();
+        else if (!degraded && lastDegraded_)
+            hub.rearm();
+        lastDegraded_ = degraded;
+    }
 
     std::string line = "{\"schema\":\"absync.live_report.v1\","
                        "\"kind\":\"window\",";

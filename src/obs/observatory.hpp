@@ -133,6 +133,11 @@ class StuckWaiterWatchdog
     /** Every trip fired so far, in fire order. */
     const std::vector<WatchdogTrip> &trips() const { return trips_; }
 
+    /** Waits that tripped and have not made progress since — the
+     *  stall is still live.  Drives the observatory's retune
+     *  publishing: Degraded while > 0, re-armed when it drains. */
+    std::size_t activeTrippedSlots() const;
+
     std::uint64_t deadlineNs() const { return deadlineNs_; }
 
   private:
@@ -168,6 +173,8 @@ class StuckWaiterWatchdog
     {
         return {};
     }
+
+    std::size_t activeTrippedSlots() const { return 0; }
 
     std::uint64_t deadlineNs() const { return 0; }
 };
@@ -207,6 +214,15 @@ struct ObservatoryConfig
 
     /** Budget for each streamed BoundedSeries. */
     std::size_t seriesSamples = 512;
+
+    /**
+     * Publish watchdog-trip / overload verdict edges to the global
+     * obs::RetuneHub so runtime::AdaptiveBackoffController instances
+     * widen their caps and force escalation while the system is
+     * degraded, then re-arm on recovery.  Off by default: a bench
+     * observing one workload should not retune another's waiters.
+     */
+    bool publishRetune = false;
 };
 
 #if ABSYNC_TELEMETRY_ENABLED
@@ -304,6 +320,9 @@ class Observatory
     std::uint64_t ticks_ = 0;
     std::uint64_t busyNs_ = 0;
     std::uint64_t seq_ = 0;
+    /** Last published retune verdict (publishRetune only): edges, not
+     *  levels, go to the hub. */
+    bool lastDegraded_ = false;
 
     std::thread sampler_;
     std::mutex threadMu_;

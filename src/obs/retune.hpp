@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Retune signal hub: the channel from live observatory verdicts back
+ * into backoff policy (the PR 9 follow-on loop).
+ *
+ * The observatory runs on its own sampler thread and must never touch
+ * policy objects directly — waits come and go, controllers live in
+ * barriers and pools the observatory knows nothing about.  Instead it
+ * publishes *verdict edges* here: a stuck-waiter trip or a saturation
+ * onset bumps a mode epoch and flips the mode to Degraded; recovery
+ * (all stalls cleared, detector no longer saturated) bumps it again
+ * and flips back to Normal.  Adaptive policies poll the epoch at wait
+ * granularity (one relaxed load on an uncontended cache line) and
+ * react exactly once per edge: widen the cap / force escalation on
+ * Degraded, re-arm on Normal.
+ *
+ * Unlike the recorders in this layer, the hub is compiled
+ * unconditionally — it is control state, not telemetry.  With
+ * ABSYNC_TELEMETRY=OFF nothing ever publishes, the epoch stays 0, and
+ * consumers see a permanently Normal hub at the cost of the one load.
+ */
+
+#ifndef ABSYNC_OBS_RETUNE_HPP
+#define ABSYNC_OBS_RETUNE_HPP
+
+#include <atomic>
+#include <cstdint>
+
+namespace absync::obs
+{
+
+/** What the latest published verdict says waits should do. */
+enum class RetuneMode : std::uint8_t
+{
+    Normal = 0,   ///< no live verdict in force
+    Degraded = 1, ///< stall/overload observed: widen, escalate
+};
+
+/**
+ * Process-wide single-writer (the observatory), many-reader (every
+ * adaptive wait) signal.  Readers detect news by comparing the epoch
+ * against the last one they consumed, so a burst of trips inside one
+ * sampler window still reads as one edge.
+ */
+class RetuneHub
+{
+  public:
+    static RetuneHub &
+    global()
+    {
+        static RetuneHub hub;
+        return hub;
+    }
+
+    /** A stuck-waiter watchdog trip: degrade and count it. */
+    void
+    trip()
+    {
+        tripCount_.fetch_add(1, std::memory_order_relaxed);
+        publish(RetuneMode::Degraded);
+    }
+
+    /** A saturation-onset verdict: degrade and count it. */
+    void
+    overload()
+    {
+        overloadCount_.fetch_add(1, std::memory_order_relaxed);
+        publish(RetuneMode::Degraded);
+    }
+
+    /** Recovery: stalls cleared and detector calm again. */
+    void
+    rearm()
+    {
+        publish(RetuneMode::Normal);
+    }
+
+    /** Monotonic edge counter; 0 means nothing ever published. */
+    std::uint64_t
+    epoch() const
+    {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+    RetuneMode
+    mode() const
+    {
+        return static_cast<RetuneMode>(
+            mode_.load(std::memory_order_acquire));
+    }
+
+    std::uint64_t
+    tripCount() const
+    {
+        return tripCount_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    overloadCount() const
+    {
+        return overloadCount_.load(std::memory_order_relaxed);
+    }
+
+    /** Tests share the process-global hub; let them zero it between
+     *  cases.  Not for production paths. */
+    void
+    resetForTest()
+    {
+        mode_.store(0, std::memory_order_release);
+        epoch_.store(0, std::memory_order_release);
+        tripCount_.store(0, std::memory_order_relaxed);
+        overloadCount_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    publish(RetuneMode m)
+    {
+        mode_.store(static_cast<std::uint8_t>(m),
+                    std::memory_order_relaxed);
+        // Release-publish the epoch after the mode so a reader that
+        // sees the new epoch also sees the mode it announces.
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+
+    std::atomic<std::uint8_t> mode_{0};
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::uint64_t> tripCount_{0};
+    std::atomic<std::uint64_t> overloadCount_{0};
+};
+
+} // namespace absync::obs
+
+#endif // ABSYNC_OBS_RETUNE_HPP

@@ -1,0 +1,130 @@
+#include "runtime/adaptive_backoff.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/counters.hpp"
+#include "obs/trace_ring.hpp"
+#include "runtime/spin_backoff.hpp"
+
+namespace absync::runtime
+{
+
+AdaptiveBackoffController::AdaptiveBackoffController(
+    AdaptiveBackoffConfig cfg)
+    : cfg_(std::move(cfg)), retuner_(cfg_.retune),
+      base_(retuner_.base()), cap_(retuner_.cap())
+{
+    if (cfg_.window < 1)
+        cfg_.window = 1;
+    if (cfg_.yieldThreshold < 1)
+        cfg_.yieldThreshold = 1;
+    if (cfg_.parkThreshold < cfg_.yieldThreshold)
+        cfg_.parkThreshold = cfg_.yieldThreshold;
+    // React only to verdict edges published after this controller
+    // exists — stale hub state from earlier workloads in the same
+    // process is not a live verdict about this one.
+    obs::RetuneHub &hub = obs::RetuneHub::global();
+    seenHubEpoch_ = hub.epoch();
+    seenTripCount_ = hub.tripCount();
+}
+
+void
+AdaptiveBackoffController::publish()
+{
+    // Caller holds mu_.
+    base_.store(retuner_.base(), std::memory_order_relaxed);
+    cap_.store(retuner_.cap(), std::memory_order_relaxed);
+}
+
+void
+AdaptiveBackoffController::recordWait(std::uint64_t fails)
+{
+    waits_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(mu_);
+    windowFails_ += fails;
+    ++windowWaits_;
+    if (windowWaits_ < cfg_.window)
+        return;
+    const std::uint64_t avg = windowFails_ / windowWaits_;
+    windowFails_ = 0;
+    windowWaits_ = 0;
+    const support::RetuneStep step = retuner_.observe(avg);
+    retunes_.fetch_add(1, std::memory_order_relaxed);
+    if (step == support::RetuneStep::Widened)
+        widened_.fetch_add(1, std::memory_order_relaxed);
+    else if (step == support::RetuneStep::Narrowed)
+        narrowed_.fetch_add(1, std::memory_order_relaxed);
+    publish();
+}
+
+void
+AdaptiveBackoffController::consumeRetuneSignal()
+{
+    if (!cfg_.consumeRetuneSignal)
+        return;
+    obs::RetuneHub &hub = obs::RetuneHub::global();
+    const std::uint64_t epoch = hub.epoch();
+    // Unsynchronized fast check: recheck under the lock before
+    // consuming so each edge is acted on exactly once.
+    if (epoch == seenHubEpoch_)
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (epoch == seenHubEpoch_)
+        return;
+    seenHubEpoch_ = epoch;
+    const std::uint64_t trips = hub.tripCount();
+    const bool trippedSince = trips != seenTripCount_;
+    seenTripCount_ = trips;
+    if (hub.mode() == obs::RetuneMode::Degraded) {
+        // A live stall/overload verdict: widen to the ceiling and
+        // park every wait until recovery.
+        retuner_.forceWide();
+        forceEscalate_.store(true, std::memory_order_relaxed);
+        if (trippedSince)
+            tripRetunes_.fetch_add(1, std::memory_order_relaxed);
+        else
+            overloadRetunes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        retuner_.rearm();
+        forceEscalate_.store(false, std::memory_order_relaxed);
+        rearms_.fetch_add(1, std::memory_order_relaxed);
+    }
+    publish();
+}
+
+void
+AdaptiveBackoffController::pace(std::uint64_t w,
+                               EscalationLevel rung) const
+{
+    switch (rung) {
+    case EscalationLevel::Spin:
+        spinFor(w);
+        return;
+    case EscalationLevel::Yield:
+        // Count the interval we chose not to spin, then hand the core
+        // to the OS (a plain yield point under a SchedHook).
+        obs::countBackoff(w, 0);
+        osYield();
+        return;
+    case EscalationLevel::Park: {
+        // Bounded sleep-park: no wake word to block on, so sleep one
+        // slice and let the caller re-poll.  Deliberately no
+        // heartbeat pulse while parked — a parked thread executes
+        // nothing, and the stuck-waiter watchdog is entitled to flag
+        // it if the stall outlives the deadline.
+        obs::countPark();
+        obs::tracePoint(obs::EventKind::Park, waitClockNowNs());
+        if (SchedHook *hook = currentSchedHook()) {
+            hook->pauseFor(w);
+        } else {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(cfg_.parkSliceNs));
+        }
+        obs::countWake();
+        return;
+    }
+    }
+}
+
+} // namespace absync::runtime

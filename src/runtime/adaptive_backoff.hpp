@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Contention-feedback adaptive backoff for the real-thread runtime.
+ *
+ * The fixed policies in spin_backoff.hpp commit to a schedule at
+ * construction; this pair closes the loop instead.  A shared
+ * AdaptiveBackoffController folds every completed wait's failed-poll /
+ * failed-CAS count into a support::AdaptiveRetuner (integer EWMA,
+ * multiplicative halve/double of base and cap against a ceiling) and
+ * publishes the retuned schedule through relaxed atomics.  Each wait
+ * runs an AdaptiveSpinBackoff view of the controller: it grows its
+ * window exponentially from the published base, clamps at the
+ * published cap, and climbs the escalation ladder as the window
+ * grows —
+ *
+ *     spin        (window below yieldThreshold)
+ *  -> sched_yield (window at or above yieldThreshold)
+ *  -> park        (window crosses parkThreshold, the runtime analogue
+ *                  of the paper's queue-on-threshold bound)
+ *
+ * The park rung is a bounded sleep (not an unbounded futex block):
+ * locks and pools have no wake word to notify, so the ladder re-polls
+ * after each parkNs slice.  Wait loops that *do* own a futex word
+ * (the barriers) use level() to decide when to block for real.
+ *
+ * The controller is also where the PR 9 loop closes: it polls
+ * obs::RetuneHub at wait granularity.  A Degraded edge (stuck-waiter
+ * trip or saturation onset published by the live observatory) snaps
+ * the cap to the ceiling and forces the park rung — waiting is
+ * known-pathological, stop burning the core; a Normal edge re-arms
+ * the retuner to its configured starting point.
+ *
+ * Determinism: all pacing bottoms out in cpuRelax / spinFor / osYield
+ * (SchedHook yield points), the park slice becomes hook->pauseFor
+ * under a hook, and the control law is pure integers — so
+ * testing::VirtualSched replays retune traces exactly.
+ */
+
+#ifndef ABSYNC_RUNTIME_ADAPTIVE_BACKOFF_HPP
+#define ABSYNC_RUNTIME_ADAPTIVE_BACKOFF_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/retune.hpp"
+#include "support/adaptive_retuner.hpp"
+
+namespace absync::runtime
+{
+
+/** Tuning for the controller + the escalation ladder. */
+struct AdaptiveBackoffConfig
+{
+    /** The feedback control law (see support/adaptive_retuner.hpp). */
+    support::AdaptiveRetuneConfig retune;
+
+    /** Completed waits folded together per retune step. */
+    std::uint64_t window = 4;
+
+    /** Window length at which spinning gives way to sched_yield. */
+    std::uint64_t yieldThreshold = 1024;
+
+    /** Window length at which yielding gives way to parking (the
+     *  queue-on-threshold bound on real silicon). */
+    std::uint64_t parkThreshold = 1 << 12;
+
+    /** Length of one bounded park slice, in pause-iterations under a
+     *  SchedHook and in nanoseconds of sleep natively. */
+    std::uint64_t parkSliceNs = 50'000; // 50 us
+
+    /** Poll obs::RetuneHub for observatory verdicts.  Off by default
+     *  so standalone controllers are unaffected by unrelated
+     *  instrumentation in the same process. */
+    bool consumeRetuneSignal = false;
+};
+
+/** Rung of the escalation ladder a wait iteration should take. */
+enum class EscalationLevel : std::uint8_t
+{
+    Spin,
+    Yield,
+    Park,
+};
+
+/**
+ * Map the (initial, maxWait, blockThreshold) knobs every barrier /
+ * pool config already carries onto an adaptive config: the schedule
+ * starts with its cap at the queue-on-threshold bound, contention and
+ * observatory verdicts may widen it up to maxWait, and the ladder
+ * yields a quarter of the way to the bound and parks at it.
+ */
+inline AdaptiveBackoffConfig
+adaptiveConfigFrom(std::uint64_t initial, std::uint64_t maxWait,
+                   std::uint64_t blockThreshold)
+{
+    AdaptiveBackoffConfig a;
+    a.retune.base = initial < 1 ? 1 : initial;
+    a.retune.capCeiling = maxWait < 1 ? 1 : maxWait;
+    a.retune.cap = blockThreshold < a.retune.capCeiling
+                       ? blockThreshold
+                       : a.retune.capCeiling;
+    a.yieldThreshold = blockThreshold / 4 < 1 ? 1 : blockThreshold / 4;
+    a.parkThreshold = blockThreshold < 1 ? 1 : blockThreshold;
+    a.consumeRetuneSignal = true;
+    return a;
+}
+
+/**
+ * Shared feedback controller.  One instance per contended object
+ * (lock, pool, barrier) — or wider, if callers want waits to share a
+ * contention estimate.  All methods are thread-safe; the wait hot
+ * path reads only the published atomics.
+ */
+class AdaptiveBackoffController
+{
+  public:
+    explicit AdaptiveBackoffController(AdaptiveBackoffConfig cfg = {});
+
+    /**
+     * Fold one completed wait (its failed-poll / failed-CAS count)
+     * into the contention history; retunes once per config window.
+     */
+    void recordWait(std::uint64_t fails);
+
+    /**
+     * Consume any unseen RetuneHub edge.  Called by waits at poll
+     * granularity; a no-op unless cfg.consumeRetuneSignal is set and
+     * the hub epoch moved.
+     */
+    void consumeRetuneSignal();
+
+    /** Published schedule (relaxed reads; the wait hot path). */
+    std::uint64_t
+    base() const
+    {
+        return base_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    cap() const
+    {
+        return cap_.load(std::memory_order_relaxed);
+    }
+
+    /** A Degraded verdict is in force: every wait should park. */
+    bool
+    escalationForced() const
+    {
+        return forceEscalate_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Window for the t-th failed poll of a wait: base << t clamped to
+     * cap, with the exponent capped so pathological poll counts can
+     * never wrap the shift.
+     */
+    std::uint64_t
+    intervalFor(std::uint64_t fails) const
+    {
+        const std::uint64_t b = base();
+        const std::uint64_t c = cap();
+        const unsigned shift =
+            fails < kMaxShift ? static_cast<unsigned>(fails)
+                              : kMaxShift;
+        const std::uint64_t w = b > (c >> shift) ? c : b << shift;
+        return w < 1 ? 1 : w;
+    }
+
+    /** Ladder rung for a window of length @p w. */
+    EscalationLevel
+    levelFor(std::uint64_t w) const
+    {
+        if (escalationForced())
+            return EscalationLevel::Park;
+        if (w >= cfg_.parkThreshold)
+            return EscalationLevel::Park;
+        if (w >= cfg_.yieldThreshold)
+            return EscalationLevel::Yield;
+        return EscalationLevel::Spin;
+    }
+
+    /**
+     * Ladder rung for the t-th failed poll of one wait, pacing a
+     * window of length @p w.  Escalates on whichever is worse: the
+     * published window, or this wait's *own* futility — the
+     * configured (never-narrowed) base grown by the wait's fail
+     * count.  The second term matters under unfair primitives: a
+     * starving minority's long waits never dominate the window
+     * average, so the retuner happily narrows the schedule while
+     * those waiters burn the core.  Their own fail counts still
+     * climb, and must still reach yield/park.
+     */
+    EscalationLevel
+    levelForWait(std::uint64_t w, std::uint64_t fails) const
+    {
+        const std::uint64_t b = cfg_.retune.base;
+        const unsigned shift =
+            fails < kMaxShift ? static_cast<unsigned>(fails)
+                              : kMaxShift;
+        const std::uint64_t own = b > (cfg_.parkThreshold >> shift)
+                                      ? cfg_.parkThreshold
+                                      : b << shift;
+        return levelFor(own > w ? own : w);
+    }
+
+    /**
+     * Execute one ladder step of window @p w at rung @p rung: spin,
+     * yield, or sleep one bounded park slice (no wake word to block
+     * on; the caller re-polls after).  Deterministic under a
+     * SchedHook — the park slice becomes a hook-paced interval.
+     */
+    void pace(std::uint64_t w, EscalationLevel rung) const;
+
+    const AdaptiveBackoffConfig &config() const { return cfg_; }
+
+    // -- retune accounting (tests, benches, reports) ---------------
+    std::uint64_t retunes() const { return stat(retunes_); }
+    std::uint64_t widened() const { return stat(widened_); }
+    std::uint64_t narrowed() const { return stat(narrowed_); }
+    std::uint64_t waitsObserved() const { return stat(waits_); }
+    /** Degraded edges consumed, split by what caused them. */
+    std::uint64_t tripRetunes() const { return stat(tripRetunes_); }
+    std::uint64_t
+    overloadRetunes() const
+    {
+        return stat(overloadRetunes_);
+    }
+    /** Normal edges consumed (recovery re-arms). */
+    std::uint64_t signalRearms() const { return stat(rearms_); }
+
+  private:
+    /** Far past any real cap; small enough that base << shift can
+     *  never wrap for caps below 2^32. */
+    static constexpr unsigned kMaxShift = 32;
+
+    static std::uint64_t
+    stat(const std::atomic<std::uint64_t> &c)
+    {
+        return c.load(std::memory_order_relaxed);
+    }
+
+    void publish();
+
+    AdaptiveBackoffConfig cfg_;
+
+    std::mutex mu_; ///< guards retuner_ + window accumulation
+    support::AdaptiveRetuner retuner_;
+    std::uint64_t windowFails_ = 0;
+    std::uint64_t windowWaits_ = 0;
+    std::uint64_t seenHubEpoch_ = 0;
+    std::uint64_t seenTripCount_ = 0;
+
+    std::atomic<std::uint64_t> base_;
+    std::atomic<std::uint64_t> cap_;
+    std::atomic<bool> forceEscalate_{false};
+
+    std::atomic<std::uint64_t> retunes_{0};
+    std::atomic<std::uint64_t> widened_{0};
+    std::atomic<std::uint64_t> narrowed_{0};
+    std::atomic<std::uint64_t> waits_{0};
+    std::atomic<std::uint64_t> tripRetunes_{0};
+    std::atomic<std::uint64_t> overloadRetunes_{0};
+    std::atomic<std::uint64_t> rearms_{0};
+};
+
+/**
+ * One wait's view of a controller: the object that slots into the
+ * runtime's backoff-template seam (TasLock/TtasLock, BackoffResource,
+ * the barrier wait loops).
+ *
+ * Copying starts a fresh wait against the same controller — exactly
+ * the semantics the lock templates rely on (`Backoff b = backoff_;`
+ * per lock() call); the copy's destructor folds the wait's failed
+ * polls back into the controller.  Call reset() instead when reusing
+ * one instance across waits.
+ */
+class AdaptiveSpinBackoff
+{
+  public:
+    explicit AdaptiveSpinBackoff(AdaptiveBackoffController &controller)
+        : controller_(&controller)
+    {
+    }
+
+    AdaptiveSpinBackoff(const AdaptiveSpinBackoff &other)
+        : controller_(other.controller_)
+    {
+    }
+
+    AdaptiveSpinBackoff &
+    operator=(const AdaptiveSpinBackoff &other)
+    {
+        finishWait();
+        controller_ = other.controller_;
+        return *this;
+    }
+
+    ~AdaptiveSpinBackoff() { finishWait(); }
+
+    /** Wait after one unsuccessful poll (the Backoff concept). */
+    void
+    operator()()
+    {
+        const std::uint64_t w = nextInterval();
+        pace(w, controller_->levelForWait(w, fails_));
+        noteFail();
+    }
+
+    /** Fold the finished wait into the controller and start fresh. */
+    void
+    reset()
+    {
+        finishWait();
+    }
+
+    /** The next window length for this wait's failed-poll count. */
+    std::uint64_t
+    nextInterval() const
+    {
+        return controller_->intervalFor(fails_);
+    }
+
+    /** Ladder rung for a window of length @p w. */
+    EscalationLevel
+    level(std::uint64_t w) const
+    {
+        return controller_->levelFor(w);
+    }
+
+    /** Execute one ladder step of window @p w at rung @p rung. */
+    void
+    pace(std::uint64_t w, EscalationLevel rung)
+    {
+        controller_->pace(w, rung);
+    }
+
+    /** Record one failed poll without pacing (callers that pace the
+     *  wait themselves, e.g. deadline-clamped barrier loops). */
+    void
+    noteFail()
+    {
+        ++fails_;
+        if ((fails_ & (kSignalPollMask)) == 1)
+            controller_->consumeRetuneSignal();
+    }
+
+    std::uint64_t fails() const { return fails_; }
+
+    AdaptiveBackoffController &
+    controller() const
+    {
+        return *controller_;
+    }
+
+  private:
+    /** Poll the hub on the 1st, 17th, 33rd... failed poll. */
+    static constexpr std::uint64_t kSignalPollMask = 15;
+
+    void
+    finishWait()
+    {
+        controller_->recordWait(fails_);
+        fails_ = 0;
+    }
+
+    AdaptiveBackoffController *controller_;
+    std::uint64_t fails_ = 0;
+};
+
+} // namespace absync::runtime
+
+#endif // ABSYNC_RUNTIME_ADAPTIVE_BACKOFF_HPP

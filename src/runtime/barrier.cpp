@@ -9,7 +9,9 @@ namespace absync::runtime
 {
 
 SpinBarrier::SpinBarrier(std::uint32_t parties, BarrierConfig cfg)
-    : parties_(parties), cfg_(cfg)
+    : parties_(parties), cfg_(cfg),
+      adaptive_(adaptiveConfigFrom(cfg.initial, cfg.maxWait,
+                                   cfg.blockThreshold))
 {
 }
 
@@ -44,7 +46,8 @@ SpinBarrier::arriveInternal(bool timed, Deadline deadline)
         // released threads re-arriving immediately see a fresh count.
         state_.advance(a.epoch);
         sense_.store(a.epoch + 1, std::memory_order_release);
-        if (cfg_.policy == BarrierPolicy::Blocking)
+        if (cfg_.policy == BarrierPolicy::Blocking ||
+            cfg_.policy == BarrierPolicy::Adaptive)
             sense_.notify_all();
         result = WaitResult::Ok;
     } else {
@@ -109,6 +112,8 @@ SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
     if (cfg_.policy != BarrierPolicy::None)
         pause(static_cast<std::uint64_t>(missing) *
               cfg_.perMissingArrival);
+    if (cfg_.policy == BarrierPolicy::Adaptive)
+        adaptive_.consumeRetuneSignal();
 
     std::uint64_t local_polls = 0;
     std::uint64_t wait = cfg_.initial;
@@ -122,6 +127,8 @@ SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
             obs::countFlagPolls(local_polls);
             obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
                             local_polls);
+            if (cfg_.policy == BarrierPolicy::Adaptive)
+                adaptive_.recordWait(local_polls);
             return resolveTimeout(my_epoch);
         }
 
@@ -172,12 +179,54 @@ SpinBarrier::waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
+
+          case BarrierPolicy::Adaptive: {
+            // Contention-feedback schedule: window from the shared
+            // controller's published (base, cap), escalation ladder
+            // past the thresholds.
+            const std::uint64_t w =
+                adaptive_.intervalFor(local_polls - 1);
+            switch (adaptive_.levelForWait(w, local_polls - 1)) {
+              case EscalationLevel::Spin:
+                pause(w);
+                break;
+              case EscalationLevel::Yield:
+                obs::countBackoff(w, 0);
+                osYield();
+                break;
+              case EscalationLevel::Park:
+                if (!timed) {
+                    // Same queue-on-threshold park as Blocking; the
+                    // releaser notifies the sense word for this
+                    // policy too.
+                    blocks_.fetch_add(1, std::memory_order_relaxed);
+                    obs::countPark();
+                    obs::tracePoint(obs::EventKind::Park,
+                                    waitClockNowNs());
+                    atomicWaitWhileEqual(sense_, my_epoch);
+                    obs::countWake();
+                    polls_.fetch_add(local_polls + 1,
+                                     std::memory_order_relaxed);
+                    obs::countFlagPolls(local_polls + 1);
+                    obs::tracePoint(obs::EventKind::Poll,
+                                    waitClockNowNs(),
+                                    local_polls + 1);
+                    adaptive_.recordWait(local_polls);
+                    return WaitResult::Ok;
+                }
+                pause(cfg_.blockThreshold);
+                break;
+            }
+            break;
+          }
         }
     }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
     obs::countFlagPolls(local_polls);
     obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
                     local_polls);
+    if (cfg_.policy == BarrierPolicy::Adaptive)
+        adaptive_.recordWait(local_polls - 1);
     return WaitResult::Ok;
 }
 

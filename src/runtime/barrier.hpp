@@ -41,6 +41,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/adaptive_backoff.hpp"
 #include "runtime/phase_state.hpp"
 #include "runtime/spin_backoff.hpp"
 #include "runtime/wait_result.hpp"
@@ -61,6 +62,7 @@ enum class BarrierPolicy
     Linear,      ///< variable pre-wait + linear poll pacing
     Exponential, ///< variable pre-wait + exponential poll pacing
     Blocking,    ///< exponential, then futex-wait past a threshold
+    Adaptive,    ///< contention-feedback retuned schedule + ladder
 };
 
 /** Tuning knobs for SpinBarrier. */
@@ -169,6 +171,14 @@ class SpinBarrier
         return timeouts_.load(std::memory_order_relaxed);
     }
 
+    /** Feedback controller behind BarrierPolicy::Adaptive (retune
+     *  stats for tests and benches). */
+    const AdaptiveBackoffController &
+    adaptiveController() const
+    {
+        return adaptive_;
+    }
+
   private:
     WaitResult arriveInternal(bool timed, Deadline deadline);
     WaitResult waitForSense(std::uint32_t my_epoch, std::uint32_t pos,
@@ -178,6 +188,9 @@ class SpinBarrier
 
     const std::uint32_t parties_;
     const BarrierConfig cfg_;
+    /** Feedback controller for BarrierPolicy::Adaptive (idle
+     *  otherwise). */
+    AdaptiveBackoffController adaptive_;
     /** Epoch-tagged arrival counter: the barrier variable. */
     PhaseState state_;
     /** Completed-phase count: the barrier flag / sense word. */

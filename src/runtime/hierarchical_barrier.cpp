@@ -34,7 +34,9 @@ autoTileSize(std::uint32_t n)
 
 HierarchicalBarrier::HierarchicalBarrier(std::uint32_t parties,
                                          BarrierConfig cfg)
-    : parties_(parties), cfg_(cfg)
+    : parties_(parties), cfg_(cfg),
+      adaptive_(adaptiveConfigFrom(cfg.initial, cfg.maxWait,
+                                   cfg.blockThreshold))
 {
     assert(parties >= 1);
     tile_size_ = cfg.tileSize == 0 ? autoTileSize(parties)
@@ -81,6 +83,8 @@ HierarchicalBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
     if (cfg_.policy != BarrierPolicy::None && missing > 0)
         pause(static_cast<std::uint64_t>(missing) *
               cfg_.perMissingArrival);
+    if (cfg_.policy == BarrierPolicy::Adaptive)
+        adaptive_.consumeRetuneSignal();
 
     std::uint64_t local_polls = 0;
     std::uint64_t wait = cfg_.initial;
@@ -93,6 +97,8 @@ HierarchicalBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
             obs::countFlagPolls(local_polls);
             obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
                             local_polls);
+            if (cfg_.policy == BarrierPolicy::Adaptive)
+                adaptive_.recordWait(local_polls);
             return WaitResult::Timeout;
         }
         switch (cfg_.policy) {
@@ -129,6 +135,34 @@ HierarchicalBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
+
+          case BarrierPolicy::Adaptive: {
+            const std::uint64_t w =
+                adaptive_.intervalFor(local_polls - 1);
+            switch (adaptive_.levelForWait(w, local_polls - 1)) {
+              case EscalationLevel::Spin:
+                pause(w);
+                break;
+              case EscalationLevel::Yield:
+                obs::countBackoff(w, 0);
+                osYield();
+                break;
+              case EscalationLevel::Park:
+                if (!timed) {
+                    blocks_.fetch_add(1, std::memory_order_relaxed);
+                    obs::countPark();
+                    obs::tracePoint(obs::EventKind::Park,
+                                    waitClockNowNs());
+                    atomicWaitWhileEqual(node.sense, old_sense);
+                    obs::countWake();
+                    ++local_polls;
+                    goto out;
+                }
+                pause(cfg_.blockThreshold);
+                break;
+            }
+            break;
+          }
         }
     }
   out:
@@ -136,6 +170,8 @@ HierarchicalBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
     obs::countFlagPolls(local_polls);
     obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
                     local_polls);
+    if (cfg_.policy == BarrierPolicy::Adaptive)
+        adaptive_.recordWait(local_polls - 1);
     return WaitResult::Ok;
 }
 
@@ -151,6 +187,9 @@ HierarchicalBarrier::waitOnWord(std::uint32_t thread_id,
     WakeWord &w = words_[thread_id];
     const obs::ScopedWaitHeartbeat hb("barrier", "hier.word",
                                       waitClockNowNs());
+    const bool adaptive = cfg_.policy == BarrierPolicy::Adaptive;
+    if (adaptive)
+        adaptive_.consumeRetuneSignal();
     std::uint64_t local_polls = 0;
     std::uint64_t spent = 0;
     for (;;) {
@@ -160,10 +199,13 @@ HierarchicalBarrier::waitOnWord(std::uint32_t thread_id,
         if (timed && deadlineExpired(deadline)) {
             polls_.fetch_add(local_polls, std::memory_order_relaxed);
             obs::countFlagPolls(local_polls);
+            if (adaptive)
+                adaptive_.recordWait(local_polls);
             return WaitResult::Timeout;
         }
-        if (cfg_.policy == BarrierPolicy::Blocking && !timed &&
-            spent > cfg_.blockThreshold) {
+        if ((cfg_.policy == BarrierPolicy::Blocking ||
+             (adaptive && adaptive_.escalationForced())) &&
+            !timed && spent > cfg_.blockThreshold) {
             blocks_.fetch_add(1, std::memory_order_relaxed);
             obs::countPark();
             atomicWaitWhileEqual(w.epoch, w0);
@@ -171,11 +213,20 @@ HierarchicalBarrier::waitOnWord(std::uint32_t thread_id,
             ++local_polls;
             break;
         }
-        cpuRelax();
+        if (adaptive && spent > cfg_.blockThreshold) {
+            // Private-word spinning is interconnect-free, so the
+            // adaptive ladder only leaves the core once the spin
+            // budget crosses the queue-on-threshold bound.
+            osYield();
+        } else {
+            cpuRelax();
+        }
         ++spent;
     }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
     obs::countFlagPolls(local_polls);
+    if (adaptive)
+        adaptive_.recordWait(local_polls - 1);
     return WaitResult::Ok;
 }
 
@@ -188,7 +239,8 @@ HierarchicalBarrier::releaseTile(std::uint32_t tile)
         ln.sense.fetch_add(1, std::memory_order_release);
         obs::countCounterRmws();
         obs::countLocalAccesses(1);
-        if (cfg_.policy == BarrierPolicy::Blocking)
+        if (cfg_.policy == BarrierPolicy::Blocking ||
+            cfg_.policy == BarrierPolicy::Adaptive)
             ln.sense.notify_all();
         return;
     }
@@ -215,7 +267,8 @@ HierarchicalBarrier::releaseTile(std::uint32_t tile)
     ln.count.store(0, std::memory_order_release);
     for (const std::uint32_t rid : rids) {
         words_[rid].epoch.fetch_add(1, std::memory_order_release);
-        if (cfg_.policy == BarrierPolicy::Blocking)
+        if (cfg_.policy == BarrierPolicy::Blocking ||
+            cfg_.policy == BarrierPolicy::Adaptive)
             words_[rid].epoch.notify_all();
     }
     handoffs_.fetch_add(waiters, std::memory_order_relaxed);
@@ -236,7 +289,8 @@ HierarchicalBarrier::releaseGlobal()
         g.sense.fetch_add(1, std::memory_order_release);
         obs::countCounterRmws();
         obs::countRemoteAccesses(1);
-        if (cfg_.policy == BarrierPolicy::Blocking)
+        if (cfg_.policy == BarrierPolicy::Blocking ||
+            cfg_.policy == BarrierPolicy::Adaptive)
             g.sense.notify_all();
         return;
     }
@@ -258,7 +312,8 @@ HierarchicalBarrier::releaseGlobal()
     g.count.store(0, std::memory_order_release);
     for (const std::uint32_t rid : rids) {
         words_[rid].epoch.fetch_add(1, std::memory_order_release);
-        if (cfg_.policy == BarrierPolicy::Blocking)
+        if (cfg_.policy == BarrierPolicy::Blocking ||
+            cfg_.policy == BarrierPolicy::Adaptive)
             words_[rid].epoch.notify_all();
     }
     handoffs_.fetch_add(waiters, std::memory_order_relaxed);

@@ -175,6 +175,9 @@ class HierarchicalBarrier
     std::uint32_t tile_size_;
     std::uint32_t tiles_;
     const BarrierConfig cfg_;
+    /** Feedback controller for BarrierPolicy::Adaptive, shared by
+     *  both levels' wait loops (idle otherwise). */
+    AdaptiveBackoffController adaptive_;
     std::vector<Node> local_nodes_;
     Node global_node_;
     std::vector<WakeWord> words_;

@@ -40,7 +40,8 @@ releaseUnderflow(const char *which)
 // --- McsLock ---------------------------------------------------------
 
 McsLock::McsLock(const QueueLockConfig &cfg)
-    : cfg_(cfg), pools_(cfg.maxThreads ? cfg.maxThreads : 1),
+    : cfg_(cfg), adaptive_(adaptiveConfigFrom(8, 1 << 15, 1 << 12)),
+      pools_(cfg.maxThreads ? cfg.maxThreads : 1),
       held_(pools_.size(), nullptr)
 {
 }
@@ -101,17 +102,24 @@ McsLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
 
     const obs::ScopedWaitHeartbeat hb("queue_lock", "mcs.acquire",
                                       waitClockNowNs());
+    if (cfg_.adaptive)
+        adaptive_.consumeRetuneSignal();
+    std::uint64_t fails = 0;
     for (;;) {
         const std::uint64_t w =
             node->word.load(std::memory_order_acquire);
         if (stateOf(w) == kGranted) {
             held_[tid] = node;
             obs::countAcquire();
+            if (cfg_.adaptive)
+                adaptive_.recordWait(fails);
             obs::tracePoint(obs::EventKind::Release,
                             waitClockNowNs());
             return WaitResult::Ok;
         }
         if (timed && deadlineExpired(deadline)) {
+            if (cfg_.adaptive)
+                adaptive_.recordWait(fails);
             std::uint64_t expected = pack(epoch, kWaiting);
             if (node->word.compare_exchange_strong(
                     expected, pack(epoch, kAbandoned),
@@ -135,7 +143,18 @@ McsLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
                             waitClockNowNs());
             return WaitResult::Timeout;
         }
-        cpuRelax();
+        if (cfg_.adaptive) {
+            const std::uint64_t iv = adaptive_.intervalFor(fails);
+            const EscalationLevel rung =
+                adaptive_.levelForWait(iv, fails);
+            if (timed && rung != EscalationLevel::Yield)
+                spinForUntil(iv, deadline);
+            else
+                adaptive_.pace(iv, rung);
+            ++fails;
+        } else {
+            cpuRelax();
+        }
     }
 }
 
@@ -227,7 +246,8 @@ McsLock::unlock(std::uint32_t tid)
 // --- ClhLock ---------------------------------------------------------
 
 ClhLock::ClhLock(const QueueLockConfig &cfg)
-    : cfg_(cfg), dummy_(std::make_unique<Node>()),
+    : cfg_(cfg), adaptive_(adaptiveConfigFrom(8, 1 << 15, 1 << 12)),
+      dummy_(std::make_unique<Node>()),
       pools_(cfg.maxThreads ? cfg.maxThreads : 1),
       held_(pools_.size(), nullptr)
 {
@@ -277,6 +297,9 @@ ClhLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
     Node *spin_on = pred;
     const obs::ScopedWaitHeartbeat hb("queue_lock", "clh.acquire",
                                       waitClockNowNs());
+    if (cfg_.adaptive)
+        adaptive_.consumeRetuneSignal();
+    std::uint64_t fails = 0;
     for (;;) {
         const std::uint64_t w =
             spin_on->word.load(std::memory_order_acquire);
@@ -290,6 +313,8 @@ ClhLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
             obs::countAcquire();
             if (waited)
                 obs::countQueueHandoff();
+            if (cfg_.adaptive)
+                adaptive_.recordWait(fails);
             obs::tracePoint(obs::EventKind::Release,
                             waitClockNowNs());
             return WaitResult::Ok;
@@ -317,10 +342,23 @@ ClhLock::acquire(std::uint32_t tid, bool timed, Deadline deadline)
             obs::countWithdrawal();
             obs::tracePoint(obs::EventKind::Withdraw,
                             waitClockNowNs());
+            if (cfg_.adaptive)
+                adaptive_.recordWait(fails);
             return WaitResult::Timeout;
         }
         waited = true;
-        cpuRelax();
+        if (cfg_.adaptive) {
+            const std::uint64_t iv = adaptive_.intervalFor(fails);
+            const EscalationLevel rung =
+                adaptive_.levelForWait(iv, fails);
+            if (timed && rung != EscalationLevel::Yield)
+                spinForUntil(iv, deadline);
+            else
+                adaptive_.pace(iv, rung);
+            ++fails;
+        } else {
+            cpuRelax();
+        }
     }
 }
 

@@ -40,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/adaptive_backoff.hpp"
 #include "runtime/wait_result.hpp"
 
 namespace absync::support
@@ -55,6 +56,16 @@ struct QueueLockConfig
 {
     /** Dense thread ids [0, maxThreads) index per-thread node pools. */
     std::uint32_t maxThreads = 1;
+
+    /**
+     * Pace the grant wait with the contention-feedback adaptive
+     * policy (shared AdaptiveBackoffController per lock) instead of
+     * bare cpuRelax.  The park rung is a bounded sleep — grants are
+     * plain stores with no futex notify — so waiters re-poll after
+     * each slice.  Off by default: local-spin queue nodes are cheap
+     * to poll, and oversubscribed hosts are where this pays.
+     */
+    bool adaptive = false;
 
     /**
      * Test-only schedule hook: when set, every lock/unlock call
@@ -137,6 +148,13 @@ class McsLock
      *  nodes on the way.  Aborts if the caller holds nothing. */
     void unlock(std::uint32_t tid);
 
+    /** Feedback controller behind cfg.adaptive (retune stats). */
+    const AdaptiveBackoffController &
+    adaptiveController() const
+    {
+        return adaptive_;
+    }
+
   private:
     struct alignas(64) Node
     {
@@ -150,6 +168,8 @@ class McsLock
     void releaseFrom(Node *node);
 
     QueueLockConfig cfg_;
+    /** Feedback controller for cfg.adaptive grant waits. */
+    AdaptiveBackoffController adaptive_;
     std::atomic<Node *> tail_{nullptr};
     std::vector<std::vector<std::unique_ptr<Node>>> pools_;
     std::vector<Node *> held_;
@@ -175,6 +195,13 @@ class ClhLock
     WaitResult lockFor(std::uint32_t tid, Deadline deadline);
     void unlock(std::uint32_t tid);
 
+    /** Feedback controller behind cfg.adaptive (retune stats). */
+    const AdaptiveBackoffController &
+    adaptiveController() const
+    {
+        return adaptive_;
+    }
+
   private:
     struct alignas(64) Node
     {
@@ -187,6 +214,8 @@ class ClhLock
     WaitResult acquire(std::uint32_t tid, bool timed, Deadline deadline);
 
     QueueLockConfig cfg_;
+    /** Feedback controller for cfg.adaptive grant waits. */
+    AdaptiveBackoffController adaptive_;
     std::atomic<Node *> tail_;
     std::unique_ptr<Node> dummy_; ///< pre-Released head of the queue
     std::vector<std::vector<std::unique_ptr<Node>>> pools_;

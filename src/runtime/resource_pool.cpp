@@ -14,7 +14,8 @@ namespace absync::runtime
 BackoffResource::BackoffResource(std::uint32_t slots,
                                  ResourcePolicy policy,
                                  std::uint64_t hold_estimate)
-    : slots_(slots), policy_(policy), hold_estimate_(hold_estimate)
+    : slots_(slots), policy_(policy), hold_estimate_(hold_estimate),
+      adaptive_(adaptiveConfigFrom(8, 1 << 15, 1 << 12))
 {
 }
 
@@ -61,6 +62,8 @@ BackoffResource::acquireInternal(bool timed, Deadline deadline)
     waiters_.fetch_add(1, std::memory_order_relaxed);
     const obs::ScopedWaitHeartbeat hb("resource_pool", "acquire",
                                       waitClockNowNs());
+    if (policy_ == ResourcePolicy::Adaptive)
+        adaptive_.consumeRetuneSignal();
     ExpBackoff exp(2, 8, 1 << 15);
     WaitResult result = WaitResult::Ok;
     for (;;) {
@@ -96,12 +99,33 @@ BackoffResource::acquireInternal(bool timed, Deadline deadline)
                 exp();
             }
             break;
+          case ResourcePolicy::Adaptive: {
+            // Contention-feedback schedule from the pool's shared
+            // controller; the t-th failed poll of this wait picks the
+            // window and the rung.
+            const std::uint64_t w =
+                adaptive_.intervalFor(local_polls - 1);
+            const EscalationLevel rung =
+                adaptive_.levelForWait(w, local_polls - 1);
+            if (timed && rung != EscalationLevel::Yield)
+                // Deadline-clamped spin stands in for both the spin
+                // and park rungs: the park slice cannot honor the
+                // deadline.
+                spinForUntil(w, deadline);
+            else
+                adaptive_.pace(w, rung);
+            break;
+          }
         }
         ++local_polls;
         if (tryAcquire())
             break;
     }
     waiters_.fetch_sub(1, std::memory_order_relaxed);
+    if (policy_ == ResourcePolicy::Adaptive)
+        adaptive_.recordWait(result == WaitResult::Ok
+                                 ? local_polls - 1
+                                 : local_polls);
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
     obs::countFlagPolls(local_polls);
     obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/adaptive_backoff.hpp"
 #include "runtime/wait_result.hpp"
 
 namespace absync::runtime
@@ -38,6 +39,7 @@ enum class ResourcePolicy
     Spin,         ///< re-poll continuously
     Proportional, ///< wait ∝ waiters ahead (the paper's proposal)
     Exponential,  ///< wait grows exponentially in failed polls
+    Adaptive,     ///< contention-feedback retuned schedule + ladder
 };
 
 /**
@@ -109,12 +111,23 @@ class BackoffResource
         return timeouts_.load(std::memory_order_relaxed);
     }
 
+    /** Feedback controller behind ResourcePolicy::Adaptive (retune
+     *  stats for tests and benches). */
+    const AdaptiveBackoffController &
+    adaptiveController() const
+    {
+        return adaptive_;
+    }
+
   private:
     WaitResult acquireInternal(bool timed, Deadline deadline);
 
     const std::uint32_t slots_;
     const ResourcePolicy policy_;
     const std::uint64_t hold_estimate_;
+    /** Feedback controller for ResourcePolicy::Adaptive (idle
+     *  otherwise). */
+    AdaptiveBackoffController adaptive_;
     std::atomic<std::uint32_t> in_use_{0};
     std::atomic<std::uint32_t> waiters_{0};
     std::atomic<std::uint64_t> polls_{0};

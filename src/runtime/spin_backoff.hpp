@@ -145,12 +145,23 @@ class ExpBackoff
      * @param base growth factor per failed poll (2, 4, 8 in the paper)
      * @param initial first wait in pause-iterations
      * @param max clamp on the wait
+     *
+     * Degenerate parameters are normalized instead of trusted: base
+     * below 2 would never grow (and 0 would divide by zero in
+     * advance()), initial 0 would stay 0 forever (0 * base == 0, a
+     * permanent busy-poll), and initial past max would start above
+     * the clamp.  Normalizing here keeps advance() branch-cheap on
+     * the hot path.
      */
     explicit ExpBackoff(std::uint64_t base = 2,
                         std::uint64_t initial = 4,
                         std::uint64_t max = 16384)
-        : base_(base), initial_(initial), max_(max), current_(initial)
+        : base_(base < 2 ? 2 : base), max_(max < 1 ? 1 : max)
     {
+        initial_ = initial < 1 ? 1 : initial;
+        if (initial_ > max_)
+            initial_ = max_;
+        current_ = initial_;
     }
 
     void

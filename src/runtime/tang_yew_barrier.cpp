@@ -9,7 +9,9 @@ namespace absync::runtime
 
 TangYewBarrier::TangYewBarrier(std::uint32_t parties,
                                BarrierConfig cfg)
-    : parties_(parties), cfg_(cfg)
+    : parties_(parties), cfg_(cfg),
+      adaptive_(adaptiveConfigFrom(cfg.initial, cfg.maxWait,
+                                   cfg.blockThreshold))
 {
 }
 
@@ -53,7 +55,8 @@ TangYewBarrier::arriveInternal(bool timed, Deadline deadline)
         next.flag.store(0, std::memory_order_relaxed);
         phase_.store(phase + 1, std::memory_order_relaxed);
         cell.flag.store(1, std::memory_order_release);
-        if (cfg_.policy == BarrierPolicy::Blocking)
+        if (cfg_.policy == BarrierPolicy::Blocking ||
+            cfg_.policy == BarrierPolicy::Adaptive)
             cell.flag.notify_all();
         result = WaitResult::Ok;
     } else {
@@ -114,6 +117,8 @@ TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing,
     if (cfg_.policy != BarrierPolicy::None)
         pause(static_cast<std::uint64_t>(missing) *
               cfg_.perMissingArrival);
+    if (cfg_.policy == BarrierPolicy::Adaptive)
+        adaptive_.consumeRetuneSignal();
 
     std::uint64_t local_polls = 0;
     std::uint64_t wait = cfg_.initial;
@@ -126,6 +131,8 @@ TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing,
             obs::countFlagPolls(local_polls);
             obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
                             local_polls);
+            if (cfg_.policy == BarrierPolicy::Adaptive)
+                adaptive_.recordWait(local_polls);
             return resolveTimeout(cell);
         }
         switch (cfg_.policy) {
@@ -169,12 +176,48 @@ TangYewBarrier::waitOnFlag(Cell &cell, std::uint32_t missing,
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
+
+          case BarrierPolicy::Adaptive: {
+            const std::uint64_t w =
+                adaptive_.intervalFor(local_polls - 1);
+            switch (adaptive_.levelForWait(w, local_polls - 1)) {
+              case EscalationLevel::Spin:
+                pause(w);
+                break;
+              case EscalationLevel::Yield:
+                obs::countBackoff(w, 0);
+                osYield();
+                break;
+              case EscalationLevel::Park:
+                if (!timed) {
+                    blocks_.fetch_add(1, std::memory_order_relaxed);
+                    obs::countPark();
+                    obs::tracePoint(obs::EventKind::Park,
+                                    waitClockNowNs());
+                    atomicWaitWhileEqual(cell.flag, 0u);
+                    obs::countWake();
+                    ++local_polls;
+                    polls_.fetch_add(local_polls,
+                                     std::memory_order_relaxed);
+                    obs::countFlagPolls(local_polls);
+                    obs::tracePoint(obs::EventKind::Poll,
+                                    waitClockNowNs(), local_polls);
+                    adaptive_.recordWait(local_polls - 1);
+                    return WaitResult::Ok;
+                }
+                pause(cfg_.blockThreshold);
+                break;
+            }
+            break;
+          }
         }
     }
     polls_.fetch_add(local_polls, std::memory_order_relaxed);
     obs::countFlagPolls(local_polls);
     obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
                     local_polls);
+    if (cfg_.policy == BarrierPolicy::Adaptive)
+        adaptive_.recordWait(local_polls - 1);
     return WaitResult::Ok;
 }
 

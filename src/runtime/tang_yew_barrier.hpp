@@ -114,6 +114,9 @@ class TangYewBarrier
 
     const std::uint32_t parties_;
     const BarrierConfig cfg_;
+    /** Feedback controller for BarrierPolicy::Adaptive (idle
+     *  otherwise). */
+    AdaptiveBackoffController adaptive_;
     Cell cells_[2];
     /** Completed phases; entry point for the current phase's cell. */
     std::atomic<std::uint32_t> phase_{0};

@@ -11,7 +11,9 @@ namespace absync::runtime
 
 TreeBarrier::TreeBarrier(std::uint32_t parties, std::uint32_t fan_in,
                          BarrierConfig cfg)
-    : parties_(parties), fan_in_(fan_in), cfg_(cfg)
+    : parties_(parties), fan_in_(fan_in), cfg_(cfg),
+      adaptive_(adaptiveConfigFrom(cfg.initial, cfg.maxWait,
+                                   cfg.blockThreshold))
 {
     assert(parties >= 1 && fan_in >= 2);
 
@@ -67,6 +69,8 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
     if (cfg_.policy != BarrierPolicy::None && missing > 0)
         pause(static_cast<std::uint64_t>(missing) *
               cfg_.perMissingArrival);
+    if (cfg_.policy == BarrierPolicy::Adaptive)
+        adaptive_.consumeRetuneSignal();
 
     std::uint64_t local_polls = 0;
     std::uint64_t wait = cfg_.initial;
@@ -79,6 +83,8 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
             obs::countFlagPolls(local_polls);
             obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
                             local_polls);
+            if (cfg_.policy == BarrierPolicy::Adaptive)
+                adaptive_.recordWait(local_polls);
             return WaitResult::Timeout;
         }
         switch (cfg_.policy) {
@@ -117,6 +123,34 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
             wait = wait > cfg_.maxWait / cfg_.base ? cfg_.maxWait
                                                    : wait * cfg_.base;
             break;
+
+          case BarrierPolicy::Adaptive: {
+            const std::uint64_t w =
+                adaptive_.intervalFor(local_polls - 1);
+            switch (adaptive_.levelForWait(w, local_polls - 1)) {
+              case EscalationLevel::Spin:
+                pause(w);
+                break;
+              case EscalationLevel::Yield:
+                obs::countBackoff(w, 0);
+                osYield();
+                break;
+              case EscalationLevel::Park:
+                if (!timed) {
+                    blocks_.fetch_add(1, std::memory_order_relaxed);
+                    obs::countPark();
+                    obs::tracePoint(obs::EventKind::Park,
+                                    waitClockNowNs());
+                    atomicWaitWhileEqual(node.sense, old_sense);
+                    obs::countWake();
+                    ++local_polls;
+                    goto out;
+                }
+                pause(cfg_.blockThreshold);
+                break;
+            }
+            break;
+          }
         }
     }
   out:
@@ -124,6 +158,8 @@ TreeBarrier::waitAtNode(Node &node, std::uint32_t old_sense,
     obs::countFlagPolls(local_polls);
     obs::tracePoint(obs::EventKind::Poll, waitClockNowNs(),
                     local_polls);
+    if (cfg_.policy == BarrierPolicy::Adaptive)
+        adaptive_.recordWait(local_polls - 1);
     return WaitResult::Ok;
 }
 
@@ -214,7 +250,8 @@ TreeBarrier::arriveInternal(std::uint32_t thread_id, bool timed,
         node.count.store(0, std::memory_order_relaxed);
         node.sense.fetch_add(1, std::memory_order_release);
         obs::countCounterRmws();
-        if (cfg_.policy == BarrierPolicy::Blocking)
+        if (cfg_.policy == BarrierPolicy::Blocking ||
+            cfg_.policy == BarrierPolicy::Adaptive)
             node.sense.notify_all();
     }
     slot.n_won = 0;

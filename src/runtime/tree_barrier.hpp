@@ -140,6 +140,9 @@ class TreeBarrier
     const std::uint32_t parties_;
     const std::uint32_t fan_in_;
     const BarrierConfig cfg_;
+    /** Feedback controller for BarrierPolicy::Adaptive (idle
+     *  otherwise). */
+    AdaptiveBackoffController adaptive_;
     std::uint32_t root_;
     std::vector<Node> nodes_;
     std::vector<ThreadSlot> slots_;

@@ -181,6 +181,9 @@ class MemoryModule
     /** Cycles the module has seen (arbitrate() calls + advance()). */
     std::uint64_t cyclesSeen() const { return cycle_; }
 
+    /** Arbitration policy this module was built with. */
+    Arbitration arbitration() const { return arb_; }
+
     /** Reset per-episode statistics and arbitration state. */
     void reset();
 
@@ -213,6 +216,37 @@ class MemoryModule
     std::uint64_t cycle_ = 0;
     std::uint64_t total_stalls_ = 0;
 };
+
+/**
+ * Recycle a workspace-held module pool for a fresh episode: when the
+ * pool already has @p count modules of @p arb arbitration, reset()
+ * each one and drop any stale topology/fault attachments (callers
+ * re-attach per episode); otherwise rebuild the pool from scratch.
+ * This is the arena-reuse path for the episode drivers — runMany
+ * loops allocate the pool once per worker instead of once per
+ * episode, and a recycled module is observationally identical to a
+ * fresh one (reset() clears every per-episode statistic and
+ * arbitration state; arb_/topo_/faults_ are the only fields reset()
+ * keeps, and the two attachments are detached here).
+ */
+inline void
+resetModulePool(std::vector<MemoryModule> &pool, std::size_t count,
+                Arbitration arb)
+{
+    if (pool.size() != count ||
+        (count != 0 && pool.front().arbitration() != arb)) {
+        pool.clear();
+        pool.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            pool.emplace_back(arb);
+        return;
+    }
+    for (MemoryModule &m : pool) {
+        m.reset();
+        m.setTopology(nullptr, GLOBAL_TILE);
+        m.setFaults(nullptr, 0);
+    }
+}
 
 } // namespace absync::sim
 

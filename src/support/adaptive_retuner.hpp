@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Pure-integer feedback controller for contention-adaptive backoff.
+ *
+ * The paper adapts backoff to *estimated waiting time*; the
+ * Synch-Framework exemplar adapts it to *observed contention*: halve
+ * or double the backoff window against a cap depending on how many
+ * failed polls / failed CASes the last acquisition cost, smoothed by
+ * a contention history so one lucky (or unlucky) acquisition does not
+ * whipsaw the schedule.  This header is that control law and nothing
+ * else — no clocks, no atomics, no spinning — so the exact same
+ * arithmetic drives the native runtime policy
+ * (runtime::AdaptiveBackoffController) and the simulator-side sweep
+ * drivers, and tests can assert retune traces counter-exactly against
+ * either.
+ *
+ * All state is integers and every step is branch + shift + add, so a
+ * trace of observe() calls maps to exactly one trace of (base, cap)
+ * pairs on every platform.
+ */
+
+#ifndef ABSYNC_SUPPORT_ADAPTIVE_RETUNER_HPP
+#define ABSYNC_SUPPORT_ADAPTIVE_RETUNER_HPP
+
+#include <cstdint>
+
+namespace absync::support
+{
+
+/** Tuning for AdaptiveRetuner.  Defaults follow the repo's ExpBackoff
+ *  conventions (pause-iteration units). */
+struct AdaptiveRetuneConfig
+{
+    /** Initial first-wait length (pause iterations). */
+    std::uint64_t base = 8;
+
+    /** Initial clamp on the wait. */
+    std::uint64_t cap = 4096;
+
+    /** The cap may never shrink below this. */
+    std::uint64_t capFloor = 64;
+
+    /** The cap may never grow past this (the "configurable ceiling"). */
+    std::uint64_t capCeiling = 1 << 16;
+
+    /** Smoothed fails-per-wait at or above which the window doubles. */
+    std::uint64_t highFails = 8;
+
+    /** Smoothed fails-per-wait at or below which the window halves. */
+    std::uint64_t lowFails = 2;
+
+    /** EWMA strength: history folds in as
+     *  ewma += (sample - ewma) >> historyShift.  0 = no smoothing. */
+    unsigned historyShift = 1;
+};
+
+/** Outcome of one observe() step, for tests and telemetry. */
+enum class RetuneStep : std::uint8_t
+{
+    Hold,     ///< smoothed contention between the thresholds
+    Widened,  ///< doubled base/cap (high contention)
+    Narrowed, ///< halved base/cap (low contention)
+};
+
+/**
+ * The multiplicative-adjust controller.  Feed it one sample per
+ * completed wait (the number of failed polls / failed CASes that wait
+ * cost); read back the current base and cap.
+ */
+class AdaptiveRetuner
+{
+  public:
+    explicit AdaptiveRetuner(AdaptiveRetuneConfig cfg = {})
+        : cfg_(normalize(cfg)), base_(cfg_.base), cap_(cfg_.cap)
+    {
+    }
+
+    /**
+     * Fold one wait's failed-poll count into the contention history
+     * and retune.  Returns what the step did.
+     */
+    RetuneStep
+    observe(std::uint64_t fails)
+    {
+        // Integer EWMA; >> on the signed difference is arithmetic
+        // (C++20), so the history decays toward the sample from both
+        // sides.
+        const std::int64_t diff =
+            static_cast<std::int64_t>(fails) - ewma_;
+        ewma_ += diff >> cfg_.historyShift;
+        if (ewma_ < 0)
+            ewma_ = 0;
+
+        const std::uint64_t smoothed =
+            static_cast<std::uint64_t>(ewma_);
+        if (smoothed >= cfg_.highFails) {
+            cap_ = cap_ > cfg_.capCeiling / 2 ? cfg_.capCeiling
+                                              : cap_ * 2;
+            base_ = base_ > cap_ / 2 ? cap_ : base_ * 2;
+            return RetuneStep::Widened;
+        }
+        if (smoothed <= cfg_.lowFails) {
+            cap_ = cap_ / 2 < cfg_.capFloor ? cfg_.capFloor : cap_ / 2;
+            base_ = base_ / 2 < 1 ? 1 : base_ / 2;
+            if (base_ > cap_)
+                base_ = cap_;
+            return RetuneStep::Narrowed;
+        }
+        return RetuneStep::Hold;
+    }
+
+    /** Snap the cap to the ceiling (watchdog-trip / overload path). */
+    void
+    forceWide()
+    {
+        cap_ = cfg_.capCeiling;
+        if (base_ < cfg_.base)
+            base_ = cfg_.base;
+    }
+
+    /** Back to the configured starting point (recovery re-arm). */
+    void
+    rearm()
+    {
+        base_ = cfg_.base;
+        cap_ = cfg_.cap;
+        ewma_ = 0;
+    }
+
+    std::uint64_t base() const { return base_; }
+    std::uint64_t cap() const { return cap_; }
+
+    /** Smoothed fails-per-wait (exposed for counter-exact tests). */
+    std::int64_t history() const { return ewma_; }
+
+    const AdaptiveRetuneConfig &config() const { return cfg_; }
+
+  private:
+    static AdaptiveRetuneConfig
+    normalize(AdaptiveRetuneConfig cfg)
+    {
+        if (cfg.capFloor < 1)
+            cfg.capFloor = 1;
+        if (cfg.capCeiling < cfg.capFloor)
+            cfg.capCeiling = cfg.capFloor;
+        if (cfg.cap < cfg.capFloor)
+            cfg.cap = cfg.capFloor;
+        if (cfg.cap > cfg.capCeiling)
+            cfg.cap = cfg.capCeiling;
+        if (cfg.base < 1)
+            cfg.base = 1;
+        if (cfg.base > cfg.cap)
+            cfg.base = cfg.cap;
+        if (cfg.lowFails > cfg.highFails)
+            cfg.lowFails = cfg.highFails;
+        if (cfg.historyShift > 31)
+            cfg.historyShift = 31;
+        return cfg;
+    }
+
+    AdaptiveRetuneConfig cfg_;
+    std::uint64_t base_;
+    std::uint64_t cap_;
+    std::int64_t ewma_ = 0;
+};
+
+} // namespace absync::support
+
+#endif // ABSYNC_SUPPORT_ADAPTIVE_RETUNER_HPP

@@ -136,3 +136,47 @@ TEST(Backoff, ControllerWindowDegenerateBase)
     c.controllerBase = 1;
     EXPECT_EQ(c.controllerWindow(7), 7u);
 }
+
+TEST(Backoff, AdaptiveFlagDelayClampsAtCap)
+{
+    auto c = BackoffConfig::adaptive(16, 2);
+    EXPECT_EQ(c.onFlag, FlagBackoff::Adaptive);
+    EXPECT_TRUE(c.onVariable);
+    EXPECT_EQ(c.flagDelay(1), 2u);
+    EXPECT_EQ(c.flagDelay(2), 4u);
+    EXPECT_EQ(c.flagDelay(3), 8u);
+    EXPECT_EQ(c.flagDelay(4), 16u);
+    EXPECT_EQ(c.flagDelay(5), 16u) << "clamped at the cap";
+    EXPECT_EQ(c.flagDelay(~0ull), 16u) << "no shift/multiply wrap";
+}
+
+TEST(Backoff, AdaptiveCapIsTheRetuneKnob)
+{
+    // Identical poll counts, different caps: the cap alone moves the
+    // schedule, which is exactly what the between-episode retuner
+    // adjusts.
+    auto narrow = BackoffConfig::adaptive(8, 2);
+    auto wide = BackoffConfig::adaptive(1024, 2);
+    EXPECT_EQ(narrow.flagDelay(6), 8u);
+    EXPECT_EQ(wide.flagDelay(6), 64u);
+    // Degenerate: a zero cap normalizes to 1, a base-1 schedule is
+    // linear under the cap.
+    auto zero = BackoffConfig::adaptive(0, 2);
+    EXPECT_EQ(zero.flagDelay(50), 1u);
+    auto b1 = BackoffConfig::adaptive(16, 1);
+    EXPECT_EQ(b1.flagDelay(5), 5u);
+    EXPECT_EQ(b1.flagDelay(50), 16u);
+}
+
+TEST(Backoff, AdaptivePresetAndName)
+{
+    auto c = BackoffConfig::fromString("adaptive");
+    EXPECT_EQ(c.onFlag, FlagBackoff::Adaptive);
+    EXPECT_EQ(c.name(),
+              "var+flag(adaptive,b=2,cap=4096)");
+    EXPECT_FALSE(c.shouldBlock(c.flagDelay(64))) << "no threshold set";
+    c.blockThreshold = 100;
+    c.adaptiveCap = 4096;
+    EXPECT_TRUE(c.shouldBlock(c.flagDelay(64)))
+        << "queue-on-threshold still composes with the adaptive cap";
+}

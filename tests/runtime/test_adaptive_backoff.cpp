@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Contention-feedback adaptive backoff tests.
+ *
+ * Three layers, mirroring the design:
+ *
+ *  - support::AdaptiveRetuner: the pure-integer control law, asserted
+ *    counter-exactly (every observe() step's base/cap/history checked
+ *    against hand-computed values);
+ *  - runtime::AdaptiveBackoffController + AdaptiveSpinBackoff: window
+ *    accumulation, the escalation ladder, the shift clamp, the view's
+ *    copy-starts-a-fresh-wait contract, and the RetuneHub edge
+ *    protocol (trip -> forceWide + forced park, rearm -> reset), with
+ *    stale pre-construction hub state explicitly ignored;
+ *  - end to end: exhaustive 2-thread interleaving of the Adaptive
+ *    barrier policy under VirtualSched (zero violations over the full
+ *    bounded tree), seeded-schedule determinism, and the
+ *    observatory-published watchdog-trip edge forcing escalation
+ *    through a real Observatory driven by synchronous virtual-time
+ *    ticks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/heartbeat.hpp"
+#include "obs/observatory.hpp"
+#include "obs/retune.hpp"
+#include "runtime/adaptive_backoff.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/queue_lock.hpp"
+#include "runtime/resource_pool.hpp"
+#include "runtime/spinlock.hpp"
+#include "support/adaptive_retuner.hpp"
+#include "testing/barrier_episodes.hpp"
+#include "testing/virtual_sched.hpp"
+
+namespace rt = absync::runtime;
+namespace vt = absync::testing;
+namespace obs = absync::obs;
+namespace sup = absync::support;
+
+namespace
+{
+
+// --- the control law, counter-exactly --------------------------------
+
+TEST(AdaptiveRetuner, CounterExactRetuneTrace)
+{
+    sup::AdaptiveRetuneConfig cfg;
+    cfg.base = 8;
+    cfg.cap = 256;
+    cfg.capFloor = 64;
+    cfg.capCeiling = 1024;
+    cfg.highFails = 8;
+    cfg.lowFails = 2;
+    cfg.historyShift = 1;
+    sup::AdaptiveRetuner r(cfg);
+
+    EXPECT_EQ(r.base(), 8u);
+    EXPECT_EQ(r.cap(), 256u);
+    EXPECT_EQ(r.history(), 0);
+
+    // Sample 32: ewma += (32 - 0) >> 1 = 16 >= highFails -> widen.
+    EXPECT_EQ(r.observe(32), sup::RetuneStep::Widened);
+    EXPECT_EQ(r.history(), 16);
+    EXPECT_EQ(r.cap(), 512u);
+    EXPECT_EQ(r.base(), 16u);
+
+    // Sample 32 again: ewma += (32 - 16) >> 1 = 8 -> 24 -> widen;
+    // cap hits the ceiling.
+    EXPECT_EQ(r.observe(32), sup::RetuneStep::Widened);
+    EXPECT_EQ(r.history(), 24);
+    EXPECT_EQ(r.cap(), 1024u);
+    EXPECT_EQ(r.base(), 32u);
+
+    // Widening against the ceiling saturates instead of wrapping.
+    EXPECT_EQ(r.observe(32), sup::RetuneStep::Widened);
+    EXPECT_EQ(r.cap(), 1024u);
+    EXPECT_EQ(r.base(), 64u);
+
+    // Quiet samples decay the history; (0-28)>>1 is arithmetic, so
+    // the ewma halves toward zero: 28 -> 14 -> 7.
+    EXPECT_EQ(r.history(), 28);
+    EXPECT_EQ(r.observe(0), sup::RetuneStep::Widened); // 14 >= 8
+    EXPECT_EQ(r.history(), 14);
+    EXPECT_EQ(r.observe(0), sup::RetuneStep::Hold); // 7: between
+    EXPECT_EQ(r.history(), 7);
+    EXPECT_EQ(r.observe(0), sup::RetuneStep::Hold); // 3 (7 + (-7>>1))
+    EXPECT_EQ(r.history(), 3);
+    EXPECT_EQ(r.observe(0), sup::RetuneStep::Narrowed); // 1 <= 2
+    EXPECT_EQ(r.history(), 1);
+    EXPECT_EQ(r.cap(), 512u);
+    EXPECT_EQ(r.base(), 64u);
+
+    // Narrowing respects the floor.
+    EXPECT_EQ(r.observe(0), sup::RetuneStep::Narrowed);
+    EXPECT_EQ(r.cap(), 256u);
+    EXPECT_EQ(r.observe(0), sup::RetuneStep::Narrowed);
+    EXPECT_EQ(r.cap(), 128u);
+    EXPECT_EQ(r.observe(0), sup::RetuneStep::Narrowed);
+    EXPECT_EQ(r.cap(), 64u);
+    EXPECT_EQ(r.observe(0), sup::RetuneStep::Narrowed);
+    EXPECT_EQ(r.cap(), 64u); // clamped at capFloor
+}
+
+TEST(AdaptiveRetuner, ForceWideAndRearm)
+{
+    sup::AdaptiveRetuneConfig cfg;
+    cfg.base = 4;
+    cfg.cap = 128;
+    cfg.capCeiling = 4096;
+    sup::AdaptiveRetuner r(cfg);
+
+    r.forceWide();
+    EXPECT_EQ(r.cap(), 4096u);
+    EXPECT_EQ(r.base(), 4u); // base kept at the configured start
+
+    r.rearm();
+    EXPECT_EQ(r.cap(), 128u);
+    EXPECT_EQ(r.base(), 4u);
+    EXPECT_EQ(r.history(), 0);
+}
+
+TEST(AdaptiveRetuner, NormalizesDegenerateConfigs)
+{
+    sup::AdaptiveRetuneConfig cfg;
+    cfg.base = 0;
+    cfg.cap = 0;
+    cfg.capFloor = 0;
+    cfg.capCeiling = 0;
+    cfg.lowFails = 9;
+    cfg.highFails = 3;
+    sup::AdaptiveRetuner r(cfg);
+    EXPECT_GE(r.base(), 1u);
+    EXPECT_GE(r.cap(), 1u);
+    EXPECT_LE(r.base(), r.cap());
+    EXPECT_LE(r.config().lowFails, r.config().highFails);
+}
+
+// --- the controller --------------------------------------------------
+
+rt::AdaptiveBackoffConfig
+smallConfig()
+{
+    rt::AdaptiveBackoffConfig cfg;
+    cfg.retune.base = 4;
+    cfg.retune.cap = 64;
+    cfg.retune.capFloor = 8;
+    cfg.retune.capCeiling = 1 << 12;
+    cfg.retune.highFails = 8;
+    cfg.retune.lowFails = 2;
+    cfg.window = 2;
+    cfg.yieldThreshold = 32;
+    cfg.parkThreshold = 64;
+    return cfg;
+}
+
+TEST(AdaptiveController, IntervalGrowsFromBaseAndClampsAtCap)
+{
+    rt::AdaptiveBackoffController c(smallConfig());
+    EXPECT_EQ(c.base(), 4u);
+    EXPECT_EQ(c.cap(), 64u);
+    EXPECT_EQ(c.intervalFor(0), 4u);
+    EXPECT_EQ(c.intervalFor(1), 8u);
+    EXPECT_EQ(c.intervalFor(2), 16u);
+    EXPECT_EQ(c.intervalFor(3), 32u);
+    EXPECT_EQ(c.intervalFor(4), 64u);
+    EXPECT_EQ(c.intervalFor(5), 64u); // clamped
+    // Pathological poll counts can never wrap the shift.
+    EXPECT_EQ(c.intervalFor(63), 64u);
+    EXPECT_EQ(c.intervalFor(~0ull), 64u);
+}
+
+TEST(AdaptiveController, EscalationLadderByWindowLength)
+{
+    rt::AdaptiveBackoffController c(smallConfig());
+    EXPECT_EQ(c.levelFor(1), rt::EscalationLevel::Spin);
+    EXPECT_EQ(c.levelFor(31), rt::EscalationLevel::Spin);
+    EXPECT_EQ(c.levelFor(32), rt::EscalationLevel::Yield);
+    EXPECT_EQ(c.levelFor(63), rt::EscalationLevel::Yield);
+    EXPECT_EQ(c.levelFor(64), rt::EscalationLevel::Park);
+}
+
+TEST(AdaptiveController, StarvedWaitEscalatesPastNarrowedSchedule)
+{
+    // Regression: under an unfair primitive one thread can monopolize
+    // the lock with zero-fail acquires, the window average narrows
+    // the schedule to its floor, and the published cap alone would
+    // pin the starving waiters to the Spin rung forever — burning
+    // the very core the holder needs.  The ladder must also honor
+    // the wait's own fail count.
+    rt::AdaptiveBackoffController c(smallConfig());
+    for (int i = 0; i < 64; ++i)
+        c.recordWait(0); // the monopolist's rosy feedback
+    EXPECT_EQ(c.cap(), 8u); // narrowed to the floor, below yield=32
+    // The published schedule says "spin", even deep into a wait...
+    EXPECT_EQ(c.levelFor(c.intervalFor(50)),
+              rt::EscalationLevel::Spin);
+    // ...but the wait's own futility still climbs the ladder
+    // (config base 4: 4<<3 = 32 = yield, 4<<4 = 64 = park).
+    EXPECT_EQ(c.levelForWait(c.intervalFor(0), 0),
+              rt::EscalationLevel::Spin);
+    EXPECT_EQ(c.levelForWait(c.intervalFor(3), 3),
+              rt::EscalationLevel::Yield);
+    EXPECT_EQ(c.levelForWait(c.intervalFor(4), 4),
+              rt::EscalationLevel::Park);
+    EXPECT_EQ(c.levelForWait(c.intervalFor(60), 60),
+              rt::EscalationLevel::Park); // shift-capped, no wrap
+}
+
+TEST(AdaptiveController, RetunesOncePerWindowCounterExactly)
+{
+    rt::AdaptiveBackoffController c(smallConfig()); // window = 2
+    // Shadow the control law with an identically-configured retuner:
+    // the controller must follow it step for step on the window
+    // averages it forms.
+    sup::AdaptiveRetuner shadow(smallConfig().retune);
+
+    c.recordWait(30);
+    EXPECT_EQ(c.retunes(), 0u); // window not full yet
+    c.recordWait(34);
+    EXPECT_EQ(c.retunes(), 1u);
+    shadow.observe((30 + 34) / 2);
+    EXPECT_EQ(c.base(), shadow.base());
+    EXPECT_EQ(c.cap(), shadow.cap());
+    EXPECT_EQ(c.widened(), 1u);
+
+    c.recordWait(0);
+    c.recordWait(0);
+    shadow.observe(0);
+    EXPECT_EQ(c.retunes(), 2u);
+    EXPECT_EQ(c.base(), shadow.base());
+    EXPECT_EQ(c.cap(), shadow.cap());
+    EXPECT_EQ(c.waitsObserved(), 4u);
+}
+
+TEST(AdaptiveController, HubTripForcesEscalationExactlyOncePerEdge)
+{
+    obs::RetuneHub &hub = obs::RetuneHub::global();
+    hub.resetForTest();
+
+    rt::AdaptiveBackoffConfig cfg = smallConfig();
+    cfg.consumeRetuneSignal = true;
+    rt::AdaptiveBackoffController c(cfg);
+    ASSERT_FALSE(c.escalationForced());
+
+    // No edge yet: consuming is a no-op.
+    c.consumeRetuneSignal();
+    EXPECT_EQ(c.tripRetunes(), 0u);
+
+    hub.trip();
+    c.consumeRetuneSignal();
+    EXPECT_TRUE(c.escalationForced());
+    EXPECT_EQ(c.cap(), cfg.retune.capCeiling); // forced wide
+    EXPECT_EQ(c.tripRetunes(), 1u);
+    EXPECT_EQ(c.overloadRetunes(), 0u);
+    // Every window is the park rung while the verdict is in force.
+    EXPECT_EQ(c.levelFor(1), rt::EscalationLevel::Park);
+
+    // Same edge consumed once: a second poll does nothing.
+    c.consumeRetuneSignal();
+    EXPECT_EQ(c.tripRetunes(), 1u);
+
+    // Overload edge (no new trip) is attributed separately.
+    hub.overload();
+    c.consumeRetuneSignal();
+    EXPECT_EQ(c.tripRetunes(), 1u);
+    EXPECT_EQ(c.overloadRetunes(), 1u);
+
+    // Recovery re-arms the schedule and clears the forcing.
+    hub.rearm();
+    c.consumeRetuneSignal();
+    EXPECT_FALSE(c.escalationForced());
+    EXPECT_EQ(c.signalRearms(), 1u);
+    EXPECT_EQ(c.base(), cfg.retune.base);
+    EXPECT_EQ(c.cap(), cfg.retune.cap);
+
+    hub.resetForTest();
+}
+
+TEST(AdaptiveController, StaleHubStateBeforeConstructionIsIgnored)
+{
+    obs::RetuneHub &hub = obs::RetuneHub::global();
+    hub.resetForTest();
+    hub.trip(); // an old verdict from some earlier workload
+
+    rt::AdaptiveBackoffConfig cfg = smallConfig();
+    cfg.consumeRetuneSignal = true;
+    rt::AdaptiveBackoffController c(cfg);
+    c.consumeRetuneSignal();
+    EXPECT_FALSE(c.escalationForced());
+    EXPECT_EQ(c.tripRetunes(), 0u);
+
+    // A *new* edge after construction is consumed normally.
+    hub.trip();
+    c.consumeRetuneSignal();
+    EXPECT_TRUE(c.escalationForced());
+    EXPECT_EQ(c.tripRetunes(), 1u);
+
+    hub.resetForTest();
+}
+
+// --- the per-wait view -----------------------------------------------
+
+TEST(AdaptiveSpinBackoff, CopyStartsAFreshWaitAndDtorFoldsIt)
+{
+    rt::AdaptiveBackoffConfig cfg = smallConfig();
+    cfg.window = 1; // every completed wait retunes
+    rt::AdaptiveBackoffController c(cfg);
+
+    rt::AdaptiveSpinBackoff proto(c);
+    {
+        rt::AdaptiveSpinBackoff wait = proto; // the lock() idiom
+        EXPECT_EQ(wait.fails(), 0u);
+        wait.noteFail();
+        wait.noteFail();
+        wait.noteFail();
+        EXPECT_EQ(wait.fails(), 3u);
+    }
+    // Destructor folded exactly one wait of 3 fails.
+    EXPECT_EQ(c.waitsObserved(), 1u);
+    EXPECT_EQ(c.retunes(), 1u);
+
+    // reset() folds and starts fresh on a reused instance.
+    proto.noteFail();
+    proto.reset();
+    EXPECT_EQ(proto.fails(), 0u);
+    EXPECT_EQ(c.waitsObserved(), 2u);
+}
+
+TEST(AdaptiveSpinBackoff, DrivesTtasLockUnderRealThreads)
+{
+    rt::AdaptiveBackoffController c(smallConfig());
+    rt::TtasLock<rt::AdaptiveSpinBackoff> lock{
+        rt::AdaptiveSpinBackoff(c)};
+    // Constructing the lock copies (and destroys) one view, which
+    // folds one empty wait; measure from here.
+    const std::uint64_t base_waits = c.waitsObserved();
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 200;
+    std::uint64_t counter = 0;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                lock.lock();
+                ++counter;
+                lock.unlock();
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(counter,
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    // Every lock() acquisition folded exactly one wait.
+    EXPECT_EQ(c.waitsObserved() - base_waits,
+              static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// --- adaptive policy end to end under VirtualSched -------------------
+
+TEST(AdaptiveSchedules, ExhaustiveTwoThreadsZeroViolations)
+{
+    vt::BarrierEpisodeConfig cfg;
+    cfg.kind = rt::BarrierKind::Flat;
+    cfg.parties = 2;
+    cfg.phases = 2;
+    cfg.barrier.policy = rt::BarrierPolicy::Adaptive;
+
+    vt::ExploreConfig xc;
+    xc.branchDepth = 8;
+    xc.maxRuns = 20000;
+    const vt::ExploreReport rep =
+        vt::exploreSchedules(vt::barrierPhasesFactory(cfg), xc);
+    EXPECT_FALSE(rep.failed) << rep.failure;
+    EXPECT_TRUE(rep.exhausted)
+        << "bounded tree not fully enumerated within " << xc.maxRuns
+        << " runs";
+    EXPECT_GE(rep.interleavings, 2u);
+}
+
+TEST(AdaptiveSchedules, SeededScheduleIsDeterministic)
+{
+    vt::BarrierEpisodeConfig cfg;
+    cfg.kind = rt::BarrierKind::Flat;
+    cfg.parties = 3;
+    cfg.phases = 3;
+    cfg.barrier.policy = rt::BarrierPolicy::Adaptive;
+
+    const vt::RunRecord a =
+        vt::runSeededSchedule(vt::barrierPhasesFactory(cfg), 42);
+    const vt::RunRecord b =
+        vt::runSeededSchedule(vt::barrierPhasesFactory(cfg), 42);
+    ASSERT_TRUE(a.completed) << a.failure;
+    ASSERT_TRUE(b.completed) << b.failure;
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(AdaptiveSchedules, QueueLocksAdaptiveFuzzZeroViolations)
+{
+    // The MCS/CLH grant waits paced adaptively, under seeded schedule
+    // fuzzing: mutual exclusion is the invariant.
+    for (const bool useClh : {false, true}) {
+        const vt::EpisodeFactory factory =
+            [useClh](vt::VirtualSched &sched) {
+                auto owned = std::make_shared<int>(0);
+                rt::QueueLockConfig qcfg;
+                qcfg.maxThreads = 3;
+                qcfg.adaptive = true;
+                qcfg.sched = &sched;
+                auto mcs = std::make_shared<rt::McsLock>(qcfg);
+                auto clh = std::make_shared<rt::ClhLock>(qcfg);
+                vt::Episode ep;
+                for (std::uint32_t t = 0; t < 3; ++t) {
+                    ep.bodies.push_back([=, &sched](std::uint32_t id) {
+                        for (int i = 0; i < 2; ++i) {
+                            if (useClh)
+                                clh->lock(id);
+                            else
+                                mcs->lock(id);
+                            sched.require(++*owned == 1,
+                                          "mutual exclusion violated");
+                            --*owned;
+                            if (useClh)
+                                clh->unlock(id);
+                            else
+                                mcs->unlock(id);
+                        }
+                    });
+                }
+                return ep;
+            };
+        vt::FuzzConfig fc;
+        fc.runs = 60;
+        const vt::FuzzReport rep = vt::fuzzSchedules(factory, fc);
+        EXPECT_FALSE(rep.failed)
+            << (useClh ? "clh" : "mcs") << " seed "
+            << rep.failingSeed << ": " << rep.failure;
+    }
+}
+
+// --- observatory closes the loop -------------------------------------
+
+TEST(AdaptiveRetuneLoop, WatchdogTripForcesEscalationDeterministically)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    obs::RetuneHub &hub = obs::RetuneHub::global();
+    hub.resetForTest();
+
+    obs::ObservatoryConfig ocfg;
+    ocfg.watchdogDeadlineNs = 1000;
+    ocfg.publishRetune = true;
+    ocfg.label = "adaptive_retune_loop";
+    obs::Observatory o(ocfg); // ticked synchronously, never started
+
+    rt::AdaptiveBackoffConfig cfg = smallConfig();
+    cfg.consumeRetuneSignal = true;
+    rt::AdaptiveBackoffController c(cfg);
+
+    {
+        // A wait whose heartbeat never advances: the sampler sights
+        // it, then finds it frozen past the deadline.
+        const obs::ScopedWaitHeartbeat hb("test", "frozen", 0);
+        o.tickOnce(100); // sights the wait; baseline progress
+        EXPECT_EQ(hub.epoch(), 0u);
+        o.tickOnce(5000); // 4900ns frozen > 1000ns deadline: trip
+        EXPECT_EQ(hub.tripCount(), 1u);
+        EXPECT_EQ(hub.mode(), obs::RetuneMode::Degraded);
+
+        c.consumeRetuneSignal();
+        EXPECT_TRUE(c.escalationForced());
+        EXPECT_EQ(c.tripRetunes(), 1u);
+        EXPECT_EQ(c.cap(), cfg.retune.capCeiling);
+
+        // Still stalled: degraded level holds, but no new edge fires
+        // (the stall already tripped), so the controller sees
+        // exactly one trip-attributed retune.
+        o.tickOnce(9000);
+        c.consumeRetuneSignal();
+        EXPECT_EQ(c.tripRetunes(), 1u);
+        EXPECT_EQ(hub.tripCount(), 1u);
+    }
+
+    // Wait closed: the next scan sees the stall cleared and
+    // publishes recovery; the controller re-arms.
+    o.tickOnce(10000);
+    EXPECT_EQ(hub.mode(), obs::RetuneMode::Normal);
+    c.consumeRetuneSignal();
+    EXPECT_FALSE(c.escalationForced());
+    EXPECT_EQ(c.signalRearms(), 1u);
+    EXPECT_EQ(c.base(), cfg.retune.base);
+    EXPECT_EQ(c.cap(), cfg.retune.cap);
+
+    hub.resetForTest();
+}
+
+TEST(AdaptiveRetuneLoop, BarrierConsumesTripThroughItsWaitLoop)
+{
+    if (!obs::kTelemetryEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+
+    obs::RetuneHub &hub = obs::RetuneHub::global();
+    hub.resetForTest();
+
+    // The barrier's controller polls the hub at wait granularity:
+    // publish a trip edge, run one barrier phase on real threads, and
+    // the controller must have consumed it.
+    rt::BarrierConfig bcfg;
+    bcfg.policy = rt::BarrierPolicy::Adaptive;
+    rt::SpinBarrier barrier(2, bcfg);
+
+    hub.trip();
+    std::thread peer([&] { barrier.arriveAndWait(); });
+    barrier.arriveAndWait();
+    peer.join();
+
+    EXPECT_EQ(barrier.adaptiveController().tripRetunes(), 1u);
+    EXPECT_TRUE(barrier.adaptiveController().escalationForced());
+
+    // Recovery re-arms through the same path.
+    hub.rearm();
+    std::thread peer2([&] { barrier.arriveAndWait(); });
+    barrier.arriveAndWait();
+    peer2.join();
+    EXPECT_EQ(barrier.adaptiveController().signalRearms(), 1u);
+    EXPECT_FALSE(barrier.adaptiveController().escalationForced());
+
+    hub.resetForTest();
+}
+
+// --- adaptive policy on the resource pool ----------------------------
+
+TEST(AdaptivePool, AcquireReleaseUnderContention)
+{
+    rt::BackoffResource pool(2, rt::ResourcePolicy::Adaptive, 64);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 100;
+    std::atomic<std::uint32_t> peak{0};
+    std::atomic<std::uint32_t> inside{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                pool.acquire();
+                const std::uint32_t now =
+                    inside.fetch_add(1, std::memory_order_acq_rel) +
+                    1;
+                std::uint32_t p =
+                    peak.load(std::memory_order_relaxed);
+                while (
+                    now > p &&
+                    !peak.compare_exchange_weak(
+                        p, now, std::memory_order_relaxed)) {
+                }
+                inside.fetch_sub(1, std::memory_order_acq_rel);
+                pool.release();
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_LE(peak.load(), 2u); // capacity held
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(AdaptivePool, TimedOutWaitStillFoldsIntoController)
+{
+    rt::BackoffResource pool(1, rt::ResourcePolicy::Adaptive, 64);
+    pool.acquire(); // hold the only slot
+    const rt::WaitResult r = pool.acquireFor(
+        rt::deadlineAfter(std::chrono::milliseconds(5)));
+    EXPECT_EQ(r, rt::WaitResult::Timeout);
+    // The withdrawn wait's failed polls reached the controller.
+    EXPECT_EQ(pool.adaptiveController().waitsObserved(), 1u);
+    pool.release();
+    pool.acquire(); // pool still consistent after the withdrawal
+    pool.release();
+}
+
+} // namespace

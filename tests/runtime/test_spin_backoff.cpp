@@ -24,6 +24,41 @@ TEST(SpinBackoff, ExpClampsAtMax)
     EXPECT_EQ(b.current(), 100u);
 }
 
+TEST(SpinBackoff, ExpNormalizesDegenerateParameters)
+{
+    // Regression: base 0 used to divide by zero in the growth test
+    // (max_/base_), base 1 never grew, initial 0 busy-polled forever,
+    // and initial > max overshot the clamp on the first wait.  The
+    // constructor now normalizes all four.
+    ExpBackoff zero_base(0, 4, 64);
+    zero_base(); // must not crash
+    EXPECT_GE(zero_base.current(), 8u); // grew (base clamped to 2)
+
+    ExpBackoff one_base(1, 4, 64);
+    one_base();
+    EXPECT_EQ(one_base.current(), 8u);
+
+    ExpBackoff zero_initial(2, 0, 64);
+    EXPECT_GE(zero_initial.current(), 1u); // never a zero-length wait
+
+    ExpBackoff oversized_initial(2, 1 << 20, 64);
+    EXPECT_EQ(oversized_initial.current(), 64u);
+    oversized_initial();
+    EXPECT_EQ(oversized_initial.current(), 64u); // saturated, no wrap
+}
+
+TEST(SpinBackoff, ExpSaturatesWithoutOverflow)
+{
+    // Near the top of the range the next doubling would overflow;
+    // the guard must route to max_ instead of wrapping.
+    const std::uint64_t huge = ~0ull - 1;
+    ExpBackoff b(2, huge / 2 + 1, huge);
+    b.advance();
+    EXPECT_EQ(b.current(), huge);
+    b.advance();
+    EXPECT_EQ(b.current(), huge); // stays clamped
+}
+
 TEST(SpinBackoff, ExpResetRestoresInitial)
 {
     ExpBackoff b(2, 4, 1024);

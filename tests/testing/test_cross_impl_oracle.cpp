@@ -103,6 +103,51 @@ TEST(CrossImplOracle, AllKindsAgreeOnPhaseStructure)
     }
 }
 
+TEST(CrossImplOracle, AdaptivePolicyAgreesWithFixedPolicies)
+{
+    // The contention-feedback policy changes *when* waiters poll, not
+    // what the barrier admits: for every kind, the phase-log
+    // signature under BarrierPolicy::Adaptive must match the same
+    // kind's default (fixed-exponential) run on the same seed.
+    constexpr std::uint32_t kParties = 3;
+    constexpr std::uint32_t kPhases = 3;
+
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        for (const rt::BarrierKind kind : kKinds) {
+            std::vector<std::vector<std::pair<std::uint32_t,
+                                              std::uint32_t>>> sigs;
+            for (const rt::BarrierPolicy policy :
+                 {rt::BarrierPolicy::Exponential,
+                  rt::BarrierPolicy::Adaptive}) {
+                vt::BarrierEpisodeConfig cfg;
+                cfg.kind = kind;
+                cfg.parties = kParties;
+                cfg.phases = kPhases;
+                cfg.barrier.policy = policy;
+
+                vt::VirtualSched sched;
+                std::shared_ptr<vt::BarrierEpisodeState> state;
+                vt::Episode ep =
+                    vt::barrierPhasesEpisode(sched, cfg, &state);
+                vt::RandomDecider decider(seed);
+                const vt::RunRecord rec =
+                    sched.run(ep.bodies, decider, ep.stepInvariant);
+                ASSERT_TRUE(rec.completed)
+                    << kindName(kind) << " seed " << seed << ": "
+                    << rec.failure;
+                EXPECT_TRUE(state->log.allCompleted(kPhases))
+                    << kindName(kind) << " seed " << seed;
+                sigs.push_back(signature(state->log));
+            }
+            EXPECT_EQ(sigs[0], sigs[1])
+                << kindName(kind)
+                << ": adaptive policy disagrees with exponential "
+                   "at seed "
+                << seed;
+        }
+    }
+}
+
 TEST(CrossImplOracle, EventOrderRespectsPhasesWithinEveryKind)
 {
     // Stronger per-log property, checked on the recorded order: the
@@ -287,6 +332,18 @@ TEST(CrossImplOracle, LockFamiliesAgreeOnAdmissions)
         EXPECT_EQ(clh, fifo) << "clh, seed " << seed;
         EXPECT_EQ(ticket, mcs) << "seed " << seed;
         EXPECT_EQ(mcs, clh) << "seed " << seed;
+
+        // Adaptive grant-wait pacing must not change FIFO handoff.
+        rt::QueueLockConfig acfg = qcfg;
+        acfg.adaptive = true;
+        const auto mcs_adaptive = admissionOrder(
+            std::make_shared<QueueShim<rt::McsLock>>(acfg), kThreads,
+            seed);
+        const auto clh_adaptive = admissionOrder(
+            std::make_shared<QueueShim<rt::ClhLock>>(acfg), kThreads,
+            seed);
+        EXPECT_EQ(mcs_adaptive, fifo) << "mcs adaptive, seed " << seed;
+        EXPECT_EQ(clh_adaptive, fifo) << "clh adaptive, seed " << seed;
 
         // Unfair spin+backoff family: same multiset of admissions.
         auto ttas = admissionOrder(
